@@ -1,0 +1,40 @@
+//! Figure 8 / Section 4.2 — existential join strategies.
+//!
+//! The theta-join queries Q11/Q12 (general comparison `>`) are evaluated with
+//! the min/max aggregate pushdown of Figure 8(b) and with the plain
+//! theta-join + duplicate elimination of Figure 8(a).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mxq_bench::{engine_with_xmark, run_query, xmark_xml, SMALL_FACTOR};
+use mxq_xquery::ExecConfig;
+
+fn bench(c: &mut Criterion) {
+    let xml = xmark_xml(SMALL_FACTOR);
+    let mut group = c.benchmark_group("existential_join");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, config) in [
+        ("minmax-pushdown", ExecConfig::default()),
+        (
+            "theta-join-then-distinct",
+            ExecConfig {
+                existential_minmax: false,
+                ..ExecConfig::default()
+            },
+        ),
+    ] {
+        for query in [11usize, 12] {
+            let mut engine = engine_with_xmark(&xml, config);
+            group.bench_function(format!("Q{query}/{name}"), |b| {
+                b.iter(|| run_query(&mut engine, query))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 12 — benefit of the loop-lifted staircase join.
+//!
+//! Runs the 20 XMark queries under the five staircase-join configurations of
+//! the paper (iterative vs loop-lifted child/descendant steps, plus nametest
+//! pushdown).  The paper reports 10–30× improvements for path-heavy queries
+//! on the 110 MB document; at laptop scale the ordering of the configurations
+//! (and the large win of loop-lifting) is what this bench reproduces.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mxq_bench::{engine_with_xmark, fig12_configs, run_query, xmark_xml, SMALL_FACTOR};
+use mxq_xmark::queries::QUERY_IDS;
+
+fn bench(c: &mut Criterion) {
+    let xml = xmark_xml(SMALL_FACTOR);
+    let mut group = c.benchmark_group("fig12_looplift");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, config) in fig12_configs() {
+        let mut engine = engine_with_xmark(&xml, config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for id in QUERY_IDS {
+                    total += run_query(&mut engine, id);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

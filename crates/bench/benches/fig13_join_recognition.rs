@@ -1,0 +1,42 @@
+//! Figure 13 — XQuery join recognition (cross product vs join).
+//!
+//! The XMark join queries Q8–Q12 are run with and without join recognition.
+//! Without it, loop-lifting materialises the Cartesian product of persons and
+//! auctions; with it, the comparison is evaluated as a relational join with
+//! existential semantics (Section 4).  The paper reports one to two orders of
+//! magnitude on the 11 MB document.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mxq_bench::{engine_with_xmark, run_query, xmark_xml, SMALL_FACTOR};
+use mxq_xquery::ExecConfig;
+
+fn bench(c: &mut Criterion) {
+    let xml = xmark_xml(SMALL_FACTOR);
+    let mut group = c.benchmark_group("fig13_join_recognition");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, config) in [
+        ("join", ExecConfig::default()),
+        (
+            "cross-product",
+            ExecConfig {
+                join_recognition: false,
+                ..ExecConfig::default()
+            },
+        ),
+    ] {
+        for query in [8usize, 9, 10, 11, 12] {
+            let mut engine = engine_with_xmark(&xml, config);
+            group.bench_function(format!("Q{query}/{name}"), |b| {
+                b.iter(|| run_query(&mut engine, query))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

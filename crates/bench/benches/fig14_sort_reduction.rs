@@ -1,0 +1,46 @@
+//! Figure 14 — benefits of sort reduction (order-aware peephole optimization).
+//!
+//! All 20 XMark queries with and without the order-property machinery:
+//! without it every order requirement is re-established with a full sort and
+//! row numbering always sorts; with it sorts are pruned and the streaming
+//! (hash-based) numbering is used.  The paper reports a factor of ≈2 overall.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mxq_bench::{engine_with_xmark, run_query, xmark_xml, SMALL_FACTOR};
+use mxq_xmark::queries::QUERY_IDS;
+use mxq_xquery::ExecConfig;
+
+fn bench(c: &mut Criterion) {
+    let xml = xmark_xml(SMALL_FACTOR);
+    let mut group = c.benchmark_group("fig14_sort_reduction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, config) in [
+        ("order-preserving", ExecConfig::default()),
+        (
+            "non-order-preserving",
+            ExecConfig {
+                order_aware: false,
+                ..ExecConfig::default()
+            },
+        ),
+    ] {
+        let mut engine = engine_with_xmark(&xml, config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for id in QUERY_IDS {
+                    total += run_query(&mut engine, id);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 15 — scalability with respect to document size.
+//!
+//! The 20 XMark queries at three scale factors a decade apart.  The paper's
+//! claim: execution time grows linearly with document size for all queries
+//! except Q11/Q12 (whose theta-join result itself grows quadratically), and
+//! sub-linearly for the index-assisted Q6/Q7/Q15/Q16.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mxq_bench::{engine_with_xmark, run_query, xmark_xml};
+use mxq_xmark::queries::QUERY_IDS;
+use mxq_xquery::ExecConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_scalability");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for factor in [0.0005, 0.001, 0.002] {
+        let xml = xmark_xml(factor);
+        let mut engine = engine_with_xmark(&xml, ExecConfig::default());
+        group.bench_with_input(BenchmarkId::new("all_queries", factor), &factor, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for id in QUERY_IDS {
+                    total += run_query(&mut engine, id);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

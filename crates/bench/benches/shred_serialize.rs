@@ -1,0 +1,31 @@
+//! Section 6, "Shredding and Serialization": document loading and
+//! serialization scale linearly with document size because both are purely
+//! sequential passes over the pre|size|level table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxq_bench::xmark_xml;
+use mxq_xmldb::{serialize_document, shred, ShredOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shred_serialize");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for factor in [0.001, 0.002, 0.004] {
+        let xml = xmark_xml(factor);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("shred", factor), &xml, |b, xml| {
+            b.iter(|| shred("auction.xml", xml, &ShredOptions::default()).unwrap())
+        });
+        let doc = shred("auction.xml", &xml, &ShredOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", factor), &doc, |b, doc| {
+            b.iter(|| serialize_document(doc).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

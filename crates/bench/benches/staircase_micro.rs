@@ -1,0 +1,63 @@
+//! Figures 1–3 / Section 3 micro-benchmark: staircase join work on a single
+//! axis step, iterative vs loop-lifted, for growing numbers of iterations.
+//!
+//! The loop-lifted variant performs one sequential pass regardless of the
+//! number of iterations; the iterative variant rescans the document once per
+//! iteration, so its cost grows linearly with the iteration count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mxq_bench::xmark_xml;
+use mxq_staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats};
+use mxq_xmldb::{shred, ShredOptions};
+
+fn bench(c: &mut Criterion) {
+    let xml = xmark_xml(0.002);
+    let doc = shred("auction.xml", &xml, &ShredOptions::default()).unwrap();
+    // context: every open_auction element, spread over a growing number of iterations
+    let auctions: Vec<u32> = doc.elements_named("open_auction").to_vec();
+    let mut group = c.benchmark_group("staircase_micro");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &iterations in &[1usize, 8, 64] {
+        let ctx: Vec<(i64, u32)> = auctions
+            .iter()
+            .enumerate()
+            .map(|(i, &pre)| ((i % iterations) as i64 + 1, pre))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("loop-lifted descendant", iterations),
+            &ctx,
+            |b, ctx| {
+                b.iter(|| {
+                    let mut stats = ScanStats::default();
+                    looplifted_step(&doc, ctx, Axis::Descendant, &NodeTest::AnyKind, &mut stats).len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("iterative descendant", iterations),
+            &ctx,
+            |b, ctx| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    let mut stats = ScanStats::default();
+                    for it in 1..=iterations as i64 {
+                        let c: Vec<u32> =
+                            ctx.iter().filter(|&&(i, _)| i == it).map(|&(_, p)| p).collect();
+                        total +=
+                            staircase_step(&doc, &c, Axis::Descendant, &NodeTest::AnyKind, &mut stats)
+                                .len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation (Section 6) has one bench
+//! target in `benches/`; this library provides the common set-up: generating
+//! an XMark document at a given scale factor, loading it into an engine with
+//! a given [`ExecConfig`], and running one query.
+//!
+//! The scale factors used here are laptop-scale (see DESIGN.md §3): the
+//! paper's claims that these benches reproduce are about *relative* shape
+//! (speedups, crossovers, scaling exponents), which are visible at these
+//! sizes.
+
+use mxq_xmark::gen::{generate_xml, GenParams};
+use mxq_xmark::naive::NaiveInterpreter;
+use mxq_xmark::queries::query_text;
+use mxq_xmldb::DocStore;
+use mxq_xquery::{ExecConfig, XQueryEngine};
+
+/// Default scale factor for single-document benches (≈0.1 MB of XML).
+pub const SMALL_FACTOR: f64 = 0.001;
+
+/// Generate the XMark XML text at a scale factor (deterministic).
+pub fn xmark_xml(factor: f64) -> String {
+    generate_xml(&GenParams::with_factor(factor))
+}
+
+/// Build an engine with the given config and a loaded XMark document.
+pub fn engine_with_xmark(xml: &str, config: ExecConfig) -> XQueryEngine {
+    let mut engine = XQueryEngine::with_config(config);
+    engine
+        .load_document("auction.xml", xml)
+        .expect("generated XMark document must load");
+    engine
+}
+
+/// Run one XMark query on an engine, resetting the transient container so
+/// repeated runs do not accumulate constructed nodes.
+pub fn run_query(engine: &mut XQueryEngine, id: usize) -> usize {
+    engine.reset_transient();
+    let result = engine
+        .execute(query_text(id))
+        .unwrap_or_else(|e| panic!("XMark Q{id} failed: {e}"));
+    result.len()
+}
+
+/// Run one XMark query through the naive DOM-walking interpreter.
+pub fn run_query_naive(xml: &str, id: usize) -> usize {
+    let mut store = DocStore::new();
+    store.load_xml("auction.xml", xml).expect("load");
+    let mut naive = NaiveInterpreter::new(&mut store);
+    naive
+        .run(query_text(id))
+        .unwrap_or_else(|e| panic!("naive XMark Q{id} failed: {e}"))
+        .len()
+}
+
+/// The five staircase-join configurations of Figure 12, in the paper's order.
+pub fn fig12_configs() -> Vec<(&'static str, ExecConfig)> {
+    let base = ExecConfig {
+        nametest_pushdown: false,
+        ..ExecConfig::default()
+    };
+    vec![
+        (
+            "iterative child, iterative descendant",
+            ExecConfig {
+                loop_lifted_child: false,
+                loop_lifted_descendant: false,
+                ..base
+            },
+        ),
+        (
+            "iterative child, loop-lifted descendant",
+            ExecConfig {
+                loop_lifted_child: false,
+                loop_lifted_descendant: true,
+                ..base
+            },
+        ),
+        (
+            "loop-lifted child, iterative descendant",
+            ExecConfig {
+                loop_lifted_child: true,
+                loop_lifted_descendant: false,
+                ..base
+            },
+        ),
+        (
+            "loop-lifted child, loop-lifted descendant",
+            ExecConfig {
+                loop_lifted_child: true,
+                loop_lifted_descendant: true,
+                ..base
+            },
+        ),
+        (
+            "loop-lifted child, loop-lifted descendant, nametest",
+            ExecConfig {
+                loop_lifted_child: true,
+                loop_lifted_descendant: true,
+                nametest_pushdown: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let xml = xmark_xml(0.0005);
+        let mut e = engine_with_xmark(&xml, ExecConfig::default());
+        assert!(run_query(&mut e, 1) <= 1);
+        assert!(run_query(&mut e, 6) >= 1);
+        assert_eq!(fig12_configs().len(), 5);
+    }
+}

@@ -1,0 +1,561 @@
+//! The relational algebra targeted by the XQuery compiler.
+//!
+//! Every operator consumes and produces *sequence tables* with the pervasive
+//! `iter|pos|item` schema of Section 2.1 (loop relations are unary `iter`
+//! tables, nest maps carry `outer|inner|pos|item`).  The operator set mirrors
+//! the logical algebra of the paper — σ, π, ⋈, ×, \, ∪̇, the row-numbering
+//! operator ρ, aggregates — but the variants are specialised to the plan
+//! shapes the loop-lifting compiler emits, which is exactly the property the
+//! peephole optimizer of Section 4.1 exploits.
+//!
+//! Plans are DAGs: sub-plans are shared via [`PlanRef`] (reference counting),
+//! and the executor memoises evaluated nodes by plan id, mirroring the
+//! materialisation of intermediate results in MonetDB/XQuery.
+
+use std::rc::Rc;
+
+use mxq_engine::agg::AggFunc;
+use mxq_engine::{CmpOp, Item};
+use mxq_staircase::{Axis, NodeTest};
+
+use crate::ast::ArithOp;
+
+/// A reference-counted plan node.
+pub type PlanRef = Rc<Plan>;
+
+/// Column properties inferred at plan-construction time and exploited by the
+/// executor when the order-aware mode is enabled (Section 4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Props {
+    /// The output is sorted on `[iter, pos]` (the `ord` property).
+    pub ord_iter_pos: bool,
+    /// Within every `iter` group the `pos` values are ascending even if the
+    /// groups are interleaved (the `grpord` property).
+    pub grpord_pos: bool,
+    /// The `iter` column is densely numbered `1..n` (the `dense` property).
+    pub dense_iter: bool,
+    /// The `item` column holds nodes in document order within each iteration.
+    pub item_doc_order: bool,
+}
+
+/// A plan node: a unique id (for memoisation), the operator, and the inferred
+/// column properties.
+#[derive(Debug)]
+pub struct Plan {
+    /// Unique identifier within one compilation.
+    pub id: usize,
+    /// The operator.
+    pub op: Op,
+    /// Inferred column properties.
+    pub props: Props,
+}
+
+/// String functions supported by [`Op::StringFn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrFnKind {
+    /// `fn:contains(a, b)`.
+    Contains,
+    /// `fn:starts-with(a, b)`.
+    StartsWith,
+    /// `fn:ends-with(a, b)`.
+    EndsWith,
+    /// `fn:concat(a, b, …)`.
+    Concat,
+    /// `fn:string-length(a)`.
+    StringLength,
+    /// `fn:substring(a, start[, len])`.
+    Substring,
+    /// `fn:string-join(seq, sep)`.
+    StringJoin,
+    /// `fn:upper-case(a)`.
+    UpperCase,
+    /// `fn:lower-case(a)`.
+    LowerCase,
+    /// `fn:normalize-space(a)`.
+    NormalizeSpace,
+    /// `fn:name(node)` — element name.
+    NodeName,
+    /// `fn:translate(a, from, to)`.
+    Translate,
+}
+
+/// Numeric single-argument functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumFnKind {
+    /// `fn:round`.
+    Round,
+    /// `fn:floor`.
+    Floor,
+    /// `fn:ceiling`.
+    Ceiling,
+    /// `fn:abs`.
+    Abs,
+}
+
+/// Positional predicate kinds (`[3]`, `[last()]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosFilterKind {
+    /// Keep the item whose position equals the given constant.
+    Eq(i64),
+    /// Keep the last item of every iteration.
+    Last,
+}
+
+/// The algebra operators.
+#[derive(Debug)]
+pub enum Op {
+    /// The outermost loop relation: a single iteration (`iter = [1]`).
+    LoopOne,
+    /// A constant sequence, loop-lifted: for every iteration of `loop_`, the
+    /// same literal items at positions `1..len`.
+    ConstSeq {
+        /// The loop relation to lift over.
+        loop_: PlanRef,
+        /// The literal items.
+        items: Vec<Item>,
+    },
+    /// The root node of a loaded document, loop-lifted over `loop_`.
+    DocRoot {
+        /// The loop relation.
+        loop_: PlanRef,
+        /// Document name as passed to `fn:doc`.
+        name: String,
+    },
+    /// ρ: turn a sequence into a *nest map* describing one new inner
+    /// iteration per input tuple.  Output columns `outer|inner|pos|item`
+    /// where `inner` is densely numbered in `[iter, pos]` order.
+    NestFromSeq {
+        /// The sequence being iterated by a `for` clause.
+        seq: PlanRef,
+    },
+    /// Join-recognised nesting (Section 4.1/4.2): the `for` source is
+    /// independent of the enclosing loop and the `where` clause is a general
+    /// comparison between an outer-only and an inner-only expression.  The
+    /// nest map contains one inner iteration per *qualifying* pair of
+    /// (outer iteration, source row), computed with a join instead of a
+    /// Cartesian product.
+    NestFromJoin {
+        /// Source sequence evaluated once (in the singleton loop).
+        source: PlanRef,
+        /// The enclosing loop relation.
+        outer_loop: PlanRef,
+        /// Outer-only comparison operand, keyed by the outer `iter`.
+        left: PlanRef,
+        /// Source-only comparison operand, keyed by the source row (its `iter`
+        /// equals the source row number).
+        right: PlanRef,
+        /// The comparison operator (existential semantics).
+        op: CmpOp,
+    },
+    /// Inner loop relation of a nest map (`iter` = the `inner` column).
+    NestLoop {
+        /// The nest map.
+        nest: PlanRef,
+    },
+    /// The `for` variable of a nest map: `iter = inner`, `pos = 1`, `item`.
+    NestVar {
+        /// The nest map.
+        nest: PlanRef,
+    },
+    /// The positional (`at $i`) variable of a nest map.
+    NestVarPos {
+        /// The nest map.
+        nest: PlanRef,
+    },
+    /// Lift a sequence of the outer scope into the inner scope of `nest`
+    /// (the "loop-lifting" join over the scope map relation).
+    LiftThrough {
+        /// The outer-scope sequence.
+        seq: PlanRef,
+        /// The nest map defining the inner scope.
+        nest: PlanRef,
+    },
+    /// Map an inner-scope result back to the outer scope (the back-mapping
+    /// equi-join of Figure 5(c)), renumbering positions; an optional order
+    /// key (keyed by inner iteration) implements `order by`.
+    BackMap {
+        /// The inner-scope result.
+        body: PlanRef,
+        /// The nest map.
+        nest: PlanRef,
+        /// Optional `order by` key, one item per inner iteration.
+        order_key: Option<PlanRef>,
+        /// Descending order?
+        descending: bool,
+    },
+    /// Iterations of a (boolean, single-item) condition that are true
+    /// (`negate = false`) or absent/false (`negate = true`) — the σ/σ¬ pair
+    /// of Figure 5(b).  Output: unary `iter` table.
+    SelectIters {
+        /// The per-iteration condition.
+        cond: PlanRef,
+        /// The loop relation (needed to compute the complement).
+        loop_: PlanRef,
+        /// Return the complement?
+        negate: bool,
+    },
+    /// Keep only tuples whose `iter` appears in the given loop relation.
+    RestrictToIters {
+        /// The sequence to restrict.
+        seq: PlanRef,
+        /// The loop relation to restrict to.
+        iters: PlanRef,
+    },
+    /// Disjoint union of sequences evaluated in disjoint (or ordered)
+    /// iteration sets; positions are renumbered per iteration with the part
+    /// index as the major key (sequence construction `e1, e2`).
+    Union {
+        /// The parts, in sequence order.
+        parts: Vec<PlanRef>,
+    },
+    /// An XPath axis step evaluated with the (loop-lifted) staircase join.
+    AxisStep {
+        /// The context sequence (node items).
+        ctx: PlanRef,
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+    },
+    /// Attribute access: for each context node, the value(s) of the named
+    /// attribute (or all attributes), as untyped string items.
+    AttrStep {
+        /// The context sequence (node items).
+        ctx: PlanRef,
+        /// Attribute name; `None` selects all attributes.
+        name: Option<String>,
+    },
+    /// Binary arithmetic on per-iteration single items.
+    Arith {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        l: PlanRef,
+        /// Right operand.
+        r: PlanRef,
+    },
+    /// Unary minus.
+    Neg {
+        /// Operand.
+        e: PlanRef,
+    },
+    /// Value comparison (`eq`, `lt`, …) on per-iteration single items; also
+    /// used for node order comparisons (`<<`, `>>`, `is`).
+    ValueCmp {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand.
+        l: PlanRef,
+        /// Right operand.
+        r: PlanRef,
+    },
+    /// General comparison with existential semantics (Section 4.2): true for
+    /// an iteration iff *any* pair of items compares true.
+    GeneralCmp {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand sequence.
+        l: PlanRef,
+        /// Right operand sequence.
+        r: PlanRef,
+        /// The loop relation (iterations with empty operands yield false).
+        loop_: PlanRef,
+    },
+    /// Logical `and` / `or` of per-iteration booleans.
+    BoolAndOr {
+        /// True for `and`.
+        is_and: bool,
+        /// Left operand.
+        l: PlanRef,
+        /// Right operand.
+        r: PlanRef,
+        /// The loop relation.
+        loop_: PlanRef,
+    },
+    /// Logical negation of a per-iteration boolean (`fn:not`).
+    BoolNot {
+        /// Operand (effective boolean value is taken).
+        e: PlanRef,
+        /// The loop relation.
+        loop_: PlanRef,
+    },
+    /// Effective boolean value per iteration (`fn:exists` shape): true iff
+    /// the iteration has at least one item whose EBV is true (for node items:
+    /// non-empty).
+    Ebv {
+        /// The sequence.
+        seq: PlanRef,
+        /// The loop relation (absent iterations get `false`).
+        loop_: PlanRef,
+    },
+    /// `fn:empty`.
+    Empty {
+        /// The sequence.
+        seq: PlanRef,
+        /// The loop relation.
+        loop_: PlanRef,
+    },
+    /// Grouped aggregate (`count`, `sum`, `avg`, `min`, `max`) per iteration.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The sequence to aggregate (atomised).
+        seq: PlanRef,
+        /// The loop relation: `count`/`sum` produce 0 for empty iterations,
+        /// the others produce the empty sequence.
+        loop_: PlanRef,
+    },
+    /// Atomisation (`fn:data`): nodes are replaced by their typed value
+    /// (string value; numeric strings stay strings — casts are explicit).
+    Atomize {
+        /// The sequence.
+        seq: PlanRef,
+    },
+    /// `fn:string` of the first item (empty string for the empty sequence).
+    StringValue {
+        /// The sequence.
+        seq: PlanRef,
+        /// The loop relation.
+        loop_: PlanRef,
+    },
+    /// `fn:number` — cast to double.
+    CastNumber {
+        /// The sequence.
+        seq: PlanRef,
+    },
+    /// String functions (see [`StrFnKind`]).
+    StringFn {
+        /// Which function.
+        kind: StrFnKind,
+        /// Arguments (each a per-iteration sequence, atomised to its first item).
+        args: Vec<PlanRef>,
+        /// The loop relation.
+        loop_: PlanRef,
+    },
+    /// Numeric functions (round/floor/ceiling/abs).
+    NumFn {
+        /// Which function.
+        kind: NumFnKind,
+        /// Argument.
+        arg: PlanRef,
+    },
+    /// `fn:distinct-values` per iteration (atomised).
+    DistinctValues {
+        /// The sequence.
+        seq: PlanRef,
+    },
+    /// Sort node items into document order and remove duplicates, per
+    /// iteration (the implicit step between path steps).
+    DocOrderDistinct {
+        /// The sequence of node items.
+        seq: PlanRef,
+    },
+    /// Positional predicate (`[3]`, `[last()]`) per iteration.
+    PosFilter {
+        /// The sequence.
+        seq: PlanRef,
+        /// Which positions to keep.
+        kind: PosFilterKind,
+    },
+    /// `fn:subsequence(seq, start[, len])` with constant bounds.
+    Subsequence {
+        /// The sequence.
+        seq: PlanRef,
+        /// 1-based start position.
+        start: i64,
+        /// Optional length.
+        len: Option<i64>,
+    },
+    /// Element construction: for every iteration of `loop_`, build a new
+    /// element node in the transient container with the given (computed)
+    /// attributes and child content.
+    ElemCtor {
+        /// The loop relation (one element per iteration).
+        loop_: PlanRef,
+        /// Element name.
+        name: String,
+        /// Attributes: name and per-iteration string value.
+        attrs: Vec<(String, PlanRef)>,
+        /// Child content parts, concatenated per iteration.
+        content: Vec<PlanRef>,
+    },
+}
+
+impl Plan {
+    /// Number of operators in the plan DAG (each shared node counted once) —
+    /// the paper reports an average of 86 operators for XMark plans.
+    pub fn operator_count(self: &Rc<Self>) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        fn walk(p: &PlanRef, seen: &mut std::collections::HashSet<usize>) {
+            if !seen.insert(p.id) {
+                return;
+            }
+            for c in p.children() {
+                walk(&c, seen);
+            }
+        }
+        walk(self, &mut seen);
+        seen.len()
+    }
+
+    /// The children of this plan node (shared references).
+    pub fn children(&self) -> Vec<PlanRef> {
+        match &self.op {
+            Op::LoopOne => vec![],
+            Op::ConstSeq { loop_, .. } | Op::DocRoot { loop_, .. } => vec![loop_.clone()],
+            Op::NestFromSeq { seq } => vec![seq.clone()],
+            Op::NestFromJoin {
+                source,
+                outer_loop,
+                left,
+                right,
+                ..
+            } => vec![source.clone(), outer_loop.clone(), left.clone(), right.clone()],
+            Op::NestLoop { nest } | Op::NestVar { nest } | Op::NestVarPos { nest } => {
+                vec![nest.clone()]
+            }
+            Op::LiftThrough { seq, nest } => vec![seq.clone(), nest.clone()],
+            Op::BackMap {
+                body,
+                nest,
+                order_key,
+                ..
+            } => {
+                let mut v = vec![body.clone(), nest.clone()];
+                if let Some(k) = order_key {
+                    v.push(k.clone());
+                }
+                v
+            }
+            Op::SelectIters { cond, loop_, .. } => vec![cond.clone(), loop_.clone()],
+            Op::RestrictToIters { seq, iters } => vec![seq.clone(), iters.clone()],
+            Op::Union { parts } => parts.clone(),
+            Op::AxisStep { ctx, .. } => vec![ctx.clone()],
+            Op::AttrStep { ctx, .. } => vec![ctx.clone()],
+            Op::Arith { l, r, .. } | Op::ValueCmp { l, r, .. } => vec![l.clone(), r.clone()],
+            Op::Neg { e } => vec![e.clone()],
+            Op::GeneralCmp { l, r, loop_, .. } | Op::BoolAndOr { l, r, loop_, .. } => {
+                vec![l.clone(), r.clone(), loop_.clone()]
+            }
+            Op::BoolNot { e, loop_ } => vec![e.clone(), loop_.clone()],
+            Op::Ebv { seq, loop_ } | Op::Empty { seq, loop_ } | Op::Aggregate { seq, loop_, .. } => {
+                vec![seq.clone(), loop_.clone()]
+            }
+            Op::Atomize { seq }
+            | Op::CastNumber { seq }
+            | Op::DistinctValues { seq }
+            | Op::DocOrderDistinct { seq }
+            | Op::PosFilter { seq, .. }
+            | Op::Subsequence { seq, .. } => vec![seq.clone()],
+            Op::StringValue { seq, loop_ } => vec![seq.clone(), loop_.clone()],
+            Op::StringFn { args, loop_, .. } => {
+                let mut v = args.clone();
+                v.push(loop_.clone());
+                v
+            }
+            Op::NumFn { arg, .. } => vec![arg.clone()],
+            Op::ElemCtor {
+                loop_,
+                attrs,
+                content,
+                ..
+            } => {
+                let mut v = vec![loop_.clone()];
+                v.extend(attrs.iter().map(|(_, p)| p.clone()));
+                v.extend(content.iter().cloned());
+                v
+            }
+        }
+    }
+
+    /// Short operator name for debug dumps and plan statistics.
+    pub fn op_name(&self) -> &'static str {
+        match &self.op {
+            Op::LoopOne => "loop",
+            Op::ConstSeq { .. } => "const",
+            Op::DocRoot { .. } => "doc",
+            Op::NestFromSeq { .. } => "nest(ρ)",
+            Op::NestFromJoin { .. } => "nest(⋈)",
+            Op::NestLoop { .. } => "nest-loop",
+            Op::NestVar { .. } => "nest-var",
+            Op::NestVarPos { .. } => "nest-pos",
+            Op::LiftThrough { .. } => "lift(⋈)",
+            Op::BackMap { .. } => "backmap(⋈ρ)",
+            Op::SelectIters { .. } => "σ-iters",
+            Op::RestrictToIters { .. } => "⋉",
+            Op::Union { .. } => "∪̇",
+            Op::AxisStep { .. } => "scj",
+            Op::AttrStep { .. } => "attr",
+            Op::Arith { .. } => "arith",
+            Op::Neg { .. } => "neg",
+            Op::ValueCmp { .. } => "cmp",
+            Op::GeneralCmp { .. } => "cmp∃",
+            Op::BoolAndOr { .. } => "bool",
+            Op::BoolNot { .. } => "not",
+            Op::Ebv { .. } => "ebv",
+            Op::Empty { .. } => "empty",
+            Op::Aggregate { .. } => "agg",
+            Op::Atomize { .. } => "data",
+            Op::StringValue { .. } => "string",
+            Op::CastNumber { .. } => "number",
+            Op::StringFn { .. } => "strfn",
+            Op::NumFn { .. } => "numfn",
+            Op::DistinctValues { .. } => "distinct",
+            Op::DocOrderDistinct { .. } => "docorder-δ",
+            Op::PosFilter { .. } => "pos-σ",
+            Op::Subsequence { .. } => "subseq",
+            Op::ElemCtor { .. } => "elem",
+        }
+    }
+
+    /// Render the DAG as an indented tree (shared nodes are expanded once and
+    /// referenced by id afterwards) — useful for `EXPLAIN`-style output.
+    pub fn explain(self: &Rc<Self>) -> String {
+        let mut out = String::new();
+        let mut seen = std::collections::HashSet::new();
+        fn walk(p: &PlanRef, depth: usize, seen: &mut std::collections::HashSet<usize>, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            if !seen.insert(p.id) {
+                out.push_str(&format!("[{}] {} (shared)\n", p.id, p.op_name()));
+                return;
+            }
+            out.push_str(&format!("[{}] {}\n", p.id, p.op_name()));
+            for c in p.children() {
+                walk(&c, depth + 1, seen, out);
+            }
+        }
+        walk(self, 0, &mut seen, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: usize, op: Op) -> PlanRef {
+        Rc::new(Plan {
+            id,
+            op,
+            props: Props::default(),
+        })
+    }
+
+    #[test]
+    fn operator_count_counts_shared_nodes_once() {
+        let loop_ = mk(0, Op::LoopOne);
+        let a = mk(1, Op::ConstSeq { loop_: loop_.clone(), items: vec![Item::Int(1)] });
+        let b = mk(2, Op::ConstSeq { loop_: loop_.clone(), items: vec![Item::Int(2)] });
+        let top = mk(3, Op::Union { parts: vec![a, b] });
+        assert_eq!(top.operator_count(), 4);
+    }
+
+    #[test]
+    fn explain_mentions_operators() {
+        let loop_ = mk(0, Op::LoopOne);
+        let c = mk(1, Op::ConstSeq { loop_, items: vec![Item::Int(1)] });
+        let s = c.explain();
+        assert!(s.contains("const"));
+        assert!(s.contains("loop"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Abstract syntax of the XQuery subset accepted by the compiler.
+//!
+//! The subset is the language exercised by the XMark benchmark (Q1–Q20) plus
+//! the usual small extras: FLWOR expressions with multiple `for`/`let`
+//! clauses, `where`, a single `order by` key and positional (`at`) variables;
+//! path expressions over all XPath axes with name/kind tests and predicates
+//! (boolean and positional); direct element constructors with enclosed
+//! expressions; arithmetic, value and general comparisons; node order
+//! comparison (`<<`, `>>`); quantified expressions; conditional expressions;
+//! the built-in function library of [`crate::functions`]; and user-defined
+//! functions declared in the query prolog (expanded inline).
+
+use std::fmt;
+
+use mxq_staircase::{Axis, NodeTest};
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `xs:integer` literal.
+    Integer(i64),
+    /// `xs:decimal` / `xs:double` literal.
+    Double(f64),
+    /// String literal.
+    String(String),
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+/// Comparison operators as written in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompKind {
+    /// General comparisons `=`, `!=`, `<`, `<=`, `>`, `>=` (existential).
+    General(mxq_engine::CmpOp),
+    /// Value comparisons `eq`, `ne`, `lt`, `le`, `gt`, `ge`.
+    Value(mxq_engine::CmpOp),
+    /// Node order `<<` / `>>` and identity `is`.
+    NodeBefore,
+    /// `>>`
+    NodeAfter,
+    /// `is`
+    NodeIs,
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates applied to the step result, in order.
+    pub predicates: Vec<Expr>,
+}
+
+/// One clause of a FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $var [at $pos] in expr`
+    For {
+        /// Bound variable name (without `$`).
+        var: String,
+        /// Optional positional variable.
+        at: Option<String>,
+        /// The binding sequence.
+        source: Expr,
+    },
+    /// `let $var := expr`
+    Let {
+        /// Bound variable name (without `$`).
+        var: String,
+        /// The bound expression.
+        value: Expr,
+    },
+}
+
+/// An `order by` specification (single key supported).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// The key expression (evaluated once per tuple of the FLWOR stream).
+    pub key: Box<Expr>,
+    /// Descending order?
+    pub descending: bool,
+}
+
+/// Attribute of a direct element constructor: a list of fixed and computed
+/// parts (the computed parts are enclosed expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    /// Literal text.
+    Text(String),
+    /// `{ expr }`.
+    Expr(Expr),
+}
+
+/// Content item of a direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Literal text between tags.
+    Text(String),
+    /// An enclosed expression `{ expr }`.
+    Expr(Expr),
+    /// A nested direct constructor.
+    Element(Box<ElementCtor>),
+}
+
+/// A direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementCtor {
+    /// Element name.
+    pub name: String,
+    /// Attributes (name, value template).
+    pub attributes: Vec<(String, Vec<AttrPart>)>,
+    /// Children content.
+    pub content: Vec<Content>,
+}
+
+/// An XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Literal(Literal),
+    /// The empty sequence `()`.
+    Empty,
+    /// A variable reference `$name`.
+    Var(String),
+    /// A comma sequence `(e1, e2, …)`.
+    Sequence(Vec<Expr>),
+    /// FLWOR expression.
+    Flwor {
+        /// for/let clauses in source order.
+        clauses: Vec<Clause>,
+        /// Optional where clause.
+        where_: Option<Box<Expr>>,
+        /// Optional order-by clause.
+        order_by: Option<OrderSpec>,
+        /// The return expression.
+        ret: Box<Expr>,
+    },
+    /// `if (cond) then e1 else e2`.
+    If {
+        /// Condition (effective boolean value).
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+    /// `some/every $v in e satisfies e`.
+    Quantified {
+        /// True for `some`, false for `every`.
+        some: bool,
+        /// Bound variable.
+        var: String,
+        /// Binding sequence.
+        source: Box<Expr>,
+        /// The condition.
+        satisfies: Box<Expr>,
+    },
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Comparison (general, value or node order).
+    Comparison {
+        /// Kind of comparison.
+        kind: CompKind,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// `and` / `or`.
+    Logical {
+        /// True for `and`, false for `or`.
+        is_and: bool,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// A path expression: steps applied to a start expression.  A `start` of
+    /// `None` denotes the root of the context document (`/step/…`).
+    Path {
+        /// The expression producing the initial context sequence.
+        start: Option<Box<Expr>>,
+        /// The location steps.
+        steps: Vec<Step>,
+    },
+    /// Function call (built-in or user defined, resolved during compilation).
+    FunCall {
+        /// Function name (prefix stripped: `fn:count` → `count`).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Direct element constructor.
+    Element(ElementCtor),
+}
+
+impl Expr {
+    /// Convenience constructor for a string literal.
+    pub fn string(s: impl Into<String>) -> Expr {
+        Expr::Literal(Literal::String(s.into()))
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn integer(i: i64) -> Expr {
+        Expr::Literal(Literal::Integer(i))
+    }
+
+    /// Collect the free variables referenced by this expression (used by the
+    /// `indep` analysis of the join recognition, Section 4.1).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !bound.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Literal(_) | Expr::Empty => {}
+            Expr::Sequence(es) => es.iter().for_each(|e| e.collect_free(bound, out)),
+            Expr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                ret,
+            } => {
+                let depth = bound.len();
+                for c in clauses {
+                    match c {
+                        Clause::For { var, at, source } => {
+                            source.collect_free(bound, out);
+                            bound.push(var.clone());
+                            if let Some(a) = at {
+                                bound.push(a.clone());
+                            }
+                        }
+                        Clause::Let { var, value } => {
+                            value.collect_free(bound, out);
+                            bound.push(var.clone());
+                        }
+                    }
+                }
+                if let Some(w) = where_ {
+                    w.collect_free(bound, out);
+                }
+                if let Some(o) = order_by {
+                    o.key.collect_free(bound, out);
+                }
+                ret.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+            Expr::If { cond, then, els } => {
+                cond.collect_free(bound, out);
+                then.collect_free(bound, out);
+                els.collect_free(bound, out);
+            }
+            Expr::Quantified {
+                var,
+                source,
+                satisfies,
+                ..
+            } => {
+                source.collect_free(bound, out);
+                bound.push(var.clone());
+                satisfies.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Arith { l, r, .. } | Expr::Comparison { l, r, .. } | Expr::Logical { l, r, .. } => {
+                l.collect_free(bound, out);
+                r.collect_free(bound, out);
+            }
+            Expr::Neg(e) => e.collect_free(bound, out),
+            Expr::Path { start, steps } => {
+                if let Some(s) = start {
+                    s.collect_free(bound, out);
+                }
+                for st in steps {
+                    for p in &st.predicates {
+                        p.collect_free(bound, out);
+                    }
+                }
+            }
+            Expr::FunCall { args, .. } => args.iter().for_each(|a| a.collect_free(bound, out)),
+            Expr::Element(e) => e.collect_free(bound, out),
+        }
+    }
+}
+
+impl ElementCtor {
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        for (_, parts) in &self.attributes {
+            for p in parts {
+                if let AttrPart::Expr(e) = p {
+                    e.collect_free(bound, out);
+                }
+            }
+        }
+        for c in &self.content {
+            match c {
+                Content::Text(_) => {}
+                Content::Expr(e) => e.collect_free(bound, out),
+                Content::Element(e) => e.collect_free(bound, out),
+            }
+        }
+    }
+}
+
+/// A user-defined function declared in the query prolog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name without the `local:` prefix.
+    pub name: String,
+    /// Parameter names (without `$`).
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Expr,
+}
+
+/// A parsed query: prolog declarations plus the main expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// User-defined functions.
+    pub functions: Vec<FunctionDecl>,
+    /// Global variable declarations (`declare variable $x := expr;`).
+    pub variables: Vec<(String, Expr)>,
+    /// The query body.
+    pub body: Expr,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Integer(i) => write!(f, "{i}"),
+            Literal::Double(d) => write!(f, "{d}"),
+            Literal::String(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respect_binders() {
+        // for $x in $src return ($x, $y)
+        let e = Expr::Flwor {
+            clauses: vec![Clause::For {
+                var: "x".into(),
+                at: None,
+                source: Expr::Var("src".into()),
+            }],
+            where_: None,
+            order_by: None,
+            ret: Box::new(Expr::Sequence(vec![Expr::Var("x".into()), Expr::Var("y".into())])),
+        };
+        assert_eq!(e.free_vars(), vec!["src".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_path_predicates() {
+        let e = Expr::Path {
+            start: Some(Box::new(Expr::Var("doc".into()))),
+            steps: vec![Step {
+                axis: Axis::Child,
+                test: NodeTest::named("item"),
+                predicates: vec![Expr::Var("p".into())],
+            }],
+        };
+        assert_eq!(e.free_vars(), vec!["doc".to_string(), "p".to_string()]);
+    }
+}

@@ -1,0 +1,1200 @@
+//! The plan executor: evaluates the relational algebra DAG against the
+//! column-store kernel and the document store.
+//!
+//! All intermediate results are materialised `iter|pos|item` tables (exactly
+//! like MonetDB/XQuery materialises its temporary BATs); shared sub-plans are
+//! evaluated once and memoised by plan id.  The order-aware mode (Section
+//! 4.1) decides between the sort-based and the streaming (hash-based) row
+//! numbering and prunes sorts whose order is already established; the
+//! staircase-join switches (Section 3) pick between the loop-lifted and the
+//! iterative axis step and enable the nametest pushdown.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mxq_engine::agg::{aggregate_grouped, aggregate_hash, AggFunc};
+use mxq_engine::join::{hash_join_items, theta_join_nested};
+use mxq_engine::rank::row_number_streaming;
+use mxq_engine::sort::{sort_permutation, SortOrder};
+use mxq_engine::value::format_double;
+use mxq_engine::{CmpOp, Column, EngineError, Item, NodeId, Table};
+use mxq_staircase::{looplifted_step, looplifted_step_candidates, staircase_step, Axis, NodeTest, ScanStats};
+use mxq_xmldb::{DocStore, DocumentBuilder, TRANSIENT_FRAG};
+
+use crate::algebra::{NumFnKind, Op, PlanRef, PosFilterKind, StrFnKind};
+use crate::ast::ArithOp;
+use crate::config::{ExecConfig, ExecStats};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An engine-level failure (type/length mismatch).
+    Engine(EngineError),
+    /// `fn:doc` referenced a document that is not loaded.
+    UnknownDocument(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Engine(e) => write!(f, "engine error: {e}"),
+            ExecError::UnknownDocument(d) => write!(f, "document not loaded: {d}"),
+            ExecError::Internal(m) => write!(f, "internal executor error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EngineError> for ExecError {
+    fn from(e: EngineError) -> Self {
+        ExecError::Engine(e)
+    }
+}
+
+type EResult<T> = Result<T, ExecError>;
+
+/// The executor.  Holds the document store (mutably, for element
+/// construction), the configuration and the runtime statistics.
+pub struct Executor<'a> {
+    store: &'a mut DocStore,
+    config: ExecConfig,
+    /// Statistics accumulated over all [`Executor::eval`] calls.
+    pub stats: ExecStats,
+    memo: HashMap<usize, Table>,
+}
+
+// -- small helpers over sequence tables --------------------------------------
+
+fn seq_table(iter: Vec<i64>, pos: Vec<i64>, items: Vec<Item>) -> Table {
+    Table::from_columns(vec![
+        ("iter", Column::Int(iter)),
+        ("pos", Column::Int(pos)),
+        ("item", Column::from_items(items)),
+    ])
+    .expect("sequence table construction")
+}
+
+fn iter_col(t: &Table) -> EResult<Vec<i64>> {
+    Ok(t.column("iter")?.as_int()?.to_vec())
+}
+
+fn items_col(t: &Table) -> EResult<Vec<Item>> {
+    Ok(t.column("item")?.to_items())
+}
+
+fn pos_col(t: &Table) -> EResult<Vec<i64>> {
+    Ok(t.column("pos")?.as_int()?.to_vec())
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor over the given store.
+    pub fn new(store: &'a mut DocStore, config: ExecConfig) -> Self {
+        Executor {
+            store,
+            config,
+            stats: ExecStats::default(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Evaluate a plan, returning its `iter|pos|item` table.
+    pub fn eval(&mut self, plan: &PlanRef) -> EResult<Table> {
+        if let Some(t) = self.memo.get(&plan.id) {
+            return Ok(t.clone());
+        }
+        let t = self.eval_op(plan)?;
+        self.stats.ops_evaluated += 1;
+        self.stats.record_table(t.nrows());
+        self.memo.insert(plan.id, t.clone());
+        Ok(t)
+    }
+
+    /// Evaluate and extract the result items of the outermost iteration in
+    /// sequence order.
+    pub fn eval_result(&mut self, plan: &PlanRef) -> EResult<Vec<Item>> {
+        let t = self.eval(plan)?;
+        let sorted = self.sorted_seq(&t, plan)?;
+        items_col(&sorted)
+    }
+
+    /// Ensure a sequence table is sorted by `[iter, pos]`, consulting the
+    /// plan's order properties when the order-aware mode is on.
+    fn sorted_seq(&mut self, t: &Table, plan: &PlanRef) -> EResult<Table> {
+        if self.config.order_aware && plan.props.ord_iter_pos {
+            self.stats.sorts_avoided += 1;
+            return Ok(t.clone());
+        }
+        self.sort_by_iter_pos(t)
+    }
+
+    fn sort_by_iter_pos(&mut self, t: &Table) -> EResult<Table> {
+        self.stats.sorts += 1;
+        let keys = [
+            (t.column("iter")?, SortOrder::Asc),
+            (t.column("pos")?, SortOrder::Asc),
+        ];
+        let perm = sort_permutation(&[(keys[0].0, keys[0].1), (keys[1].0, keys[1].1)]);
+        Ok(t.gather(&perm))
+    }
+
+    /// First (lowest-pos) item of every iteration, as (iter → item).
+    fn per_iter_first(&mut self, t: &Table) -> EResult<HashMap<i64, Item>> {
+        let iters = iter_col(t)?;
+        let poss = pos_col(t)?;
+        let items = items_col(t)?;
+        let mut best: HashMap<i64, (i64, Item)> = HashMap::new();
+        for i in 0..t.nrows() {
+            match best.get(&iters[i]) {
+                Some((p, _)) if *p <= poss[i] => {}
+                _ => {
+                    best.insert(iters[i], (poss[i], items[i].clone()));
+                }
+            }
+        }
+        Ok(best.into_iter().map(|(k, (_, v))| (k, v)).collect())
+    }
+
+    /// All items of every iteration, ordered by pos, as (iter → items).
+    fn per_iter_items(&mut self, t: &Table) -> EResult<HashMap<i64, Vec<Item>>> {
+        let iters = iter_col(t)?;
+        let poss = pos_col(t)?;
+        let items = items_col(t)?;
+        let mut groups: HashMap<i64, Vec<(i64, Item)>> = HashMap::new();
+        for i in 0..t.nrows() {
+            groups.entry(iters[i]).or_default().push((poss[i], items[i].clone()));
+        }
+        Ok(groups
+            .into_iter()
+            .map(|(k, mut v)| {
+                v.sort_by_key(|(p, _)| *p);
+                (k, v.into_iter().map(|(_, it)| it).collect())
+            })
+            .collect())
+    }
+
+    fn loop_iters(&mut self, loop_: &PlanRef) -> EResult<Vec<i64>> {
+        let t = self.eval(loop_)?;
+        let mut iters = t.column("iter")?.as_int()?.to_vec();
+        if !self.config.order_aware || !loop_.props.ord_iter_pos {
+            self.stats.sorts += 1;
+            iters.sort_unstable();
+        } else {
+            self.stats.sorts_avoided += 1;
+        }
+        Ok(iters)
+    }
+
+    fn atomize_item(&self, item: &Item) -> Item {
+        match item {
+            Item::Node(n) => Item::str(self.store.string_value(*n)),
+            other => other.clone(),
+        }
+    }
+
+    fn item_string(&self, item: &Item) -> String {
+        match item {
+            Item::Node(n) => self.store.string_value(*n),
+            other => other.string_value(),
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // operator dispatch
+    // -------------------------------------------------------------------
+
+    fn eval_op(&mut self, plan: &PlanRef) -> EResult<Table> {
+        match &plan.op {
+            Op::LoopOne => Table::from_columns(vec![("iter", Column::Int(vec![1]))]).map_err(Into::into),
+            Op::ConstSeq { loop_, items } => {
+                let iters = self.loop_iters(loop_)?;
+                let mut oi = Vec::new();
+                let mut op = Vec::new();
+                let mut oit = Vec::new();
+                for it in iters {
+                    for (k, item) in items.iter().enumerate() {
+                        oi.push(it);
+                        op.push(k as i64 + 1);
+                        oit.push(item.clone());
+                    }
+                }
+                Ok(seq_table(oi, op, oit))
+            }
+            Op::DocRoot { loop_, name } => {
+                let root = self
+                    .store
+                    .document_root(name)
+                    .ok_or_else(|| ExecError::UnknownDocument(name.clone()))?;
+                let iters = self.loop_iters(loop_)?;
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], vec![Item::Node(root); n]))
+            }
+            Op::NestFromSeq { seq } => {
+                let t = self.eval(seq)?;
+                let sorted = self.sorted_seq(&t, seq)?;
+                let iters = iter_col(&sorted)?;
+                let poss = pos_col(&sorted)?;
+                let items = items_col(&sorted)?;
+                let n = sorted.nrows();
+                let inner: Vec<i64> = (1..=n as i64).collect();
+                Table::from_columns(vec![
+                    ("outer", Column::Int(iters)),
+                    ("inner", Column::Int(inner)),
+                    ("pos", Column::Int(poss)),
+                    ("item", Column::from_items(items)),
+                ])
+                .map_err(Into::into)
+            }
+            Op::NestFromJoin {
+                source,
+                outer_loop,
+                left,
+                right,
+                op,
+            } => self.eval_nest_from_join(source, outer_loop, left, right, *op),
+            Op::NestLoop { nest } => {
+                let t = self.eval(nest)?;
+                Table::from_columns(vec![("iter", t.column("inner")?.clone())]).map_err(Into::into)
+            }
+            Op::NestVar { nest } => {
+                let t = self.eval(nest)?;
+                let n = t.nrows();
+                Table::from_columns(vec![
+                    ("iter", t.column("inner")?.clone()),
+                    ("pos", Column::Int(vec![1; n])),
+                    ("item", t.column("item")?.clone()),
+                ])
+                .map_err(Into::into)
+            }
+            Op::NestVarPos { nest } => {
+                let t = self.eval(nest)?;
+                let n = t.nrows();
+                Table::from_columns(vec![
+                    ("iter", t.column("inner")?.clone()),
+                    ("pos", Column::Int(vec![1; n])),
+                    ("item", t.column("pos")?.clone()),
+                ])
+                .map_err(Into::into)
+            }
+            Op::LiftThrough { seq, nest } => self.eval_lift_through(seq, nest),
+            Op::BackMap {
+                body,
+                nest,
+                order_key,
+                descending,
+            } => self.eval_back_map(body, nest, order_key.as_ref(), *descending),
+            Op::SelectIters { cond, loop_, negate } => {
+                let c = self.eval(cond)?;
+                let firsts = self.per_iter_first(&c)?;
+                let loop_iters = self.loop_iters(loop_)?;
+                let mut out = Vec::new();
+                for it in loop_iters {
+                    let truth = firsts.get(&it).map(|v| v.effective_boolean()).unwrap_or(false);
+                    if truth != *negate {
+                        out.push(it);
+                    }
+                }
+                Table::from_columns(vec![("iter", Column::Int(out))]).map_err(Into::into)
+            }
+            Op::RestrictToIters { seq, iters } => {
+                let t = self.eval(seq)?;
+                let keep: std::collections::HashSet<i64> =
+                    self.loop_iters(iters)?.into_iter().collect();
+                let ti = iter_col(&t)?;
+                let mask: Vec<bool> = ti.iter().map(|i| keep.contains(i)).collect();
+                t.filter(&mask).map_err(Into::into)
+            }
+            Op::Union { parts } => self.eval_union(parts),
+            Op::AxisStep { ctx, axis, test } => self.eval_axis_step(ctx, *axis, test),
+            Op::AttrStep { ctx, name } => self.eval_attr_step(ctx, name.as_deref()),
+            Op::Arith { op, l, r } => self.eval_arith(*op, l, r),
+            Op::Neg { e } => {
+                let t = self.eval(e)?;
+                let items: Vec<Item> = items_col(&t)?
+                    .iter()
+                    .map(|i| Item::Dbl(-self.atomize_item(i).as_number().unwrap_or(f64::NAN)))
+                    .collect();
+                Ok(seq_table(iter_col(&t)?, pos_col(&t)?, items))
+            }
+            Op::ValueCmp { op, l, r } => {
+                let lt = self.eval(l)?;
+                let rt = self.eval(r)?;
+                let lf = self.per_iter_first(&lt)?;
+                let rf = self.per_iter_first(&rt)?;
+                let mut iters: Vec<i64> = lf.keys().filter(|k| rf.contains_key(k)).copied().collect();
+                iters.sort_unstable();
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| Item::Bool(lf[it].compare(*op, &rf[it])))
+                    .collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::GeneralCmp { op, l, r, loop_ } => {
+                let lt = self.eval(l)?;
+                let rt = self.eval(r)?;
+                let lg = self.per_iter_items(&lt)?;
+                let rg = self.per_iter_items(&rt)?;
+                let iters = self.loop_iters(loop_)?;
+                let mut out_items = Vec::with_capacity(iters.len());
+                for it in &iters {
+                    let (Some(ls), Some(rs)) = (lg.get(it), rg.get(it)) else {
+                        out_items.push(Item::Bool(false));
+                        continue;
+                    };
+                    let mut found = false;
+                    'outer: for a in ls {
+                        let a = self.atomize_item(a);
+                        for b in rs {
+                            let b = self.atomize_item(b);
+                            self.stats.join_pairs += 1;
+                            if a.compare(*op, &b) {
+                                found = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    out_items.push(Item::Bool(found));
+                }
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], out_items))
+            }
+            Op::BoolAndOr { is_and, l, r, loop_ } => {
+                let lt = self.eval(l)?;
+                let rt = self.eval(r)?;
+                let lf = self.per_iter_first(&lt)?;
+                let rf = self.per_iter_first(&rt)?;
+                let iters = self.loop_iters(loop_)?;
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| {
+                        let a = lf.get(it).map(|v| v.effective_boolean()).unwrap_or(false);
+                        let b = rf.get(it).map(|v| v.effective_boolean()).unwrap_or(false);
+                        Item::Bool(if *is_and { a && b } else { a || b })
+                    })
+                    .collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::BoolNot { e, loop_ } => {
+                let t = self.eval(e)?;
+                let groups = self.per_iter_items(&t)?;
+                let iters = self.loop_iters(loop_)?;
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| Item::Bool(!ebv_of(groups.get(it))))
+                    .collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::Ebv { seq, loop_ } => {
+                let t = self.eval(seq)?;
+                let groups = self.per_iter_items(&t)?;
+                let iters = self.loop_iters(loop_)?;
+                let items: Vec<Item> = iters.iter().map(|it| Item::Bool(ebv_of(groups.get(it)))).collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::Empty { seq, loop_ } => {
+                let t = self.eval(seq)?;
+                let groups = self.per_iter_items(&t)?;
+                let iters = self.loop_iters(loop_)?;
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| Item::Bool(groups.get(it).map(|v| v.is_empty()).unwrap_or(true)))
+                    .collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::Aggregate { func, seq, loop_ } => self.eval_aggregate(*func, seq, loop_),
+            Op::Atomize { seq } => {
+                let t = self.eval(seq)?;
+                let items: Vec<Item> = items_col(&t)?.iter().map(|i| self.atomize_item(i)).collect();
+                Ok(seq_table(iter_col(&t)?, pos_col(&t)?, items))
+            }
+            Op::StringValue { seq, loop_ } => {
+                let t = self.eval(seq)?;
+                let firsts = self.per_iter_first(&t)?;
+                let iters = self.loop_iters(loop_)?;
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| {
+                        Item::str(
+                            firsts
+                                .get(it)
+                                .map(|v| self.item_string(v))
+                                .unwrap_or_default(),
+                        )
+                    })
+                    .collect();
+                let n = iters.len();
+                Ok(seq_table(iters, vec![1; n], items))
+            }
+            Op::CastNumber { seq } => {
+                let t = self.eval(seq)?;
+                let items: Vec<Item> = items_col(&t)?
+                    .iter()
+                    .map(|i| Item::Dbl(self.atomize_item(i).as_number().unwrap_or(f64::NAN)))
+                    .collect();
+                Ok(seq_table(iter_col(&t)?, pos_col(&t)?, items))
+            }
+            Op::StringFn { kind, args, loop_ } => self.eval_string_fn(*kind, args, loop_),
+            Op::NumFn { kind, arg } => {
+                let t = self.eval(arg)?;
+                let items: Vec<Item> = items_col(&t)?
+                    .iter()
+                    .map(|i| {
+                        let v = self.atomize_item(i).as_number().unwrap_or(f64::NAN);
+                        let r = match kind {
+                            NumFnKind::Round => v.round(),
+                            NumFnKind::Floor => v.floor(),
+                            NumFnKind::Ceiling => v.ceil(),
+                            NumFnKind::Abs => v.abs(),
+                        };
+                        Item::Dbl(r)
+                    })
+                    .collect();
+                Ok(seq_table(iter_col(&t)?, pos_col(&t)?, items))
+            }
+            Op::DistinctValues { seq } => {
+                let t = self.eval(seq)?;
+                let sorted = self.sorted_seq(&t, seq)?;
+                let iters = iter_col(&sorted)?;
+                let items = items_col(&sorted)?;
+                let mut seen: std::collections::HashSet<(i64, String)> = std::collections::HashSet::new();
+                let (mut oi, mut op, mut oit) = (Vec::new(), Vec::new(), Vec::new());
+                let mut per_iter_count: HashMap<i64, i64> = HashMap::new();
+                for i in 0..sorted.nrows() {
+                    let key = (iters[i], self.item_string(&items[i]));
+                    if seen.insert(key) {
+                        let c = per_iter_count.entry(iters[i]).or_insert(0);
+                        *c += 1;
+                        oi.push(iters[i]);
+                        op.push(*c);
+                        oit.push(self.atomize_item(&items[i]));
+                    }
+                }
+                Ok(seq_table(oi, op, oit))
+            }
+            Op::DocOrderDistinct { seq } => {
+                let t = self.eval(seq)?;
+                let groups = self.per_iter_items(&t)?;
+                let mut iters: Vec<i64> = groups.keys().copied().collect();
+                iters.sort_unstable();
+                let (mut oi, mut op, mut oit) = (Vec::new(), Vec::new(), Vec::new());
+                for it in iters {
+                    let mut nodes: Vec<Item> = groups[&it].clone();
+                    nodes.sort_by(|a, b| a.total_cmp(b));
+                    nodes.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+                    for (k, item) in nodes.into_iter().enumerate() {
+                        oi.push(it);
+                        op.push(k as i64 + 1);
+                        oit.push(item);
+                    }
+                }
+                self.stats.sorts += 1;
+                Ok(seq_table(oi, op, oit))
+            }
+            Op::PosFilter { seq, kind } => {
+                let t = self.eval(seq)?;
+                let iters = iter_col(&t)?;
+                let poss = pos_col(&t)?;
+                let mask: Vec<bool> = match kind {
+                    PosFilterKind::Eq(n) => poss.iter().map(|p| p == n).collect(),
+                    PosFilterKind::Last => {
+                        let mut max_pos: HashMap<i64, i64> = HashMap::new();
+                        for i in 0..t.nrows() {
+                            let e = max_pos.entry(iters[i]).or_insert(i64::MIN);
+                            *e = (*e).max(poss[i]);
+                        }
+                        (0..t.nrows()).map(|i| poss[i] == max_pos[&iters[i]]).collect()
+                    }
+                };
+                let filtered = t.filter(&mask)?;
+                self.renumber_pos(&filtered)
+            }
+            Op::Subsequence { seq, start, len } => {
+                let t = self.eval(seq)?;
+                let poss = pos_col(&t)?;
+                let end = len.map(|l| start + l);
+                let mask: Vec<bool> = poss
+                    .iter()
+                    .map(|p| *p >= *start && end.map(|e| *p < e).unwrap_or(true))
+                    .collect();
+                let filtered = t.filter(&mask)?;
+                self.renumber_pos(&filtered)
+            }
+            Op::ElemCtor {
+                loop_,
+                name,
+                attrs,
+                content,
+            } => self.eval_elem_ctor(loop_, name, attrs, content),
+        }
+    }
+
+    fn renumber_pos(&mut self, t: &Table) -> EResult<Table> {
+        let iters = iter_col(t)?;
+        let new_pos = if self.config.order_aware {
+            // grpord: the rows of each iteration are already in pos order
+            row_number_streaming(&iters)
+        } else {
+            self.stats.sorts += 1;
+            let keys = [
+                (t.column("iter")?, SortOrder::Asc),
+                (t.column("pos")?, SortOrder::Asc),
+            ];
+            let perm = sort_permutation(&keys.iter().map(|(c, o)| (*c, *o)).collect::<Vec<_>>());
+            let sorted = t.gather(&perm);
+            let iters_sorted = iter_col(&sorted)?;
+            let pos = row_number_streaming(&iters_sorted);
+            let mut out = sorted;
+            out.add_column("pos", Column::Int(pos))?;
+            return Ok(out);
+        };
+        let mut out = t.clone();
+        out.add_column("pos", Column::Int(new_pos))?;
+        Ok(out)
+    }
+
+    // -------------------------------------------------------------------
+    // nesting operators
+    // -------------------------------------------------------------------
+
+    fn eval_lift_through(&mut self, seq: &PlanRef, nest: &PlanRef) -> EResult<Table> {
+        let s = self.eval(seq)?;
+        let s = self.sorted_seq(&s, seq)?;
+        let n = self.eval(nest)?;
+        let s_iter = iter_col(&s)?;
+        let s_pos = pos_col(&s)?;
+        let s_items = items_col(&s)?;
+        // index: outer iter -> row range in s (s sorted by iter)
+        let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (row, it) in s_iter.iter().enumerate() {
+            index.entry(*it).or_default().push(row);
+        }
+        let n_outer = n.column("outer")?.as_int()?;
+        let n_inner = n.column("inner")?.as_int()?;
+        let (mut oi, mut op, mut oit) = (Vec::new(), Vec::new(), Vec::new());
+        for k in 0..n.nrows() {
+            if let Some(rows) = index.get(&n_outer[k]) {
+                for &r in rows {
+                    oi.push(n_inner[k]);
+                    op.push(s_pos[r]);
+                    oit.push(s_items[r].clone());
+                }
+            }
+        }
+        Ok(seq_table(oi, op, oit))
+    }
+
+    fn eval_back_map(
+        &mut self,
+        body: &PlanRef,
+        nest: &PlanRef,
+        order_key: Option<&PlanRef>,
+        descending: bool,
+    ) -> EResult<Table> {
+        let b = self.eval(body)?;
+        let n = self.eval(nest)?;
+        let n_outer = n.column("outer")?.as_int()?;
+        let n_inner = n.column("inner")?.as_int()?;
+        // inner -> (outer, rank-of-inner)
+        let mut map: HashMap<i64, i64> = HashMap::with_capacity(n.nrows());
+        for k in 0..n.nrows() {
+            map.insert(n_inner[k], n_outer[k]);
+        }
+        // optional order key per inner iteration
+        let key_map: Option<HashMap<i64, Item>> = match order_key {
+            Some(k) => {
+                let kt = self.eval(k)?;
+                Some(self.per_iter_first(&kt)?)
+            }
+            None => None,
+        };
+        let b_iter = iter_col(&b)?;
+        let b_pos = pos_col(&b)?;
+        let b_items = items_col(&b)?;
+        let mut rows: Vec<(i64, Item, i64, i64, Item)> = Vec::with_capacity(b.nrows());
+        for i in 0..b.nrows() {
+            let Some(&outer) = map.get(&b_iter[i]) else { continue };
+            let key = key_map
+                .as_ref()
+                .and_then(|m| m.get(&b_iter[i]).cloned())
+                .unwrap_or(Item::Int(0));
+            rows.push((outer, key, b_iter[i], b_pos[i], b_items[i].clone()));
+        }
+        let sorted_input = self.config.order_aware
+            && key_map.is_none()
+            && body.props.ord_iter_pos;
+        if sorted_input {
+            // inner iteration numbers are assigned in (outer, pos) order, so a
+            // body sorted on [inner, pos] maps back already sorted on outer
+            self.stats.sorts_avoided += 1;
+        } else {
+            self.stats.sorts += 1;
+            rows.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| {
+                        let k = a.1.total_cmp(&b.1);
+                        if descending {
+                            k.reverse()
+                        } else {
+                            k
+                        }
+                    })
+                    .then(a.2.cmp(&b.2))
+                    .then(a.3.cmp(&b.3))
+            });
+        }
+        let iters: Vec<i64> = rows.iter().map(|r| r.0).collect();
+        let pos = row_number_streaming(&iters);
+        let items: Vec<Item> = rows.into_iter().map(|r| r.4).collect();
+        Ok(seq_table(iters, pos, items))
+    }
+
+    fn eval_nest_from_join(
+        &mut self,
+        source: &PlanRef,
+        outer_loop: &PlanRef,
+        left: &PlanRef,
+        right: &PlanRef,
+        op: CmpOp,
+    ) -> EResult<Table> {
+        let src = self.eval(source)?;
+        let src = self.sorted_seq(&src, source)?;
+        let src_pos = pos_col(&src)?;
+        let src_items = items_col(&src)?;
+        let lt = self.eval(left)?;
+        let rt = self.eval(right)?;
+        let _ = self.loop_iters(outer_loop)?;
+
+        let l_iter = iter_col(&lt)?;
+        let l_items = items_col(&lt)?;
+        let r_iter = iter_col(&rt)?;
+        let r_items = items_col(&rt)?;
+
+        // pairs of (outer iter, source row) with existential semantics
+        let mut pairs: Vec<(i64, i64)> = Vec::new();
+        if op.is_equality() {
+            // hash join; the δ afterwards works on the [iter1, iter2]-ordered
+            // output (Section 4.2, Figure 8(a))
+            let (li, ri) = hash_join_items(
+                &Column::from_items(l_items.clone()),
+                &Column::from_items(r_items.clone()),
+            );
+            self.stats.join_pairs += li.len() as u64;
+            for (a, b) in li.into_iter().zip(ri) {
+                pairs.push((l_iter[a], r_iter[b]));
+            }
+        } else if self.config.existential_minmax {
+            // push min/max aggregates below the theta join (Figure 8(b)):
+            // for `l < r` it suffices to compare min(l) with max(r), etc.
+            let reduce = |items: &[Item], iters: &[i64], take_min: bool| -> (Vec<i64>, Vec<Item>) {
+                let mut best: HashMap<i64, Item> = HashMap::new();
+                for (it, v) in iters.iter().zip(items) {
+                    best.entry(*it)
+                        .and_modify(|cur| {
+                            let replace = if take_min {
+                                v.total_cmp(cur) == std::cmp::Ordering::Less
+                            } else {
+                                v.total_cmp(cur) == std::cmp::Ordering::Greater
+                            };
+                            if replace {
+                                *cur = v.clone();
+                            }
+                        })
+                        .or_insert_with(|| v.clone());
+                }
+                let mut keys: Vec<i64> = best.keys().copied().collect();
+                keys.sort_unstable();
+                let vals = keys.iter().map(|k| best[k].clone()).collect();
+                (keys, vals)
+            };
+            // keep the smallest left / largest right for `<`-like ops and the
+            // reverse for `>`-like ops
+            let left_min = matches!(op, CmpOp::Lt | CmpOp::Le);
+            let (lk, lv) = reduce(&l_items, &l_iter, left_min);
+            let (rk, rv) = reduce(&r_items, &r_iter, !left_min);
+            let (li, ri) = theta_join_nested(&Column::from_items(lv), &Column::from_items(rv), op);
+            self.stats.join_pairs += li.len() as u64;
+            for (a, b) in li.into_iter().zip(ri) {
+                pairs.push((lk[a], rk[b]));
+            }
+        } else {
+            // plain theta join over all item pairs followed by δ (Figure 8(a))
+            let (li, ri) = theta_join_nested(
+                &Column::from_items(l_items.clone()),
+                &Column::from_items(r_items.clone()),
+                op,
+            );
+            self.stats.join_pairs += li.len() as u64;
+            for (a, b) in li.into_iter().zip(ri) {
+                pairs.push((l_iter[a], r_iter[b]));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let (mut outer, mut inner, mut pos, mut items) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (k, (o, src_row)) in pairs.into_iter().enumerate() {
+            let idx = src_pos.iter().position(|p| *p == src_row);
+            let Some(idx) = idx else { continue };
+            outer.push(o);
+            inner.push(k as i64 + 1);
+            pos.push(src_row);
+            items.push(src_items[idx].clone());
+        }
+        Table::from_columns(vec![
+            ("outer", Column::Int(outer)),
+            ("inner", Column::Int(inner)),
+            ("pos", Column::Int(pos)),
+            ("item", Column::from_items(items)),
+        ])
+        .map_err(Into::into)
+    }
+
+    fn eval_union(&mut self, parts: &[PlanRef]) -> EResult<Table> {
+        let mut rows: Vec<(i64, i64, i64, Item)> = Vec::new();
+        for (pidx, p) in parts.iter().enumerate() {
+            let t = self.eval(p)?;
+            let iters = iter_col(&t)?;
+            let poss = pos_col(&t)?;
+            let items = items_col(&t)?;
+            for i in 0..t.nrows() {
+                rows.push((iters[i], pidx as i64, poss[i], items[i].clone()));
+            }
+        }
+        self.stats.sorts += 1;
+        rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let iters: Vec<i64> = rows.iter().map(|r| r.0).collect();
+        let pos = row_number_streaming(&iters);
+        let items: Vec<Item> = rows.into_iter().map(|r| r.3).collect();
+        Ok(seq_table(iters, pos, items))
+    }
+
+    // -------------------------------------------------------------------
+    // axis steps
+    // -------------------------------------------------------------------
+
+    fn eval_axis_step(&mut self, ctx: &PlanRef, axis: Axis, test: &NodeTest) -> EResult<Table> {
+        let t = self.eval(ctx)?;
+        let iters = iter_col(&t)?;
+        let items = items_col(&t)?;
+        // group context nodes per document container (fragment)
+        let mut per_frag: HashMap<u32, Vec<(i64, u32)>> = HashMap::new();
+        for (it, item) in iters.iter().zip(&items) {
+            if let Item::Node(n) = item {
+                per_frag.entry(n.frag).or_default().push((*it, n.pre));
+            }
+        }
+        let loop_lifted = match axis {
+            Axis::Child => self.config.loop_lifted_child,
+            Axis::Descendant | Axis::DescendantOrSelf => self.config.loop_lifted_descendant,
+            _ => true,
+        };
+        let mut out: Vec<(i64, NodeId)> = Vec::new();
+        let mut stats = ScanStats::default();
+        for (frag, mut pairs) in per_frag {
+            let doc = self.store.container(frag);
+            pairs.sort_unstable_by_key(|&(it, p)| (p, it));
+            let use_candidates = self.config.nametest_pushdown
+                && matches!(test, NodeTest::Named(_))
+                && matches!(axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf);
+            let results: Vec<(i64, u32)> = if use_candidates {
+                let candidates = match test {
+                    NodeTest::Named(name) => doc.elements_named(name).to_vec(),
+                    _ => unreachable!(),
+                };
+                looplifted_step_candidates(doc, &pairs, axis, &candidates, &mut stats)
+            } else if loop_lifted {
+                looplifted_step(doc, &pairs, axis, test, &mut stats)
+            } else {
+                // iterative: one staircase join invocation (and document scan)
+                // per iteration — the baseline of Figure 12
+                let mut by_iter: HashMap<i64, Vec<u32>> = HashMap::new();
+                for (it, p) in &pairs {
+                    by_iter.entry(*it).or_default().push(*p);
+                }
+                let mut res = Vec::new();
+                let mut its: Vec<i64> = by_iter.keys().copied().collect();
+                its.sort_unstable();
+                for it in its {
+                    for p in staircase_step(doc, &by_iter[&it], axis, test, &mut stats) {
+                        res.push((it, p));
+                    }
+                }
+                res
+            };
+            for (it, pre) in results {
+                out.push((it, NodeId::new(frag, pre)));
+            }
+        }
+        self.stats.staircase.merge(&stats);
+        // order by (iter, document order) and assign positions
+        self.stats.sorts += 1;
+        out.sort_unstable_by_key(|&(it, n)| (it, n));
+        let iters: Vec<i64> = out.iter().map(|r| r.0).collect();
+        let pos = row_number_streaming(&iters);
+        let items: Vec<Item> = out.into_iter().map(|r| Item::Node(r.1)).collect();
+        Ok(seq_table(iters, pos, items))
+    }
+
+    fn eval_attr_step(&mut self, ctx: &PlanRef, name: Option<&str>) -> EResult<Table> {
+        let t = self.eval(ctx)?;
+        let sorted = self.sorted_seq(&t, ctx)?;
+        let iters = iter_col(&sorted)?;
+        let items = items_col(&sorted)?;
+        let (mut oi, mut oit) = (Vec::new(), Vec::new());
+        for (it, item) in iters.iter().zip(&items) {
+            let Item::Node(n) = item else { continue };
+            let doc = self.store.container(n.frag);
+            match name {
+                Some(a) => {
+                    if let Some(v) = doc.attribute(n.pre, a) {
+                        oi.push(*it);
+                        oit.push(Item::str(v));
+                    }
+                }
+                None => {
+                    for attr in doc.attributes(n.pre) {
+                        oi.push(*it);
+                        oit.push(Item::str(attr.value.as_ref()));
+                    }
+                }
+            }
+        }
+        let pos = row_number_streaming(&oi);
+        Ok(seq_table(oi, pos, oit))
+    }
+
+    // -------------------------------------------------------------------
+    // scalar / aggregate operators
+    // -------------------------------------------------------------------
+
+    fn eval_arith(&mut self, op: ArithOp, l: &PlanRef, r: &PlanRef) -> EResult<Table> {
+        let lt = self.eval(l)?;
+        let rt = self.eval(r)?;
+        let lf = self.per_iter_first(&lt)?;
+        let rf = self.per_iter_first(&rt)?;
+        let mut iters: Vec<i64> = lf.keys().filter(|k| rf.contains_key(k)).copied().collect();
+        iters.sort_unstable();
+        let mut items = Vec::with_capacity(iters.len());
+        for it in &iters {
+            let a = self.atomize_item(&lf[it]).as_number().unwrap_or(f64::NAN);
+            let b = self.atomize_item(&rf[it]).as_number().unwrap_or(f64::NAN);
+            let both_int = matches!(lf[it], Item::Int(_)) && matches!(rf[it], Item::Int(_));
+            let v = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+                ArithOp::IDiv => (a / b).trunc(),
+                ArithOp::Mod => a % b,
+            };
+            let keep_int = both_int && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod);
+            items.push(if keep_int { Item::Int(v as i64) } else { Item::Dbl(v) });
+        }
+        let n = iters.len();
+        Ok(seq_table(iters, vec![1; n], items))
+    }
+
+    fn eval_aggregate(&mut self, func: AggFunc, seq: &PlanRef, loop_: &PlanRef) -> EResult<Table> {
+        let t = self.eval(seq)?;
+        let loop_iters = self.loop_iters(loop_)?;
+        let iters = iter_col(&t)?;
+        let items_column = Column::from_items(
+            items_col(&t)?
+                .iter()
+                .map(|i| self.atomize_item(i))
+                .collect(),
+        );
+        let agg = if self.config.order_aware && seq.props.grpord_pos && is_sorted(&iters) {
+            self.stats.sorts_avoided += 1;
+            aggregate_grouped(&iters, &items_column, func)
+        } else {
+            aggregate_hash(&iters, &items_column, func)
+        }
+        .map_err(ExecError::Engine)?;
+        let found: HashMap<i64, Item> = agg.groups.into_iter().zip(agg.values).collect();
+        let (mut oi, mut oit) = (Vec::new(), Vec::new());
+        for it in loop_iters {
+            match found.get(&it) {
+                Some(v) => {
+                    oi.push(it);
+                    oit.push(v.clone());
+                }
+                None => match func {
+                    AggFunc::Count => {
+                        oi.push(it);
+                        oit.push(Item::Int(0));
+                    }
+                    AggFunc::Sum => {
+                        oi.push(it);
+                        oit.push(Item::Int(0));
+                    }
+                    // min/max/avg over the empty sequence yield the empty sequence
+                    _ => {}
+                },
+            }
+        }
+        let n = oi.len();
+        Ok(seq_table(oi, vec![1; n], oit))
+    }
+
+    fn eval_string_fn(&mut self, kind: StrFnKind, args: &[PlanRef], loop_: &PlanRef) -> EResult<Table> {
+        let loop_iters = self.loop_iters(loop_)?;
+        // first string per iteration, per argument
+        let mut arg_strings: Vec<HashMap<i64, String>> = Vec::new();
+        let mut arg_all: Vec<HashMap<i64, Vec<Item>>> = Vec::new();
+        for a in args {
+            let t = self.eval(a)?;
+            let firsts = self.per_iter_first(&t)?;
+            arg_strings.push(
+                firsts
+                    .iter()
+                    .map(|(k, v)| (*k, self.item_string(v)))
+                    .collect(),
+            );
+            arg_all.push(self.per_iter_items(&t)?);
+        }
+        let get = |idx: usize, it: i64, arg_strings: &Vec<HashMap<i64, String>>| -> String {
+            arg_strings
+                .get(idx)
+                .and_then(|m| m.get(&it))
+                .cloned()
+                .unwrap_or_default()
+        };
+        let (mut oi, mut oit) = (Vec::new(), Vec::new());
+        for it in loop_iters {
+            let result = match kind {
+                StrFnKind::Contains => Item::Bool(get(0, it, &arg_strings).contains(&get(1, it, &arg_strings))),
+                StrFnKind::StartsWith => {
+                    Item::Bool(get(0, it, &arg_strings).starts_with(&get(1, it, &arg_strings)))
+                }
+                StrFnKind::EndsWith => {
+                    Item::Bool(get(0, it, &arg_strings).ends_with(&get(1, it, &arg_strings)))
+                }
+                StrFnKind::Concat => {
+                    let mut s = String::new();
+                    for idx in 0..args.len() {
+                        s.push_str(&get(idx, it, &arg_strings));
+                    }
+                    Item::str(s)
+                }
+                StrFnKind::StringLength => Item::Int(get(0, it, &arg_strings).chars().count() as i64),
+                StrFnKind::Substring => {
+                    let s = get(0, it, &arg_strings);
+                    let start = get(1, it, &arg_strings).parse::<f64>().unwrap_or(1.0).round() as i64;
+                    let len = if args.len() > 2 {
+                        Some(get(2, it, &arg_strings).parse::<f64>().unwrap_or(0.0).round() as i64)
+                    } else {
+                        None
+                    };
+                    let chars: Vec<char> = s.chars().collect();
+                    let from = (start.max(1) - 1) as usize;
+                    let to = match len {
+                        Some(l) => ((start - 1 + l).max(0) as usize).min(chars.len()),
+                        None => chars.len(),
+                    };
+                    Item::str(chars[from.min(chars.len())..to].iter().collect::<String>())
+                }
+                StrFnKind::StringJoin => {
+                    let sep = get(1, it, &arg_strings);
+                    let parts: Vec<String> = arg_all
+                        .first()
+                        .and_then(|m| m.get(&it))
+                        .map(|v| v.iter().map(|i| self.item_string(i)).collect())
+                        .unwrap_or_default();
+                    Item::str(parts.join(&sep))
+                }
+                StrFnKind::UpperCase => Item::str(get(0, it, &arg_strings).to_uppercase()),
+                StrFnKind::LowerCase => Item::str(get(0, it, &arg_strings).to_lowercase()),
+                StrFnKind::NormalizeSpace => {
+                    Item::str(get(0, it, &arg_strings).split_whitespace().collect::<Vec<_>>().join(" "))
+                }
+                StrFnKind::Translate => {
+                    let s = get(0, it, &arg_strings);
+                    let from: Vec<char> = get(1, it, &arg_strings).chars().collect();
+                    let to: Vec<char> = get(2, it, &arg_strings).chars().collect();
+                    let out: String = s
+                        .chars()
+                        .filter_map(|c| match from.iter().position(|f| *f == c) {
+                            Some(i) => to.get(i).copied(),
+                            None => Some(c),
+                        })
+                        .collect();
+                    Item::str(out)
+                }
+                StrFnKind::NodeName => {
+                    let name = arg_all
+                        .first()
+                        .and_then(|m| m.get(&it))
+                        .and_then(|v| v.first())
+                        .and_then(|i| i.as_node())
+                        .map(|n| self.store.name_of(n).to_string())
+                        .unwrap_or_default();
+                    Item::str(name)
+                }
+            };
+            oi.push(it);
+            oit.push(result);
+        }
+        let n = oi.len();
+        Ok(seq_table(oi, vec![1; n], oit))
+    }
+
+    // -------------------------------------------------------------------
+    // element construction
+    // -------------------------------------------------------------------
+
+    fn eval_elem_ctor(
+        &mut self,
+        loop_: &PlanRef,
+        name: &str,
+        attrs: &[(String, PlanRef)],
+        content: &[PlanRef],
+    ) -> EResult<Table> {
+        let loop_iters = self.loop_iters(loop_)?;
+        let mut attr_values: Vec<(String, HashMap<i64, Item>)> = Vec::new();
+        for (aname, plan) in attrs {
+            let t = self.eval(plan)?;
+            attr_values.push((aname.clone(), self.per_iter_first(&t)?));
+        }
+        let mut content_groups: Vec<HashMap<i64, Vec<Item>>> = Vec::new();
+        for c in content {
+            let t = self.eval(c)?;
+            content_groups.push(self.per_iter_items(&t)?);
+        }
+
+        // Snapshot of the transient container: content nodes constructed by
+        // child plans already live there and must be copied from a stable
+        // source while we append the new elements.
+        let transient = std::mem::take(self.store.transient_mut());
+        let snapshot = transient.clone();
+        let mut builder = DocumentBuilder::append_to(transient, 0);
+
+        let (mut oi, mut oit) = (Vec::new(), Vec::new());
+        for it in loop_iters {
+            let root_pre = builder.start_element(name);
+            for (aname, values) in &attr_values {
+                let v = values
+                    .get(&it)
+                    .map(|i| self.item_string(i))
+                    .unwrap_or_default();
+                builder.attribute(aname, &v);
+            }
+            let mut pending_text = String::new();
+            for group in &content_groups {
+                let Some(items) = group.get(&it) else { continue };
+                for item in items {
+                    match item {
+                        Item::Node(n) => {
+                            if !pending_text.is_empty() {
+                                builder.text(&pending_text);
+                                pending_text.clear();
+                            }
+                            let src = if n.frag == TRANSIENT_FRAG {
+                                &snapshot
+                            } else {
+                                self.store.container(n.frag)
+                            };
+                            builder.copy_subtree(src, n.pre);
+                        }
+                        atomic => {
+                            if !pending_text.is_empty() {
+                                pending_text.push(' ');
+                            }
+                            pending_text.push_str(&atomic.string_value());
+                        }
+                    }
+                }
+            }
+            if !pending_text.is_empty() {
+                builder.text(&pending_text);
+            }
+            builder.end_element();
+            self.stats.constructed_nodes += 1;
+            oi.push(it);
+            oit.push(Item::Node(NodeId::new(TRANSIENT_FRAG, root_pre)));
+        }
+        *self.store.transient_mut() = builder.finish();
+        let n = oi.len();
+        Ok(seq_table(oi, vec![1; n], oit))
+    }
+}
+
+fn ebv_of(items: Option<&Vec<Item>>) -> bool {
+    match items {
+        None => false,
+        Some(v) if v.is_empty() => false,
+        Some(v) => {
+            if v.iter().any(|i| i.is_node()) {
+                true
+            } else if v.len() == 1 {
+                v[0].effective_boolean()
+            } else {
+                true
+            }
+        }
+    }
+}
+
+fn is_sorted(v: &[i64]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Format a sequence of result items the way our serializer does for
+/// examples/tests: nodes as XML, atomics as their string value, separated by
+/// single spaces between adjacent atomics.
+pub fn serialize_items(store: &DocStore, items: &[Item]) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in items {
+        match item {
+            Item::Node(n) => {
+                let doc = store.container(n.frag);
+                mxq_xmldb::serialize_node(doc, n.pre, &mut out);
+                prev_atomic = false;
+            }
+            Item::Dbl(d) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&format_double(*d));
+                prev_atomic = true;
+            }
+            atomic => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&atomic.string_value());
+                prev_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ebv_rules() {
+        assert!(!ebv_of(None));
+        assert!(!ebv_of(Some(&vec![])));
+        assert!(ebv_of(Some(&vec![Item::Node(NodeId::new(0, 1))])));
+        assert!(!ebv_of(Some(&vec![Item::Bool(false)])));
+        assert!(ebv_of(Some(&vec![Item::Int(3)])));
+    }
+
+    #[test]
+    fn serialize_items_spaces_atomics() {
+        let store = DocStore::new();
+        let s = serialize_items(&store, &[Item::Int(1), Item::Int(2), Item::str("x")]);
+        assert_eq!(s, "1 2 x");
+    }
+}

@@ -1,0 +1,1194 @@
+//! Lexer and recursive-descent parser for the XQuery subset.
+//!
+//! The grammar follows XQuery 1.0 operator precedence for the constructs we
+//! support (see [`crate::ast`]).  Direct element constructors are parsed by
+//! switching the lexer into character mode, exactly like a real XQuery
+//! scanner does.
+
+use std::fmt;
+
+use mxq_engine::CmpOp;
+use mxq_staircase::{Axis, NodeTest};
+
+use crate::ast::*;
+
+/// A parse error with a byte offset into the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Human readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a complete query (prolog + body).
+pub fn parse_query(src: &str) -> PResult<Query> {
+    let mut p = Parser::new(src);
+    let q = p.parse_query()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(q)
+}
+
+/// Parse a single expression (no prolog).
+pub fn parse_expr(src: &str) -> PResult<Expr> {
+    let q = parse_query(src)?;
+    Ok(q.body)
+}
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),
+    Var(String),
+    Int(i64),
+    Dbl(f64),
+    Str(String),
+    Sym(&'static str),
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Name(n) => format!("name `{n}`"),
+            Tok::Var(v) => format!("variable `${v}`"),
+            Tok::Int(i) => format!("integer {i}"),
+            Tok::Dbl(d) => format!("number {d}"),
+            Tok::Str(_) => "string literal".into(),
+            Tok::Sym(s) => format!("`{s}`"),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+struct Parser {
+    src: Vec<char>,
+    pos: usize,
+    /// peeked token and the position it started at / ends at
+    peeked: Option<(Tok, usize, usize)>,
+}
+
+impl Parser {
+    fn new(src: &str) -> Self {
+        Parser {
+            src: src.chars().collect(),
+            pos: 0,
+            peeked: None,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.peeked.as_ref().map(|(_, s, _)| *s).unwrap_or(self.pos),
+            message: msg.into(),
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek() == &Tok::Eof
+    }
+
+    // -- character level helpers -------------------------------------------
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_whitespace() {
+                self.pos += 1;
+            }
+            // XQuery comments (: ... :), possibly nested
+            if self.pos + 1 < self.src.len() && self.src[self.pos] == '(' && self.src[self.pos + 1] == ':' {
+                let mut depth = 1;
+                self.pos += 2;
+                while self.pos + 1 < self.src.len() && depth > 0 {
+                    if self.src[self.pos] == '(' && self.src[self.pos + 1] == ':' {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.src[self.pos] == ':' && self.src[self.pos + 1] == ')' {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ch(&self, off: usize) -> char {
+        self.src.get(self.pos + off).copied().unwrap_or('\0')
+    }
+
+    // -- token level --------------------------------------------------------
+
+    fn lex(&mut self) -> (Tok, usize, usize) {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return (Tok::Eof, start, start);
+        }
+        let c = self.src[self.pos];
+        // names (may contain - . : but not start with a digit)
+        if c.is_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while self.pos < self.src.len() {
+                let c = self.src[self.pos];
+                if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' {
+                    // a name must not swallow `::` (axis separator)
+                    if c == ':' && self.ch(1) == ':' {
+                        break;
+                    }
+                    s.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return (Tok::Name(s), start, self.pos);
+        }
+        if c.is_ascii_digit() {
+            let mut s = String::new();
+            let mut is_dbl = false;
+            while self.pos < self.src.len() {
+                let c = self.src[self.pos];
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.pos += 1;
+                } else if c == '.' && self.ch(1).is_ascii_digit() {
+                    is_dbl = true;
+                    s.push(c);
+                    self.pos += 1;
+                } else if (c == 'e' || c == 'E') && (self.ch(1).is_ascii_digit() || self.ch(1) == '-') {
+                    is_dbl = true;
+                    s.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let tok = if is_dbl {
+                Tok::Dbl(s.parse().unwrap_or(0.0))
+            } else {
+                Tok::Int(s.parse().unwrap_or(0))
+            };
+            return (tok, start, self.pos);
+        }
+        if c == '"' || c == '\'' {
+            self.pos += 1;
+            let mut s = String::new();
+            while self.pos < self.src.len() && self.src[self.pos] != c {
+                s.push(self.src[self.pos]);
+                self.pos += 1;
+            }
+            self.pos += 1; // closing quote
+            return (Tok::Str(s), start, self.pos);
+        }
+        if c == '$' {
+            self.pos += 1;
+            let mut s = String::new();
+            while self.pos < self.src.len() {
+                let c = self.src[self.pos];
+                if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                    s.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return (Tok::Var(s), start, self.pos);
+        }
+        // symbols, longest first
+        let two: String = self.src[self.pos..(self.pos + 2).min(self.src.len())].iter().collect();
+        for sym in ["<<", ">>", "<=", ">=", "!=", "//", "::", ":=", ".."] {
+            if two == *sym {
+                self.pos += 2;
+                return (Tok::Sym(sym), start, self.pos);
+            }
+        }
+        let sym: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            '[' => Some("["),
+            ']' => Some("]"),
+            '{' => Some("{"),
+            '}' => Some("}"),
+            ',' => Some(","),
+            ';' => Some(";"),
+            '/' => Some("/"),
+            '@' => Some("@"),
+            '.' => Some("."),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '*' => Some("*"),
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            '?' => Some("?"),
+            _ => None,
+        };
+        match sym {
+            Some(s) => {
+                self.pos += 1;
+                (Tok::Sym(s), start, self.pos)
+            }
+            None => {
+                self.pos += 1;
+                (Tok::Sym("?"), start, self.pos)
+            }
+        }
+    }
+
+    fn peek(&mut self) -> &Tok {
+        if self.peeked.is_none() {
+            let t = self.lex();
+            self.peeked = Some(t);
+        }
+        &self.peeked.as_ref().unwrap().0
+    }
+
+    fn next(&mut self) -> Tok {
+        if let Some((t, _, _)) = self.peeked.take() {
+            return t;
+        }
+        self.lex().0
+    }
+
+    /// Rewind the character cursor to the start of the peeked token (used to
+    /// switch into constructor character mode).
+    fn rewind_peek(&mut self) {
+        if let Some((_, start, _)) = self.peeked.take() {
+            self.pos = start;
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &'static str) -> PResult<()> {
+        match self.next() {
+            Tok::Sym(s) if s == sym => Ok(()),
+            other => Err(self.err(format!("expected `{sym}`, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_name(&mut self, kw: &str) -> PResult<()> {
+        match self.next() {
+            Tok::Name(n) if n == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn at_name(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Name(n) if n == kw)
+    }
+
+    fn at_sym(&mut self, sym: &str) -> bool {
+        matches!(self.peek(), Tok::Sym(s) if *s == sym)
+    }
+
+    fn eat_name(&mut self, kw: &str) -> bool {
+        if self.at_name(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &'static str) -> bool {
+        if self.at_sym(sym) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    // -- grammar -------------------------------------------------------------
+
+    fn parse_query(&mut self) -> PResult<Query> {
+        let mut functions = Vec::new();
+        let mut variables = Vec::new();
+        while self.at_name("declare") {
+            self.next();
+            if self.eat_name("function") {
+                let name = match self.next() {
+                    Tok::Name(n) => strip_prefix(&n),
+                    other => return Err(self.err(format!("expected function name, found {}", other.describe()))),
+                };
+                self.expect_sym("(")?;
+                let mut params = Vec::new();
+                if !self.at_sym(")") {
+                    loop {
+                        match self.next() {
+                            Tok::Var(v) => params.push(v),
+                            other => return Err(self.err(format!("expected parameter, found {}", other.describe()))),
+                        }
+                        self.skip_type_annotation();
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym(")")?;
+                self.skip_type_annotation();
+                self.expect_sym("{")?;
+                let body = self.parse_expr()?;
+                self.expect_sym("}")?;
+                self.expect_sym(";")?;
+                functions.push(FunctionDecl { name, params, body });
+            } else if self.eat_name("variable") {
+                let var = match self.next() {
+                    Tok::Var(v) => v,
+                    other => return Err(self.err(format!("expected variable, found {}", other.describe()))),
+                };
+                self.skip_type_annotation();
+                self.expect_sym(":=")?;
+                let value = self.parse_expr_single()?;
+                self.expect_sym(";")?;
+                variables.push((var, value));
+            } else {
+                return Err(self.err("unsupported declaration (only function/variable)"));
+            }
+        }
+        let body = self.parse_expr()?;
+        Ok(Query {
+            functions,
+            variables,
+            body,
+        })
+    }
+
+    /// Skip an optional `as SequenceType` annotation.
+    fn skip_type_annotation(&mut self) {
+        if self.eat_name("as") {
+            // consume a name, possibly with occurrence indicator and parens
+            if let Tok::Name(_) = self.peek() {
+                self.next();
+                if self.at_sym("(") {
+                    self.next();
+                    let _ = self.eat_sym(")");
+                }
+                if self.at_sym("?") || self.at_sym("*") || self.at_sym("+") {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        let first = self.parse_expr_single()?;
+        if !self.at_sym(",") {
+            return Ok(first);
+        }
+        let mut parts = vec![first];
+        while self.eat_sym(",") {
+            parts.push(self.parse_expr_single()?);
+        }
+        Ok(Expr::Sequence(parts))
+    }
+
+    fn parse_expr_single(&mut self) -> PResult<Expr> {
+        if self.at_name("for") || self.at_name("let") {
+            return self.parse_flwor();
+        }
+        if self.at_name("if") {
+            return self.parse_if();
+        }
+        if self.at_name("some") || self.at_name("every") {
+            return self.parse_quantified();
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> PResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.eat_name("for") {
+                loop {
+                    let var = match self.next() {
+                        Tok::Var(v) => v,
+                        other => return Err(self.err(format!("expected `$var`, found {}", other.describe()))),
+                    };
+                    self.skip_type_annotation();
+                    let at = if self.eat_name("at") {
+                        match self.next() {
+                            Tok::Var(v) => Some(v),
+                            other => return Err(self.err(format!("expected `$pos`, found {}", other.describe()))),
+                        }
+                    } else {
+                        None
+                    };
+                    self.expect_name("in")?;
+                    let source = self.parse_expr_single()?;
+                    clauses.push(Clause::For { var, at, source });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else if self.eat_name("let") {
+                loop {
+                    let var = match self.next() {
+                        Tok::Var(v) => v,
+                        other => return Err(self.err(format!("expected `$var`, found {}", other.describe()))),
+                    };
+                    self.skip_type_annotation();
+                    self.expect_sym(":=")?;
+                    let value = self.parse_expr_single()?;
+                    clauses.push(Clause::Let { var, value });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let where_ = if self.eat_name("where") {
+            Some(Box::new(self.parse_expr_single()?))
+        } else {
+            None
+        };
+        let order_by = if self.at_name("order") {
+            self.next();
+            self.expect_name("by")?;
+            let key = self.parse_expr_single()?;
+            let descending = if self.eat_name("descending") {
+                true
+            } else {
+                let _ = self.eat_name("ascending");
+                false
+            };
+            Some(OrderSpec { key: Box::new(key), descending })
+        } else {
+            None
+        };
+        self.expect_name("return")?;
+        let ret = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Flwor {
+            clauses,
+            where_,
+            order_by,
+            ret,
+        })
+    }
+
+    fn parse_if(&mut self) -> PResult<Expr> {
+        self.expect_name("if")?;
+        self.expect_sym("(")?;
+        let cond = Box::new(self.parse_expr()?);
+        self.expect_sym(")")?;
+        self.expect_name("then")?;
+        let then = Box::new(self.parse_expr_single()?);
+        self.expect_name("else")?;
+        let els = Box::new(self.parse_expr_single()?);
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn parse_quantified(&mut self) -> PResult<Expr> {
+        let some = self.eat_name("some");
+        if !some {
+            self.expect_name("every")?;
+        }
+        let var = match self.next() {
+            Tok::Var(v) => v,
+            other => return Err(self.err(format!("expected `$var`, found {}", other.describe()))),
+        };
+        self.expect_name("in")?;
+        let source = Box::new(self.parse_expr_single()?);
+        self.expect_name("satisfies")?;
+        let satisfies = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified {
+            some,
+            var,
+            source,
+            satisfies,
+        })
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut l = self.parse_and()?;
+        while self.at_name("or") {
+            self.next();
+            let r = self.parse_and()?;
+            l = Expr::Logical {
+                is_and: false,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut l = self.parse_comparison()?;
+        while self.at_name("and") {
+            self.next();
+            let r = self.parse_comparison()?;
+            l = Expr::Logical {
+                is_and: true,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let l = self.parse_additive()?;
+        let kind = if self.at_sym("=") {
+            self.next();
+            Some(CompKind::General(CmpOp::Eq))
+        } else if self.at_sym("!=") {
+            self.next();
+            Some(CompKind::General(CmpOp::Ne))
+        } else if self.at_sym("<=") {
+            self.next();
+            Some(CompKind::General(CmpOp::Le))
+        } else if self.at_sym(">=") {
+            self.next();
+            Some(CompKind::General(CmpOp::Ge))
+        } else if self.at_sym("<") {
+            self.next();
+            Some(CompKind::General(CmpOp::Lt))
+        } else if self.at_sym(">") {
+            self.next();
+            Some(CompKind::General(CmpOp::Gt))
+        } else if self.at_sym("<<") {
+            self.next();
+            Some(CompKind::NodeBefore)
+        } else if self.at_sym(">>") {
+            self.next();
+            Some(CompKind::NodeAfter)
+        } else if self.at_name("eq") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Eq))
+        } else if self.at_name("ne") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Ne))
+        } else if self.at_name("lt") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Lt))
+        } else if self.at_name("le") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Le))
+        } else if self.at_name("gt") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Gt))
+        } else if self.at_name("ge") {
+            self.next();
+            Some(CompKind::Value(CmpOp::Ge))
+        } else if self.at_name("is") {
+            self.next();
+            Some(CompKind::NodeIs)
+        } else {
+            None
+        };
+        match kind {
+            None => Ok(l),
+            Some(kind) => {
+                let r = self.parse_additive()?;
+                Ok(Expr::Comparison {
+                    kind,
+                    l: Box::new(l),
+                    r: Box::new(r),
+                })
+            }
+        }
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut l = self.parse_multiplicative()?;
+        loop {
+            let op = if self.at_sym("+") {
+                ArithOp::Add
+            } else if self.at_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            self.next();
+            let r = self.parse_multiplicative()?;
+            l = Expr::Arith {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut l = self.parse_unary()?;
+        loop {
+            let op = if self.at_sym("*") {
+                ArithOp::Mul
+            } else if self.at_name("div") {
+                ArithOp::Div
+            } else if self.at_name("idiv") {
+                ArithOp::IDiv
+            } else if self.at_name("mod") {
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            self.next();
+            let r = self.parse_unary()?;
+            l = Expr::Arith {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        if self.eat_sym("-") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        let _ = self.eat_sym("+");
+        self.parse_path()
+    }
+
+    fn parse_path(&mut self) -> PResult<Expr> {
+        if self.at_sym("/") || self.at_sym("//") {
+            return Err(self.err("absolute paths are not supported; start from doc(\"…\")"));
+        }
+        // the first step is either a primary expression or an axis step
+        let (start, mut steps) = if self.starts_axis_step() {
+            (Some(Box::new(Expr::Var(".".into()))), vec![self.parse_step()?])
+        } else {
+            let prim = self.parse_postfix()?;
+            (Some(Box::new(prim)), Vec::new())
+        };
+        loop {
+            if self.at_sym("//") {
+                self.next();
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyKind,
+                    predicates: Vec::new(),
+                });
+                steps.push(self.parse_step()?);
+            } else if self.at_sym("/") {
+                self.next();
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            Ok(*start.unwrap())
+        } else {
+            Ok(Expr::Path { start, steps })
+        }
+    }
+
+    /// Does the upcoming token sequence start an axis step (rather than a
+    /// primary expression)?  Name tests, `@`, kind tests, explicit axes, `..`.
+    fn starts_axis_step(&mut self) -> bool {
+        if self.at_sym("@") || self.at_sym("..") || self.at_sym("*") {
+            return true;
+        }
+        let keywords = [
+            "if", "for", "let", "some", "every", "return", "then", "else", "and", "or", "div",
+            "idiv", "mod", "eq", "ne", "lt", "le", "gt", "ge", "is", "to", "where", "order",
+            "satisfies", "in", "at",
+        ];
+        if let Tok::Name(n) = self.peek().clone() {
+            if keywords.contains(&n.as_str()) {
+                return false;
+            }
+            // function call → primary, kind test → step, axis:: → step
+            let save_pos = self.pos;
+            let save_peek = self.peeked.clone();
+            self.next();
+            let is_call = self.at_sym("(");
+            let is_axis = self.at_sym("::");
+            self.pos = save_pos;
+            self.peeked = save_peek;
+            if is_axis {
+                return true;
+            }
+            if is_call {
+                // kind tests look like calls but are steps
+                return matches!(
+                    n.as_str(),
+                    "text" | "node" | "comment" | "processing-instruction"
+                );
+            }
+            return true;
+        }
+        false
+    }
+
+    fn parse_step(&mut self) -> PResult<Step> {
+        // axis
+        let mut axis = Axis::Child;
+        if self.at_sym("@") {
+            self.next();
+            axis = Axis::Attribute;
+        } else if self.at_sym("..") {
+            self.next();
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyKind,
+                predicates: self.parse_predicates()?,
+            });
+        } else if let Tok::Name(n) = self.peek().clone() {
+            // explicit axis?
+            let save_pos = self.pos;
+            let save_peek = self.peeked.clone();
+            self.next();
+            if self.at_sym("::") {
+                self.next();
+                axis = Axis::parse(&n).ok_or_else(|| self.err(format!("unknown axis `{n}`")))?;
+            } else {
+                self.pos = save_pos;
+                self.peeked = save_peek;
+            }
+        }
+        // node test
+        let test = if self.eat_sym("*") {
+            NodeTest::AnyElement
+        } else {
+            match self.next() {
+                Tok::Name(n) => {
+                    if self.at_sym("(") {
+                        self.next();
+                        let inner = if let Tok::Str(s) = self.peek().clone() {
+                            self.next();
+                            Some(s)
+                        } else {
+                            None
+                        };
+                        self.expect_sym(")")?;
+                        match n.as_str() {
+                            "text" => NodeTest::Text,
+                            "node" => NodeTest::AnyKind,
+                            "comment" => NodeTest::Comment,
+                            "processing-instruction" => {
+                                NodeTest::ProcessingInstruction(inner.map(|s| s.into()))
+                            }
+                            other => return Err(self.err(format!("unknown kind test `{other}()`"))),
+                        }
+                    } else if axis == Axis::Attribute {
+                        NodeTest::named(strip_prefix(&n))
+                    } else {
+                        NodeTest::named(strip_prefix(&n))
+                    }
+                }
+                other => return Err(self.err(format!("expected a node test, found {}", other.describe()))),
+            }
+        };
+        let predicates = self.parse_predicates()?;
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn parse_predicates(&mut self) -> PResult<Vec<Expr>> {
+        let mut preds = Vec::new();
+        while self.eat_sym("[") {
+            preds.push(self.parse_expr()?);
+            self.expect_sym("]")?;
+        }
+        Ok(preds)
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let prim = self.parse_primary()?;
+        // predicates directly on a primary (e.g. `$seq[2]`) become a
+        // self-axis step with predicates
+        if self.at_sym("[") {
+            let predicates = self.parse_predicates()?;
+            return Ok(Expr::Path {
+                start: Some(Box::new(prim)),
+                steps: vec![Step {
+                    axis: Axis::SelfAxis,
+                    test: NodeTest::AnyKind,
+                    predicates,
+                }],
+            });
+        }
+        Ok(prim)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        // direct element constructor?
+        if self.at_sym("<") {
+            self.rewind_peek();
+            return Ok(Expr::Element(self.parse_element_ctor()?));
+        }
+        match self.next() {
+            Tok::Int(i) => Ok(Expr::Literal(Literal::Integer(i))),
+            Tok::Dbl(d) => Ok(Expr::Literal(Literal::Double(d))),
+            Tok::Str(s) => Ok(Expr::Literal(Literal::String(s))),
+            Tok::Var(v) => Ok(Expr::Var(v)),
+            Tok::Sym(".") => Ok(Expr::Var(".".into())),
+            Tok::Sym("(") => {
+                if self.eat_sym(")") {
+                    return Ok(Expr::Empty);
+                }
+                let e = self.parse_expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Name(n) => {
+                // function call
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.at_sym(")") {
+                        loop {
+                            args.push(self.parse_expr_single()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    Ok(Expr::FunCall {
+                        name: strip_prefix(&n),
+                        args,
+                    })
+                } else {
+                    Err(self.err(format!("unexpected name `{n}` (not a function call)")))
+                }
+            }
+            other => Err(self.err(format!("unexpected {}", other.describe()))),
+        }
+    }
+
+    // -- direct element constructors (character mode) ------------------------
+
+    fn parse_element_ctor(&mut self) -> PResult<ElementCtor> {
+        self.skip_ws();
+        if self.ch(0) != '<' {
+            return Err(self.err("expected `<` to start element constructor"));
+        }
+        self.pos += 1;
+        let name = self.read_xml_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws_chars();
+            match self.ch(0) {
+                '/' => {
+                    if self.ch(1) != '>' {
+                        return Err(self.err("expected `/>`"));
+                    }
+                    self.pos += 2;
+                    return Ok(ElementCtor {
+                        name,
+                        attributes,
+                        content: Vec::new(),
+                    });
+                }
+                '>' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\0' => return Err(self.err("unterminated element constructor")),
+                _ => {
+                    let aname = self.read_xml_name()?;
+                    self.skip_ws_chars();
+                    if self.ch(0) != '=' {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws_chars();
+                    let quote = self.ch(0);
+                    if quote != '"' && quote != '\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let parts = self.read_attr_parts(quote)?;
+                    attributes.push((aname, parts));
+                }
+            }
+        }
+        // content until matching close tag
+        let mut content = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.ch(0) {
+                '\0' => return Err(self.err(format!("unterminated content of <{name}>"))),
+                '<' => {
+                    if self.ch(1) == '/' {
+                        flush_text(&mut text, &mut content);
+                        self.pos += 2;
+                        let close = self.read_xml_name()?;
+                        if close != name {
+                            return Err(self.err(format!("mismatched </{close}> for <{name}>")));
+                        }
+                        self.skip_ws_chars();
+                        if self.ch(0) != '>' {
+                            return Err(self.err("expected `>`"));
+                        }
+                        self.pos += 1;
+                        break;
+                    }
+                    flush_text(&mut text, &mut content);
+                    let nested = self.parse_element_ctor()?;
+                    content.push(Content::Element(Box::new(nested)));
+                }
+                '{' => {
+                    flush_text(&mut text, &mut content);
+                    self.pos += 1;
+                    let e = self.parse_expr()?;
+                    // after expression parsing we are back in token mode; sync chars
+                    self.sync_after_tokens();
+                    self.skip_ws_chars();
+                    if self.ch(0) != '}' {
+                        return Err(self.err("expected `}` closing enclosed expression"));
+                    }
+                    self.pos += 1;
+                    content.push(Content::Expr(e));
+                }
+                c => {
+                    text.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(ElementCtor {
+            name,
+            attributes,
+            content,
+        })
+    }
+
+    /// After parsing tokens inside an enclosed expression, drop any peeked
+    /// token so character-mode parsing resumes at the right position.
+    fn sync_after_tokens(&mut self) {
+        self.rewind_peek();
+    }
+
+    fn skip_ws_chars(&mut self) {
+        while self.ch(0).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn read_xml_name(&mut self) -> PResult<String> {
+        let mut s = String::new();
+        while {
+            let c = self.ch(0);
+            c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':'
+        } {
+            s.push(self.ch(0));
+            self.pos += 1;
+        }
+        if s.is_empty() {
+            return Err(self.err("expected a name"));
+        }
+        Ok(s)
+    }
+
+    fn read_attr_parts(&mut self, quote: char) -> PResult<Vec<AttrPart>> {
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        loop {
+            let c = self.ch(0);
+            if c == '\0' {
+                return Err(self.err("unterminated attribute value"));
+            }
+            if c == quote {
+                self.pos += 1;
+                break;
+            }
+            if c == '{' {
+                if !text.is_empty() {
+                    parts.push(AttrPart::Text(std::mem::take(&mut text)));
+                }
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.sync_after_tokens();
+                self.skip_ws_chars();
+                if self.ch(0) != '}' {
+                    return Err(self.err("expected `}` in attribute value template"));
+                }
+                self.pos += 1;
+                parts.push(AttrPart::Expr(e));
+            } else {
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        if !text.is_empty() {
+            parts.push(AttrPart::Text(text));
+        }
+        Ok(parts)
+    }
+}
+
+fn flush_text(text: &mut String, content: &mut Vec<Content>) {
+    if !text.trim().is_empty() {
+        content.push(Content::Text(std::mem::take(text)));
+    } else {
+        text.clear();
+    }
+}
+
+/// Strip a namespace prefix (`fn:`, `local:`, `xs:`) from a name.
+fn strip_prefix(name: &str) -> String {
+    match name.rfind(':') {
+        Some(i) => name[i + 1..].to_string(),
+        None => name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_sequences() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::integer(42));
+        assert_eq!(parse_expr("\"hi\"").unwrap(), Expr::string("hi"));
+        assert_eq!(parse_expr("()").unwrap(), Expr::Empty);
+        match parse_expr("(1, 2, 3)").unwrap() {
+            Expr::Sequence(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flwor_with_where_and_order() {
+        let q = parse_expr(
+            "for $x at $i in doc(\"a.xml\")/site/item let $y := $x/name where $i > 2 order by $y descending return $y",
+        )
+        .unwrap();
+        match q {
+            Expr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                ..
+            } => {
+                assert_eq!(clauses.len(), 2);
+                assert!(where_.is_some());
+                assert!(order_by.unwrap().descending);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paths_with_axes_and_predicates() {
+        let q = parse_expr("$a/child::b//c[@id = \"x\"][2]/text()").unwrap();
+        match q {
+            Expr::Path { start, steps } => {
+                assert_eq!(*start.unwrap(), Expr::Var("a".into()));
+                // b, descendant-or-self::node(), c[..][2], text()
+                assert_eq!(steps.len(), 4);
+                assert_eq!(steps[2].predicates.len(), 2);
+                assert_eq!(steps[3].test, NodeTest::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_operators_with_precedence() {
+        let q = parse_expr("1 + 2 * 3 = 7 and true()").unwrap();
+        match q {
+            Expr::Logical { is_and: true, l, .. } => match *l {
+                Expr::Comparison { .. } => {}
+                other => panic!("unexpected lhs {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_element_constructor_with_enclosed_exprs() {
+        let q = parse_expr("<item id=\"{$x/@id}\" kind=\"a\">{$x/name/text()} trailing <b/></item>").unwrap();
+        match q {
+            Expr::Element(e) => {
+                assert_eq!(e.name, "item");
+                assert_eq!(e.attributes.len(), 2);
+                assert!(matches!(e.attributes[0].1[0], AttrPart::Expr(_)));
+                assert_eq!(e.content.len(), 3);
+                assert!(matches!(e.content[0], Content::Expr(_)));
+                assert!(matches!(e.content[1], Content::Text(_)));
+                assert!(matches!(e.content[2], Content::Element(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantified_and_if() {
+        let q = parse_expr("some $x in $s satisfies $x = 3").unwrap();
+        assert!(matches!(q, Expr::Quantified { some: true, .. }));
+        let q = parse_expr("if ($a) then 1 else 2").unwrap();
+        assert!(matches!(q, Expr::If { .. }));
+    }
+
+    #[test]
+    fn parses_prolog_functions() {
+        let q = parse_query(
+            "declare function local:convert($v) { 2.2 * $v }; for $i in doc(\"a.xml\")//reserve return local:convert($i)",
+        )
+        .unwrap();
+        assert_eq!(q.functions.len(), 1);
+        assert_eq!(q.functions[0].name, "convert");
+        assert_eq!(q.functions[0].params, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn parses_node_order_comparison() {
+        let q = parse_expr("$a << $b").unwrap();
+        assert!(matches!(
+            q,
+            Expr::Comparison {
+                kind: CompKind::NodeBefore,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let q = parse_expr("(: a comment (: nested :) :) 1 + (: x :) 2").unwrap();
+        assert!(matches!(q, Expr::Arith { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("for $x").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("<a>{1}").is_err());
+        assert!(parse_expr("/site/people").is_err());
+    }
+
+    #[test]
+    fn predicate_on_variable_uses_self_step() {
+        let q = parse_expr("$seq[2]").unwrap();
+        match q {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].axis, Axis::SelfAxis);
+                assert_eq!(steps[0].predicates.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Behavioural tests of the XQuery surface: one small document, many
+//! queries, exact expected serializations.  These pin down the semantics the
+//! compiler + executor implement (sequence order, existential comparisons,
+//! effective boolean values, constructors, axes, functions).
+
+use mxq_xquery::{Error, ExecConfig, XQueryEngine};
+
+const DOC: &str = r#"<shop>
+  <staff><employee id="e1" dept="sales"><name>Ann</name><salary>50000</salary></employee>
+         <employee id="e2" dept="it"><name>Bob</name><salary>65000</salary></employee>
+         <employee id="e3" dept="sales"><name>Cyd</name></employee></staff>
+  <sales><sale by="e1" amount="120"/><sale by="e1" amount="80"/><sale by="e3" amount="200"/></sales>
+  <note lang="en">year <b>2006</b> report</note>
+</shop>"#;
+
+fn engine() -> XQueryEngine {
+    let mut e = XQueryEngine::new();
+    e.load_document("shop.xml", DOC).unwrap();
+    e
+}
+
+fn run(q: &str) -> String {
+    engine().execute(q).unwrap().serialize().to_string()
+}
+
+#[test]
+fn sequence_and_arithmetic_semantics() {
+    assert_eq!(run("(1, (2, 3), ())"), "1 2 3");
+    assert_eq!(run("2 + 3 * 4 - 1"), "13");
+    assert_eq!(run("(7 idiv 2, 7 mod 2, -3)"), "3 1 -3");
+    assert_eq!(run("1.5 * 2"), "3");
+    assert_eq!(run("if (()) then 1 else 2"), "2");
+    assert_eq!(run("if ((0)) then 1 else 2"), "2");
+    assert_eq!(run("if (\"x\") then 1 else 2"), "1");
+}
+
+#[test]
+fn path_navigation_and_axes() {
+    assert_eq!(run("count(doc(\"shop.xml\")//employee)"), "3");
+    assert_eq!(run("doc(\"shop.xml\")/shop/staff/employee[2]/name/text()"), "Bob");
+    assert_eq!(run("doc(\"shop.xml\")//employee[@id = \"e3\"]/name/text()"), "Cyd");
+    assert_eq!(
+        run("for $n in doc(\"shop.xml\")//name return $n/parent::employee/@id"),
+        "e1 e2 e3"
+    );
+    assert_eq!(
+        run("count(doc(\"shop.xml\")//name/ancestor::*)"),
+        // ancestors of the three name elements, duplicate-free within the
+        // single iteration: employee×3, staff, shop
+        "5"
+    );
+    assert_eq!(
+        run("doc(\"shop.xml\")//employee[1]/following-sibling::employee[1]/name/text()"),
+        "Bob"
+    );
+    // 16 elements + 8 text nodes below the document node
+    assert_eq!(run("count(doc(\"shop.xml\")//node())"), "24");
+    assert_eq!(run("doc(\"shop.xml\")/shop/note/b/preceding-sibling::text()"), "year ");
+}
+
+#[test]
+fn general_comparisons_are_existential() {
+    // any sale amount over 150?
+    assert_eq!(run("doc(\"shop.xml\")//sale/@amount > 150"), "true");
+    // all comparisons against the empty sequence are false
+    assert_eq!(run("doc(\"shop.xml\")//missing = 1"), "false");
+    // string vs number promotion on untyped attribute values
+    assert_eq!(run("doc(\"shop.xml\")//employee/@dept = \"it\""), "true");
+    assert_eq!(run("doc(\"shop.xml\")//salary/text() = 50000"), "true");
+    // value comparison on singletons
+    assert_eq!(run("\"abc\" lt \"abd\""), "true");
+}
+
+#[test]
+fn flwor_where_order_let_and_joins() {
+    assert_eq!(
+        run("for $e in doc(\"shop.xml\")//employee \
+             where exists($e/salary) \
+             order by $e/salary/text() descending \
+             return $e/name/text()"),
+        "BobAnn"
+    );
+    assert_eq!(
+        run("for $e at $i in doc(\"shop.xml\")//employee return concat($i, \":\", $e/@id)"),
+        "1:e1 2:e2 3:e3"
+    );
+    // a value join: total sales per employee
+    assert_eq!(
+        run("for $e in doc(\"shop.xml\")//employee \
+             let $s := for $x in doc(\"shop.xml\")//sale where $x/@by = $e/@id return $x \
+             return <t who=\"{$e/name/text()}\">{sum(for $x in $s return number($x/@amount))}</t>"),
+        "<t who=\"Ann\">200</t><t who=\"Bob\">0</t><t who=\"Cyd\">200</t>"
+    );
+}
+
+#[test]
+fn functions_and_aggregates() {
+    assert_eq!(run("sum(doc(\"shop.xml\")//sale/@amount)"), "400");
+    assert_eq!(run("max(doc(\"shop.xml\")//sale/@amount)"), "200");
+    assert_eq!(run("min(doc(\"shop.xml\")//salary/text())"), "50000");
+    assert_eq!(run("count(distinct-values(doc(\"shop.xml\")//employee/@dept))"), "2");
+    assert_eq!(run("string(doc(\"shop.xml\")/shop/note)"), "year 2006 report");
+    assert_eq!(run("contains(string(doc(\"shop.xml\")/shop/note), \"2006\")"), "true");
+    assert_eq!(run("string-join(doc(\"shop.xml\")//name/text(), \", \")"), "Ann, Bob, Cyd");
+    assert_eq!(run("normalize-space(\"  a   b \")"), "a b");
+    assert_eq!(run("(floor(2.7), ceiling(2.1), round(2.5), abs(-3))"), "2 3 3 3");
+    assert_eq!(run("substring(\"staircase\", 6)"), "case");
+    assert_eq!(run("substring(\"staircase\", 1, 5)"), "stair");
+    assert_eq!(run("translate(\"abcabc\", \"ab\", \"xy\")"), "xycxyc");
+    assert_eq!(run("upper-case(\"MonetDB/xquery\")"), "MONETDB/XQUERY");
+    assert_eq!(run("name(doc(\"shop.xml\")/shop/staff)"), "staff");
+    assert_eq!(run("empty(doc(\"shop.xml\")//cafeteria)"), "true");
+    assert_eq!(run("not(doc(\"shop.xml\")//employee)"), "false");
+    assert_eq!(run("subsequence((1,2,3,4,5), 2, 3)"), "2 3 4");
+}
+
+#[test]
+fn constructors_nest_and_copy() {
+    assert_eq!(
+        run("<wrap n=\"{count(doc(\"shop.xml\")//employee)}\"><inner/>{doc(\"shop.xml\")/shop/note/b}</wrap>"),
+        "<wrap n=\"3\"><inner/><b>2006</b></wrap>"
+    );
+    // adjacent atomics in content are space separated, nodes are deep copied
+    assert_eq!(run("<s>{1, 2, \"x\"}</s>"), "<s>1 2 x</s>");
+}
+
+#[test]
+fn quantified_expressions() {
+    assert_eq!(run("some $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"), "true");
+    assert_eq!(run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"), "false");
+    assert_eq!(run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 10"), "true");
+    assert_eq!(run("some $x in () satisfies true()"), "false");
+}
+
+#[test]
+fn node_order_comparisons() {
+    assert_eq!(
+        run("doc(\"shop.xml\")//employee[@id=\"e1\"] << doc(\"shop.xml\")//employee[@id=\"e3\"]"),
+        "true"
+    );
+    assert_eq!(
+        run("doc(\"shop.xml\")//employee[@id=\"e1\"] >> doc(\"shop.xml\")//employee[@id=\"e3\"]"),
+        "false"
+    );
+    assert_eq!(
+        run("doc(\"shop.xml\")//employee[1] is doc(\"shop.xml\")//employee[@id=\"e1\"]"),
+        "true"
+    );
+}
+
+#[test]
+fn results_identical_across_all_optimizer_configs() {
+    let queries = [
+        "for $e in doc(\"shop.xml\")//employee order by $e/@id descending return $e/@dept",
+        "for $e in doc(\"shop.xml\")//employee \
+         return count(for $s in doc(\"shop.xml\")//sale where $s/@by = $e/@id return $s)",
+        "sum(doc(\"shop.xml\")//sale/@amount)",
+    ];
+    let reference: Vec<String> = queries.iter().map(|q| run(q)).collect();
+    for config in [
+        ExecConfig::naive(),
+        ExecConfig {
+            order_aware: false,
+            ..ExecConfig::default()
+        },
+        ExecConfig {
+            join_recognition: false,
+            existential_minmax: false,
+            ..ExecConfig::default()
+        },
+    ] {
+        let mut e = XQueryEngine::with_config(config);
+        e.load_document("shop.xml", DOC).unwrap();
+        for (q, want) in queries.iter().zip(&reference) {
+            assert_eq!(&e.execute(q).unwrap().serialize().to_string(), want, "query {q}");
+        }
+    }
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let mut e = engine();
+    assert!(matches!(e.execute("1 +"), Err(Error::Parse(_))));
+    assert!(matches!(e.execute("$nope"), Err(Error::Compile(_))));
+    assert!(matches!(e.execute("doc(\"other.xml\")//x"), Err(Error::Exec(_))));
+    assert!(matches!(
+        XQueryEngine::new().load_document("bad.xml", "<a><b></a>"),
+        Err(Error::Shred(_))
+    ));
+}

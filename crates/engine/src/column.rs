@@ -1,0 +1,299 @@
+//! Typed columns — the BAT-like building block of the kernel.
+//!
+//! A [`Column`] is a contiguous, densely indexed vector of values of one of
+//! six implementation types.  The polymorphic [`Column::Item`] variant mirrors
+//! the polymorphic `item` column of the paper; the monomorphic variants are
+//! used for the performance critical bookkeeping columns (`iter`, `pos`,
+//! `pre`, `size`, `level`, …) where the positional algorithms of Section 4.1
+//! apply.
+
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::value::{Item, NodeId};
+
+/// A single column of a table.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers (iter/pos/pre/size/level and friends).
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Dbl(Vec<f64>),
+    /// Strings (shared, cheap to duplicate).
+    Str(Vec<Arc<str>>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Node surrogates.
+    Node(Vec<NodeId>),
+    /// Polymorphic XQuery items.
+    Item(Vec<Item>),
+}
+
+impl Column {
+    /// An empty integer column.
+    pub fn empty_int() -> Self {
+        Column::Int(Vec::new())
+    }
+
+    /// An empty polymorphic column.
+    pub fn empty_item() -> Self {
+        Column::Item(Vec::new())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Dbl(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Node(v) => v.len(),
+            Column::Item(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human readable type name (used in error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::Int(_) => "int",
+            Column::Dbl(_) => "dbl",
+            Column::Str(_) => "str",
+            Column::Bool(_) => "bool",
+            Column::Node(_) => "node",
+            Column::Item(_) => "item",
+        }
+    }
+
+    /// Read row `i` as a polymorphic [`Item`].
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds (columns are densely indexed).
+    pub fn item(&self, i: usize) -> Item {
+        match self {
+            Column::Int(v) => Item::Int(v[i]),
+            Column::Dbl(v) => Item::Dbl(v[i]),
+            Column::Str(v) => Item::Str(v[i].clone()),
+            Column::Bool(v) => Item::Bool(v[i]),
+            Column::Node(v) => Item::Node(v[i]),
+            Column::Item(v) => v[i].clone(),
+        }
+    }
+
+    /// Iterate over all rows as items.
+    pub fn iter_items(&self) -> impl Iterator<Item = Item> + '_ {
+        (0..self.len()).map(move |i| self.item(i))
+    }
+
+    /// Collect the whole column into a vector of items.
+    pub fn to_items(&self) -> Vec<Item> {
+        self.iter_items().collect()
+    }
+
+    /// Build a column from a vector of items, choosing the narrowest
+    /// monomorphic representation if all items share one type.
+    pub fn from_items(items: Vec<Item>) -> Self {
+        if !items.is_empty() {
+            if items.iter().all(|i| matches!(i, Item::Int(_))) {
+                return Column::Int(items.iter().map(|i| i.as_int().unwrap()).collect());
+            }
+            if items.iter().all(|i| matches!(i, Item::Node(_))) {
+                return Column::Node(items.iter().map(|i| i.as_node().unwrap()).collect());
+            }
+            if items.iter().all(|i| matches!(i, Item::Str(_))) {
+                return Column::Str(
+                    items
+                        .iter()
+                        .map(|i| match i {
+                            Item::Str(s) => s.clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect(),
+                );
+            }
+            if items.iter().all(|i| matches!(i, Item::Bool(_))) {
+                return Column::Bool(items.iter().map(|i| i.as_bool().unwrap()).collect());
+            }
+        }
+        Column::Item(items)
+    }
+
+    /// Borrow the integer payload; error if this is not an integer column.
+    pub fn as_int(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                expected: "int".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Borrow the boolean payload; error otherwise.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                expected: "bool".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Borrow the node payload; error otherwise.
+    pub fn as_node(&self) -> Result<&[NodeId]> {
+        match self {
+            Column::Node(v) => Ok(v),
+            other => Err(EngineError::TypeMismatch {
+                expected: "node".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Integer view of row `i` with coercion from the polymorphic variant.
+    pub fn int_at(&self, i: usize) -> Result<i64> {
+        match self {
+            Column::Int(v) => Ok(v[i]),
+            Column::Item(v) => v[i].as_int().ok_or_else(|| EngineError::Conversion(
+                format!("item {} is not an integer", v[i]),
+            )),
+            other => Err(EngineError::TypeMismatch {
+                expected: "int".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Gather rows at the given positions into a new column (the classic
+    /// positional "fetch join" primitive of a column store).
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Dbl(v) => Column::Dbl(idx.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(idx.iter().map(|&i| v[i]).collect()),
+            Column::Node(v) => Column::Node(idx.iter().map(|&i| v[i]).collect()),
+            Column::Item(v) => Column::Item(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Filter rows by a boolean mask of the same length.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(EngineError::LengthMismatch {
+                left: self.len(),
+                right: mask.len(),
+            });
+        }
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        Ok(self.gather(&idx))
+    }
+
+    /// Append another column of the same (or coercible) type; mismatched
+    /// types fall back to the polymorphic representation.
+    pub fn append(&mut self, other: &Column) {
+        match (&mut *self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Dbl(a), Column::Dbl(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Node(a), Column::Node(b)) => a.extend_from_slice(b),
+            (Column::Item(a), b) => a.extend(b.iter_items()),
+            (a, b) => {
+                let mut items = a.to_items();
+                items.extend(b.iter_items());
+                *a = Column::Item(items);
+            }
+        }
+    }
+
+    /// A column holding `n` copies of the same item (loop-lifting of
+    /// constants, Section 2.1).
+    pub fn repeat(item: &Item, n: usize) -> Column {
+        match item {
+            Item::Int(v) => Column::Int(vec![*v; n]),
+            Item::Dbl(v) => Column::Dbl(vec![*v; n]),
+            Item::Str(v) => Column::Str(vec![v.clone(); n]),
+            Item::Bool(v) => Column::Bool(vec![*v; n]),
+            Item::Node(v) => Column::Node(vec![*v; n]),
+        }
+    }
+
+    /// A dense integer column `start, start+1, …, start+n-1` — the shape of
+    /// every loop relation and of SQL auto-increment keys (Section 4.1).
+    pub fn dense(start: i64, n: usize) -> Column {
+        Column::Int((0..n as i64).map(|i| start + i).collect())
+    }
+
+    /// Check whether an integer column is densely ascending from its first
+    /// value (the `dense` column property of the peephole optimizer).
+    pub fn is_dense(&self) -> bool {
+        match self {
+            Column::Int(v) => v
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == v.first().copied().unwrap_or(0) + i as i64),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_items_picks_monomorphic_representation() {
+        let c = Column::from_items(vec![Item::Int(1), Item::Int(2)]);
+        assert!(matches!(c, Column::Int(_)));
+        let c = Column::from_items(vec![Item::Int(1), Item::str("x")]);
+        assert!(matches!(c, Column::Item(_)));
+    }
+
+    #[test]
+    fn gather_and_filter() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        let g = c.gather(&[3, 0]);
+        assert_eq!(g.as_int().unwrap(), &[40, 10]);
+        let f = c.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(f.as_int().unwrap(), &[10, 30]);
+    }
+
+    #[test]
+    fn filter_length_mismatch_is_error() {
+        let c = Column::Int(vec![1, 2, 3]);
+        assert!(c.filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn append_mismatched_types_degrades_to_item() {
+        let mut c = Column::Int(vec![1]);
+        c.append(&Column::Str(vec![Arc::from("x")]));
+        assert!(matches!(c, Column::Item(_)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dense_detection() {
+        assert!(Column::dense(1, 5).is_dense());
+        assert!(Column::Int(vec![4, 5, 6]).is_dense());
+        assert!(!Column::Int(vec![1, 3, 4]).is_dense());
+        assert!(!Column::Str(vec![]).is_dense());
+    }
+
+    #[test]
+    fn repeat_builds_constant_column() {
+        let c = Column::repeat(&Item::str("even"), 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.item(2).string_value(), "even");
+    }
+}

@@ -1,0 +1,37 @@
+//! # mxq-engine — column-store relational kernel
+//!
+//! This crate is the *MonetDB substrate* of the MonetDB/XQuery reproduction:
+//! a small, self-contained column-store relational kernel that the Pathfinder
+//! style XQuery compiler (crate `mxq-xquery`) targets.
+//!
+//! It deliberately mirrors the features of the MonetDB kernel that the paper
+//! relies on:
+//!
+//! * **Typed columns** ([`Column`]) holding integers, doubles, strings,
+//!   booleans, node references or polymorphic XQuery items ([`Item`]).
+//! * **Tables** ([`Table`]) as ordered collections of named columns, the
+//!   `iter|pos|item` sequence encoding being the most prominent instance.
+//! * **Physical operators**: multi-column stable sorting ([`sort`]),
+//!   positional / hash / merge / theta joins ([`join`]), dense row numbering
+//!   with both the sort-based and the streaming hash-based algorithm
+//!   ([`rank`], Section 4.1 of the paper), and grouped aggregation ([`agg`]).
+//!
+//! The kernel is purely in-memory and single-threaded, which matches the way
+//! MonetDB/XQuery executed a single query plan; scalability experiments in
+//! the paper vary the *data* size, not the number of worker threads.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod column;
+pub mod error;
+pub mod join;
+pub mod rank;
+pub mod sort;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use error::{EngineError, Result};
+pub use table::Table;
+pub use value::{CmpOp, Item, NodeId};

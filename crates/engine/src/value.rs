@@ -1,0 +1,337 @@
+//! Scalar values: node surrogates, polymorphic XQuery items and comparison
+//! operators.
+//!
+//! The paper represents XML nodes by their preorder rank (`pre`), extended
+//! with a fragment identifier (`frag`) so that transient trees created by
+//! element construction live side by side with persistent documents
+//! (Section 5.1).  [`NodeId`] is exactly that pair; document order is the
+//! lexicographic `(frag, pre)` order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Surrogate for an XML node: fragment (document container) id plus preorder rank.
+///
+/// Ordering of `NodeId`s is document order across fragments, i.e. the
+/// lexicographic order on `(frag, pre)` — the order MonetDB/XQuery sorts on
+/// (footnote 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId {
+    /// Document container (fragment) the node lives in.
+    pub frag: u32,
+    /// Preorder rank within the fragment; doubles as node identity.
+    pub pre: u32,
+}
+
+impl NodeId {
+    /// Create a new node surrogate.
+    pub fn new(frag: u32, pre: u32) -> Self {
+        NodeId { frag, pre }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.frag, self.pre)
+    }
+}
+
+/// A polymorphic XQuery item as stored in an `item` column.
+///
+/// The paper keeps a polymorphic item column for simplicity (Section 2.1);
+/// we follow suit.  Atomic values carry their implementation type directly,
+/// nodes are stored as [`NodeId`] surrogates.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `xs:integer`.
+    Int(i64),
+    /// `xs:double` / `xs:decimal` (single floating point implementation type).
+    Dbl(f64),
+    /// `xs:string` and untyped atomic text.
+    Str(Arc<str>),
+    /// `xs:boolean`.
+    Bool(bool),
+    /// A node reference.
+    Node(NodeId),
+}
+
+impl Item {
+    /// Build a string item from anything stringy.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Item::Str(s.into())
+    }
+
+    /// True if the item is a node reference.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+
+    /// Return the node surrogate if this is a node item.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Item::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the item (`None` for non-numeric strings, booleans, nodes).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Item::Int(i) => Some(*i as f64),
+            Item::Dbl(d) => Some(*d),
+            Item::Str(s) => s.trim().parse::<f64>().ok(),
+            Item::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Item::Node(_) => None,
+        }
+    }
+
+    /// Integer view if the item is an integer (no coercion).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Item::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view (only for boolean items).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Item::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view for string items (no atomization of nodes here — that
+    /// requires the document store and is done in the executor).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Item::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// XQuery string value of an *atomic* item (nodes are not handled here).
+    pub fn string_value(&self) -> String {
+        match self {
+            Item::Int(i) => i.to_string(),
+            Item::Dbl(d) => format_double(*d),
+            Item::Str(s) => s.to_string(),
+            Item::Bool(b) => b.to_string(),
+            Item::Node(n) => format!("node({n})"),
+        }
+    }
+
+    /// Effective boolean value of a single atomic item.
+    pub fn effective_boolean(&self) -> bool {
+        match self {
+            Item::Bool(b) => *b,
+            Item::Int(i) => *i != 0,
+            Item::Dbl(d) => *d != 0.0 && !d.is_nan(),
+            Item::Str(s) => !s.is_empty(),
+            Item::Node(_) => true,
+        }
+    }
+
+    /// A total order used for sorting and duplicate elimination.  Unlike the
+    /// XQuery value comparison this never fails: items of different kinds are
+    /// ordered by a type rank first.
+    pub fn total_cmp(&self, other: &Item) -> Ordering {
+        fn rank(i: &Item) -> u8 {
+            match i {
+                Item::Bool(_) => 0,
+                Item::Int(_) | Item::Dbl(_) => 1,
+                Item::Str(_) => 2,
+                Item::Node(_) => 3,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Item::Bool(a), Item::Bool(b)) => a.cmp(b),
+            (Item::Node(a), Item::Node(b)) => a.cmp(b),
+            (Item::Str(a), Item::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => {
+                let a = self.as_number().unwrap_or(f64::NAN);
+                let b = other.as_number().unwrap_or(f64::NAN);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// XQuery-style *value comparison* between two atomic items: numeric if
+    /// both sides can be treated as numbers, string comparison otherwise.
+    /// Returns `None` when the items are incomparable (e.g. node vs number).
+    pub fn value_cmp(&self, other: &Item) -> Option<Ordering> {
+        match (self, other) {
+            (Item::Node(a), Item::Node(b)) => Some(a.cmp(b)),
+            (Item::Bool(a), Item::Bool(b)) => Some(a.cmp(b)),
+            (Item::Str(a), Item::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => {
+                let a = self.as_number()?;
+                let b = other.as_number()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Evaluate a comparison operator with XQuery value-comparison semantics.
+    pub fn compare(&self, op: CmpOp, other: &Item) -> bool {
+        match self.value_cmp(other) {
+            None => false,
+            Some(ord) => op.matches(ord),
+        }
+    }
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(CmpOp::Eq, other)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.string_value())
+    }
+}
+
+/// Format a double the way XQuery serialization does for the common cases:
+/// integral values print without a fractional part.
+pub fn format_double(d: f64) -> String {
+    if d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+/// The six comparison operators shared by XQuery general and value comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// equal
+    Eq,
+    /// not equal
+    Ne,
+    /// less than
+    Lt,
+    /// less or equal
+    Le,
+    /// greater than
+    Gt,
+    /// greater or equal
+    Ge,
+}
+
+impl CmpOp {
+    /// Does an `Ordering` outcome satisfy the operator?
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.swap() a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// True for the `eq` operator; the existential-join rewrite of Section 4.2
+    /// distinguishes equality (hash join + ordered duplicate elimination) from
+    /// the order comparisons (min/max aggregate pushdown).
+    pub fn is_equality(self) -> bool {
+        matches!(self, CmpOp::Eq)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_document_order() {
+        let a = NodeId::new(0, 5);
+        let b = NodeId::new(0, 7);
+        let c = NodeId::new(1, 0);
+        assert!(a < b);
+        assert!(b < c, "fragments order before pre ranks");
+    }
+
+    #[test]
+    fn numeric_promotion_in_value_cmp() {
+        assert!(Item::Int(3).compare(CmpOp::Lt, &Item::Dbl(3.5)));
+        assert!(Item::Dbl(2.0).compare(CmpOp::Eq, &Item::Int(2)));
+        assert!(Item::str("10").compare(CmpOp::Gt, &Item::Int(9)));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert!(Item::str("abc").compare(CmpOp::Lt, &Item::str("abd")));
+        assert!(!Item::str("abc").compare(CmpOp::Eq, &Item::str("ABC")));
+    }
+
+    #[test]
+    fn incomparable_items_compare_false() {
+        let n = Item::Node(NodeId::new(0, 1));
+        assert!(!n.compare(CmpOp::Eq, &Item::Int(1)));
+        assert!(!Item::str("xyz").compare(CmpOp::Lt, &Item::Int(1)));
+    }
+
+    #[test]
+    fn effective_boolean_values() {
+        assert!(Item::Int(1).effective_boolean());
+        assert!(!Item::Int(0).effective_boolean());
+        assert!(!Item::str("").effective_boolean());
+        assert!(Item::str("x").effective_boolean());
+        assert!(Item::Node(NodeId::new(0, 0)).effective_boolean());
+    }
+
+    #[test]
+    fn cmp_op_swap_roundtrip() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.swap().swap(), op);
+        }
+    }
+
+    #[test]
+    fn total_cmp_orders_across_types() {
+        let mut v = vec![Item::str("a"), Item::Int(1), Item::Bool(true)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert!(matches!(v[0], Item::Bool(_)));
+        assert!(matches!(v[2], Item::Str(_)));
+    }
+
+    #[test]
+    fn format_double_integral() {
+        assert_eq!(format_double(4.0), "4");
+        assert_eq!(format_double(4.5), "4.5");
+    }
+}

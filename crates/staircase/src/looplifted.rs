@@ -1,0 +1,590 @@
+//! The loop-lifted staircase join (Section 3 of the paper).
+//!
+//! The context is the relational encoding of *all* context node sequences of
+//! all iterations of the enclosing for-loops: a set of `(iter, pre)` pairs,
+//! processed in `(pre, iter)` order so that context nodes appear in document
+//! order and, per context node, all interested iterations appear clustered.
+//!
+//! Compared to the plain staircase join:
+//!
+//! * **pruning** removes a context pair only when it is covered by an earlier
+//!   context node *of the same iteration*;
+//! * **partitioning** is implemented with a stack of active context nodes,
+//!   each annotated with the iterations it is active for (Figure 6);
+//! * **skipping** is unchanged — the algorithms below touch at most
+//!   `|result| + |context|` rows of the document encoding and keep a strictly
+//!   forward (or strictly backward, for reverse axes) access pattern.
+
+use std::collections::HashSet;
+
+use mxq_xmldb::Document;
+
+use crate::axis::Axis;
+use crate::nametest::NodeTest;
+use crate::stats::ScanStats;
+
+/// A context pair: (iteration number, preorder rank).
+pub type CtxPair = (i64, u32);
+
+/// Evaluate one location step for all iterations at once.
+///
+/// The result contains, for every iteration, the duplicate-free set of result
+/// nodes of that iteration; it is returned sorted by `(pre, iter)` (document
+/// order, iterations clustered per node), mirroring the emission order of the
+/// algorithm in Figure 6.
+pub fn looplifted_step(
+    doc: &Document,
+    ctx: &[CtxPair],
+    axis: Axis,
+    test: &NodeTest,
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    stats.passes += 1;
+    stats.contexts += ctx.len() as u64;
+    let groups = group_by_pre(ctx);
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let mut result = match axis {
+        Axis::Child => ll_child(doc, &groups, test, stats),
+        Axis::Descendant => ll_descendant(doc, ctx, test, stats, false),
+        Axis::DescendantOrSelf => ll_descendant(doc, ctx, test, stats, true),
+        Axis::SelfAxis => ctx
+            .iter()
+            .copied()
+            .filter(|&(_, p)| {
+                stats.nodes_scanned += 1;
+                test.matches(doc, p)
+            })
+            .collect(),
+        Axis::Parent => ll_parent(doc, &groups, test, stats),
+        Axis::Ancestor => ll_ancestor(doc, &groups, test, stats, false),
+        Axis::AncestorOrSelf => ll_ancestor(doc, &groups, test, stats, true),
+        Axis::Following => ll_following(doc, ctx, test, stats),
+        Axis::Preceding => ll_preceding(doc, ctx, test, stats),
+        Axis::FollowingSibling => ll_siblings(doc, &groups, test, stats, true),
+        Axis::PrecedingSibling => ll_siblings(doc, &groups, test, stats, false),
+        Axis::Attribute => Vec::new(),
+    };
+    dedup_per_iter(&mut result);
+    stats.results += result.len() as u64;
+    result
+}
+
+/// The nametest/predicate-pushdown variant of Section 3.2: instead of
+/// scanning the document encoding, the step consumes a *candidate list* (in
+/// document order, typically produced by the element-name index) and emits
+/// only candidates reachable through the axis, skipping whole candidate
+/// ranges with binary search.
+pub fn looplifted_step_candidates(
+    doc: &Document,
+    ctx: &[CtxPair],
+    axis: Axis,
+    candidates: &[u32],
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    stats.passes += 1;
+    stats.contexts += ctx.len() as u64;
+    // pruning only applies to the recursive axes: a covered context node still
+    // contributes its own children for the child axis
+    let prepared: Vec<CtxPair> = match axis {
+        Axis::Descendant | Axis::DescendantOrSelf => prune_per_iter(doc, ctx),
+        _ => ctx.to_vec(),
+    };
+    let groups = group_by_pre(&prepared);
+    let mut out: Vec<CtxPair> = Vec::new();
+    match axis {
+        Axis::Descendant | Axis::DescendantOrSelf | Axis::Child => {
+            for (pre, iters) in &groups {
+                let lo = if axis == Axis::DescendantOrSelf { *pre } else { *pre + 1 };
+                let hi = *pre + doc.size(*pre);
+                let start = candidates.partition_point(|&c| c < lo);
+                let end = candidates.partition_point(|&c| c <= hi);
+                for &cand in &candidates[start..end] {
+                    stats.nodes_scanned += 1;
+                    if axis == Axis::Child && doc.level(cand) != doc.level(*pre) + 1 {
+                        continue;
+                    }
+                    for &it in iters {
+                        out.push((it, cand));
+                    }
+                }
+            }
+        }
+        _ => {
+            // other axes fall back to the scanning variant plus a post filter
+            let cand_set: HashSet<u32> = candidates.iter().copied().collect();
+            out = looplifted_step(doc, ctx, axis, &NodeTest::AnyKind, stats)
+                .into_iter()
+                .filter(|(_, p)| cand_set.contains(p))
+                .collect();
+        }
+    }
+    dedup_per_iter(&mut out);
+    stats.results += out.len() as u64;
+    out
+}
+
+/// Group context pairs by preorder rank: `(pre, iters)` with `pre` ascending
+/// and each iteration list sorted.
+fn group_by_pre(ctx: &[CtxPair]) -> Vec<(u32, Vec<i64>)> {
+    let mut sorted: Vec<CtxPair> = ctx.to_vec();
+    sorted.sort_unstable_by_key(|&(it, p)| (p, it));
+    sorted.dedup();
+    let mut groups: Vec<(u32, Vec<i64>)> = Vec::new();
+    for (it, p) in sorted {
+        match groups.last_mut() {
+            Some((gp, iters)) if *gp == p => iters.push(it),
+            _ => groups.push((p, vec![it])),
+        }
+    }
+    groups
+}
+
+/// Per-iteration pruning: drop a context pair when an earlier context node of
+/// the *same* iteration already covers it (Section 3, technique (i)).
+pub fn prune_per_iter(doc: &Document, ctx: &[CtxPair]) -> Vec<CtxPair> {
+    let mut sorted: Vec<CtxPair> = ctx.to_vec();
+    sorted.sort_unstable_by_key(|&(it, p)| (p, it));
+    sorted.dedup();
+    let mut cover: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(sorted.len());
+    for (it, p) in sorted {
+        match cover.get(&it) {
+            Some(&end) if p <= end => continue,
+            _ => {
+                cover.insert(it, p + doc.size(p));
+                out.push((it, p));
+            }
+        }
+    }
+    out
+}
+
+fn dedup_per_iter(result: &mut Vec<CtxPair>) {
+    result.sort_unstable_by_key(|&(it, p)| (p, it));
+    result.dedup();
+}
+
+/// Loop-lifted child step — the algorithm of Figure 6.
+fn ll_child(
+    doc: &Document,
+    groups: &[(u32, Vec<i64>)],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    struct Active {
+        /// end of scope: last preorder rank inside the context's subtree
+        eos: u32,
+        /// next child to process
+        nxt_child: u32,
+        /// iterations this context node is active for
+        iters: Vec<i64>,
+    }
+
+    let mut result: Vec<CtxPair> = Vec::new();
+    let mut active: Vec<Active> = Vec::new();
+    let mut next_ctx = 0usize;
+
+    // emit the children of the top-of-stack context up to and including `until`
+    let inner_loop_child = |top: &mut Active,
+                            until: u32,
+                            result: &mut Vec<CtxPair>,
+                            stats: &mut ScanStats| {
+        let mut v = top.nxt_child;
+        while v <= until && v <= top.eos {
+            stats.nodes_scanned += 1;
+            if test.matches(doc, v) {
+                for &it in &top.iters {
+                    result.push((it, v));
+                }
+            }
+            v = v + doc.size(v) + 1; // skip the child's subtree (skipping)
+        }
+        top.nxt_child = v;
+    };
+
+    let push_ctx = |groups: &[(u32, Vec<i64>)],
+                    idx: usize,
+                    active: &mut Vec<Active>,
+                    stats: &mut ScanStats| {
+        let (pre, iters) = &groups[idx];
+        stats.nodes_scanned += 1; // the context node itself is inspected
+        active.push(Active {
+            eos: *pre + doc.size(*pre),
+            nxt_child: *pre + 1,
+            iters: iters.clone(),
+        });
+    };
+
+    while next_ctx < groups.len() {
+        if active.is_empty() {
+            push_ctx(groups, next_ctx, &mut active, stats); // 1
+            next_ctx += 1;
+        } else {
+            let next_pre = groups[next_ctx].0;
+            let top_eos = active.last().unwrap().eos;
+            if next_pre <= top_eos {
+                // next context is a descendant of the current one
+                let top = active.last_mut().unwrap();
+                inner_loop_child(top, next_pre, &mut result, stats); // 2
+                push_ctx(groups, next_ctx, &mut active, stats); // 3
+                next_ctx += 1;
+            } else {
+                let mut top = active.pop().unwrap();
+                let eos = top.eos;
+                inner_loop_child(&mut top, eos, &mut result, stats); // 4, 5
+            }
+        }
+    }
+    while let Some(mut top) = active.pop() {
+        let eos = top.eos;
+        inner_loop_child(&mut top, eos, &mut result, stats); // 6, 7
+    }
+    result
+}
+
+/// Loop-lifted descendant / descendant-or-self step: a single forward sweep
+/// with a stack of open context regions annotated with their iterations.
+fn ll_descendant(
+    doc: &Document,
+    ctx: &[CtxPair],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+    or_self: bool,
+) -> Vec<CtxPair> {
+    let pruned = prune_per_iter(doc, ctx);
+    let groups = group_by_pre(&pruned);
+    let mut result: Vec<CtxPair> = Vec::new();
+    // self contribution (pruned contexts of the same iter are still their own
+    // descendant-or-self result; use the unpruned context for that)
+    if or_self {
+        for &(it, p) in ctx {
+            if test.matches(doc, p) {
+                result.push((it, p));
+            }
+        }
+    }
+
+    struct Open {
+        pre: u32,
+        eos: u32,
+        iters: Vec<i64>,
+    }
+
+    let mut i = 0usize;
+    while i < groups.len() {
+        // start a new partition
+        let mut stack: Vec<Open> = Vec::new();
+        let (pre0, iters0) = &groups[i];
+        stack.push(Open {
+            pre: *pre0,
+            eos: *pre0 + doc.size(*pre0),
+            iters: iters0.clone(),
+        });
+        stats.nodes_scanned += 1;
+        i += 1;
+        let mut v = *pre0 + 1;
+        while !stack.is_empty() {
+            // close finished regions
+            while let Some(top) = stack.last() {
+                if top.eos < v {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if stack.is_empty() {
+                break;
+            }
+            // open a context that starts exactly here
+            if i < groups.len() && groups[i].0 == v {
+                let (pre, iters) = &groups[i];
+                stack.push(Open {
+                    pre: *pre,
+                    eos: *pre + doc.size(*pre),
+                    iters: iters.clone(),
+                });
+                i += 1;
+            }
+            if v as usize >= doc.len() {
+                break;
+            }
+            stats.nodes_scanned += 1;
+            if test.matches(doc, v) {
+                for open in &stack {
+                    if open.pre < v {
+                        for &it in &open.iters {
+                            result.push((it, v));
+                        }
+                    }
+                }
+            }
+            v += 1;
+        }
+    }
+    result
+}
+
+fn ll_parent(
+    doc: &Document,
+    groups: &[(u32, Vec<i64>)],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    let mut out = Vec::new();
+    for (pre, iters) in groups {
+        if let Some(p) = doc.parent(*pre) {
+            stats.nodes_scanned += 1;
+            if test.matches(doc, p) {
+                for &it in iters {
+                    out.push((it, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn ll_ancestor(
+    doc: &Document,
+    groups: &[(u32, Vec<i64>)],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+    or_self: bool,
+) -> Vec<CtxPair> {
+    let mut out = Vec::new();
+    for (pre, iters) in groups {
+        if or_self && test.matches(doc, *pre) {
+            for &it in iters {
+                out.push((it, *pre));
+            }
+        }
+        let mut cur = *pre;
+        while let Some(p) = doc.parent(cur) {
+            stats.nodes_scanned += 1;
+            if test.matches(doc, p) {
+                for &it in iters {
+                    out.push((it, p));
+                }
+            }
+            cur = p;
+        }
+    }
+    out
+}
+
+fn ll_following(
+    doc: &Document,
+    ctx: &[CtxPair],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    // per-iteration partition boundary: the smallest pre+size of that iter
+    let mut boundary: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+    for &(it, p) in ctx {
+        let b = p + doc.size(p);
+        boundary
+            .entry(it)
+            .and_modify(|e| *e = (*e).min(b))
+            .or_insert(b);
+    }
+    let mut iters: Vec<(u32, i64)> = boundary.iter().map(|(&it, &b)| (b, it)).collect();
+    iters.sort_unstable();
+    let Some(&(min_b, _)) = iters.first() else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut active: Vec<i64> = Vec::new();
+    let mut next = 0usize;
+    for v in min_b + 1..doc.len() as u32 {
+        while next < iters.len() && iters[next].0 < v {
+            active.push(iters[next].1);
+            next += 1;
+        }
+        stats.nodes_scanned += 1;
+        if test.matches(doc, v) {
+            for &it in &active {
+                out.push((it, v));
+            }
+        }
+    }
+    out
+}
+
+fn ll_preceding(
+    doc: &Document,
+    ctx: &[CtxPair],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+) -> Vec<CtxPair> {
+    // per-iteration boundary: the largest context pre of that iter
+    let mut boundary: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+    for &(it, p) in ctx {
+        boundary
+            .entry(it)
+            .and_modify(|e| *e = (*e).max(p))
+            .or_insert(p);
+    }
+    let mut bounds: Vec<(u32, i64)> = boundary.iter().map(|(&it, &b)| (b, it)).collect();
+    bounds.sort_unstable();
+    let Some(&(max_b, _)) = bounds.last() else { return Vec::new() };
+    let mut out = Vec::new();
+    for v in 0..max_b {
+        stats.nodes_scanned += 1;
+        let end = v + doc.size(v);
+        if !test.matches(doc, v) {
+            continue;
+        }
+        // v precedes iteration `it` iff its subtree closes before that
+        // iteration's boundary context node
+        let idx = bounds.partition_point(|&(b, _)| b <= end);
+        for &(_, it) in &bounds[idx..] {
+            out.push((it, v));
+        }
+    }
+    out
+}
+
+fn ll_siblings(
+    doc: &Document,
+    groups: &[(u32, Vec<i64>)],
+    test: &NodeTest,
+    stats: &mut ScanStats,
+    following: bool,
+) -> Vec<CtxPair> {
+    let mut out = Vec::new();
+    for (pre, iters) in groups {
+        let Some(p) = doc.parent(*pre) else { continue };
+        for v in doc.children(p) {
+            stats.nodes_scanned += 1;
+            let keep = if following { v > *pre } else { v < *pre };
+            if keep && test.matches(doc, v) {
+                for &it in iters {
+                    out.push((it, v));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::staircase_step;
+    use mxq_xmldb::shred::{shred, ShredOptions};
+
+    fn fig4() -> Document {
+        shred(
+            "fig4",
+            "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>",
+            &ShredOptions::default(),
+        )
+        .unwrap()
+    }
+
+    /// Reference: evaluate per iteration with the iterative staircase join.
+    fn reference(doc: &Document, ctx: &[CtxPair], axis: Axis, test: &NodeTest) -> Vec<CtxPair> {
+        let mut iters: Vec<i64> = ctx.iter().map(|&(it, _)| it).collect();
+        iters.sort_unstable();
+        iters.dedup();
+        let mut out = Vec::new();
+        for it in iters {
+            let c: Vec<u32> = ctx.iter().filter(|&&(i, _)| i == it).map(|&(_, p)| p).collect();
+            let mut stats = ScanStats::default();
+            for p in staircase_step(doc, &c, axis, test, &mut stats) {
+                out.push((it, p));
+            }
+        }
+        out.sort_unstable_by_key(|&(it, p)| (p, it));
+        out
+    }
+
+    fn check_axis(axis: Axis, ctx: &[CtxPair]) {
+        let doc = fig4();
+        let mut stats = ScanStats::default();
+        let got = looplifted_step(&doc, ctx, axis, &NodeTest::AnyKind, &mut stats);
+        let want = reference(&doc, ctx, axis, &NodeTest::AnyKind);
+        assert_eq!(got, want, "axis {axis}");
+    }
+
+    #[test]
+    fn paper_example_child_step() {
+        // Section 3.1: iteration 1 has context (c1), iteration 2 has (c1, c2);
+        // with c1 = f (pre 5) and c2 = h (pre 7): children of f are g,h and of h are i,j.
+        let doc = fig4();
+        let ctx = vec![(1, 5), (2, 5), (2, 7)];
+        let mut stats = ScanStats::default();
+        let got = looplifted_step(&doc, &ctx, Axis::Child, &NodeTest::AnyKind, &mut stats);
+        assert_eq!(
+            got,
+            vec![(1, 6), (2, 6), (1, 7), (2, 7), (2, 8), (2, 9)],
+            "children produced in document order, iterations clustered"
+        );
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn matches_iterative_reference_on_all_axes() {
+        let ctx = vec![(1, 2), (1, 5), (2, 4), (2, 8), (3, 0), (3, 7)];
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::SelfAxis,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+        ] {
+            check_axis(axis, &ctx);
+        }
+    }
+
+    #[test]
+    fn per_iter_pruning_keeps_other_iterations() {
+        let doc = fig4();
+        // pre 2 (c) covers pre 4 (e) — but only within the same iteration
+        let pruned = prune_per_iter(&doc, &[(1, 2), (1, 4), (2, 4)]);
+        assert_eq!(pruned, vec![(1, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn candidate_variant_matches_nametest_scan() {
+        let doc = fig4();
+        let ctx = vec![(1, 0), (2, 5)];
+        let test = NodeTest::named("h");
+        let mut s1 = ScanStats::default();
+        let full = looplifted_step(&doc, &ctx, Axis::Descendant, &test, &mut s1);
+        let mut s2 = ScanStats::default();
+        let cands = doc.elements_named("h");
+        let pushed = looplifted_step_candidates(&doc, &ctx, Axis::Descendant, cands, &mut s2);
+        assert_eq!(full, pushed);
+        assert!(
+            s2.nodes_scanned < s1.nodes_scanned,
+            "pushdown touches only candidates ({} < {})",
+            s2.nodes_scanned,
+            s1.nodes_scanned
+        );
+    }
+
+    #[test]
+    fn child_scan_bound_result_plus_context() {
+        let doc = fig4();
+        let ctx = vec![(1, 0), (1, 5), (2, 7)];
+        let mut stats = ScanStats::default();
+        let res = looplifted_step(&doc, &ctx, Axis::Child, &NodeTest::AnyKind, &mut stats);
+        // |result| counts distinct (pre) emissions per active context; the
+        // bound of Section 3 is on document rows touched
+        assert!(stats.nodes_scanned <= res.len() as u64 + ctx.len() as u64);
+    }
+
+    #[test]
+    fn empty_context() {
+        let doc = fig4();
+        let mut stats = ScanStats::default();
+        assert!(looplifted_step(&doc, &[], Axis::Descendant, &NodeTest::AnyKind, &mut stats).is_empty());
+    }
+}

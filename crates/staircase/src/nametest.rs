@@ -1,0 +1,95 @@
+//! Node tests: kind tests and name tests applied to the nodes produced by an
+//! axis step.
+
+use mxq_xmldb::{Document, NodeKind};
+use std::sync::Arc;
+
+/// An XPath node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// `node()` — any node kind.
+    AnyKind,
+    /// `*` — any element.
+    AnyElement,
+    /// `name` — an element with the given name.
+    Named(Arc<str>),
+    /// `text()`.
+    Text,
+    /// `comment()`.
+    Comment,
+    /// `processing-instruction()` with an optional target.
+    ProcessingInstruction(Option<Arc<str>>),
+}
+
+impl NodeTest {
+    /// Build a name test.
+    pub fn named(name: impl Into<Arc<str>>) -> Self {
+        NodeTest::Named(name.into())
+    }
+
+    /// Does the node at `pre` in `doc` satisfy the test?
+    pub fn matches(&self, doc: &Document, pre: u32) -> bool {
+        match self {
+            NodeTest::AnyKind => true,
+            NodeTest::AnyElement => doc.kind(pre) == NodeKind::Element,
+            NodeTest::Named(name) => {
+                doc.kind(pre) == NodeKind::Element && doc.name_of(pre) == name.as_ref()
+            }
+            NodeTest::Text => doc.kind(pre) == NodeKind::Text,
+            NodeTest::Comment => doc.kind(pre) == NodeKind::Comment,
+            NodeTest::ProcessingInstruction(target) => {
+                doc.kind(pre) == NodeKind::ProcessingInstruction
+                    && target
+                        .as_ref()
+                        .map(|t| doc.name_of(pre) == t.as_ref())
+                        .unwrap_or(true)
+            }
+        }
+    }
+
+    /// If the test is a simple name test, return the candidate list from the
+    /// document's element-name index (document order).  This is the candidate
+    /// list consumed by the predicate-pushdown staircase join (Section 3.2).
+    pub fn candidates<'d>(&self, doc: &'d Document) -> Option<&'d [u32]> {
+        match self {
+            NodeTest::Named(name) => Some(doc.elements_named(name)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxq_xmldb::shred::{shred, ShredOptions};
+
+    fn doc() -> Document {
+        shred(
+            "t",
+            "<a><b>text</b><!--c--><b/><p/></a>",
+            &ShredOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kind_and_name_tests() {
+        let d = doc();
+        assert!(NodeTest::AnyKind.matches(&d, 2));
+        assert!(NodeTest::AnyElement.matches(&d, 1));
+        assert!(!NodeTest::AnyElement.matches(&d, 2));
+        assert!(NodeTest::named("b").matches(&d, 1));
+        assert!(!NodeTest::named("b").matches(&d, 5));
+        assert!(NodeTest::Text.matches(&d, 2));
+        assert!(NodeTest::Comment.matches(&d, 3));
+    }
+
+    #[test]
+    fn candidate_lists_come_from_name_index() {
+        let d = doc();
+        let cands = NodeTest::named("b").candidates(&d).unwrap();
+        assert_eq!(cands, &[1, 4]);
+        assert!(NodeTest::AnyElement.candidates(&d).is_none());
+        assert_eq!(NodeTest::named("zzz").candidates(&d).unwrap(), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Exhaustive per-axis checks of the staircase join against a brute-force
+//! oracle on the paper's Figure 4 document and on a deeper synthetic tree.
+//!
+//! The oracle evaluates each axis by its set definition over the pre/size
+//! encoding (no pruning, no skipping), so any divergence points at the
+//! staircase join's optimisations.
+
+use mxq_staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats};
+use mxq_xmldb::shred::{shred, ShredOptions};
+use mxq_xmldb::Document;
+
+fn fig4() -> Document {
+    shred(
+        "fig4",
+        "<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>",
+        &ShredOptions::default(),
+    )
+    .unwrap()
+}
+
+fn deep() -> Document {
+    // a 3-level comb: root with 6 children, each with 3 children, some text
+    let mut xml = String::from("<root>");
+    for i in 0..6 {
+        xml.push_str(&format!("<branch id=\"{i}\">"));
+        for j in 0..3 {
+            xml.push_str(&format!("<twig n=\"{j}\">t{i}{j}</twig>"));
+        }
+        xml.push_str("</branch>");
+    }
+    xml.push_str("</root>");
+    shred("deep", &xml, &ShredOptions::default()).unwrap()
+}
+
+/// Brute-force oracle for one axis from one context node.
+fn oracle(doc: &Document, c: u32, axis: Axis) -> Vec<u32> {
+    let n = doc.len() as u32;
+    let in_subtree = |anc: u32, v: u32| v > anc && v <= anc + doc.size(anc);
+    (0..n)
+        .filter(|&v| match axis {
+            Axis::Child => doc.parent(v) == Some(c),
+            Axis::Descendant => in_subtree(c, v),
+            Axis::DescendantOrSelf => v == c || in_subtree(c, v),
+            Axis::SelfAxis => v == c,
+            Axis::Parent => doc.parent(c) == Some(v),
+            Axis::Ancestor => in_subtree(v, c),
+            Axis::AncestorOrSelf => v == c || in_subtree(v, c),
+            Axis::Following => v > c + doc.size(c),
+            Axis::Preceding => v + doc.size(v) < c,
+            Axis::FollowingSibling => doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v > c,
+            Axis::PrecedingSibling => doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v < c,
+            Axis::Attribute => false,
+        })
+        .collect()
+}
+
+const AXES: [Axis; 11] = [
+    Axis::Child,
+    Axis::Descendant,
+    Axis::DescendantOrSelf,
+    Axis::SelfAxis,
+    Axis::Parent,
+    Axis::Ancestor,
+    Axis::AncestorOrSelf,
+    Axis::Following,
+    Axis::Preceding,
+    Axis::FollowingSibling,
+    Axis::PrecedingSibling,
+];
+
+#[test]
+fn iterative_staircase_matches_oracle_for_every_single_context() {
+    for doc in [fig4(), deep()] {
+        for axis in AXES {
+            for c in 0..doc.len() as u32 {
+                let mut stats = ScanStats::default();
+                let got = staircase_step(&doc, &[c], axis, &NodeTest::AnyKind, &mut stats);
+                let want = oracle(&doc, c, axis);
+                assert_eq!(got, want, "axis {axis} from context {c} in {}", doc.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn iterative_staircase_matches_oracle_for_context_sets() {
+    let doc = deep();
+    let n = doc.len() as u32;
+    // a handful of multi-node context sets, including nested and overlapping ones
+    let contexts: Vec<Vec<u32>> = vec![
+        vec![0, 1, 2],
+        vec![1, 5, 9],
+        (0..n).step_by(3).collect(),
+        vec![n - 1, n - 2, 0],
+        (0..n).collect(),
+    ];
+    for axis in AXES {
+        for ctx in &contexts {
+            let mut stats = ScanStats::default();
+            let got = staircase_step(&doc, ctx, axis, &NodeTest::AnyKind, &mut stats);
+            let mut want: Vec<u32> = ctx.iter().flat_map(|&c| oracle(&doc, c, axis)).collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(got, want, "axis {axis} for context {ctx:?}");
+        }
+    }
+}
+
+#[test]
+fn looplifted_results_are_per_iteration_duplicate_free_and_document_ordered() {
+    let doc = deep();
+    let n = doc.len() as u32;
+    let ctx: Vec<(i64, u32)> = (0..n).map(|p| ((p % 5) as i64 + 1, p)).collect();
+    for axis in AXES {
+        let mut stats = ScanStats::default();
+        let result = looplifted_step(&doc, &ctx, axis, &NodeTest::AnyKind, &mut stats);
+        // sorted by (pre, iter) and free of duplicates
+        let mut sorted = result.clone();
+        sorted.sort_unstable_by_key(|&(it, p)| (p, it));
+        sorted.dedup();
+        assert_eq!(result, sorted, "axis {axis} output order");
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.results, result.len() as u64);
+    }
+}
+
+#[test]
+fn nametest_filters_apply_during_the_scan() {
+    let doc = deep();
+    let mut stats = ScanStats::default();
+    let root_ctx = vec![(1i64, 0u32)];
+    let twigs = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::named("twig"), &mut stats);
+    assert_eq!(twigs.len(), 18);
+    let branches = looplifted_step(&doc, &root_ctx, Axis::Child, &NodeTest::named("branch"), &mut stats);
+    assert_eq!(branches.len(), 6);
+    let none = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::named("nope"), &mut stats);
+    assert!(none.is_empty());
+    let text = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::Text, &mut stats);
+    assert_eq!(text.len(), 18);
+}
+
+#[test]
+fn candidate_pushdown_equals_scan_with_nametest_on_larger_contexts() {
+    let doc = deep();
+    let branches: Vec<(i64, u32)> = doc
+        .elements_named("branch")
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| ((i % 2) as i64 + 1, p))
+        .collect();
+    for axis in [Axis::Child, Axis::Descendant, Axis::DescendantOrSelf] {
+        let mut s1 = ScanStats::default();
+        let scan = looplifted_step(&doc, &branches, axis, &NodeTest::named("twig"), &mut s1);
+        let mut s2 = ScanStats::default();
+        let cands = doc.elements_named("twig");
+        let push = mxq_staircase::looplifted_step_candidates(&doc, &branches, axis, cands, &mut s2);
+        assert_eq!(scan, push, "axis {axis}");
+    }
+}

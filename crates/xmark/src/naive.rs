@@ -1,0 +1,772 @@
+//! A naive, DOM-walking XQuery interpreter.
+//!
+//! This evaluator plays the role of the non-relational comparator systems of
+//! the paper's Table 1 (eXist, Galax, X-Hive, BerkeleyDB XML): it navigates
+//! the tree one node at a time, re-evaluates path expressions for every
+//! iteration of every `for` loop, and evaluates value joins by nested loops.
+//! There is no loop lifting, no staircase join, no join recognition and no
+//! order-property bookkeeping — which is exactly why it exhibits the
+//! behaviour the paper's comparison highlights (joins degrade quadratically,
+//! path-heavy queries pay repeated traversals).
+//!
+//! It shares the parser and AST with `mxq-xquery`, so both engines accept the
+//! same query texts and their results can be compared 1:1 in tests.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mxq_engine::{Item, NodeId};
+use mxq_staircase::{Axis, NodeTest};
+use mxq_xmldb::{DocStore, NodeKind};
+use mxq_xquery::ast::*;
+use mxq_xquery::parser::parse_query;
+
+/// Errors raised by the naive interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaiveError {
+    /// Parse failure (same parser as the relational engine).
+    Parse(String),
+    /// A variable that is not in scope.
+    UnknownVariable(String),
+    /// An unknown function.
+    UnknownFunction(String),
+    /// A document that is not loaded.
+    UnknownDocument(String),
+    /// A construct the interpreter does not handle.
+    Unsupported(String),
+}
+
+impl fmt::Display for NaiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NaiveError::Parse(m) => write!(f, "parse error: {m}"),
+            NaiveError::UnknownVariable(v) => write!(f, "unknown variable ${v}"),
+            NaiveError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
+            NaiveError::UnknownDocument(d) => write!(f, "document not loaded: {d}"),
+            NaiveError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NaiveError {}
+
+type NResult<T> = Result<T, NaiveError>;
+type Env = HashMap<String, Vec<Item>>;
+
+/// The naive interpreter over a document store.
+pub struct NaiveInterpreter<'a> {
+    store: &'a mut DocStore,
+    functions: HashMap<String, FunctionDecl>,
+}
+
+impl<'a> NaiveInterpreter<'a> {
+    /// Create an interpreter over the given store.
+    pub fn new(store: &'a mut DocStore) -> Self {
+        NaiveInterpreter {
+            store,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// Parse and evaluate a query, returning the result item sequence.
+    pub fn run(&mut self, query: &str) -> NResult<Vec<Item>> {
+        let parsed = parse_query(query).map_err(|e| NaiveError::Parse(e.to_string()))?;
+        for f in &parsed.functions {
+            self.functions.insert(f.name.clone(), f.clone());
+        }
+        let mut env = Env::new();
+        for (name, value) in &parsed.variables {
+            let v = self.eval(value, &env)?;
+            env.insert(name.clone(), v);
+        }
+        self.eval(&parsed.body, &env)
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &Env) -> NResult<Vec<Item>> {
+        match expr {
+            Expr::Literal(l) => Ok(vec![match l {
+                Literal::Integer(i) => Item::Int(*i),
+                Literal::Double(d) => Item::Dbl(*d),
+                Literal::String(s) => Item::str(s.as_str()),
+            }]),
+            Expr::Empty => Ok(vec![]),
+            Expr::Var(v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| NaiveError::UnknownVariable(v.clone())),
+            Expr::Sequence(parts) => {
+                let mut out = Vec::new();
+                for p in parts {
+                    out.extend(self.eval(p, env)?);
+                }
+                Ok(out)
+            }
+            Expr::Flwor {
+                clauses,
+                where_,
+                order_by,
+                ret,
+            } => self.eval_flwor(clauses, where_.as_deref(), order_by.as_ref(), ret, env),
+            Expr::If { cond, then, els } => {
+                let c = self.eval(cond, env)?;
+                if ebv(&c) {
+                    self.eval(then, env)
+                } else {
+                    self.eval(els, env)
+                }
+            }
+            Expr::Quantified {
+                some,
+                var,
+                source,
+                satisfies,
+            } => {
+                let src = self.eval(source, env)?;
+                let mut result = !*some;
+                for item in src {
+                    let mut env2 = env.clone();
+                    env2.insert(var.clone(), vec![item]);
+                    let sat = ebv(&self.eval(satisfies, &env2)?);
+                    if *some && sat {
+                        result = true;
+                        break;
+                    }
+                    if !*some && !sat {
+                        result = false;
+                        break;
+                    }
+                }
+                Ok(vec![Item::Bool(result)])
+            }
+            Expr::Arith { op, l, r } => {
+                let a = self.first_number(l, env)?;
+                let b = self.first_number(r, env)?;
+                let (Some(a), Some(b)) = (a, b) else { return Ok(vec![]) };
+                let v = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                    ArithOp::IDiv => (a / b).trunc(),
+                    ArithOp::Mod => a % b,
+                };
+                if v.fract() == 0.0 && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod) {
+                    Ok(vec![Item::Int(v as i64)])
+                } else {
+                    Ok(vec![Item::Dbl(v)])
+                }
+            }
+            Expr::Neg(e) => {
+                let v = self.first_number(e, env)?;
+                Ok(v.map(|x| vec![Item::Dbl(-x)]).unwrap_or_default())
+            }
+            Expr::Comparison { kind, l, r } => {
+                let lv = self.eval(l, env)?;
+                let rv = self.eval(r, env)?;
+                let result = match kind {
+                    CompKind::General(op) => {
+                        // nested-loop existential comparison
+                        let mut found = false;
+                        'outer: for a in &lv {
+                            for b in &rv {
+                                if self.atomize(a).compare(*op, &self.atomize(b)) {
+                                    found = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                        found
+                    }
+                    CompKind::Value(op) => match (lv.first(), rv.first()) {
+                        (Some(a), Some(b)) => self.atomize(a).compare(*op, &self.atomize(b)),
+                        _ => false,
+                    },
+                    CompKind::NodeBefore | CompKind::NodeAfter | CompKind::NodeIs => {
+                        match (lv.first().and_then(|i| i.as_node()), rv.first().and_then(|i| i.as_node())) {
+                            (Some(a), Some(b)) => match kind {
+                                CompKind::NodeBefore => a < b,
+                                CompKind::NodeAfter => a > b,
+                                _ => a == b,
+                            },
+                            _ => false,
+                        }
+                    }
+                };
+                Ok(vec![Item::Bool(result)])
+            }
+            Expr::Logical { is_and, l, r } => {
+                let a = ebv(&self.eval(l, env)?);
+                let b = ebv(&self.eval(r, env)?);
+                Ok(vec![Item::Bool(if *is_and { a && b } else { a || b })])
+            }
+            Expr::Path { start, steps } => {
+                let mut ctx = match start {
+                    Some(s) => self.eval(s, env)?,
+                    None => {
+                        return Err(NaiveError::Unsupported("absolute path".into()));
+                    }
+                };
+                for step in steps {
+                    ctx = self.eval_step(&ctx, step, env)?;
+                }
+                Ok(ctx)
+            }
+            Expr::FunCall { name, args } => self.eval_funcall(name, args, env),
+            Expr::Element(ctor) => Ok(vec![self.construct(ctor, env)?]),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FLWOR
+    // ------------------------------------------------------------------
+
+    fn eval_flwor(
+        &mut self,
+        clauses: &[Clause],
+        where_: Option<&Expr>,
+        order_by: Option<&OrderSpec>,
+        ret: &Expr,
+        env: &Env,
+    ) -> NResult<Vec<Item>> {
+        // build the tuple stream (environments) clause by clause
+        let mut envs: Vec<Env> = vec![env.clone()];
+        for clause in clauses {
+            let mut next = Vec::new();
+            match clause {
+                Clause::For { var, at, source } => {
+                    for e in &envs {
+                        let src = self.eval(source, e)?;
+                        for (idx, item) in src.into_iter().enumerate() {
+                            let mut e2 = e.clone();
+                            e2.insert(var.clone(), vec![item]);
+                            if let Some(a) = at {
+                                e2.insert(a.clone(), vec![Item::Int(idx as i64 + 1)]);
+                            }
+                            next.push(e2);
+                        }
+                    }
+                }
+                Clause::Let { var, value } => {
+                    for e in &envs {
+                        let v = self.eval(value, e)?;
+                        let mut e2 = e.clone();
+                        e2.insert(var.clone(), v);
+                        next.push(e2);
+                    }
+                }
+            }
+            envs = next;
+        }
+        // where
+        if let Some(w) = where_ {
+            let mut kept = Vec::new();
+            for e in envs {
+                if ebv(&self.eval(w, &e)?) {
+                    kept.push(e);
+                }
+            }
+            envs = kept;
+        }
+        // order by
+        if let Some(spec) = order_by {
+            let mut keyed: Vec<(Item, Env)> = Vec::new();
+            for e in envs {
+                let key = self
+                    .eval(&spec.key, &e)?
+                    .first()
+                    .map(|i| self.atomize(i))
+                    .unwrap_or(Item::str(""));
+                keyed.push((key, e));
+            }
+            keyed.sort_by(|a, b| {
+                let ord = a.0.total_cmp(&b.0);
+                if spec.descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            envs = keyed.into_iter().map(|(_, e)| e).collect();
+        }
+        // return
+        let mut out = Vec::new();
+        for e in envs {
+            out.extend(self.eval(ret, &e)?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // paths
+    // ------------------------------------------------------------------
+
+    fn eval_step(&mut self, ctx: &[Item], step: &Step, env: &Env) -> NResult<Vec<Item>> {
+        let mut out: Vec<Item> = Vec::new();
+        for item in ctx {
+            let Some(node) = item.as_node() else { continue };
+            let mut results = self.axis_nodes(node, step.axis, &step.test);
+            for pred in &step.predicates {
+                results = self.apply_predicate(results, pred, env)?;
+            }
+            out.extend(results);
+        }
+        // document order + duplicate elimination over node results
+        if out.iter().all(|i| i.is_node()) {
+            out.sort_by(|a, b| a.total_cmp(b));
+            out.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+        }
+        Ok(out)
+    }
+
+    fn apply_predicate(&mut self, results: Vec<Item>, pred: &Expr, env: &Env) -> NResult<Vec<Item>> {
+        // positional forms
+        if let Expr::Literal(Literal::Integer(n)) = pred {
+            let idx = *n as usize;
+            return Ok(results.get(idx.wrapping_sub(1)).cloned().into_iter().collect());
+        }
+        if let Expr::FunCall { name, args } = pred {
+            if name == "last" && args.is_empty() {
+                return Ok(results.last().cloned().into_iter().collect());
+            }
+        }
+        let mut kept = Vec::new();
+        for item in results {
+            let mut env2 = env.clone();
+            env2.insert(".".into(), vec![item.clone()]);
+            if ebv(&self.eval(pred, &env2)?) {
+                kept.push(item);
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Per-node axis navigation: a plain recursive tree walk, no skipping, no
+    /// pruning, no shared scans.
+    fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<Item> {
+        let doc = self.store.container(node.frag);
+        let pre = node.pre;
+        let mk = |p: u32| Item::Node(NodeId::new(node.frag, p));
+        match axis {
+            Axis::Attribute => {
+                let mut out = Vec::new();
+                match test {
+                    NodeTest::Named(name) => {
+                        if let Some(v) = doc.attribute(pre, name) {
+                            out.push(Item::str(v));
+                        }
+                    }
+                    _ => {
+                        for a in doc.attributes(pre) {
+                            out.push(Item::str(a.value.as_ref()));
+                        }
+                    }
+                }
+                out
+            }
+            Axis::Child => doc
+                .children(pre)
+                .filter(|&c| test.matches(doc, c))
+                .map(mk)
+                .collect(),
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let start = if axis == Axis::Descendant { pre + 1 } else { pre };
+                (start..=pre + doc.size(pre))
+                    .filter(|&v| test.matches(doc, v))
+                    .map(mk)
+                    .collect()
+            }
+            Axis::SelfAxis => {
+                if test.matches(doc, pre) {
+                    vec![mk(pre)]
+                } else {
+                    vec![]
+                }
+            }
+            Axis::Parent => doc
+                .parent(pre)
+                .filter(|&p| test.matches(doc, p))
+                .map(mk)
+                .into_iter()
+                .collect(),
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                let mut out = Vec::new();
+                if axis == Axis::AncestorOrSelf && test.matches(doc, pre) {
+                    out.push(mk(pre));
+                }
+                let mut cur = pre;
+                while let Some(p) = doc.parent(cur) {
+                    if test.matches(doc, p) {
+                        out.push(mk(p));
+                    }
+                    cur = p;
+                }
+                out
+            }
+            Axis::Following => {
+                let boundary = pre + doc.size(pre);
+                (boundary + 1..doc.len() as u32)
+                    .filter(|&v| test.matches(doc, v))
+                    .map(mk)
+                    .collect()
+            }
+            Axis::Preceding => (0..pre)
+                .filter(|&v| v + doc.size(v) < pre && test.matches(doc, v))
+                .map(mk)
+                .collect(),
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                let Some(p) = doc.parent(pre) else { return vec![] };
+                doc.children(p)
+                    .filter(|&v| {
+                        let keep = if axis == Axis::FollowingSibling { v > pre } else { v < pre };
+                        keep && test.matches(doc, v)
+                    })
+                    .map(mk)
+                    .collect()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // functions, construction, helpers
+    // ------------------------------------------------------------------
+
+    fn eval_funcall(&mut self, name: &str, args: &[Expr], env: &Env) -> NResult<Vec<Item>> {
+        match name {
+            "doc" | "document" => {
+                let doc_name = match args.first() {
+                    Some(Expr::Literal(Literal::String(s))) => s.clone(),
+                    _ => return Err(NaiveError::Unsupported("doc() without literal".into())),
+                };
+                let root = self
+                    .store
+                    .document_root(&doc_name)
+                    .ok_or(NaiveError::UnknownDocument(doc_name))?;
+                Ok(vec![Item::Node(root)])
+            }
+            "count" => Ok(vec![Item::Int(self.eval_arg(args, 0, env)?.len() as i64)]),
+            "sum" => {
+                let v = self.eval_arg(args, 0, env)?;
+                let s: f64 = v.iter().filter_map(|i| self.atomize(i).as_number()).sum();
+                Ok(vec![if s.fract() == 0.0 { Item::Int(s as i64) } else { Item::Dbl(s) }])
+            }
+            "avg" => {
+                let v = self.eval_arg(args, 0, env)?;
+                if v.is_empty() {
+                    return Ok(vec![]);
+                }
+                let nums: Vec<f64> = v.iter().filter_map(|i| self.atomize(i).as_number()).collect();
+                Ok(vec![Item::Dbl(nums.iter().sum::<f64>() / nums.len().max(1) as f64)])
+            }
+            "min" | "max" => {
+                let v = self.eval_arg(args, 0, env)?;
+                let mut atoms: Vec<Item> = v.iter().map(|i| self.atomize(i)).collect();
+                atoms.sort_by(|a, b| a.total_cmp(b));
+                let pick = if name == "min" { atoms.first() } else { atoms.last() };
+                Ok(pick.cloned().into_iter().collect())
+            }
+            "exists" => Ok(vec![Item::Bool(!self.eval_arg(args, 0, env)?.is_empty())]),
+            "empty" => Ok(vec![Item::Bool(self.eval_arg(args, 0, env)?.is_empty())]),
+            "not" => Ok(vec![Item::Bool(!ebv(&self.eval_arg(args, 0, env)?))]),
+            "boolean" => Ok(vec![Item::Bool(ebv(&self.eval_arg(args, 0, env)?))]),
+            "true" => Ok(vec![Item::Bool(true)]),
+            "false" => Ok(vec![Item::Bool(false)]),
+            "zero-or-one" | "exactly-one" | "one-or-more" => self.eval_arg(args, 0, env),
+            "data" => Ok(self
+                .eval_arg(args, 0, env)?
+                .iter()
+                .map(|i| self.atomize(i))
+                .collect()),
+            "string" => {
+                let v = self.eval_arg(args, 0, env)?;
+                Ok(vec![Item::str(
+                    v.first().map(|i| self.string_of(i)).unwrap_or_default(),
+                )])
+            }
+            "number" => {
+                let v = self.eval_arg(args, 0, env)?;
+                Ok(vec![Item::Dbl(
+                    v.first()
+                        .and_then(|i| self.atomize(i).as_number())
+                        .unwrap_or(f64::NAN),
+                )])
+            }
+            "distinct-values" => {
+                let v = self.eval_arg(args, 0, env)?;
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for i in v {
+                    let a = self.atomize(&i);
+                    if seen.insert(a.string_value()) {
+                        out.push(a);
+                    }
+                }
+                Ok(out)
+            }
+            "contains" => {
+                let a = self.first_string(args, 0, env)?;
+                let b = self.first_string(args, 1, env)?;
+                Ok(vec![Item::Bool(a.contains(&b))])
+            }
+            "starts-with" => {
+                let a = self.first_string(args, 0, env)?;
+                let b = self.first_string(args, 1, env)?;
+                Ok(vec![Item::Bool(a.starts_with(&b))])
+            }
+            "concat" => {
+                let mut s = String::new();
+                for i in 0..args.len() {
+                    s.push_str(&self.first_string(args, i, env)?);
+                }
+                Ok(vec![Item::str(s)])
+            }
+            "string-length" => {
+                let a = self.first_string(args, 0, env)?;
+                Ok(vec![Item::Int(a.chars().count() as i64)])
+            }
+            "name" | "local-name" => {
+                let v = self.eval_arg(args, 0, env)?;
+                let n = v
+                    .first()
+                    .and_then(|i| i.as_node())
+                    .map(|n| self.store.name_of(n).to_string())
+                    .unwrap_or_default();
+                Ok(vec![Item::str(n)])
+            }
+            "round" | "floor" | "ceiling" | "abs" => {
+                let v = self
+                    .eval_arg(args, 0, env)?
+                    .first()
+                    .and_then(|i| self.atomize(i).as_number());
+                Ok(v.map(|x| {
+                    let r = match name {
+                        "round" => x.round(),
+                        "floor" => x.floor(),
+                        "ceiling" => x.ceil(),
+                        _ => x.abs(),
+                    };
+                    vec![Item::Dbl(r)]
+                })
+                .unwrap_or_default())
+            }
+            _ => {
+                let Some(decl) = self.functions.get(name).cloned() else {
+                    return Err(NaiveError::UnknownFunction(name.to_string()));
+                };
+                let mut env2 = env.clone();
+                for (param, arg) in decl.params.iter().zip(args) {
+                    let v = self.eval(arg, env)?;
+                    env2.insert(param.clone(), v);
+                }
+                self.eval(&decl.body, &env2)
+            }
+        }
+    }
+
+    fn construct(&mut self, ctor: &ElementCtor, env: &Env) -> NResult<Item> {
+        // attributes
+        let mut attrs = Vec::new();
+        for (name, parts) in &ctor.attributes {
+            let mut value = String::new();
+            for p in parts {
+                match p {
+                    AttrPart::Text(t) => value.push_str(t),
+                    AttrPart::Expr(e) => {
+                        let v = self.eval(e, env)?;
+                        value.push_str(&v.first().map(|i| self.string_of(i)).unwrap_or_default());
+                    }
+                }
+            }
+            attrs.push((name.clone(), value));
+        }
+        // content
+        let mut content_items: Vec<Item> = Vec::new();
+        for c in &ctor.content {
+            match c {
+                Content::Text(t) => content_items.push(Item::str(t.as_str())),
+                Content::Expr(e) => content_items.extend(self.eval(e, env)?),
+                Content::Element(e) => content_items.push(self.construct(e, env)?),
+            }
+        }
+        // materialise the copies first (cannot borrow the store while building)
+        enum Piece {
+            Text(String),
+            Copy(NodeId),
+        }
+        let mut pieces = Vec::new();
+        let mut pending = String::new();
+        for item in &content_items {
+            match item {
+                Item::Node(n) => {
+                    if !pending.is_empty() {
+                        pieces.push(Piece::Text(std::mem::take(&mut pending)));
+                    }
+                    pieces.push(Piece::Copy(*n));
+                }
+                atomic => {
+                    if !pending.is_empty() {
+                        pending.push(' ');
+                    }
+                    pending.push_str(&atomic.string_value());
+                }
+            }
+        }
+        if !pending.is_empty() {
+            pieces.push(Piece::Text(pending));
+        }
+        // snapshot of existing containers for copying
+        let transient_snapshot = self.store.container(mxq_xmldb::TRANSIENT_FRAG).clone();
+        let transient = std::mem::take(self.store.transient_mut());
+        let mut builder = mxq_xmldb::DocumentBuilder::append_to(transient, 0);
+        let root = builder.start_element(&ctor.name);
+        for (n, v) in &attrs {
+            builder.attribute(n, v);
+        }
+        for piece in pieces {
+            match piece {
+                Piece::Text(t) => {
+                    builder.text(&t);
+                }
+                Piece::Copy(n) => {
+                    let src = if n.frag == mxq_xmldb::TRANSIENT_FRAG {
+                        &transient_snapshot
+                    } else {
+                        self.store.container(n.frag)
+                    };
+                    builder.copy_subtree(src, n.pre);
+                }
+            }
+        }
+        builder.end_element();
+        *self.store.transient_mut() = builder.finish();
+        Ok(Item::Node(NodeId::new(mxq_xmldb::TRANSIENT_FRAG, root)))
+    }
+
+    fn eval_arg(&mut self, args: &[Expr], idx: usize, env: &Env) -> NResult<Vec<Item>> {
+        match args.get(idx) {
+            Some(a) => self.eval(a, env),
+            None => Ok(vec![]),
+        }
+    }
+
+    fn first_string(&mut self, args: &[Expr], idx: usize, env: &Env) -> NResult<String> {
+        Ok(self
+            .eval_arg(args, idx, env)?
+            .first()
+            .map(|i| self.string_of(i))
+            .unwrap_or_default())
+    }
+
+    fn first_number(&mut self, e: &Expr, env: &Env) -> NResult<Option<f64>> {
+        Ok(self
+            .eval(e, env)?
+            .first()
+            .and_then(|i| self.atomize(i).as_number()))
+    }
+
+    fn atomize(&self, item: &Item) -> Item {
+        match item {
+            Item::Node(n) => Item::str(self.store.string_value(*n)),
+            other => other.clone(),
+        }
+    }
+
+    fn string_of(&self, item: &Item) -> String {
+        match item {
+            Item::Node(n) => self.store.string_value(*n),
+            other => other.string_value(),
+        }
+    }
+
+    /// Serialize a result sequence (nodes as XML, atomics as text).
+    pub fn serialize(&self, items: &[Item]) -> String {
+        mxq_xquery::serialize_items(self.store, items)
+    }
+}
+
+fn ebv(items: &[Item]) -> bool {
+    match items {
+        [] => false,
+        v if v.iter().any(|i| i.is_node()) => true,
+        [single] => single.effective_boolean(),
+        _ => true,
+    }
+}
+
+/// Does a node kind comparison make `kind` usable here (kept for API parity).
+pub fn is_element(kind: NodeKind) -> bool {
+    kind == NodeKind::Element
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxq_xquery::XQueryEngine;
+
+    fn store_with(xml: &str) -> DocStore {
+        let mut s = DocStore::new();
+        s.load_xml("doc.xml", xml).unwrap();
+        s
+    }
+
+    #[test]
+    fn basic_queries_match_relational_engine() {
+        let xml = "<site><people><person id=\"p0\"><name>Ann</name></person>\
+                   <person id=\"p1\"><name>Bob</name></person></people>\
+                   <orders><o buyer=\"p0\"/><o buyer=\"p0\"/><o buyer=\"p1\"/></orders></site>";
+        let queries = [
+            "for $p in doc(\"doc.xml\")/site/people/person return $p/name/text()",
+            "count(doc(\"doc.xml\")//person)",
+            "for $p in doc(\"doc.xml\")/site/people/person \
+             return <r>{count(for $o in doc(\"doc.xml\")/site/orders/o where $o/@buyer = $p/@id return $o)}</r>",
+            "for $p in doc(\"doc.xml\")/site/people/person[@id = \"p1\"] return $p/name/text()",
+            "if (1 < 2) then \"yes\" else \"no\"",
+        ];
+        for q in queries {
+            let mut store = store_with(xml);
+            let mut naive = NaiveInterpreter::new(&mut store);
+            let n_items = naive.run(q).unwrap();
+            let n_str = naive.serialize(&n_items);
+
+            let mut engine = XQueryEngine::new();
+            engine.load_document("doc.xml", xml).unwrap();
+            let r = engine.execute(q).unwrap();
+            assert_eq!(n_str, r.serialize(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn positional_predicates_and_order() {
+        let xml = "<a><b k=\"2\">x</b><b k=\"1\">y</b></a>";
+        let mut store = store_with(xml);
+        let mut naive = NaiveInterpreter::new(&mut store);
+        let r = naive.run("doc(\"doc.xml\")/a/b[2]/text()").unwrap();
+        assert_eq!(naive.serialize(&r), "y");
+        let r = naive
+            .run("for $b in doc(\"doc.xml\")/a/b order by $b/@k return $b/text()")
+            .unwrap();
+        assert_eq!(naive.serialize(&r), "yx");
+    }
+
+    #[test]
+    fn element_construction() {
+        let xml = "<a><b>1</b></a>";
+        let mut store = store_with(xml);
+        let mut naive = NaiveInterpreter::new(&mut store);
+        let r = naive
+            .run("for $b in doc(\"doc.xml\")/a/b return <out v=\"{$b/text()}\">{$b}</out>")
+            .unwrap();
+        assert_eq!(naive.serialize(&r), "<out v=\"1\"><b>1</b></out>");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut store = DocStore::new();
+        let mut naive = NaiveInterpreter::new(&mut store);
+        assert!(matches!(naive.run("$x"), Err(NaiveError::UnknownVariable(_))));
+        assert!(matches!(naive.run("nope()"), Err(NaiveError::UnknownFunction(_))));
+        assert!(matches!(
+            naive.run("doc(\"zzz.xml\")/a"),
+            Err(NaiveError::UnknownDocument(_))
+        ));
+    }
+}

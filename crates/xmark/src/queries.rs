@@ -1,0 +1,248 @@
+//! The 20 XMark benchmark queries, phrased in the XQuery subset supported by
+//! `mxq-xquery`.
+//!
+//! The queries follow the standard XMark definitions (Schmidt et al., VLDB
+//! 2002) with the same navigation paths, join predicates and constructed
+//! results; cosmetic adaptations (e.g. `doc("auction.xml")` as the document
+//! accessor, explicit `string()` around `contains`) are noted inline.
+//! Q1–Q20 cover exact-match lookup (Q1), ordered access (Q2–Q4), casting and
+//! aggregation (Q5–Q7), value joins (Q8–Q12), reconstruction (Q13), full-text
+//! style scanning (Q14), long path traversals (Q15, Q16), missing elements
+//! (Q17), user-defined functions (Q18), sorting (Q19) and aggregation-heavy
+//! reporting (Q20).
+
+/// The query identifiers, 1 through 20.
+pub const QUERY_IDS: [usize; 20] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+];
+
+/// The XQuery text of XMark query `id` (1–20).
+///
+/// # Panics
+/// Panics if `id` is not in `1..=20`.
+pub fn query_text(id: usize) -> &'static str {
+    match id {
+        1 => Q1,
+        2 => Q2,
+        3 => Q3,
+        4 => Q4,
+        5 => Q5,
+        6 => Q6,
+        7 => Q7,
+        8 => Q8,
+        9 => Q9,
+        10 => Q10,
+        11 => Q11,
+        12 => Q12,
+        13 => Q13,
+        14 => Q14,
+        15 => Q15,
+        16 => Q16,
+        17 => Q17,
+        18 => Q18,
+        19 => Q19,
+        20 => Q20,
+        _ => panic!("XMark defines queries 1..=20, got {id}"),
+    }
+}
+
+/// Q1 — return the name of the person with id `person0` (exact match).
+pub const Q1: &str = r#"
+for $b in doc("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()
+"#;
+
+/// Q2 — return the initial increases of all open auctions (ordered access).
+pub const Q2: &str = r#"
+for $b in doc("auction.xml")/site/open_auctions/open_auction
+return <increase>{$b/bidder[1]/increase/text()}</increase>
+"#;
+
+/// Q3 — auctions whose first increase is at most half the last one.
+pub const Q3: &str = r#"
+for $b in doc("auction.xml")/site/open_auctions/open_auction
+where $b/bidder[1]/increase/text() * 2 <= $b/bidder[last()]/increase/text()
+return <increase first="{$b/bidder[1]/increase/text()}" last="{$b/bidder[last()]/increase/text()}"/>
+"#;
+
+/// Q4 — document-order test: auctions where a bid by person20 precedes a bid
+/// by person51 (tail of ordered access).
+pub const Q4: &str = r#"
+for $b in doc("auction.xml")/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"] satisfies
+      (some $pr2 in $b/bidder/personref[@person = "person51"] satisfies $pr1 << $pr2)
+return <history>{$b/reserve/text()}</history>
+"#;
+
+/// Q5 — how many sold items cost more than 40 (casting).
+pub const Q5: &str = r#"
+count(for $i in doc("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40
+      return $i/price)
+"#;
+
+/// Q6 — how many items are listed on all continents (path + count).
+pub const Q6: &str = r#"
+for $b in doc("auction.xml")/site/regions return count($b//item)
+"#;
+
+/// Q7 — how many pieces of prose are in the database.
+pub const Q7: &str = r#"
+for $p in doc("auction.xml")/site
+return count($p//description) + count($p//annotation) + count($p//emailaddress)
+"#;
+
+/// Q8 — list the names of persons and the number of items they bought
+/// (equi-join Q8 of the paper; join recognition turns this into a hash join).
+pub const Q8: &str = r#"
+for $p in doc("auction.xml")/site/people/person
+let $a := for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{$p/name/text()}">{count($a)}</item>
+"#;
+
+/// Q9 — names of persons and the names of the European items they bought
+/// (three-way join).
+pub const Q9: &str = r#"
+for $p in doc("auction.xml")/site/people/person
+let $a := for $t in doc("auction.xml")/site/closed_auctions/closed_auction
+          where $p/@id = $t/buyer/@person
+          return (for $t2 in doc("auction.xml")/site/regions/europe/item
+                  where $t2/@id = $t/itemref/@item
+                  return $t2/name/text())
+return <person name="{$p/name/text()}">{$a}</person>
+"#;
+
+/// Q10 — group persons by their interest category (grouping + restructuring).
+pub const Q10: &str = r#"
+for $i in distinct-values(doc("auction.xml")/site/people/person/profile/interest/@category)
+let $p := for $t in doc("auction.xml")/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe>{$t/profile/gender/text()}</sexe>
+                     <age>{$t/profile/age/text()}</age>
+                     <education>{$t/profile/education/text()}</education>
+                     <revenu>{$t/profile/@income}</revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom>{$t/name/text()}</nom>
+                     <ville>{$t/address/city/text()}</ville>
+                     <pays>{$t/address/country/text()}</pays>
+                     <email>{$t/emailaddress/text()}</email>
+                   </coordonnees>
+                   <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+                 </personne>
+return <categorie><id>{$i}</id>{$p}</categorie>
+"#;
+
+/// Q11 — theta join (`>`): for each person, the number of open auctions whose
+/// initial bid the person's income covers five-thousand-fold.
+pub const Q11: &str = r#"
+for $p in doc("auction.xml")/site/people/person
+let $l := for $i in doc("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i/text()
+          return $i
+return <items name="{$p/name/text()}">{count($l)}</items>
+"#;
+
+/// Q12 — Q11 restricted to persons with an income above 50 000.
+pub const Q12: &str = r#"
+for $p in doc("auction.xml")/site/people/person
+let $l := for $i in doc("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i/text()
+          return $i
+where $p/profile/@income > 50000
+return <items person="{$p/profile/@income}">{count($l)}</items>
+"#;
+
+/// Q13 — reconstruction: list Australian items with their descriptions.
+pub const Q13: &str = r#"
+for $i in doc("auction.xml")/site/regions/australia/item
+return <item name="{$i/name/text()}">{$i/description}</item>
+"#;
+
+/// Q14 — full-text flavour: items whose description contains "gold".
+pub const Q14: &str = r#"
+for $i in doc("auction.xml")/site//item
+where contains(string($i/description), "gold")
+return $i/name/text()
+"#;
+
+/// Q15 — a very long path expression (13 steps).
+pub const Q15: &str = r#"
+for $a in doc("auction.xml")/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+return <text>{$a}</text>
+"#;
+
+/// Q16 — like Q15, but testing for existence of the path.
+pub const Q16: &str = r#"
+for $a in doc("auction.xml")/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+return <person id="{$a/seller/@person}"/>
+"#;
+
+/// Q17 — missing elements: persons without a homepage.
+pub const Q17: &str = r#"
+for $p in doc("auction.xml")/site/people/person
+where empty($p/homepage/text())
+return <person name="{$p/name/text()}"/>
+"#;
+
+/// Q18 — user-defined function converting reserve prices.
+pub const Q18: &str = r#"
+declare function local:convert($v) { 2.20371 * $v };
+for $i in doc("auction.xml")/site/open_auctions/open_auction/reserve
+return local:convert($i/text())
+"#;
+
+/// Q19 — sorting: items ordered by location.
+pub const Q19: &str = r#"
+for $b in doc("auction.xml")/site/regions//item
+let $k := $b/name/text()
+order by $b/location/text()
+return <item name="{$k}">{$b/location/text()}</item>
+"#;
+
+/// Q20 — aggregation-heavy report over income brackets.
+pub const Q20: &str = r#"
+<result>
+  <preferred>{count(doc("auction.xml")/site/people/person/profile[@income >= 100000])}</preferred>
+  <standard>{count(doc("auction.xml")/site/people/person/profile[@income < 100000][@income >= 30000])}</standard>
+  <challenge>{count(doc("auction.xml")/site/people/person/profile[@income < 30000])}</challenge>
+  <na>{count(for $p in doc("auction.xml")/site/people/person
+             where empty($p/profile/@income)
+             return $p)}</na>
+</result>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxq_xquery::parse_query;
+
+    #[test]
+    fn all_twenty_queries_parse() {
+        for id in QUERY_IDS {
+            let text = query_text(id);
+            parse_query(text).unwrap_or_else(|e| panic!("Q{id} does not parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_twenty_queries_compile() {
+        for id in QUERY_IDS {
+            let engine = mxq_xquery::XQueryEngine::new();
+            engine
+                .compile(query_text(id))
+                .unwrap_or_else(|e| panic!("Q{id} does not compile: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queries 1..=20")]
+    fn invalid_id_panics() {
+        let _ = query_text(21);
+    }
+}

@@ -1,0 +1,693 @@
+//! The pre|size|level document encoding and its builder.
+//!
+//! A [`Document`] is the relational image of an XML tree (Figure 4 of the
+//! paper): node `v` is the row at index `pre(v)`, carrying `size(v)` (number
+//! of descendants), `level(v)` (depth) and a node-kind discriminator plus a
+//! reference into the per-kind property containers.  A document container may
+//! hold several disjoint fragments (used for the transient container that
+//! stores constructed nodes); the `frag_roots` list records where each
+//! fragment starts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::node::{AttrRow, NodeKind};
+
+/// A document container: structural table + property containers.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Document (container) name, e.g. the URI passed to `fn:doc`.
+    pub name: String,
+    size: Vec<u32>,
+    level: Vec<u16>,
+    kind: Vec<NodeKind>,
+    /// Reference into the property container appropriate for `kind`.
+    prop: Vec<u32>,
+    /// Interned qualified names (elements).
+    qnames: Vec<Arc<str>>,
+    qname_ids: HashMap<Arc<str>, u32>,
+    /// Element name index: qname id → preorder ranks of elements with that
+    /// name, in document order (the "index on element names" of Figure 9,
+    /// used by the nametest pushdown of Section 3.2).
+    name_index: HashMap<u32, Vec<u32>>,
+    /// Text/comment/PI content, indexed by `prop`.
+    texts: Vec<Arc<str>>,
+    /// Processing instruction targets (parallel to `texts` for PI nodes).
+    pi_targets: Vec<Arc<str>>,
+    /// Attributes, sorted by owner preorder rank.
+    attrs: Vec<AttrRow>,
+    /// Preorder ranks at which the disjoint tree fragments of this container
+    /// start (a freshly shredded document has a single fragment at 0).
+    frag_roots: Vec<u32>,
+}
+
+impl Document {
+    /// Create an empty container with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Document {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Number of nodes in the container (attributes excluded).
+    pub fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    /// True if the container holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// Number of attributes stored in the attribute container.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `size(v)`: number of nodes in the subtree below `pre` (excluding `pre`).
+    pub fn size(&self, pre: u32) -> u32 {
+        self.size[pre as usize]
+    }
+
+    /// `level(v)`: distance from the fragment root.
+    pub fn level(&self, pre: u32) -> u16 {
+        self.level[pre as usize]
+    }
+
+    /// Postorder rank, recovered as `pre + size - level` (Section 2).
+    pub fn post(&self, pre: u32) -> i64 {
+        pre as i64 + self.size(pre) as i64 - self.level(pre) as i64
+    }
+
+    /// Node kind of `pre`.
+    pub fn kind(&self, pre: u32) -> NodeKind {
+        self.kind[pre as usize]
+    }
+
+    /// Element name of `pre` (empty string for non-elements).
+    pub fn name_of(&self, pre: u32) -> &str {
+        match self.kind(pre) {
+            NodeKind::Element => &self.qnames[self.prop[pre as usize] as usize],
+            NodeKind::ProcessingInstruction => &self.pi_targets[self.prop[pre as usize] as usize],
+            _ => "",
+        }
+    }
+
+    /// Direct text content of a text/comment/PI node (not the recursive
+    /// string value — see [`Document::string_value`]).
+    pub fn text_of(&self, pre: u32) -> &str {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                &self.texts[self.prop[pre as usize] as usize]
+            }
+            _ => "",
+        }
+    }
+
+    /// XQuery string value: concatenation of all descendant text nodes in
+    /// document order (a single sequential scan over the subtree).
+    pub fn string_value(&self, pre: u32) -> String {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                self.text_of(pre).to_string()
+            }
+            _ => {
+                let mut out = String::new();
+                let end = pre + self.size(pre);
+                let mut v = pre + 1;
+                while v <= end {
+                    if self.kind(v) == NodeKind::Text {
+                        out.push_str(self.text_of(v));
+                    }
+                    v += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// All attributes of element `pre` (empty slice for non-elements).
+    pub fn attributes(&self, pre: u32) -> &[AttrRow] {
+        let start = self.attrs.partition_point(|a| a.owner < pre);
+        let end = self.attrs.partition_point(|a| a.owner <= pre);
+        &self.attrs[start..end]
+    }
+
+    /// Value of the attribute `name` on element `pre`, if present.
+    pub fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
+        self.attributes(pre)
+            .iter()
+            .find(|a| a.name.as_ref() == name)
+            .map(|a| a.value.as_ref())
+    }
+
+    /// All attribute rows (for bulk relational access).
+    pub fn all_attributes(&self) -> &[AttrRow] {
+        &self.attrs
+    }
+
+    /// Preorder ranks of the fragment roots in this container.
+    pub fn fragment_roots(&self) -> &[u32] {
+        &self.frag_roots
+    }
+
+    /// Parent of `pre`, or `None` for a fragment root.  Found by scanning
+    /// backwards for the closest preceding node with a smaller level — the
+    /// standard pre/level parent recovery.
+    pub fn parent(&self, pre: u32) -> Option<u32> {
+        let lv = self.level(pre);
+        if lv == 0 {
+            return None;
+        }
+        let mut v = pre;
+        while v > 0 {
+            v -= 1;
+            if self.level(v) < lv {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Iterate over the children of `pre` using the size-based skipping of
+    /// Section 2: the first child is `pre + 1`, each next child is
+    /// `v + size(v) + 1`.
+    pub fn children(&self, pre: u32) -> ChildIter<'_> {
+        let end = pre + self.size(pre);
+        ChildIter {
+            doc: self,
+            next: pre + 1,
+            end,
+        }
+    }
+
+    /// Is `anc` an ancestor of `desc` (strictly)?  Uses the pre/size window.
+    pub fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        anc < desc && desc <= anc + self.size(anc)
+    }
+
+    /// The root of the fragment containing `pre` (level-0 ancestor-or-self).
+    pub fn fragment_root_of(&self, pre: u32) -> u32 {
+        // fragment roots are sorted; find the last one <= pre
+        match self.frag_roots.binary_search(&pre) {
+            Ok(_) => pre,
+            Err(ins) => self.frag_roots[ins - 1],
+        }
+    }
+
+    /// Append a whole subtree copied from another document (deep copy).  The
+    /// structural rows are copied verbatim with levels re-based; properties
+    /// are re-interned.  Returns the preorder rank of the copied root in
+    /// `self`.  This is the "pasting of encodings" used for element
+    /// construction (Sections 2 and 5.1).
+    pub fn copy_subtree(&mut self, src: &Document, src_pre: u32, level_base: u16) -> u32 {
+        let root_new = self.len() as u32;
+        let src_level_base = src.level(src_pre);
+        let end = src_pre + src.size(src_pre);
+        for v in src_pre..=end {
+            let new_level = level_base + (src.level(v) - src_level_base);
+            match src.kind(v) {
+                NodeKind::Element | NodeKind::Document => {
+                    let name: Arc<str> = if src.kind(v) == NodeKind::Document {
+                        Arc::from("#document")
+                    } else {
+                        Arc::from(src.name_of(v))
+                    };
+                    let qid = self.intern_qname(name);
+                    self.push_row(src.size(v), new_level, NodeKind::Element, qid);
+                }
+                NodeKind::Text => {
+                    let tid = self.push_text(src.text_of(v));
+                    self.push_row(0, new_level, NodeKind::Text, tid);
+                }
+                NodeKind::Comment => {
+                    let tid = self.push_text(src.text_of(v));
+                    self.push_row(0, new_level, NodeKind::Comment, tid);
+                }
+                NodeKind::ProcessingInstruction => {
+                    let tid = self.push_text(src.text_of(v));
+                    self.pi_targets.resize(tid as usize, Arc::from(""));
+                    self.pi_targets.push(Arc::from(src.name_of(v)));
+                    self.push_row(0, new_level, NodeKind::ProcessingInstruction, tid);
+                }
+            }
+            // shallow-copied attributes keep their values
+            let new_pre = self.len() as u32 - 1;
+            for a in src.attributes(v) {
+                self.attrs.push(AttrRow {
+                    owner: new_pre,
+                    name: a.name.clone(),
+                    value: a.value.clone(),
+                });
+            }
+        }
+        root_new
+    }
+
+    /// Register the start of a new fragment at the given preorder rank.
+    pub fn add_fragment_root(&mut self, pre: u32) {
+        self.frag_roots.push(pre);
+    }
+
+    /// Preorder ranks (in document order) of all elements named `name`.
+    /// Returns an empty slice when no element with this name exists.
+    pub fn elements_named(&self, name: &str) -> &[u32] {
+        self.lookup_qname(name)
+            .and_then(|qid| self.name_index.get(&qid))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Preorder ranks of all text nodes (document order).
+    pub fn text_nodes(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&p| self.kind(p) == NodeKind::Text)
+            .collect()
+    }
+
+    pub(crate) fn push_row(&mut self, size: u32, level: u16, kind: NodeKind, prop: u32) {
+        if kind == NodeKind::Element {
+            self.name_index
+                .entry(prop)
+                .or_default()
+                .push(self.size.len() as u32);
+        }
+        self.size.push(size);
+        self.level.push(level);
+        self.kind.push(kind);
+        self.prop.push(prop);
+    }
+
+    pub(crate) fn set_size(&mut self, pre: u32, size: u32) {
+        self.size[pre as usize] = size;
+    }
+
+    pub(crate) fn set_kind(&mut self, pre: u32, kind: NodeKind) {
+        self.kind[pre as usize] = kind;
+    }
+
+    pub(crate) fn intern_qname(&mut self, name: Arc<str>) -> u32 {
+        if let Some(&id) = self.qname_ids.get(&name) {
+            return id;
+        }
+        let id = self.qnames.len() as u32;
+        self.qnames.push(name.clone());
+        self.qname_ids.insert(name, id);
+        id
+    }
+
+    pub(crate) fn push_text(&mut self, text: &str) -> u32 {
+        let id = self.texts.len() as u32;
+        self.texts.push(Arc::from(text));
+        id
+    }
+
+    pub(crate) fn push_attr(&mut self, owner: u32, name: Arc<str>, value: Arc<str>) {
+        self.attrs.push(AttrRow { owner, name, value });
+    }
+
+    /// Value update: replace the textual content of a text/comment/PI node
+    /// (Section 5.2, "value updates map trivially to relational updates").
+    pub fn set_text(&mut self, pre: u32, content: &str) {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                let id = self.prop[pre as usize] as usize;
+                self.texts[id] = Arc::from(content);
+            }
+            _ => {}
+        }
+    }
+
+    /// Value update: set (or insert) an attribute on element `pre`.
+    pub fn set_attribute(&mut self, pre: u32, name: &str, value: &str) {
+        if let Some(a) = self
+            .attrs
+            .iter_mut()
+            .find(|a| a.owner == pre && a.name.as_ref() == name)
+        {
+            a.value = Arc::from(value);
+            return;
+        }
+        let insert_at = self.attrs.partition_point(|a| a.owner <= pre);
+        self.attrs.insert(
+            insert_at,
+            AttrRow {
+                owner: pre,
+                name: Arc::from(name),
+                value: Arc::from(value),
+            },
+        );
+    }
+
+    /// Value update: remove an attribute from element `pre` (no-op if absent).
+    pub fn remove_attribute(&mut self, pre: u32, name: &str) {
+        self.attrs
+            .retain(|a| !(a.owner == pre && a.name.as_ref() == name));
+    }
+
+    /// Value update: rename an element node.
+    pub fn rename_element(&mut self, pre: u32, name: &str) {
+        if self.kind(pre) == NodeKind::Element {
+            let qid = self.intern_qname(Arc::from(name));
+            self.prop[pre as usize] = qid;
+        }
+    }
+
+    /// Qualified-name id of an element (internal, used by the staircase
+    /// nametest pushdown to pre-filter candidates without string compares).
+    pub fn qname_id(&self, pre: u32) -> Option<u32> {
+        match self.kind(pre) {
+            NodeKind::Element => Some(self.prop[pre as usize]),
+            _ => None,
+        }
+    }
+
+    /// Look up the id of an interned element name, if any element with this
+    /// name exists in the container.
+    pub fn lookup_qname(&self, name: &str) -> Option<u32> {
+        self.qname_ids.get(name).copied()
+    }
+
+    /// Sanity check of the structural invariants:
+    /// * `size(v) < len - v` for all v (subtrees stay in bounds),
+    /// * children are nested properly (every node's subtree is contained in
+    ///   its parent's subtree),
+    /// * levels increase by exactly one from parent to child.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.len() as u32;
+        for v in 0..n {
+            let end = v + self.size(v);
+            if end >= n && self.size(v) != 0 && end != n - 1 {
+                if end > n - 1 {
+                    return Err(format!("node {v} subtree exceeds document ({end} >= {n})"));
+                }
+            }
+            for c in self.children(v) {
+                if self.level(c) != self.level(v) + 1 {
+                    return Err(format!(
+                        "child {c} of {v} has level {} expected {}",
+                        self.level(c),
+                        self.level(v) + 1
+                    ));
+                }
+                if c + self.size(c) > end {
+                    return Err(format!("child {c} subtree leaves parent {v} subtree"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the children of a node (size-based skipping).
+pub struct ChildIter<'a> {
+    doc: &'a Document,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next > self.end || self.next as usize >= self.doc.len() {
+            return None;
+        }
+        let cur = self.next;
+        self.next = cur + self.doc.size(cur) + 1;
+        Some(cur)
+    }
+}
+
+/// Incremental builder used by the shredder and by element construction.
+///
+/// The builder produces rows in preorder, patching each element's `size` when
+/// it is closed — a purely sequential write pattern, which is why shredding
+/// scales linearly (Section 6, "Shredding and Serialization").
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+    /// Stack of open element pre ranks.
+    open: Vec<u32>,
+    level: u16,
+    base_level: u16,
+}
+
+impl DocumentBuilder {
+    /// Start building a fresh document container.
+    pub fn new(name: impl Into<String>) -> Self {
+        DocumentBuilder {
+            doc: Document::new(name),
+            open: Vec::new(),
+            level: 0,
+            base_level: 0,
+        }
+    }
+
+    /// Continue building *into* an existing container (used by the transient
+    /// container: each constructed tree becomes a new fragment).
+    pub fn append_to(doc: Document, base_level: u16) -> Self {
+        DocumentBuilder {
+            doc,
+            open: Vec::new(),
+            level: base_level,
+            base_level,
+        }
+    }
+
+    /// Preorder rank the next node will receive.
+    pub fn next_pre(&self) -> u32 {
+        self.doc.len() as u32
+    }
+
+    /// Open an element with the given name; returns its preorder rank.
+    pub fn start_element(&mut self, name: &str) -> u32 {
+        let pre = self.doc.len() as u32;
+        if self.open.is_empty() && self.level == self.base_level {
+            self.doc.add_fragment_root(pre);
+        }
+        let qid = self.doc.intern_qname(Arc::from(name));
+        self.doc.push_row(0, self.level, NodeKind::Element, qid);
+        self.open.push(pre);
+        self.level += 1;
+        pre
+    }
+
+    /// Add an attribute to the currently open element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        let owner = *self.open.last().expect("attribute outside of element");
+        self.doc
+            .push_attr(owner, Arc::from(name), Arc::from(value));
+    }
+
+    /// Close the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn end_element(&mut self) {
+        let pre = self.open.pop().expect("end_element without start_element");
+        self.level -= 1;
+        let size = self.doc.len() as u32 - pre - 1;
+        self.doc.set_size(pre, size);
+    }
+
+    /// Add a text node; returns its preorder rank.
+    pub fn text(&mut self, content: &str) -> u32 {
+        let pre = self.doc.len() as u32;
+        if self.open.is_empty() && self.level == self.base_level {
+            self.doc.add_fragment_root(pre);
+        }
+        let tid = self.doc.push_text(content);
+        self.doc.push_row(0, self.level, NodeKind::Text, tid);
+        pre
+    }
+
+    /// Add a comment node.
+    pub fn comment(&mut self, content: &str) -> u32 {
+        let pre = self.doc.len() as u32;
+        let tid = self.doc.push_text(content);
+        self.doc.push_row(0, self.level, NodeKind::Comment, tid);
+        pre
+    }
+
+    /// Add a processing instruction node.
+    pub fn processing_instruction(&mut self, target: &str, content: &str) -> u32 {
+        let pre = self.doc.len() as u32;
+        let tid = self.doc.push_text(content);
+        // keep pi_targets addressable by the same prop id
+        while self.doc.pi_targets.len() < tid as usize {
+            self.doc.pi_targets.push(Arc::from(""));
+        }
+        self.doc.pi_targets.push(Arc::from(target));
+        self.doc
+            .push_row(0, self.level, NodeKind::ProcessingInstruction, tid);
+        pre
+    }
+
+    /// Deep-copy a subtree from another document as a child of the currently
+    /// open element (or as a new fragment if nothing is open).
+    pub fn copy_subtree(&mut self, src: &Document, src_pre: u32) -> u32 {
+        let pre = self.doc.len() as u32;
+        if self.open.is_empty() && self.level == self.base_level {
+            self.doc.add_fragment_root(pre);
+        }
+        self.doc.copy_subtree(src, src_pre, self.level)
+    }
+
+    /// Number of elements still open.
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Finish building and return the document.
+    ///
+    /// # Panics
+    /// Panics if elements are still open.
+    pub fn finish(self) -> Document {
+        assert!(
+            self.open.is_empty(),
+            "unbalanced builder: {} elements still open",
+            self.open.len()
+        );
+        self.doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the ten-node example document of Figure 4 of the paper.
+    pub(crate) fn figure4() -> Document {
+        let mut b = DocumentBuilder::new("fig4");
+        b.start_element("a"); // 0
+        b.start_element("b"); // 1
+        b.start_element("c"); // 2
+        b.start_element("d"); // 3
+        b.end_element();
+        b.start_element("e"); // 4
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        b.start_element("f"); // 5
+        b.start_element("g"); // 6
+        b.end_element();
+        b.start_element("h"); // 7
+        b.start_element("i"); // 8
+        b.end_element();
+        b.start_element("j"); // 9
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn figure4_encoding_matches_paper() {
+        let d = figure4();
+        assert_eq!(d.len(), 10);
+        // pre, size, level from Figure 4
+        let expected: [(u32, u32, u16); 10] = [
+            (0, 9, 0),
+            (1, 3, 1),
+            (2, 2, 2),
+            (3, 0, 3),
+            (4, 0, 3),
+            (5, 4, 1),
+            (6, 0, 2),
+            (7, 2, 2),
+            (8, 0, 3),
+            (9, 0, 3),
+        ];
+        for (pre, size, level) in expected {
+            assert_eq!(d.size(pre), size, "size of {pre}");
+            assert_eq!(d.level(pre), level, "level of {pre}");
+        }
+        // post(v) = pre + size - level, e.g. post(a)=9, post(b)=3, post(f)=8
+        assert_eq!(d.post(0), 9);
+        assert_eq!(d.post(1), 3);
+        assert_eq!(d.post(5), 8);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn children_iteration_skips_subtrees() {
+        let d = figure4();
+        let kids: Vec<u32> = d.children(0).collect();
+        assert_eq!(kids, vec![1, 5]);
+        let kids: Vec<u32> = d.children(7).collect();
+        assert_eq!(kids, vec![8, 9]);
+        assert!(d.children(3).next().is_none());
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let d = figure4();
+        assert_eq!(d.parent(4), Some(2));
+        assert_eq!(d.parent(5), Some(0));
+        assert_eq!(d.parent(0), None);
+        assert!(d.is_ancestor(0, 9));
+        assert!(d.is_ancestor(7, 8));
+        assert!(!d.is_ancestor(1, 5));
+    }
+
+    #[test]
+    fn names_attributes_and_text() {
+        let mut b = DocumentBuilder::new("t");
+        b.start_element("root");
+        b.attribute("id", "r1");
+        b.start_element("x");
+        b.text("hello ");
+        b.end_element();
+        b.start_element("x");
+        b.text("world");
+        b.end_element();
+        b.end_element();
+        let d = b.finish();
+        assert_eq!(d.name_of(0), "root");
+        assert_eq!(d.attribute(0, "id"), Some("r1"));
+        assert_eq!(d.attribute(0, "missing"), None);
+        assert_eq!(d.string_value(0), "hello world");
+        assert_eq!(d.string_value(2), "hello ");
+    }
+
+    #[test]
+    fn copy_subtree_pastes_encoding() {
+        let d = figure4();
+        let mut t = Document::new("transient");
+        let root = t.copy_subtree(&d, 7, 0);
+        assert_eq!(root, 0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.name_of(0), "h");
+        assert_eq!(t.size(0), 2);
+        assert_eq!(t.level(1), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn builder_fragments_in_transient_container() {
+        let t = Document::new("transient");
+        let mut b = DocumentBuilder::append_to(t, 0);
+        b.start_element("one");
+        b.end_element();
+        b.start_element("two");
+        b.text("x");
+        b.end_element();
+        let t = b.finish();
+        assert_eq!(t.fragment_roots(), &[0, 1]);
+        assert_eq!(t.fragment_root_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_builder_panics() {
+        let mut b = DocumentBuilder::new("bad");
+        b.start_element("open");
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,36 @@
+//! # mxq-xmldb — relational XML storage
+//!
+//! This crate implements the XML storage layer of MonetDB/XQuery
+//! (Sections 2 and 5 of the paper):
+//!
+//! * the **pre|size|level encoding** of XML documents ([`Document`]), in which
+//!   every node is identified by its preorder rank, carries the number of
+//!   nodes in its subtree (`size`) and its depth (`level`); the postorder rank
+//!   is recoverable as `post = pre + size - level`;
+//! * **property containers** for the different node kinds (element/attribute
+//!   qualified names, text and comment content, processing-instruction
+//!   target/value pairs) referenced from the structural table;
+//! * a **document shredder** ([`shred`]) that parses XML text into the
+//!   encoding with sequential writes, and a **serializer** ([`serialize`])
+//!   that reconstructs XML text with sequential reads;
+//! * a **document store** ([`store::DocStore`]) holding one container per
+//!   loaded document plus a transient container for nodes constructed during
+//!   query evaluation;
+//! * the **structural update scheme** of Section 5.2 ([`update`]): page-wise
+//!   remappable pre-numbers with unused tuples, compared against a naive
+//!   renumbering baseline.
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod node;
+pub mod serialize;
+pub mod shred;
+pub mod store;
+pub mod update;
+
+pub use doc::{Document, DocumentBuilder};
+pub use node::{AttrRow, NodeKind};
+pub use serialize::{serialize_document, serialize_node};
+pub use shred::{shred, ShredError, ShredOptions};
+pub use store::{DocStore, TRANSIENT_FRAG};

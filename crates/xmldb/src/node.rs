@@ -1,0 +1,64 @@
+//! Node kinds and attribute rows.
+
+use std::sync::Arc;
+
+/// The node kinds stored in the structural table.
+///
+/// Attributes are *not* part of the pre|size|level plane; they live in a
+/// separate property container keyed by their owner's preorder rank, exactly
+/// as in Figure 9 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The document node (root of a persistent document container).
+    Document,
+    /// An element node.
+    Element,
+    /// A text node.
+    Text,
+    /// A comment node.
+    Comment,
+    /// A processing instruction.
+    ProcessingInstruction,
+}
+
+impl NodeKind {
+    /// Short single-character tag used in debug dumps.
+    pub fn letter(self) -> char {
+        match self {
+            NodeKind::Document => 'D',
+            NodeKind::Element => 'E',
+            NodeKind::Text => 'T',
+            NodeKind::Comment => 'C',
+            NodeKind::ProcessingInstruction => 'P',
+        }
+    }
+}
+
+/// One attribute of an element, stored in the attribute property container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRow {
+    /// Preorder rank of the owning element.
+    pub owner: u32,
+    /// Attribute name.
+    pub name: Arc<str>,
+    /// Attribute value (untyped atomic).
+    pub value: Arc<str>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_letters_are_distinct() {
+        let kinds = [
+            NodeKind::Document,
+            NodeKind::Element,
+            NodeKind::Text,
+            NodeKind::Comment,
+            NodeKind::ProcessingInstruction,
+        ];
+        let letters: std::collections::HashSet<char> = kinds.iter().map(|k| k.letter()).collect();
+        assert_eq!(letters.len(), kinds.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! XML serialization: turn (a subtree of) a pre|size|level document back into
+//! XML text with a single sequential scan.
+
+use crate::doc::Document;
+use crate::node::NodeKind;
+
+/// Escape character data for element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape character data for attribute values (double-quoted).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `pre` into `out`.
+pub fn serialize_node(doc: &Document, pre: u32, out: &mut String) {
+    match doc.kind(pre) {
+        NodeKind::Text => out.push_str(&escape_text(doc.text_of(pre))),
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(doc.text_of(pre));
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("<?");
+            out.push_str(doc.name_of(pre));
+            let content = doc.text_of(pre);
+            if !content.is_empty() {
+                out.push(' ');
+                out.push_str(content);
+            }
+            out.push_str("?>");
+        }
+        NodeKind::Document => {
+            for child in doc.children(pre) {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeKind::Element => {
+            let name = doc.name_of(pre);
+            out.push('<');
+            out.push_str(name);
+            for attr in doc.attributes(pre) {
+                out.push(' ');
+                out.push_str(&attr.name);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&attr.value));
+                out.push('"');
+            }
+            if doc.size(pre) == 0 {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for child in doc.children(pre) {
+                serialize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+/// Serialize a whole document container (all fragments, in order).
+pub fn serialize_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for &root in doc.fragment_roots() {
+        serialize_node(doc, root, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::{shred, ShredOptions};
+
+    #[test]
+    fn roundtrip_simple_document() {
+        let xml = r#"<r a="v &amp; w"><x>hi</x><y/><!--c--></r>"#;
+        let d = shred("t", xml, &ShredOptions::default()).unwrap();
+        let s = serialize_document(&d);
+        assert_eq!(s, r#"<r a="v &amp; w"><x>hi</x><y/><!--c--></r>"#);
+        // shredding the serialization again is a fixpoint
+        let d2 = shred("t2", &s, &ShredOptions::default()).unwrap();
+        assert_eq!(serialize_document(&d2), s);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b&c"), "a&lt;b&amp;c");
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let xml = "<a><b><c/></b><d/></a>";
+        let d = shred("t", xml, &ShredOptions::default()).unwrap();
+        let mut out = String::new();
+        serialize_node(&d, 1, &mut out);
+        assert_eq!(out, "<b><c/></b>");
+    }
+}

@@ -1,0 +1,191 @@
+//! The document store: the "loaded documents table" of Figure 9.
+//!
+//! A [`DocStore`] keeps one [`Document`] container per loaded XML document
+//! plus a dedicated *transient* container that receives every node
+//! constructed during query evaluation (element constructors).  Nodes are
+//! addressed by [`NodeId`] = (fragment id, preorder rank); fragment 0 is
+//! always the transient container, loaded documents get fragments 1, 2, ….
+
+use std::collections::HashMap;
+
+use mxq_engine::NodeId;
+
+use crate::doc::{Document, DocumentBuilder};
+use crate::shred::{shred, ShredError, ShredOptions};
+
+/// Fragment id of the transient container holding constructed nodes.
+pub const TRANSIENT_FRAG: u32 = 0;
+
+/// A collection of document containers addressable by fragment id or name.
+#[derive(Debug)]
+pub struct DocStore {
+    containers: Vec<Document>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Default for DocStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocStore {
+    /// Create a store with an empty transient container.
+    pub fn new() -> Self {
+        DocStore {
+            containers: vec![Document::new("#transient")],
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Number of containers (including the transient one).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Load an already shredded document, returning its fragment id.
+    pub fn add_document(&mut self, doc: Document) -> u32 {
+        let frag = self.containers.len() as u32;
+        self.by_name.insert(doc.name.clone(), frag);
+        self.containers.push(doc);
+        frag
+    }
+
+    /// Shred and load an XML text under the given name.  A document node is
+    /// materialised so that `fn:doc(name)/rootelement/…` navigates as in the
+    /// XQuery data model.
+    pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<u32, ShredError> {
+        let opts = ShredOptions {
+            document_node: true,
+            ..ShredOptions::default()
+        };
+        let doc = shred(name, xml, &opts)?;
+        Ok(self.add_document(doc))
+    }
+
+    /// Fragment id of the document loaded under `name` (as used by `fn:doc`).
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrow a container by fragment id.
+    ///
+    /// # Panics
+    /// Panics if the fragment id is unknown.
+    pub fn container(&self, frag: u32) -> &Document {
+        &self.containers[frag as usize]
+    }
+
+    /// Borrow the container holding `node`.
+    pub fn doc_of(&self, node: NodeId) -> &Document {
+        self.container(node.frag)
+    }
+
+    /// The root node of the document loaded under `name`.
+    pub fn document_root(&self, name: &str) -> Option<NodeId> {
+        let frag = self.lookup(name)?;
+        let doc = self.container(frag);
+        doc.fragment_roots().first().map(|&pre| NodeId::new(frag, pre))
+    }
+
+    /// Construct new nodes in the transient container: the closure receives a
+    /// [`DocumentBuilder`] positioned at a fresh fragment; the returned
+    /// preorder rank (e.g. from [`DocumentBuilder::start_element`]) is wrapped
+    /// into a [`NodeId`] in the transient fragment.
+    pub fn construct<F>(&mut self, build: F) -> NodeId
+    where
+        F: FnOnce(&mut DocumentBuilder) -> u32,
+    {
+        let transient = std::mem::take(&mut self.containers[TRANSIENT_FRAG as usize]);
+        let mut builder = DocumentBuilder::append_to(transient, 0);
+        let pre = build(&mut builder);
+        self.containers[TRANSIENT_FRAG as usize] = builder.finish();
+        NodeId::new(TRANSIENT_FRAG, pre)
+    }
+
+    /// Discard all nodes constructed so far (empties the transient
+    /// container).  Benchmarks call this between runs so repeated element
+    /// construction does not accumulate.
+    pub fn clear_transient(&mut self) {
+        self.containers[TRANSIENT_FRAG as usize] = Document::new("#transient");
+    }
+
+    /// Mutable access to the transient container (used by the executor's
+    /// element construction, which needs to copy subtrees from other
+    /// containers while building).
+    pub fn transient_mut(&mut self) -> &mut Document {
+        &mut self.containers[TRANSIENT_FRAG as usize]
+    }
+
+    /// String value of a node (see [`Document::string_value`]).
+    pub fn string_value(&self, node: NodeId) -> String {
+        self.doc_of(node).string_value(node.pre)
+    }
+
+    /// Element/PI name of a node.
+    pub fn name_of(&self, node: NodeId) -> &str {
+        self.doc_of(node).name_of(node.pre)
+    }
+
+    /// Attribute value on a node.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.doc_of(node).attribute(node.pre, name)
+    }
+
+    /// Total number of nodes over all containers (diagnostics).
+    pub fn total_nodes(&self) -> usize {
+        self.containers.iter().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_lookup_and_roots() {
+        let mut store = DocStore::new();
+        let frag = store.load_xml("doc.xml", "<a><b/></a>").unwrap();
+        assert_eq!(frag, 1);
+        assert_eq!(store.lookup("doc.xml"), Some(1));
+        assert_eq!(store.lookup("other.xml"), None);
+        let root = store.document_root("doc.xml").unwrap();
+        assert_eq!(root, NodeId::new(1, 0));
+        // the root is the document node; its single child is the `a` element
+        let doc = store.container(root.frag);
+        let first_child = doc.children(root.pre).next().unwrap();
+        assert_eq!(doc.name_of(first_child), "a");
+    }
+
+    #[test]
+    fn construct_appends_fragments_to_transient() {
+        let mut store = DocStore::new();
+        let n1 = store.construct(|b| {
+            let pre = b.start_element("greeting");
+            b.text("hi");
+            b.end_element();
+            pre
+        });
+        let n2 = store.construct(|b| {
+            let pre = b.start_element("other");
+            b.end_element();
+            pre
+        });
+        assert_eq!(n1.frag, TRANSIENT_FRAG);
+        assert_eq!(n2.frag, TRANSIENT_FRAG);
+        assert!(n1.pre < n2.pre);
+        assert_eq!(store.string_value(n1), "hi");
+        assert_eq!(store.name_of(n2), "other");
+        assert_eq!(store.container(TRANSIENT_FRAG).fragment_roots().len(), 2);
+    }
+
+    #[test]
+    fn multiple_documents_get_distinct_fragments() {
+        let mut store = DocStore::new();
+        let a = store.load_xml("a.xml", "<a/>").unwrap();
+        let b = store.load_xml("b.xml", "<b/>").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.container_count(), 3);
+        assert_eq!(store.total_nodes(), 4);
+    }
+}

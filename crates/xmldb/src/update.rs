@@ -1,0 +1,558 @@
+//! Structural updates on the pre|size|level encoding (Section 5.2, Fig. 10/11).
+//!
+//! A subtree insert shifts the `pre` rank of every following node and grows
+//! the `size` of every ancestor.  The paper's remedy is an indirection layer:
+//!
+//! * the document is divided into **logical pages** of a power-of-two number
+//!   of tuples, each page shredded with a configurable percentage of unused
+//!   tuples;
+//! * the physical table is append-only (`rid` order); a **page map** lists the
+//!   pages in logical (`pre`) order, so inserting a page "in the middle" only
+//!   appends tuples and adds a page-map entry;
+//! * deletes leave unused tuples in place; inserts that fit a page's free
+//!   space touch only that page; larger inserts append fresh pages;
+//! * `size` maintenance uses deltas so the root need not stay locked.
+//!
+//! Two implementations are provided so the ablation experiment (E9 in
+//! DESIGN.md) can compare them:
+//!
+//! * [`PagedDocument`] — the paper's scheme; counts pages touched.
+//! * [`NaiveDocument`] — textbook renumbering; counts tuples moved.
+
+use std::sync::Arc;
+
+use crate::doc::{Document, DocumentBuilder};
+use crate::node::NodeKind;
+
+/// Cost counters accumulated by the update schemes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Number of tuples written (inserted, moved or size-adjusted).
+    pub tuples_written: u64,
+    /// Number of logical pages whose contents were modified.
+    pub pages_touched: u64,
+    /// Number of logical pages newly allocated (appended to the rid table).
+    pub pages_allocated: u64,
+}
+
+/// One tuple of the updatable representation, carrying its node properties
+/// inline (the property containers of a read-only [`Document`] are rebuilt on
+/// materialization).
+#[derive(Debug, Clone)]
+struct Tuple {
+    size: u32,
+    level: u16,
+    kind: NodeKind,
+    /// Element or PI name.
+    name: Arc<str>,
+    /// Text content (text/comment/PI nodes).
+    text: Arc<str>,
+    /// Attributes of an element node.
+    attrs: Vec<(Arc<str>, Arc<str>)>,
+}
+
+fn tuples_of(doc: &Document) -> Vec<Tuple> {
+    (0..doc.len() as u32)
+        .map(|pre| Tuple {
+            size: doc.size(pre),
+            level: doc.level(pre),
+            kind: doc.kind(pre),
+            name: Arc::from(doc.name_of(pre)),
+            text: Arc::from(doc.text_of(pre)),
+            attrs: doc
+                .attributes(pre)
+                .iter()
+                .map(|a| (a.name.clone(), a.value.clone()))
+                .collect(),
+        })
+        .collect()
+}
+
+fn materialize(name: &str, tuples: impl Iterator<Item = Tuple>) -> Document {
+    // Rebuild via the builder to re-establish the property containers.
+    let mut doc = Document::new(name);
+    let mut first = true;
+    for t in tuples {
+        if first || t.level == 0 {
+            doc.add_fragment_root(doc.len() as u32);
+            first = false;
+        }
+        let pre = doc.len() as u32;
+        match t.kind {
+            NodeKind::Element | NodeKind::Document => {
+                let qid = doc.intern_qname(t.name.clone());
+                doc.push_row(t.size, t.level, NodeKind::Element, qid);
+            }
+            NodeKind::Text | NodeKind::Comment => {
+                let tid = doc.push_text(&t.text);
+                doc.push_row(0, t.level, t.kind, tid);
+            }
+            NodeKind::ProcessingInstruction => {
+                let tid = doc.push_text(&t.text);
+                doc.push_row(0, t.level, t.kind, tid);
+            }
+        }
+        for (n, v) in &t.attrs {
+            doc.push_attr(pre, n.clone(), v.clone());
+        }
+    }
+    doc
+}
+
+// ---------------------------------------------------------------------------
+// Naive renumbering baseline
+// ---------------------------------------------------------------------------
+
+/// Baseline updatable document: a flat tuple vector where every structural
+/// update splices and renumbers, moving O(N) tuples.
+#[derive(Debug, Clone)]
+pub struct NaiveDocument {
+    name: String,
+    tuples: Vec<Tuple>,
+    /// Accumulated costs.
+    pub stats: UpdateStats,
+}
+
+impl NaiveDocument {
+    /// Wrap an existing document.
+    pub fn from_document(doc: &Document) -> Self {
+        NaiveDocument {
+            name: doc.name.clone(),
+            tuples: tuples_of(doc),
+            stats: UpdateStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Node kind at logical position `pre`.
+    pub fn kind(&self, pre: u32) -> NodeKind {
+        self.tuples[pre as usize].kind
+    }
+
+    /// Insert `fragment` as the last child of `parent_pre`.
+    ///
+    /// # Panics
+    /// Panics if `parent_pre` is not an element (only elements have children
+    /// in the XML data model).
+    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+        assert!(
+            matches!(self.kind(parent_pre), NodeKind::Element | NodeKind::Document),
+            "insert_last_child: parent must be an element"
+        );
+        let insert_at = (parent_pre + self.tuples[parent_pre as usize].size + 1) as usize;
+        let parent_level = self.tuples[parent_pre as usize].level;
+        let frag_tuples: Vec<Tuple> = tuples_of(fragment)
+            .into_iter()
+            .map(|mut t| {
+                t.level += parent_level + 1;
+                t
+            })
+            .collect();
+        let added = frag_tuples.len() as u32;
+        // every tuple at or after the insertion point is moved; every ancestor's
+        // size is rewritten; the inserted tuples are written
+        self.stats.tuples_written +=
+            (self.tuples.len() - insert_at) as u64 + added as u64 + parent_level as u64 + 1;
+        self.tuples.splice(insert_at..insert_at, frag_tuples);
+        // fix ancestor sizes
+        let mut anc = Some(parent_pre);
+        while let Some(a) = anc {
+            self.tuples[a as usize].size += added;
+            anc = self.parent(a);
+        }
+    }
+
+    /// Delete the subtree rooted at `pre`.
+    pub fn delete_subtree(&mut self, pre: u32) {
+        let removed = self.tuples[pre as usize].size + 1;
+        let end = pre as usize + removed as usize;
+        self.stats.tuples_written += (self.tuples.len() - end) as u64 + removed as u64;
+        let parent = self.parent(pre);
+        self.tuples.drain(pre as usize..end);
+        let mut anc = parent;
+        while let Some(a) = anc {
+            self.tuples[a as usize].size -= removed;
+            anc = self.parent(a);
+        }
+    }
+
+    fn parent(&self, pre: u32) -> Option<u32> {
+        let lv = self.tuples[pre as usize].level;
+        if lv == 0 {
+            return None;
+        }
+        (0..pre).rev().find(|&v| self.tuples[v as usize].level < lv)
+    }
+
+    /// Materialize a read-only [`Document`] for querying / verification.
+    pub fn to_document(&self) -> Document {
+        materialize(&self.name, self.tuples.iter().cloned())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page-wise remappable pre-numbers (the paper's scheme)
+// ---------------------------------------------------------------------------
+
+/// A logical page: at most `page_size` used tuples; the remaining slots are
+/// the "unused tuples" of Figure 11.
+#[derive(Debug, Clone, Default)]
+struct Page {
+    tuples: Vec<Tuple>,
+}
+
+/// Updatable document with page-wise remappable pre-numbers (Section 5.2).
+#[derive(Debug, Clone)]
+pub struct PagedDocument {
+    name: String,
+    /// Pages in rid (allocation) order — the table is append-only.
+    pages: Vec<Page>,
+    /// Pages in logical (`pre` view) order: indices into `pages`.
+    page_map: Vec<usize>,
+    /// Logical page capacity in tuples (a power of two).
+    page_size: usize,
+    /// Accumulated costs.
+    pub stats: UpdateStats,
+}
+
+impl PagedDocument {
+    /// Shred an existing document into logical pages, leaving
+    /// `fill_percent` of each page's capacity unused for future inserts.
+    ///
+    /// # Panics
+    /// Panics unless `page_size` is a power of two ≥ 2 and
+    /// `fill_percent ∈ (0, 100]`.
+    pub fn from_document(doc: &Document, page_size: usize, fill_percent: u8) -> Self {
+        assert!(page_size.is_power_of_two() && page_size >= 2, "page_size must be a power of two >= 2");
+        assert!((1..=100).contains(&fill_percent), "fill_percent must be in 1..=100");
+        let fill = ((page_size * fill_percent as usize) / 100).max(1);
+        let tuples = tuples_of(doc);
+        let mut pages = Vec::new();
+        for chunk in tuples.chunks(fill) {
+            pages.push(Page {
+                tuples: chunk.to_vec(),
+            });
+        }
+        if pages.is_empty() {
+            pages.push(Page::default());
+        }
+        let page_map = (0..pages.len()).collect();
+        PagedDocument {
+            name: doc.name.clone(),
+            pages,
+            page_map,
+            page_size,
+            stats: UpdateStats::default(),
+        }
+    }
+
+    /// Number of (used) nodes in the logical view.
+    pub fn len(&self) -> usize {
+        self.page_map
+            .iter()
+            .map(|&p| self.pages[p].tuples.len())
+            .sum()
+    }
+
+    /// True if the logical view holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of allocated logical pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total unused tuple slots over all pages.
+    pub fn free_slots(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| self.page_size - p.tuples.len().min(self.page_size))
+            .sum()
+    }
+
+    /// Map a logical position (`pre`) to (logical page slot, offset in page).
+    fn locate(&self, pre: usize) -> (usize, usize) {
+        let mut remaining = pre;
+        for (slot, &p) in self.page_map.iter().enumerate() {
+            let n = self.pages[p].tuples.len();
+            if remaining < n {
+                return (slot, remaining);
+            }
+            remaining -= n;
+        }
+        // position right past the end maps onto the last page's end
+        let last = self.page_map.len() - 1;
+        (last, self.pages[self.page_map[last]].tuples.len())
+    }
+
+    fn tuple(&self, pre: usize) -> &Tuple {
+        let (slot, off) = self.locate(pre);
+        &self.pages[self.page_map[slot]].tuples[off]
+    }
+
+    fn tuple_mut(&mut self, pre: usize) -> &mut Tuple {
+        let (slot, off) = self.locate(pre);
+        let p = self.page_map[slot];
+        &mut self.pages[p].tuples[off]
+    }
+
+    /// `size` of the node at logical position `pre`.
+    pub fn size(&self, pre: u32) -> u32 {
+        self.tuple(pre as usize).size
+    }
+
+    /// Node kind at logical position `pre`.
+    pub fn kind(&self, pre: u32) -> NodeKind {
+        self.tuple(pre as usize).kind
+    }
+
+    /// `level` of the node at logical position `pre`.
+    pub fn level(&self, pre: u32) -> u16 {
+        self.tuple(pre as usize).level
+    }
+
+    fn parent(&self, pre: u32) -> Option<u32> {
+        let lv = self.level(pre);
+        if lv == 0 {
+            return None;
+        }
+        (0..pre).rev().find(|&v| self.level(v) < lv)
+    }
+
+    /// Insert `fragment` as the last child of the node at logical position
+    /// `parent_pre`.  Touches one page when the fragment fits into the free
+    /// space of the target page, otherwise appends new pages (Figure 11).
+    ///
+    /// # Panics
+    /// Panics if `parent_pre` is not an element (only elements have children
+    /// in the XML data model).
+    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+        assert!(
+            matches!(self.kind(parent_pre), NodeKind::Element | NodeKind::Document),
+            "insert_last_child: parent must be an element"
+        );
+        let insert_pos = (parent_pre + self.size(parent_pre) + 1) as usize;
+        let parent_level = self.level(parent_pre);
+        let frag_tuples: Vec<Tuple> = tuples_of(fragment)
+            .into_iter()
+            .map(|mut t| {
+                t.level += parent_level + 1;
+                t
+            })
+            .collect();
+        let added = frag_tuples.len() as u32;
+
+        let (slot, off) = self.locate(insert_pos);
+        let page_idx = self.page_map[slot];
+        let free = self.page_size - self.pages[page_idx].tuples.len().min(self.page_size);
+
+        if frag_tuples.len() <= free {
+            // fits: shift within this single logical page
+            let page = &mut self.pages[page_idx];
+            page.tuples.splice(off..off, frag_tuples);
+            self.stats.pages_touched += 1;
+            self.stats.tuples_written += added as u64;
+        } else {
+            // does not fit: move the tail of the target page plus the new
+            // tuples into freshly appended pages inserted after `slot`
+            let tail: Vec<Tuple> = self.pages[page_idx].tuples.split_off(off);
+            self.stats.pages_touched += 1;
+            let mut pending: Vec<Tuple> = frag_tuples;
+            pending.extend(tail);
+            self.stats.tuples_written += pending.len() as u64;
+            let mut insert_slot = slot + 1;
+            for chunk in pending.chunks(self.page_size) {
+                let new_idx = self.pages.len();
+                self.pages.push(Page {
+                    tuples: chunk.to_vec(),
+                });
+                self.page_map.insert(insert_slot, new_idx);
+                insert_slot += 1;
+                self.stats.pages_allocated += 1;
+                self.stats.pages_touched += 1;
+            }
+        }
+
+        // ancestor size maintenance via deltas (does not move tuples)
+        let mut anc = Some(parent_pre);
+        while let Some(a) = anc {
+            self.tuple_mut(a as usize).size += added;
+            self.stats.tuples_written += 1;
+            anc = self.parent(a);
+        }
+    }
+
+    /// Delete the subtree rooted at logical position `pre`.  The freed slots
+    /// become unused space on their pages; no other page is rewritten.
+    pub fn delete_subtree(&mut self, pre: u32) {
+        let removed = self.size(pre) + 1;
+        let parent = self.parent(pre);
+        let mut remaining = removed as usize;
+        let (mut slot, mut off) = self.locate(pre as usize);
+        let mut touched = 0u64;
+        while remaining > 0 {
+            let page_idx = self.page_map[slot];
+            let avail = self.pages[page_idx].tuples.len() - off;
+            let take = avail.min(remaining);
+            self.pages[page_idx].tuples.drain(off..off + take);
+            touched += 1;
+            remaining -= take;
+            if self.pages[page_idx].tuples.is_empty() && self.page_map.len() > 1 {
+                // fully emptied page: drop it from the logical view
+                self.page_map.remove(slot);
+            } else {
+                slot += 1;
+            }
+            off = 0;
+        }
+        self.stats.pages_touched += touched;
+        self.stats.tuples_written += removed as u64;
+        let mut anc = parent;
+        while let Some(a) = anc {
+            self.tuple_mut(a as usize).size -= removed;
+            self.stats.tuples_written += 1;
+            anc = self.parent(a);
+        }
+    }
+
+    /// Materialize the logical view as a read-only [`Document`] (the
+    /// "pre|size|level table view with pages in logical order" of Fig. 11).
+    pub fn to_document(&self) -> Document {
+        let iter = self
+            .page_map
+            .iter()
+            .flat_map(|&p| self.pages[p].tuples.iter().cloned())
+            .collect::<Vec<_>>();
+        materialize(&self.name, iter.into_iter())
+    }
+}
+
+/// Build a small XML fragment document from text (helper used by examples,
+/// benches and tests when composing subtrees to insert).
+pub fn fragment_from_xml(xml: &str) -> Document {
+    crate::shred::shred("#fragment", xml, &crate::shred::ShredOptions::default())
+        .expect("invalid fragment XML")
+}
+
+/// Build a fragment programmatically from a builder closure.
+pub fn fragment<F: FnOnce(&mut DocumentBuilder)>(f: F) -> Document {
+    let mut b = DocumentBuilder::new("#fragment");
+    f(&mut b);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::serialize_document;
+    use crate::shred::{shred, ShredOptions};
+
+    fn base() -> Document {
+        shred(
+            "base",
+            "<a><b><c/><d/></b><f><g/><h><i/><j/></h></f></a>",
+            &ShredOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn naive_insert_matches_reference_serialization() {
+        let doc = base();
+        let mut naive = NaiveDocument::from_document(&doc);
+        naive.insert_last_child(4, &fragment_from_xml("<k><l/><m/></k>"));
+        let out = serialize_document(&naive.to_document());
+        assert_eq!(
+            out,
+            "<a><b><c/><d/></b><f><g/><h><i/><j/></h><k><l/><m/></k></f></a>"
+        );
+        assert!(naive.stats.tuples_written > 3, "naive insert moves following tuples");
+    }
+
+    #[test]
+    fn paged_insert_matches_naive() {
+        let doc = base();
+        let frag = fragment_from_xml("<k><l/><m/></k>");
+        let mut naive = NaiveDocument::from_document(&doc);
+        let mut paged = PagedDocument::from_document(&doc, 8, 75);
+        naive.insert_last_child(4, &frag);
+        paged.insert_last_child(4, &frag);
+        assert_eq!(
+            serialize_document(&naive.to_document()),
+            serialize_document(&paged.to_document())
+        );
+        paged.to_document().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn paged_insert_into_free_space_touches_one_page() {
+        let doc = base();
+        // 50% fill of 16-tuple pages leaves plenty of free slots
+        let mut paged = PagedDocument::from_document(&doc, 16, 50);
+        let before_pages = paged.page_count();
+        paged.insert_last_child(1, &fragment_from_xml("<x/>"));
+        assert_eq!(paged.stats.pages_touched, 1);
+        assert_eq!(paged.stats.pages_allocated, 0);
+        assert_eq!(paged.page_count(), before_pages);
+    }
+
+    #[test]
+    fn paged_large_insert_appends_pages() {
+        let doc = base();
+        let mut paged = PagedDocument::from_document(&doc, 4, 100);
+        paged.insert_last_child(0, &fragment_from_xml("<big><x1/><x2/><x3/><x4/><x5/></big>"));
+        assert!(paged.stats.pages_allocated >= 1);
+        paged.to_document().check_invariants().unwrap();
+        assert_eq!(paged.len(), 9 + 6);
+    }
+
+    #[test]
+    fn delete_subtree_both_schemes() {
+        let doc = base();
+        let mut naive = NaiveDocument::from_document(&doc);
+        let mut paged = PagedDocument::from_document(&doc, 8, 75);
+        naive.delete_subtree(1); // delete <b> subtree (3 nodes)
+        paged.delete_subtree(1);
+        let expected = "<a><f><g/><h><i/><j/></h></f></a>";
+        assert_eq!(serialize_document(&naive.to_document()), expected);
+        assert_eq!(serialize_document(&paged.to_document()), expected);
+        assert_eq!(naive.len(), 6);
+        assert_eq!(paged.len(), 6);
+    }
+
+    #[test]
+    fn repeated_updates_keep_invariants() {
+        let doc = base();
+        let mut paged = PagedDocument::from_document(&doc, 8, 50);
+        for i in 0..20 {
+            paged.insert_last_child(0, &fragment_from_xml(&format!("<n{i}><c/></n{i}>")));
+        }
+        let mat = paged.to_document();
+        mat.check_invariants().unwrap();
+        assert_eq!(mat.len(), 9 + 40);
+        assert_eq!(mat.size(0), mat.len() as u32 - 1);
+    }
+
+    #[test]
+    fn value_updates_on_document() {
+        let mut doc = shred("t", "<a x=\"1\"><b>old</b></a>", &ShredOptions::default()).unwrap();
+        doc.set_text(2, "new");
+        doc.set_attribute(0, "x", "2");
+        doc.set_attribute(0, "y", "3");
+        doc.rename_element(1, "c");
+        assert_eq!(serialize_document(&doc), "<a x=\"2\" y=\"3\"><c>new</c></a>");
+        doc.remove_attribute(0, "y");
+        assert_eq!(doc.attribute(0, "y"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Regenerates Figure 12: per-query speedup of the loop-lifted staircase join
+//! (and nametest pushdown) over the iterative staircase join.
+//!
+//! ```sh
+//! cargo run --release --example fig12_looplift
+//! ```
+
+use std::time::Instant;
+
+use mxq::xmark::gen::{generate_xml, GenParams};
+use mxq::xmark::queries::{query_text, QUERY_IDS};
+use mxq::xquery::{ExecConfig, XQueryEngine};
+
+fn time_query(engine: &mut XQueryEngine, id: usize) -> f64 {
+    engine.reset_transient();
+    let t = Instant::now();
+    engine.execute(query_text(id)).expect("query");
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let factor = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.002);
+    let xml = generate_xml(&GenParams::with_factor(factor));
+    println!("Figure 12 — benefit of loop-lifted staircase join (scale factor {factor})");
+    println!("values are speedups relative to the fully iterative configuration\n");
+
+    let base_cfg = ExecConfig {
+        loop_lifted_child: false,
+        loop_lifted_descendant: false,
+        nametest_pushdown: false,
+        ..ExecConfig::default()
+    };
+    let configs: Vec<(&str, ExecConfig)> = vec![
+        ("iter/iter", base_cfg),
+        (
+            "ll-child",
+            ExecConfig {
+                loop_lifted_child: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "ll-desc",
+            ExecConfig {
+                loop_lifted_descendant: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "ll-both",
+            ExecConfig {
+                loop_lifted_child: true,
+                loop_lifted_descendant: true,
+                ..base_cfg
+            },
+        ),
+        (
+            "ll+nametest",
+            ExecConfig {
+                loop_lifted_child: true,
+                loop_lifted_descendant: true,
+                nametest_pushdown: true,
+                ..base_cfg
+            },
+        ),
+    ];
+
+    // load one engine per configuration (same document)
+    let mut engines: Vec<(&str, XQueryEngine)> = configs
+        .iter()
+        .map(|(name, cfg)| {
+            let mut e = XQueryEngine::with_config(*cfg);
+            e.load_document("auction.xml", &xml).unwrap();
+            (*name, e)
+        })
+        .collect();
+
+    print!("{:>4}", "Q");
+    for (name, _) in &engines {
+        print!("{name:>14}");
+    }
+    println!();
+    for id in QUERY_IDS {
+        let mut times = Vec::new();
+        for (_, engine) in engines.iter_mut() {
+            times.push(time_query(engine, id));
+        }
+        let base = times[0];
+        print!("{id:>4}");
+        for t in &times {
+            print!("{:>13.2}x", base / t.max(1e-9));
+        }
+        println!();
+    }
+    println!("\n(>1x means faster than the iterative staircase join, as in the paper's Figure 12)");
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 15: scalability with respect to document size.
+//!
+//! Runs all 20 XMark queries at three scale factors a decade apart and prints
+//! execution times normalised to the middle size (the paper normalises to the
+//! 110 MB document).  Linear scaling shows up as a factor ≈10 between
+//! adjacent columns; Q11/Q12 grow faster (quadratic join result), the
+//! index-assisted queries grow slower.
+//!
+//! ```sh
+//! cargo run --release --example fig15_scalability [base_factor]
+//! ```
+
+use std::time::Instant;
+
+use mxq::xmark::gen::{generate_xml, GenParams};
+use mxq::xmark::queries::{query_text, QUERY_IDS};
+use mxq::xquery::XQueryEngine;
+
+fn main() {
+    let base: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.001);
+    let factors = [base / 10.0, base, base * 10.0];
+    println!("Figure 15 — scalability with document size (factors {factors:?})");
+
+    let mut engines: Vec<XQueryEngine> = factors
+        .iter()
+        .map(|&f| {
+            let xml = generate_xml(&GenParams::with_factor(f));
+            let mut e = XQueryEngine::new();
+            e.load_document("auction.xml", &xml).unwrap();
+            e
+        })
+        .collect();
+
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}   (normalised to the middle size = 1.0)",
+        "Q", "small", "medium", "large"
+    );
+    for id in QUERY_IDS {
+        let mut times = Vec::new();
+        for engine in engines.iter_mut() {
+            engine.reset_transient();
+            let t = Instant::now();
+            engine.execute(query_text(id)).expect("query");
+            times.push(t.elapsed().as_secs_f64());
+        }
+        let mid = times[1].max(1e-9);
+        println!(
+            "{id:>4} {:>12.3} {:>12.3} {:>12.3}",
+            times[0] / mid,
+            times[1] / mid,
+            times[2] / mid
+        );
+    }
+    println!("\nlinear scaling ⇒ roughly 0.1 / 1.0 / 10 per row (Q11/Q12 grow faster)");
+}

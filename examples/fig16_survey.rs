@@ -1,0 +1,58 @@
+//! Regenerates Table 2 + Figure 16: the survey of published XMark results,
+//! SPEC-normalised and expressed relative to MonetDB/XQuery.
+//!
+//! The published numbers are bundled in `mxq_xmark::survey`; this binary
+//! recomputes the normalisation and additionally measures *this
+//! reproduction* on a local document so it can be read off the same axis.
+//!
+//! ```sh
+//! cargo run --release --example fig16_survey
+//! ```
+
+use std::time::Instant;
+
+use mxq::xmark::gen::{generate_xml, GenParams};
+use mxq::xmark::queries::{query_text, QUERY_IDS};
+use mxq::xmark::survey::{relative_to_mxq, spec_normalize, TABLE1, TABLE1_SYSTEMS, TABLE2};
+use mxq::xquery::XQueryEngine;
+
+fn main() {
+    println!("Table 2 — systems, CPUs and SPECint-CPU2000 normalisation factors\n");
+    println!("{:<3} {:<34} {:<16} {:>6} {:>7}", "id", "system", "CPU", "SPEC", "factor");
+    for row in TABLE2 {
+        println!(
+            "{:<3} {:<34} {:<16} {:>6} {:>7.2}",
+            row.label, row.system, row.cpu, row.spec, row.factor
+        );
+    }
+
+    println!("\nFigure 16 (11 MB column) — normalised time relative to MonetDB/XQuery");
+    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "Q", TABLE1_SYSTEMS[1], TABLE1_SYSTEMS[2], TABLE1_SYSTEMS[3], TABLE1_SYSTEMS[4]);
+    for row in TABLE1 {
+        let mxq = row.mb11[0].unwrap_or(f64::NAN).max(1e-6);
+        let rel = |idx: usize| -> String {
+            match row.mb11[idx] {
+                // the authors' machines are the reference CPU: factor 1.0
+                Some(t) => format!("{:.1}", relative_to_mxq(spec_normalize(t, 1.0), mxq)),
+                None => "DNF".into(),
+            }
+        };
+        println!("{:>4} {:>10} {:>10} {:>10} {:>10}", row.query, rel(1), rel(2), rel(3), rel(4));
+    }
+
+    // our own measurements, for the same relative reading
+    let xml = generate_xml(&GenParams::with_factor(0.001));
+    let mut engine = XQueryEngine::new();
+    engine.load_document("auction.xml", &xml).unwrap();
+    println!("\nThis reproduction (scale factor 0.001), absolute seconds per query:");
+    for id in QUERY_IDS {
+        engine.reset_transient();
+        let t = Instant::now();
+        engine.execute(query_text(id)).expect("query");
+        print!("Q{id}:{:.3}s  ", t.elapsed().as_secs_f64());
+        if id % 7 == 0 {
+            println!();
+        }
+    }
+    println!();
+}

@@ -1,0 +1,49 @@
+//! Quickstart: load an XML document, run a few XQuery queries, inspect the
+//! compiled relational plan.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mxq::xquery::XQueryEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = XQueryEngine::new();
+    engine.load_document(
+        "library.xml",
+        r#"<library>
+             <book year="2004"><title>Relational XML</title><price>35</price></book>
+             <book year="2006"><title>Loop Lifting</title><price>42</price></book>
+             <book year="2006"><title>Staircase Join</title><price>28</price></book>
+           </library>"#,
+    )?;
+
+    // 1. a simple path + predicate query
+    let recent = engine.execute(
+        "for $b in doc(\"library.xml\")/library/book where $b/@year >= 2005 \
+         return $b/title/text()",
+    )?;
+    println!("Books from 2005 on : {}", recent.serialize());
+
+    // 2. aggregation
+    let avg = engine.execute("avg(doc(\"library.xml\")/library/book/price/text())")?;
+    println!("Average price      : {}", avg.serialize());
+
+    // 3. element construction
+    let report = engine.execute(
+        "<report total=\"{count(doc(\"library.xml\")/library/book)}\">{ \
+           for $b in doc(\"library.xml\")/library/book \
+           order by $b/price/text() descending \
+           return <entry price=\"{$b/price/text()}\">{$b/title/text()}</entry> \
+         }</report>",
+    )?;
+    println!("Constructed report : {}", report.serialize());
+
+    // 4. look at the relational plan the compiler produced
+    let plan = engine.compile(
+        "for $b in doc(\"library.xml\")/library/book return $b/title/text()",
+    )?;
+    println!("\nCompiled plan ({} operators):\n{}", plan.operator_count(), plan.explain());
+
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the core invariants of the system:
+//!
+//! * shredding and serialization are inverses on arbitrary XML trees;
+//! * the pre|size|level invariants hold for every shredded document;
+//! * the loop-lifted staircase join agrees with the iterative staircase join
+//!   on every axis, for arbitrary trees and arbitrary multi-iteration
+//!   contexts, while touching no more document rows than |result|+|context|
+//!   for the child axis;
+//! * the paged and the naive structural-update schemes produce identical
+//!   documents for arbitrary insert/delete sequences;
+//! * the relational XQuery engine and the naive interpreter agree on simple
+//!   generated queries over arbitrary documents.
+
+use proptest::prelude::*;
+
+use mxq::staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats};
+use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
+use mxq::xmldb::NodeKind;
+use mxq::xmldb::{serialize_document, shred, Document, ShredOptions};
+use mxq::xquery::XQueryEngine;
+
+// ---------------------------------------------------------------------------
+// random tree generation
+// ---------------------------------------------------------------------------
+
+/// A recursive strategy producing small random XML element trees.
+fn arb_xml_tree() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        "[a-e]{1,6}".prop_map(|t| format!("<leaf>{t}</leaf>")),
+        Just("<empty/>".to_string()),
+        "[a-e]{1,4}".prop_map(|v| format!("<node attr=\"{v}\"/>")),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "item", "person", "x"]),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, children)| format!("<{name}>{}</{name}>", children.join("")))
+    })
+}
+
+fn doc_from(xml: &str) -> Document {
+    shred("t.xml", xml, &ShredOptions::default()).expect("generated tree is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shred_serialize_roundtrip(xml in arb_xml_tree()) {
+        let doc = doc_from(&xml);
+        doc.check_invariants().unwrap();
+        let serialized = serialize_document(&doc);
+        // serialization is a fixpoint: shredding it again yields the same text
+        let doc2 = doc_from(&serialized);
+        prop_assert_eq!(serialize_document(&doc2), serialized);
+        prop_assert_eq!(doc2.len(), doc.len());
+    }
+
+    #[test]
+    fn pre_size_level_invariants(xml in arb_xml_tree()) {
+        let doc = doc_from(&xml);
+        // size of the root covers the whole fragment
+        prop_assert_eq!(doc.size(0) as usize, doc.len() - 1);
+        // post order rank recovery stays within bounds and is unique
+        let mut posts: Vec<i64> = (0..doc.len() as u32).map(|p| doc.post(p)).collect();
+        posts.sort_unstable();
+        posts.dedup();
+        prop_assert_eq!(posts.len(), doc.len());
+    }
+
+    #[test]
+    fn looplifted_matches_iterative_on_all_axes(
+        xml in arb_xml_tree(),
+        picks in prop::collection::vec((1i64..4, 0usize..64), 1..12),
+    ) {
+        let doc = doc_from(&xml);
+        let n = doc.len() as u32;
+        let ctx: Vec<(i64, u32)> = picks
+            .into_iter()
+            .map(|(it, p)| (it, (p as u32) % n))
+            .collect();
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::Following,
+            Axis::Preceding,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::SelfAxis,
+        ] {
+            let mut ll_stats = ScanStats::default();
+            let got = looplifted_step(&doc, &ctx, axis, &NodeTest::AnyKind, &mut ll_stats);
+
+            // reference: run the iterative staircase join once per iteration
+            let mut want: Vec<(i64, u32)> = Vec::new();
+            let mut iters: Vec<i64> = ctx.iter().map(|&(i, _)| i).collect();
+            iters.sort_unstable();
+            iters.dedup();
+            for it in iters {
+                let c: Vec<u32> = ctx.iter().filter(|&&(i, _)| i == it).map(|&(_, p)| p).collect();
+                let mut st = ScanStats::default();
+                for p in staircase_step(&doc, &c, axis, &NodeTest::AnyKind, &mut st) {
+                    want.push((it, p));
+                }
+            }
+            want.sort_unstable_by_key(|&(it, p)| (p, it));
+            prop_assert_eq!(&got, &want, "axis {} on {}", axis, serialize_document(&doc));
+        }
+    }
+
+    #[test]
+    fn child_step_scan_bound(xml in arb_xml_tree(), picks in prop::collection::vec((1i64..4, 0usize..64), 1..10)) {
+        let doc = doc_from(&xml);
+        let n = doc.len() as u32;
+        let mut ctx: Vec<(i64, u32)> = picks.into_iter().map(|(it, p)| (it, (p as u32) % n)).collect();
+        ctx.sort_unstable();
+        ctx.dedup();
+        let mut stats = ScanStats::default();
+        let result = looplifted_step(&doc, &ctx, Axis::Child, &NodeTest::AnyKind, &mut stats);
+        // Section 3: never touch more than |result| + |context| nodes
+        prop_assert!(
+            stats.nodes_scanned <= (result.len() + ctx.len()) as u64,
+            "scanned {} > result {} + context {}",
+            stats.nodes_scanned,
+            result.len(),
+            ctx.len()
+        );
+        prop_assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn update_schemes_agree(
+        xml in arb_xml_tree(),
+        ops in prop::collection::vec((0usize..32, any::<bool>()), 1..10),
+    ) {
+        let doc = doc_from(&xml);
+        let mut paged = PagedDocument::from_document(&doc, 8, 75);
+        let mut naive = NaiveDocument::from_document(&doc);
+        let frag = fragment_from_xml("<ins><x/>payload</ins>");
+        for (target, is_insert) in ops {
+            let len = paged.len() as u32;
+            let pre = (target as u32) % len;
+            if is_insert {
+                // only elements may receive children
+                if paged.kind(pre) == NodeKind::Element {
+                    paged.insert_last_child(pre, &frag);
+                    naive.insert_last_child(pre, &frag);
+                }
+            } else if pre != 0 && paged.len() > 1 {
+                // never delete the root
+                paged.delete_subtree(pre.max(1));
+                naive.delete_subtree(pre.max(1));
+            }
+        }
+        let a = serialize_document(&paged.to_document());
+        let b = serialize_document(&naive.to_document());
+        prop_assert_eq!(a, b);
+        paged.to_document().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_on_generated_counts(xml in arb_xml_tree(), name in prop::sample::select(vec!["a", "b", "item", "person", "leaf", "x"])) {
+        let query = format!("count(doc(\"t.xml\")//{name})");
+        let mut engine = XQueryEngine::new();
+        engine.load_document("t.xml", &xml).unwrap();
+        let relational = engine.execute(&query).unwrap().serialize().to_string();
+
+        let mut store = mxq::xmldb::DocStore::new();
+        store.load_xml("t.xml", &xml).unwrap();
+        let mut naive = mxq::xmark::naive::NaiveInterpreter::new(&mut store);
+        let items = naive.run(&query).unwrap();
+        let reference = naive.serialize(&items);
+        prop_assert_eq!(relational, reference);
+    }
+}
