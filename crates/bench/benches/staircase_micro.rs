@@ -33,7 +33,8 @@ fn bench(c: &mut Criterion) {
             |b, ctx| {
                 b.iter(|| {
                     let mut stats = ScanStats::default();
-                    looplifted_step(&doc, ctx, Axis::Descendant, &NodeTest::AnyKind, &mut stats).len()
+                    looplifted_step(&doc, ctx, Axis::Descendant, &NodeTest::AnyKind, &mut stats)
+                        .len()
                 })
             },
         );
@@ -45,11 +46,19 @@ fn bench(c: &mut Criterion) {
                     let mut total = 0usize;
                     let mut stats = ScanStats::default();
                     for it in 1..=iterations as i64 {
-                        let c: Vec<u32> =
-                            ctx.iter().filter(|&&(i, _)| i == it).map(|&(_, p)| p).collect();
-                        total +=
-                            staircase_step(&doc, &c, Axis::Descendant, &NodeTest::AnyKind, &mut stats)
-                                .len();
+                        let c: Vec<u32> = ctx
+                            .iter()
+                            .filter(|&&(i, _)| i == it)
+                            .map(|&(_, p)| p)
+                            .collect();
+                        total += staircase_step(
+                            &doc,
+                            &c,
+                            Axis::Descendant,
+                            &NodeTest::AnyKind,
+                            &mut stats,
+                        )
+                        .len();
                     }
                     total
                 })

@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("Q{q}/relational"), |b| {
             b.iter(|| run_query(&mut engine, q))
         });
-        group.bench_function(format!("Q{q}/naive"), |b| b.iter(|| run_query_naive(&xml, q)));
+        group.bench_function(format!("Q{q}/naive"), |b| {
+            b.iter(|| run_query_naive(&xml, q))
+        });
     }
     group.finish();
 }

@@ -20,7 +20,8 @@ fn bench(c: &mut Criterion) {
     for factor in [0.001, 0.004] {
         let xml = xmark_xml(factor);
         let doc = shred("auction.xml", &xml, &ShredOptions::default()).unwrap();
-        let frag = fragment_from_xml("<bidder><date>2006-06-20</date><increase>6.00</increase></bidder>");
+        let frag =
+            fragment_from_xml("<bidder><date>2006-06-20</date><increase>6.00</increase></bidder>");
         // insert under the first open_auction element
         let target = doc.elements_named("open_auction")[0];
 

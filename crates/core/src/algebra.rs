@@ -410,7 +410,12 @@ impl Plan {
                 left,
                 right,
                 ..
-            } => vec![source.clone(), outer_loop.clone(), left.clone(), right.clone()],
+            } => vec![
+                source.clone(),
+                outer_loop.clone(),
+                left.clone(),
+                right.clone(),
+            ],
             Op::NestLoop { nest } | Op::NestVar { nest } | Op::NestVarPos { nest } => {
                 vec![nest.clone()]
             }
@@ -438,7 +443,9 @@ impl Plan {
                 vec![l.clone(), r.clone(), loop_.clone()]
             }
             Op::BoolNot { e, loop_ } => vec![e.clone(), loop_.clone()],
-            Op::Ebv { seq, loop_ } | Op::Empty { seq, loop_ } | Op::Aggregate { seq, loop_, .. } => {
+            Op::Ebv { seq, loop_ }
+            | Op::Empty { seq, loop_ }
+            | Op::Aggregate { seq, loop_, .. } => {
                 vec![seq.clone(), loop_.clone()]
             }
             Op::Atomize { seq }
@@ -513,7 +520,12 @@ impl Plan {
     pub fn explain(self: &Rc<Self>) -> String {
         let mut out = String::new();
         let mut seen = std::collections::HashSet::new();
-        fn walk(p: &PlanRef, depth: usize, seen: &mut std::collections::HashSet<usize>, out: &mut String) {
+        fn walk(
+            p: &PlanRef,
+            depth: usize,
+            seen: &mut std::collections::HashSet<usize>,
+            out: &mut String,
+        ) {
             out.push_str(&"  ".repeat(depth));
             if !seen.insert(p.id) {
                 out.push_str(&format!("[{}] {} (shared)\n", p.id, p.op_name()));
@@ -544,8 +556,20 @@ mod tests {
     #[test]
     fn operator_count_counts_shared_nodes_once() {
         let loop_ = mk(0, Op::LoopOne);
-        let a = mk(1, Op::ConstSeq { loop_: loop_.clone(), items: vec![Item::Int(1)] });
-        let b = mk(2, Op::ConstSeq { loop_: loop_.clone(), items: vec![Item::Int(2)] });
+        let a = mk(
+            1,
+            Op::ConstSeq {
+                loop_: loop_.clone(),
+                items: vec![Item::Int(1)],
+            },
+        );
+        let b = mk(
+            2,
+            Op::ConstSeq {
+                loop_: loop_.clone(),
+                items: vec![Item::Int(2)],
+            },
+        );
         let top = mk(3, Op::Union { parts: vec![a, b] });
         assert_eq!(top.operator_count(), 4);
     }
@@ -553,7 +577,13 @@ mod tests {
     #[test]
     fn explain_mentions_operators() {
         let loop_ = mk(0, Op::LoopOne);
-        let c = mk(1, Op::ConstSeq { loop_, items: vec![Item::Int(1)] });
+        let c = mk(
+            1,
+            Op::ConstSeq {
+                loop_,
+                items: vec![Item::Int(1)],
+            },
+        );
         let s = c.explain();
         assert!(s.contains("const"));
         assert!(s.contains("loop"));

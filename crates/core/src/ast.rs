@@ -297,7 +297,9 @@ impl Expr {
                 satisfies.collect_free(bound, out);
                 bound.pop();
             }
-            Expr::Arith { l, r, .. } | Expr::Comparison { l, r, .. } | Expr::Logical { l, r, .. } => {
+            Expr::Arith { l, r, .. }
+            | Expr::Comparison { l, r, .. }
+            | Expr::Logical { l, r, .. } => {
                 l.collect_free(bound, out);
                 r.collect_free(bound, out);
             }
@@ -384,7 +386,10 @@ mod tests {
             }],
             where_: None,
             order_by: None,
-            ret: Box::new(Expr::Sequence(vec![Expr::Var("x".into()), Expr::Var("y".into())])),
+            ret: Box::new(Expr::Sequence(vec![
+                Expr::Var("x".into()),
+                Expr::Var("y".into()),
+            ])),
         };
         assert_eq!(e.free_vars(), vec!["src".to_string(), "y".to_string()]);
     }

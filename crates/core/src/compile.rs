@@ -55,7 +55,10 @@ impl fmt::Display for CompileError {
             CompileError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
             CompileError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             CompileError::RecursionLimit(n) => {
-                write!(f, "recursive user function {n}() exceeds the inlining depth limit")
+                write!(
+                    f,
+                    "recursive user function {n}() exceeds the inlining depth limit"
+                )
             }
         }
     }
@@ -198,7 +201,11 @@ impl Compiler {
                     CompKind::Value(op) => {
                         let lp = self.plan(Op::Atomize { seq: lp });
                         let rp = self.plan(Op::Atomize { seq: rp });
-                        Ok(self.plan(Op::ValueCmp { op: *op, l: lp, r: rp }))
+                        Ok(self.plan(Op::ValueCmp {
+                            op: *op,
+                            l: lp,
+                            r: rp,
+                        }))
                     }
                     CompKind::NodeBefore => Ok(self.plan(Op::ValueCmp {
                         op: CmpOp::Lt,
@@ -310,9 +317,15 @@ impl Compiler {
                 // comparison.
                 if self.config.join_recognition && clauses.len() == 1 {
                     if let Some(w) = where_ {
-                        if let Some(plan) =
-                            self.try_compile_join(var, at.as_deref(), source, w, order_by, ret, env)?
-                        {
+                        if let Some(plan) = self.try_compile_join(
+                            var,
+                            at.as_deref(),
+                            source,
+                            w,
+                            order_by,
+                            ret,
+                            env,
+                        )? {
                             return Ok((plan, None));
                         }
                     }
@@ -342,9 +355,8 @@ impl Compiler {
                     loop_: inner_loop,
                     vars: inner_vars,
                 };
-                let remaining_has_for = clauses[1..]
-                    .iter()
-                    .any(|c| matches!(c, Clause::For { .. }));
+                let remaining_has_for =
+                    clauses[1..].iter().any(|c| matches!(c, Clause::For { .. }));
                 let (body, order_key) =
                     self.compile_clauses(&clauses[1..], where_, order_by, ret, &env_inner)?;
                 // the innermost `for` consumes the order key
@@ -398,14 +410,14 @@ impl Compiler {
         let no_var = |vs: &[String]| !uses_var(vs);
         let in_scope = |vs: &[String]| vs.iter().all(|v| env.vars.contains_key(v));
         // decide which side belongs to the outer scope and which to $var
-        let (outer_expr, var_expr, op) = if no_var(&lv) && in_scope(&lv) && uses_var(&rv) && only_var(&rv)
-        {
-            (l.as_ref(), r.as_ref(), *op)
-        } else if no_var(&rv) && in_scope(&rv) && uses_var(&lv) && only_var(&lv) {
-            (r.as_ref(), l.as_ref(), op.swap())
-        } else {
-            return Ok(None);
-        };
+        let (outer_expr, var_expr, op) =
+            if no_var(&lv) && in_scope(&lv) && uses_var(&rv) && only_var(&rv) {
+                (l.as_ref(), r.as_ref(), *op)
+            } else if no_var(&rv) && in_scope(&rv) && uses_var(&lv) && only_var(&lv) {
+                (r.as_ref(), l.as_ref(), op.swap())
+            } else {
+                return Ok(None);
+            };
 
         // SOURCE evaluated once, in the singleton loop
         let loop_one = self.plan(Op::LoopOne);
@@ -419,9 +431,16 @@ impl Compiler {
         let src_nest = self.plan(Op::NestFromSeq {
             seq: source_single.clone(),
         });
-        let src_loop = self.plan(Op::NestLoop { nest: src_nest.clone() });
+        let src_loop = self.plan(Op::NestLoop {
+            nest: src_nest.clone(),
+        });
         let mut right_vars = HashMap::new();
-        right_vars.insert(var.to_string(), self.plan(Op::NestVar { nest: src_nest.clone() }));
+        right_vars.insert(
+            var.to_string(),
+            self.plan(Op::NestVar {
+                nest: src_nest.clone(),
+            }),
+        );
         let right_env = Env {
             loop_: src_loop,
             vars: right_vars,
@@ -453,7 +472,10 @@ impl Compiler {
                 }),
             );
         }
-        inner_vars.insert(var.to_string(), self.plan(Op::NestVar { nest: nest.clone() }));
+        inner_vars.insert(
+            var.to_string(),
+            self.plan(Op::NestVar { nest: nest.clone() }),
+        );
         if let Some(at_var) = at {
             inner_vars.insert(
                 at_var.to_string(),
@@ -1111,13 +1133,19 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(with.explain().contains("nest(⋈)"), "join-recognised plan uses NestFromJoin");
+        assert!(
+            with.explain().contains("nest(⋈)"),
+            "join-recognised plan uses NestFromJoin"
+        );
         assert!(!without.explain().contains("nest(⋈)"));
     }
 
     #[test]
     fn positional_predicates_detected() {
-        assert_eq!(positional_form(&Expr::integer(2)), Some(PosFilterKind::Eq(2)));
+        assert_eq!(
+            positional_form(&Expr::integer(2)),
+            Some(PosFilterKind::Eq(2))
+        );
         assert_eq!(
             positional_form(&Expr::FunCall {
                 name: "last".into(),

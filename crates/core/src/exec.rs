@@ -18,7 +18,9 @@ use mxq_engine::rank::row_number_streaming;
 use mxq_engine::sort::{sort_permutation, SortOrder};
 use mxq_engine::value::format_double;
 use mxq_engine::{CmpOp, Column, EngineError, Item, NodeId, Table};
-use mxq_staircase::{looplifted_step, looplifted_step_candidates, staircase_step, Axis, NodeTest, ScanStats};
+use mxq_staircase::{
+    looplifted_step, looplifted_step_candidates, staircase_step, Axis, NodeTest, ScanStats,
+};
 use mxq_xmldb::{DocStore, DocumentBuilder, TRANSIENT_FRAG};
 
 use crate::algebra::{NumFnKind, Op, PlanRef, PosFilterKind, StrFnKind};
@@ -164,7 +166,10 @@ impl<'a> Executor<'a> {
         let items = items_col(t)?;
         let mut groups: HashMap<i64, Vec<(i64, Item)>> = HashMap::new();
         for i in 0..t.nrows() {
-            groups.entry(iters[i]).or_default().push((poss[i], items[i].clone()));
+            groups
+                .entry(iters[i])
+                .or_default()
+                .push((poss[i], items[i].clone()));
         }
         Ok(groups
             .into_iter()
@@ -207,7 +212,9 @@ impl<'a> Executor<'a> {
 
     fn eval_op(&mut self, plan: &PlanRef) -> EResult<Table> {
         match &plan.op {
-            Op::LoopOne => Table::from_columns(vec![("iter", Column::Int(vec![1]))]).map_err(Into::into),
+            Op::LoopOne => {
+                Table::from_columns(vec![("iter", Column::Int(vec![1]))]).map_err(Into::into)
+            }
             Op::ConstSeq { loop_, items } => {
                 let iters = self.loop_iters(loop_)?;
                 let mut oi = Vec::new();
@@ -285,13 +292,20 @@ impl<'a> Executor<'a> {
                 order_key,
                 descending,
             } => self.eval_back_map(body, nest, order_key.as_ref(), *descending),
-            Op::SelectIters { cond, loop_, negate } => {
+            Op::SelectIters {
+                cond,
+                loop_,
+                negate,
+            } => {
                 let c = self.eval(cond)?;
                 let firsts = self.per_iter_first(&c)?;
                 let loop_iters = self.loop_iters(loop_)?;
                 let mut out = Vec::new();
                 for it in loop_iters {
-                    let truth = firsts.get(&it).map(|v| v.effective_boolean()).unwrap_or(false);
+                    let truth = firsts
+                        .get(&it)
+                        .map(|v| v.effective_boolean())
+                        .unwrap_or(false);
                     if truth != *negate {
                         out.push(it);
                     }
@@ -323,7 +337,8 @@ impl<'a> Executor<'a> {
                 let rt = self.eval(r)?;
                 let lf = self.per_iter_first(&lt)?;
                 let rf = self.per_iter_first(&rt)?;
-                let mut iters: Vec<i64> = lf.keys().filter(|k| rf.contains_key(k)).copied().collect();
+                let mut iters: Vec<i64> =
+                    lf.keys().filter(|k| rf.contains_key(k)).copied().collect();
                 iters.sort_unstable();
                 let items: Vec<Item> = iters
                     .iter()
@@ -361,7 +376,12 @@ impl<'a> Executor<'a> {
                 let n = iters.len();
                 Ok(seq_table(iters, vec![1; n], out_items))
             }
-            Op::BoolAndOr { is_and, l, r, loop_ } => {
+            Op::BoolAndOr {
+                is_and,
+                l,
+                r,
+                loop_,
+            } => {
                 let lt = self.eval(l)?;
                 let rt = self.eval(r)?;
                 let lf = self.per_iter_first(&lt)?;
@@ -393,7 +413,10 @@ impl<'a> Executor<'a> {
                 let t = self.eval(seq)?;
                 let groups = self.per_iter_items(&t)?;
                 let iters = self.loop_iters(loop_)?;
-                let items: Vec<Item> = iters.iter().map(|it| Item::Bool(ebv_of(groups.get(it)))).collect();
+                let items: Vec<Item> = iters
+                    .iter()
+                    .map(|it| Item::Bool(ebv_of(groups.get(it))))
+                    .collect();
                 let n = iters.len();
                 Ok(seq_table(iters, vec![1; n], items))
             }
@@ -411,7 +434,10 @@ impl<'a> Executor<'a> {
             Op::Aggregate { func, seq, loop_ } => self.eval_aggregate(*func, seq, loop_),
             Op::Atomize { seq } => {
                 let t = self.eval(seq)?;
-                let items: Vec<Item> = items_col(&t)?.iter().map(|i| self.atomize_item(i)).collect();
+                let items: Vec<Item> = items_col(&t)?
+                    .iter()
+                    .map(|i| self.atomize_item(i))
+                    .collect();
                 Ok(seq_table(iter_col(&t)?, pos_col(&t)?, items))
             }
             Op::StringValue { seq, loop_ } => {
@@ -463,7 +489,8 @@ impl<'a> Executor<'a> {
                 let sorted = self.sorted_seq(&t, seq)?;
                 let iters = iter_col(&sorted)?;
                 let items = items_col(&sorted)?;
-                let mut seen: std::collections::HashSet<(i64, String)> = std::collections::HashSet::new();
+                let mut seen: std::collections::HashSet<(i64, String)> =
+                    std::collections::HashSet::new();
                 let (mut oi, mut op, mut oit) = (Vec::new(), Vec::new(), Vec::new());
                 let mut per_iter_count: HashMap<i64, i64> = HashMap::new();
                 for i in 0..sorted.nrows() {
@@ -509,7 +536,9 @@ impl<'a> Executor<'a> {
                             let e = max_pos.entry(iters[i]).or_insert(i64::MIN);
                             *e = (*e).max(poss[i]);
                         }
-                        (0..t.nrows()).map(|i| poss[i] == max_pos[&iters[i]]).collect()
+                        (0..t.nrows())
+                            .map(|i| poss[i] == max_pos[&iters[i]])
+                            .collect()
                     }
                 };
                 let filtered = t.filter(&mask)?;
@@ -619,16 +648,16 @@ impl<'a> Executor<'a> {
         let b_items = items_col(&b)?;
         let mut rows: Vec<(i64, Item, i64, i64, Item)> = Vec::with_capacity(b.nrows());
         for i in 0..b.nrows() {
-            let Some(&outer) = map.get(&b_iter[i]) else { continue };
+            let Some(&outer) = map.get(&b_iter[i]) else {
+                continue;
+            };
             let key = key_map
                 .as_ref()
                 .and_then(|m| m.get(&b_iter[i]).cloned())
                 .unwrap_or(Item::Int(0));
             rows.push((outer, key, b_iter[i], b_pos[i], b_items[i].clone()));
         }
-        let sorted_input = self.config.order_aware
-            && key_map.is_none()
-            && body.props.ord_iter_pos;
+        let sorted_input = self.config.order_aware && key_map.is_none() && body.props.ord_iter_pos;
         if sorted_input {
             // inner iteration numbers are assigned in (outer, pos) order, so a
             // body sorted on [inner, pos] maps back already sorted on outer
@@ -738,7 +767,8 @@ impl<'a> Executor<'a> {
         pairs.sort_unstable();
         pairs.dedup();
 
-        let (mut outer, mut inner, mut pos, mut items) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut outer, mut inner, mut pos, mut items) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for (k, (o, src_row)) in pairs.into_iter().enumerate() {
             let idx = src_pos.iter().position(|p| *p == src_row);
             let Some(idx) = idx else { continue };
@@ -802,7 +832,10 @@ impl<'a> Executor<'a> {
             pairs.sort_unstable_by_key(|&(it, p)| (p, it));
             let use_candidates = self.config.nametest_pushdown
                 && matches!(test, NodeTest::Named(_))
-                && matches!(axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf);
+                && matches!(
+                    axis,
+                    Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+                );
             let results: Vec<(i64, u32)> = if use_candidates {
                 let candidates = match test {
                     NodeTest::Named(name) => doc.elements_named(name).to_vec(),
@@ -894,8 +927,16 @@ impl<'a> Executor<'a> {
                 ArithOp::IDiv => (a / b).trunc(),
                 ArithOp::Mod => a % b,
             };
-            let keep_int = both_int && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod);
-            items.push(if keep_int { Item::Int(v as i64) } else { Item::Dbl(v) });
+            let keep_int = both_int
+                && matches!(
+                    op,
+                    ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod
+                );
+            items.push(if keep_int {
+                Item::Int(v as i64)
+            } else {
+                Item::Dbl(v)
+            });
         }
         let n = iters.len();
         Ok(seq_table(iters, vec![1; n], items))
@@ -944,7 +985,12 @@ impl<'a> Executor<'a> {
         Ok(seq_table(oi, vec![1; n], oit))
     }
 
-    fn eval_string_fn(&mut self, kind: StrFnKind, args: &[PlanRef], loop_: &PlanRef) -> EResult<Table> {
+    fn eval_string_fn(
+        &mut self,
+        kind: StrFnKind,
+        args: &[PlanRef],
+        loop_: &PlanRef,
+    ) -> EResult<Table> {
         let loop_iters = self.loop_iters(loop_)?;
         // first string per iteration, per argument
         let mut arg_strings: Vec<HashMap<i64, String>> = Vec::new();
@@ -970,7 +1016,9 @@ impl<'a> Executor<'a> {
         let (mut oi, mut oit) = (Vec::new(), Vec::new());
         for it in loop_iters {
             let result = match kind {
-                StrFnKind::Contains => Item::Bool(get(0, it, &arg_strings).contains(&get(1, it, &arg_strings))),
+                StrFnKind::Contains => {
+                    Item::Bool(get(0, it, &arg_strings).contains(&get(1, it, &arg_strings)))
+                }
                 StrFnKind::StartsWith => {
                     Item::Bool(get(0, it, &arg_strings).starts_with(&get(1, it, &arg_strings)))
                 }
@@ -984,12 +1032,22 @@ impl<'a> Executor<'a> {
                     }
                     Item::str(s)
                 }
-                StrFnKind::StringLength => Item::Int(get(0, it, &arg_strings).chars().count() as i64),
+                StrFnKind::StringLength => {
+                    Item::Int(get(0, it, &arg_strings).chars().count() as i64)
+                }
                 StrFnKind::Substring => {
                     let s = get(0, it, &arg_strings);
-                    let start = get(1, it, &arg_strings).parse::<f64>().unwrap_or(1.0).round() as i64;
+                    let start = get(1, it, &arg_strings)
+                        .parse::<f64>()
+                        .unwrap_or(1.0)
+                        .round() as i64;
                     let len = if args.len() > 2 {
-                        Some(get(2, it, &arg_strings).parse::<f64>().unwrap_or(0.0).round() as i64)
+                        Some(
+                            get(2, it, &arg_strings)
+                                .parse::<f64>()
+                                .unwrap_or(0.0)
+                                .round() as i64,
+                        )
                     } else {
                         None
                     };
@@ -1012,9 +1070,12 @@ impl<'a> Executor<'a> {
                 }
                 StrFnKind::UpperCase => Item::str(get(0, it, &arg_strings).to_uppercase()),
                 StrFnKind::LowerCase => Item::str(get(0, it, &arg_strings).to_lowercase()),
-                StrFnKind::NormalizeSpace => {
-                    Item::str(get(0, it, &arg_strings).split_whitespace().collect::<Vec<_>>().join(" "))
-                }
+                StrFnKind::NormalizeSpace => Item::str(
+                    get(0, it, &arg_strings)
+                        .split_whitespace()
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ),
                 StrFnKind::Translate => {
                     let s = get(0, it, &arg_strings);
                     let from: Vec<char> = get(1, it, &arg_strings).chars().collect();
@@ -1088,7 +1149,9 @@ impl<'a> Executor<'a> {
             }
             let mut pending_text = String::new();
             for group in &content_groups {
-                let Some(items) = group.get(&it) else { continue };
+                let Some(items) = group.get(&it) else {
+                    continue;
+                };
                 for item in items {
                     match item {
                         Item::Node(n) => {

@@ -212,7 +212,10 @@ impl XQueryEngine {
     }
 
     /// Execute a query, also returning plan/runtime diagnostics.
-    pub fn execute_with_report(&mut self, query: &str) -> Result<(QueryResult, QueryReport), Error> {
+    pub fn execute_with_report(
+        &mut self,
+        query: &str,
+    ) -> Result<(QueryResult, QueryReport), Error> {
         let parsed = parse_query(query)?;
         let plan = Compiler::new(self.config).compile_query(&parsed)?;
         let plan_operators = plan.operator_count();
@@ -268,7 +271,9 @@ mod tests {
              <person id=\"p1\"><name>Bob</name></person></people></site>",
         );
         let r = e
-            .execute("for $p in doc(\"doc.xml\")/site/people/person[@id = \"p1\"] return $p/name/text()")
+            .execute(
+                "for $p in doc(\"doc.xml\")/site/people/person[@id = \"p1\"] return $p/name/text()",
+            )
             .unwrap();
         assert_eq!(r.serialize(), "Bob");
         let r = e.execute("count(doc(\"doc.xml\")//person)").unwrap();
@@ -287,9 +292,14 @@ mod tests {
     fn element_construction_and_nesting() {
         let mut e = engine_with("<a><b>x</b><b>y</b></a>");
         let r = e
-            .execute("for $b in doc(\"doc.xml\")/a/b return <item n=\"{$b/text()}\">{$b/text()}</item>")
+            .execute(
+                "for $b in doc(\"doc.xml\")/a/b return <item n=\"{$b/text()}\">{$b/text()}</item>",
+            )
             .unwrap();
-        assert_eq!(r.serialize(), "<item n=\"x\">x</item><item n=\"y\">y</item>");
+        assert_eq!(
+            r.serialize(),
+            "<item n=\"x\">x</item><item n=\"y\">y</item>"
+        );
     }
 
     #[test]
@@ -372,10 +382,15 @@ mod tests {
             "true"
         );
         assert_eq!(
-            e.execute("concat(\"a\", \"-\", \"b\")").unwrap().serialize(),
+            e.execute("concat(\"a\", \"-\", \"b\")")
+                .unwrap()
+                .serialize(),
             "a-b"
         );
-        assert_eq!(e.execute("string-length(\"abcd\")").unwrap().serialize(), "4");
+        assert_eq!(
+            e.execute("string-length(\"abcd\")").unwrap().serialize(),
+            "4"
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XQuery parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -112,7 +116,10 @@ impl Parser {
                 self.pos += 1;
             }
             // XQuery comments (: ... :), possibly nested
-            if self.pos + 1 < self.src.len() && self.src[self.pos] == '(' && self.src[self.pos + 1] == ':' {
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == '('
+                && self.src[self.pos + 1] == ':'
+            {
                 let mut depth = 1;
                 self.pos += 2;
                 while self.pos + 1 < self.src.len() && depth > 0 {
@@ -175,7 +182,9 @@ impl Parser {
                     is_dbl = true;
                     s.push(c);
                     self.pos += 1;
-                } else if (c == 'e' || c == 'E') && (self.ch(1).is_ascii_digit() || self.ch(1) == '-') {
+                } else if (c == 'e' || c == 'E')
+                    && (self.ch(1).is_ascii_digit() || self.ch(1) == '-')
+                {
                     is_dbl = true;
                     s.push(c);
                     self.pos += 1;
@@ -215,7 +224,9 @@ impl Parser {
             return (Tok::Var(s), start, self.pos);
         }
         // symbols, longest first
-        let two: String = self.src[self.pos..(self.pos + 2).min(self.src.len())].iter().collect();
+        let two: String = self.src[self.pos..(self.pos + 2).min(self.src.len())]
+            .iter()
+            .collect();
         for sym in ["<<", ">>", "<=", ">=", "!=", "//", "::", ":=", ".."] {
             if two == *sym {
                 self.pos += 2;
@@ -328,7 +339,12 @@ impl Parser {
             if self.eat_name("function") {
                 let name = match self.next() {
                     Tok::Name(n) => strip_prefix(&n),
-                    other => return Err(self.err(format!("expected function name, found {}", other.describe()))),
+                    other => {
+                        return Err(self.err(format!(
+                            "expected function name, found {}",
+                            other.describe()
+                        )))
+                    }
                 };
                 self.expect_sym("(")?;
                 let mut params = Vec::new();
@@ -336,7 +352,12 @@ impl Parser {
                     loop {
                         match self.next() {
                             Tok::Var(v) => params.push(v),
-                            other => return Err(self.err(format!("expected parameter, found {}", other.describe()))),
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected parameter, found {}",
+                                    other.describe()
+                                )))
+                            }
                         }
                         self.skip_type_annotation();
                         if !self.eat_sym(",") {
@@ -354,7 +375,11 @@ impl Parser {
             } else if self.eat_name("variable") {
                 let var = match self.next() {
                     Tok::Var(v) => v,
-                    other => return Err(self.err(format!("expected variable, found {}", other.describe()))),
+                    other => {
+                        return Err(
+                            self.err(format!("expected variable, found {}", other.describe()))
+                        )
+                    }
                 };
                 self.skip_type_annotation();
                 self.expect_sym(":=")?;
@@ -422,13 +447,20 @@ impl Parser {
                 loop {
                     let var = match self.next() {
                         Tok::Var(v) => v,
-                        other => return Err(self.err(format!("expected `$var`, found {}", other.describe()))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected `$var`, found {}", other.describe()))
+                            )
+                        }
                     };
                     self.skip_type_annotation();
                     let at = if self.eat_name("at") {
                         match self.next() {
                             Tok::Var(v) => Some(v),
-                            other => return Err(self.err(format!("expected `$pos`, found {}", other.describe()))),
+                            other => {
+                                return Err(self
+                                    .err(format!("expected `$pos`, found {}", other.describe())))
+                            }
                         }
                     } else {
                         None
@@ -444,7 +476,11 @@ impl Parser {
                 loop {
                     let var = match self.next() {
                         Tok::Var(v) => v,
-                        other => return Err(self.err(format!("expected `$var`, found {}", other.describe()))),
+                        other => {
+                            return Err(
+                                self.err(format!("expected `$var`, found {}", other.describe()))
+                            )
+                        }
                     };
                     self.skip_type_annotation();
                     self.expect_sym(":=")?;
@@ -473,7 +509,10 @@ impl Parser {
                 let _ = self.eat_name("ascending");
                 false
             };
-            Some(OrderSpec { key: Box::new(key), descending })
+            Some(OrderSpec {
+                key: Box::new(key),
+                descending,
+            })
         } else {
             None
         };
@@ -672,7 +711,10 @@ impl Parser {
         }
         // the first step is either a primary expression or an axis step
         let (start, mut steps) = if self.starts_axis_step() {
-            (Some(Box::new(Expr::Var(".".into()))), vec![self.parse_step()?])
+            (
+                Some(Box::new(Expr::Var(".".into()))),
+                vec![self.parse_step()?],
+            )
         } else {
             let prim = self.parse_postfix()?;
             (Some(Box::new(prim)), Vec::new())
@@ -707,9 +749,32 @@ impl Parser {
             return true;
         }
         let keywords = [
-            "if", "for", "let", "some", "every", "return", "then", "else", "and", "or", "div",
-            "idiv", "mod", "eq", "ne", "lt", "le", "gt", "ge", "is", "to", "where", "order",
-            "satisfies", "in", "at",
+            "if",
+            "for",
+            "let",
+            "some",
+            "every",
+            "return",
+            "then",
+            "else",
+            "and",
+            "or",
+            "div",
+            "idiv",
+            "mod",
+            "eq",
+            "ne",
+            "lt",
+            "le",
+            "gt",
+            "ge",
+            "is",
+            "to",
+            "where",
+            "order",
+            "satisfies",
+            "in",
+            "at",
         ];
         if let Tok::Name(n) = self.peek().clone() {
             if keywords.contains(&n.as_str()) {
@@ -794,7 +859,11 @@ impl Parser {
                         NodeTest::named(strip_prefix(&n))
                     }
                 }
-                other => return Err(self.err(format!("expected a node test, found {}", other.describe()))),
+                other => {
+                    return Err(
+                        self.err(format!("expected a node test, found {}", other.describe()))
+                    )
+                }
             }
         };
         let predicates = self.parse_predicates()?;
@@ -1110,7 +1179,9 @@ mod tests {
     fn parses_operators_with_precedence() {
         let q = parse_expr("1 + 2 * 3 = 7 and true()").unwrap();
         match q {
-            Expr::Logical { is_and: true, l, .. } => match *l {
+            Expr::Logical {
+                is_and: true, l, ..
+            } => match *l {
                 Expr::Comparison { .. } => {}
                 other => panic!("unexpected lhs {other:?}"),
             },
@@ -1120,7 +1191,9 @@ mod tests {
 
     #[test]
     fn parses_element_constructor_with_enclosed_exprs() {
-        let q = parse_expr("<item id=\"{$x/@id}\" kind=\"a\">{$x/name/text()} trailing <b/></item>").unwrap();
+        let q =
+            parse_expr("<item id=\"{$x/@id}\" kind=\"a\">{$x/name/text()} trailing <b/></item>")
+                .unwrap();
         match q {
             Expr::Element(e) => {
                 assert_eq!(e.name, "item");

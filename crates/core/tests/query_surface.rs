@@ -37,8 +37,14 @@ fn sequence_and_arithmetic_semantics() {
 #[test]
 fn path_navigation_and_axes() {
     assert_eq!(run("count(doc(\"shop.xml\")//employee)"), "3");
-    assert_eq!(run("doc(\"shop.xml\")/shop/staff/employee[2]/name/text()"), "Bob");
-    assert_eq!(run("doc(\"shop.xml\")//employee[@id = \"e3\"]/name/text()"), "Cyd");
+    assert_eq!(
+        run("doc(\"shop.xml\")/shop/staff/employee[2]/name/text()"),
+        "Bob"
+    );
+    assert_eq!(
+        run("doc(\"shop.xml\")//employee[@id = \"e3\"]/name/text()"),
+        "Cyd"
+    );
     assert_eq!(
         run("for $n in doc(\"shop.xml\")//name return $n/parent::employee/@id"),
         "e1 e2 e3"
@@ -55,7 +61,10 @@ fn path_navigation_and_axes() {
     );
     // 16 elements + 8 text nodes below the document node
     assert_eq!(run("count(doc(\"shop.xml\")//node())"), "24");
-    assert_eq!(run("doc(\"shop.xml\")/shop/note/b/preceding-sibling::text()"), "year ");
+    assert_eq!(
+        run("doc(\"shop.xml\")/shop/note/b/preceding-sibling::text()"),
+        "year "
+    );
 }
 
 #[test]
@@ -98,12 +107,27 @@ fn functions_and_aggregates() {
     assert_eq!(run("sum(doc(\"shop.xml\")//sale/@amount)"), "400");
     assert_eq!(run("max(doc(\"shop.xml\")//sale/@amount)"), "200");
     assert_eq!(run("min(doc(\"shop.xml\")//salary/text())"), "50000");
-    assert_eq!(run("count(distinct-values(doc(\"shop.xml\")//employee/@dept))"), "2");
-    assert_eq!(run("string(doc(\"shop.xml\")/shop/note)"), "year 2006 report");
-    assert_eq!(run("contains(string(doc(\"shop.xml\")/shop/note), \"2006\")"), "true");
-    assert_eq!(run("string-join(doc(\"shop.xml\")//name/text(), \", \")"), "Ann, Bob, Cyd");
+    assert_eq!(
+        run("count(distinct-values(doc(\"shop.xml\")//employee/@dept))"),
+        "2"
+    );
+    assert_eq!(
+        run("string(doc(\"shop.xml\")/shop/note)"),
+        "year 2006 report"
+    );
+    assert_eq!(
+        run("contains(string(doc(\"shop.xml\")/shop/note), \"2006\")"),
+        "true"
+    );
+    assert_eq!(
+        run("string-join(doc(\"shop.xml\")//name/text(), \", \")"),
+        "Ann, Bob, Cyd"
+    );
     assert_eq!(run("normalize-space(\"  a   b \")"), "a b");
-    assert_eq!(run("(floor(2.7), ceiling(2.1), round(2.5), abs(-3))"), "2 3 3 3");
+    assert_eq!(
+        run("(floor(2.7), ceiling(2.1), round(2.5), abs(-3))"),
+        "2 3 3 3"
+    );
     assert_eq!(run("substring(\"staircase\", 6)"), "case");
     assert_eq!(run("substring(\"staircase\", 1, 5)"), "stair");
     assert_eq!(run("translate(\"abcabc\", \"ab\", \"xy\")"), "xycxyc");
@@ -126,9 +150,18 @@ fn constructors_nest_and_copy() {
 
 #[test]
 fn quantified_expressions() {
-    assert_eq!(run("some $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"), "true");
-    assert_eq!(run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"), "false");
-    assert_eq!(run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 10"), "true");
+    assert_eq!(
+        run("some $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"),
+        "true"
+    );
+    assert_eq!(
+        run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 150"),
+        "false"
+    );
+    assert_eq!(
+        run("every $s in doc(\"shop.xml\")//sale satisfies $s/@amount > 10"),
+        "true"
+    );
     assert_eq!(run("some $x in () satisfies true()"), "false");
 }
 
@@ -172,7 +205,11 @@ fn results_identical_across_all_optimizer_configs() {
         let mut e = XQueryEngine::with_config(config);
         e.load_document("shop.xml", DOC).unwrap();
         for (q, want) in queries.iter().zip(&reference) {
-            assert_eq!(&e.execute(q).unwrap().serialize().to_string(), want, "query {q}");
+            assert_eq!(
+                &e.execute(q).unwrap().serialize().to_string(),
+                want,
+                "query {q}"
+            );
         }
     }
 }
@@ -182,7 +219,10 @@ fn error_paths_are_typed() {
     let mut e = engine();
     assert!(matches!(e.execute("1 +"), Err(Error::Parse(_))));
     assert!(matches!(e.execute("$nope"), Err(Error::Compile(_))));
-    assert!(matches!(e.execute("doc(\"other.xml\")//x"), Err(Error::Exec(_))));
+    assert!(matches!(
+        e.execute("doc(\"other.xml\")//x"),
+        Err(Error::Exec(_))
+    ));
     assert!(matches!(
         XQueryEngine::new().load_document("bad.xml", "<a><b></a>"),
         Err(Error::Shred(_))

@@ -56,7 +56,9 @@ fn finish(func: AggFunc, items: &[Item]) -> Result<Item> {
                     _ => {
                         all_int = false;
                         sum += it.as_number().ok_or_else(|| {
-                            EngineError::Conversion(format!("cannot aggregate non-numeric item {it}"))
+                            EngineError::Conversion(format!(
+                                "cannot aggregate non-numeric item {it}"
+                            ))
                         })?;
                     }
                 }
@@ -140,7 +142,10 @@ pub fn aggregate_hash(iter: &[i64], items: &Column, func: AggFunc) -> Result<Agg
     for k in &keys {
         values.push(finish(func, &buckets[k])?);
     }
-    Ok(Aggregated { groups: keys, values })
+    Ok(Aggregated {
+        groups: keys,
+        values,
+    })
 }
 
 /// Count rows per group for a *complete* dense group domain `1..=ngroups`,
@@ -171,7 +176,13 @@ mod tests {
         let col = items(&[10, 20, 5, 1, 2, 3]);
         let c = aggregate_grouped(&iter, &col, AggFunc::Count).unwrap();
         assert_eq!(c.groups, vec![1, 2, 3]);
-        assert_eq!(c.values.iter().map(|i| i.as_int().unwrap()).collect::<Vec<_>>(), vec![2, 1, 3]);
+        assert_eq!(
+            c.values
+                .iter()
+                .map(|i| i.as_int().unwrap())
+                .collect::<Vec<_>>(),
+            vec![2, 1, 3]
+        );
         let s = aggregate_grouped(&iter, &col, AggFunc::Sum).unwrap();
         assert_eq!(s.values[0].as_int().unwrap(), 30);
         let a = aggregate_grouped(&iter, &col, AggFunc::Avg).unwrap();
@@ -198,8 +209,14 @@ mod tests {
             let b = aggregate_hash(&iter, &col, f).unwrap();
             assert_eq!(a.groups, b.groups);
             assert_eq!(
-                a.values.iter().map(|i| i.string_value()).collect::<Vec<_>>(),
-                b.values.iter().map(|i| i.string_value()).collect::<Vec<_>>()
+                a.values
+                    .iter()
+                    .map(|i| i.string_value())
+                    .collect::<Vec<_>>(),
+                b.values
+                    .iter()
+                    .map(|i| i.string_value())
+                    .collect::<Vec<_>>()
             );
         }
     }

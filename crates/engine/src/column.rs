@@ -159,9 +159,9 @@ impl Column {
     pub fn int_at(&self, i: usize) -> Result<i64> {
         match self {
             Column::Int(v) => Ok(v[i]),
-            Column::Item(v) => v[i].as_int().ok_or_else(|| EngineError::Conversion(
-                format!("item {} is not an integer", v[i]),
-            )),
+            Column::Item(v) => v[i]
+                .as_int()
+                .ok_or_else(|| EngineError::Conversion(format!("item {} is not an integer", v[i]))),
             other => Err(EngineError::TypeMismatch {
                 expected: "int".into(),
                 found: other.type_name().into(),

@@ -90,9 +90,9 @@ pub fn dense_rank(keys: &[(&Column, SortOrder)], nrows: usize) -> Vec<i64> {
     for &row in &perm {
         let bump = match prev {
             None => true,
-            Some(p) => keys.iter().any(|(c, _)| {
-                c.item(p).total_cmp(&c.item(row)) != std::cmp::Ordering::Equal
-            }),
+            Some(p) => keys
+                .iter()
+                .any(|(c, _)| c.item(p).total_cmp(&c.item(row)) != std::cmp::Ordering::Equal),
         };
         if bump {
             rank += 1;

@@ -78,8 +78,7 @@ pub fn refine_sort_permutation(major: &Column, minor: &[(&Column, SortOrder)]) -
     let mut start = 0;
     while start < n {
         let mut end = start + 1;
-        while end < n
-            && major.item(end).total_cmp(&major.item(start)) == std::cmp::Ordering::Equal
+        while end < n && major.item(end).total_cmp(&major.item(start)) == std::cmp::Ordering::Equal
         {
             end += 1;
         }
@@ -170,7 +169,10 @@ mod tests {
     fn sort_table_by_name() {
         let t = Table::from_columns(vec![
             ("k", Column::Int(vec![3, 1, 2])),
-            ("v", Column::from_items(vec![Item::str("c"), Item::str("a"), Item::str("b")])),
+            (
+                "v",
+                Column::from_items(vec![Item::str("c"), Item::str("a"), Item::str("b")]),
+            ),
         ])
         .unwrap();
         let s = sort_table(&t, &["k"]).unwrap();

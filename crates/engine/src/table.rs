@@ -191,7 +191,10 @@ mod tests {
     fn sample() -> Table {
         Table::from_columns(vec![
             ("iter", Column::Int(vec![1, 2, 3])),
-            ("item", Column::from_items(vec![Item::str("a"), Item::str("b"), Item::str("c")])),
+            (
+                "item",
+                Column::from_items(vec![Item::str("a"), Item::str("b"), Item::str("c")]),
+            ),
         ])
         .unwrap()
     }

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io registry, so the workspace vendors
+//! the subset of criterion's API that the `crates/bench` targets use:
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.  Instead of criterion's
+//! statistical machinery it runs a fixed warm-up plus a measured loop and
+//! prints mean wall-clock time per iteration — enough to compare the
+//! configurations of the paper's figures, and enough for
+//! `cargo bench --no-run` to gate compilation.  Swap in the real crate once
+//! the environment has registry access.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (mirror of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (only a marker here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the measured closures (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Filled in by the routines: (total elapsed, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time a routine by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // measure: run batches until the measurement budget or sample count is met
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let deadline = Instant::now();
+        while elapsed < self.measurement && (iters as usize) < self.sample_size.max(10) * 100 {
+            let t = Instant::now();
+            black_box(routine());
+            elapsed += t.elapsed();
+            iters += 1;
+            if deadline.elapsed() > self.measurement * 2 {
+                break;
+            }
+        }
+        self.result = Some((elapsed, iters.max(1)));
+    }
+
+    /// Time a routine with a fresh input per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let budget = Instant::now();
+        while elapsed < self.measurement && (iters as usize) < self.sample_size.max(10) * 100 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+            iters += 1;
+            if budget.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+        self.result = Some((elapsed, iters.max(1)));
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I, F, In: ?Sized>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.result);
+        self
+    }
+
+    fn report(&mut self, id: &str, result: Option<(Duration, u64)>) {
+        let line = match result {
+            Some((elapsed, iters)) => {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let thr = match self.throughput {
+                    Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => format!(
+                        "  ({:.1} MiB/s)",
+                        bytes as f64 / per_iter / (1024.0 * 1024.0)
+                    ),
+                    Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                        format!("  ({:.0} elem/s)", n as f64 / per_iter)
+                    }
+                    _ => String::new(),
+                };
+                format!(
+                    "{}/{:<44} {:>12.3} ms/iter  [{} iters]{}",
+                    self.name,
+                    id,
+                    per_iter * 1e3,
+                    iters,
+                    thr
+                )
+            }
+            None => format!("{}/{id}: no measurement recorded", self.name),
+        };
+        self.criterion.lines.push(line);
+    }
+
+    /// Flush the group's report.
+    pub fn finish(&mut self) {
+        for line in self.criterion.lines.drain(..) {
+            println!("{line}");
+        }
+    }
+}
+
+/// Entry point for defining benchmarks (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    lines: Vec<String>,
+    default_sample_size: usize,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            lines: Vec::new(),
+            default_sample_size: 10,
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a benchmark group (inherits the builder-level defaults).
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: Duration::from_millis(300),
+            measurement: self.default_measurement,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Set the default sample count (builder-style, used by
+    /// `criterion_group!` `config = ...` forms).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Set the default measurement budget (builder-style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.default_measurement = d;
+        self
+    }
+}
+
+/// Define a benchmark group function (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench `main` (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --list`-style flags are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}

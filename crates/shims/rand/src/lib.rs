@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this repository builds in has no crates.io registry, so the
+//! workspace vendors the minimal API surface the XMark generator needs:
+//! `StdRng::seed_from_u64`, `Rng::gen_range` over integer and float ranges,
+//! and `Rng::gen_bool`.  The generator only requires *determinism*, not any
+//! particular stream, so the core is a SplitMix64 sequence (the same mixer
+//! rand itself uses for seeding).  Replace with the real crate once the build
+//! environment has registry access.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (mirrors `rand::SeedableRng` for the one constructor
+/// the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A deterministic pseudo-random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits in [0, 1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A sampleable range of values (mirrors `rand::distributions::uniform`
+/// just far enough for `gen_range`).
+pub trait SampleRange {
+    /// The value type produced by sampling.
+    type Output;
+    /// Draw one uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Random value generation (mirrors the `rand::Rng` methods the workspace
+/// uses).
+pub trait Rng {
+    /// Uniform sample from a range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+}
+
+/// Module mirror of `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(3..17);
+            assert_eq!(x, b.gen_range(3..17));
+            assert!((3..17).contains(&x));
+            let f = a.gen_range(1.5..2.5);
+            assert_eq!(f, b.gen_range(1.5..2.5));
+            assert!((1.5..2.5).contains(&f));
+            let y = a.gen_range(1..=5);
+            assert_eq!(y, b.gen_range(1..=5));
+            assert!((1..=5).contains(&y));
+            assert_eq!(a.gen_bool(0.5), b.gen_bool(0.5));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

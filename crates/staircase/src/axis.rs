@@ -39,7 +39,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Preceding
+                | Axis::PrecedingSibling
         )
     }
 

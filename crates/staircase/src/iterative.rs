@@ -116,7 +116,10 @@ fn descendant(
 
 fn self_axis(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
     stats.nodes_scanned += ctx.len() as u64;
-    ctx.iter().copied().filter(|&c| test.matches(doc, c)).collect()
+    ctx.iter()
+        .copied()
+        .filter(|&c| test.matches(doc, c))
+        .collect()
 }
 
 fn parent(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
@@ -284,9 +287,21 @@ mod tests {
     fn descendant_or_self_and_nametest() {
         let d = fig4();
         let mut stats = ScanStats::default();
-        let res = staircase_step(&d, &[7], Axis::DescendantOrSelf, &NodeTest::AnyKind, &mut stats);
+        let res = staircase_step(
+            &d,
+            &[7],
+            Axis::DescendantOrSelf,
+            &NodeTest::AnyKind,
+            &mut stats,
+        );
         assert_eq!(res, vec![7, 8, 9]);
-        let res = staircase_step(&d, &[0], Axis::Descendant, &NodeTest::named("h"), &mut stats);
+        let res = staircase_step(
+            &d,
+            &[0],
+            Axis::Descendant,
+            &NodeTest::named("h"),
+            &mut stats,
+        );
         assert_eq!(res, vec![7]);
     }
 

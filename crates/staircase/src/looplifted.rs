@@ -96,7 +96,11 @@ pub fn looplifted_step_candidates(
     match axis {
         Axis::Descendant | Axis::DescendantOrSelf | Axis::Child => {
             for (pre, iters) in &groups {
-                let lo = if axis == Axis::DescendantOrSelf { *pre } else { *pre + 1 };
+                let lo = if axis == Axis::DescendantOrSelf {
+                    *pre
+                } else {
+                    *pre + 1
+                };
                 let hi = *pre + doc.size(*pre);
                 let start = candidates.partition_point(|&c| c < lo);
                 let end = candidates.partition_point(|&c| c <= hi);
@@ -187,22 +191,20 @@ fn ll_child(
     let mut next_ctx = 0usize;
 
     // emit the children of the top-of-stack context up to and including `until`
-    let inner_loop_child = |top: &mut Active,
-                            until: u32,
-                            result: &mut Vec<CtxPair>,
-                            stats: &mut ScanStats| {
-        let mut v = top.nxt_child;
-        while v <= until && v <= top.eos {
-            stats.nodes_scanned += 1;
-            if test.matches(doc, v) {
-                for &it in &top.iters {
-                    result.push((it, v));
+    let inner_loop_child =
+        |top: &mut Active, until: u32, result: &mut Vec<CtxPair>, stats: &mut ScanStats| {
+            let mut v = top.nxt_child;
+            while v <= until && v <= top.eos {
+                stats.nodes_scanned += 1;
+                if test.matches(doc, v) {
+                    for &it in &top.iters {
+                        result.push((it, v));
+                    }
                 }
+                v = v + doc.size(v) + 1; // skip the child's subtree (skipping)
             }
-            v = v + doc.size(v) + 1; // skip the child's subtree (skipping)
-        }
-        top.nxt_child = v;
-    };
+            top.nxt_child = v;
+        };
 
     let push_ctx = |groups: &[(u32, Vec<i64>)],
                     idx: usize,
@@ -391,7 +393,9 @@ fn ll_following(
     }
     let mut iters: Vec<(u32, i64)> = boundary.iter().map(|(&it, &b)| (b, it)).collect();
     iters.sort_unstable();
-    let Some(&(min_b, _)) = iters.first() else { return Vec::new() };
+    let Some(&(min_b, _)) = iters.first() else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut active: Vec<i64> = Vec::new();
     let mut next = 0usize;
@@ -426,7 +430,9 @@ fn ll_preceding(
     }
     let mut bounds: Vec<(u32, i64)> = boundary.iter().map(|(&it, &b)| (b, it)).collect();
     bounds.sort_unstable();
-    let Some(&(max_b, _)) = bounds.last() else { return Vec::new() };
+    let Some(&(max_b, _)) = bounds.last() else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for v in 0..max_b {
         stats.nodes_scanned += 1;
@@ -489,7 +495,11 @@ mod tests {
         iters.dedup();
         let mut out = Vec::new();
         for it in iters {
-            let c: Vec<u32> = ctx.iter().filter(|&&(i, _)| i == it).map(|&(_, p)| p).collect();
+            let c: Vec<u32> = ctx
+                .iter()
+                .filter(|&&(i, _)| i == it)
+                .map(|&(_, p)| p)
+                .collect();
             let mut stats = ScanStats::default();
             for p in staircase_step(doc, &c, axis, test, &mut stats) {
                 out.push((it, p));
@@ -585,6 +595,8 @@ mod tests {
     fn empty_context() {
         let doc = fig4();
         let mut stats = ScanStats::default();
-        assert!(looplifted_step(&doc, &[], Axis::Descendant, &NodeTest::AnyKind, &mut stats).is_empty());
+        assert!(
+            looplifted_step(&doc, &[], Axis::Descendant, &NodeTest::AnyKind, &mut stats).is_empty()
+        );
     }
 }

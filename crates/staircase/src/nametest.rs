@@ -90,6 +90,9 @@ mod tests {
         let cands = NodeTest::named("b").candidates(&d).unwrap();
         assert_eq!(cands, &[1, 4]);
         assert!(NodeTest::AnyElement.candidates(&d).is_none());
-        assert_eq!(NodeTest::named("zzz").candidates(&d).unwrap(), &[] as &[u32]);
+        assert_eq!(
+            NodeTest::named("zzz").candidates(&d).unwrap(),
+            &[] as &[u32]
+        );
     }
 }

@@ -47,8 +47,12 @@ fn oracle(doc: &Document, c: u32, axis: Axis) -> Vec<u32> {
             Axis::AncestorOrSelf => v == c || in_subtree(v, c),
             Axis::Following => v > c + doc.size(c),
             Axis::Preceding => v + doc.size(v) < c,
-            Axis::FollowingSibling => doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v > c,
-            Axis::PrecedingSibling => doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v < c,
+            Axis::FollowingSibling => {
+                doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v > c
+            }
+            Axis::PrecedingSibling => {
+                doc.parent(v) == doc.parent(c) && doc.parent(c).is_some() && v < c
+            }
             Axis::Attribute => false,
         })
         .collect()
@@ -129,13 +133,37 @@ fn nametest_filters_apply_during_the_scan() {
     let doc = deep();
     let mut stats = ScanStats::default();
     let root_ctx = vec![(1i64, 0u32)];
-    let twigs = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::named("twig"), &mut stats);
+    let twigs = looplifted_step(
+        &doc,
+        &root_ctx,
+        Axis::Descendant,
+        &NodeTest::named("twig"),
+        &mut stats,
+    );
     assert_eq!(twigs.len(), 18);
-    let branches = looplifted_step(&doc, &root_ctx, Axis::Child, &NodeTest::named("branch"), &mut stats);
+    let branches = looplifted_step(
+        &doc,
+        &root_ctx,
+        Axis::Child,
+        &NodeTest::named("branch"),
+        &mut stats,
+    );
     assert_eq!(branches.len(), 6);
-    let none = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::named("nope"), &mut stats);
+    let none = looplifted_step(
+        &doc,
+        &root_ctx,
+        Axis::Descendant,
+        &NodeTest::named("nope"),
+        &mut stats,
+    );
     assert!(none.is_empty());
-    let text = looplifted_step(&doc, &root_ctx, Axis::Descendant, &NodeTest::Text, &mut stats);
+    let text = looplifted_step(
+        &doc,
+        &root_ctx,
+        Axis::Descendant,
+        &NodeTest::Text,
+        &mut stats,
+    );
     assert_eq!(text.len(), 18);
 }
 

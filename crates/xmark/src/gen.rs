@@ -69,12 +69,40 @@ impl GenParams {
     }
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 const WORDS: [&str; 24] = [
-    "gold", "silver", "vintage", "rare", "antique", "mint", "condition", "shipping", "offer",
-    "auction", "collector", "edition", "classic", "original", "signed", "limited", "bargain",
-    "premium", "refurbished", "handmade", "imported", "certified", "exclusive", "promptly",
+    "gold",
+    "silver",
+    "vintage",
+    "rare",
+    "antique",
+    "mint",
+    "condition",
+    "shipping",
+    "offer",
+    "auction",
+    "collector",
+    "edition",
+    "classic",
+    "original",
+    "signed",
+    "limited",
+    "bargain",
+    "premium",
+    "refurbished",
+    "handmade",
+    "imported",
+    "certified",
+    "exclusive",
+    "promptly",
 ];
 
 const FIRST_NAMES: [&str; 12] = [
@@ -88,11 +116,25 @@ const LAST_NAMES: [&str; 12] = [
 ];
 
 const COUNTRIES: [&str; 8] = [
-    "United States", "Germany", "Netherlands", "Japan", "Brazil", "Kenya", "Australia", "France",
+    "United States",
+    "Germany",
+    "Netherlands",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "Australia",
+    "France",
 ];
 
 const CITIES: [&str; 8] = [
-    "Amsterdam", "Munich", "Twente", "Chicago", "Tokyo", "Nairobi", "Sydney", "Lyon",
+    "Amsterdam",
+    "Munich",
+    "Twente",
+    "Chicago",
+    "Tokyo",
+    "Nairobi",
+    "Sydney",
+    "Lyon",
 ];
 
 const EDUCATIONS: [&str; 4] = ["High School", "College", "Graduate School", "Other"];
@@ -114,9 +156,8 @@ pub fn generate_xml(params: &GenParams) -> String {
     let n_categories = params.num_categories();
 
     // rough pre-sizing: ~1 KB of text per entity keeps reallocation low
-    let mut out = String::with_capacity(
-        256 * (n_people + n_open + n_closed + n_items + n_categories) + 4096,
-    );
+    let mut out =
+        String::with_capacity(256 * (n_people + n_open + n_closed + n_items + n_categories) + 4096);
     out.push_str("<site>");
 
     // -- regions / items ---------------------------------------------------
@@ -164,7 +205,9 @@ pub fn generate_xml(params: &GenParams) -> String {
     for _ in 0..n_categories {
         let from = rng.gen_range(0..n_categories);
         let to = rng.gen_range(0..n_categories);
-        out.push_str(&format!("<edge from=\"category{from}\" to=\"category{to}\"/>"));
+        out.push_str(&format!(
+            "<edge from=\"category{from}\" to=\"category{to}\"/>"
+        ));
     }
     out.push_str("</catgraph>");
 
@@ -196,9 +239,13 @@ pub fn generate_xml(params: &GenParams) -> String {
                 "<homepage>http://www.example.org/~person{p}</homepage>"
             ));
         }
-        out.push_str(&format!("<creditcard>{} {} {} {}</creditcard>",
-            rng.gen_range(1000..9999), rng.gen_range(1000..9999),
-            rng.gen_range(1000..9999), rng.gen_range(1000..9999)));
+        out.push_str(&format!(
+            "<creditcard>{} {} {} {}</creditcard>",
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999),
+            rng.gen_range(1000..9999)
+        ));
         // ~80% of people carry a profile with an income (Q11/Q12/Q20)
         if rng.gen_bool(0.8) {
             let income = rng.gen_range(9_000.0_f64..250_000.0);
@@ -272,10 +319,12 @@ pub fn generate_xml(params: &GenParams) -> String {
 
     // -- closed auctions -------------------------------------------------------
     out.push_str("<closed_auctions>");
-    for _ in 0..n_closed {
+    for c in 0..n_closed {
         let price = rng.gen_range(5.0_f64..500.0);
-        // the deep Q15/Q16 path exists in roughly a quarter of the annotations
-        let deep = rng.gen_bool(0.25);
+        // the deep Q15/Q16 path exists in roughly a quarter of the annotations;
+        // the first closed auction is always deep so the path exists at every
+        // scale factor (xmlgen guarantees this too)
+        let deep = rng.gen_bool(0.25) || c == 0;
         let description = if deep {
             format!(
                 "<description><parlist><listitem><parlist><listitem><text>\
@@ -287,7 +336,10 @@ pub fn generate_xml(params: &GenParams) -> String {
                 sentence(&mut rng, 5),
             )
         } else {
-            format!("<description><text>{}</text></description>", sentence(&mut rng, 8))
+            format!(
+                "<description><text>{}</text></description>",
+                sentence(&mut rng, 8)
+            )
         };
         out.push_str(&format!(
             "<closed_auction><seller person=\"person{}\"/><buyer person=\"person{}\"/>\
@@ -333,11 +385,20 @@ mod tests {
         doc.check_invariants().unwrap();
         assert_eq!(doc.name_of(0), "site");
         assert_eq!(doc.elements_named("person").len(), p.num_people());
-        assert_eq!(doc.elements_named("open_auction").len(), p.num_open_auctions());
-        assert_eq!(doc.elements_named("closed_auction").len(), p.num_closed_auctions());
+        assert_eq!(
+            doc.elements_named("open_auction").len(),
+            p.num_open_auctions()
+        );
+        assert_eq!(
+            doc.elements_named("closed_auction").len(),
+            p.num_closed_auctions()
+        );
         assert_eq!(doc.elements_named("item").len(), p.num_items());
         assert!(!doc.elements_named("bidder").is_empty());
-        assert!(!doc.elements_named("keyword").is_empty(), "Q15 path must exist");
+        assert!(
+            !doc.elements_named("keyword").is_empty(),
+            "Q15 path must exist"
+        );
     }
 
     #[test]

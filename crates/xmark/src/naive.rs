@@ -141,7 +141,9 @@ impl<'a> NaiveInterpreter<'a> {
             Expr::Arith { op, l, r } => {
                 let a = self.first_number(l, env)?;
                 let b = self.first_number(r, env)?;
-                let (Some(a), Some(b)) = (a, b) else { return Ok(vec![]) };
+                let (Some(a), Some(b)) = (a, b) else {
+                    return Ok(vec![]);
+                };
                 let v = match op {
                     ArithOp::Add => a + b,
                     ArithOp::Sub => a - b,
@@ -150,7 +152,12 @@ impl<'a> NaiveInterpreter<'a> {
                     ArithOp::IDiv => (a / b).trunc(),
                     ArithOp::Mod => a % b,
                 };
-                if v.fract() == 0.0 && matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod) {
+                if v.fract() == 0.0
+                    && matches!(
+                        op,
+                        ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::IDiv | ArithOp::Mod
+                    )
+                {
                     Ok(vec![Item::Int(v as i64)])
                 } else {
                     Ok(vec![Item::Dbl(v)])
@@ -182,7 +189,10 @@ impl<'a> NaiveInterpreter<'a> {
                         _ => false,
                     },
                     CompKind::NodeBefore | CompKind::NodeAfter | CompKind::NodeIs => {
-                        match (lv.first().and_then(|i| i.as_node()), rv.first().and_then(|i| i.as_node())) {
+                        match (
+                            lv.first().and_then(|i| i.as_node()),
+                            rv.first().and_then(|i| i.as_node()),
+                        ) {
                             (Some(a), Some(b)) => match kind {
                                 CompKind::NodeBefore => a < b,
                                 CompKind::NodeAfter => a > b,
@@ -318,11 +328,20 @@ impl<'a> NaiveInterpreter<'a> {
         Ok(out)
     }
 
-    fn apply_predicate(&mut self, results: Vec<Item>, pred: &Expr, env: &Env) -> NResult<Vec<Item>> {
+    fn apply_predicate(
+        &mut self,
+        results: Vec<Item>,
+        pred: &Expr,
+        env: &Env,
+    ) -> NResult<Vec<Item>> {
         // positional forms
         if let Expr::Literal(Literal::Integer(n)) = pred {
             let idx = *n as usize;
-            return Ok(results.get(idx.wrapping_sub(1)).cloned().into_iter().collect());
+            return Ok(results
+                .get(idx.wrapping_sub(1))
+                .cloned()
+                .into_iter()
+                .collect());
         }
         if let Expr::FunCall { name, args } = pred {
             if name == "last" && args.is_empty() {
@@ -369,7 +388,11 @@ impl<'a> NaiveInterpreter<'a> {
                 .map(mk)
                 .collect(),
             Axis::Descendant | Axis::DescendantOrSelf => {
-                let start = if axis == Axis::Descendant { pre + 1 } else { pre };
+                let start = if axis == Axis::Descendant {
+                    pre + 1
+                } else {
+                    pre
+                };
                 (start..=pre + doc.size(pre))
                     .filter(|&v| test.matches(doc, v))
                     .map(mk)
@@ -414,10 +437,16 @@ impl<'a> NaiveInterpreter<'a> {
                 .map(mk)
                 .collect(),
             Axis::FollowingSibling | Axis::PrecedingSibling => {
-                let Some(p) = doc.parent(pre) else { return vec![] };
+                let Some(p) = doc.parent(pre) else {
+                    return vec![];
+                };
                 doc.children(p)
                     .filter(|&v| {
-                        let keep = if axis == Axis::FollowingSibling { v > pre } else { v < pre };
+                        let keep = if axis == Axis::FollowingSibling {
+                            v > pre
+                        } else {
+                            v < pre
+                        };
                         keep && test.matches(doc, v)
                     })
                     .map(mk)
@@ -447,21 +476,34 @@ impl<'a> NaiveInterpreter<'a> {
             "sum" => {
                 let v = self.eval_arg(args, 0, env)?;
                 let s: f64 = v.iter().filter_map(|i| self.atomize(i).as_number()).sum();
-                Ok(vec![if s.fract() == 0.0 { Item::Int(s as i64) } else { Item::Dbl(s) }])
+                Ok(vec![if s.fract() == 0.0 {
+                    Item::Int(s as i64)
+                } else {
+                    Item::Dbl(s)
+                }])
             }
             "avg" => {
                 let v = self.eval_arg(args, 0, env)?;
                 if v.is_empty() {
                     return Ok(vec![]);
                 }
-                let nums: Vec<f64> = v.iter().filter_map(|i| self.atomize(i).as_number()).collect();
-                Ok(vec![Item::Dbl(nums.iter().sum::<f64>() / nums.len().max(1) as f64)])
+                let nums: Vec<f64> = v
+                    .iter()
+                    .filter_map(|i| self.atomize(i).as_number())
+                    .collect();
+                Ok(vec![Item::Dbl(
+                    nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+                )])
             }
             "min" | "max" => {
                 let v = self.eval_arg(args, 0, env)?;
                 let mut atoms: Vec<Item> = v.iter().map(|i| self.atomize(i)).collect();
                 atoms.sort_by(|a, b| a.total_cmp(b));
-                let pick = if name == "min" { atoms.first() } else { atoms.last() };
+                let pick = if name == "min" {
+                    atoms.first()
+                } else {
+                    atoms.last()
+                };
                 Ok(pick.cloned().into_iter().collect())
             }
             "exists" => Ok(vec![Item::Bool(!self.eval_arg(args, 0, env)?.is_empty())]),
@@ -762,8 +804,14 @@ mod tests {
     fn unknown_names_error() {
         let mut store = DocStore::new();
         let mut naive = NaiveInterpreter::new(&mut store);
-        assert!(matches!(naive.run("$x"), Err(NaiveError::UnknownVariable(_))));
-        assert!(matches!(naive.run("nope()"), Err(NaiveError::UnknownFunction(_))));
+        assert!(matches!(
+            naive.run("$x"),
+            Err(NaiveError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            naive.run("nope()"),
+            Err(NaiveError::UnknownFunction(_))
+        ));
         assert!(matches!(
             naive.run("doc(\"zzz.xml\")/a"),
             Err(NaiveError::UnknownDocument(_))

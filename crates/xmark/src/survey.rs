@@ -37,26 +37,316 @@ pub const TABLE1_SYSTEMS: [&str; 5] = ["MXQ", "Galax", "X-Hive", "BDB", "eXist"]
 
 /// The full Table 1 of the paper.
 pub const TABLE1: [Table1Row; 20] = [
-    Table1Row { query: 1, mb1: [Some(0.013), Some(0.000), Some(0.170), Some(0.007), Some(0.011)], mb11: [Some(0.01), Some(0.06), Some(0.37), Some(0.05), Some(0.10)], mb110: [Some(0.12), Some(0.72), Some(1.29), Some(0.51)], gb1: [Some(1.3), Some(9.9), Some(5.9)], gb11: Some(14.0) },
-    Table1Row { query: 2, mb1: [Some(0.008), Some(0.002), Some(0.090), Some(0.014), Some(0.140)], mb11: [Some(0.02), Some(0.03), Some(0.45), Some(0.13), Some(5.67)], mb110: [Some(0.19), Some(0.31), Some(1.75), Some(1.38)], gb1: [Some(1.8), Some(33.0), Some(43.1)], gb11: Some(19.0) },
-    Table1Row { query: 3, mb1: [Some(0.029), Some(0.012), Some(0.120), Some(0.035), Some(0.176)], mb11: [Some(0.14), Some(0.14), Some(0.65), Some(0.34), Some(6.61)], mb110: [Some(1.20), Some(1.76), Some(5.66), Some(3.55)], gb1: [Some(11.5), Some(25.1), Some(37.1)], gb11: Some(176.0) },
-    Table1Row { query: 4, mb1: [Some(0.013), Some(0.026), Some(0.070), Some(0.042), Some(0.378)], mb11: [Some(0.03), Some(0.22), Some(0.10), Some(0.39), Some(15.40)], mb110: [Some(0.42), Some(2.91), Some(1.00), Some(4.07)], gb1: [Some(4.5), Some(18.1), Some(43.3)], gb11: Some(44.0) },
-    Table1Row { query: 5, mb1: [Some(0.006), Some(0.005), Some(0.040), Some(0.011), Some(2.419)], mb11: [Some(0.01), Some(0.05), Some(0.13), Some(0.10), Some(185.47)], mb110: [Some(0.08), Some(0.63), Some(0.90), Some(1.05)], gb1: [Some(0.8), Some(20.7), Some(11.4)], gb11: Some(10.0) },
-    Table1Row { query: 6, mb1: [Some(0.003), Some(0.117), Some(0.100), Some(0.107), Some(0.002)], mb11: [Some(0.00), Some(1.30), Some(1.07), Some(1.14), Some(0.01)], mb110: [Some(0.00), Some(13.29), Some(10.17), Some(13.23)], gb1: [Some(0.0), Some(178.1), None], gb11: Some(0.1) },
-    Table1Row { query: 7, mb1: [Some(0.003), Some(0.277), Some(0.110), Some(0.122), Some(0.007)], mb11: [Some(0.00), Some(2.68), Some(1.57), Some(1.31), Some(0.01)], mb110: [Some(0.01), Some(30.01), Some(24.84), Some(14.70)], gb1: [Some(0.1), Some(278.4), None], gb11: Some(0.6) },
-    Table1Row { query: 8, mb1: [Some(0.014), Some(0.013), Some(0.220), Some(0.447), Some(0.660)], mb11: [Some(0.04), Some(0.16), Some(0.85), Some(51.21), Some(429.89)], mb110: [Some(0.47), Some(2.12), Some(3.51), Some(9316.72)], gb1: [Some(9.6), Some(49.1), None], gb11: Some(223.0) },
-    Table1Row { query: 9, mb1: [Some(0.022), Some(0.113), Some(0.580), Some(0.407), Some(0.783)], mb11: [Some(0.05), Some(113.23), Some(32.25), Some(47.03), Some(333.47)], mb110: [Some(0.52), None, Some(12280.66), None], gb1: [Some(11.8), None, None], gb11: Some(460.0) },
-    Table1Row { query: 10, mb1: [Some(0.163), Some(0.136), Some(0.500), Some(0.153), Some(16.533)], mb11: [Some(2.54), Some(1.74), Some(5.28), Some(5.15), Some(1559.17)], mb110: [Some(5.18), Some(18.61), Some(442.37), None], gb1: [Some(62.8), None, None], gb11: Some(2413.0) },
-    Table1Row { query: 11, mb1: [Some(0.018), Some(0.042), Some(0.160), Some(1.26), Some(2.064)], mb11: [Some(0.11), Some(2.62), Some(98.91), Some(121.75), Some(374.46)], mb110: [Some(3.62), None, Some(19927.29), None], gb1: [Some(367.7), None, None], gb11: None },
-    Table1Row { query: 12, mb1: [Some(0.044), Some(0.028), Some(0.310), Some(0.486), Some(3.067)], mb11: [Some(0.09), Some(1.44), Some(23.39), Some(118.70), Some(1584.91)], mb110: [Some(2.11), None, Some(5100.19), None], gb1: [Some(121.1), None, None], gb11: None },
-    Table1Row { query: 13, mb1: [Some(0.022), Some(0.002), Some(0.010), Some(0.009), Some(0.008)], mb11: [Some(0.03), Some(0.03), Some(0.10), Some(0.08), Some(0.03)], mb110: [Some(0.10), Some(0.66), Some(1.03), Some(0.79)], gb1: [Some(0.9), Some(12.9), Some(8.1)], gb11: Some(8.0) },
-    Table1Row { query: 14, mb1: [Some(0.026), Some(0.109), Some(0.060), Some(0.106), Some(0.228)], mb11: [Some(0.12), Some(1.92), Some(0.72), Some(1.07), Some(0.44)], mb110: [Some(0.93), Some(99.53), Some(11.16), Some(14.18)], gb1: [Some(7.5), Some(110.2), None], gb11: Some(452.0) },
-    Table1Row { query: 15, mb1: [Some(0.026), Some(0.001), Some(0.010), Some(0.015), Some(0.015)], mb11: [Some(0.03), Some(0.02), Some(0.03), Some(0.13), Some(0.05)], mb110: [Some(0.07), Some(0.20), Some(0.49), Some(1.37)], gb1: [Some(0.4), Some(10.6), Some(28.5)], gb11: Some(3.0) },
-    Table1Row { query: 16, mb1: [Some(0.030), Some(0.003), Some(0.010), Some(0.016), Some(0.597)], mb11: [Some(0.03), Some(0.03), Some(0.03), Some(0.14), Some(22.21)], mb110: [Some(0.08), Some(0.46), Some(0.52), Some(1.52)], gb1: [Some(0.5), Some(10.9), Some(17.6)], gb11: Some(4.0) },
-    Table1Row { query: 17, mb1: [Some(0.022), Some(0.005), Some(0.010), Some(0.021), Some(0.018)], mb11: [Some(0.03), Some(0.06), Some(0.09), Some(0.20), Some(0.18)], mb110: [Some(0.15), Some(0.82), Some(0.85), Some(2.08)], gb1: [Some(1.4), Some(11.8), Some(34.1)], gb11: Some(31.0) },
-    Table1Row { query: 18, mb1: [Some(0.013), Some(0.007), Some(0.010), Some(0.020), Some(0.009)], mb11: [Some(0.02), Some(0.07), Some(0.08), Some(0.19), Some(0.12)], mb110: [Some(0.05), Some(0.73), Some(0.64), Some(2.09)], gb1: [Some(0.5), Some(14.8), Some(21.7)], gb11: Some(7.0) },
-    Table1Row { query: 19, mb1: [Some(0.029), Some(0.089), Some(0.070), Some(0.056), Some(0.037)], mb11: [Some(0.06), Some(1.17), Some(0.67), Some(0.57), Some(0.51)], mb110: [Some(0.38), Some(14.73), Some(12.15), Some(6.74)], gb1: [Some(7.0), Some(254.5), Some(135.6)], gb11: Some(128.0) },
-    Table1Row { query: 20, mb1: [Some(0.075), Some(0.030), Some(0.020), Some(0.037), Some(0.061)], mb11: [Some(0.11), Some(0.28), Some(0.11), Some(0.34), Some(0.98)], mb110: [Some(0.62), Some(2.98), Some(1.40), Some(3.42)], gb1: [Some(7.0), Some(24.6), Some(37.4)], gb11: Some(70.0) },
+    Table1Row {
+        query: 1,
+        mb1: [
+            Some(0.013),
+            Some(0.000),
+            Some(0.170),
+            Some(0.007),
+            Some(0.011),
+        ],
+        mb11: [Some(0.01), Some(0.06), Some(0.37), Some(0.05), Some(0.10)],
+        mb110: [Some(0.12), Some(0.72), Some(1.29), Some(0.51)],
+        gb1: [Some(1.3), Some(9.9), Some(5.9)],
+        gb11: Some(14.0),
+    },
+    Table1Row {
+        query: 2,
+        mb1: [
+            Some(0.008),
+            Some(0.002),
+            Some(0.090),
+            Some(0.014),
+            Some(0.140),
+        ],
+        mb11: [Some(0.02), Some(0.03), Some(0.45), Some(0.13), Some(5.67)],
+        mb110: [Some(0.19), Some(0.31), Some(1.75), Some(1.38)],
+        gb1: [Some(1.8), Some(33.0), Some(43.1)],
+        gb11: Some(19.0),
+    },
+    Table1Row {
+        query: 3,
+        mb1: [
+            Some(0.029),
+            Some(0.012),
+            Some(0.120),
+            Some(0.035),
+            Some(0.176),
+        ],
+        mb11: [Some(0.14), Some(0.14), Some(0.65), Some(0.34), Some(6.61)],
+        mb110: [Some(1.20), Some(1.76), Some(5.66), Some(3.55)],
+        gb1: [Some(11.5), Some(25.1), Some(37.1)],
+        gb11: Some(176.0),
+    },
+    Table1Row {
+        query: 4,
+        mb1: [
+            Some(0.013),
+            Some(0.026),
+            Some(0.070),
+            Some(0.042),
+            Some(0.378),
+        ],
+        mb11: [Some(0.03), Some(0.22), Some(0.10), Some(0.39), Some(15.40)],
+        mb110: [Some(0.42), Some(2.91), Some(1.00), Some(4.07)],
+        gb1: [Some(4.5), Some(18.1), Some(43.3)],
+        gb11: Some(44.0),
+    },
+    Table1Row {
+        query: 5,
+        mb1: [
+            Some(0.006),
+            Some(0.005),
+            Some(0.040),
+            Some(0.011),
+            Some(2.419),
+        ],
+        mb11: [Some(0.01), Some(0.05), Some(0.13), Some(0.10), Some(185.47)],
+        mb110: [Some(0.08), Some(0.63), Some(0.90), Some(1.05)],
+        gb1: [Some(0.8), Some(20.7), Some(11.4)],
+        gb11: Some(10.0),
+    },
+    Table1Row {
+        query: 6,
+        mb1: [
+            Some(0.003),
+            Some(0.117),
+            Some(0.100),
+            Some(0.107),
+            Some(0.002),
+        ],
+        mb11: [Some(0.00), Some(1.30), Some(1.07), Some(1.14), Some(0.01)],
+        mb110: [Some(0.00), Some(13.29), Some(10.17), Some(13.23)],
+        gb1: [Some(0.0), Some(178.1), None],
+        gb11: Some(0.1),
+    },
+    Table1Row {
+        query: 7,
+        mb1: [
+            Some(0.003),
+            Some(0.277),
+            Some(0.110),
+            Some(0.122),
+            Some(0.007),
+        ],
+        mb11: [Some(0.00), Some(2.68), Some(1.57), Some(1.31), Some(0.01)],
+        mb110: [Some(0.01), Some(30.01), Some(24.84), Some(14.70)],
+        gb1: [Some(0.1), Some(278.4), None],
+        gb11: Some(0.6),
+    },
+    Table1Row {
+        query: 8,
+        mb1: [
+            Some(0.014),
+            Some(0.013),
+            Some(0.220),
+            Some(0.447),
+            Some(0.660),
+        ],
+        mb11: [
+            Some(0.04),
+            Some(0.16),
+            Some(0.85),
+            Some(51.21),
+            Some(429.89),
+        ],
+        mb110: [Some(0.47), Some(2.12), Some(3.51), Some(9316.72)],
+        gb1: [Some(9.6), Some(49.1), None],
+        gb11: Some(223.0),
+    },
+    Table1Row {
+        query: 9,
+        mb1: [
+            Some(0.022),
+            Some(0.113),
+            Some(0.580),
+            Some(0.407),
+            Some(0.783),
+        ],
+        mb11: [
+            Some(0.05),
+            Some(113.23),
+            Some(32.25),
+            Some(47.03),
+            Some(333.47),
+        ],
+        mb110: [Some(0.52), None, Some(12280.66), None],
+        gb1: [Some(11.8), None, None],
+        gb11: Some(460.0),
+    },
+    Table1Row {
+        query: 10,
+        mb1: [
+            Some(0.163),
+            Some(0.136),
+            Some(0.500),
+            Some(0.153),
+            Some(16.533),
+        ],
+        mb11: [
+            Some(2.54),
+            Some(1.74),
+            Some(5.28),
+            Some(5.15),
+            Some(1559.17),
+        ],
+        mb110: [Some(5.18), Some(18.61), Some(442.37), None],
+        gb1: [Some(62.8), None, None],
+        gb11: Some(2413.0),
+    },
+    Table1Row {
+        query: 11,
+        mb1: [
+            Some(0.018),
+            Some(0.042),
+            Some(0.160),
+            Some(1.26),
+            Some(2.064),
+        ],
+        mb11: [
+            Some(0.11),
+            Some(2.62),
+            Some(98.91),
+            Some(121.75),
+            Some(374.46),
+        ],
+        mb110: [Some(3.62), None, Some(19927.29), None],
+        gb1: [Some(367.7), None, None],
+        gb11: None,
+    },
+    Table1Row {
+        query: 12,
+        mb1: [
+            Some(0.044),
+            Some(0.028),
+            Some(0.310),
+            Some(0.486),
+            Some(3.067),
+        ],
+        mb11: [
+            Some(0.09),
+            Some(1.44),
+            Some(23.39),
+            Some(118.70),
+            Some(1584.91),
+        ],
+        mb110: [Some(2.11), None, Some(5100.19), None],
+        gb1: [Some(121.1), None, None],
+        gb11: None,
+    },
+    Table1Row {
+        query: 13,
+        mb1: [
+            Some(0.022),
+            Some(0.002),
+            Some(0.010),
+            Some(0.009),
+            Some(0.008),
+        ],
+        mb11: [Some(0.03), Some(0.03), Some(0.10), Some(0.08), Some(0.03)],
+        mb110: [Some(0.10), Some(0.66), Some(1.03), Some(0.79)],
+        gb1: [Some(0.9), Some(12.9), Some(8.1)],
+        gb11: Some(8.0),
+    },
+    Table1Row {
+        query: 14,
+        mb1: [
+            Some(0.026),
+            Some(0.109),
+            Some(0.060),
+            Some(0.106),
+            Some(0.228),
+        ],
+        mb11: [Some(0.12), Some(1.92), Some(0.72), Some(1.07), Some(0.44)],
+        mb110: [Some(0.93), Some(99.53), Some(11.16), Some(14.18)],
+        gb1: [Some(7.5), Some(110.2), None],
+        gb11: Some(452.0),
+    },
+    Table1Row {
+        query: 15,
+        mb1: [
+            Some(0.026),
+            Some(0.001),
+            Some(0.010),
+            Some(0.015),
+            Some(0.015),
+        ],
+        mb11: [Some(0.03), Some(0.02), Some(0.03), Some(0.13), Some(0.05)],
+        mb110: [Some(0.07), Some(0.20), Some(0.49), Some(1.37)],
+        gb1: [Some(0.4), Some(10.6), Some(28.5)],
+        gb11: Some(3.0),
+    },
+    Table1Row {
+        query: 16,
+        mb1: [
+            Some(0.030),
+            Some(0.003),
+            Some(0.010),
+            Some(0.016),
+            Some(0.597),
+        ],
+        mb11: [Some(0.03), Some(0.03), Some(0.03), Some(0.14), Some(22.21)],
+        mb110: [Some(0.08), Some(0.46), Some(0.52), Some(1.52)],
+        gb1: [Some(0.5), Some(10.9), Some(17.6)],
+        gb11: Some(4.0),
+    },
+    Table1Row {
+        query: 17,
+        mb1: [
+            Some(0.022),
+            Some(0.005),
+            Some(0.010),
+            Some(0.021),
+            Some(0.018),
+        ],
+        mb11: [Some(0.03), Some(0.06), Some(0.09), Some(0.20), Some(0.18)],
+        mb110: [Some(0.15), Some(0.82), Some(0.85), Some(2.08)],
+        gb1: [Some(1.4), Some(11.8), Some(34.1)],
+        gb11: Some(31.0),
+    },
+    Table1Row {
+        query: 18,
+        mb1: [
+            Some(0.013),
+            Some(0.007),
+            Some(0.010),
+            Some(0.020),
+            Some(0.009),
+        ],
+        mb11: [Some(0.02), Some(0.07), Some(0.08), Some(0.19), Some(0.12)],
+        mb110: [Some(0.05), Some(0.73), Some(0.64), Some(2.09)],
+        gb1: [Some(0.5), Some(14.8), Some(21.7)],
+        gb11: Some(7.0),
+    },
+    Table1Row {
+        query: 19,
+        mb1: [
+            Some(0.029),
+            Some(0.089),
+            Some(0.070),
+            Some(0.056),
+            Some(0.037),
+        ],
+        mb11: [Some(0.06), Some(1.17), Some(0.67), Some(0.57), Some(0.51)],
+        mb110: [Some(0.38), Some(14.73), Some(12.15), Some(6.74)],
+        gb1: [Some(7.0), Some(254.5), Some(135.6)],
+        gb11: Some(128.0),
+    },
+    Table1Row {
+        query: 20,
+        mb1: [
+            Some(0.075),
+            Some(0.030),
+            Some(0.020),
+            Some(0.037),
+            Some(0.061),
+        ],
+        mb11: [Some(0.11), Some(0.28), Some(0.11), Some(0.34), Some(0.98)],
+        mb110: [Some(0.62), Some(2.98), Some(1.40), Some(3.42)],
+        gb1: [Some(7.0), Some(24.6), Some(37.4)],
+        gb11: Some(70.0),
+    },
 ];
 
 /// One row of Table 2: a system from the literature with the CPU it was
@@ -77,25 +367,139 @@ pub struct Table2Row {
 
 /// The full Table 2 of the paper.
 pub const TABLE2: [Table2Row; 19] = [
-    Table2Row { label: 'M', system: "MonetDB/XQuery (MXQ)", cpu: "Opteron 1600", spec: 1068, factor: 1.00 },
-    Table2Row { label: 'E', system: "eXist", cpu: "Opteron 1600", spec: 1068, factor: 1.00 },
-    Table2Row { label: 'R', system: "BerkeleyDB XML 2.2 (BDB)", cpu: "Opteron 1600", spec: 1068, factor: 1.00 },
-    Table2Row { label: 'H', system: "X-Hive 6.0", cpu: "Opteron 1600", spec: 1068, factor: 1.00 },
-    Table2Row { label: 'G', system: "Galax 0.5.0", cpu: "Opteron 1600", spec: 1068, factor: 1.00 },
-    Table2Row { label: 'Y', system: "Dynamic Interval Encoding", cpu: "PentiumIII 1000", spec: 451, factor: 2.36 },
-    Table2Row { label: 'I', system: "IPSI-XQ v1.1.1b", cpu: "PentiumIII 1000", spec: 451, factor: 2.36 },
-    Table2Row { label: 'K', system: "Kweelt", cpu: "PentiumIII 1000", spec: 451, factor: 2.36 },
-    Table2Row { label: 'Q', system: "QuiP", cpu: "PentiumIII 1000", spec: 451, factor: 2.36 },
-    Table2Row { label: 'D', system: "Pathfinder + IBM DB2 UDB V8.1", cpu: "Pentium4 2200", spec: 780, factor: 1.37 },
-    Table2Row { label: 'F', system: "FluX", cpu: "AthlonXP 1670", spec: 697, factor: 1.53 },
-    Table2Row { label: 'A', system: "Anonymous commercial system", cpu: "AthlonXP 1670", spec: 697, factor: 1.53 },
-    Table2Row { label: 'X', system: "TurboXPath", cpu: "PentiumIII 700", spec: 332, factor: 3.22 },
-    Table2Row { label: 'T', system: "Timber", cpu: "PentiumIII 866", spec: 411, factor: 2.60 },
-    Table2Row { label: 'L', system: "Li", cpu: "PentiumIII 933", spec: 421, factor: 2.53 },
-    Table2Row { label: 'Z', system: "Qizx/Open (0.4/p1)", cpu: "PentiumIII 933", spec: 421, factor: 2.53 },
-    Table2Row { label: 'S', system: "Saxon (8.0)", cpu: "PentiumIII 933", spec: 421, factor: 2.53 },
-    Table2Row { label: 'B', system: "BEA/XQRL", cpu: "Pentium4 1800", spec: 669, factor: 1.59 },
-    Table2Row { label: 'V', system: "VX", cpu: "Pentium4 1800", spec: 669, factor: 1.59 },
+    Table2Row {
+        label: 'M',
+        system: "MonetDB/XQuery (MXQ)",
+        cpu: "Opteron 1600",
+        spec: 1068,
+        factor: 1.00,
+    },
+    Table2Row {
+        label: 'E',
+        system: "eXist",
+        cpu: "Opteron 1600",
+        spec: 1068,
+        factor: 1.00,
+    },
+    Table2Row {
+        label: 'R',
+        system: "BerkeleyDB XML 2.2 (BDB)",
+        cpu: "Opteron 1600",
+        spec: 1068,
+        factor: 1.00,
+    },
+    Table2Row {
+        label: 'H',
+        system: "X-Hive 6.0",
+        cpu: "Opteron 1600",
+        spec: 1068,
+        factor: 1.00,
+    },
+    Table2Row {
+        label: 'G',
+        system: "Galax 0.5.0",
+        cpu: "Opteron 1600",
+        spec: 1068,
+        factor: 1.00,
+    },
+    Table2Row {
+        label: 'Y',
+        system: "Dynamic Interval Encoding",
+        cpu: "PentiumIII 1000",
+        spec: 451,
+        factor: 2.36,
+    },
+    Table2Row {
+        label: 'I',
+        system: "IPSI-XQ v1.1.1b",
+        cpu: "PentiumIII 1000",
+        spec: 451,
+        factor: 2.36,
+    },
+    Table2Row {
+        label: 'K',
+        system: "Kweelt",
+        cpu: "PentiumIII 1000",
+        spec: 451,
+        factor: 2.36,
+    },
+    Table2Row {
+        label: 'Q',
+        system: "QuiP",
+        cpu: "PentiumIII 1000",
+        spec: 451,
+        factor: 2.36,
+    },
+    Table2Row {
+        label: 'D',
+        system: "Pathfinder + IBM DB2 UDB V8.1",
+        cpu: "Pentium4 2200",
+        spec: 780,
+        factor: 1.37,
+    },
+    Table2Row {
+        label: 'F',
+        system: "FluX",
+        cpu: "AthlonXP 1670",
+        spec: 697,
+        factor: 1.53,
+    },
+    Table2Row {
+        label: 'A',
+        system: "Anonymous commercial system",
+        cpu: "AthlonXP 1670",
+        spec: 697,
+        factor: 1.53,
+    },
+    Table2Row {
+        label: 'X',
+        system: "TurboXPath",
+        cpu: "PentiumIII 700",
+        spec: 332,
+        factor: 3.22,
+    },
+    Table2Row {
+        label: 'T',
+        system: "Timber",
+        cpu: "PentiumIII 866",
+        spec: 411,
+        factor: 2.60,
+    },
+    Table2Row {
+        label: 'L',
+        system: "Li",
+        cpu: "PentiumIII 933",
+        spec: 421,
+        factor: 2.53,
+    },
+    Table2Row {
+        label: 'Z',
+        system: "Qizx/Open (0.4/p1)",
+        cpu: "PentiumIII 933",
+        spec: 421,
+        factor: 2.53,
+    },
+    Table2Row {
+        label: 'S',
+        system: "Saxon (8.0)",
+        cpu: "PentiumIII 933",
+        spec: 421,
+        factor: 2.53,
+    },
+    Table2Row {
+        label: 'B',
+        system: "BEA/XQRL",
+        cpu: "Pentium4 1800",
+        spec: 669,
+        factor: 1.59,
+    },
+    Table2Row {
+        label: 'V',
+        system: "VX",
+        cpu: "Pentium4 1800",
+        spec: 669,
+        factor: 1.59,
+    },
 ];
 
 /// SPEC-normalise a published elapsed time: divide it by the factor between

@@ -480,8 +480,7 @@ impl DocumentBuilder {
     /// Panics if no element is open.
     pub fn attribute(&mut self, name: &str, value: &str) {
         let owner = *self.open.last().expect("attribute outside of element");
-        self.doc
-            .push_attr(owner, Arc::from(name), Arc::from(value));
+        self.doc.push_attr(owner, Arc::from(name), Arc::from(value));
     }
 
     /// Close the most recently opened element.

@@ -45,7 +45,11 @@ pub struct ShredError {
 
 impl fmt::Display for ShredError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -162,7 +166,8 @@ impl<'a> Parser<'a> {
                 self.bump(2);
                 let content = self.read_until("?>")?;
                 let (target, rest) = split_name(content);
-                self.builder.processing_instruction(target, rest.trim_start());
+                self.builder
+                    .processing_instruction(target, rest.trim_start());
             } else {
                 return Ok(());
             }
@@ -223,7 +228,9 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect("=")?;
                     self.skip_ws();
-                    let quote = self.peek().ok_or_else(|| self.error("unterminated attribute"))?;
+                    let quote = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated attribute"))?;
                     if quote != b'"' && quote != b'\'' {
                         return Err(self.error("attribute value must be quoted"));
                     }
@@ -249,9 +256,9 @@ impl<'a> Parser<'a> {
                 self.bump(2);
                 let name = self.parse_name()?;
                 if name != open_name {
-                    return Err(self.error(format!(
-                        "mismatched end tag </{name}> for <{open_name}>"
-                    )));
+                    return Err(
+                        self.error(format!("mismatched end tag </{name}> for <{open_name}>"))
+                    );
                 }
                 self.skip_ws();
                 self.expect(">")?;
@@ -271,7 +278,8 @@ impl<'a> Parser<'a> {
                 self.bump(2);
                 let content = self.read_until("?>")?;
                 let (target, rest) = split_name(content);
-                self.builder.processing_instruction(target, rest.trim_start());
+                self.builder
+                    .processing_instruction(target, rest.trim_start());
             } else if self.starts_with("<") {
                 self.flush_text(&mut text);
                 self.parse_element()?;
@@ -336,9 +344,11 @@ pub fn decode_entities(s: &str) -> String {
                 "amp" => Some('&'),
                 "quot" => Some('"'),
                 "apos" => Some('\''),
-                _ if ent.starts_with("#x") || ent.starts_with("#X") => u32::from_str_radix(&ent[2..], 16)
-                    .ok()
-                    .and_then(char::from_u32),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    u32::from_str_radix(&ent[2..], 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                }
                 _ if ent.starts_with('#') => ent[1..].parse::<u32>().ok().and_then(char::from_u32),
                 _ => None,
             };
@@ -389,7 +399,8 @@ mod tests {
 
     #[test]
     fn prolog_comments_cdata_pi() {
-        let xml = "<?xml version=\"1.0\"?><!-- top --><r><![CDATA[a<b]]><!-- in --><?php echo?></r>";
+        let xml =
+            "<?xml version=\"1.0\"?><!-- top --><r><![CDATA[a<b]]><!-- in --><?php echo?></r>";
         let d = shred("t", xml, &ShredOptions::default()).unwrap();
         assert_eq!(d.name_of(0), "r");
         assert_eq!(d.string_value(0), "a<b");

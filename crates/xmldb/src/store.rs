@@ -85,7 +85,9 @@ impl DocStore {
     pub fn document_root(&self, name: &str) -> Option<NodeId> {
         let frag = self.lookup(name)?;
         let doc = self.container(frag);
-        doc.fragment_roots().first().map(|&pre| NodeId::new(frag, pre))
+        doc.fragment_roots()
+            .first()
+            .map(|&pre| NodeId::new(frag, pre))
     }
 
     /// Construct new nodes in the transient container: the closure receives a

@@ -145,7 +145,10 @@ impl NaiveDocument {
     /// in the XML data model).
     pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
         assert!(
-            matches!(self.kind(parent_pre), NodeKind::Element | NodeKind::Document),
+            matches!(
+                self.kind(parent_pre),
+                NodeKind::Element | NodeKind::Document
+            ),
             "insert_last_child: parent must be an element"
         );
         let insert_at = (parent_pre + self.tuples[parent_pre as usize].size + 1) as usize;
@@ -232,8 +235,14 @@ impl PagedDocument {
     /// Panics unless `page_size` is a power of two ≥ 2 and
     /// `fill_percent ∈ (0, 100]`.
     pub fn from_document(doc: &Document, page_size: usize, fill_percent: u8) -> Self {
-        assert!(page_size.is_power_of_two() && page_size >= 2, "page_size must be a power of two >= 2");
-        assert!((1..=100).contains(&fill_percent), "fill_percent must be in 1..=100");
+        assert!(
+            page_size.is_power_of_two() && page_size >= 2,
+            "page_size must be a power of two >= 2"
+        );
+        assert!(
+            (1..=100).contains(&fill_percent),
+            "fill_percent must be in 1..=100"
+        );
         let fill = ((page_size * fill_percent as usize) / 100).max(1);
         let tuples = tuples_of(doc);
         let mut pages = Vec::new();
@@ -339,7 +348,10 @@ impl PagedDocument {
     /// in the XML data model).
     pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
         assert!(
-            matches!(self.kind(parent_pre), NodeKind::Element | NodeKind::Document),
+            matches!(
+                self.kind(parent_pre),
+                NodeKind::Element | NodeKind::Document
+            ),
             "insert_last_child: parent must be an element"
         );
         let insert_pos = (parent_pre + self.size(parent_pre) + 1) as usize;
@@ -477,7 +489,10 @@ mod tests {
             out,
             "<a><b><c/><d/></b><f><g/><h><i/><j/></h><k><l/><m/></k></f></a>"
         );
-        assert!(naive.stats.tuples_written > 3, "naive insert moves following tuples");
+        assert!(
+            naive.stats.tuples_written > 3,
+            "naive insert moves following tuples"
+        );
     }
 
     #[test]
@@ -511,7 +526,10 @@ mod tests {
     fn paged_large_insert_appends_pages() {
         let doc = base();
         let mut paged = PagedDocument::from_document(&doc, 4, 100);
-        paged.insert_last_child(0, &fragment_from_xml("<big><x1/><x2/><x3/><x4/><x5/></big>"));
+        paged.insert_last_child(
+            0,
+            &fragment_from_xml("<big><x1/><x2/><x3/><x4/><x5/></big>"),
+        );
         assert!(paged.stats.pages_allocated >= 1);
         paged.to_document().check_invariants().unwrap();
         assert_eq!(paged.len(), 9 + 6);
@@ -551,7 +569,10 @@ mod tests {
         doc.set_attribute(0, "x", "2");
         doc.set_attribute(0, "y", "3");
         doc.rename_element(1, "c");
-        assert_eq!(serialize_document(&doc), "<a x=\"2\" y=\"3\"><c>new</c></a>");
+        assert_eq!(
+            serialize_document(&doc),
+            "<a x=\"2\" y=\"3\"><c>new</c></a>"
+        );
         doc.remove_attribute(0, "y");
         assert_eq!(doc.attribute(0, "y"), None);
     }

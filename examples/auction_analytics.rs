@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "average closing price",
-            "avg(doc(\"auction.xml\")/site/closed_auctions/closed_auction/price/text())".to_string(),
+            "avg(doc(\"auction.xml\")/site/closed_auctions/closed_auction/price/text())"
+                .to_string(),
         ),
         (
             "highest reserve (converted)",
@@ -46,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  return local:convert($r/text()))"
                 .to_string(),
         ),
-        (
-            "buyers per person (XMark Q8)",
-            query_text(8).to_string(),
-        ),
+        ("buyers per person (XMark Q8)", query_text(8).to_string()),
         (
             "income vs. initial bids (XMark Q11)",
             query_text(11).to_string(),

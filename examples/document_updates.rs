@@ -51,9 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // query the updated document
     let mut engine = XQueryEngine::new();
     engine.load_document("auction.xml", &serialize_document(&paged_doc))?;
-    let bids = engine.execute(
-        "count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)",
-    )?;
+    let bids =
+        engine.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
     println!("\nbidders on the updated auction: {}", bids.serialize());
     Ok(())
 }

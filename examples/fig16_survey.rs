@@ -18,7 +18,10 @@ use mxq::xquery::XQueryEngine;
 
 fn main() {
     println!("Table 2 — systems, CPUs and SPECint-CPU2000 normalisation factors\n");
-    println!("{:<3} {:<34} {:<16} {:>6} {:>7}", "id", "system", "CPU", "SPEC", "factor");
+    println!(
+        "{:<3} {:<34} {:<16} {:>6} {:>7}",
+        "id", "system", "CPU", "SPEC", "factor"
+    );
     for row in TABLE2 {
         println!(
             "{:<3} {:<34} {:<16} {:>6} {:>7.2}",
@@ -27,7 +30,10 @@ fn main() {
     }
 
     println!("\nFigure 16 (11 MB column) — normalised time relative to MonetDB/XQuery");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "Q", TABLE1_SYSTEMS[1], TABLE1_SYSTEMS[2], TABLE1_SYSTEMS[3], TABLE1_SYSTEMS[4]);
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "Q", TABLE1_SYSTEMS[1], TABLE1_SYSTEMS[2], TABLE1_SYSTEMS[3], TABLE1_SYSTEMS[4]
+    );
     for row in TABLE1 {
         let mxq = row.mb11[0].unwrap_or(f64::NAN).max(1e-6);
         let rel = |idx: usize| -> String {
@@ -37,7 +43,14 @@ fn main() {
                 None => "DNF".into(),
             }
         };
-        println!("{:>4} {:>10} {:>10} {:>10} {:>10}", row.query, rel(1), rel(2), rel(3), rel(4));
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10}",
+            row.query,
+            rel(1),
+            rel(2),
+            rel(3),
+            rel(4)
+        );
     }
 
     // our own measurements, for the same relative reading

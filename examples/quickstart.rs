@@ -40,10 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Constructed report : {}", report.serialize());
 
     // 4. look at the relational plan the compiler produced
-    let plan = engine.compile(
-        "for $b in doc(\"library.xml\")/library/book return $b/title/text()",
-    )?;
-    println!("\nCompiled plan ({} operators):\n{}", plan.operator_count(), plan.explain());
+    let plan =
+        engine.compile("for $b in doc(\"library.xml\")/library/book return $b/title/text()")?;
+    println!(
+        "\nCompiled plan ({} operators):\n{}",
+        plan.operator_count(),
+        plan.explain()
+    );
 
     Ok(())
 }

@@ -9,7 +9,8 @@ use mxq::xquery::{ExecConfig, XQueryEngine};
 
 #[test]
 fn query_after_structural_update() {
-    let xml = "<site><open_auctions><open_auction id=\"a0\"><bidder><increase>5</increase></bidder>\
+    let xml =
+        "<site><open_auctions><open_auction id=\"a0\"><bidder><increase>5</increase></bidder>\
                </open_auction></open_auctions></site>";
     let doc = shred("auction.xml", xml, &ShredOptions::default()).unwrap();
     let mut paged = PagedDocument::from_document(&doc, 8, 50);
@@ -38,10 +39,16 @@ fn query_after_structural_update() {
 fn queries_across_multiple_documents() {
     let mut engine = XQueryEngine::new();
     engine
-        .load_document("people.xml", "<people><p id=\"1\">Ann</p><p id=\"2\">Bob</p></people>")
+        .load_document(
+            "people.xml",
+            "<people><p id=\"1\">Ann</p><p id=\"2\">Bob</p></people>",
+        )
         .unwrap();
     engine
-        .load_document("orders.xml", "<orders><o p=\"1\"/><o p=\"1\"/><o p=\"2\"/></orders>")
+        .load_document(
+            "orders.xml",
+            "<orders><o p=\"1\"/><o p=\"1\"/><o p=\"2\"/></orders>",
+        )
         .unwrap();
     let r = engine
         .execute(
@@ -67,7 +74,10 @@ fn order_awareness_reports_avoided_sorts() {
     unoptimized.load_document("auction.xml", &xml).unwrap();
     let (_, without) = unoptimized.execute_with_report(query_text(8)).unwrap();
 
-    assert!(with.stats.sorts_avoided > 0, "order-aware execution avoids sorts");
+    assert!(
+        with.stats.sorts_avoided > 0,
+        "order-aware execution avoids sorts"
+    );
     assert!(
         without.stats.sorts > with.stats.sorts,
         "disabling order awareness performs more sorts ({} vs {})",

@@ -26,7 +26,11 @@ fn naive_result(query: &str) -> String {
 fn engine_result(query: &str, config: ExecConfig) -> String {
     let mut engine = XQueryEngine::with_config(config);
     engine.load_document("auction.xml", auction_xml()).unwrap();
-    engine.execute(query).expect("relational evaluation").serialize().to_string()
+    engine
+        .execute(query)
+        .expect("relational evaluation")
+        .serialize()
+        .to_string()
 }
 
 #[test]
@@ -39,7 +43,10 @@ fn all_xmark_queries_run_and_produce_nontrivial_results() {
             .unwrap_or_else(|e| panic!("Q{id} failed: {e}"));
         // every query has a well-defined (possibly empty) result; most are non-empty
         if ![1, 3, 4].contains(&id) {
-            assert!(!r.is_empty(), "Q{id} unexpectedly returned the empty sequence");
+            assert!(
+                !r.is_empty(),
+                "Q{id} unexpectedly returned the empty sequence"
+            );
         }
     }
 }
