@@ -171,17 +171,17 @@ pub enum Op {
         nest: PlanRef,
     },
     /// Map an inner-scope result back to the outer scope (the back-mapping
-    /// equi-join of Figure 5(c)), renumbering positions; an optional order
-    /// key (keyed by inner iteration) implements `order by`.
+    /// equi-join of Figure 5(c)), renumbering positions; optional order keys
+    /// (each keyed by inner iteration, major key first, with a per-key
+    /// direction) implement multi-key `order by`.
     BackMap {
         /// The inner-scope result.
         body: PlanRef,
         /// The nest map.
         nest: PlanRef,
-        /// Optional `order by` key, one item per inner iteration.
-        order_key: Option<PlanRef>,
-        /// Descending order?
-        descending: bool,
+        /// `order by` keys: one item per inner iteration each, paired with
+        /// the key's descending flag.  Empty when there is no `order by`.
+        order_keys: Vec<(PlanRef, bool)>,
     },
     /// Iterations of a (boolean, single-item) condition that are true
     /// (`negate = false`) or absent/false (`negate = true`) — the σ/σ¬ pair
@@ -423,13 +423,10 @@ impl Plan {
             Op::BackMap {
                 body,
                 nest,
-                order_key,
-                ..
+                order_keys,
             } => {
                 let mut v = vec![body.clone(), nest.clone()];
-                if let Some(k) = order_key {
-                    v.push(k.clone());
-                }
+                v.extend(order_keys.iter().map(|(k, _)| k.clone()));
                 v
             }
             Op::SelectIters { cond, loop_, .. } => vec![cond.clone(), loop_.clone()],

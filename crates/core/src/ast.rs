@@ -2,7 +2,8 @@
 //!
 //! The subset is the language exercised by the XMark benchmark (Q1–Q20) plus
 //! the usual small extras: FLWOR expressions with multiple `for`/`let`
-//! clauses, `where`, a single `order by` key and positional (`at`) variables;
+//! clauses, `where`, multi-key `order by` (each key with its own
+//! ascending/descending direction) and positional (`at`) variables;
 //! path expressions over all XPath axes with name/kind tests and predicates
 //! (boolean and positional); direct element constructors with enclosed
 //! expressions; arithmetic, value and general comparisons; node order
@@ -89,13 +90,21 @@ pub enum Clause {
     },
 }
 
-/// An `order by` specification (single key supported).
+/// One key of an `order by` clause.
 #[derive(Debug, Clone, PartialEq)]
-pub struct OrderSpec {
+pub struct OrderKey {
     /// The key expression (evaluated once per tuple of the FLWOR stream).
     pub key: Box<Expr>,
     /// Descending order?
     pub descending: bool,
+}
+
+/// An `order by` specification: one or more keys, compared left to right
+/// (major key first), each with its own direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// The sort keys in source order.
+    pub keys: Vec<OrderKey>,
 }
 
 /// Attribute of a direct element constructor: a list of fixed and computed
@@ -276,7 +285,9 @@ impl Expr {
                     w.collect_free(bound, out);
                 }
                 if let Some(o) = order_by {
-                    o.key.collect_free(bound, out);
+                    for k in &o.keys {
+                        k.key.collect_free(bound, out);
+                    }
                 }
                 ret.collect_free(bound, out);
                 bound.truncate(depth);

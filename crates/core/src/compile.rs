@@ -265,9 +265,10 @@ impl Compiler {
     // FLWOR
     // ---------------------------------------------------------------------
 
-    /// Compile the remaining clause list.  Returns the plan plus an optional
-    /// order-by key (keyed by the iterations of the scope it was compiled
-    /// in) that the innermost enclosing `for` clause must consume.
+    /// Compile the remaining clause list.  Returns the plan plus the
+    /// optional order-by keys (each keyed by the iterations of the scope
+    /// they were compiled in) that the innermost enclosing `for` clause must
+    /// consume.
     fn compile_clauses(
         &mut self,
         clauses: &[Clause],
@@ -275,7 +276,7 @@ impl Compiler {
         order_by: Option<&OrderSpec>,
         ret: &Expr,
         env: &Env,
-    ) -> CResult<(PlanRef, Option<(PlanRef, bool)>)> {
+    ) -> CResult<(PlanRef, Option<Vec<(PlanRef, bool)>>)> {
         match clauses.first() {
             None => {
                 // innermost scope: apply where, compile the order key and the return clause
@@ -293,16 +294,12 @@ impl Compiler {
                     });
                     env = self.restrict_env(&env, &iters);
                 }
-                let order_key = match order_by {
-                    Some(spec) => {
-                        let key = self.compile(&spec.key, &env)?;
-                        let key = self.plan(Op::Atomize { seq: key });
-                        Some((key, spec.descending))
-                    }
+                let order_keys = match order_by {
+                    Some(spec) => Some(self.compile_order_keys(spec, &env)?),
                     None => None,
                 };
                 let body = self.compile(ret, &env)?;
-                Ok((body, order_key))
+                Ok((body, order_keys))
             }
             Some(Clause::Let { var, value }) => {
                 let v = self.compile(value, env)?;
@@ -357,19 +354,18 @@ impl Compiler {
                 };
                 let remaining_has_for =
                     clauses[1..].iter().any(|c| matches!(c, Clause::For { .. }));
-                let (body, order_key) =
+                let (body, order_keys) =
                     self.compile_clauses(&clauses[1..], where_, order_by, ret, &env_inner)?;
-                // the innermost `for` consumes the order key
-                let (key_here, pass_up) = if remaining_has_for {
-                    (None, order_key)
+                // the innermost `for` consumes the order keys
+                let (keys_here, pass_up) = if remaining_has_for {
+                    (None, order_keys)
                 } else {
-                    (order_key, None)
+                    (order_keys, None)
                 };
                 let plan = self.plan(Op::BackMap {
                     body,
                     nest,
-                    order_key: key_here.as_ref().map(|(k, _)| k.clone()),
-                    descending: key_here.map(|(_, d)| d).unwrap_or(false),
+                    order_keys: keys_here.unwrap_or_default(),
                 });
                 Ok((plan, pass_up))
             }
@@ -486,21 +482,29 @@ impl Compiler {
             loop_: inner_loop,
             vars: inner_vars,
         };
-        let order_key = match order_by {
-            Some(spec) => {
-                let key = self.compile(&spec.key, &env_inner)?;
-                let key = self.plan(Op::Atomize { seq: key });
-                Some((key, spec.descending))
-            }
-            None => None,
+        let order_keys = match order_by {
+            Some(spec) => self.compile_order_keys(spec, &env_inner)?,
+            None => Vec::new(),
         };
         let body = self.compile(ret, &env_inner)?;
         Ok(Some(self.plan(Op::BackMap {
             body,
             nest,
-            order_key: order_key.as_ref().map(|(k, _)| k.clone()),
-            descending: order_key.map(|(_, d)| d).unwrap_or(false),
+            order_keys,
         })))
+    }
+
+    /// Compile every key of an `order by` clause in the given scope; each
+    /// key is atomised so ordering compares values, not nodes.
+    fn compile_order_keys(&mut self, spec: &OrderSpec, env: &Env) -> CResult<Vec<(PlanRef, bool)>> {
+        spec.keys
+            .iter()
+            .map(|k| {
+                let key = self.compile(&k.key, env)?;
+                let key = self.plan(Op::Atomize { seq: key });
+                Ok((key, k.descending))
+            })
+            .collect()
     }
 
     fn restrict_env(&mut self, env: &Env, iters: &PlanRef) -> Env {
@@ -644,8 +648,7 @@ impl Compiler {
         let mapped = self.plan(Op::BackMap {
             body: result,
             nest,
-            order_key: None,
-            descending: false,
+            order_keys: Vec::new(),
         });
         // restore document order / duplicate freedom per original iteration
         Ok(self.plan(Op::DocOrderDistinct { seq: mapped }))
@@ -696,8 +699,7 @@ impl Compiler {
         Ok(self.plan(Op::BackMap {
             body: restricted,
             nest,
-            order_key: None,
-            descending: false,
+            order_keys: Vec::new(),
         }))
     }
 

@@ -11,9 +11,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 use mxq_engine::agg::{aggregate_grouped, aggregate_hash, AggFunc};
-use mxq_engine::join::{hash_join_items, theta_join_nested};
+use mxq_engine::join::{radix_hash_join, theta_join_nested};
 use mxq_engine::rank::row_number_streaming;
 use mxq_engine::sort::{sort_permutation, SortOrder};
 use mxq_engine::value::format_double;
@@ -65,7 +66,7 @@ pub struct Executor<'a> {
     config: ExecConfig,
     /// Statistics accumulated over all [`Executor::eval`] calls.
     pub stats: ExecStats,
-    memo: HashMap<usize, Table>,
+    memo: HashMap<usize, Rc<Table>>,
 }
 
 // -- small helpers over sequence tables --------------------------------------
@@ -102,12 +103,14 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Evaluate a plan, returning its `iter|pos|item` table.
-    pub fn eval(&mut self, plan: &PlanRef) -> EResult<Table> {
+    /// Evaluate a plan, returning its `iter|pos|item` table.  The table is
+    /// shared (`Rc`) with the memo, so repeated evaluation of a shared
+    /// sub-plan costs one reference-count bump, not a deep column copy.
+    pub fn eval(&mut self, plan: &PlanRef) -> EResult<Rc<Table>> {
         if let Some(t) = self.memo.get(&plan.id) {
             return Ok(t.clone());
         }
-        let t = self.eval_op(plan)?;
+        let t = Rc::new(self.eval_op(plan)?);
         self.stats.ops_evaluated += 1;
         self.stats.record_table(t.nrows());
         self.memo.insert(plan.id, t.clone());
@@ -123,8 +126,9 @@ impl<'a> Executor<'a> {
     }
 
     /// Ensure a sequence table is sorted by `[iter, pos]`, consulting the
-    /// plan's order properties when the order-aware mode is on.
-    fn sorted_seq(&mut self, t: &Table, plan: &PlanRef) -> EResult<Table> {
+    /// plan's order properties when the order-aware mode is on.  Returns the
+    /// input table (shared, no copy) when its order is already established.
+    fn sorted_seq(&mut self, t: &Rc<Table>, plan: &PlanRef) -> EResult<Rc<Table>> {
         if self.config.order_aware && plan.props.ord_iter_pos {
             self.stats.sorts_avoided += 1;
             return Ok(t.clone());
@@ -132,14 +136,14 @@ impl<'a> Executor<'a> {
         self.sort_by_iter_pos(t)
     }
 
-    fn sort_by_iter_pos(&mut self, t: &Table) -> EResult<Table> {
+    fn sort_by_iter_pos(&mut self, t: &Table) -> EResult<Rc<Table>> {
         self.stats.sorts += 1;
         let keys = [
             (t.column("iter")?, SortOrder::Asc),
             (t.column("pos")?, SortOrder::Asc),
         ];
         let perm = sort_permutation(&[(keys[0].0, keys[0].1), (keys[1].0, keys[1].1)]);
-        Ok(t.gather(&perm))
+        Ok(Rc::new(t.gather(&perm)))
     }
 
     /// First (lowest-pos) item of every iteration, as (iter → item).
@@ -289,9 +293,8 @@ impl<'a> Executor<'a> {
             Op::BackMap {
                 body,
                 nest,
-                order_key,
-                descending,
-            } => self.eval_back_map(body, nest, order_key.as_ref(), *descending),
+                order_keys,
+            } => self.eval_back_map(body, nest, order_keys),
             Op::SelectIters {
                 cond,
                 loop_,
@@ -623,8 +626,7 @@ impl<'a> Executor<'a> {
         &mut self,
         body: &PlanRef,
         nest: &PlanRef,
-        order_key: Option<&PlanRef>,
-        descending: bool,
+        order_keys: &[(PlanRef, bool)],
     ) -> EResult<Table> {
         let b = self.eval(body)?;
         let n = self.eval(nest)?;
@@ -635,47 +637,48 @@ impl<'a> Executor<'a> {
         for k in 0..n.nrows() {
             map.insert(n_inner[k], n_outer[k]);
         }
-        // optional order key per inner iteration
-        let key_map: Option<HashMap<i64, Item>> = match order_key {
-            Some(k) => {
-                let kt = self.eval(k)?;
-                Some(self.per_iter_first(&kt)?)
-            }
-            None => None,
-        };
+        // order keys per inner iteration, major key first
+        let mut key_maps: Vec<(HashMap<i64, Item>, bool)> = Vec::with_capacity(order_keys.len());
+        for (k, descending) in order_keys {
+            let kt = self.eval(k)?;
+            key_maps.push((self.per_iter_first(&kt)?, *descending));
+        }
         let b_iter = iter_col(&b)?;
         let b_pos = pos_col(&b)?;
         let b_items = items_col(&b)?;
-        let mut rows: Vec<(i64, Item, i64, i64, Item)> = Vec::with_capacity(b.nrows());
+        let mut rows: Vec<(i64, Vec<Item>, i64, i64, Item)> = Vec::with_capacity(b.nrows());
         for i in 0..b.nrows() {
             let Some(&outer) = map.get(&b_iter[i]) else {
                 continue;
             };
-            let key = key_map
-                .as_ref()
-                .and_then(|m| m.get(&b_iter[i]).cloned())
-                .unwrap_or(Item::Int(0));
-            rows.push((outer, key, b_iter[i], b_pos[i], b_items[i].clone()));
+            // a missing (empty-sequence) key sorts as the empty string —
+            // the same default the naive interpreter uses, so the two
+            // evaluators stay comparable under differential testing
+            let keys: Vec<Item> = key_maps
+                .iter()
+                .map(|(m, _)| m.get(&b_iter[i]).cloned().unwrap_or_else(|| Item::str("")))
+                .collect();
+            rows.push((outer, keys, b_iter[i], b_pos[i], b_items[i].clone()));
         }
-        let sorted_input = self.config.order_aware && key_map.is_none() && body.props.ord_iter_pos;
+        let sorted_input =
+            self.config.order_aware && key_maps.is_empty() && body.props.ord_iter_pos;
         if sorted_input {
             // inner iteration numbers are assigned in (outer, pos) order, so a
             // body sorted on [inner, pos] maps back already sorted on outer
             self.stats.sorts_avoided += 1;
         } else {
             self.stats.sorts += 1;
+            let directions: Vec<bool> = key_maps.iter().map(|(_, d)| *d).collect();
             rows.sort_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then_with(|| {
-                        let k = a.1.total_cmp(&b.1);
-                        if descending {
-                            k.reverse()
-                        } else {
-                            k
-                        }
-                    })
-                    .then(a.2.cmp(&b.2))
-                    .then(a.3.cmp(&b.3))
+                let mut ord = a.0.cmp(&b.0);
+                for (i, desc) in directions.iter().enumerate() {
+                    if ord != std::cmp::Ordering::Equal {
+                        break;
+                    }
+                    let k = a.1[i].total_cmp(&b.1[i]);
+                    ord = if *desc { k.reverse() } else { k };
+                }
+                ord.then(a.2.cmp(&b.2)).then(a.3.cmp(&b.3))
             });
         }
         let iters: Vec<i64> = rows.iter().map(|r| r.0).collect();
@@ -701,19 +704,17 @@ impl<'a> Executor<'a> {
         let _ = self.loop_iters(outer_loop)?;
 
         let l_iter = iter_col(&lt)?;
-        let l_items = items_col(&lt)?;
         let r_iter = iter_col(&rt)?;
-        let r_items = items_col(&rt)?;
 
         // pairs of (outer iter, source row) with existential semantics
         let mut pairs: Vec<(i64, i64)> = Vec::new();
         if op.is_equality() {
-            // hash join; the δ afterwards works on the [iter1, iter2]-ordered
-            // output (Section 4.2, Figure 8(a))
-            let (li, ri) = hash_join_items(
-                &Column::from_items(l_items.clone()),
-                &Column::from_items(r_items.clone()),
-            );
+            // radix-partitioned hash join straight over the stored item
+            // columns (no re-materialisation); joins two dictionary-encoded
+            // columns sharing a dictionary code-to-code.  The δ afterwards
+            // works on the [iter1, iter2]-ordered output (Section 4.2,
+            // Figure 8(a)).
+            let (li, ri) = radix_hash_join(lt.column("item")?, rt.column("item")?);
             self.stats.join_pairs += li.len() as u64;
             for (a, b) in li.into_iter().zip(ri) {
                 pairs.push((l_iter[a], r_iter[b]));
@@ -745,8 +746,8 @@ impl<'a> Executor<'a> {
             // keep the smallest left / largest right for `<`-like ops and the
             // reverse for `>`-like ops
             let left_min = matches!(op, CmpOp::Lt | CmpOp::Le);
-            let (lk, lv) = reduce(&l_items, &l_iter, left_min);
-            let (rk, rv) = reduce(&r_items, &r_iter, !left_min);
+            let (lk, lv) = reduce(&items_col(&lt)?, &l_iter, left_min);
+            let (rk, rv) = reduce(&items_col(&rt)?, &r_iter, !left_min);
             let (li, ri) = theta_join_nested(&Column::from_items(lv), &Column::from_items(rv), op);
             self.stats.join_pairs += li.len() as u64;
             for (a, b) in li.into_iter().zip(ri) {
@@ -754,11 +755,7 @@ impl<'a> Executor<'a> {
             }
         } else {
             // plain theta join over all item pairs followed by δ (Figure 8(a))
-            let (li, ri) = theta_join_nested(
-                &Column::from_items(l_items.clone()),
-                &Column::from_items(r_items.clone()),
-                op,
-            );
+            let (li, ri) = theta_join_nested(lt.column("item")?, rt.column("item")?, op);
             self.stats.join_pairs += li.len() as u64;
             for (a, b) in li.into_iter().zip(ri) {
                 pairs.push((l_iter[a], r_iter[b]));
@@ -767,11 +764,18 @@ impl<'a> Executor<'a> {
         pairs.sort_unstable();
         pairs.dedup();
 
+        // source position -> source row, so each pair is resolved with one
+        // hash lookup instead of a linear scan over the source sequence
+        let mut pos_index: HashMap<i64, usize> = HashMap::with_capacity(src_pos.len());
+        for (idx, &p) in src_pos.iter().enumerate() {
+            pos_index.entry(p).or_insert(idx);
+        }
         let (mut outer, mut inner, mut pos, mut items) =
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for (k, (o, src_row)) in pairs.into_iter().enumerate() {
-            let idx = src_pos.iter().position(|p| *p == src_row);
-            let Some(idx) = idx else { continue };
+            let Some(&idx) = pos_index.get(&src_row) else {
+                continue;
+            };
             outer.push(o);
             inner.push(k as i64 + 1);
             pos.push(src_row);

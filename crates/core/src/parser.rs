@@ -502,17 +502,24 @@ impl Parser {
         let order_by = if self.at_name("order") {
             self.next();
             self.expect_name("by")?;
-            let key = self.parse_expr_single()?;
-            let descending = if self.eat_name("descending") {
-                true
-            } else {
-                let _ = self.eat_name("ascending");
-                false
-            };
-            Some(OrderSpec {
-                key: Box::new(key),
-                descending,
-            })
+            let mut keys = Vec::new();
+            loop {
+                let key = self.parse_expr_single()?;
+                let descending = if self.eat_name("descending") {
+                    true
+                } else {
+                    let _ = self.eat_name("ascending");
+                    false
+                };
+                keys.push(OrderKey {
+                    key: Box::new(key),
+                    descending,
+                });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            Some(OrderSpec { keys })
         } else {
             None
         };
@@ -1154,7 +1161,28 @@ mod tests {
             } => {
                 assert_eq!(clauses.len(), 2);
                 assert!(where_.is_some());
-                assert!(order_by.unwrap().descending);
+                let spec = order_by.unwrap();
+                assert_eq!(spec.keys.len(), 1);
+                assert!(spec.keys[0].descending);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_key_order_by() {
+        let q = parse_expr(
+            "for $x in doc(\"a.xml\")//item \
+             order by $x/@dept, $x/price descending, $x/name ascending return $x",
+        )
+        .unwrap();
+        match q {
+            Expr::Flwor { order_by, .. } => {
+                let spec = order_by.unwrap();
+                assert_eq!(spec.keys.len(), 3);
+                assert!(!spec.keys[0].descending);
+                assert!(spec.keys[1].descending);
+                assert!(!spec.keys[2].descending);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -81,6 +81,36 @@ fn general_comparisons_are_existential() {
 }
 
 #[test]
+fn general_comparisons_on_sequences() {
+    // sequence vs sequence: true iff ANY pair compares true
+    assert_eq!(run("(1, 2, 3) = (3, 4)"), "true");
+    assert_eq!(run("(1, 2, 3) = (4, 5)"), "false");
+    assert_eq!(run("(1, 2) < (2, 0)"), "true");
+    assert_eq!(run("(5, 6) < (1, 2)"), "false");
+    assert_eq!(run("(1, 2) > (5, 6)"), "false");
+    // `!=` is existential too: some pair differs, even though both
+    // sequences are equal as sequences
+    assert_eq!(run("(1, 2) != (1, 2)"), "true");
+    // string sequences compare lexicographically, existentially
+    assert_eq!(run("(\"a\", \"b\") = \"b\""), "true");
+    assert_eq!(run("(\"a\", \"b\") < (\"aa\")"), "true");
+    // empty sequence on either side is always false, for every operator
+    assert_eq!(run("() = ()"), "false");
+    assert_eq!(run("(1, 2) <= ()"), "false");
+    // node sequences from the document: any @by matching any @id?
+    assert_eq!(
+        run("doc(\"shop.xml\")//sale/@by = doc(\"shop.xml\")//employee/@id"),
+        "true"
+    );
+    assert_eq!(
+        run("doc(\"shop.xml\")//sale/@by = (\"e2\", \"e9\")"),
+        "false"
+    );
+    // numeric promotion across a whole sequence of untyped attribute values
+    assert_eq!(run("doc(\"shop.xml\")//sale/@amount = (80, 999)"), "true");
+}
+
+#[test]
 fn flwor_where_order_let_and_joins() {
     assert_eq!(
         run("for $e in doc(\"shop.xml\")//employee \
@@ -99,6 +129,48 @@ fn flwor_where_order_let_and_joins() {
              let $s := for $x in doc(\"shop.xml\")//sale where $x/@by = $e/@id return $x \
              return <t who=\"{$e/name/text()}\">{sum(for $x in $s return number($x/@amount))}</t>"),
         "<t who=\"Ann\">200</t><t who=\"Bob\">0</t><t who=\"Cyd\">200</t>"
+    );
+}
+
+#[test]
+fn order_by_with_multiple_keys() {
+    // string major key, string minor key with its own direction: dept
+    // ascending groups (it, sales), ids descending inside each group
+    assert_eq!(
+        run("for $e in doc(\"shop.xml\")//employee \
+             order by $e/@dept, $e/@id descending \
+             return $e/@id"),
+        "e2 e3 e1"
+    );
+    // string + numeric key mix: group sales by seller (string), amounts
+    // numerically descending within each seller
+    assert_eq!(
+        run("for $s in doc(\"shop.xml\")//sale \
+             order by $s/@by, number($s/@amount) descending \
+             return $s/@amount"),
+        "120 80 200"
+    );
+    assert_eq!(
+        run("for $s in doc(\"shop.xml\")//sale \
+             order by $s/@by, number($s/@amount) \
+             return $s/@amount"),
+        "80 120 200"
+    );
+    // three keys; the major key has one group so the second decides, the
+    // third breaks the remaining tie
+    assert_eq!(
+        run("for $s in doc(\"shop.xml\")//sale \
+             order by \"all\", $s/@by descending, number($s/@amount) \
+             return $s/@amount"),
+        "200 80 120"
+    );
+    // multi-key ordering through the join-recognised FLWOR shape
+    assert_eq!(
+        run("for $s in doc(\"shop.xml\")//sale \
+             where $s/@by = doc(\"shop.xml\")//employee/@id \
+             order by $s/@by descending, number($s/@amount) \
+             return $s/@amount"),
+        "200 80 120"
     );
 }
 

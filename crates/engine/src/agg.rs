@@ -115,9 +115,25 @@ pub fn aggregate_grouped(iter: &[i64], items: &Column, func: AggFunc) -> Result<
         while end < iter.len() && iter[end] == g {
             end += 1;
         }
-        let slice: Vec<Item> = (start..end).map(|i| items.item(i)).collect();
         groups.push(g);
-        values.push(finish(func, &slice)?);
+        // Dictionary fast path: min/max of a Dict column is the min/max
+        // *code* of the group (the dictionary is sorted), so no Item is ever
+        // materialised and no string is compared.
+        let value = match (items, func) {
+            (Column::Dict { codes, dict }, AggFunc::Min) => {
+                let c = codes[start..end].iter().min().expect("non-empty group");
+                Item::Str(dict.str_of(*c).clone())
+            }
+            (Column::Dict { codes, dict }, AggFunc::Max) => {
+                let c = codes[start..end].iter().max().expect("non-empty group");
+                Item::Str(dict.str_of(*c).clone())
+            }
+            _ => {
+                let slice: Vec<Item> = (start..end).map(|i| items.item(i)).collect();
+                finish(func, &slice)?
+            }
+        };
+        values.push(value);
         start = end;
     }
     Ok(Aggregated { groups, values })
@@ -219,6 +235,21 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn dict_min_max_runs_on_codes() {
+        let iter = vec![1, 1, 1, 2, 2];
+        let col = Column::dict_from_strings(["pear", "apple", "plum", "fig", "date"]);
+        let mn = aggregate_grouped(&iter, &col, AggFunc::Min).unwrap();
+        let mx = aggregate_grouped(&iter, &col, AggFunc::Max).unwrap();
+        assert_eq!(mn.values[0].string_value(), "apple");
+        assert_eq!(mx.values[0].string_value(), "plum");
+        assert_eq!(mn.values[1].string_value(), "date");
+        assert_eq!(mx.values[1].string_value(), "fig");
+        // the hash variant (item path) agrees
+        let hn = aggregate_hash(&iter, &col, AggFunc::Min).unwrap();
+        assert_eq!(hn.values[0].string_value(), "apple");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Shared, sorted string dictionaries backing [`Column::Dict`].
+//!
+//! A [`Dictionary`] is an immutable, deduplicated list of strings kept in
+//! ascending order, so that **code order equals string order**: for two codes
+//! `a` and `b`, `a < b ⇔ str_of(a) < str_of(b)`.  This is what lets `sort`,
+//! `rank` and min/max aggregation run entirely on the `u32` codes of a
+//! dictionary-encoded column without ever touching string payloads — the
+//! dense positional processing of Section 4.1 applied to strings.
+//!
+//! Dictionaries are shared behind an [`Arc`]: every column encoded against
+//! the same dictionary instance can be joined code-to-code (see
+//! [`crate::join::radix_hash_join`]), which turns the string equi-joins of
+//! the XMark hot paths into integer joins.
+//!
+//! [`Column::Dict`]: crate::column::Column::Dict
+
+use std::sync::Arc;
+
+/// An immutable, sorted, deduplicated string dictionary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    /// The distinct strings, ascending; the code of a string is its index.
+    strings: Vec<Arc<str>>,
+    /// Whether any entry parses as a number (`"10"`, `" 3.5 "`).  Columns
+    /// over purely non-numeric dictionaries (tag names, attribute names) can
+    /// skip the numeric-string normalisation of the XQuery general
+    /// comparison during joins.
+    any_numeric: bool,
+}
+
+impl Dictionary {
+    /// Build a dictionary from arbitrary strings (sorted and deduplicated).
+    pub fn new<I, S>(strings: I) -> Arc<Dictionary>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Arc<str>>,
+    {
+        let mut strings: Vec<Arc<str>> = strings.into_iter().map(Into::into).collect();
+        strings.sort_unstable();
+        strings.dedup();
+        Arc::new(Dictionary::from_sorted(strings))
+    }
+
+    fn from_sorted(strings: Vec<Arc<str>>) -> Dictionary {
+        let any_numeric = strings.iter().any(|s| s.trim().parse::<f64>().is_ok());
+        Dictionary {
+            strings,
+            any_numeric,
+        }
+    }
+
+    /// Number of distinct strings (the code domain is `0..len`).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when the dictionary holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The code of `s`, if present (binary search over the sorted strings).
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.strings
+            .binary_search_by(|probe| probe.as_ref().cmp(s))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The string behind a code.
+    ///
+    /// # Panics
+    /// Panics when `code` is outside `0..len` (codes are dense).
+    pub fn str_of(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Iterate over the strings in code (= string) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.strings.iter()
+    }
+
+    /// Does any entry parse as a number?  When false, code equality is
+    /// exactly XQuery general-comparison equality for this dictionary, so
+    /// joins may compare codes directly.
+    pub fn any_numeric(&self) -> bool {
+        self.any_numeric
+    }
+
+    /// Encode a batch of strings, building the dictionary and the per-row
+    /// code column in one pass (sort + dedup + binary-search lookups).
+    pub fn encode<I, S>(strings: I) -> (Vec<u32>, Arc<Dictionary>)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Arc<str>>,
+    {
+        let rows: Vec<Arc<str>> = strings.into_iter().map(Into::into).collect();
+        let dict = Dictionary::new(rows.iter().cloned());
+        let codes = rows
+            .iter()
+            .map(|s| dict.code_of(s).expect("every row is in its dictionary"))
+            .collect();
+        (codes, dict)
+    }
+
+    /// Merge two dictionaries into one (sorted union) and return, along with
+    /// the merged dictionary, the code remapping of each input: old code `c`
+    /// of `a` becomes `remap_a[c]` in the merged dictionary.
+    pub fn merge(a: &Dictionary, b: &Dictionary) -> (Arc<Dictionary>, Vec<u32>, Vec<u32>) {
+        let mut merged: Vec<Arc<str>> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let next = match (a.strings.get(i), b.strings.get(j)) {
+                (Some(x), Some(y)) => match x.as_ref().cmp(y.as_ref()) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        x.clone()
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        y.clone()
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                        x.clone()
+                    }
+                },
+                (Some(x), None) => {
+                    i += 1;
+                    x.clone()
+                }
+                (None, Some(y)) => {
+                    j += 1;
+                    y.clone()
+                }
+                (None, None) => unreachable!(),
+            };
+            merged.push(next);
+        }
+        let dict = Arc::new(Dictionary::from_sorted(merged));
+        let remap = |src: &Dictionary| {
+            src.strings
+                .iter()
+                .map(|s| dict.code_of(s).expect("merged dictionary is a superset"))
+                .collect()
+        };
+        let ra = remap(a);
+        let rb = remap(b);
+        (dict, ra, rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_follow_string_order() {
+        let d = Dictionary::new(["person", "item", "item", "auction"]);
+        assert_eq!(d.len(), 3);
+        assert!(d.code_of("auction") < d.code_of("item"));
+        assert!(d.code_of("item") < d.code_of("person"));
+        assert_eq!(d.code_of("missing"), None);
+        assert_eq!(d.str_of(d.code_of("item").unwrap()).as_ref(), "item");
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let rows = ["b", "a", "b", "c", "a"];
+        let (codes, dict) = Dictionary::encode(rows);
+        let decoded: Vec<&str> = codes.iter().map(|&c| dict.str_of(c).as_ref()).collect();
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn merge_remaps_both_sides() {
+        let a = Dictionary::new(["a", "c"]);
+        let b = Dictionary::new(["b", "c", "d"]);
+        let (m, ra, rb) = Dictionary::merge(&a, &b);
+        assert_eq!(m.len(), 4);
+        for (old, s) in a.iter().enumerate() {
+            assert_eq!(m.str_of(ra[old]), s);
+        }
+        for (old, s) in b.iter().enumerate() {
+            assert_eq!(m.str_of(rb[old]), s);
+        }
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(!Dictionary::new(["tag", "name"]).any_numeric());
+        assert!(Dictionary::new(["tag", "10"]).any_numeric());
+        assert!(Dictionary::new([" 3.5 "]).any_numeric());
+    }
+}

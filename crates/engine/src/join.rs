@@ -1,13 +1,37 @@
-//! Join algorithms: positional lookup, hash equi-join, merge join,
-//! theta (non-equi) joins with a sampling-based "choose-plan", cross
-//! products, and anti-joins (difference).
+//! Join algorithms: positional lookup, hash equi-join, a radix-partitioned
+//! hash equi-join, merge join, theta (non-equi) joins with a sampling-based
+//! "choose-plan", cross products, and anti-joins (difference).
 //!
 //! The positional variants implement the key observation of Section 4.1 of
 //! the paper: joins on densely increasing integer key columns have a fixed
 //! hit rate of one and can be answered by address computation instead of
 //! hashing or index lookups.
+//!
+//! # Equi-join strategy
+//!
+//! [`radix_hash_join`] is the production equi-join of the kernel.  It
+//! normalises both key columns once (per *distinct value* for
+//! dictionary-encoded columns), partitions both sides by the low bits of the
+//! key hash, and builds one small hash table per partition — the classic
+//! radix-cluster layout that keeps each build side cache resident.  Two
+//! fast paths sit in front of the generic algorithm:
+//!
+//! * **Shared dictionary, code-to-code**: when both inputs are
+//!   [`Column::Dict`] over the *same* dictionary instance (`Arc::ptr_eq`)
+//!   and the dictionary contains no numeric strings, string equality is
+//!   exactly code equality.  The join is answered with a dense
+//!   `code → rows` array — no hashing, no string comparison at all.
+//! * **Per-code key normalisation**: any `Dict` input computes its
+//!   normalised join key once per dictionary code instead of once per row.
+//!
+//! [`hash_join_items`] — the original single-table hash join — is retained
+//! as the reference implementation; `tests/join_differential.rs` checks the
+//! two produce identical pair sets on adversarial generated inputs (NaN-bit
+//! doubles, numeric strings, shared and disjoint dictionaries).
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::column::Column;
 use crate::error::{EngineError, Result};
@@ -22,7 +46,7 @@ pub type JoinPairs = (Vec<usize>, Vec<usize>);
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum JoinKey {
     Num(u64),
-    Str(String),
+    Str(Arc<str>),
     Bool(bool),
     Node(u64),
 }
@@ -35,8 +59,25 @@ fn join_key(item: &Item) -> JoinKey {
         Item::Node(n) => JoinKey::Node(((n.frag as u64) << 32) | n.pre as u64),
         Item::Str(s) => match s.trim().parse::<f64>() {
             Ok(d) => JoinKey::Num(d.to_bits()),
-            Err(_) => JoinKey::Str(s.to_string()),
+            Err(_) => JoinKey::Str(s.clone()),
         },
+    }
+}
+
+/// Normalised join keys for a whole column.  `Dict` columns pay the
+/// normalisation once per dictionary code, every other column once per row.
+fn join_keys(col: &Column) -> Vec<JoinKey> {
+    match col.dict_parts() {
+        Some((codes, dict)) => {
+            let per_code: Vec<JoinKey> = (0..dict.len() as u32)
+                .map(|c| join_key(&Item::Str(dict.str_of(c).clone())))
+                .collect();
+            codes
+                .iter()
+                .map(|&c| per_code[c as usize].clone())
+                .collect()
+        }
+        None => (0..col.len()).map(|i| join_key(&col.item(i))).collect(),
     }
 }
 
@@ -96,6 +137,122 @@ pub fn hash_join_items(left: &Column, right: &Column) -> JoinPairs {
                 lout.push(l);
                 rout.push(r);
             }
+        }
+    }
+    (lout, rout)
+}
+
+/// Maximum number of radix bits used to partition the key hash space (2^6 =
+/// 64 partitions).  The actual partition count adapts to the build-side
+/// size, so tiny inputs pay no fan-out cost at all.
+const RADIX_BITS: u32 = 6;
+
+/// Build-side rows per partition the partitioning aims for.
+const ROWS_PER_PARTITION: usize = 256;
+
+fn hash_key(k: &JoinKey) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// Radix-partitioned hash equi-join between two item columns with XQuery key
+/// normalisation.  Produces exactly the pair set of [`hash_join_items`], in
+/// the same `(left, right)` index order.
+///
+/// When both columns are dictionary-encoded over the same dictionary
+/// instance and the dictionary holds no numeric strings, the join degrades
+/// to a dense code-to-code lookup (no hashing).  Otherwise both sides are
+/// hashed once (per code for `Dict` inputs), split into `2^RADIX_BITS`
+/// partitions by the low hash bits, and joined partition by partition.
+pub fn radix_hash_join(left: &Column, right: &Column) -> JoinPairs {
+    if let (Some((lcodes, ldict)), Some((rcodes, rdict))) = (left.dict_parts(), right.dict_parts())
+    {
+        if Arc::ptr_eq(ldict, rdict) && !ldict.any_numeric() {
+            return code_join(lcodes, rcodes, ldict.len());
+        }
+    }
+
+    let lkeys = join_keys(left);
+    let rkeys = join_keys(right);
+    // partition only as much as the build side warrants: with fewer than
+    // ROWS_PER_PARTITION build rows a single hash table is already cache
+    // resident and partitioning would be pure overhead
+    let radix_bits = (right.len() / ROWS_PER_PARTITION)
+        .next_power_of_two()
+        .trailing_zeros()
+        .min(RADIX_BITS);
+    let nparts = 1usize << radix_bits;
+    let mask = (nparts - 1) as u64;
+
+    if nparts == 1 {
+        // degenerate radix: one cache-resident hash table, probed in left
+        // order — output needs no re-sort
+        let mut build: HashMap<&JoinKey, Vec<usize>> = HashMap::with_capacity(rkeys.len());
+        for (r, k) in rkeys.iter().enumerate() {
+            build.entry(k).or_default().push(r);
+        }
+        let mut lout = Vec::new();
+        let mut rout = Vec::new();
+        for (l, k) in lkeys.iter().enumerate() {
+            if let Some(rs) = build.get(k) {
+                for &r in rs {
+                    lout.push(l);
+                    rout.push(r);
+                }
+            }
+        }
+        return (lout, rout);
+    }
+
+    let partition = |keys: &[JoinKey]| -> Vec<Vec<usize>> {
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+        for (row, k) in keys.iter().enumerate() {
+            parts[(hash_key(k) & mask) as usize].push(row);
+        }
+        parts
+    };
+    let lparts = partition(&lkeys);
+    let rparts = partition(&rkeys);
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for p in 0..nparts {
+        if lparts[p].is_empty() || rparts[p].is_empty() {
+            continue;
+        }
+        let mut build: HashMap<&JoinKey, Vec<usize>> = HashMap::with_capacity(rparts[p].len());
+        for &r in &rparts[p] {
+            build.entry(&rkeys[r]).or_default().push(r);
+        }
+        for &l in &lparts[p] {
+            if let Some(rs) = build.get(&lkeys[l]) {
+                for &r in rs {
+                    pairs.push((l, r));
+                }
+            }
+        }
+    }
+    // restore the (left, right) index order hash_join_items produces
+    pairs.sort_unstable();
+    (
+        pairs.iter().map(|&(l, _)| l).collect(),
+        pairs.into_iter().map(|(_, r)| r).collect(),
+    )
+}
+
+/// Code-to-code join over a shared dictionary: a dense `code → right rows`
+/// table answers every left probe with one array index.
+fn code_join(left: &[u32], right: &[u32], ncodes: usize) -> JoinPairs {
+    let mut by_code: Vec<Vec<usize>> = vec![Vec::new(); ncodes];
+    for (r, &c) in right.iter().enumerate() {
+        by_code[c as usize].push(r);
+    }
+    let mut lout = Vec::new();
+    let mut rout = Vec::new();
+    for (l, &c) in left.iter().enumerate() {
+        for &r in &by_code[c as usize] {
+            lout.push(l);
+            rout.push(r);
         }
     }
     (lout, rout)
@@ -267,6 +424,64 @@ mod tests {
         let left = Column::from_items(vec![Item::Int(10), Item::str("abc")]);
         let right = Column::from_items(vec![Item::str("10"), Item::str("abc")]);
         let (l, r) = hash_join_items(&left, &right);
+        assert_eq!(l, vec![0, 1]);
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn radix_join_matches_reference_on_mixed_items() {
+        let left = Column::from_items(vec![
+            Item::Int(10),
+            Item::str("abc"),
+            Item::Dbl(f64::NAN),
+            Item::str("3.5"),
+            Item::Bool(true),
+        ]);
+        let right = Column::from_items(vec![
+            Item::str("10"),
+            Item::str("abc"),
+            Item::Dbl(f64::NAN),
+            Item::Dbl(3.5),
+            Item::Bool(true),
+            Item::Int(10),
+        ]);
+        let (rl, rr) = radix_hash_join(&left, &right);
+        let (hl, hr) = hash_join_items(&left, &right);
+        assert_eq!((rl, rr), (hl, hr), "identical pairs in identical order");
+    }
+
+    #[test]
+    fn radix_join_shared_dictionary_code_path() {
+        use crate::dict::Dictionary;
+        let (lcodes, dict) = Dictionary::encode(["item", "person", "item"]);
+        let (rcodes, _) = Dictionary::encode(["person", "item"]);
+        // re-encode the right side against the *same* dictionary instance
+        let rcodes: Vec<u32> = rcodes
+            .iter()
+            .map(|_| 0)
+            .zip(["person", "item"])
+            .map(|(_, s)| dict.code_of(s).unwrap())
+            .collect();
+        let left = Column::Dict {
+            codes: lcodes,
+            dict: dict.clone(),
+        };
+        let right = Column::Dict {
+            codes: rcodes,
+            dict: dict.clone(),
+        };
+        let (rl, rr) = radix_hash_join(&left, &right);
+        let (hl, hr) = hash_join_items(&left, &right);
+        assert_eq!((rl, rr), (hl, hr));
+    }
+
+    #[test]
+    fn radix_join_dict_with_numeric_strings_normalises() {
+        // "10" must join Int(10) even when the left side is dictionary
+        // encoded — the code-to-code fast path must not kick in here.
+        let left = Column::dict_from_strings(["10", "abc"]);
+        let right = Column::from_items(vec![Item::Int(10), Item::str("abc")]);
+        let (l, r) = radix_hash_join(&left, &right);
         assert_eq!(l, vec![0, 1]);
         assert_eq!(r, vec![0, 1]);
     }

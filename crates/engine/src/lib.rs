@@ -8,11 +8,14 @@
 //! relies on:
 //!
 //! * **Typed columns** ([`Column`]) holding integers, doubles, strings,
-//!   booleans, node references or polymorphic XQuery items ([`Item`]).
+//!   dictionary-encoded strings (dense codes into a shared sorted
+//!   [`Dictionary`]), booleans, node references or polymorphic XQuery items
+//!   ([`Item`]).
 //! * **Tables** ([`Table`]) as ordered collections of named columns, the
 //!   `iter|pos|item` sequence encoding being the most prominent instance.
 //! * **Physical operators**: multi-column stable sorting ([`sort`]),
-//!   positional / hash / merge / theta joins ([`join`]), dense row numbering
+//!   positional / hash / radix-partitioned / merge / theta joins ([`join`]),
+//!   dense row numbering
 //!   with both the sort-based and the streaming hash-based algorithm
 //!   ([`rank`], Section 4.1 of the paper), and grouped aggregation ([`agg`]).
 //!
@@ -24,6 +27,7 @@
 
 pub mod agg;
 pub mod column;
+pub mod dict;
 pub mod error;
 pub mod join;
 pub mod rank;
@@ -32,6 +36,7 @@ pub mod table;
 pub mod value;
 
 pub use column::Column;
+pub use dict::Dictionary;
 pub use error::{EngineError, Result};
 pub use table::Table;
 pub use value::{CmpOp, Item, NodeId};

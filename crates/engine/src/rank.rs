@@ -92,7 +92,7 @@ pub fn dense_rank(keys: &[(&Column, SortOrder)], nrows: usize) -> Vec<i64> {
             None => true,
             Some(p) => keys
                 .iter()
-                .any(|(c, _)| c.item(p).total_cmp(&c.item(row)) != std::cmp::Ordering::Equal),
+                .any(|(c, _)| c.cmp_rows(p, row) != std::cmp::Ordering::Equal),
         };
         if bump {
             rank += 1;

@@ -28,16 +28,14 @@ pub fn sort_permutation(keys: &[(&Column, SortOrder)]) -> Vec<usize> {
     idx
 }
 
-/// Compare two rows under the given multi-column key.
+/// Compare two rows under the given multi-column key.  Delegates to
+/// [`Column::cmp_rows`], which compares bookkeeping columns natively and
+/// dictionary-encoded strings by their codes (the sorted dictionary makes
+/// code order equal string order, so no payload is touched).
 fn compare_rows(keys: &[(&Column, SortOrder)], a: usize, b: usize) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     for (col, order) in keys {
-        let ord = match col {
-            // Fast paths for the bookkeeping columns.
-            Column::Int(v) => v[a].cmp(&v[b]),
-            Column::Node(v) => v[a].cmp(&v[b]),
-            _ => col.item(a).total_cmp(&col.item(b)),
-        };
+        let ord = col.cmp_rows(a, b);
         let ord = match order {
             SortOrder::Asc => ord,
             SortOrder::Desc => ord.reverse(),
@@ -78,8 +76,7 @@ pub fn refine_sort_permutation(major: &Column, minor: &[(&Column, SortOrder)]) -
     let mut start = 0;
     while start < n {
         let mut end = start + 1;
-        while end < n && major.item(end).total_cmp(&major.item(start)) == std::cmp::Ordering::Equal
-        {
+        while end < n && major.cmp_rows(end, start) == std::cmp::Ordering::Equal {
             end += 1;
         }
         idx[start..end].sort_by(|&a, &b| compare_rows(minor, a, b));
@@ -93,6 +90,8 @@ pub fn is_sorted(col: &Column) -> bool {
     match col {
         Column::Int(v) => v.windows(2).all(|w| w[0] <= w[1]),
         Column::Node(v) => v.windows(2).all(|w| w[0] <= w[1]),
+        // sorted dictionary: sortedness of the codes is sortedness of the strings
+        Column::Dict { codes, .. } => codes.windows(2).all(|w| w[0] <= w[1]),
         _ => {
             let items = col.to_items();
             items

@@ -245,4 +245,22 @@ mod tests {
         assert_eq!(empty.nrows(), 3);
         assert_eq!(empty.ncols(), 2);
     }
+
+    #[test]
+    fn dict_columns_flow_through_table_operations() {
+        let t = Table::from_columns(vec![
+            ("pre", Column::Int(vec![0, 1, 2])),
+            ("tag", Column::dict_from_strings(["site", "item", "item"])),
+        ])
+        .unwrap();
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.column("tag").unwrap().item(0).string_value(), "item");
+        assert!(matches!(g.column("tag").unwrap(), Column::Dict { .. }));
+        let f = t.filter(&[false, true, true]).unwrap();
+        assert_eq!(f.nrows(), 2);
+        let mut a = t.clone();
+        a.append(&t).unwrap();
+        assert_eq!(a.nrows(), 6);
+        assert!(matches!(a.column("tag").unwrap(), Column::Dict { .. }));
+    }
 }

@@ -10,7 +10,7 @@
 use mxq_xmldb::Document;
 
 use crate::axis::Axis;
-use crate::nametest::NodeTest;
+use crate::nametest::{CompiledTest, NodeTest};
 use crate::stats::ScanStats;
 
 /// Evaluate one location step for a single context node sequence.
@@ -32,6 +32,8 @@ pub fn staircase_step(
     if ctx.is_empty() {
         return Vec::new();
     }
+    // resolve the node test once: name tests become qname-id comparisons
+    let test = &test.compile(doc);
     let mut result = match axis {
         Axis::Child => child(doc, &ctx, test, stats),
         Axis::Descendant => descendant(doc, &ctx, test, stats, false),
@@ -69,7 +71,7 @@ pub fn prune_covered(doc: &Document, ctx: &[u32]) -> Vec<u32> {
     out
 }
 
-fn child(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
+fn child(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
     let mut out = Vec::new();
     for &c in ctx {
         for v in doc.children(c) {
@@ -85,7 +87,7 @@ fn child(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) ->
 fn descendant(
     doc: &Document,
     ctx: &[u32],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     or_self: bool,
 ) -> Vec<u32> {
@@ -114,7 +116,7 @@ fn descendant(
     out
 }
 
-fn self_axis(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
+fn self_axis(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
     stats.nodes_scanned += ctx.len() as u64;
     ctx.iter()
         .copied()
@@ -122,7 +124,7 @@ fn self_axis(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats
         .collect()
 }
 
-fn parent(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
+fn parent(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
     let mut out = Vec::new();
     for &c in ctx {
         if let Some(p) = doc.parent(c) {
@@ -138,7 +140,7 @@ fn parent(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -
 fn ancestor(
     doc: &Document,
     ctx: &[u32],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     or_self: bool,
 ) -> Vec<u32> {
@@ -159,7 +161,7 @@ fn ancestor(
     out
 }
 
-fn following(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
+fn following(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
     // Partitioning (Figure 2): the context node with the smallest
     // pre + size boundary covers the whole following region of the set.
     let boundary = ctx.iter().map(|&c| c + doc.size(c)).min().unwrap();
@@ -173,7 +175,7 @@ fn following(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats
     out
 }
 
-fn preceding(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats) -> Vec<u32> {
+fn preceding(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
     // The context node with the largest pre covers the whole preceding
     // region; ancestors (subtree still open at that pre) are excluded.
     let boundary = *ctx.iter().max().unwrap();
@@ -198,7 +200,7 @@ fn preceding(doc: &Document, ctx: &[u32], test: &NodeTest, stats: &mut ScanStats
 fn siblings(
     doc: &Document,
     ctx: &[u32],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     following: bool,
 ) -> Vec<u32> {

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 use mxq_xmldb::Document;
 
 use crate::axis::Axis;
-use crate::nametest::NodeTest;
+use crate::nametest::{CompiledTest, NodeTest};
 use crate::stats::ScanStats;
 
 /// A context pair: (iteration number, preorder rank).
@@ -45,6 +45,8 @@ pub fn looplifted_step(
     if groups.is_empty() {
         return Vec::new();
     }
+    // resolve the node test once: name tests become qname-id comparisons
+    let test = &test.compile(doc);
     let mut result = match axis {
         Axis::Child => ll_child(doc, &groups, test, stats),
         Axis::Descendant => ll_descendant(doc, ctx, test, stats, false),
@@ -166,7 +168,14 @@ pub fn prune_per_iter(doc: &Document, ctx: &[CtxPair]) -> Vec<CtxPair> {
 }
 
 fn dedup_per_iter(result: &mut Vec<CtxPair>) {
-    result.sort_unstable_by_key(|&(it, p)| (p, it));
+    // the sweep algorithms emit in ascending (pre, iter) order whenever the
+    // context regions are disjoint; detect that and skip the sort
+    let sorted = result
+        .windows(2)
+        .all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0));
+    if !sorted {
+        result.sort_unstable_by_key(|&(it, p)| (p, it));
+    }
     result.dedup();
 }
 
@@ -174,7 +183,7 @@ fn dedup_per_iter(result: &mut Vec<CtxPair>) {
 fn ll_child(
     doc: &Document,
     groups: &[(u32, Vec<i64>)],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
 ) -> Vec<CtxPair> {
     struct Active {
@@ -251,7 +260,7 @@ fn ll_child(
 fn ll_descendant(
     doc: &Document,
     ctx: &[CtxPair],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     or_self: bool,
 ) -> Vec<CtxPair> {
@@ -266,6 +275,30 @@ fn ll_descendant(
                 result.push((it, p));
             }
         }
+    }
+
+    // Fast path: after per-iteration pruning the context regions are often
+    // pairwise disjoint (sibling subtrees — the shape of every XMark
+    // tag-test step).  Each region then has exactly one open context, so the
+    // partitioning stack degenerates and the scan is a plain sweep over the
+    // subtree ranges, emitted directly in (pre, iter) order.
+    let disjoint = groups
+        .windows(2)
+        .all(|w| w[0].0 + doc.size(w[0].0) < w[1].0);
+    if disjoint {
+        for (pre, iters) in &groups {
+            let end = pre + doc.size(*pre);
+            stats.nodes_scanned += 1; // the context node itself
+            for v in pre + 1..=end {
+                stats.nodes_scanned += 1;
+                if test.matches(doc, v) {
+                    for &it in iters {
+                        result.push((it, v));
+                    }
+                }
+            }
+        }
+        return result;
     }
 
     struct Open {
@@ -331,7 +364,7 @@ fn ll_descendant(
 fn ll_parent(
     doc: &Document,
     groups: &[(u32, Vec<i64>)],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
 ) -> Vec<CtxPair> {
     let mut out = Vec::new();
@@ -351,7 +384,7 @@ fn ll_parent(
 fn ll_ancestor(
     doc: &Document,
     groups: &[(u32, Vec<i64>)],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     or_self: bool,
 ) -> Vec<CtxPair> {
@@ -379,7 +412,7 @@ fn ll_ancestor(
 fn ll_following(
     doc: &Document,
     ctx: &[CtxPair],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
 ) -> Vec<CtxPair> {
     // per-iteration partition boundary: the smallest pre+size of that iter
@@ -417,7 +450,7 @@ fn ll_following(
 fn ll_preceding(
     doc: &Document,
     ctx: &[CtxPair],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
 ) -> Vec<CtxPair> {
     // per-iteration boundary: the largest context pre of that iter
@@ -453,7 +486,7 @@ fn ll_preceding(
 fn ll_siblings(
     doc: &Document,
     groups: &[(u32, Vec<i64>)],
-    test: &NodeTest,
+    test: &CompiledTest,
     stats: &mut ScanStats,
     following: bool,
 ) -> Vec<CtxPair> {

@@ -1,5 +1,12 @@
 //! Node tests: kind tests and name tests applied to the nodes produced by an
 //! axis step.
+//!
+//! A [`NodeTest`] is the symbolic form carried around in plans.  Before a
+//! staircase-join scan starts, it is resolved against the target document
+//! with [`NodeTest::compile`]: a name test looks up the interned qname id
+//! once and every per-node check then compares two `u32` codes instead of
+//! two strings — the dictionary-encoded variant of Section 3.2's
+//! nametest evaluation.
 
 use mxq_xmldb::{Document, NodeKind};
 use std::sync::Arc;
@@ -56,6 +63,67 @@ impl NodeTest {
             _ => None,
         }
     }
+
+    /// Resolve the test against one document container.  A name test is
+    /// translated into the container's interned qname id (or `None` when the
+    /// name never occurs — such a test matches nothing), so the per-node
+    /// check of the scan loops is a code comparison, not a string equality.
+    pub fn compile(&self, doc: &Document) -> CompiledTest {
+        match self {
+            NodeTest::AnyKind => CompiledTest::AnyKind,
+            NodeTest::AnyElement => CompiledTest::AnyElement,
+            NodeTest::Named(name) => CompiledTest::ElementCode(doc.lookup_qname(name)),
+            NodeTest::Text => CompiledTest::Text,
+            NodeTest::Comment => CompiledTest::Comment,
+            NodeTest::ProcessingInstruction(target) => {
+                CompiledTest::ProcessingInstruction(target.clone())
+            }
+        }
+    }
+}
+
+/// A node test resolved against one document (see [`NodeTest::compile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledTest {
+    /// `node()`.
+    AnyKind,
+    /// `*`.
+    AnyElement,
+    /// A name test resolved to the document's interned qname id; `None`
+    /// means the name does not occur in the container.
+    ElementCode(Option<u32>),
+    /// `text()`.
+    Text,
+    /// `comment()`.
+    Comment,
+    /// `processing-instruction()` with an optional target (targets are not
+    /// interned, so this one keeps the string comparison).
+    ProcessingInstruction(Option<Arc<str>>),
+}
+
+impl CompiledTest {
+    /// Does the node at `pre` satisfy the test?  For name tests this is a
+    /// single integer comparison against the interned qname id.
+    #[inline]
+    pub fn matches(&self, doc: &Document, pre: u32) -> bool {
+        match self {
+            CompiledTest::AnyKind => true,
+            CompiledTest::AnyElement => doc.kind(pre) == NodeKind::Element,
+            CompiledTest::ElementCode(code) => match code {
+                Some(c) => doc.qname_id(pre) == Some(*c),
+                None => false,
+            },
+            CompiledTest::Text => doc.kind(pre) == NodeKind::Text,
+            CompiledTest::Comment => doc.kind(pre) == NodeKind::Comment,
+            CompiledTest::ProcessingInstruction(target) => {
+                doc.kind(pre) == NodeKind::ProcessingInstruction
+                    && target
+                        .as_ref()
+                        .map(|t| doc.name_of(pre) == t.as_ref())
+                        .unwrap_or(true)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +150,30 @@ mod tests {
         assert!(!NodeTest::named("b").matches(&d, 5));
         assert!(NodeTest::Text.matches(&d, 2));
         assert!(NodeTest::Comment.matches(&d, 3));
+    }
+
+    #[test]
+    fn compiled_tests_agree_with_symbolic_tests() {
+        let d = doc();
+        let tests = [
+            NodeTest::AnyKind,
+            NodeTest::AnyElement,
+            NodeTest::named("b"),
+            NodeTest::named("zzz"),
+            NodeTest::Text,
+            NodeTest::Comment,
+        ];
+        for t in &tests {
+            let c = t.compile(&d);
+            for pre in 0..d.len() as u32 {
+                assert_eq!(t.matches(&d, pre), c.matches(&d, pre), "{t:?} at {pre}");
+            }
+        }
+        // a name test on an absent name resolves to a never-matching code
+        assert_eq!(
+            NodeTest::named("zzz").compile(&d),
+            CompiledTest::ElementCode(None)
+        );
     }
 
     #[test]

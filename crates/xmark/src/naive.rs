@@ -277,24 +277,30 @@ impl<'a> NaiveInterpreter<'a> {
             }
             envs = kept;
         }
-        // order by
+        // order by (multi-key: compare major key first, per-key direction)
         if let Some(spec) = order_by {
-            let mut keyed: Vec<(Item, Env)> = Vec::new();
+            let mut keyed: Vec<(Vec<Item>, Env)> = Vec::new();
             for e in envs {
-                let key = self
-                    .eval(&spec.key, &e)?
-                    .first()
-                    .map(|i| self.atomize(i))
-                    .unwrap_or(Item::str(""));
-                keyed.push((key, e));
+                let mut keys = Vec::with_capacity(spec.keys.len());
+                for k in &spec.keys {
+                    let key = self
+                        .eval(&k.key, &e)?
+                        .first()
+                        .map(|i| self.atomize(i))
+                        .unwrap_or(Item::str(""));
+                    keys.push(key);
+                }
+                keyed.push((keys, e));
             }
             keyed.sort_by(|a, b| {
-                let ord = a.0.total_cmp(&b.0);
-                if spec.descending {
-                    ord.reverse()
-                } else {
-                    ord
+                for (i, k) in spec.keys.iter().enumerate() {
+                    let ord = a.0[i].total_cmp(&b.0[i]);
+                    let ord = if k.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
                 }
+                std::cmp::Ordering::Equal
             });
             envs = keyed.into_iter().map(|(_, e)| e).collect();
         }

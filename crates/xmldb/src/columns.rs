@@ -1,0 +1,212 @@
+//! Relational export of a shredded document with dictionary-encoded name
+//! columns.
+//!
+//! The paper's storage layer keeps the structural `pre|size|level` table in
+//! dense columns and the node names in an interned qname container
+//! (Figure 9).  This module exposes that layout to the relational kernel:
+//! [`DocumentColumns::new`] turns a [`Document`] into engine [`Table`]s whose
+//! tag and attribute-name columns are [`Column::Dict`] over **shared sorted
+//! dictionaries** — the representation the radix join's code-to-code fast
+//! path and the code-based sort/rank/agg paths of `mxq-engine` consume.
+//!
+//! Within one export the structural table and the attribute table share
+//! their dictionary instances (`Arc`), so a tag-to-tag or name-to-name
+//! equi-join between them never touches a string.
+
+use std::sync::Arc;
+
+use mxq_engine::{Column, Dictionary, Table};
+
+use crate::doc::Document;
+use crate::node::NodeKind;
+use crate::shred::{shred, ShredError, ShredOptions};
+
+/// The relational image of one document container, with dictionary-encoded
+/// string columns.
+#[derive(Debug, Clone)]
+pub struct DocumentColumns {
+    /// Sorted dictionary over the element names of the document (plus the
+    /// empty string used for non-element rows).
+    pub tags: Arc<Dictionary>,
+    /// Sorted dictionary over the attribute names of the document.
+    pub attr_names: Arc<Dictionary>,
+    /// The structural table: `pre | size | level | kind | name`, one row per
+    /// node in document order; `name` is a [`Column::Dict`] over [`Self::tags`]
+    /// (non-elements carry the empty string).
+    pub structural: Table,
+    /// The attribute table: `owner | name | value`, one row per attribute in
+    /// owner order; `name` is a [`Column::Dict`] over [`Self::attr_names`].
+    pub attributes: Table,
+}
+
+/// Integer encoding of [`NodeKind`] used in the `kind` column.
+pub fn kind_code(kind: NodeKind) -> i64 {
+    match kind {
+        NodeKind::Document => 0,
+        NodeKind::Element => 1,
+        NodeKind::Text => 2,
+        NodeKind::Comment => 3,
+        NodeKind::ProcessingInstruction => 4,
+    }
+}
+
+impl DocumentColumns {
+    /// Export a document into its relational, dictionary-encoded image.
+    pub fn new(doc: &Document) -> DocumentColumns {
+        let n = doc.len() as u32;
+        let mut pre = Vec::with_capacity(doc.len());
+        let mut size = Vec::with_capacity(doc.len());
+        let mut level = Vec::with_capacity(doc.len());
+        let mut kind = Vec::with_capacity(doc.len());
+        let mut names: Vec<Arc<str>> = Vec::with_capacity(doc.len());
+        for v in 0..n {
+            pre.push(v as i64);
+            size.push(doc.size(v) as i64);
+            level.push(doc.level(v) as i64);
+            kind.push(kind_code(doc.kind(v)));
+            names.push(match doc.kind(v) {
+                NodeKind::Element => Arc::from(doc.name_of(v)),
+                _ => Arc::from(""),
+            });
+        }
+        let (tag_codes, tags) = Dictionary::encode(names);
+
+        let attrs = doc.all_attributes();
+        let owner: Vec<i64> = attrs.iter().map(|a| a.owner as i64).collect();
+        let values: Vec<Arc<str>> = attrs.iter().map(|a| a.value.clone()).collect();
+        let (attr_codes, attr_names) = Dictionary::encode(attrs.iter().map(|a| a.name.clone()));
+
+        let structural = Table::from_columns(vec![
+            ("pre", Column::Int(pre)),
+            ("size", Column::Int(size)),
+            ("level", Column::Int(level)),
+            ("kind", Column::Int(kind)),
+            (
+                "name",
+                Column::Dict {
+                    codes: tag_codes,
+                    dict: tags.clone(),
+                },
+            ),
+        ])
+        .expect("structural columns have equal length");
+        let attributes = Table::from_columns(vec![
+            ("owner", Column::Int(owner)),
+            (
+                "name",
+                Column::Dict {
+                    codes: attr_codes,
+                    dict: attr_names.clone(),
+                },
+            ),
+            ("value", Column::Str(values)),
+        ])
+        .expect("attribute columns have equal length");
+
+        DocumentColumns {
+            tags,
+            attr_names,
+            structural,
+            attributes,
+        }
+    }
+
+    /// A `Dict` column (over [`Self::tags`]) holding the names of an
+    /// arbitrary selection of nodes — shares the export's dictionary, so
+    /// joining it against the structural `name` column is code-to-code.
+    pub fn names_of(&self, doc: &Document, pres: &[u32]) -> Column {
+        let codes = pres
+            .iter()
+            .map(|&p| {
+                let name = match doc.kind(p) {
+                    NodeKind::Element => doc.name_of(p),
+                    _ => "",
+                };
+                self.tags
+                    .code_of(name)
+                    .expect("export dictionary covers every element name")
+            })
+            .collect();
+        Column::Dict {
+            codes,
+            dict: self.tags.clone(),
+        }
+    }
+}
+
+/// Shred an XML text and export it in one step: the document plus its
+/// dictionary-encoded relational image.
+pub fn shred_to_columns(
+    name: &str,
+    xml: &str,
+    opts: &ShredOptions,
+) -> Result<(Document, DocumentColumns), ShredError> {
+    let doc = shred(name, xml, opts)?;
+    let cols = DocumentColumns::new(&doc);
+    Ok((doc, cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxq_engine::join::radix_hash_join;
+
+    const XML: &str = r#"<site><item id="1"><name>a</name></item><item id="2"/></site>"#;
+
+    #[test]
+    fn export_shapes_and_dictionaries() {
+        let (doc, cols) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
+        assert_eq!(cols.structural.nrows(), doc.len());
+        assert_eq!(cols.attributes.nrows(), doc.attr_count());
+        // tag dictionary: "", item, name, site — sorted
+        let tags: Vec<&str> = cols.tags.iter().map(|s| s.as_ref()).collect();
+        assert_eq!(tags, ["", "item", "name", "site"]);
+        assert!(matches!(
+            cols.structural.column("name").unwrap(),
+            Column::Dict { .. }
+        ));
+        assert!(matches!(
+            cols.attributes.column("name").unwrap(),
+            Column::Dict { .. }
+        ));
+        // structural row 0 is the root element
+        assert_eq!(
+            cols.structural
+                .column("name")
+                .unwrap()
+                .item(0)
+                .string_value(),
+            "site"
+        );
+        assert_eq!(
+            cols.structural.column("kind").unwrap().as_int().unwrap()[0],
+            1
+        );
+    }
+
+    #[test]
+    fn shared_dictionary_enables_code_joins() {
+        let (doc, cols) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
+        let probe = cols.names_of(&doc, &doc.elements_named("item").to_vec());
+        let (probe_codes, probe_dict) = probe.dict_parts().unwrap();
+        let (_, struct_dict) = cols
+            .structural
+            .column("name")
+            .unwrap()
+            .dict_parts()
+            .unwrap();
+        assert!(Arc::ptr_eq(probe_dict, struct_dict), "dictionary is shared");
+        assert_eq!(probe_codes.len(), 2);
+        // joining the probe against the structural name column finds exactly
+        // the two <item> rows
+        let (l, r) = radix_hash_join(&probe, cols.structural.column("name").unwrap());
+        assert_eq!(l.len(), 4, "2 probes × 2 matching rows");
+        assert!(r.iter().all(|&row| cols
+            .structural
+            .column("name")
+            .unwrap()
+            .item(row)
+            .string_value()
+            == "item"));
+    }
+}

@@ -13,6 +13,9 @@
 //! * a **document shredder** ([`shred`]) that parses XML text into the
 //!   encoding with sequential writes, and a **serializer** ([`serialize`])
 //!   that reconstructs XML text with sequential reads;
+//! * a **relational export** ([`columns`]) that turns a shredded document
+//!   into engine tables whose tag and attribute-name columns are
+//!   dictionary-encoded (`Column::Dict` over shared sorted dictionaries);
 //! * a **document store** ([`store::DocStore`]) holding one container per
 //!   loaded document plus a transient container for nodes constructed during
 //!   query evaluation;
@@ -22,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod doc;
 pub mod node;
 pub mod serialize;
@@ -29,6 +33,7 @@ pub mod shred;
 pub mod store;
 pub mod update;
 
+pub use columns::{shred_to_columns, DocumentColumns};
 pub use doc::{Document, DocumentBuilder};
 pub use node::{AttrRow, NodeKind};
 pub use serialize::{serialize_document, serialize_node};

@@ -1,0 +1,214 @@
+//! Differential test harness for the equi-join rewrite: the
+//! radix-partitioned hash join (`radix_hash_join`, the production join of
+//! the kernel) is run against the original single-table hash join
+//! (`hash_join_items`, kept as the reference implementation) over generated
+//! adversarial inputs, asserting **identical pair sets in identical order**
+//! for every configuration:
+//!
+//! * integer key columns (dense and colliding domains);
+//! * polymorphic item columns mixing integers, doubles (including NaN bit
+//!   patterns, signed zeros and infinities), numeric strings (which must
+//!   join their numeric equals under XQuery general-comparison
+//!   normalisation) and plain strings;
+//! * dictionary-encoded columns sharing one dictionary instance (the
+//!   code-to-code fast path), sharing a dictionary that contains numeric
+//!   strings (which must *disable* the code fast path), and encoded against
+//!   two separate dictionaries;
+//! * a dictionary-encoded column joined against a plain string column.
+//!
+//! Both joins emit pairs ordered by `(left, right)` row index, so the
+//! assertions compare exact outputs, which subsumes pair-set equality.
+
+use proptest::prelude::*;
+
+use mxq::engine::join::{hash_join_items, radix_hash_join};
+use mxq::engine::{Column, Dictionary, Item};
+
+/// Assert the radix join and the reference join produce the same pairs.
+fn assert_joins_agree(left: &Column, right: &Column, what: &str) {
+    let (rl, rr) = radix_hash_join(left, right);
+    let (hl, hr) = hash_join_items(left, right);
+    // exact equality (both joins emit in (left, right) order); sorting the
+    // zipped pairs first would only mask an ordering regression
+    assert_eq!(rl, hl, "{what}: left indices differ");
+    assert_eq!(rr, hr, "{what}: right indices differ");
+    // also check both directions: swapping sides must swap the pair set
+    let (sl, sr) = radix_hash_join(right, left);
+    let mut forward: Vec<(usize, usize)> = rl.into_iter().zip(rr).collect();
+    let mut swapped: Vec<(usize, usize)> = sr.into_iter().zip(sl).collect();
+    forward.sort_unstable();
+    swapped.sort_unstable();
+    assert_eq!(forward, swapped, "{what}: join is not symmetric");
+}
+
+/// Strategy for one polymorphic item drawn from a deliberately small, nasty
+/// domain: colliding integers, NaN-bit doubles, signed zeros, numeric
+/// strings that normalise onto the same numeric keys, and plain strings.
+fn arb_item() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (0i64..6).prop_map(Item::Int),
+        prop::sample::select(vec![
+            Item::Dbl(0.0),
+            Item::Dbl(-0.0),
+            Item::Dbl(2.5),
+            Item::Dbl(f64::NAN),
+            Item::Dbl(f64::INFINITY),
+            Item::Dbl(f64::NEG_INFINITY),
+        ]),
+        prop::sample::select(vec![
+            Item::str("0"),
+            Item::str("2.5"),
+            Item::str(" 3 "),
+            Item::str("10"),
+        ]),
+        "[a-c]{1,2}".prop_map(Item::str),
+        any::<bool>().prop_map(Item::Bool),
+    ]
+}
+
+/// Non-numeric vocabulary (tag-name shaped): the shared-dictionary join must
+/// take the code-to-code path.
+const TAGS: [&str; 6] = [
+    "item",
+    "person",
+    "open_auction",
+    "name",
+    "keyword",
+    "bidder",
+];
+
+/// Vocabulary containing numeric strings: the code fast path must yield to
+/// the normalising path ("10" joins integer 10, "2.5" joins double 2.5).
+const MIXED: [&str; 6] = ["item", "10", "2.5", "person", " 3 ", "name"];
+
+fn dict_column_over(vocab: &[&str], picks: Vec<usize>) -> (Vec<u32>, std::sync::Arc<Dictionary>) {
+    let dict = Dictionary::new(vocab.iter().copied());
+    let codes = picks.into_iter().map(|p| (p % dict.len()) as u32).collect();
+    (codes, dict)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_columns_agree(
+        left in prop::collection::vec(0i64..8, 0..40),
+        right in prop::collection::vec(0i64..8, 0..40),
+    ) {
+        assert_joins_agree(&Column::Int(left), &Column::Int(right), "int columns");
+    }
+
+    #[test]
+    fn mixed_item_columns_agree(
+        left in prop::collection::vec(arb_item(), 0..40),
+        right in prop::collection::vec(arb_item(), 0..40),
+    ) {
+        assert_joins_agree(
+            &Column::Item(left),
+            &Column::Item(right),
+            "mixed item columns",
+        );
+    }
+
+    #[test]
+    fn shared_dictionary_columns_agree(
+        lp in prop::collection::vec(0usize..64, 0..40),
+        rp in prop::collection::vec(0usize..64, 0..40),
+    ) {
+        // both sides encoded against the SAME dictionary instance — this is
+        // the code-to-code fast path of the radix join
+        let (lcodes, dict) = dict_column_over(&TAGS, lp);
+        let rcodes: Vec<u32> = rp.into_iter().map(|p| (p % dict.len()) as u32).collect();
+        let left = Column::Dict { codes: lcodes, dict: dict.clone() };
+        let right = Column::Dict { codes: rcodes, dict };
+        assert_joins_agree(&left, &right, "shared dictionary");
+    }
+
+    #[test]
+    fn shared_numeric_dictionary_columns_agree(
+        lp in prop::collection::vec(0usize..64, 0..40),
+        rp in prop::collection::vec(0usize..64, 0..40),
+    ) {
+        // the shared dictionary contains numeric strings, so the join must
+        // fall back to normalised keys (code equality ≠ join equality here)
+        let (lcodes, dict) = dict_column_over(&MIXED, lp);
+        let rcodes: Vec<u32> = rp.into_iter().map(|p| (p % dict.len()) as u32).collect();
+        let left = Column::Dict { codes: lcodes, dict: dict.clone() };
+        let right = Column::Dict { codes: rcodes, dict };
+        assert_joins_agree(&left, &right, "shared numeric dictionary");
+    }
+
+    #[test]
+    fn separate_dictionary_columns_agree(
+        lp in prop::collection::vec(0usize..64, 0..40),
+        rp in prop::collection::vec(0usize..64, 0..40),
+    ) {
+        // overlapping vocabularies, but distinct dictionary instances: the
+        // radix join must not assume code compatibility
+        let (lcodes, ldict) = dict_column_over(&TAGS, lp);
+        let (rcodes, rdict) = dict_column_over(&MIXED, rp);
+        let left = Column::Dict { codes: lcodes, dict: ldict };
+        let right = Column::Dict { codes: rcodes, dict: rdict };
+        assert_joins_agree(&left, &right, "separate dictionaries");
+    }
+
+    #[test]
+    fn dict_vs_plain_string_columns_agree(
+        lp in prop::collection::vec(0usize..64, 0..40),
+        right in prop::collection::vec(arb_item(), 0..40),
+    ) {
+        let (codes, dict) = dict_column_over(&MIXED, lp);
+        let left = Column::Dict { codes, dict };
+        assert_joins_agree(&left, &Column::Item(right), "dict vs item column");
+    }
+}
+
+proptest! {
+    // fewer cases, bigger columns: the build side crosses the adaptive
+    // partitioning threshold, so the genuinely multi-partition code path is
+    // under differential test too (not just the single-table degenerate)
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn large_columns_exercise_partitioning(
+        left in prop::collection::vec(arb_item(), 600..1200),
+        right in prop::collection::vec(arb_item(), 600..1200),
+    ) {
+        assert_joins_agree(
+            &Column::Item(left),
+            &Column::Item(right),
+            "large mixed columns",
+        );
+    }
+}
+
+#[test]
+fn numeric_string_normalisation_crosses_representations() {
+    // pin the exact semantics the differential harness relies on: a
+    // dictionary "10" joins Int(10) and Dbl(10.0), and NaN joins NaN of the
+    // same bit pattern only
+    let left = Column::dict_from_strings(["10", "2.5", "abc"]);
+    let right = Column::from_items(vec![
+        Item::Int(10),
+        Item::Dbl(2.5),
+        Item::str("abc"),
+        Item::Dbl(f64::NAN),
+    ]);
+    let (l, r) = radix_hash_join(&left, &right);
+    assert_eq!(l, vec![0, 1, 2]);
+    assert_eq!(r, vec![0, 1, 2]);
+
+    let nan = Column::from_items(vec![Item::Dbl(f64::NAN)]);
+    let (l, _) = radix_hash_join(&nan, &nan);
+    assert_eq!(l.len(), 1, "identical NaN bit patterns join");
+}
+
+#[test]
+fn empty_inputs_join_to_nothing() {
+    let empty = Column::empty_item();
+    let nonempty = Column::Int(vec![1, 2, 3]);
+    for (a, b) in [(&empty, &nonempty), (&nonempty, &empty), (&empty, &empty)] {
+        let (l, r) = radix_hash_join(a, b);
+        assert!(l.is_empty() && r.is_empty());
+    }
+}

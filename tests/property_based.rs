@@ -9,10 +9,14 @@
 //! * the paged and the naive structural-update schemes produce identical
 //!   documents for arbitrary insert/delete sequences;
 //! * the relational XQuery engine and the naive interpreter agree on simple
-//!   generated queries over arbitrary documents.
+//!   generated queries over arbitrary documents;
+//! * string dictionaries round-trip (encode→decode identity), keep their
+//!   sortedness invariant (`code_a < code_b ⇔ str_a < str_b`) and stay
+//!   deduplicated under merge.
 
 use proptest::prelude::*;
 
+use mxq::engine::{Column, Dictionary};
 use mxq::staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats};
 use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq::xmldb::NodeKind;
@@ -161,6 +165,67 @@ proptest! {
         let b = serialize_document(&naive.to_document());
         prop_assert_eq!(a, b);
         paged.to_document().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dictionary_encode_decode_identity(
+        rows in prop::collection::vec("[a-e0-9]{0,4}", 1..40),
+    ) {
+        let col = Column::dict_from_strings(rows.iter().map(|s| s.as_str()));
+        prop_assert_eq!(col.len(), rows.len());
+        let decoded: Vec<String> = col.iter_items().map(|i| i.string_value()).collect();
+        prop_assert_eq!(&decoded, &rows, "encode→decode is the identity");
+        // decode() produces an equivalent plain string column
+        let plain = col.decode();
+        let via_decode: Vec<String> = plain.iter_items().map(|i| i.string_value()).collect();
+        prop_assert_eq!(&via_decode, &rows);
+    }
+
+    #[test]
+    fn dictionary_sortedness_invariant(
+        rows in prop::collection::vec("[a-e0-9]{0,4}", 1..40),
+    ) {
+        let (_, dict) = Dictionary::encode(rows.iter().map(|s| s.as_str()));
+        // code order = string order, in both directions, for every code pair
+        for a in 0..dict.len() as u32 {
+            for b in 0..dict.len() as u32 {
+                prop_assert_eq!(
+                    a.cmp(&b),
+                    dict.str_of(a).as_ref().cmp(dict.str_of(b).as_ref()),
+                    "codes {} and {} disagree with their strings",
+                    a,
+                    b
+                );
+            }
+        }
+        // every row resolves back to its own code
+        for s in &rows {
+            let c = dict.code_of(s).expect("encoded string is in the dictionary");
+            prop_assert_eq!(dict.str_of(c).as_ref(), s.as_str());
+        }
+    }
+
+    #[test]
+    fn dictionary_merge_dedups(
+        left in prop::collection::vec("[a-c]{0,3}", 1..20),
+        right in prop::collection::vec("[b-e]{0,3}", 1..20),
+    ) {
+        let (_, a) = Dictionary::encode(left.iter().map(|s| s.as_str()));
+        let (_, b) = Dictionary::encode(right.iter().map(|s| s.as_str()));
+        let (merged, ra, rb) = Dictionary::merge(&a, &b);
+        // merged dictionary is exactly the sorted, deduplicated union
+        let mut want: Vec<&str> = left.iter().chain(&right).map(|s| s.as_str()).collect();
+        want.sort_unstable();
+        want.dedup();
+        let got: Vec<&str> = merged.iter().map(|s| s.as_ref()).collect();
+        prop_assert_eq!(got, want);
+        // the remaps preserve every string of both inputs
+        for (old, s) in a.iter().enumerate() {
+            prop_assert_eq!(merged.str_of(ra[old]), s);
+        }
+        for (old, s) in b.iter().enumerate() {
+            prop_assert_eq!(merged.str_of(rb[old]), s);
+        }
     }
 
     #[test]
