@@ -7,11 +7,11 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, xmark_xml, SMALL_FACTOR};
+use mxq_bench::{engine_with_xmark, run_query, scale_factor, xmark_xml, SMALL_FACTOR};
 use mxq_xquery::ExecConfig;
 
 fn bench(c: &mut Criterion) {
-    let xml = xmark_xml(SMALL_FACTOR);
+    let xml = xmark_xml(scale_factor(SMALL_FACTOR));
     let mut group = c.benchmark_group("existential_join");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));

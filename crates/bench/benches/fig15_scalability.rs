@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, xmark_xml};
+use mxq_bench::{engine_with_xmark, run_query, scale_factors, xmark_xml};
 use mxq_xmark::queries::QUERY_IDS;
 use mxq_xquery::ExecConfig;
 
@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    for factor in [0.0005, 0.001, 0.002] {
+    for factor in scale_factors(&[0.0005, 0.001, 0.002]) {
         let xml = xmark_xml(factor);
         let mut engine = engine_with_xmark(&xml, ExecConfig::default());
         group.bench_with_input(BenchmarkId::new("all_queries", factor), &factor, |b, _| {

@@ -1,0 +1,47 @@
+//! Mixed query/update throughput over the paged store (the workload the
+//! paper's Section 5.2 update scheme exists for, but does not benchmark):
+//! a configurable read/write mix of XMark queries and XQuery Update Facility
+//! statements runs end-to-end — parser → pending update list → paged pages →
+//! re-materialization — against one XMark document.
+//!
+//! Reported as ops/sec (criterion `Throughput::Elements`) for the
+//! read/write mixes 90/10 and 50/50.  `MXQ_SCALE` overrides the document
+//! scale factor.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxq_bench::{engine_with_xmark, run_mixed_workload, scale_factor, xmark_xml};
+use mxq_xquery::ExecConfig;
+
+const OPS: usize = 60;
+
+fn bench(c: &mut Criterion) {
+    let factor = scale_factor(0.001);
+    let xml = xmark_xml(factor);
+    let mut group = c.benchmark_group("fig_updates_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(OPS as u64));
+    for read_pct in [90u8, 50] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("mix_{read_pct}_{}", 100 - read_pct),
+                format!("sf{factor}"),
+            ),
+            &read_pct,
+            |b, &read_pct| {
+                b.iter_batched(
+                    || engine_with_xmark(&xml, ExecConfig::default()),
+                    |mut engine| run_mixed_workload(&mut engine, read_pct, OPS, 0xbeef),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

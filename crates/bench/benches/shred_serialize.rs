@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mxq_bench::xmark_xml;
+use mxq_bench::{scale_factors, xmark_xml};
 use mxq_xmldb::{serialize_document, shred, ShredOptions};
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    for factor in [0.001, 0.002, 0.004] {
+    for factor in scale_factors(&[0.001, 0.002, 0.004]) {
         let xml = xmark_xml(factor);
         group.throughput(Throughput::Bytes(xml.len() as u64));
         group.bench_with_input(BenchmarkId::new("shred", factor), &xml, |b, xml| {

@@ -8,12 +8,12 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mxq_bench::xmark_xml;
+use mxq_bench::{scale_factor, xmark_xml};
 use mxq_staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats};
 use mxq_xmldb::{shred, ShredOptions};
 
 fn bench(c: &mut Criterion) {
-    let xml = xmark_xml(0.002);
+    let xml = xmark_xml(scale_factor(0.002));
     let doc = shred("auction.xml", &xml, &ShredOptions::default()).unwrap();
     // context: every open_auction element, spread over a growing number of iterations
     let auctions: Vec<u32> = doc.elements_named("open_auction").to_vec();

@@ -9,12 +9,12 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, run_query_naive, xmark_xml};
+use mxq_bench::{engine_with_xmark, run_query, run_query_naive, scale_factor, xmark_xml};
 use mxq_xquery::ExecConfig;
 
 fn bench(c: &mut Criterion) {
     // keep the naive interpreter affordable: very small instance
-    let xml = xmark_xml(0.0005);
+    let xml = xmark_xml(scale_factor(0.0005));
     let mut group = c.benchmark_group("table1_xmark");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));

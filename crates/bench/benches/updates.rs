@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mxq_bench::xmark_xml;
+use mxq_bench::{scale_factors, xmark_xml};
 use mxq_xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq_xmldb::{shred, ShredOptions};
 
@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
-    for factor in [0.001, 0.004] {
+    for factor in scale_factors(&[0.001, 0.004]) {
         let xml = xmark_xml(factor);
         let doc = shred("auction.xml", &xml, &ShredOptions::default()).unwrap();
         let frag =

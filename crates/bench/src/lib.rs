@@ -13,11 +13,42 @@
 use mxq_xmark::gen::{generate_xml, GenParams};
 use mxq_xmark::naive::NaiveInterpreter;
 use mxq_xmark::queries::query_text;
-use mxq_xmldb::DocStore;
+use mxq_xmldb::{DocStore, UpdateStats};
 use mxq_xquery::{ExecConfig, XQueryEngine};
+use rand::{Rng, SeedableRng, StdRng};
 
 /// Default scale factor for single-document benches (≈0.1 MB of XML).
 pub const SMALL_FACTOR: f64 = 0.001;
+
+/// The `MXQ_SCALE` environment variable, parsed.  An unset or empty
+/// variable means "use the bench defaults"; a set-but-invalid value panics
+/// so a typo can never silently fall back and corrupt recorded baselines.
+fn env_scale() -> Option<f64> {
+    let raw = std::env::var("MXQ_SCALE").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<f64>() {
+        Ok(f) if f > 0.0 => Some(f),
+        _ => panic!("MXQ_SCALE must be a positive number, got `{raw}`"),
+    }
+}
+
+/// The XMark scale factor to run a bench at: the `MXQ_SCALE` environment
+/// variable when set (e.g. `MXQ_SCALE=0.01 cargo bench`), else `default`.
+pub fn scale_factor(default: f64) -> f64 {
+    env_scale().unwrap_or(default)
+}
+
+/// The scale factors a multi-factor bench iterates over: `[MXQ_SCALE]` when
+/// the environment variable is set, else the bench's `defaults`.
+pub fn scale_factors(defaults: &[f64]) -> Vec<f64> {
+    match env_scale() {
+        Some(f) => vec![f],
+        None => defaults.to_vec(),
+    }
+}
 
 /// Generate the XMark XML text at a scale factor (deterministic).
 pub fn xmark_xml(factor: f64) -> String {
@@ -52,6 +83,87 @@ pub fn run_query_naive(xml: &str, id: usize) -> usize {
         .run(query_text(id))
         .unwrap_or_else(|e| panic!("naive XMark Q{id} failed: {e}"))
         .len()
+}
+
+/// Outcome counters of one mixed query/update workload run.
+#[derive(Debug, Clone, Default)]
+pub struct MixedWorkloadReport {
+    /// Operations executed as queries.
+    pub reads: usize,
+    /// Operations executed as updates.
+    pub writes: usize,
+    /// Total result items returned by the read operations.
+    pub read_items: usize,
+    /// Update primitives applied by the write operations.
+    pub primitives: usize,
+    /// Storage-level cost counters accumulated over the write operations.
+    pub stats: UpdateStats,
+}
+
+/// Run a mixed query/update workload against an engine holding an XMark
+/// document under `auction.xml`: `ops` operations, of which `read_pct`
+/// percent are queries (XMark Q1 plus bidder/current scans) and the rest are
+/// XQuery Update Facility statements (bidder inserts/deletes, `current`
+/// value replacement, annotation-subtree replacement, renames) against
+/// random open auctions.  Deterministic for a given `seed`.
+pub fn run_mixed_workload(
+    engine: &mut XQueryEngine,
+    read_pct: u8,
+    ops: usize,
+    seed: u64,
+) -> MixedWorkloadReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = MixedWorkloadReport::default();
+    let auctions: usize = engine
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
+        .expect("auction count query")
+        .serialize()
+        .parse()
+        .unwrap_or(0);
+    assert!(auctions > 0, "workload needs at least one open auction");
+    let queries = [
+        query_text(1).to_string(),
+        "count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)".to_string(),
+        "for $a in doc(\"auction.xml\")/site/open_auctions/open_auction \
+         where $a/current > 100 return $a/current/text()"
+            .to_string(),
+    ];
+    for op in 0..ops {
+        if rng.gen_range(0..100u32) < read_pct as u32 {
+            engine.reset_transient();
+            let q = &queries[rng.gen_range(0..queries.len())];
+            let result = engine.execute(q).expect("workload query");
+            report.reads += 1;
+            report.read_items += result.len();
+        } else {
+            let k = rng.gen_range(0..auctions) + 1;
+            let auction = format!("doc(\"auction.xml\")/site/open_auctions/open_auction[{k}]");
+            let stmt = match rng.gen_range(0..5u32) {
+                0 => format!(
+                    "insert nodes <bidder><date>2006-07-{:02}</date>\
+                     <increase>{}.50</increase></bidder> as last into {auction}",
+                    1 + op % 28,
+                    1 + op % 9
+                ),
+                1 => format!("delete nodes {auction}/bidder[1]"),
+                2 => format!(
+                    "replace value of node {auction}/current with \"{}.37\"",
+                    100 + op % 400
+                ),
+                3 => format!(
+                    "replace node {auction}/annotation/happiness \
+                     with <happiness>{}</happiness>",
+                    op % 10
+                ),
+                _ => format!("rename node {auction}/type as \"type\""),
+            };
+            let rep = engine.execute_update(&stmt).expect("workload update");
+            report.writes += 1;
+            report.primitives += rep.primitives;
+            report.stats.accumulate(&rep.stats);
+        }
+    }
+    report
 }
 
 /// The five staircase-join configurations of Figure 12, in the paper's order.
@@ -116,5 +228,30 @@ mod tests {
         assert!(run_query(&mut e, 1) <= 1);
         assert!(run_query(&mut e, 6) >= 1);
         assert_eq!(fig12_configs().len(), 5);
+    }
+
+    #[test]
+    fn scale_factor_defaults_without_env() {
+        // MXQ_SCALE is not set in the test environment
+        if std::env::var("MXQ_SCALE").is_err() {
+            assert_eq!(scale_factor(0.002), 0.002);
+            assert_eq!(scale_factors(&[0.001, 0.004]), vec![0.001, 0.004]);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_runs_and_mutates() {
+        let xml = xmark_xml(0.0005);
+        let mut e = engine_with_xmark(&xml, ExecConfig::default());
+        let report = run_mixed_workload(&mut e, 50, 30, 42);
+        assert_eq!(report.reads + report.writes, 30);
+        assert!(report.writes > 0, "a 50/50 mix over 30 ops must write");
+        assert!(report.stats.tuples_written > 0);
+        // determinism: the same seed produces the same counts on a fresh engine
+        let mut e2 = engine_with_xmark(&xml, ExecConfig::default());
+        let report2 = run_mixed_workload(&mut e2, 50, 30, 42);
+        assert_eq!(report.reads, report2.reads);
+        assert_eq!(report.read_items, report2.read_items);
+        assert_eq!(report.primitives, report2.primitives);
     }
 }

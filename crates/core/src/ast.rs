@@ -350,6 +350,76 @@ impl ElementCtor {
     }
 }
 
+/// Where an `insert nodes` statement places the new content relative to its
+/// target (XQuery Update Facility `InsertExpr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertLocation {
+    /// `as first into` — first child of the target element.
+    FirstInto,
+    /// `as last into` — last child of the target element.
+    LastInto,
+    /// Plain `into` — an implementation-chosen position among the children
+    /// (we append, like `as last into`).
+    Into,
+    /// `before` — preceding sibling of the target.
+    Before,
+    /// `after` — following sibling of the target.
+    After,
+}
+
+/// One updating statement of the XQuery Update Facility subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateStmt {
+    /// `insert nodes <source> (as first|as last)? into | before | after <target>`.
+    Insert {
+        /// The content expression (evaluated and copied before application).
+        source: Expr,
+        /// Where the content goes relative to the target.
+        location: InsertLocation,
+        /// The target node expression (must evaluate to exactly one node).
+        target: Expr,
+    },
+    /// `delete nodes <target>` — every node of the target sequence.
+    Delete {
+        /// The target node sequence.
+        target: Expr,
+    },
+    /// `replace node <target> with <source>`.
+    ReplaceNode {
+        /// The target node (exactly one).
+        target: Expr,
+        /// The replacement content.
+        source: Expr,
+    },
+    /// `replace value of node <target> with <source>`.
+    ReplaceValue {
+        /// The target node (exactly one).
+        target: Expr,
+        /// The new value (atomized to a string).
+        source: Expr,
+    },
+    /// `rename node <target> as <new-name>`.
+    Rename {
+        /// The target node (exactly one element, PI or attribute).
+        target: Expr,
+        /// The new name (atomized to a string).
+        new_name: Expr,
+    },
+}
+
+/// A parsed update: prolog declarations plus one or more comma-separated
+/// updating statements.  All statements are evaluated against the same
+/// snapshot and applied as one pending update list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateQuery {
+    /// User-defined functions.
+    pub functions: Vec<FunctionDecl>,
+    /// Global variable declarations.
+    pub variables: Vec<(String, Expr)>,
+    /// The updating statements, in source order.
+    pub statements: Vec<UpdateStmt>,
+}
+
 /// A user-defined function declared in the query prolog.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDecl {

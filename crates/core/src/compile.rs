@@ -34,6 +34,7 @@ use mxq_staircase::{Axis, NodeTest};
 use crate::algebra::{NumFnKind, Op, Plan, PlanRef, PosFilterKind, Props, StrFnKind};
 use crate::ast::*;
 use crate::config::ExecConfig;
+use crate::pul::{UpdateKind, UpdatePlan, UpdateStatementPlan, UpdateTarget};
 
 /// Errors raised during compilation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +116,122 @@ impl Compiler {
             env.vars.insert(name.clone(), v);
         }
         self.compile(&query.body, &env)
+    }
+
+    /// Compile an update query: prolog + updating statements.  Target and
+    /// source expressions become ordinary value plans (evaluated in the
+    /// singleton loop); the statement kinds stay symbolic so the engine can
+    /// collect update primitives instead of a result sequence.
+    pub fn compile_update(&mut self, query: &UpdateQuery) -> CResult<UpdatePlan> {
+        for f in &query.functions {
+            self.functions.insert(f.name.clone(), f.clone());
+        }
+        let loop_one = self.plan(Op::LoopOne);
+        let mut env = Env {
+            loop_: loop_one,
+            vars: HashMap::new(),
+        };
+        for (name, value) in &query.variables {
+            let v = self.compile(value, &env)?;
+            env.vars.insert(name.clone(), v);
+        }
+        let mut statements = Vec::new();
+        for stmt in &query.statements {
+            statements.push(match stmt {
+                UpdateStmt::Insert {
+                    source,
+                    location,
+                    target,
+                } => {
+                    let kind = match location {
+                        InsertLocation::FirstInto => UpdateKind::InsertInto { first: true },
+                        InsertLocation::LastInto | InsertLocation::Into => {
+                            UpdateKind::InsertInto { first: false }
+                        }
+                        InsertLocation::Before => UpdateKind::InsertBefore,
+                        InsertLocation::After => UpdateKind::InsertAfter,
+                    };
+                    UpdateStatementPlan {
+                        kind,
+                        target: self.compile_update_target(target, &env, false)?,
+                        source: Some(self.compile(source, &env)?),
+                    }
+                }
+                UpdateStmt::Delete { target } => UpdateStatementPlan {
+                    kind: UpdateKind::Delete,
+                    target: self.compile_update_target(target, &env, true)?,
+                    source: None,
+                },
+                UpdateStmt::ReplaceNode { target, source } => UpdateStatementPlan {
+                    kind: UpdateKind::ReplaceNode,
+                    target: self.compile_update_target(target, &env, false)?,
+                    source: Some(self.compile(source, &env)?),
+                },
+                UpdateStmt::ReplaceValue { target, source } => UpdateStatementPlan {
+                    kind: UpdateKind::ReplaceValue,
+                    target: self.compile_update_target(target, &env, true)?,
+                    source: Some(self.compile(source, &env)?),
+                },
+                UpdateStmt::Rename { target, new_name } => UpdateStatementPlan {
+                    kind: UpdateKind::Rename,
+                    target: self.compile_update_target(target, &env, true)?,
+                    source: Some(self.compile(new_name, &env)?),
+                },
+            });
+        }
+        Ok(UpdatePlan { statements })
+    }
+
+    /// Compile an update target expression.  A path ending in an `@name`
+    /// attribute step is split into the owning-element plan plus the
+    /// attribute name (attributes are not first-class nodes in this engine),
+    /// which is only legal for delete / replace value / rename.
+    fn compile_update_target(
+        &mut self,
+        target: &Expr,
+        env: &Env,
+        allow_attr: bool,
+    ) -> CResult<UpdateTarget> {
+        if let Expr::Path { start, steps } = target {
+            if let Some(last) = steps.last() {
+                if last.axis == Axis::Attribute {
+                    if !allow_attr {
+                        return Err(CompileError::Unsupported(
+                            "attribute targets are only supported for \
+                             delete / replace value / rename"
+                                .into(),
+                        ));
+                    }
+                    let NodeTest::Named(name) = &last.test else {
+                        return Err(CompileError::Unsupported(
+                            "update targets need a named attribute (no @*)".into(),
+                        ));
+                    };
+                    if !last.predicates.is_empty() {
+                        return Err(CompileError::Unsupported(
+                            "predicates on an attribute update target".into(),
+                        ));
+                    }
+                    let elem = if steps.len() == 1 {
+                        let start = start.as_ref().ok_or_else(|| {
+                            CompileError::Unsupported("absolute update target path".into())
+                        })?;
+                        self.compile(start, env)?
+                    } else {
+                        let elem_expr = Expr::Path {
+                            start: start.clone(),
+                            steps: steps[..steps.len() - 1].to_vec(),
+                        };
+                        self.compile(&elem_expr, env)?
+                    };
+                    return Ok(UpdateTarget::Attribute {
+                        elem,
+                        name: name.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(UpdateTarget::Nodes(self.compile(target, env)?))
     }
 
     fn plan(&mut self, op: Op) -> PlanRef {

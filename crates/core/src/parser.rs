@@ -52,6 +52,19 @@ pub fn parse_expr(src: &str) -> PResult<Expr> {
     Ok(q.body)
 }
 
+/// Parse an update query: prolog + one or more comma-separated XQuery Update
+/// Facility statements (`insert nodes`, `delete nodes`, `replace node`,
+/// `replace value of node`, `rename node`).
+pub fn parse_update(src: &str) -> PResult<UpdateQuery> {
+    let mut p = Parser::new(src);
+    let q = p.parse_update_query()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(q)
+}
+
 // ---------------------------------------------------------------------------
 // Tokens
 // ---------------------------------------------------------------------------
@@ -332,6 +345,97 @@ impl Parser {
     // -- grammar -------------------------------------------------------------
 
     fn parse_query(&mut self) -> PResult<Query> {
+        let (functions, variables) = self.parse_prolog()?;
+        let body = self.parse_expr()?;
+        Ok(Query {
+            functions,
+            variables,
+            body,
+        })
+    }
+
+    fn parse_update_query(&mut self) -> PResult<UpdateQuery> {
+        let (functions, variables) = self.parse_prolog()?;
+        let mut statements = vec![self.parse_update_stmt()?];
+        while self.eat_sym(",") {
+            statements.push(self.parse_update_stmt()?);
+        }
+        Ok(UpdateQuery {
+            functions,
+            variables,
+            statements,
+        })
+    }
+
+    fn parse_update_stmt(&mut self) -> PResult<UpdateStmt> {
+        if self.eat_name("insert") {
+            if !self.eat_name("nodes") {
+                self.expect_name("node")?;
+            }
+            let source = self.parse_expr_single()?;
+            let location = if self.eat_name("as") {
+                let first = if self.eat_name("first") {
+                    true
+                } else {
+                    self.expect_name("last")?;
+                    false
+                };
+                self.expect_name("into")?;
+                if first {
+                    InsertLocation::FirstInto
+                } else {
+                    InsertLocation::LastInto
+                }
+            } else if self.eat_name("into") {
+                InsertLocation::Into
+            } else if self.eat_name("before") {
+                InsertLocation::Before
+            } else if self.eat_name("after") {
+                InsertLocation::After
+            } else {
+                return Err(self.err("expected `into`, `before` or `after`"));
+            };
+            let target = self.parse_expr_single()?;
+            Ok(UpdateStmt::Insert {
+                source,
+                location,
+                target,
+            })
+        } else if self.eat_name("delete") {
+            if !self.eat_name("nodes") {
+                self.expect_name("node")?;
+            }
+            let target = self.parse_expr_single()?;
+            Ok(UpdateStmt::Delete { target })
+        } else if self.eat_name("replace") {
+            let value_of = if self.eat_name("value") {
+                self.expect_name("of")?;
+                true
+            } else {
+                false
+            };
+            self.expect_name("node")?;
+            let target = self.parse_expr_single()?;
+            self.expect_name("with")?;
+            let source = self.parse_expr_single()?;
+            Ok(if value_of {
+                UpdateStmt::ReplaceValue { target, source }
+            } else {
+                UpdateStmt::ReplaceNode { target, source }
+            })
+        } else if self.eat_name("rename") {
+            self.expect_name("node")?;
+            let target = self.parse_expr_single()?;
+            self.expect_name("as")?;
+            let new_name = self.parse_expr_single()?;
+            Ok(UpdateStmt::Rename { target, new_name })
+        } else {
+            Err(self
+                .err("expected an update statement (`insert`, `delete`, `replace` or `rename`)"))
+        }
+    }
+
+    fn parse_prolog(&mut self) -> PResult<(Vec<FunctionDecl>, Vec<(String, Expr)>)> {
         let mut functions = Vec::new();
         let mut variables = Vec::new();
         while self.at_name("declare") {
@@ -390,12 +494,7 @@ impl Parser {
                 return Err(self.err("unsupported declaration (only function/variable)"));
             }
         }
-        let body = self.parse_expr()?;
-        Ok(Query {
-            functions,
-            variables,
-            body,
-        })
+        Ok((functions, variables))
     }
 
     /// Skip an optional `as SequenceType` annotation.
@@ -1279,6 +1378,58 @@ mod tests {
         assert!(parse_expr("1 +").is_err());
         assert!(parse_expr("<a>{1}").is_err());
         assert!(parse_expr("/site/people").is_err());
+    }
+
+    #[test]
+    fn parses_update_statements() {
+        let u = parse_update(
+            "insert nodes <bidder/> as last into doc(\"a.xml\")/site/open_auctions/open_auction[1]",
+        )
+        .unwrap();
+        assert!(matches!(
+            u.statements[0],
+            UpdateStmt::Insert {
+                location: InsertLocation::LastInto,
+                ..
+            }
+        ));
+        let u = parse_update("insert node <x/> before $t").unwrap();
+        assert!(matches!(
+            u.statements[0],
+            UpdateStmt::Insert {
+                location: InsertLocation::Before,
+                ..
+            }
+        ));
+        let u = parse_update("delete nodes doc(\"a.xml\")//bidder").unwrap();
+        assert!(matches!(u.statements[0], UpdateStmt::Delete { .. }));
+        let u = parse_update("replace node $old with <new/>").unwrap();
+        assert!(matches!(u.statements[0], UpdateStmt::ReplaceNode { .. }));
+        let u = parse_update("replace value of node $n with \"v\"").unwrap();
+        assert!(matches!(u.statements[0], UpdateStmt::ReplaceValue { .. }));
+        let u = parse_update("rename node $n as \"y\"").unwrap();
+        assert!(matches!(u.statements[0], UpdateStmt::Rename { .. }));
+    }
+
+    #[test]
+    fn parses_multi_statement_update_with_prolog() {
+        let u = parse_update(
+            "declare variable $d := doc(\"a.xml\"); \
+             delete nodes $d//stale, insert nodes <fresh/> as first into $d/root",
+        )
+        .unwrap();
+        assert_eq!(u.variables.len(), 1);
+        assert_eq!(u.statements.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_updates() {
+        assert!(parse_update("insert nodes <x/>").is_err());
+        assert!(parse_update("insert nodes <x/> sideways $t").is_err());
+        assert!(parse_update("replace node $x").is_err());
+        assert!(parse_update("rename node $x").is_err());
+        assert!(parse_update("frobnicate nodes $x").is_err());
+        assert!(parse_update("delete nodes $x trailing").is_err());
     }
 
     #[test]

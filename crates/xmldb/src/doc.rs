@@ -346,11 +346,22 @@ impl Document {
             .retain(|a| !(a.owner == pre && a.name.as_ref() == name));
     }
 
-    /// Value update: rename an element node.
+    /// Value update: rename an element node.  Keeps the element-name index
+    /// consistent so nametest pushdown stays correct after the rename.
     pub fn rename_element(&mut self, pre: u32, name: &str) {
         if self.kind(pre) == NodeKind::Element {
+            let old = self.prop[pre as usize];
             let qid = self.intern_qname(Arc::from(name));
+            if old == qid {
+                return;
+            }
             self.prop[pre as usize] = qid;
+            if let Some(v) = self.name_index.get_mut(&old) {
+                v.retain(|&p| p != pre);
+            }
+            let v = self.name_index.entry(qid).or_default();
+            let at = v.partition_point(|&p| p < pre);
+            v.insert(at, pre);
         }
     }
 

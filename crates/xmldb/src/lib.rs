@@ -39,3 +39,4 @@ pub use node::{AttrRow, NodeKind};
 pub use serialize::{serialize_document, serialize_node};
 pub use shred::{shred, ShredError, ShredOptions};
 pub use store::{DocStore, TRANSIENT_FRAG};
+pub use update::{NaiveDocument, PagedDocument, StructuralUpdate, UpdateStats};

@@ -68,6 +68,21 @@ impl DocStore {
         self.by_name.get(name).copied()
     }
 
+    /// Replace the container at `frag` in place (the fragment id — and with
+    /// it every `NodeId` namespace — stays stable).  Used by the update path
+    /// to swap in the re-materialized view of an updated paged document.
+    ///
+    /// # Panics
+    /// Panics if the fragment id is unknown or refers to the transient
+    /// container.
+    pub fn replace_document(&mut self, frag: u32, doc: Document) {
+        assert!(
+            frag != TRANSIENT_FRAG && (frag as usize) < self.containers.len(),
+            "replace_document: unknown or transient fragment {frag}"
+        );
+        self.containers[frag as usize] = doc;
+    }
+
     /// Borrow a container by fragment id.
     ///
     /// # Panics

@@ -10,7 +10,9 @@
 //!   pages in logical (`pre`) order, so inserting a page "in the middle" only
 //!   appends tuples and adds a page-map entry;
 //! * deletes leave unused tuples in place; inserts that fit a page's free
-//!   space touch only that page; larger inserts append fresh pages;
+//!   space touch only that page; larger inserts split the page and append
+//!   fresh pages, themselves filled only to the configured fill factor so
+//!   later inserts in the same region keep finding free slots;
 //! * `size` maintenance uses deltas so the root need not stay locked.
 //!
 //! Two implementations are provided so the ablation experiment (E9 in
@@ -18,6 +20,13 @@
 //!
 //! * [`PagedDocument`] — the paper's scheme; counts pages touched.
 //! * [`NaiveDocument`] — textbook renumbering; counts tuples moved.
+//!
+//! Both expose the same update-primitive surface through the
+//! [`StructuralUpdate`] trait — the operations the XQuery Update Facility
+//! subset of `mxq-xquery` compiles to: child/sibling inserts, subtree
+//! deletion and replacement, value replacement, renames and attribute
+//! patching.  The naive scheme doubles as the differential-testing reference
+//! for the paged one.
 
 use std::sync::Arc;
 
@@ -33,6 +42,83 @@ pub struct UpdateStats {
     pub pages_touched: u64,
     /// Number of logical pages newly allocated (appended to the rid table).
     pub pages_allocated: u64,
+    /// The page fill factor the scheme was configured with (percent of each
+    /// page used at shredding/split time; 100 for the naive scheme, which
+    /// has no free-space notion).
+    pub fill_percent: u8,
+}
+
+impl UpdateStats {
+    /// Counter increments since `earlier` (the fill factor is carried over
+    /// unchanged — it is configuration, not a counter).
+    pub fn delta_since(&self, earlier: &UpdateStats) -> UpdateStats {
+        UpdateStats {
+            tuples_written: self.tuples_written - earlier.tuples_written,
+            pages_touched: self.pages_touched - earlier.pages_touched,
+            pages_allocated: self.pages_allocated - earlier.pages_allocated,
+            fill_percent: self.fill_percent,
+        }
+    }
+
+    /// Field-wise sum of two counter sets (used when aggregating the deltas
+    /// of several updated documents into one report).
+    pub fn accumulate(&mut self, other: &UpdateStats) {
+        self.tuples_written += other.tuples_written;
+        self.pages_touched += other.pages_touched;
+        self.pages_allocated += other.pages_allocated;
+        self.fill_percent = self.fill_percent.max(other.fill_percent);
+    }
+}
+
+/// The update-primitive surface shared by the paged and the naive scheme.
+///
+/// All positions are *logical* preorder ranks in the current document state.
+/// Inserted fragments may hold several fragment roots (a sequence of nodes);
+/// their levels are re-based onto the insertion point.
+pub trait StructuralUpdate {
+    /// Number of nodes in the logical view.
+    fn node_count(&self) -> usize;
+    /// Node kind at logical position `pre`.
+    fn node_kind(&self, pre: u32) -> NodeKind;
+    /// Subtree size at logical position `pre`.
+    fn node_size(&self, pre: u32) -> u32;
+    /// Depth at logical position `pre`.
+    fn node_level(&self, pre: u32) -> u16;
+    /// Parent of `pre`, or `None` for a fragment root.
+    fn node_parent(&self, pre: u32) -> Option<u32>;
+    /// Insert `fragment` as the first child of the element at `parent_pre`.
+    fn insert_first_child(&mut self, parent_pre: u32, fragment: &Document);
+    /// Insert `fragment` as the last child of the element at `parent_pre`.
+    fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document);
+    /// Insert `fragment` as the preceding sibling(s) of the node at `pre`.
+    fn insert_before(&mut self, pre: u32, fragment: &Document);
+    /// Insert `fragment` at logical position `pos` with the given level
+    /// (the enclosing ancestors are recovered from the level structure).
+    /// This is `insert_before` with an explicit position/level, usable even
+    /// when the anchor node itself was removed by an earlier primitive.
+    fn insert_at(&mut self, pos: u32, level: u16, fragment: &Document);
+    /// Insert `fragment` as the following sibling(s) of the node at `pre`.
+    fn insert_after(&mut self, pre: u32, fragment: &Document);
+    /// Delete the subtree rooted at `pre`.
+    fn delete_subtree(&mut self, pre: u32);
+    /// Replace the subtree rooted at `pre` with `fragment`.
+    fn replace_subtree(&mut self, pre: u32, fragment: &Document);
+    /// Replace the value of the node at `pre`: the text content of a
+    /// text/comment/PI node, or the entire content of an element (all
+    /// children are replaced by a single text node, or nothing for "").
+    fn replace_value(&mut self, pre: u32, text: &str);
+    /// Rename the element or processing instruction at `pre`.
+    fn rename(&mut self, pre: u32, name: &str);
+    /// Set (or insert) an attribute on the element at `pre`.
+    fn set_attribute(&mut self, pre: u32, name: &str, value: &str);
+    /// Remove an attribute from the element at `pre` (no-op if absent).
+    fn remove_attribute(&mut self, pre: u32, name: &str);
+    /// Rename an attribute of the element at `pre` (no-op if absent).
+    fn rename_attribute(&mut self, pre: u32, name: &str, new_name: &str);
+    /// Materialize the logical view as a read-only [`Document`].
+    fn to_document(&self) -> Document;
+    /// Accumulated cost counters.
+    fn update_stats(&self) -> UpdateStats;
 }
 
 /// One tuple of the updatable representation, carrying its node properties
@@ -43,7 +129,7 @@ struct Tuple {
     size: u32,
     level: u16,
     kind: NodeKind,
-    /// Element or PI name.
+    /// Element name, PI target, or `#document` for document nodes.
     name: Arc<str>,
     /// Text content (text/comment/PI nodes).
     text: Arc<str>,
@@ -57,7 +143,10 @@ fn tuples_of(doc: &Document) -> Vec<Tuple> {
             size: doc.size(pre),
             level: doc.level(pre),
             kind: doc.kind(pre),
-            name: Arc::from(doc.name_of(pre)),
+            name: match doc.kind(pre) {
+                NodeKind::Document => Arc::from("#document"),
+                _ => Arc::from(doc.name_of(pre)),
+            },
             text: Arc::from(doc.text_of(pre)),
             attrs: doc
                 .attributes(pre)
@@ -68,33 +157,64 @@ fn tuples_of(doc: &Document) -> Vec<Tuple> {
         .collect()
 }
 
+/// Fragment tuples with their levels re-based onto `level_base`.
+fn rebased_tuples(fragment: &Document, level_base: u16) -> Vec<Tuple> {
+    tuples_of(fragment)
+        .into_iter()
+        .map(|mut t| {
+            t.level += level_base;
+            t
+        })
+        .collect()
+}
+
+/// Rebuild a read-only [`Document`] from a preorder tuple stream.  Built
+/// through [`DocumentBuilder`] so all property containers (qname index,
+/// PI targets, attribute rows) are re-established and subtree sizes are
+/// recomputed from the level structure.
 fn materialize(name: &str, tuples: impl Iterator<Item = Tuple>) -> Document {
-    // Rebuild via the builder to re-establish the property containers.
-    let mut doc = Document::new(name);
-    let mut first = true;
+    let mut b = DocumentBuilder::new(name);
+    // stack of open element levels
+    let mut open: Vec<u16> = Vec::new();
+    // preorder ranks that must become document-kind nodes
+    let mut doc_nodes: Vec<u32> = Vec::new();
     for t in tuples {
-        if first || t.level == 0 {
-            doc.add_fragment_root(doc.len() as u32);
-            first = false;
+        while let Some(&lv) = open.last() {
+            if t.level <= lv {
+                b.end_element();
+                open.pop();
+            } else {
+                break;
+            }
         }
-        let pre = doc.len() as u32;
         match t.kind {
             NodeKind::Element | NodeKind::Document => {
-                let qid = doc.intern_qname(t.name.clone());
-                doc.push_row(t.size, t.level, NodeKind::Element, qid);
+                let pre = b.start_element(&t.name);
+                if t.kind == NodeKind::Document {
+                    doc_nodes.push(pre);
+                }
+                for (n, v) in &t.attrs {
+                    b.attribute(n, v);
+                }
+                open.push(t.level);
             }
-            NodeKind::Text | NodeKind::Comment => {
-                let tid = doc.push_text(&t.text);
-                doc.push_row(0, t.level, t.kind, tid);
+            NodeKind::Text => {
+                b.text(&t.text);
+            }
+            NodeKind::Comment => {
+                b.comment(&t.text);
             }
             NodeKind::ProcessingInstruction => {
-                let tid = doc.push_text(&t.text);
-                doc.push_row(0, t.level, t.kind, tid);
+                b.processing_instruction(&t.name, &t.text);
             }
         }
-        for (n, v) in &t.attrs {
-            doc.push_attr(pre, n.clone(), v.clone());
-        }
+    }
+    while open.pop().is_some() {
+        b.end_element();
+    }
+    let mut doc = b.finish();
+    for pre in doc_nodes {
+        doc.set_kind(pre, NodeKind::Document);
     }
     doc
 }
@@ -119,7 +239,10 @@ impl NaiveDocument {
         NaiveDocument {
             name: doc.name.clone(),
             tuples: tuples_of(doc),
-            stats: UpdateStats::default(),
+            stats: UpdateStats {
+                fill_percent: 100,
+                ..UpdateStats::default()
+            },
         }
     }
 
@@ -138,62 +261,201 @@ impl NaiveDocument {
         self.tuples[pre as usize].kind
     }
 
-    /// Insert `fragment` as the last child of `parent_pre`.
-    ///
-    /// # Panics
-    /// Panics if `parent_pre` is not an element (only elements have children
-    /// in the XML data model).
-    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+    /// Subtree size of the node at `pre`.
+    pub fn size(&self, pre: u32) -> u32 {
+        self.tuples[pre as usize].size
+    }
+
+    /// Level (depth) of the node at `pre`.
+    pub fn level(&self, pre: u32) -> u16 {
+        self.tuples[pre as usize].level
+    }
+
+    fn parent(&self, pre: u32) -> Option<u32> {
+        self.anchor_before(pre, self.tuples[pre as usize].level)
+    }
+
+    /// Closest node before position `pos` whose level is smaller than
+    /// `level` — the parent a node inserted at `(pos, level)` would get.
+    fn anchor_before(&self, pos: u32, level: u16) -> Option<u32> {
+        if level == 0 {
+            return None;
+        }
+        (0..pos)
+            .rev()
+            .find(|&v| self.tuples[v as usize].level < level)
+    }
+
+    fn assert_container(&self, pre: u32, what: &str) {
         assert!(
-            matches!(
-                self.kind(parent_pre),
-                NodeKind::Element | NodeKind::Document
-            ),
-            "insert_last_child: parent must be an element"
+            matches!(self.kind(pre), NodeKind::Element | NodeKind::Document),
+            "{what}: parent must be an element"
         );
-        let insert_at = (parent_pre + self.tuples[parent_pre as usize].size + 1) as usize;
-        let parent_level = self.tuples[parent_pre as usize].level;
-        let frag_tuples: Vec<Tuple> = tuples_of(fragment)
-            .into_iter()
-            .map(|mut t| {
-                t.level += parent_level + 1;
-                t
-            })
-            .collect();
-        let added = frag_tuples.len() as u32;
-        // every tuple at or after the insertion point is moved; every ancestor's
-        // size is rewritten; the inserted tuples are written
-        self.stats.tuples_written +=
-            (self.tuples.len() - insert_at) as u64 + added as u64 + parent_level as u64 + 1;
-        self.tuples.splice(insert_at..insert_at, frag_tuples);
-        // fix ancestor sizes
-        let mut anc = Some(parent_pre);
+    }
+
+    /// Splice tuples in at a logical position and grow every ancestor
+    /// (starting at `anchor`) by the inserted count.
+    fn splice_in(&mut self, insert_at: usize, tuples: Vec<Tuple>, anchor: Option<u32>) {
+        let added = tuples.len() as u32;
+        if added == 0 {
+            return;
+        }
+        // every tuple at or after the insertion point is moved, the inserted
+        // tuples are written
+        self.stats.tuples_written += (self.tuples.len() - insert_at) as u64 + added as u64;
+        self.tuples.splice(insert_at..insert_at, tuples);
+        let mut anc = anchor;
         while let Some(a) = anc {
             self.tuples[a as usize].size += added;
+            self.stats.tuples_written += 1;
             anc = self.parent(a);
         }
+    }
+
+    /// Remove `count` tuples starting at `start` (no ancestor maintenance).
+    fn remove_range(&mut self, start: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.stats.tuples_written += (self.tuples.len() - start - count) as u64 + count as u64;
+        self.tuples.drain(start..start + count);
+    }
+
+    fn shrink_ancestors(&mut self, anchor: Option<u32>, removed: u32) {
+        let mut anc = anchor;
+        while let Some(a) = anc {
+            self.tuples[a as usize].size -= removed;
+            self.stats.tuples_written += 1;
+            anc = self.parent(a);
+        }
+    }
+
+    /// Insert `fragment` as the first child of `parent_pre`.
+    pub fn insert_first_child(&mut self, parent_pre: u32, fragment: &Document) {
+        self.assert_container(parent_pre, "insert_first_child");
+        let level = self.level(parent_pre) + 1;
+        self.splice_in(
+            parent_pre as usize + 1,
+            rebased_tuples(fragment, level),
+            Some(parent_pre),
+        );
+    }
+
+    /// Insert `fragment` as the last child of `parent_pre`.
+    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+        self.assert_container(parent_pre, "insert_last_child");
+        let insert_at = (parent_pre + self.size(parent_pre) + 1) as usize;
+        let level = self.level(parent_pre) + 1;
+        self.splice_in(insert_at, rebased_tuples(fragment, level), Some(parent_pre));
+    }
+
+    /// Insert `fragment` immediately before the node at `pre` (as siblings).
+    pub fn insert_before(&mut self, pre: u32, fragment: &Document) {
+        self.insert_at(pre, self.level(pre), fragment);
+    }
+
+    /// Insert `fragment` at logical position `pos` with the given level (see
+    /// [`StructuralUpdate::insert_at`]).
+    pub fn insert_at(&mut self, pos: u32, level: u16, fragment: &Document) {
+        let anchor = self.anchor_before(pos, level);
+        self.splice_in(pos as usize, rebased_tuples(fragment, level), anchor);
+    }
+
+    /// Insert `fragment` immediately after the subtree of the node at `pre`.
+    pub fn insert_after(&mut self, pre: u32, fragment: &Document) {
+        let level = self.level(pre);
+        let insert_at = pre + self.size(pre) + 1;
+        self.insert_at(insert_at, level, fragment);
     }
 
     /// Delete the subtree rooted at `pre`.
     pub fn delete_subtree(&mut self, pre: u32) {
-        let removed = self.tuples[pre as usize].size + 1;
-        let end = pre as usize + removed as usize;
-        self.stats.tuples_written += (self.tuples.len() - end) as u64 + removed as u64;
+        let removed = self.size(pre) + 1;
         let parent = self.parent(pre);
-        self.tuples.drain(pre as usize..end);
-        let mut anc = parent;
-        while let Some(a) = anc {
-            self.tuples[a as usize].size -= removed;
-            anc = self.parent(a);
+        self.remove_range(pre as usize, removed as usize);
+        self.shrink_ancestors(parent, removed);
+    }
+
+    /// Replace the subtree rooted at `pre` with `fragment`.
+    pub fn replace_subtree(&mut self, pre: u32, fragment: &Document) {
+        let removed = self.size(pre) + 1;
+        let level = self.level(pre);
+        let anchor = self.parent(pre);
+        self.remove_range(pre as usize, removed as usize);
+        self.shrink_ancestors(anchor, removed);
+        self.splice_in(pre as usize, rebased_tuples(fragment, level), anchor);
+    }
+
+    /// Replace the value of the node at `pre` (see
+    /// [`StructuralUpdate::replace_value`]).
+    pub fn replace_value(&mut self, pre: u32, text: &str) {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                self.tuples[pre as usize].text = Arc::from(text);
+                self.stats.tuples_written += 1;
+            }
+            NodeKind::Element | NodeKind::Document => {
+                let removed = self.size(pre);
+                let level = self.level(pre);
+                self.remove_range(pre as usize + 1, removed as usize);
+                self.tuples[pre as usize].size = 0;
+                let parent = self.parent(pre);
+                self.shrink_ancestors(parent, removed);
+                if !text.is_empty() {
+                    let t = Tuple {
+                        size: 0,
+                        level: level + 1,
+                        kind: NodeKind::Text,
+                        name: Arc::from(""),
+                        text: Arc::from(text),
+                        attrs: Vec::new(),
+                    };
+                    self.splice_in(pre as usize + 1, vec![t], Some(pre));
+                }
+            }
         }
     }
 
-    fn parent(&self, pre: u32) -> Option<u32> {
-        let lv = self.tuples[pre as usize].level;
-        if lv == 0 {
-            return None;
+    /// Rename the element or processing instruction at `pre`.
+    pub fn rename(&mut self, pre: u32, name: &str) {
+        if matches!(
+            self.kind(pre),
+            NodeKind::Element | NodeKind::ProcessingInstruction
+        ) {
+            self.tuples[pre as usize].name = Arc::from(name);
+            self.stats.tuples_written += 1;
         }
-        (0..pre).rev().find(|&v| self.tuples[v as usize].level < lv)
+    }
+
+    /// Set (or insert) an attribute on the element at `pre`.
+    pub fn set_attribute(&mut self, pre: u32, name: &str, value: &str) {
+        self.assert_container(pre, "set_attribute");
+        let attrs = &mut self.tuples[pre as usize].attrs;
+        match attrs.iter_mut().find(|(n, _)| n.as_ref() == name) {
+            Some((_, v)) => *v = Arc::from(value),
+            None => attrs.push((Arc::from(name), Arc::from(value))),
+        }
+        self.stats.tuples_written += 1;
+    }
+
+    /// Remove an attribute from the element at `pre` (no-op if absent).
+    pub fn remove_attribute(&mut self, pre: u32, name: &str) {
+        self.tuples[pre as usize]
+            .attrs
+            .retain(|(n, _)| n.as_ref() != name);
+        self.stats.tuples_written += 1;
+    }
+
+    /// Rename an attribute of the element at `pre` (no-op if absent).
+    pub fn rename_attribute(&mut self, pre: u32, name: &str, new_name: &str) {
+        if let Some((n, _)) = self.tuples[pre as usize]
+            .attrs
+            .iter_mut()
+            .find(|(n, _)| n.as_ref() == name)
+        {
+            *n = Arc::from(new_name);
+        }
+        self.stats.tuples_written += 1;
     }
 
     /// Materialize a read-only [`Document`] for querying / verification.
@@ -223,6 +485,9 @@ pub struct PagedDocument {
     page_map: Vec<usize>,
     /// Logical page capacity in tuples (a power of two).
     page_size: usize,
+    /// Number of tuples a freshly shredded or split page is filled to
+    /// (`page_size * fill_percent / 100`, at least 1).
+    fill: usize,
     /// Accumulated costs.
     pub stats: UpdateStats,
 }
@@ -260,8 +525,31 @@ impl PagedDocument {
             pages,
             page_map,
             page_size,
-            stats: UpdateStats::default(),
+            fill,
+            stats: UpdateStats {
+                fill_percent,
+                ..UpdateStats::default()
+            },
         }
+    }
+
+    /// The configured page fill factor in percent.
+    pub fn fill_percent(&self) -> u8 {
+        self.stats.fill_percent
+    }
+
+    /// Re-tune the fill factor used for pages created by future splits
+    /// (already shredded pages are not repacked).
+    ///
+    /// # Panics
+    /// Panics unless `fill_percent ∈ (0, 100]`.
+    pub fn set_fill_percent(&mut self, fill_percent: u8) {
+        assert!(
+            (1..=100).contains(&fill_percent),
+            "fill_percent must be in 1..=100"
+        );
+        self.fill = ((self.page_size * fill_percent as usize) / 100).max(1);
+        self.stats.fill_percent = fill_percent;
     }
 
     /// Number of (used) nodes in the logical view.
@@ -331,40 +619,56 @@ impl PagedDocument {
         self.tuple(pre as usize).level
     }
 
+    /// Parent recovery by a backwards level scan.  Walks the pages directly
+    /// (one [`Self::locate`] total) instead of calling `level()` — and thus
+    /// re-locating — once per visited node.
     fn parent(&self, pre: u32) -> Option<u32> {
-        let lv = self.level(pre);
-        if lv == 0 {
-            return None;
-        }
-        (0..pre).rev().find(|&v| self.level(v) < lv)
+        self.anchor_before(pre, self.tuple(pre as usize).level)
     }
 
-    /// Insert `fragment` as the last child of the node at logical position
-    /// `parent_pre`.  Touches one page when the fragment fits into the free
-    /// space of the target page, otherwise appends new pages (Figure 11).
-    ///
-    /// # Panics
-    /// Panics if `parent_pre` is not an element (only elements have children
-    /// in the XML data model).
-    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
-        assert!(
-            matches!(
-                self.kind(parent_pre),
-                NodeKind::Element | NodeKind::Document
-            ),
-            "insert_last_child: parent must be an element"
-        );
-        let insert_pos = (parent_pre + self.size(parent_pre) + 1) as usize;
-        let parent_level = self.level(parent_pre);
-        let frag_tuples: Vec<Tuple> = tuples_of(fragment)
-            .into_iter()
-            .map(|mut t| {
-                t.level += parent_level + 1;
-                t
-            })
-            .collect();
-        let added = frag_tuples.len() as u32;
+    /// Closest node before position `pos` whose level is smaller than
+    /// `level` — the parent a node inserted at `(pos, level)` would get.
+    fn anchor_before(&self, pos: u32, level: u16) -> Option<u32> {
+        if level == 0 || pos == 0 {
+            return None;
+        }
+        let (mut slot, mut off) = self.locate(pos as usize);
+        let mut idx = pos;
+        loop {
+            let page = &self.pages[self.page_map[slot]];
+            while off > 0 {
+                off -= 1;
+                idx -= 1;
+                if page.tuples[off].level < level {
+                    return Some(idx);
+                }
+            }
+            if slot == 0 {
+                return None;
+            }
+            slot -= 1;
+            off = self.pages[self.page_map[slot]].tuples.len();
+        }
+    }
 
+    fn assert_container(&self, pre: u32, what: &str) {
+        assert!(
+            matches!(self.kind(pre), NodeKind::Element | NodeKind::Document),
+            "{what}: parent must be an element"
+        );
+    }
+
+    /// Insert tuples at a logical position.  Touches one page when the
+    /// fragment fits into the free space of the target page, otherwise splits
+    /// the page: its tail plus the new tuples move into freshly appended
+    /// pages, each filled only to the configured fill factor so that repeated
+    /// inserts into the same region keep splitting locally instead of
+    /// remapping O(N) tuples (Figure 11).
+    fn insert_tuples_at(&mut self, insert_pos: usize, frag_tuples: Vec<Tuple>) {
+        let added = frag_tuples.len() as u64;
+        if added == 0 {
+            return;
+        }
         let (slot, off) = self.locate(insert_pos);
         let page_idx = self.page_map[slot];
         let free = self.page_size - self.pages[page_idx].tuples.len().min(self.page_size);
@@ -374,7 +678,7 @@ impl PagedDocument {
             let page = &mut self.pages[page_idx];
             page.tuples.splice(off..off, frag_tuples);
             self.stats.pages_touched += 1;
-            self.stats.tuples_written += added as u64;
+            self.stats.tuples_written += added;
         } else {
             // does not fit: move the tail of the target page plus the new
             // tuples into freshly appended pages inserted after `slot`
@@ -384,7 +688,7 @@ impl PagedDocument {
             pending.extend(tail);
             self.stats.tuples_written += pending.len() as u64;
             let mut insert_slot = slot + 1;
-            for chunk in pending.chunks(self.page_size) {
+            for chunk in pending.chunks(self.fill) {
                 let new_idx = self.pages.len();
                 self.pages.push(Page {
                     tuples: chunk.to_vec(),
@@ -395,23 +699,16 @@ impl PagedDocument {
                 self.stats.pages_touched += 1;
             }
         }
-
-        // ancestor size maintenance via deltas (does not move tuples)
-        let mut anc = Some(parent_pre);
-        while let Some(a) = anc {
-            self.tuple_mut(a as usize).size += added;
-            self.stats.tuples_written += 1;
-            anc = self.parent(a);
-        }
     }
 
-    /// Delete the subtree rooted at logical position `pre`.  The freed slots
-    /// become unused space on their pages; no other page is rewritten.
-    pub fn delete_subtree(&mut self, pre: u32) {
-        let removed = self.size(pre) + 1;
-        let parent = self.parent(pre);
-        let mut remaining = removed as usize;
-        let (mut slot, mut off) = self.locate(pre as usize);
+    /// Remove `count` tuples starting at logical position `start`.  The freed
+    /// slots become unused space on their pages; no other page is rewritten.
+    fn remove_range(&mut self, start: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let mut remaining = count;
+        let (mut slot, mut off) = self.locate(start);
         let mut touched = 0u64;
         while remaining > 0 {
             let page_idx = self.page_map[slot];
@@ -429,13 +726,166 @@ impl PagedDocument {
             off = 0;
         }
         self.stats.pages_touched += touched;
-        self.stats.tuples_written += removed as u64;
-        let mut anc = parent;
-        while let Some(a) = anc {
-            self.tuple_mut(a as usize).size -= removed;
-            self.stats.tuples_written += 1;
-            anc = self.parent(a);
+        self.stats.tuples_written += count as u64;
+    }
+
+    /// Ancestor size maintenance via deltas (does not move tuples).
+    fn bump_ancestors(&mut self, anchor: Option<u32>, delta: i64) {
+        if delta == 0 {
+            return;
         }
+        let mut anc = anchor;
+        while let Some(a) = anc {
+            let next = self.parent(a);
+            let t = self.tuple_mut(a as usize);
+            t.size = (t.size as i64 + delta) as u32;
+            self.stats.tuples_written += 1;
+            anc = next;
+        }
+    }
+
+    /// Insert `fragment` as the first child of the node at `parent_pre`.
+    pub fn insert_first_child(&mut self, parent_pre: u32, fragment: &Document) {
+        self.assert_container(parent_pre, "insert_first_child");
+        let level = self.level(parent_pre) + 1;
+        let tuples = rebased_tuples(fragment, level);
+        let added = tuples.len() as i64;
+        self.insert_tuples_at(parent_pre as usize + 1, tuples);
+        self.bump_ancestors(Some(parent_pre), added);
+    }
+
+    /// Insert `fragment` as the last child of the node at logical position
+    /// `parent_pre`.
+    pub fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+        self.assert_container(parent_pre, "insert_last_child");
+        let insert_pos = (parent_pre + self.size(parent_pre) + 1) as usize;
+        let level = self.level(parent_pre) + 1;
+        let tuples = rebased_tuples(fragment, level);
+        let added = tuples.len() as i64;
+        self.insert_tuples_at(insert_pos, tuples);
+        self.bump_ancestors(Some(parent_pre), added);
+    }
+
+    /// Insert `fragment` immediately before the node at `pre` (as siblings).
+    pub fn insert_before(&mut self, pre: u32, fragment: &Document) {
+        self.insert_at(pre, self.level(pre), fragment);
+    }
+
+    /// Insert `fragment` at logical position `pos` with the given level (see
+    /// [`StructuralUpdate::insert_at`]).
+    pub fn insert_at(&mut self, pos: u32, level: u16, fragment: &Document) {
+        let anchor = self.anchor_before(pos, level);
+        let tuples = rebased_tuples(fragment, level);
+        let added = tuples.len() as i64;
+        self.insert_tuples_at(pos as usize, tuples);
+        self.bump_ancestors(anchor, added);
+    }
+
+    /// Insert `fragment` immediately after the subtree of the node at `pre`.
+    pub fn insert_after(&mut self, pre: u32, fragment: &Document) {
+        let level = self.level(pre);
+        let insert_pos = pre + self.size(pre) + 1;
+        self.insert_at(insert_pos, level, fragment);
+    }
+
+    /// Delete the subtree rooted at logical position `pre`.
+    pub fn delete_subtree(&mut self, pre: u32) {
+        let removed = self.size(pre) + 1;
+        let parent = self.parent(pre);
+        self.remove_range(pre as usize, removed as usize);
+        self.bump_ancestors(parent, -(removed as i64));
+    }
+
+    /// Replace the subtree rooted at `pre` with `fragment`.
+    pub fn replace_subtree(&mut self, pre: u32, fragment: &Document) {
+        let removed = self.size(pre) + 1;
+        let level = self.level(pre);
+        let anchor = self.parent(pre);
+        self.remove_range(pre as usize, removed as usize);
+        self.bump_ancestors(anchor, -(removed as i64));
+        let tuples = rebased_tuples(fragment, level);
+        let added = tuples.len() as i64;
+        self.insert_tuples_at(pre as usize, tuples);
+        self.bump_ancestors(anchor, added);
+    }
+
+    /// Replace the value of the node at `pre` (see
+    /// [`StructuralUpdate::replace_value`]).
+    pub fn replace_value(&mut self, pre: u32, text: &str) {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                self.tuple_mut(pre as usize).text = Arc::from(text);
+                self.stats.tuples_written += 1;
+                self.stats.pages_touched += 1;
+            }
+            NodeKind::Element | NodeKind::Document => {
+                let removed = self.size(pre);
+                let level = self.level(pre);
+                self.remove_range(pre as usize + 1, removed as usize);
+                self.tuple_mut(pre as usize).size = 0;
+                let parent = self.parent(pre);
+                self.bump_ancestors(parent, -(removed as i64));
+                if !text.is_empty() {
+                    let t = Tuple {
+                        size: 0,
+                        level: level + 1,
+                        kind: NodeKind::Text,
+                        name: Arc::from(""),
+                        text: Arc::from(text),
+                        attrs: Vec::new(),
+                    };
+                    self.insert_tuples_at(pre as usize + 1, vec![t]);
+                    self.bump_ancestors(Some(pre), 1);
+                }
+            }
+        }
+    }
+
+    /// Rename the element or processing instruction at `pre`.
+    pub fn rename(&mut self, pre: u32, name: &str) {
+        if matches!(
+            self.kind(pre),
+            NodeKind::Element | NodeKind::ProcessingInstruction
+        ) {
+            self.tuple_mut(pre as usize).name = Arc::from(name);
+            self.stats.tuples_written += 1;
+            self.stats.pages_touched += 1;
+        }
+    }
+
+    /// Set (or insert) an attribute on the element at `pre`.
+    pub fn set_attribute(&mut self, pre: u32, name: &str, value: &str) {
+        self.assert_container(pre, "set_attribute");
+        let attrs = &mut self.tuple_mut(pre as usize).attrs;
+        match attrs.iter_mut().find(|(n, _)| n.as_ref() == name) {
+            Some((_, v)) => *v = Arc::from(value),
+            None => attrs.push((Arc::from(name), Arc::from(value))),
+        }
+        self.stats.tuples_written += 1;
+        self.stats.pages_touched += 1;
+    }
+
+    /// Remove an attribute from the element at `pre` (no-op if absent).
+    pub fn remove_attribute(&mut self, pre: u32, name: &str) {
+        self.tuple_mut(pre as usize)
+            .attrs
+            .retain(|(n, _)| n.as_ref() != name);
+        self.stats.tuples_written += 1;
+        self.stats.pages_touched += 1;
+    }
+
+    /// Rename an attribute of the element at `pre` (no-op if absent).
+    pub fn rename_attribute(&mut self, pre: u32, name: &str, new_name: &str) {
+        if let Some((n, _)) = self
+            .tuple_mut(pre as usize)
+            .attrs
+            .iter_mut()
+            .find(|(n, _)| n.as_ref() == name)
+        {
+            *n = Arc::from(new_name);
+        }
+        self.stats.tuples_written += 1;
+        self.stats.pages_touched += 1;
     }
 
     /// Materialize the logical view as a read-only [`Document`] (the
@@ -449,6 +899,73 @@ impl PagedDocument {
         materialize(&self.name, iter.into_iter())
     }
 }
+
+macro_rules! impl_structural_update {
+    ($ty:ty) => {
+        impl StructuralUpdate for $ty {
+            fn node_count(&self) -> usize {
+                self.len()
+            }
+            fn node_kind(&self, pre: u32) -> NodeKind {
+                self.kind(pre)
+            }
+            fn node_size(&self, pre: u32) -> u32 {
+                self.size(pre)
+            }
+            fn node_level(&self, pre: u32) -> u16 {
+                self.level(pre)
+            }
+            fn node_parent(&self, pre: u32) -> Option<u32> {
+                self.parent(pre)
+            }
+            fn insert_first_child(&mut self, parent_pre: u32, fragment: &Document) {
+                <$ty>::insert_first_child(self, parent_pre, fragment)
+            }
+            fn insert_last_child(&mut self, parent_pre: u32, fragment: &Document) {
+                <$ty>::insert_last_child(self, parent_pre, fragment)
+            }
+            fn insert_before(&mut self, pre: u32, fragment: &Document) {
+                <$ty>::insert_before(self, pre, fragment)
+            }
+            fn insert_at(&mut self, pos: u32, level: u16, fragment: &Document) {
+                <$ty>::insert_at(self, pos, level, fragment)
+            }
+            fn insert_after(&mut self, pre: u32, fragment: &Document) {
+                <$ty>::insert_after(self, pre, fragment)
+            }
+            fn delete_subtree(&mut self, pre: u32) {
+                <$ty>::delete_subtree(self, pre)
+            }
+            fn replace_subtree(&mut self, pre: u32, fragment: &Document) {
+                <$ty>::replace_subtree(self, pre, fragment)
+            }
+            fn replace_value(&mut self, pre: u32, text: &str) {
+                <$ty>::replace_value(self, pre, text)
+            }
+            fn rename(&mut self, pre: u32, name: &str) {
+                <$ty>::rename(self, pre, name)
+            }
+            fn set_attribute(&mut self, pre: u32, name: &str, value: &str) {
+                <$ty>::set_attribute(self, pre, name, value)
+            }
+            fn remove_attribute(&mut self, pre: u32, name: &str) {
+                <$ty>::remove_attribute(self, pre, name)
+            }
+            fn rename_attribute(&mut self, pre: u32, name: &str, new_name: &str) {
+                <$ty>::rename_attribute(self, pre, name, new_name)
+            }
+            fn to_document(&self) -> Document {
+                <$ty>::to_document(self)
+            }
+            fn update_stats(&self) -> UpdateStats {
+                self.stats
+            }
+        }
+    };
+}
+
+impl_structural_update!(NaiveDocument);
+impl_structural_update!(PagedDocument);
 
 /// Build a small XML fragment document from text (helper used by examples,
 /// benches and tests when composing subtrees to insert).
@@ -575,5 +1092,190 @@ mod tests {
         );
         doc.remove_attribute(0, "y");
         assert_eq!(doc.attribute(0, "y"), None);
+    }
+
+    /// Drive the same op sequence through both schemes and compare.
+    fn both(ops: impl Fn(&mut dyn StructuralUpdate)) -> (String, String) {
+        let doc = base();
+        let mut naive = NaiveDocument::from_document(&doc);
+        let mut paged = PagedDocument::from_document(&doc, 4, 75);
+        ops(&mut naive);
+        ops(&mut paged);
+        let n = naive.to_document();
+        let p = paged.to_document();
+        n.check_invariants().unwrap();
+        p.check_invariants().unwrap();
+        (serialize_document(&n), serialize_document(&p))
+    }
+
+    #[test]
+    fn sibling_inserts_both_schemes() {
+        // base: a(0) b(1) c(2) d(3) f(4) g(5) h(6) i(7) j(8)
+        let (n, p) = both(|d| {
+            d.insert_before(1, &fragment_from_xml("<p/>"));
+            // <b> moved to pre 2; insert after its subtree
+            d.insert_after(2, &fragment_from_xml("<q><r/></q>"));
+            d.insert_first_child(0, &fragment_from_xml("<s/>"));
+        });
+        assert_eq!(n, p);
+        assert_eq!(
+            n,
+            "<a><s/><p/><b><c/><d/></b><q><r/></q><f><g/><h><i/><j/></h></f></a>"
+        );
+    }
+
+    #[test]
+    fn replace_subtree_both_schemes() {
+        let (n, p) = both(|d| {
+            d.replace_subtree(1, &fragment_from_xml("<x><y/></x>"));
+        });
+        assert_eq!(n, p);
+        assert_eq!(n, "<a><x><y/></x><f><g/><h><i/><j/></h></f></a>");
+        // replacement with a multi-root sequence
+        let (n, p) = both(|d| {
+            d.replace_subtree(6, &fragment_from_xml("<u/>").clone());
+            d.replace_subtree(1, &{
+                let mut b = DocumentBuilder::new("#frag");
+                b.start_element("one");
+                b.end_element();
+                b.start_element("two");
+                b.end_element();
+                b.finish()
+            });
+        });
+        assert_eq!(n, p);
+        assert_eq!(n, "<a><one/><two/><f><g/><u/></f></a>");
+    }
+
+    #[test]
+    fn replace_value_both_schemes() {
+        let doc = shred(
+            "t",
+            "<a><b>old</b><c><d/><e/></c></a>",
+            &ShredOptions::default(),
+        )
+        .unwrap();
+        let mut naive = NaiveDocument::from_document(&doc);
+        let mut paged = PagedDocument::from_document(&doc, 4, 75);
+        for d in [&mut naive as &mut dyn StructuralUpdate, &mut paged] {
+            d.replace_value(2, "new"); // text node under <b>
+            d.replace_value(3, "flat"); // element <c>: children replaced
+        }
+        let expected = "<a><b>new</b><c>flat</c></a>";
+        assert_eq!(serialize_document(&naive.to_document()), expected);
+        assert_eq!(serialize_document(&paged.to_document()), expected);
+        // empty value empties the element
+        naive.replace_value(3, "");
+        paged.replace_value(3, "");
+        let expected = "<a><b>new</b><c/></a>";
+        assert_eq!(serialize_document(&naive.to_document()), expected);
+        assert_eq!(serialize_document(&paged.to_document()), expected);
+    }
+
+    #[test]
+    fn rename_and_attribute_patching_both_schemes() {
+        let doc = shred("t", "<a x=\"1\"><b y=\"2\"/></a>", &ShredOptions::default()).unwrap();
+        let mut naive = NaiveDocument::from_document(&doc);
+        let mut paged = PagedDocument::from_document(&doc, 8, 75);
+        for d in [&mut naive as &mut dyn StructuralUpdate, &mut paged] {
+            d.rename(1, "bee");
+            d.set_attribute(1, "y", "22"); // overwrite
+            d.set_attribute(1, "z", "3"); // insert
+            d.remove_attribute(0, "x");
+            d.rename_attribute(1, "z", "zz");
+        }
+        let expected = "<a><bee y=\"22\" zz=\"3\"/></a>";
+        assert_eq!(serialize_document(&naive.to_document()), expected);
+        assert_eq!(serialize_document(&paged.to_document()), expected);
+    }
+
+    #[test]
+    fn materialize_preserves_document_nodes_and_pis() {
+        let opts = ShredOptions {
+            document_node: true,
+            ..ShredOptions::default()
+        };
+        let doc = shred("t", "<?pi data?><a><b/></a>", &opts).unwrap();
+        assert_eq!(doc.kind(0), NodeKind::Document);
+        let paged = PagedDocument::from_document(&doc, 8, 75);
+        let mat = paged.to_document();
+        mat.check_invariants().unwrap();
+        assert_eq!(mat.kind(0), NodeKind::Document);
+        assert_eq!(serialize_document(&mat), serialize_document(&doc));
+        // PI target survives the round trip
+        let pi = (0..mat.len() as u32)
+            .find(|&p| mat.kind(p) == NodeKind::ProcessingInstruction)
+            .unwrap();
+        assert_eq!(mat.name_of(pi), "pi");
+        assert_eq!(mat.text_of(pi), "data");
+    }
+
+    #[test]
+    fn repeated_inserts_split_pages_instead_of_remapping() {
+        // Regression test for the page-fill policy: overflow pages used to be
+        // created 100% full, so every subsequent insert into the same region
+        // allocated fresh pages.  With fill-factor-aware splits, N one-node
+        // inserts into the same page allocate ~N/(page_size-fill) pages.
+        let doc = base();
+        let page_size = 16;
+        let mut paged = PagedDocument::from_document(&doc, page_size, 50);
+        assert_eq!(paged.fill_percent(), 50);
+        let n = 100u32;
+        let frag = fragment_from_xml("<z/>");
+        for _ in 0..n {
+            paged.insert_first_child(0, &frag);
+        }
+        let mat = paged.to_document();
+        mat.check_invariants().unwrap();
+        assert_eq!(mat.len(), 9 + n as usize);
+        // splits are amortized: each allocated page absorbs about
+        // page_size - fill = 8 inserts, so ~13 allocations for 100 inserts —
+        // far below the one-allocation-per-insert of the broken policy
+        assert!(
+            paged.stats.pages_allocated <= (n as u64) / 2,
+            "pages_allocated = {} for {} inserts",
+            paged.stats.pages_allocated,
+            n
+        );
+        // and no O(N) remaps: the tuple writes per insert stay bounded by the
+        // page size (plus the ancestor delta), not the document size
+        assert!(
+            paged.stats.tuples_written <= (n as u64) * (page_size as u64 + 4),
+            "tuples_written = {}",
+            paged.stats.tuples_written
+        );
+    }
+
+    #[test]
+    fn set_fill_percent_tunes_future_splits() {
+        let doc = base();
+        let mut paged = PagedDocument::from_document(&doc, 8, 100);
+        paged.set_fill_percent(50);
+        assert_eq!(paged.stats.fill_percent, 50);
+        // force a split: the overflow pages are now half-filled
+        let frag = fragment(|b| {
+            b.start_element("x1");
+            b.end_element();
+            b.start_element("x2");
+            b.end_element();
+        });
+        paged.insert_first_child(0, &frag);
+        assert!(paged.free_slots() > 0, "split pages keep free slots");
+        paged.to_document().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_delta_and_accumulate() {
+        let doc = base();
+        let mut paged = PagedDocument::from_document(&doc, 8, 75);
+        let before = paged.stats;
+        paged.insert_last_child(0, &fragment_from_xml("<x/>"));
+        let delta = paged.stats.delta_since(&before);
+        assert!(delta.tuples_written >= 1);
+        assert_eq!(delta.fill_percent, 75);
+        let mut acc = UpdateStats::default();
+        acc.accumulate(&delta);
+        acc.accumulate(&delta);
+        assert_eq!(acc.tuples_written, 2 * delta.tuples_written);
     }
 }

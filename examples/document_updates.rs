@@ -54,5 +54,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bids =
         engine.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
     println!("\nbidders on the updated auction: {}", bids.serialize());
+
+    // the same write path, driven from XQuery Update Facility text: the
+    // statements are parsed, compiled, collected into a pending update list
+    // and applied to the engine's own paged representation
+    let report = engine.execute_update(
+        "insert nodes <bidder><date>2006-06-28</date><increase>20.00</increase></bidder> \
+         as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1], \
+         replace value of node doc(\"auction.xml\")/site/open_auctions/open_auction[1]/current \
+         with \"999.99\"",
+    )?;
+    println!(
+        "\nXQUF batch: {} statements → {} primitives, {} tuples written, {} pages touched",
+        report.statements,
+        report.primitives,
+        report.stats.tuples_written,
+        report.stats.pages_touched
+    );
+    let bids =
+        engine.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
+    let current =
+        engine.execute("doc(\"auction.xml\")/site/open_auctions/open_auction[1]/current/text()")?;
+    println!(
+        "after the batch: {} bidders, current price {}",
+        bids.serialize(),
+        current.serialize()
+    );
     Ok(())
 }

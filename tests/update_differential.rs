@@ -1,0 +1,282 @@
+//! Differential testing of the update path: random update scripts applied
+//! through the pending-update-list machinery to
+//!
+//! * the paged scheme ([`PagedDocument`], several page-size/fill configs),
+//! * the naive renumbering scheme ([`NaiveDocument`]), and
+//! * a reshred of the serialized result (shred ∘ serialize fixpoint)
+//!
+//! must agree exactly, and every materialized document must satisfy the
+//! pre|size|level invariants.  A second suite drives the same comparison
+//! end-to-end through `XQueryEngine::execute_update` on an XMark document.
+
+use proptest::prelude::*;
+
+use mxq::engine::NodeId;
+use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument, StructuralUpdate};
+use mxq::xmldb::{serialize_document, shred, Document, NodeKind, ShredOptions};
+use mxq::xquery::{PendingUpdateList, UpdatePrimitive, XQueryEngine};
+
+// ---------------------------------------------------------------------------
+// random scripts over random trees
+// ---------------------------------------------------------------------------
+
+/// A recursive strategy producing small random XML element trees.
+fn arb_xml_tree() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        "[a-e]{1,6}".prop_map(|t| format!("<leaf>{t}</leaf>")),
+        Just("<empty/>".to_string()),
+        "[a-e]{1,4}".prop_map(|v| format!("<node attr=\"{v}\"/>")),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "item", "person", "x"]),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, children)| format!("<{name}>{}</{name}>", children.join("")))
+    })
+}
+
+/// One symbolic update op; targets are picked by index into the non-root
+/// node/element lists of the *snapshot* document.
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    InsertFirst(usize, &'static str),
+    InsertLast(usize, &'static str),
+    InsertBefore(usize, &'static str),
+    InsertAfter(usize, &'static str),
+    Delete(usize),
+    ReplaceNode(usize, &'static str),
+    ReplaceValue(usize, String),
+    Rename(usize, &'static str),
+    SetAttr(usize, &'static str, String),
+    RemoveAttr(usize, &'static str),
+}
+
+const FRAGS: [&str; 4] = [
+    "<k/>",
+    "<k><l/><m>t</m></k>",
+    "<p q=\"1\">text</p>",
+    "<deep><a><b><c/></b></a></deep>",
+];
+
+fn frag_strategy() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(FRAGS.to_vec())
+}
+
+fn arb_op() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        (0usize..64, frag_strategy()).prop_map(|(i, f)| ScriptOp::InsertFirst(i, f)),
+        (0usize..64, frag_strategy()).prop_map(|(i, f)| ScriptOp::InsertLast(i, f)),
+        (0usize..64, frag_strategy()).prop_map(|(i, f)| ScriptOp::InsertBefore(i, f)),
+        (0usize..64, frag_strategy()).prop_map(|(i, f)| ScriptOp::InsertAfter(i, f)),
+        (0usize..64).prop_map(ScriptOp::Delete),
+        (0usize..64, frag_strategy()).prop_map(|(i, f)| ScriptOp::ReplaceNode(i, f)),
+        (0usize..64, "[a-d]{0,5}").prop_map(|(i, v)| ScriptOp::ReplaceValue(i, v)),
+        (0usize..64, prop::sample::select(vec!["rn1", "rn2"]))
+            .prop_map(|(i, n)| ScriptOp::Rename(i, n)),
+        (
+            0usize..64,
+            prop::sample::select(vec!["attr", "zz"]),
+            "[a-d]{0,4}"
+        )
+            .prop_map(|(i, n, v)| ScriptOp::SetAttr(i, n, v)),
+        (0usize..64, prop::sample::select(vec!["attr", "zz"]))
+            .prop_map(|(i, n)| ScriptOp::RemoveAttr(i, n)),
+    ]
+}
+
+/// Resolve a script against a snapshot into a conflict-free PUL.  Ops whose
+/// index has no valid target (or that would conflict) are skipped — the same
+/// resolution is used for every scheme, so the comparison stays exact.
+fn resolve(doc: &Document, script: &[ScriptOp]) -> PendingUpdateList {
+    let frag_id = 1u32;
+    let non_roots: Vec<u32> = (0..doc.len() as u32)
+        .filter(|&p| doc.level(p) > 0)
+        .collect();
+    let elements: Vec<u32> = (0..doc.len() as u32)
+        .filter(|&p| doc.kind(p) == NodeKind::Element)
+        .collect();
+    let pick = |list: &[u32], i: usize| -> Option<u32> {
+        if list.is_empty() {
+            None
+        } else {
+            Some(list[i % list.len()])
+        }
+    };
+    let mut pul = PendingUpdateList::new();
+    for op in script {
+        let prim = match op {
+            ScriptOp::InsertFirst(i, f) => {
+                pick(&elements, *i).map(|p| UpdatePrimitive::InsertInto {
+                    parent: NodeId::new(frag_id, p),
+                    first: true,
+                    content: fragment_from_xml(f),
+                })
+            }
+            ScriptOp::InsertLast(i, f) => {
+                pick(&elements, *i).map(|p| UpdatePrimitive::InsertInto {
+                    parent: NodeId::new(frag_id, p),
+                    first: false,
+                    content: fragment_from_xml(f),
+                })
+            }
+            ScriptOp::InsertBefore(i, f) => {
+                pick(&non_roots, *i).map(|p| UpdatePrimitive::InsertBefore {
+                    target: NodeId::new(frag_id, p),
+                    content: fragment_from_xml(f),
+                })
+            }
+            ScriptOp::InsertAfter(i, f) => {
+                pick(&non_roots, *i).map(|p| UpdatePrimitive::InsertAfter {
+                    target: NodeId::new(frag_id, p),
+                    content: fragment_from_xml(f),
+                })
+            }
+            ScriptOp::Delete(i) => pick(&non_roots, *i).map(|p| UpdatePrimitive::Delete {
+                target: NodeId::new(frag_id, p),
+            }),
+            ScriptOp::ReplaceNode(i, f) => {
+                pick(&non_roots, *i).map(|p| UpdatePrimitive::ReplaceNode {
+                    target: NodeId::new(frag_id, p),
+                    content: fragment_from_xml(f),
+                })
+            }
+            ScriptOp::ReplaceValue(i, v) => {
+                pick(&elements, *i).map(|p| UpdatePrimitive::ReplaceValue {
+                    target: NodeId::new(frag_id, p),
+                    value: v.clone(),
+                })
+            }
+            ScriptOp::Rename(i, n) => pick(&elements, *i).map(|p| UpdatePrimitive::Rename {
+                target: NodeId::new(frag_id, p),
+                name: n.to_string(),
+            }),
+            ScriptOp::SetAttr(i, n, v) => {
+                pick(&elements, *i).map(|p| UpdatePrimitive::SetAttribute {
+                    elem: NodeId::new(frag_id, p),
+                    name: n.to_string(),
+                    value: v.clone(),
+                })
+            }
+            ScriptOp::RemoveAttr(i, n) => {
+                pick(&elements, *i).map(|p| UpdatePrimitive::RemoveAttribute {
+                    elem: NodeId::new(frag_id, p),
+                    name: n.to_string(),
+                })
+            }
+        };
+        if let Some(prim) = prim {
+            // conflicting ops (two renames of one node, …) are legitimately
+            // rejected — skip them so the scripts stay applicable
+            let _ = pul.add(prim);
+        }
+    }
+    pul
+}
+
+/// Deletes may nest (delete an ancestor and a descendant): the descendant's
+/// snapshot position is consumed by the ancestor delete for reshredding
+/// purposes, but both schemes resolve it identically — so only require that
+/// the two schemes agree, plus reshred-fixpoint and invariants.
+fn check_script(xml: &str, script: &[ScriptOp], page_size: usize, fill: u8) {
+    let doc = shred("d.xml", xml, &ShredOptions::default()).expect("generated tree parses");
+    let pul = resolve(&doc, script);
+    let mut naive = NaiveDocument::from_document(&doc);
+    let mut paged = PagedDocument::from_document(&doc, page_size, fill);
+    let a = pul.apply_to(1, &mut naive);
+    let b = pul.apply_to(1, &mut paged);
+    assert_eq!(a, b, "both schemes apply the same primitive count");
+
+    let naive_doc = naive.to_document();
+    let paged_doc = paged.to_document();
+    naive_doc.check_invariants().unwrap();
+    paged_doc.check_invariants().unwrap();
+    let naive_xml = serialize_document(&naive_doc);
+    let paged_xml = serialize_document(&paged_doc);
+    assert_eq!(naive_xml, paged_xml, "paged vs naive disagreement");
+
+    // reshred of the serialized result must be a fixpoint with the same
+    // node count (guards against corrupt size/level maintenance that still
+    // happens to serialize identically)
+    if !paged_xml.is_empty() && paged_doc.fragment_roots().len() == 1 {
+        let reshred = shred("re.xml", &paged_xml, &ShredOptions::default())
+            .expect("serialized update result must reparse");
+        assert_eq!(serialize_document(&reshred), paged_xml);
+        assert_eq!(reshred.len(), paged_doc.len(), "node count after reshred");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_scripts_agree_across_schemes(
+        xml in arb_xml_tree(),
+        script in prop::collection::vec(arb_op(), 1..12),
+    ) {
+        check_script(&xml, &script, 8, 75);
+    }
+
+    #[test]
+    fn random_scripts_agree_under_small_tight_pages(
+        xml in arb_xml_tree(),
+        script in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        // stress page splits: tiny pages, no slack
+        check_script(&xml, &script, 4, 100);
+    }
+
+    #[test]
+    fn random_scripts_agree_under_large_loose_pages(
+        xml in arb_xml_tree(),
+        script in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        check_script(&xml, &script, 64, 25);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: XQUF text over an XMark document
+// ---------------------------------------------------------------------------
+
+#[test]
+fn xmark_mixed_query_update_round_trip() {
+    let xml = mxq::xmark::gen::generate_xml(&mxq::xmark::gen::GenParams::with_factor(0.0005));
+    let mut e = XQueryEngine::new();
+    e.load_document("auction.xml", &xml).unwrap();
+    let count = |e: &mut XQueryEngine| -> i64 {
+        e.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)")
+            .unwrap()
+            .serialize()
+            .parse()
+            .unwrap()
+    };
+    let before = count(&mut e);
+    e.execute_update(
+        "insert nodes <bidder><date>2006-07-28</date><increase>6.00</increase></bidder> \
+         as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1]",
+    )
+    .unwrap();
+    e.execute_update(
+        "insert nodes <bidder><date>2006-07-29</date><increase>1.50</increase></bidder> \
+         as first into doc(\"auction.xml\")/site/open_auctions/open_auction[1]",
+    )
+    .unwrap();
+    assert_eq!(count(&mut e), before + 2);
+    e.execute_update(
+        "delete nodes doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder[1]",
+    )
+    .unwrap();
+    assert_eq!(count(&mut e), before + 1);
+    // the mutated store still answers a real XMark query
+    e.reset_transient();
+    assert!(e.execute(mxq::xmark::queries::query_text(1)).is_ok());
+    // and the serialized store state reparses cleanly
+    e.sync();
+    let frag = e.store().lookup("auction.xml").unwrap();
+    let doc = e.store().container(frag);
+    doc.check_invariants().unwrap();
+    let text = serialize_document(doc);
+    let reshred = shred("check.xml", &text, &ShredOptions::default()).unwrap();
+    assert_eq!(serialize_document(&reshred), text);
+}
