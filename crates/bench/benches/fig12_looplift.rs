@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mxq_bench::{
-    engine_with_xmark, fig12_configs, run_query, scale_factor, xmark_xml, SMALL_FACTOR,
+    fig12_configs, run_query, scale_factor, session_with_xmark, xmark_xml, SMALL_FACTOR,
 };
 use mxq_xmark::queries::QUERY_IDS;
 
@@ -21,12 +21,12 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     for (name, config) in fig12_configs() {
-        let mut engine = engine_with_xmark(&xml, config);
+        let mut session = session_with_xmark(&xml, config);
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for id in QUERY_IDS {
-                    total += run_query(&mut engine, id);
+                    total += run_query(&mut session, id);
                 }
                 total
             })

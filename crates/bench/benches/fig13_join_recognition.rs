@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, scale_factor, xmark_xml, SMALL_FACTOR};
+use mxq_bench::{run_query, scale_factor, session_with_xmark, xmark_xml, SMALL_FACTOR};
 use mxq_xquery::ExecConfig;
 
 fn bench(c: &mut Criterion) {
@@ -29,9 +29,9 @@ fn bench(c: &mut Criterion) {
         ),
     ] {
         for query in [8usize, 9, 10, 11, 12] {
-            let mut engine = engine_with_xmark(&xml, config);
+            let mut session = session_with_xmark(&xml, config);
             group.bench_function(format!("Q{query}/{name}"), |b| {
-                b.iter(|| run_query(&mut engine, query))
+                b.iter(|| run_query(&mut session, query))
             });
         }
     }

@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, scale_factor, xmark_xml, SMALL_FACTOR};
+use mxq_bench::{run_query, scale_factor, session_with_xmark, xmark_xml, SMALL_FACTOR};
 use mxq_xmark::queries::QUERY_IDS;
 use mxq_xquery::ExecConfig;
 
@@ -28,12 +28,12 @@ fn bench(c: &mut Criterion) {
             },
         ),
     ] {
-        let mut engine = engine_with_xmark(&xml, config);
+        let mut session = session_with_xmark(&xml, config);
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut total = 0usize;
                 for id in QUERY_IDS {
-                    total += run_query(&mut engine, id);
+                    total += run_query(&mut session, id);
                 }
                 total
             })

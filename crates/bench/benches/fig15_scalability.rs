@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, scale_factors, xmark_xml};
+use mxq_bench::{run_query, scale_factors, session_with_xmark, xmark_xml};
 use mxq_xmark::queries::QUERY_IDS;
 use mxq_xquery::ExecConfig;
 
@@ -19,12 +19,12 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for factor in scale_factors(&[0.0005, 0.001, 0.002]) {
         let xml = xmark_xml(factor);
-        let mut engine = engine_with_xmark(&xml, ExecConfig::default());
+        let mut session = session_with_xmark(&xml, ExecConfig::default());
         group.bench_with_input(BenchmarkId::new("all_queries", factor), &factor, |b, _| {
             b.iter(|| {
                 let mut total = 0usize;
                 for id in QUERY_IDS {
-                    total += run_query(&mut engine, id);
+                    total += run_query(&mut session, id);
                 }
                 total
             })

@@ -1,0 +1,54 @@
+//! Concurrent sessions over one shared database — the server workload of
+//! paper Section 6 (one shredded store, many clients) that the
+//! `Database`/`Session` API exists for.
+//!
+//! N reader sessions (each on its own thread) execute XMark queries served
+//! by the shared plan cache while one writer session applies XQuery Update
+//! Facility statements.  Reported as ops/sec for 1, 4 and 8 reader
+//! sessions at a 90/10 read/write mix; each configuration also prints the
+//! plan-cache hit rate and per-session op/s.  `MXQ_SCALE` overrides the
+//! document scale factor.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxq_bench::{run_mixed_workload, scale_factor, xmark_db, xmark_xml};
+
+const OPS: usize = 80;
+const READ_PCT: u8 = 90;
+
+fn bench(c: &mut Criterion) {
+    let factor = scale_factor(0.001);
+    let xml = xmark_xml(factor);
+    let mut group = c.benchmark_group("fig_concurrent_sessions");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(OPS as u64));
+    for sessions in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("readers_{sessions}"), format!("sf{factor}")),
+            &sessions,
+            |b, &sessions| {
+                b.iter_batched(
+                    || xmark_db(&xml),
+                    |db| run_mixed_workload(&db, sessions, READ_PCT, OPS, 0xcafe),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        // a warm-database run for the counters the baselines record: the
+        // second run over one database is served by the plan cache
+        let db = xmark_db(&xml);
+        let _ = run_mixed_workload(&db, sessions, READ_PCT, OPS, 0xcafe);
+        let report = run_mixed_workload(&db, sessions, READ_PCT, OPS, 0xcafe);
+        println!(
+            "fig_concurrent_sessions/readers_{sessions}: {}",
+            report.summary()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

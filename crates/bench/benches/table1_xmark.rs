@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mxq_bench::{engine_with_xmark, run_query, run_query_naive, scale_factor, xmark_xml};
+use mxq_bench::{run_query, run_query_naive, scale_factor, session_with_xmark, xmark_xml};
 use mxq_xquery::ExecConfig;
 
 fn bench(c: &mut Criterion) {
@@ -21,10 +21,10 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     // a representative subset: lookup, construction, aggregation, joins, paths
     let queries = [1usize, 2, 5, 6, 8, 11, 14, 15, 19, 20];
-    let mut engine = engine_with_xmark(&xml, ExecConfig::default());
+    let mut session = session_with_xmark(&xml, ExecConfig::default());
     for q in queries {
         group.bench_function(format!("Q{q}/relational"), |b| {
-            b.iter(|| run_query(&mut engine, q))
+            b.iter(|| run_query(&mut session, q))
         });
         group.bench_function(format!("Q{q}/naive"), |b| {
             b.iter(|| run_query_naive(&xml, q))

@@ -2,19 +2,23 @@
 //!
 //! Every table and figure of the paper's evaluation (Section 6) has one bench
 //! target in `benches/`; this library provides the common set-up: generating
-//! an XMark document at a given scale factor, loading it into an engine with
-//! a given [`ExecConfig`], and running one query.
+//! an XMark document at a given scale factor, loading it into a shared
+//! [`Database`], opening [`Session`]s with a given [`ExecConfig`], and
+//! running queries.
 //!
 //! The scale factors used here are laptop-scale (see DESIGN.md §3): the
 //! paper's claims that these benches reproduce are about *relative* shape
 //! (speedups, crossovers, scaling exponents), which are visible at these
 //! sizes.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use mxq_xmark::gen::{generate_xml, GenParams};
 use mxq_xmark::naive::NaiveInterpreter;
 use mxq_xmark::queries::query_text;
 use mxq_xmldb::{DocStore, UpdateStats};
-use mxq_xquery::{ExecConfig, XQueryEngine};
+use mxq_xquery::{Database, ExecConfig, Session};
 use rand::{Rng, SeedableRng, StdRng};
 
 /// Default scale factor for single-document benches (≈0.1 MB of XML).
@@ -55,21 +59,24 @@ pub fn xmark_xml(factor: f64) -> String {
     generate_xml(&GenParams::with_factor(factor))
 }
 
-/// Build an engine with the given config and a loaded XMark document.
-pub fn engine_with_xmark(xml: &str, config: ExecConfig) -> XQueryEngine {
-    let mut engine = XQueryEngine::with_config(config);
-    engine
-        .load_document("auction.xml", xml)
+/// Build a shared database with a loaded XMark document (`auction.xml`).
+pub fn xmark_db(xml: &str) -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", xml)
         .expect("generated XMark document must load");
-    engine
+    db
 }
 
-/// Run one XMark query on an engine, resetting the transient container so
-/// repeated runs do not accumulate constructed nodes.
-pub fn run_query(engine: &mut XQueryEngine, id: usize) -> usize {
-    engine.reset_transient();
-    let result = engine
-        .execute(query_text(id))
+/// Build a session (over a fresh single-document database) with the given
+/// config and a loaded XMark document — the single-client bench fixture.
+pub fn session_with_xmark(xml: &str, config: ExecConfig) -> Session {
+    xmark_db(xml).session_with_config(config)
+}
+
+/// Run one XMark query on a session.
+pub fn run_query(session: &mut Session, id: usize) -> usize {
+    let result = session
+        .query(query_text(id))
         .unwrap_or_else(|e| panic!("XMark Q{id} failed: {e}"));
     result.len()
 }
@@ -88,6 +95,8 @@ pub fn run_query_naive(xml: &str, id: usize) -> usize {
 /// Outcome counters of one mixed query/update workload run.
 #[derive(Debug, Clone, Default)]
 pub struct MixedWorkloadReport {
+    /// Reader sessions driven (each on its own thread).
+    pub reader_sessions: usize,
     /// Operations executed as queries.
     pub reads: usize,
     /// Operations executed as updates.
@@ -98,71 +107,172 @@ pub struct MixedWorkloadReport {
     pub primitives: usize,
     /// Storage-level cost counters accumulated over the write operations.
     pub stats: UpdateStats,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Total operations per second over the run.
+    pub ops_per_sec: f64,
+    /// Operations per second per session (readers + the writer).
+    pub per_session_ops_per_sec: f64,
+    /// Plan-cache hits observed during the run (database-level delta).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses observed during the run.
+    pub plan_cache_misses: u64,
 }
 
-/// Run a mixed query/update workload against an engine holding an XMark
-/// document under `auction.xml`: `ops` operations, of which `read_pct`
-/// percent are queries (XMark Q1 plus bidder/current scans) and the rest are
-/// XQuery Update Facility statements (bidder inserts/deletes, `current`
-/// value replacement, annotation-subtree replacement, renames) against
-/// random open auctions.  Deterministic for a given `seed`.
-pub fn run_mixed_workload(
-    engine: &mut XQueryEngine,
-    read_pct: u8,
-    ops: usize,
-    seed: u64,
-) -> MixedWorkloadReport {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut report = MixedWorkloadReport::default();
-    let auctions: usize = engine
-        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
-        .expect("auction count query")
-        .serialize()
-        .parse()
-        .unwrap_or(0);
-    assert!(auctions > 0, "workload needs at least one open auction");
-    let queries = [
+impl MixedWorkloadReport {
+    /// Plan-cache hit rate in `[0, 1]` during the run; `None` if the run
+    /// performed no cache lookups.
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
+    }
+
+    /// One-line human-readable summary (used by the throughput benches).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} reader(s)+1 writer: {} reads / {} writes in {:.3}s — {:.0} op/s total, \
+             {:.0} op/s per session, plan-cache hit rate {:.0}%",
+            self.reader_sessions,
+            self.reads,
+            self.writes,
+            self.elapsed_secs,
+            self.ops_per_sec,
+            self.per_session_ops_per_sec,
+            self.plan_cache_hit_rate().unwrap_or(0.0) * 100.0
+        )
+    }
+}
+
+/// The read queries of the mixed workload: XMark Q1 plus bidder/current
+/// scans.
+fn workload_queries() -> Vec<String> {
+    vec![
         query_text(1).to_string(),
         "count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)".to_string(),
         "for $a in doc(\"auction.xml\")/site/open_auctions/open_auction \
          where $a/current > 100 return $a/current/text()"
             .to_string(),
-    ];
-    for op in 0..ops {
-        if rng.gen_range(0..100u32) < read_pct as u32 {
-            engine.reset_transient();
-            let q = &queries[rng.gen_range(0..queries.len())];
-            let result = engine.execute(q).expect("workload query");
-            report.reads += 1;
-            report.read_items += result.len();
-        } else {
-            let k = rng.gen_range(0..auctions) + 1;
-            let auction = format!("doc(\"auction.xml\")/site/open_auctions/open_auction[{k}]");
-            let stmt = match rng.gen_range(0..5u32) {
-                0 => format!(
-                    "insert nodes <bidder><date>2006-07-{:02}</date>\
-                     <increase>{}.50</increase></bidder> as last into {auction}",
-                    1 + op % 28,
-                    1 + op % 9
-                ),
-                1 => format!("delete nodes {auction}/bidder[1]"),
-                2 => format!(
-                    "replace value of node {auction}/current with \"{}.37\"",
-                    100 + op % 400
-                ),
-                3 => format!(
-                    "replace node {auction}/annotation/happiness \
-                     with <happiness>{}</happiness>",
-                    op % 10
-                ),
-                _ => format!("rename node {auction}/type as \"type\""),
-            };
-            let rep = engine.execute_update(&stmt).expect("workload update");
+    ]
+}
+
+/// The update statement for write op number `op` against a random auction.
+fn workload_update(op: usize, auction_idx: usize, kind: u32) -> String {
+    let auction = format!("doc(\"auction.xml\")/site/open_auctions/open_auction[{auction_idx}]");
+    match kind {
+        0 => format!(
+            "insert nodes <bidder><date>2006-07-{:02}</date>\
+             <increase>{}.50</increase></bidder> as last into {auction}",
+            1 + op % 28,
+            1 + op % 9
+        ),
+        1 => format!("delete nodes {auction}/bidder[1]"),
+        2 => format!(
+            "replace value of node {auction}/current with \"{}.37\"",
+            100 + op % 400
+        ),
+        3 => format!(
+            "replace node {auction}/annotation/happiness \
+             with <happiness>{}</happiness>",
+            op % 10
+        ),
+        _ => format!("rename node {auction}/type as \"type\""),
+    }
+}
+
+/// Run a mixed query/update workload against a shared database holding an
+/// XMark document under `auction.xml`: `readers` reader sessions (each on
+/// its own thread) execute queries (XMark Q1 plus bidder/current scans)
+/// while one writer session applies XQuery Update Facility statements
+/// (bidder inserts/deletes, `current` value replacement, annotation-subtree
+/// replacement, renames) against random open auctions.
+///
+/// Of the `ops` total operations, `read_pct` percent are reads, split
+/// evenly over the reader sessions; the rest are writes, all issued by the
+/// writer.  The op mix is deterministic for a given `seed`; the
+/// interleaving (and therefore the per-read item counts) is not, since the
+/// sessions genuinely run concurrently.
+pub fn run_mixed_workload(
+    db: &Arc<Database>,
+    readers: usize,
+    read_pct: u8,
+    ops: usize,
+    seed: u64,
+) -> MixedWorkloadReport {
+    assert!(readers >= 1, "the workload needs at least one reader");
+    let auctions: usize = db
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
+        .expect("auction count query")
+        .into_query()
+        .expect("count is a query")
+        .serialize()
+        .parse()
+        .unwrap_or(0);
+    assert!(auctions > 0, "workload needs at least one open auction");
+
+    let total_reads = ops * read_pct as usize / 100;
+    let total_writes = ops - total_reads;
+    let stats_before = db.stats();
+    let started = Instant::now();
+
+    let mut report = std::thread::scope(|scope| {
+        let queries = Arc::new(workload_queries());
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let reads = total_reads / readers + usize::from(r < total_reads % readers);
+            let mut session = db.session();
+            let queries = queries.clone();
+            let seed = seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut items = 0usize;
+                for _ in 0..reads {
+                    let q = &queries[rng.gen_range(0..queries.len())];
+                    let result = session
+                        .execute(q)
+                        .expect("workload query")
+                        .into_query()
+                        .expect("read ops are queries");
+                    items += result.len();
+                }
+                (reads, items)
+            }));
+        }
+
+        // the writer drives its share from this thread
+        let mut writer = db.session();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut report = MixedWorkloadReport {
+            reader_sessions: readers,
+            ..MixedWorkloadReport::default()
+        };
+        for op in 0..total_writes {
+            let auction_idx = rng.gen_range(0..auctions) + 1;
+            let kind = rng.gen_range(0..5u32);
+            let stmt = workload_update(op, auction_idx, kind);
+            let rep = writer
+                .execute(&stmt)
+                .expect("workload update")
+                .into_update()
+                .expect("write ops are updates");
             report.writes += 1;
             report.primitives += rep.primitives;
             report.stats.accumulate(&rep.stats);
         }
-    }
+        for handle in handles {
+            let (reads, items) = handle.join().expect("reader session thread");
+            report.reads += reads;
+            report.read_items += items;
+        }
+        report
+    });
+
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let stats_after = db.stats();
+    report.elapsed_secs = elapsed;
+    report.ops_per_sec = ops as f64 / elapsed;
+    report.per_session_ops_per_sec = ops as f64 / elapsed / (readers + 1) as f64;
+    report.plan_cache_hits = stats_after.plan_cache_hits - stats_before.plan_cache_hits;
+    report.plan_cache_misses = stats_after.plan_cache_misses - stats_before.plan_cache_misses;
     report
 }
 
@@ -224,9 +334,9 @@ mod tests {
     #[test]
     fn fixtures_work() {
         let xml = xmark_xml(0.0005);
-        let mut e = engine_with_xmark(&xml, ExecConfig::default());
-        assert!(run_query(&mut e, 1) <= 1);
-        assert!(run_query(&mut e, 6) >= 1);
+        let mut s = session_with_xmark(&xml, ExecConfig::default());
+        assert!(run_query(&mut s, 1) <= 1);
+        assert!(run_query(&mut s, 6) >= 1);
         assert_eq!(fig12_configs().len(), 5);
     }
 
@@ -242,16 +352,21 @@ mod tests {
     #[test]
     fn mixed_workload_runs_and_mutates() {
         let xml = xmark_xml(0.0005);
-        let mut e = engine_with_xmark(&xml, ExecConfig::default());
-        let report = run_mixed_workload(&mut e, 50, 30, 42);
+        let db = xmark_db(&xml);
+        let report = run_mixed_workload(&db, 2, 50, 30, 42);
         assert_eq!(report.reads + report.writes, 30);
+        assert_eq!(report.reader_sessions, 2);
         assert!(report.writes > 0, "a 50/50 mix over 30 ops must write");
         assert!(report.stats.tuples_written > 0);
-        // determinism: the same seed produces the same counts on a fresh engine
-        let mut e2 = engine_with_xmark(&xml, ExecConfig::default());
-        let report2 = run_mixed_workload(&mut e2, 50, 30, 42);
+        assert!(report.ops_per_sec > 0.0);
+        // the op mix is deterministic for a given seed on a fresh database
+        let db2 = xmark_db(&xml);
+        let report2 = run_mixed_workload(&db2, 2, 50, 30, 42);
         assert_eq!(report.reads, report2.reads);
-        assert_eq!(report.read_items, report2.read_items);
+        assert_eq!(report.writes, report2.writes);
         assert_eq!(report.primitives, report2.primitives);
+        // the second run over the same database is served by the plan cache
+        let report3 = run_mixed_workload(&db, 2, 50, 30, 42);
+        assert!(report3.plan_cache_hit_rate().unwrap_or(0.0) > 0.3);
     }
 }

@@ -12,7 +12,7 @@
 //! and the executor memoises evaluated nodes by plan id, mirroring the
 //! materialisation of intermediate results in MonetDB/XQuery.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mxq_engine::agg::AggFunc;
 use mxq_engine::{CmpOp, Item};
@@ -20,8 +20,11 @@ use mxq_staircase::{Axis, NodeTest};
 
 use crate::ast::ArithOp;
 
-/// A reference-counted plan node.
-pub type PlanRef = Rc<Plan>;
+/// A reference-counted plan node.  Plans are immutable after compilation and
+/// atomically reference counted, so a compiled plan (and with it a
+/// [`crate::Prepared`] statement or a plan-cache entry) can be shared and
+/// executed from many threads concurrently.
+pub type PlanRef = Arc<Plan>;
 
 /// Column properties inferred at plan-construction time and exploited by the
 /// executor when the order-aware mode is enabled (Section 4.1).
@@ -120,6 +123,20 @@ pub enum Op {
         loop_: PlanRef,
         /// Document name as passed to `fn:doc`.
         name: String,
+    },
+    /// An external variable (`declare variable $x external;`): its value is
+    /// supplied at execution time through [`crate::Params`] and loop-lifted
+    /// over `loop_` exactly like a constant sequence.  The optional `default`
+    /// plan (from `declare variable $x external := expr;`) is evaluated when
+    /// no binding is supplied; without a default, executing with the
+    /// variable unbound is an error.
+    ExternalVar {
+        /// The loop relation to lift over.
+        loop_: PlanRef,
+        /// Variable name (without `$`).
+        name: String,
+        /// Default-value plan when the prolog declares one.
+        default: Option<PlanRef>,
     },
     /// ρ: turn a sequence into a *nest map* describing one new inner
     /// iteration per input tuple.  Output columns `outer|inner|pos|item`
@@ -384,7 +401,7 @@ pub enum Op {
 impl Plan {
     /// Number of operators in the plan DAG (each shared node counted once) —
     /// the paper reports an average of 86 operators for XMark plans.
-    pub fn operator_count(self: &Rc<Self>) -> usize {
+    pub fn operator_count(self: &Arc<Self>) -> usize {
         let mut seen = std::collections::HashSet::new();
         fn walk(p: &PlanRef, seen: &mut std::collections::HashSet<usize>) {
             if !seen.insert(p.id) {
@@ -403,6 +420,11 @@ impl Plan {
         match &self.op {
             Op::LoopOne => vec![],
             Op::ConstSeq { loop_, .. } | Op::DocRoot { loop_, .. } => vec![loop_.clone()],
+            Op::ExternalVar { loop_, default, .. } => {
+                let mut v = vec![loop_.clone()];
+                v.extend(default.iter().cloned());
+                v
+            }
             Op::NestFromSeq { seq } => vec![seq.clone()],
             Op::NestFromJoin {
                 source,
@@ -478,6 +500,7 @@ impl Plan {
             Op::LoopOne => "loop",
             Op::ConstSeq { .. } => "const",
             Op::DocRoot { .. } => "doc",
+            Op::ExternalVar { .. } => "extern",
             Op::NestFromSeq { .. } => "nest(ρ)",
             Op::NestFromJoin { .. } => "nest(⋈)",
             Op::NestLoop { .. } => "nest-loop",
@@ -514,7 +537,7 @@ impl Plan {
 
     /// Render the DAG as an indented tree (shared nodes are expanded once and
     /// referenced by id afterwards) — useful for `EXPLAIN`-style output.
-    pub fn explain(self: &Rc<Self>) -> String {
+    pub fn explain(self: &Arc<Self>) -> String {
         let mut out = String::new();
         let mut seen = std::collections::HashSet::new();
         fn walk(
@@ -543,7 +566,7 @@ mod tests {
     use super::*;
 
     fn mk(id: usize, op: Op) -> PlanRef {
-        Rc::new(Plan {
+        Arc::new(Plan {
             id,
             op,
             props: Props::default(),

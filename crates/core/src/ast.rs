@@ -8,7 +8,7 @@
 //! (boolean and positional); direct element constructors with enclosed
 //! expressions; arithmetic, value and general comparisons; node order
 //! comparison (`<<`, `>>`); quantified expressions; conditional expressions;
-//! the built-in function library of [`crate::functions`]; and user-defined
+//! the built-in function library (see `compile::Compiler`); and user-defined
 //! functions declared in the query prolog (expanded inline).
 
 use std::fmt;
@@ -415,7 +415,7 @@ pub struct UpdateQuery {
     /// User-defined functions.
     pub functions: Vec<FunctionDecl>,
     /// Global variable declarations.
-    pub variables: Vec<(String, Expr)>,
+    pub variables: Vec<VarDecl>,
     /// The updating statements, in source order.
     pub statements: Vec<UpdateStmt>,
 }
@@ -431,15 +431,52 @@ pub struct FunctionDecl {
     pub body: Expr,
 }
 
+/// A global variable declared in the query prolog.
+///
+/// `declare variable $x := expr;` binds `$x` to the value of `expr`;
+/// `declare variable $x external;` declares `$x` as supplied by the caller
+/// at execution time (through `Params`), optionally with a default value:
+/// `declare variable $x external := expr;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name (without `$`).
+    pub name: String,
+    /// The initializer — for external variables, the default value used when
+    /// the caller supplies no binding.
+    pub init: Option<Expr>,
+    /// Declared `external` (value supplied at execution time)?
+    pub external: bool,
+}
+
 /// A parsed query: prolog declarations plus the main expression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// User-defined functions.
     pub functions: Vec<FunctionDecl>,
-    /// Global variable declarations (`declare variable $x := expr;`).
-    pub variables: Vec<(String, Expr)>,
+    /// Global variable declarations (`declare variable $x := expr;`,
+    /// `declare variable $x external;`).
+    pub variables: Vec<VarDecl>,
     /// The query body.
     pub body: Expr,
+}
+
+/// A parsed statement: either a (read-only) query or an updating statement
+/// list.  [`crate::parser::parse_statement`] auto-detects which of the two a
+/// source text is, so callers with a unified entry point (e.g.
+/// `Session::execute`) do not have to know the statement kind up front.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query (`parse_query` shape).
+    Query(Query),
+    /// An XQuery Update Facility statement list (`parse_update` shape).
+    Update(UpdateQuery),
+}
+
+impl Statement {
+    /// True if this is an updating statement.
+    pub fn is_update(&self) -> bool {
+        matches!(self, Statement::Update(_))
+    }
 }
 
 impl fmt::Display for Literal {

@@ -1,6 +1,6 @@
 //! The loop-lifting compiler: XQuery AST → relational algebra plans.
 //!
-//! The compilation scheme is the one of Section 2.1 (after [17], "XQuery on
+//! The compilation scheme is the one of Section 2.1 (after \[17\], "XQuery on
 //! SQL Hosts"): every subexpression is compiled relative to the *loop
 //! relation* of its scope; `for` clauses create a new, finer loop via the
 //! ρ-shaped [`Op::NestFromSeq`] operator; variables of enclosing scopes are
@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mxq_engine::agg::AggFunc;
 use mxq_engine::{CmpOp, Item};
@@ -69,6 +69,10 @@ impl std::error::Error for CompileError {}
 
 type CResult<T> = Result<T, CompileError>;
 
+/// Compiled `order by` keys: one plan per key, paired with its descending
+/// flag, major key first.
+type OrderKeys = Vec<(PlanRef, bool)>;
+
 /// The variable environment of one scope: the loop relation plus the plan of
 /// every visible variable (all relative to that loop).
 #[derive(Clone)]
@@ -84,6 +88,7 @@ pub struct Compiler {
     config: ExecConfig,
     functions: HashMap<String, FunctionDecl>,
     inline_depth: usize,
+    externals: Vec<String>,
 }
 
 /// Maximum user-function inlining depth (recursion guard).
@@ -97,7 +102,43 @@ impl Compiler {
             config,
             functions: HashMap::new(),
             inline_depth: 0,
+            externals: Vec::new(),
         }
+    }
+
+    /// Names of the external variables declared by the last compiled prolog
+    /// (`declare variable $x external`), in declaration order.  Callers use
+    /// this to validate bindings before execution.
+    pub fn external_variables(&self) -> &[String] {
+        &self.externals
+    }
+
+    /// Compile the prolog variable declarations into the environment.
+    fn compile_prolog_vars(&mut self, vars: &[VarDecl], env: &mut Env) -> CResult<()> {
+        for decl in vars {
+            let plan = if decl.external {
+                self.externals.push(decl.name.clone());
+                let default = match &decl.init {
+                    Some(e) => Some(self.compile(e, env)?),
+                    None => None,
+                };
+                self.plan(Op::ExternalVar {
+                    loop_: env.loop_.clone(),
+                    name: decl.name.clone(),
+                    default,
+                })
+            } else {
+                let init = decl.init.as_ref().ok_or_else(|| {
+                    CompileError::Unsupported(format!(
+                        "variable ${} declared without a value",
+                        decl.name
+                    ))
+                })?;
+                self.compile(init, env)?
+            };
+            env.vars.insert(decl.name.clone(), plan);
+        }
+        Ok(())
     }
 
     /// Compile a full query (prolog + body) into a plan whose result is the
@@ -111,10 +152,7 @@ impl Compiler {
             loop_: loop_one,
             vars: HashMap::new(),
         };
-        for (name, value) in &query.variables {
-            let v = self.compile(value, &env)?;
-            env.vars.insert(name.clone(), v);
-        }
+        self.compile_prolog_vars(&query.variables, &mut env)?;
         self.compile(&query.body, &env)
     }
 
@@ -131,10 +169,7 @@ impl Compiler {
             loop_: loop_one,
             vars: HashMap::new(),
         };
-        for (name, value) in &query.variables {
-            let v = self.compile(value, &env)?;
-            env.vars.insert(name.clone(), v);
-        }
+        self.compile_prolog_vars(&query.variables, &mut env)?;
         let mut statements = Vec::new();
         for stmt in &query.statements {
             statements.push(match stmt {
@@ -238,7 +273,7 @@ impl Compiler {
         let props = infer_props(&op);
         let id = self.next_id;
         self.next_id += 1;
-        Rc::new(Plan { id, op, props })
+        Arc::new(Plan { id, op, props })
     }
 
     fn const_seq(&mut self, loop_: &PlanRef, items: Vec<Item>) -> PlanRef {
@@ -393,7 +428,7 @@ impl Compiler {
         order_by: Option<&OrderSpec>,
         ret: &Expr,
         env: &Env,
-    ) -> CResult<(PlanRef, Option<Vec<(PlanRef, bool)>>)> {
+    ) -> CResult<(PlanRef, Option<OrderKeys>)> {
         match clauses.first() {
             None => {
                 // innermost scope: apply where, compile the order key and the return clause
@@ -613,7 +648,7 @@ impl Compiler {
 
     /// Compile every key of an `order by` clause in the given scope; each
     /// key is atomised so ordering compares values, not nodes.
-    fn compile_order_keys(&mut self, spec: &OrderSpec, env: &Env) -> CResult<Vec<(PlanRef, bool)>> {
+    fn compile_order_keys(&mut self, spec: &OrderSpec, env: &Env) -> CResult<OrderKeys> {
         spec.keys
             .iter()
             .map(|k| {
@@ -1143,6 +1178,7 @@ fn infer_props(op: &Op) -> Props {
         },
         Op::ConstSeq { .. }
         | Op::DocRoot { .. }
+        | Op::ExternalVar { .. }
         | Op::NestVar { .. }
         | Op::NestVarPos { .. }
         | Op::NestLoop { .. }

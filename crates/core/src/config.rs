@@ -52,6 +52,23 @@ impl ExecConfig {
         Self::default()
     }
 
+    /// A stable fingerprint of the configuration, used as part of plan-cache
+    /// keys: two configurations with the same fingerprint compile any query
+    /// to the same plan.
+    pub fn fingerprint(&self) -> u64 {
+        let bits = [
+            self.loop_lifted_child,
+            self.loop_lifted_descendant,
+            self.nametest_pushdown,
+            self.join_recognition,
+            self.order_aware,
+            self.existential_minmax,
+        ];
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
     /// The fully naive configuration (all switches off): iterative staircase
     /// joins, no join recognition, no order awareness.
     pub fn naive() -> Self {

@@ -1,0 +1,1533 @@
+//! The server-style public API: a shared [`Database`], cheap per-client
+//! [`Session`] handles and compile-once/execute-many [`Prepared`] statements.
+//!
+//! MonetDB/XQuery is a *server*: one shredded store serves many concurrent
+//! clients, and loop-lifted plans are compiled once and reused (paper
+//! Sections 2 and 6).  This module reproduces that shape:
+//!
+//! * [`Database`] owns the documents behind a `RwLock` (single-writer,
+//!   many-reader), an LRU **plan cache** keyed by (statement text,
+//!   configuration fingerprint), and the paged update state.  It is
+//!   `Send + Sync` and meant to be shared via `Arc`.
+//! * [`Session`] is a cheap handle created by [`Database::session`]: it
+//!   carries the per-client [`ExecConfig`] and statistics.  Statements go
+//!   through [`Session::execute`], which auto-detects query vs. update text.
+//! * [`Prepared`] is produced by [`Session::prepare`]: the text is parsed
+//!   and compiled exactly once (external variables declared with
+//!   `declare variable $x external;` stay symbolic) and can then be executed
+//!   many times — concurrently from many threads — with values supplied
+//!   through the [`Params`] binder (`prepared.bind("x", 42).execute()`).
+//!
+//! Every query execution pins an immutable [`StoreSnapshot`], so readers
+//! never block each other and a writer can never pull document data out
+//! from under a running query or an already produced [`QueryResult`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
+
+use mxq_engine::{Item, NodeId};
+use mxq_xmldb::{
+    DocStore, Document, DocumentBuilder, DocumentColumns, NodeKind, PagedDocument, StoreSnapshot,
+    UpdateStats, TRANSIENT_FRAG,
+};
+
+use crate::algebra::PlanRef;
+use crate::ast::Statement;
+use crate::compile::Compiler;
+use crate::config::{ExecConfig, ExecStats};
+use crate::exec::{serialize_item_snapshot, serialize_items_snapshot, ExecError, Executor};
+use crate::params::Params;
+use crate::parser::parse_statement;
+use crate::pul::{self, PendingUpdateList, PulError, UpdateKind, UpdatePlan, UpdatePrimitive};
+use crate::{Error, DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE};
+
+// ---------------------------------------------------------------------------
+// results
+// ---------------------------------------------------------------------------
+
+/// The result of a query: the item sequence, pinned to the store snapshot
+/// and the private transient container it was produced against.
+///
+/// Serialization is lazy: [`QueryResult::serialize`] renders the whole
+/// sequence to one string on first use, while [`QueryResult::into_iter`]
+/// streams the items without ever building that string.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    items: Vec<Item>,
+    snap: StoreSnapshot,
+    transient: Arc<Document>,
+    serialized: OnceLock<String>,
+}
+
+impl QueryResult {
+    pub(crate) fn new(items: Vec<Item>, snap: StoreSnapshot, transient: Document) -> Self {
+        QueryResult {
+            items,
+            snap,
+            transient: Arc::new(transient),
+            serialized: OnceLock::new(),
+        }
+    }
+
+    /// The result items in sequence order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items in the result sequence.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the result is the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// XML/text serialization of the result sequence, rendered lazily on
+    /// first call and cached.
+    pub fn serialize(&self) -> &str {
+        self.serialized
+            .get_or_init(|| serialize_items_snapshot(&self.snap, &self.transient, &self.items))
+    }
+
+    /// Serialize a single item of this result (nodes as XML, atomics as
+    /// their string value) without materialising the full result string.
+    pub fn serialize_item(&self, item: &Item) -> String {
+        serialize_item_snapshot(&self.snap, &self.transient, item)
+    }
+
+    /// Iterate over the items without consuming the result.
+    pub fn iter(&self) -> std::slice::Iter<'_, Item> {
+        self.items.iter()
+    }
+
+    /// Turn the result into a [`ResultStream`] that yields the items one by
+    /// one — the path for large sequences that should not be serialized to
+    /// one `String`.
+    pub fn into_stream(self) -> ResultStream {
+        ResultStream {
+            iter: self.items.into_iter(),
+            snap: self.snap,
+            transient: self.transient,
+        }
+    }
+}
+
+impl IntoIterator for QueryResult {
+    type Item = Item;
+    type IntoIter = ResultStream;
+
+    fn into_iter(self) -> ResultStream {
+        self.into_stream()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryResult {
+    type Item = &'a Item;
+    type IntoIter = std::slice::Iter<'a, Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+/// A streaming view of a query result: an iterator over the items that
+/// still pins the snapshot/transient containers, so node items can be
+/// serialized individually while streaming.
+#[derive(Debug)]
+pub struct ResultStream {
+    iter: std::vec::IntoIter<Item>,
+    snap: StoreSnapshot,
+    transient: Arc<Document>,
+}
+
+impl ResultStream {
+    /// Serialize one item (typically one just yielded by the iterator).
+    pub fn serialize_item(&self, item: &Item) -> String {
+        serialize_item_snapshot(&self.snap, &self.transient, item)
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResultStream {}
+
+/// Diagnostics of one query execution: plan size and runtime counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    /// Number of algebra operators in the compiled plan (the paper reports an
+    /// average of 86 for XMark).
+    pub plan_operators: usize,
+    /// Runtime statistics.
+    pub stats: ExecStats,
+}
+
+/// Diagnostics of one update execution.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Number of updating statements in the executed text.
+    pub statements: usize,
+    /// Number of update primitives applied (after delete deduplication).
+    pub primitives: usize,
+    /// Number of distinct documents mutated.
+    pub documents_touched: usize,
+    /// Storage-level cost counters accumulated over the touched documents.
+    pub stats: UpdateStats,
+}
+
+/// The outcome of [`Session::execute`] / [`Prepared::execute`]: a query
+/// result or an update report, depending on what the statement text was.
+#[derive(Debug)]
+pub enum StatementResult {
+    /// The statement was a query.
+    Query(QueryResult),
+    /// The statement was an XQuery Update Facility statement list.
+    Update(UpdateReport),
+}
+
+impl StatementResult {
+    /// True if the statement was an update.
+    pub fn is_update(&self) -> bool {
+        matches!(self, StatementResult::Update(_))
+    }
+
+    /// The query result, if the statement was a query.
+    pub fn as_query(&self) -> Option<&QueryResult> {
+        match self {
+            StatementResult::Query(r) => Some(r),
+            StatementResult::Update(_) => None,
+        }
+    }
+
+    /// The update report, if the statement was an update.
+    pub fn as_update(&self) -> Option<&UpdateReport> {
+        match self {
+            StatementResult::Update(r) => Some(r),
+            StatementResult::Query(_) => None,
+        }
+    }
+
+    /// Unwrap into a query result; errors if the statement was an update.
+    pub fn into_query(self) -> Result<QueryResult, Error> {
+        match self {
+            StatementResult::Query(r) => Ok(r),
+            StatementResult::Update(_) => Err(Error::WrongStatementKind { expected: "query" }),
+        }
+    }
+
+    /// Unwrap into an update report; errors if the statement was a query.
+    pub fn into_update(self) -> Result<UpdateReport, Error> {
+        match self {
+            StatementResult::Update(r) => Ok(r),
+            StatementResult::Query(_) => Err(Error::WrongStatementKind { expected: "update" }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compiled statements and the plan cache
+// ---------------------------------------------------------------------------
+
+/// A parsed + compiled statement, shareable across sessions and threads.
+#[derive(Debug)]
+pub(crate) enum CompiledStatement {
+    /// A compiled query plan.
+    Query {
+        plan: PlanRef,
+        operators: usize,
+        externals: Vec<String>,
+    },
+    /// A compiled update plan.
+    Update {
+        plan: UpdatePlan,
+        externals: Vec<String>,
+    },
+}
+
+impl CompiledStatement {
+    fn externals(&self) -> &[String] {
+        match self {
+            CompiledStatement::Query { externals, .. } => externals,
+            CompiledStatement::Update { externals, .. } => externals,
+        }
+    }
+}
+
+/// LRU cache of compiled statements keyed by (config fingerprint, text).
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    len: usize,
+    /// Config fingerprint → statement text → (compiled, last-used tick).
+    /// The nesting exists so hot-path lookups can borrow the text (`&str`)
+    /// instead of allocating an owned key per call.
+    map: HashMap<u64, HashMap<String, (Arc<CompiledStatement>, u64)>>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            len: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, fp: u64, text: &str) -> Option<Arc<CompiledStatement>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&fp)?.get_mut(text).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    fn insert(&mut self, fp: u64, text: String, stmt: Arc<CompiledStatement>) {
+        let exists = self
+            .map
+            .get(&fp)
+            .is_some_and(|inner| inner.contains_key(&text));
+        if !exists && self.len >= self.capacity {
+            // evict the least recently used entry (linear scan: the cache is
+            // small and eviction is rare compared to hits)
+            let victim = self
+                .map
+                .iter()
+                .flat_map(|(fp, inner)| inner.iter().map(move |(t, (_, tick))| (*tick, *fp, t)))
+                .min()
+                .map(|(_, fp, t)| (fp, t.clone()));
+            if let Some((vfp, vtext)) = victim {
+                if let Some(inner) = self.map.get_mut(&vfp) {
+                    if inner.remove(&vtext).is_some() {
+                        self.len -= 1;
+                    }
+                }
+            }
+        }
+        self.tick += 1;
+        if self
+            .map
+            .entry(fp)
+            .or_default()
+            .insert(text, (stmt, self.tick))
+            .is_none()
+        {
+            self.len += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the database
+// ---------------------------------------------------------------------------
+
+/// Paged (updatable) document state plus the page policy — the
+/// single-writer side of the database, serialized by one mutex.
+struct WriterState {
+    /// Paged representation per updated fragment — the mutation substrate;
+    /// the read-optimized store container is re-materialized from it after
+    /// every update.
+    paged: HashMap<u32, PagedDocument>,
+    page_size: usize,
+    fill_percent: u8,
+}
+
+/// Counters over the whole database (all sessions).
+#[derive(Debug, Default)]
+struct Counters {
+    /// Statements actually parsed + compiled (plan-cache misses and
+    /// uncached compiles).
+    prepares: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    queries: AtomicU64,
+    updates: AtomicU64,
+}
+
+/// A point-in-time copy of the database counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatabaseStats {
+    /// Statements parsed + compiled since the database was created.  Stays
+    /// flat while executions are served from the plan cache or a
+    /// [`Prepared`] statement.
+    pub prepares: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Queries executed (all sessions and prepared statements).
+    pub queries: u64,
+    /// Updates executed.
+    pub updates: u64,
+    /// Compiled statements currently cached.
+    pub plan_cache_len: usize,
+}
+
+impl DatabaseStats {
+    /// Plan-cache hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
+    }
+}
+
+/// Read guard over the shared document store (see [`Database::store`]).
+/// Dereferences to [`DocStore`]; holding it blocks writers, so keep it
+/// short-lived.
+pub struct StoreReadGuard<'a>(RwLockReadGuard<'a, DocStore>);
+
+impl std::ops::Deref for StoreReadGuard<'_> {
+    type Target = DocStore;
+
+    fn deref(&self) -> &DocStore {
+        &self.0
+    }
+}
+
+/// A shared XQuery database: the document store, the plan cache and the
+/// update substrate, safe to share across threads via `Arc`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mxq_xquery::Database;
+///
+/// let db = Arc::new(Database::new());
+/// db.load_document("books.xml", "<books><book>DB</book></books>").unwrap();
+/// let mut session = db.session();
+/// let result = session.query("doc(\"books.xml\")/books/book/text()").unwrap();
+/// assert_eq!(result.serialize(), "DB");
+/// ```
+pub struct Database {
+    store: RwLock<DocStore>,
+    writer: Mutex<WriterState>,
+    plan_cache: Mutex<PlanCache>,
+    /// Cached relational exports, invalidated when their document mutates.
+    columns: Mutex<HashMap<u32, Arc<DocumentColumns>>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("generation", &self.generation())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Number of compiled statements the plan cache retains.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            store: RwLock::new(DocStore::new()),
+            writer: Mutex::new(WriterState {
+                paged: HashMap::new(),
+                page_size: DEFAULT_PAGE_SIZE,
+                fill_percent: DEFAULT_FILL_PERCENT,
+            }),
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            columns: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Open a session: a cheap per-client handle with its own configuration
+    /// and statistics.
+    pub fn session(self: &Arc<Self>) -> Session {
+        self.session_with_config(ExecConfig::default())
+    }
+
+    /// Open a session with an explicit configuration.
+    pub fn session_with_config(self: &Arc<Self>, config: ExecConfig) -> Session {
+        Session {
+            db: self.clone(),
+            config,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Shred and load an XML document under the given name (the name is what
+    /// `fn:doc("name")` refers to).  Takes the store write lock briefly.
+    pub fn load_document(&self, name: &str, xml: &str) -> Result<(), Error> {
+        self.store.write().unwrap().load_xml(name, xml)?;
+        Ok(())
+    }
+
+    /// Load an already shredded document.
+    pub fn load_shredded(&self, doc: Document) {
+        self.store.write().unwrap().add_document(doc);
+    }
+
+    /// Read access to the shared document store.  The guard blocks writers
+    /// while held — prefer [`Database::snapshot`] for anything longer than a
+    /// lookup.
+    pub fn store(&self) -> StoreReadGuard<'_> {
+        StoreReadGuard(self.store.read().unwrap())
+    }
+
+    /// An immutable snapshot of all loaded documents (cheap: clones `Arc`s).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.store.read().unwrap().snapshot()
+    }
+
+    /// The current store generation (see [`DocStore::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.store.read().unwrap().generation()
+    }
+
+    /// Point-in-time copy of the database counters.
+    pub fn stats(&self) -> DatabaseStats {
+        DatabaseStats {
+            prepares: self.counters.prepares.load(Ordering::Relaxed),
+            plan_cache_hits: self.counters.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            updates: self.counters.updates.load(Ordering::Relaxed),
+            plan_cache_len: self.plan_cache.lock().unwrap().len(),
+        }
+    }
+
+    /// Tune the paged update scheme (logical page size in tuples, fill
+    /// factor in percent).  Affects documents paged after the call.
+    ///
+    /// # Panics
+    /// Panics unless `page_size` is a power of two ≥ 2 and
+    /// `fill_percent ∈ (0, 100]`.
+    pub fn set_page_policy(&self, page_size: usize, fill_percent: u8) {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 2,
+            "page_size must be a power of two >= 2"
+        );
+        assert!(
+            (1..=100).contains(&fill_percent),
+            "fill_percent must be in 1..=100"
+        );
+        let mut writer = self.writer.lock().unwrap();
+        writer.page_size = page_size;
+        writer.fill_percent = fill_percent;
+    }
+
+    /// The cached relational export ([`DocumentColumns`]) of a loaded
+    /// document, recomputed — dictionaries included — after every update
+    /// that touches the document.  Returns `None` for unknown names.
+    ///
+    /// A cache miss builds the export while holding the store *read* lock
+    /// (so a writer cannot swap the document mid-build and the insertion is
+    /// ordered before any subsequent invalidation), but never the columns
+    /// mutex — concurrent callers for already cached documents are not
+    /// blocked behind the build.
+    pub fn document_columns(&self, name: &str) -> Option<Arc<DocumentColumns>> {
+        let store = self.store.read().unwrap();
+        let frag = store.lookup(name)?;
+        if let Some(hit) = self.columns.lock().unwrap().get(&frag).cloned() {
+            return Some(hit);
+        }
+        let built = Arc::new(DocumentColumns::new(store.container(frag)));
+        self.columns.lock().unwrap().insert(frag, built.clone());
+        Some(built)
+    }
+
+    /// Execute a statement with the default configuration and no bindings —
+    /// the convenience path; repeated calls with the same text are served
+    /// from the plan cache.
+    pub fn execute(&self, text: &str) -> Result<StatementResult, Error> {
+        let (compiled, _) = self.compile_cached(text, ExecConfig::default())?;
+        self.execute_compiled(&compiled, ExecConfig::default(), &Params::new())
+            .map(|(result, _)| result)
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Look up (or parse + compile + insert) the compiled form of a
+    /// statement text under a configuration.  Returns the compiled statement
+    /// and whether it was a cache hit.
+    pub(crate) fn compile_cached(
+        &self,
+        text: &str,
+        config: ExecConfig,
+    ) -> Result<(Arc<CompiledStatement>, bool), Error> {
+        let fp = config.fingerprint();
+        if let Some(hit) = self.plan_cache.lock().unwrap().get(fp, text) {
+            self.counters
+                .plan_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, true));
+        }
+        self.counters
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(self.compile_statement(text, config)?);
+        self.plan_cache
+            .lock()
+            .unwrap()
+            .insert(fp, text.to_string(), compiled.clone());
+        Ok((compiled, false))
+    }
+
+    /// Parse + compile a statement (no cache).
+    pub(crate) fn compile_statement(
+        &self,
+        text: &str,
+        config: ExecConfig,
+    ) -> Result<CompiledStatement, Error> {
+        self.counters.prepares.fetch_add(1, Ordering::Relaxed);
+        let mut compiler = Compiler::new(config);
+        match parse_statement(text)? {
+            Statement::Query(q) => {
+                let plan = compiler.compile_query(&q)?;
+                let operators = plan.operator_count();
+                Ok(CompiledStatement::Query {
+                    plan,
+                    operators,
+                    externals: compiler.external_variables().to_vec(),
+                })
+            }
+            Statement::Update(u) => {
+                let plan = compiler.compile_update(&u)?;
+                Ok(CompiledStatement::Update {
+                    plan,
+                    externals: compiler.external_variables().to_vec(),
+                })
+            }
+        }
+    }
+
+    /// Execute a compiled statement against the current store state.
+    pub(crate) fn execute_compiled(
+        &self,
+        stmt: &CompiledStatement,
+        config: ExecConfig,
+        params: &Params,
+    ) -> Result<(StatementResult, QueryReport), Error> {
+        match stmt {
+            CompiledStatement::Query {
+                plan, operators, ..
+            } => {
+                let snap = self.snapshot();
+                let (result, report) = self.run_query_on(snap, plan, *operators, config, params)?;
+                Ok((StatementResult::Query(result), report))
+            }
+            CompiledStatement::Update { plan, .. } => {
+                let report = self.apply_update(plan, config, params)?;
+                Ok((StatementResult::Update(report), QueryReport::default()))
+            }
+        }
+    }
+
+    /// Evaluate a compiled query plan against a given snapshot.
+    pub(crate) fn run_query_on(
+        &self,
+        snap: StoreSnapshot,
+        plan: &PlanRef,
+        operators: usize,
+        config: ExecConfig,
+        params: &Params,
+    ) -> Result<(QueryResult, QueryReport), Error> {
+        let mut exec = Executor::with_params(&snap, config, params.clone());
+        let items = exec.eval_result(plan)?;
+        let (transient, stats) = exec.finish();
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        Ok((
+            QueryResult::new(items, snap, transient),
+            QueryReport {
+                plan_operators: operators,
+                stats,
+            },
+        ))
+    }
+
+    /// Execute a compiled update plan: snapshot evaluation, pending-update
+    /// list collection, atomic application to the paged store, eager
+    /// re-materialization and publication of the touched documents.
+    ///
+    /// Updates are single-writer (serialized by the writer mutex) but never
+    /// block readers for longer than the final document swap.
+    pub(crate) fn apply_update(
+        &self,
+        uplan: &UpdatePlan,
+        config: ExecConfig,
+        params: &Params,
+    ) -> Result<UpdateReport, Error> {
+        let mut writer = self.writer.lock().unwrap();
+        let snap = self.snapshot();
+
+        // phase 1: snapshot evaluation of every statement's plans
+        struct Evaled {
+            kind: UpdateKind,
+            targets: Vec<Item>,
+            attr: Option<String>,
+            source: Option<Vec<Item>>,
+        }
+        let mut evaled = Vec::with_capacity(uplan.statements.len());
+        let transient;
+        {
+            let mut exec = Executor::with_params(&snap, config, params.clone());
+            for stmt in &uplan.statements {
+                let (targets, attr) = match &stmt.target {
+                    pul::UpdateTarget::Nodes(p) => (exec.eval_result(p)?, None),
+                    pul::UpdateTarget::Attribute { elem, name } => {
+                        (exec.eval_result(elem)?, Some(name.clone()))
+                    }
+                };
+                let source = match &stmt.source {
+                    Some(p) => Some(exec.eval_result(p)?),
+                    None => None,
+                };
+                evaled.push(Evaled {
+                    kind: stmt.kind,
+                    targets,
+                    attr,
+                    source,
+                });
+            }
+            // nodes constructed while evaluating sources live in the
+            // executor's private transient container; the collector copies
+            // their content into the primitives' own fragments, after which
+            // the container is dropped with this function frame
+            transient = exec.finish().0;
+        }
+
+        // phase 2: build the pending update list (validation + conflicts)
+        let collector = PrimitiveCollector {
+            snap: &snap,
+            transient: &transient,
+        };
+        let mut pul = PendingUpdateList::new();
+        for ev in &evaled {
+            collector.collect(
+                ev.kind,
+                &ev.targets,
+                ev.attr.as_deref(),
+                &ev.source,
+                &mut pul,
+            )?;
+        }
+
+        // phase 3: atomic application to the paged scheme
+        let frags = pul.fragments();
+        let WriterState {
+            paged,
+            page_size,
+            fill_percent,
+        } = &mut *writer;
+        let mut applied = 0;
+        let mut stats = UpdateStats::default();
+        for &frag in &frags {
+            let paged_doc = paged.entry(frag).or_insert_with(|| {
+                PagedDocument::from_document(snap.container(frag), *page_size, *fill_percent)
+            });
+            let before = paged_doc.stats;
+            applied += pul.apply_to(frag, paged_doc);
+            stats.accumulate(&paged_doc.stats.delta_since(&before));
+        }
+
+        // phase 4: re-materialize and publish all touched documents in one
+        // write-lock critical section, so readers observe the update as a
+        // whole or not at all
+        if !frags.is_empty() {
+            let mut store = self.store.write().unwrap();
+            for &frag in &frags {
+                store.replace_document(frag, paged[&frag].to_document());
+            }
+            drop(store);
+            let mut cols = self.columns.lock().unwrap();
+            for &frag in &frags {
+                cols.remove(&frag);
+            }
+        }
+        self.counters.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(UpdateReport {
+            statements: uplan.statements.len(),
+            primitives: applied,
+            documents_touched: frags.len(),
+            stats,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// update primitive collection (snapshot-side validation)
+// ---------------------------------------------------------------------------
+
+/// Turns evaluated update statements into validated [`UpdatePrimitive`]s,
+/// reading node properties from the snapshot and constructed content from
+/// the evaluating executor's transient container.
+struct PrimitiveCollector<'a> {
+    snap: &'a StoreSnapshot,
+    transient: &'a Document,
+}
+
+impl PrimitiveCollector<'_> {
+    fn container(&self, frag: u32) -> &Document {
+        if frag == TRANSIENT_FRAG {
+            self.transient
+        } else {
+            self.snap.container(frag)
+        }
+    }
+
+    /// Turn one evaluated statement into update primitives.
+    fn collect(
+        &self,
+        kind: UpdateKind,
+        targets: &[Item],
+        attr: Option<&str>,
+        source: &Option<Vec<Item>>,
+        pul: &mut PendingUpdateList,
+    ) -> Result<(), Error> {
+        // attribute-addressed statements (delete/replace value/rename @name)
+        if let Some(name) = attr {
+            match kind {
+                // `delete nodes …/@name` accepts any number of owning
+                // elements (bulk attribute strip); a missing attribute is an
+                // empty target and deletes nothing
+                UpdateKind::Delete => {
+                    for item in targets {
+                        let elem = self.node_target(item, "attribute delete")?;
+                        self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
+                        pul.add(UpdatePrimitive::RemoveAttribute {
+                            elem,
+                            name: name.to_string(),
+                        })?;
+                    }
+                }
+                // `replace value of node …/@name` upserts: when the
+                // attribute is missing it is created.  This is a deliberate
+                // extension — the subset has no computed attribute
+                // constructors, so this is its attribute-insertion form.
+                UpdateKind::ReplaceValue => {
+                    let elem = self.single_node(targets, "replace value of attribute")?;
+                    self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
+                    pul.add(UpdatePrimitive::SetAttribute {
+                        elem,
+                        name: name.to_string(),
+                        value: self.source_string(source),
+                    })?;
+                }
+                UpdateKind::Rename => {
+                    let elem = self.single_node(targets, "rename attribute")?;
+                    self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
+                    // renaming a non-existent attribute is an empty target
+                    if self
+                        .container(elem.frag)
+                        .attribute(elem.pre, name)
+                        .is_none()
+                    {
+                        return Err(PulError::ExactlyOne {
+                            what: "rename attribute",
+                            got: 0,
+                        }
+                        .into());
+                    }
+                    let new_name = self.source_string(source);
+                    if !pul::valid_qname(&new_name) {
+                        return Err(PulError::InvalidName(new_name).into());
+                    }
+                    pul.add(UpdatePrimitive::RenameAttribute {
+                        elem,
+                        name: name.to_string(),
+                        new_name,
+                    })?;
+                }
+                _ => unreachable!("compiler rejects other attribute-target kinds"),
+            }
+            return Ok(());
+        }
+
+        match kind {
+            UpdateKind::InsertInto { first } => {
+                let parent = self.single_node(targets, "insert into")?;
+                self.require_kind(
+                    parent,
+                    &[NodeKind::Element, NodeKind::Document],
+                    "insert target",
+                )?;
+                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
+                if !content.is_empty() {
+                    pul.add(UpdatePrimitive::InsertInto {
+                        parent,
+                        first,
+                        content,
+                    })?;
+                }
+            }
+            UpdateKind::InsertBefore | UpdateKind::InsertAfter => {
+                let target = self.single_node(targets, "insert before/after")?;
+                self.require_non_root(target)?;
+                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
+                if !content.is_empty() {
+                    pul.add(if kind == UpdateKind::InsertBefore {
+                        UpdatePrimitive::InsertBefore { target, content }
+                    } else {
+                        UpdatePrimitive::InsertAfter { target, content }
+                    })?;
+                }
+            }
+            UpdateKind::Delete => {
+                for item in targets {
+                    let target = self.node_target(item, "delete")?;
+                    self.require_non_root(target)?;
+                    pul.add(UpdatePrimitive::Delete { target })?;
+                }
+            }
+            UpdateKind::ReplaceNode => {
+                let target = self.single_node(targets, "replace node")?;
+                self.require_non_root(target)?;
+                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
+                pul.add(UpdatePrimitive::ReplaceNode { target, content })?;
+            }
+            UpdateKind::ReplaceValue => {
+                let target = self.single_node(targets, "replace value of node")?;
+                pul.add(UpdatePrimitive::ReplaceValue {
+                    target,
+                    value: self.source_string(source),
+                })?;
+            }
+            UpdateKind::Rename => {
+                let target = self.single_node(targets, "rename node")?;
+                self.require_kind(
+                    target,
+                    &[NodeKind::Element, NodeKind::ProcessingInstruction],
+                    "rename target",
+                )?;
+                let name = self.source_string(source);
+                if !pul::valid_qname(&name) {
+                    return Err(PulError::InvalidName(name).into());
+                }
+                pul.add(UpdatePrimitive::Rename { target, name })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn node_target(&self, item: &Item, what: &'static str) -> Result<NodeId, Error> {
+        let node = item.as_node().ok_or(PulError::NotANode(what))?;
+        if node.frag == TRANSIENT_FRAG {
+            return Err(PulError::TransientTarget.into());
+        }
+        Ok(node)
+    }
+
+    fn single_node(&self, targets: &[Item], what: &'static str) -> Result<NodeId, Error> {
+        if targets.len() != 1 {
+            return Err(PulError::ExactlyOne {
+                what,
+                got: targets.len(),
+            }
+            .into());
+        }
+        self.node_target(&targets[0], what)
+    }
+
+    fn require_kind(&self, node: NodeId, kinds: &[NodeKind], what: &str) -> Result<(), Error> {
+        let kind = self.container(node.frag).kind(node.pre);
+        if kinds.contains(&kind) {
+            Ok(())
+        } else {
+            Err(PulError::WrongTargetKind(format!("{what} has node kind {kind:?}")).into())
+        }
+    }
+
+    /// Structural updates must keep the document rooted: fragment roots
+    /// (document nodes / root elements at level 0) cannot be deleted,
+    /// replaced or given siblings.
+    fn require_non_root(&self, node: NodeId) -> Result<(), Error> {
+        if self.container(node.frag).level(node.pre) == 0 {
+            return Err(PulError::TargetIsRoot.into());
+        }
+        Ok(())
+    }
+
+    /// Copy an evaluated content sequence into a private fragment document:
+    /// node items are deep-copied (XQUF inserts copies), adjacent atomics
+    /// merge into space-separated text nodes, and document nodes contribute
+    /// their children.
+    fn materialize_content(&self, items: &[Item]) -> Document {
+        let mut b = DocumentBuilder::new("#update-content");
+        let mut pending_text = String::new();
+        for item in items {
+            match item {
+                Item::Node(n) => {
+                    if !pending_text.is_empty() {
+                        b.text(&pending_text);
+                        pending_text.clear();
+                    }
+                    let src = self.container(n.frag);
+                    if src.kind(n.pre) == NodeKind::Document {
+                        for child in src.children(n.pre) {
+                            b.copy_subtree(src, child);
+                        }
+                    } else {
+                        b.copy_subtree(src, n.pre);
+                    }
+                }
+                atomic => {
+                    if !pending_text.is_empty() {
+                        pending_text.push(' ');
+                    }
+                    pending_text.push_str(&atomic.string_value());
+                }
+            }
+        }
+        if !pending_text.is_empty() {
+            b.text(&pending_text);
+        }
+        b.finish()
+    }
+
+    /// The string value of a source sequence (for `replace value of` and
+    /// `rename`): item string values joined by single spaces.
+    fn source_string(&self, source: &Option<Vec<Item>>) -> String {
+        let Some(items) = source else {
+            return String::new();
+        };
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Node(n) => self.container(n.frag).string_value(n.pre),
+                atomic => atomic.string_value(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sessions
+// ---------------------------------------------------------------------------
+
+/// Per-session statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries executed through this session.
+    pub queries: u64,
+    /// Updates executed through this session.
+    pub updates: u64,
+    /// Statements prepared through this session.
+    pub prepares: u64,
+    /// Plan-cache hits observed by this session.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses observed by this session.
+    pub plan_cache_misses: u64,
+}
+
+/// A per-client handle on a shared [`Database`]: carries the client's
+/// [`ExecConfig`] and statistics.  Sessions are cheap to create (an `Arc`
+/// clone) and are *not* shared between threads — open one per client/thread;
+/// the documents behind them are shared through the database.
+#[derive(Debug)]
+pub struct Session {
+    db: Arc<Database>,
+    config: ExecConfig,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// The shared database this session talks to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Change the session configuration (affects subsequent calls; compiled
+    /// plans are cached per configuration fingerprint, so switching back and
+    /// forth does not thrash the plan cache).
+    pub fn set_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+
+    /// This session's statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn compile_cached(&mut self, text: &str) -> Result<Arc<CompiledStatement>, Error> {
+        let (compiled, hit) = self.db.compile_cached(text, self.config)?;
+        if hit {
+            self.stats.plan_cache_hits += 1;
+        } else {
+            self.stats.plan_cache_misses += 1;
+        }
+        Ok(compiled)
+    }
+
+    /// Parse + compile a statement once into a [`Prepared`] handle that can
+    /// be executed many times (and from many threads).  External variables
+    /// (`declare variable $x external;`) are bound per execution through
+    /// [`Prepared::bind`].
+    pub fn prepare(&mut self, text: &str) -> Result<Prepared, Error> {
+        let compiled = self.compile_cached(text)?;
+        self.stats.prepares += 1;
+        Ok(Prepared {
+            config: self.config,
+            text: text.to_string(),
+            compiled,
+            last_generation: AtomicU64::new(self.db.generation()),
+            db: self.db.clone(),
+            executions: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+        })
+    }
+
+    /// Execute a statement, auto-detecting query vs. update text.  Repeated
+    /// executions of the same text are served from the database plan cache.
+    pub fn execute(&mut self, text: &str) -> Result<StatementResult, Error> {
+        let compiled = self.compile_cached(text)?;
+        let (result, _) = self
+            .db
+            .execute_compiled(&compiled, self.config, &Params::new())?;
+        match &result {
+            StatementResult::Query(_) => self.stats.queries += 1,
+            StatementResult::Update(_) => self.stats.updates += 1,
+        }
+        Ok(result)
+    }
+
+    /// Execute a query and return its result; errors with
+    /// [`Error::WrongStatementKind`] if the text is an updating statement.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, Error> {
+        self.query_with_report(text).map(|(r, _)| r)
+    }
+
+    /// Execute a query, also returning plan/runtime diagnostics.
+    pub fn query_with_report(&mut self, text: &str) -> Result<(QueryResult, QueryReport), Error> {
+        let compiled = self.compile_cached(text)?;
+        if matches!(&*compiled, CompiledStatement::Update { .. }) {
+            return Err(Error::WrongStatementKind { expected: "query" });
+        }
+        let (result, report) = self
+            .db
+            .execute_compiled(&compiled, self.config, &Params::new())?;
+        self.stats.queries += 1;
+        Ok((result.into_query()?, report))
+    }
+
+    /// Execute a query and stream the result items instead of materialising
+    /// one serialized string (see [`ResultStream`]).
+    pub fn execute_streaming(&mut self, text: &str) -> Result<ResultStream, Error> {
+        self.query(text).map(QueryResult::into_stream)
+    }
+
+    /// Execute one or more comma-separated XQuery Update Facility
+    /// statements; errors with [`Error::WrongStatementKind`] if the text is
+    /// a plain query.
+    ///
+    /// All target and source expressions are evaluated first, against an
+    /// unchanged snapshot (snapshot isolation); the collected pending update
+    /// list is conflict-checked and then applied atomically, and the
+    /// re-materialized documents are published under the store write lock so
+    /// concurrent readers observe the update as a whole or not at all.
+    pub fn execute_update(&mut self, text: &str) -> Result<UpdateReport, Error> {
+        let compiled = self.compile_cached(text)?;
+        let CompiledStatement::Update { plan, .. } = &*compiled else {
+            return Err(Error::WrongStatementKind { expected: "update" });
+        };
+        let report = self.db.apply_update(plan, self.config, &Params::new())?;
+        self.stats.updates += 1;
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prepared statements
+// ---------------------------------------------------------------------------
+
+/// A statement parsed and compiled exactly once, executable many times —
+/// concurrently from many threads — with per-execution external-variable
+/// bindings.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mxq_xquery::Database;
+///
+/// let db = Arc::new(Database::new());
+/// db.load_document("doc.xml", "<a><v>1</v><v>2</v><v>3</v></a>").unwrap();
+/// let mut session = db.session();
+/// let stmt = session
+///     .prepare(
+///         "declare variable $min external; \
+///          for $v in doc(\"doc.xml\")/a/v where $v/text() >= $min return $v/text()",
+///     )
+///     .unwrap();
+/// let r = stmt.bind("min", 2).execute().unwrap().into_query().unwrap();
+/// assert_eq!(r.len(), 2); // the <v>2</v> and <v>3</v> text nodes
+/// let r = stmt.bind("min", 3).execute().unwrap().into_query().unwrap();
+/// assert_eq!(r.serialize(), "3");
+/// ```
+#[derive(Debug)]
+pub struct Prepared {
+    db: Arc<Database>,
+    config: ExecConfig,
+    text: String,
+    compiled: Arc<CompiledStatement>,
+    /// The store generation observed by the most recent execution (the
+    /// prepare-time generation before the first).  Every execution takes a
+    /// fresh snapshot — a dormant `Prepared` never pins old document
+    /// versions — and compares its generation against this to detect that
+    /// an update invalidated whatever the previous execution read
+    /// ([`Prepared::revalidations`]).
+    last_generation: AtomicU64,
+    executions: AtomicU64,
+    revalidations: AtomicU64,
+}
+
+impl Prepared {
+    /// The statement text this handle was prepared from.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The configuration the statement was compiled under.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// True if the statement is an XQuery Update Facility statement list.
+    pub fn is_update(&self) -> bool {
+        matches!(&*self.compiled, CompiledStatement::Update { .. })
+    }
+
+    /// Names of the external variables the statement declares, in
+    /// declaration order.
+    pub fn external_variables(&self) -> &[String] {
+        self.compiled.externals()
+    }
+
+    /// Number of algebra operators in the compiled plan (queries only).
+    pub fn plan_operators(&self) -> Option<usize> {
+        match &*self.compiled {
+            CompiledStatement::Query { operators, .. } => Some(*operators),
+            CompiledStatement::Update { .. } => None,
+        }
+    }
+
+    /// How many times this prepared statement has been executed.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// How many times an execution observed a store generation different
+    /// from the previous execution's — i.e. an update invalidated the state
+    /// the statement had last read and the plan was revalidated against a
+    /// fresh snapshot.
+    pub fn revalidations(&self) -> u64 {
+        self.revalidations.load(Ordering::Relaxed)
+    }
+
+    /// Start a binding chain: `stmt.bind("x", 42).bind("y", "s").execute()`.
+    pub fn bind(&self, name: impl Into<String>, value: impl Into<Item>) -> Binder<'_> {
+        let mut params = Params::new();
+        params.set(name, value);
+        Binder {
+            prepared: self,
+            params,
+        }
+    }
+
+    /// Start a binding chain with a sequence-valued binding.
+    pub fn bind_seq(&self, name: impl Into<String>, values: Vec<Item>) -> Binder<'_> {
+        let mut params = Params::new();
+        params.set_seq(name, values);
+        Binder {
+            prepared: self,
+            params,
+        }
+    }
+
+    /// Execute without bindings (all external variables must have defaults,
+    /// or the statement must not declare any).
+    pub fn execute(&self) -> Result<StatementResult, Error> {
+        self.execute_with(&Params::new())
+    }
+
+    /// Execute with an explicit binding set.
+    ///
+    /// Every bound name must be declared `external` by the statement —
+    /// binding an undeclared name (a typo would otherwise silently fall
+    /// back to the default) is an [`ExecError::NotExternal`] error.
+    pub fn execute_with(&self, params: &Params) -> Result<StatementResult, Error> {
+        let externals = self.compiled.externals();
+        if let Some((unknown, _)) = params
+            .iter()
+            .find(|(name, _)| !externals.iter().any(|e| e == name))
+        {
+            return Err(ExecError::NotExternal(unknown.to_string()).into());
+        }
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        match &*self.compiled {
+            CompiledStatement::Query {
+                plan, operators, ..
+            } => {
+                let snap = self.current_snapshot();
+                let (result, _) =
+                    self.db
+                        .run_query_on(snap, plan, *operators, self.config, params)?;
+                Ok(StatementResult::Query(result))
+            }
+            CompiledStatement::Update { plan, .. } => self
+                .db
+                .apply_update(plan, self.config, params)
+                .map(StatementResult::Update),
+        }
+    }
+
+    /// Execute with bindings and return the query result (errors for
+    /// updating statements).
+    pub fn query_with(&self, params: &Params) -> Result<QueryResult, Error> {
+        self.execute_with(params)?.into_query()
+    }
+
+    /// A fresh snapshot for one execution, with the generation check: a
+    /// stale snapshot (store mutated since the last execution) can never be
+    /// read, because every execution re-resolves the store; the generation
+    /// counter records that an invalidation happened.
+    fn current_snapshot(&self) -> StoreSnapshot {
+        let snap = self.db.snapshot();
+        let prev = self
+            .last_generation
+            .swap(snap.generation(), Ordering::Relaxed);
+        if prev != snap.generation() {
+            self.revalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// Accumulates external-variable bindings for one execution of a
+/// [`Prepared`] statement (see [`Prepared::bind`]).
+#[derive(Debug)]
+pub struct Binder<'a> {
+    prepared: &'a Prepared,
+    params: Params,
+}
+
+impl Binder<'_> {
+    /// Add another single-item binding.
+    pub fn bind(mut self, name: impl Into<String>, value: impl Into<Item>) -> Self {
+        self.params.set(name, value);
+        self
+    }
+
+    /// Add another sequence-valued binding.
+    pub fn bind_seq(mut self, name: impl Into<String>, values: Vec<Item>) -> Self {
+        self.params.set_seq(name, values);
+        self
+    }
+
+    /// Execute the prepared statement with the accumulated bindings.
+    pub fn execute(self) -> Result<StatementResult, Error> {
+        self.prepared.execute_with(&self.params)
+    }
+
+    /// Execute and unwrap the query result (errors for updating statements).
+    pub fn query(self) -> Result<QueryResult, Error> {
+        self.prepared.query_with(&self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with(xml: &str) -> Arc<Database> {
+        let db = Arc::new(Database::new());
+        db.load_document("doc.xml", xml).unwrap();
+        db
+    }
+
+    #[test]
+    fn database_and_prepared_are_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Prepared>();
+        assert_send_sync::<QueryResult>();
+        assert_send_sync::<StoreSnapshot>();
+    }
+
+    #[test]
+    fn session_executes_queries_and_updates_through_one_entry_point() {
+        let db = db_with("<a><b/></a>");
+        let mut s = db.session();
+        let r = s.execute("count(doc(\"doc.xml\")/a/b)").unwrap();
+        assert_eq!(r.as_query().unwrap().serialize(), "1");
+        let r = s
+            .execute("insert nodes <b/> as last into doc(\"doc.xml\")/a")
+            .unwrap();
+        assert!(r.is_update());
+        let r = s.execute("count(doc(\"doc.xml\")/a/b)").unwrap();
+        assert_eq!(r.as_query().unwrap().serialize(), "2");
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().updates, 1);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeated_executions() {
+        let db = db_with("<a><b/><b/></a>");
+        let mut s = db.session();
+        let q = "count(doc(\"doc.xml\")/a/b)";
+        for _ in 0..5 {
+            assert_eq!(s.query(q).unwrap().serialize(), "2");
+        }
+        let stats = db.stats();
+        assert_eq!(stats.prepares, 1, "compiled once");
+        assert_eq!(stats.plan_cache_hits, 4);
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert!(stats.plan_cache_hit_rate().unwrap() > 0.7);
+        // a different config fingerprint compiles separately
+        let mut naive = db.session_with_config(ExecConfig::naive());
+        assert_eq!(naive.query(q).unwrap().serialize(), "2");
+        assert_eq!(db.stats().prepares, 2);
+    }
+
+    #[test]
+    fn prepared_external_variables_bind_per_execution() {
+        let db = db_with("<a><v>1</v><v>2</v><v>3</v></a>");
+        let mut s = db.session();
+        let stmt = s
+            .prepare(
+                "declare variable $min external; \
+                 count(for $v in doc(\"doc.xml\")/a/v where $v/text() >= $min return $v)",
+            )
+            .unwrap();
+        assert_eq!(stmt.external_variables(), ["min"]);
+        assert!(!stmt.is_update());
+        let r = stmt.bind("min", 2).query().unwrap();
+        assert_eq!(r.serialize(), "2");
+        let r = stmt.bind("min", 99).query().unwrap();
+        assert_eq!(r.serialize(), "0");
+        assert_eq!(stmt.executions(), 2);
+        // unbound without default is an execution-time error
+        assert!(matches!(stmt.execute(), Err(Error::Exec(_))));
+    }
+
+    #[test]
+    fn external_variable_defaults_apply_when_unbound() {
+        let db = db_with("<a/>");
+        let mut s = db.session();
+        let stmt = s
+            .prepare("declare variable $x external := 7; $x * 2")
+            .unwrap();
+        assert_eq!(
+            stmt.execute().unwrap().into_query().unwrap().serialize(),
+            "14"
+        );
+        assert_eq!(stmt.bind("x", 5).query().unwrap().serialize(), "10");
+    }
+
+    #[test]
+    fn prepared_snapshot_invalidated_by_updates() {
+        let db = db_with("<a><b/></a>");
+        let mut s = db.session();
+        let stmt = s.prepare("count(doc(\"doc.xml\")//b)").unwrap();
+        assert_eq!(
+            stmt.execute().unwrap().into_query().unwrap().serialize(),
+            "1"
+        );
+        // repeated executions without intervening writes reuse the snapshot
+        assert_eq!(
+            stmt.execute().unwrap().into_query().unwrap().serialize(),
+            "1"
+        );
+        assert_eq!(stmt.revalidations(), 0);
+        s.execute_update("insert nodes <b/> as last into doc(\"doc.xml\")/a")
+            .unwrap();
+        // the generation moved: the cached snapshot is dropped, not read
+        assert_eq!(
+            stmt.execute().unwrap().into_query().unwrap().serialize(),
+            "2"
+        );
+        assert_eq!(stmt.revalidations(), 1);
+    }
+
+    #[test]
+    fn results_stream_and_pin_their_snapshot() {
+        let db = db_with("<a><v>1</v><v>2</v></a>");
+        let mut s = db.session();
+        let result = s.query("doc(\"doc.xml\")/a/v").unwrap();
+        // mutate after the result was produced: the result must not change
+        s.execute_update("delete nodes doc(\"doc.xml\")/a/v[1]")
+            .unwrap();
+        let stream = result.into_stream();
+        assert_eq!(stream.len(), 2);
+        let rendered: Vec<String> = {
+            let mut out = Vec::new();
+            let mut stream = stream;
+            while let Some(item) = stream.next() {
+                out.push(stream.serialize_item(&item));
+            }
+            out
+        };
+        assert_eq!(rendered, ["<v>1</v>", "<v>2</v>"]);
+        // streaming entry point
+        let items: Vec<Item> = s
+            .execute_streaming("doc(\"doc.xml\")/a/v/text()")
+            .unwrap()
+            .collect();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn wrong_statement_kind_is_reported() {
+        let db = db_with("<a/>");
+        let mut s = db.session();
+        assert!(matches!(
+            s.query("delete nodes doc(\"doc.xml\")/a/b"),
+            Err(Error::WrongStatementKind { expected: "query" })
+        ));
+        assert!(matches!(
+            s.execute_update("1 + 1"),
+            Err(Error::WrongStatementKind { expected: "update" })
+        ));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let mut cache = PlanCache::new(2);
+        let stmt = |t: &str| {
+            Arc::new(CompiledStatement::Update {
+                plan: UpdatePlan {
+                    statements: Vec::new(),
+                },
+                externals: vec![t.to_string()],
+            })
+        };
+        cache.insert(0, "a".into(), stmt("a"));
+        cache.insert(0, "b".into(), stmt("b"));
+        assert!(cache.get(0, "a").is_some()); // a is now more recent than b
+        cache.insert(0, "c".into(), stmt("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0, "b").is_none(), "b was evicted");
+        assert!(cache.get(0, "a").is_some());
+        assert!(cache.get(0, "c").is_some());
+    }
+}

@@ -1,5 +1,5 @@
 //! The plan executor: evaluates the relational algebra DAG against the
-//! column-store kernel and the document store.
+//! column-store kernel and an immutable snapshot of the document store.
 //!
 //! All intermediate results are materialised `iter|pos|item` tables (exactly
 //! like MonetDB/XQuery materialises its temporary BATs); shared sub-plans are
@@ -8,6 +8,14 @@
 //! numbering and prunes sorts whose order is already established; the
 //! staircase-join switches (Section 3) pick between the loop-lifted and the
 //! iterative axis step and enable the nametest pushdown.
+//!
+//! The executor reads loaded documents through a [`StoreSnapshot`] and never
+//! mutates shared state: nodes built by element constructors go into a
+//! *private* transient container owned by the executor, which the caller
+//! takes over ([`Executor::finish`]) together with the result items.  This
+//! is what makes one compiled plan executable from many sessions/threads
+//! concurrently — every execution has its own scratch space and pins its own
+//! store snapshot.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -22,11 +30,12 @@ use mxq_engine::{CmpOp, Column, EngineError, Item, NodeId, Table};
 use mxq_staircase::{
     looplifted_step, looplifted_step_candidates, staircase_step, Axis, NodeTest, ScanStats,
 };
-use mxq_xmldb::{DocStore, DocumentBuilder, TRANSIENT_FRAG};
+use mxq_xmldb::{DocStore, Document, DocumentBuilder, StoreSnapshot, TRANSIENT_FRAG};
 
 use crate::algebra::{NumFnKind, Op, PlanRef, PosFilterKind, StrFnKind};
 use crate::ast::ArithOp;
 use crate::config::{ExecConfig, ExecStats};
+use crate::params::Params;
 
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +44,11 @@ pub enum ExecError {
     Engine(EngineError),
     /// `fn:doc` referenced a document that is not loaded.
     UnknownDocument(String),
+    /// An external variable was not bound and has no declared default.
+    UnboundVariable(String),
+    /// A binding was supplied for a name the statement does not declare as
+    /// an external variable (usually a typo in the bind name).
+    NotExternal(String),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -44,6 +58,19 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Engine(e) => write!(f, "engine error: {e}"),
             ExecError::UnknownDocument(d) => write!(f, "document not loaded: {d}"),
+            ExecError::UnboundVariable(v) => {
+                write!(
+                    f,
+                    "external variable ${v} is not bound (and has no default)"
+                )
+            }
+            ExecError::NotExternal(v) => {
+                write!(
+                    f,
+                    "a binding was supplied for ${v}, which the statement does not \
+                     declare as an external variable"
+                )
+            }
             ExecError::Internal(m) => write!(f, "internal executor error: {m}"),
         }
     }
@@ -59,11 +86,16 @@ impl From<EngineError> for ExecError {
 
 type EResult<T> = Result<T, ExecError>;
 
-/// The executor.  Holds the document store (mutably, for element
-/// construction), the configuration and the runtime statistics.
+/// The executor.  Reads loaded documents through an immutable store
+/// snapshot, constructs new nodes into a private transient container, and
+/// resolves external variables against a [`Params`] binding set.
 pub struct Executor<'a> {
-    store: &'a mut DocStore,
+    snap: &'a StoreSnapshot,
+    /// Private scratch container for constructed nodes (fragment 0 of this
+    /// execution); taken over by [`Executor::finish`].
+    transient: Document,
     config: ExecConfig,
+    params: Params,
     /// Statistics accumulated over all [`Executor::eval`] calls.
     pub stats: ExecStats,
     memo: HashMap<usize, Rc<Table>>,
@@ -93,14 +125,48 @@ fn pos_col(t: &Table) -> EResult<Vec<i64>> {
 }
 
 impl<'a> Executor<'a> {
-    /// Create an executor over the given store.
-    pub fn new(store: &'a mut DocStore, config: ExecConfig) -> Self {
+    /// Create an executor over a store snapshot with no external bindings.
+    pub fn new(snap: &'a StoreSnapshot, config: ExecConfig) -> Self {
+        Self::with_params(snap, config, Params::default())
+    }
+
+    /// Create an executor over a store snapshot with external-variable
+    /// bindings.
+    pub fn with_params(snap: &'a StoreSnapshot, config: ExecConfig, params: Params) -> Self {
         Executor {
-            store,
+            snap,
+            transient: Document::new("#transient"),
             config,
+            params,
             stats: ExecStats::default(),
             memo: HashMap::new(),
         }
+    }
+
+    /// Finish the execution: hand back the private transient container
+    /// (holding every node constructed by the evaluated plans) and the
+    /// runtime statistics.
+    pub fn finish(self) -> (Document, ExecStats) {
+        (self.transient, self.stats)
+    }
+
+    /// Borrow the private transient container of this execution.
+    pub fn transient(&self) -> &Document {
+        &self.transient
+    }
+
+    /// Resolve a fragment id: the executor's own transient container for
+    /// fragment 0, the snapshot's document containers otherwise.
+    fn container(&self, frag: u32) -> &Document {
+        if frag == TRANSIENT_FRAG {
+            &self.transient
+        } else {
+            self.snap.container(frag)
+        }
+    }
+
+    fn node_string_value(&self, n: NodeId) -> String {
+        self.container(n.frag).string_value(n.pre)
     }
 
     /// Evaluate a plan, returning its `iter|pos|item` table.  The table is
@@ -198,14 +264,14 @@ impl<'a> Executor<'a> {
 
     fn atomize_item(&self, item: &Item) -> Item {
         match item {
-            Item::Node(n) => Item::str(self.store.string_value(*n)),
+            Item::Node(n) => Item::str(self.node_string_value(*n)),
             other => other.clone(),
         }
     }
 
     fn item_string(&self, item: &Item) -> String {
         match item {
-            Item::Node(n) => self.store.string_value(*n),
+            Item::Node(n) => self.node_string_value(*n),
             other => other.string_value(),
         }
     }
@@ -235,12 +301,37 @@ impl<'a> Executor<'a> {
             }
             Op::DocRoot { loop_, name } => {
                 let root = self
-                    .store
+                    .snap
                     .document_root(name)
                     .ok_or_else(|| ExecError::UnknownDocument(name.clone()))?;
                 let iters = self.loop_iters(loop_)?;
                 let n = iters.len();
                 Ok(seq_table(iters, vec![1; n], vec![Item::Node(root); n]))
+            }
+            Op::ExternalVar {
+                loop_,
+                name,
+                default,
+            } => {
+                let items: Vec<Item> = match self.params.get(name) {
+                    Some(bound) => bound.to_vec(),
+                    None => match default {
+                        Some(d) => return Ok((*self.eval(d)?).clone()),
+                        None => return Err(ExecError::UnboundVariable(name.clone())),
+                    },
+                };
+                let iters = self.loop_iters(loop_)?;
+                let mut oi = Vec::new();
+                let mut op = Vec::new();
+                let mut oit = Vec::new();
+                for it in iters {
+                    for (k, item) in items.iter().enumerate() {
+                        oi.push(it);
+                        op.push(k as i64 + 1);
+                        oit.push(item.clone());
+                    }
+                }
+                Ok(seq_table(oi, op, oit))
             }
             Op::NestFromSeq { seq } => {
                 let t = self.eval(seq)?;
@@ -832,7 +923,7 @@ impl<'a> Executor<'a> {
         let mut out: Vec<(i64, NodeId)> = Vec::new();
         let mut stats = ScanStats::default();
         for (frag, mut pairs) in per_frag {
-            let doc = self.store.container(frag);
+            let doc = self.container(frag);
             pairs.sort_unstable_by_key(|&(it, p)| (p, it));
             let use_candidates = self.config.nametest_pushdown
                 && matches!(test, NodeTest::Named(_))
@@ -887,7 +978,7 @@ impl<'a> Executor<'a> {
         let (mut oi, mut oit) = (Vec::new(), Vec::new());
         for (it, item) in iters.iter().zip(&items) {
             let Item::Node(n) = item else { continue };
-            let doc = self.store.container(n.frag);
+            let doc = self.container(n.frag);
             match name {
                 Some(a) => {
                     if let Some(v) = doc.attribute(n.pre, a) {
@@ -1099,7 +1190,7 @@ impl<'a> Executor<'a> {
                         .and_then(|m| m.get(&it))
                         .and_then(|v| v.first())
                         .and_then(|i| i.as_node())
-                        .map(|n| self.store.name_of(n).to_string())
+                        .map(|n| self.container(n.frag).name_of(n.pre).to_string())
                         .unwrap_or_default();
                     Item::str(name)
                 }
@@ -1137,7 +1228,7 @@ impl<'a> Executor<'a> {
         // Snapshot of the transient container: content nodes constructed by
         // child plans already live there and must be copied from a stable
         // source while we append the new elements.
-        let transient = std::mem::take(self.store.transient_mut());
+        let transient = std::mem::take(&mut self.transient);
         let snapshot = transient.clone();
         let mut builder = DocumentBuilder::append_to(transient, 0);
 
@@ -1166,7 +1257,7 @@ impl<'a> Executor<'a> {
                             let src = if n.frag == TRANSIENT_FRAG {
                                 &snapshot
                             } else {
-                                self.store.container(n.frag)
+                                self.snap.container(n.frag)
                             };
                             builder.copy_subtree(src, n.pre);
                         }
@@ -1187,7 +1278,7 @@ impl<'a> Executor<'a> {
             oi.push(it);
             oit.push(Item::Node(NodeId::new(TRANSIENT_FRAG, root_pre)));
         }
-        *self.store.transient_mut() = builder.finish();
+        self.transient = builder.finish();
         let n = oi.len();
         Ok(seq_table(oi, vec![1; n], oit))
     }
@@ -1215,14 +1306,18 @@ fn is_sorted(v: &[i64]) -> bool {
 
 /// Format a sequence of result items the way our serializer does for
 /// examples/tests: nodes as XML, atomics as their string value, separated by
-/// single spaces between adjacent atomics.
-pub fn serialize_items(store: &DocStore, items: &[Item]) -> String {
+/// single spaces between adjacent atomics.  `container_of` resolves a
+/// fragment id to its document container.
+fn serialize_items_by<'d, F>(container_of: F, items: &[Item]) -> String
+where
+    F: Fn(u32) -> &'d Document,
+{
     let mut out = String::new();
     let mut prev_atomic = false;
     for item in items {
         match item {
             Item::Node(n) => {
-                let doc = store.container(n.frag);
+                let doc = container_of(n.frag);
                 mxq_xmldb::serialize_node(doc, n.pre, &mut out);
                 prev_atomic = false;
             }
@@ -1243,6 +1338,36 @@ pub fn serialize_items(store: &DocStore, items: &[Item]) -> String {
         }
     }
     out
+}
+
+/// Serialize a result sequence against a document store (nodes in the
+/// store's transient container resolve against fragment 0 of the store).
+pub fn serialize_items(store: &DocStore, items: &[Item]) -> String {
+    serialize_items_by(|frag| store.container(frag), items)
+}
+
+/// Serialize a result sequence against a store snapshot plus the private
+/// transient container of the execution that produced the items.
+pub fn serialize_items_snapshot(
+    snap: &StoreSnapshot,
+    transient: &Document,
+    items: &[Item],
+) -> String {
+    serialize_items_by(
+        |frag| {
+            if frag == TRANSIENT_FRAG {
+                transient
+            } else {
+                snap.container(frag)
+            }
+        },
+        items,
+    )
+}
+
+/// Serialize a single item (see [`serialize_items_snapshot`]).
+pub fn serialize_item_snapshot(snap: &StoreSnapshot, transient: &Document, item: &Item) -> String {
+    serialize_items_snapshot(snap, transient, std::slice::from_ref(item))
 }
 
 #[cfg(test)]

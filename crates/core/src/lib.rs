@@ -15,20 +15,45 @@
 //!    staircase join (`mxq-staircase`), with all optimizations of the paper
 //!    individually switchable through [`ExecConfig`].
 //!
+//! The public API mirrors MonetDB/XQuery's *server* shape ([`db`]):
+//!
+//! * a [`Database`] owns the shredded documents behind a single-writer /
+//!   many-reader lock and an LRU plan cache, and is shared via `Arc`;
+//! * each client opens a cheap [`Session`] ([`Database::session`]) carrying
+//!   its own [`ExecConfig`] and statistics;
+//! * [`Session::prepare`] parses + compiles a statement **once** into a
+//!   [`Prepared`] handle — external variables declared with
+//!   `declare variable $x external;` are bound per execution with
+//!   [`Prepared::bind`] — and [`Session::execute`] auto-detects query
+//!   vs. update text ([`StatementResult`]);
+//! * results stream ([`QueryResult::into_iter`],
+//!   [`Session::execute_streaming`]) instead of forcing one big string.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use mxq_xquery::XQueryEngine;
+//! use std::sync::Arc;
+//! use mxq_xquery::Database;
 //!
-//! let mut engine = XQueryEngine::new();
-//! engine.load_document("books.xml",
+//! let db = Arc::new(Database::new());
+//! db.load_document("books.xml",
 //!     "<books><book year=\"2004\"><title>DB</title></book>\
 //!      <book year=\"2006\"><title>XML</title></book></books>").unwrap();
-//! let result = engine
-//!     .execute("for $b in doc(\"books.xml\")/books/book where $b/@year >= 2005 \
-//!               return $b/title/text()")
+//!
+//! let mut session = db.session();
+//! let result = session
+//!     .query("for $b in doc(\"books.xml\")/books/book where $b/@year >= 2005 \
+//!             return $b/title/text()")
 //!     .unwrap();
 //! assert_eq!(result.serialize(), "XML");
+//!
+//! // compile once, execute many times with different bindings
+//! let stmt = session
+//!     .prepare("declare variable $year external; \
+//!               count(doc(\"books.xml\")/books/book[@year >= $year])")
+//!     .unwrap();
+//! assert_eq!(stmt.bind("year", 2000).query().unwrap().serialize(), "2");
+//! assert_eq!(stmt.bind("year", 2005).query().unwrap().serialize(), "1");
 //! ```
 
 #![warn(missing_docs)]
@@ -37,28 +62,36 @@ pub mod algebra;
 pub mod ast;
 pub mod compile;
 pub mod config;
+pub mod db;
 pub mod exec;
+pub mod params;
 pub mod parser;
 pub mod pul;
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
-use mxq_engine::{Item, NodeId};
-use mxq_xmldb::{
-    DocStore, DocumentBuilder, DocumentColumns, NodeKind, PagedDocument, ShredError, UpdateStats,
-    TRANSIENT_FRAG,
-};
+use mxq_xmldb::{DocumentColumns, ShredError};
 
 pub use algebra::{Plan, PlanRef};
+pub use ast::Statement;
 pub use compile::{CompileError, Compiler};
 pub use config::{ExecConfig, ExecStats};
-pub use exec::{serialize_items, ExecError, Executor};
-pub use parser::{parse_expr, parse_query, parse_update, ParseError};
+pub use db::{
+    Binder, Database, DatabaseStats, Prepared, QueryReport, QueryResult, ResultStream, Session,
+    SessionStats, StatementResult, StoreReadGuard, UpdateReport,
+};
+pub use exec::{serialize_items, serialize_items_snapshot, ExecError, Executor};
+pub use params::Params;
+pub use parser::{parse_expr, parse_query, parse_statement, parse_update, ParseError};
 pub use pul::{PendingUpdateList, PulError, UpdateKind, UpdatePlan, UpdatePrimitive};
 
-/// Any error an [`XQueryEngine`] call can produce.
+/// Any error a database/session/engine call can produce.
+///
+/// Implements [`std::error::Error`] with a [`source`](std::error::Error::source)
+/// chain pointing at the phase-specific error (shred, parse, compile,
+/// execute, update apply), so callers can use `?` with `anyhow`-style
+/// handling and still inspect the failing phase.
 #[derive(Debug)]
 pub enum Error {
     /// XML shredding failed.
@@ -71,21 +104,44 @@ pub enum Error {
     Exec(ExecError),
     /// Collecting or checking a pending update list failed.
     Update(PulError),
+    /// A statement of the wrong kind was passed to a kind-specific entry
+    /// point (e.g. an updating statement to [`Session::query`]).
+    WrongStatementKind {
+        /// The statement kind the entry point expected.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Shred(e) => write!(f, "{e}"),
+            Error::Shred(e) => write!(f, "shredding failed: {e}"),
             Error::Parse(e) => write!(f, "{e}"),
-            Error::Compile(e) => write!(f, "{e}"),
-            Error::Exec(e) => write!(f, "{e}"),
-            Error::Update(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "compilation failed: {e}"),
+            Error::Exec(e) => write!(f, "execution failed: {e}"),
+            Error::Update(e) => write!(f, "update failed: {e}"),
+            Error::WrongStatementKind { expected } => {
+                write!(
+                    f,
+                    "statement is not a {expected} (use `execute` for mixed text)"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Shred(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Update(e) => Some(e),
+            Error::WrongStatementKind { .. } => None,
+        }
+    }
+}
 
 impl From<ShredError> for Error {
     fn from(e: ShredError) -> Self {
@@ -113,79 +169,23 @@ impl From<PulError> for Error {
     }
 }
 
-/// The result of a query: the item sequence plus its XML/text serialization.
-#[derive(Debug, Clone)]
-pub struct QueryResult {
-    items: Vec<Item>,
-    serialized: String,
-}
-
-impl QueryResult {
-    /// The result items in sequence order.
-    pub fn items(&self) -> &[Item] {
-        &self.items
-    }
-
-    /// Number of items in the result sequence.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// True if the result is the empty sequence.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// XML/text serialization of the result sequence.
-    pub fn serialize(&self) -> &str {
-        &self.serialized
-    }
-}
-
-/// Diagnostics of one query execution: plan size and runtime counters.
-#[derive(Debug, Clone, Default)]
-pub struct QueryReport {
-    /// Number of algebra operators in the compiled plan (the paper reports an
-    /// average of 86 for XMark).
-    pub plan_operators: usize,
-    /// Runtime statistics.
-    pub stats: ExecStats,
-}
-
-/// Diagnostics of one update execution.
-#[derive(Debug, Clone, Default)]
-pub struct UpdateReport {
-    /// Number of updating statements in the executed text.
-    pub statements: usize,
-    /// Number of update primitives applied (after delete deduplication).
-    pub primitives: usize,
-    /// Number of distinct documents mutated.
-    pub documents_touched: usize,
-    /// Storage-level cost counters accumulated over the touched documents.
-    pub stats: UpdateStats,
-}
-
 /// Default logical page size for the paged update scheme.
 pub const DEFAULT_PAGE_SIZE: usize = 64;
 /// Default page fill factor (percent) for the paged update scheme.
 pub const DEFAULT_FILL_PERCENT: u8 = 75;
 
-/// The public facade: a document store plus a configuration, able to parse,
-/// compile and execute queries — and, through [`XQueryEngine::execute_update`],
-/// XQuery Update Facility statements over the paged storage scheme.
+/// The legacy single-client facade, kept as a thin shim over
+/// [`Database`] + [`Session`] for one release.
+///
+/// **Deprecated** in favour of the server-style API: create an
+/// `Arc<`[`Database`]`>`, open [`Session`]s per client, and use
+/// [`Session::prepare`] for statements executed more than once.  The shim
+/// keeps the historical method set working unchanged; `reset_transient` and
+/// `sync` are now no-ops (every execution has a private transient container,
+/// and updates publish eagerly).
 pub struct XQueryEngine {
-    store: DocStore,
-    config: ExecConfig,
-    /// Paged (updatable) representation per mutated fragment — the source of
-    /// truth once a document has been updated.
-    paged: HashMap<u32, PagedDocument>,
-    /// Fragments whose paged state is newer than the read-only container in
-    /// `store` (re-materialized lazily before the next query).
-    dirty: HashSet<u32>,
-    /// Cached relational exports, invalidated when their document mutates.
-    columns: HashMap<u32, Arc<DocumentColumns>>,
-    page_size: usize,
-    fill_percent: u8,
+    db: Arc<Database>,
+    session: Session,
 }
 
 impl Default for XQueryEngine {
@@ -202,426 +202,62 @@ impl XQueryEngine {
 
     /// Engine with an explicit configuration (used by the ablation benches).
     pub fn with_config(config: ExecConfig) -> Self {
-        XQueryEngine {
-            store: DocStore::new(),
-            config,
-            paged: HashMap::new(),
-            dirty: HashSet::new(),
-            columns: HashMap::new(),
-            page_size: DEFAULT_PAGE_SIZE,
-            fill_percent: DEFAULT_FILL_PERCENT,
-        }
+        let db = Arc::new(Database::new());
+        let session = db.session_with_config(config);
+        XQueryEngine { db, session }
+    }
+
+    /// The underlying shared database (migration path: clone the `Arc`,
+    /// open sessions).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
     }
 
     /// Change the configuration (affects subsequent `execute` calls).
     pub fn set_config(&mut self, config: ExecConfig) {
-        self.config = config;
+        self.session.set_config(config);
     }
 
     /// The current configuration.
     pub fn config(&self) -> ExecConfig {
-        self.config
+        self.session.config()
     }
 
     /// Shred and load an XML document under the given name (the name is what
     /// `fn:doc("name")` refers to).
     pub fn load_document(&mut self, name: &str, xml: &str) -> Result<(), Error> {
-        self.store.load_xml(name, xml)?;
-        Ok(())
+        self.db.load_document(name, xml)
     }
 
     /// Load an already shredded document.
     pub fn load_shredded(&mut self, doc: mxq_xmldb::Document) {
-        self.store.add_document(doc);
+        self.db.load_shredded(doc);
     }
 
-    /// Access the underlying document store.
-    pub fn store(&self) -> &DocStore {
-        &self.store
+    /// Read access to the underlying document store.
+    pub fn store(&self) -> StoreReadGuard<'_> {
+        self.db.store()
     }
 
-    /// Discard all nodes constructed by previous queries (benchmarks call
-    /// this between runs so the transient container does not grow without
-    /// bound).
-    pub fn reset_transient(&mut self) {
-        self.store.clear_transient();
-    }
+    /// Historical no-op: every execution now constructs into its own
+    /// private transient container, so there is nothing to reset.
+    pub fn reset_transient(&mut self) {}
+
+    /// Historical no-op: updates re-materialize and publish the touched
+    /// documents eagerly, so the store is always in sync.
+    pub fn sync(&mut self) {}
 
     /// Parse + compile a query and return the plan (for inspection, e.g.
     /// `plan.explain()` or `plan.operator_count()`).
     pub fn compile(&self, query: &str) -> Result<PlanRef, Error> {
         let parsed = parse_query(query)?;
-        let plan = Compiler::new(self.config).compile_query(&parsed)?;
+        let plan = Compiler::new(self.session.config()).compile_query(&parsed)?;
         Ok(plan)
     }
 
     /// Execute a query and return its result.
     pub fn execute(&mut self, query: &str) -> Result<QueryResult, Error> {
-        self.execute_with_report(query).map(|(r, _)| r)
-    }
-
-    /// Tune the paged update scheme (logical page size in tuples, fill
-    /// factor in percent).  Affects documents paged after the call.
-    ///
-    /// # Panics
-    /// Panics unless `page_size` is a power of two ≥ 2 and
-    /// `fill_percent ∈ (0, 100]`.
-    pub fn set_page_policy(&mut self, page_size: usize, fill_percent: u8) {
-        assert!(
-            page_size.is_power_of_two() && page_size >= 2,
-            "page_size must be a power of two >= 2"
-        );
-        assert!(
-            (1..=100).contains(&fill_percent),
-            "fill_percent must be in 1..=100"
-        );
-        self.page_size = page_size;
-        self.fill_percent = fill_percent;
-    }
-
-    /// Re-materialize every updated document into the read-only store so
-    /// subsequent queries observe the post-update state.  Called implicitly
-    /// by `execute*`, `execute_update` and `document_columns`; only needed
-    /// directly when inspecting [`XQueryEngine::store`] after an update.
-    pub fn sync(&mut self) {
-        if self.dirty.is_empty() {
-            return;
-        }
-        let frags: Vec<u32> = self.dirty.drain().collect();
-        for frag in frags {
-            let doc = self.paged[&frag].to_document();
-            self.store.replace_document(frag, doc);
-        }
-    }
-
-    /// The cached relational export ([`DocumentColumns`]) of a loaded
-    /// document, recomputed — dictionaries included — after every update
-    /// that touches the document.  Returns `None` for unknown names.
-    pub fn document_columns(&mut self, name: &str) -> Option<Arc<DocumentColumns>> {
-        self.sync();
-        let frag = self.store.lookup(name)?;
-        Some(
-            self.columns
-                .entry(frag)
-                .or_insert_with(|| Arc::new(DocumentColumns::new(self.store.container(frag))))
-                .clone(),
-        )
-    }
-
-    /// Execute one or more comma-separated XQuery Update Facility statements.
-    ///
-    /// All target and source expressions are evaluated first, against the
-    /// unchanged store (snapshot isolation); the collected pending update
-    /// list is conflict-checked and then applied atomically to the paged
-    /// representation of every touched document.  Queries issued afterwards
-    /// observe the post-update state.
-    pub fn execute_update(&mut self, text: &str) -> Result<UpdateReport, Error> {
-        let parsed = parse_update(text)?;
-        let mut compiler = Compiler::new(self.config);
-        let uplan = compiler.compile_update(&parsed)?;
-        self.sync();
-
-        // phase 1: snapshot evaluation of every statement's plans
-        struct Evaled {
-            kind: UpdateKind,
-            targets: Vec<Item>,
-            attr: Option<String>,
-            source: Option<Vec<Item>>,
-        }
-        let mut evaled = Vec::with_capacity(uplan.statements.len());
-        {
-            let mut exec = Executor::new(&mut self.store, self.config);
-            for stmt in &uplan.statements {
-                let (targets, attr) = match &stmt.target {
-                    pul::UpdateTarget::Nodes(p) => (exec.eval_result(p)?, None),
-                    pul::UpdateTarget::Attribute { elem, name } => {
-                        (exec.eval_result(elem)?, Some(name.clone()))
-                    }
-                };
-                let source = match &stmt.source {
-                    Some(p) => Some(exec.eval_result(p)?),
-                    None => None,
-                };
-                evaled.push(Evaled {
-                    kind: stmt.kind,
-                    targets,
-                    attr,
-                    source,
-                });
-            }
-        }
-
-        // phase 2: build the pending update list (validation + conflicts)
-        let mut pul = PendingUpdateList::new();
-        let collected: Result<(), Error> = (|| {
-            for ev in &evaled {
-                self.collect_primitives(
-                    ev.kind,
-                    &ev.targets,
-                    ev.attr.as_deref(),
-                    &ev.source,
-                    &mut pul,
-                )?;
-            }
-            Ok(())
-        })();
-        // content has been copied into the primitives' own fragments; nodes
-        // constructed while evaluating the sources are no longer referenced.
-        // Cleared on the error path too, or failed updates would leak their
-        // constructed source nodes into the transient container.
-        self.store.clear_transient();
-        collected?;
-
-        // phase 3: atomic application to the paged scheme
-        let frags = pul.fragments();
-        let mut applied = 0;
-        let mut stats = UpdateStats::default();
-        for &frag in &frags {
-            let paged = self.paged.entry(frag).or_insert_with(|| {
-                PagedDocument::from_document(
-                    self.store.container(frag),
-                    self.page_size,
-                    self.fill_percent,
-                )
-            });
-            let before = paged.stats;
-            applied += pul.apply_to(frag, paged);
-            stats.accumulate(&paged.stats.delta_since(&before));
-            self.dirty.insert(frag);
-            self.columns.remove(&frag);
-        }
-        Ok(UpdateReport {
-            statements: uplan.statements.len(),
-            primitives: applied,
-            documents_touched: frags.len(),
-            stats,
-        })
-    }
-
-    /// Turn one evaluated statement into update primitives.
-    fn collect_primitives(
-        &self,
-        kind: UpdateKind,
-        targets: &[Item],
-        attr: Option<&str>,
-        source: &Option<Vec<Item>>,
-        pul: &mut PendingUpdateList,
-    ) -> Result<(), Error> {
-        // attribute-addressed statements (delete/replace value/rename @name)
-        if let Some(name) = attr {
-            match kind {
-                // `delete nodes …/@name` accepts any number of owning
-                // elements (bulk attribute strip); a missing attribute is an
-                // empty target and deletes nothing
-                UpdateKind::Delete => {
-                    for item in targets {
-                        let elem = self.node_target(item, "attribute delete")?;
-                        self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
-                        pul.add(UpdatePrimitive::RemoveAttribute {
-                            elem,
-                            name: name.to_string(),
-                        })?;
-                    }
-                }
-                // `replace value of node …/@name` upserts: when the
-                // attribute is missing it is created.  This is a deliberate
-                // extension — the subset has no computed attribute
-                // constructors, so this is its attribute-insertion form.
-                UpdateKind::ReplaceValue => {
-                    let elem = self.single_node(targets, "replace value of attribute")?;
-                    self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
-                    pul.add(UpdatePrimitive::SetAttribute {
-                        elem,
-                        name: name.to_string(),
-                        value: self.source_string(source),
-                    })?;
-                }
-                UpdateKind::Rename => {
-                    let elem = self.single_node(targets, "rename attribute")?;
-                    self.require_kind(elem, &[NodeKind::Element], "attribute owner")?;
-                    // renaming a non-existent attribute is an empty target
-                    if self
-                        .store
-                        .container(elem.frag)
-                        .attribute(elem.pre, name)
-                        .is_none()
-                    {
-                        return Err(PulError::ExactlyOne {
-                            what: "rename attribute",
-                            got: 0,
-                        }
-                        .into());
-                    }
-                    let new_name = self.source_string(source);
-                    if !pul::valid_qname(&new_name) {
-                        return Err(PulError::InvalidName(new_name).into());
-                    }
-                    pul.add(UpdatePrimitive::RenameAttribute {
-                        elem,
-                        name: name.to_string(),
-                        new_name,
-                    })?;
-                }
-                _ => unreachable!("compiler rejects other attribute-target kinds"),
-            }
-            return Ok(());
-        }
-
-        match kind {
-            UpdateKind::InsertInto { first } => {
-                let parent = self.single_node(targets, "insert into")?;
-                self.require_kind(
-                    parent,
-                    &[NodeKind::Element, NodeKind::Document],
-                    "insert target",
-                )?;
-                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
-                if !content.is_empty() {
-                    pul.add(UpdatePrimitive::InsertInto {
-                        parent,
-                        first,
-                        content,
-                    })?;
-                }
-            }
-            UpdateKind::InsertBefore | UpdateKind::InsertAfter => {
-                let target = self.single_node(targets, "insert before/after")?;
-                self.require_non_root(target)?;
-                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
-                if !content.is_empty() {
-                    pul.add(if kind == UpdateKind::InsertBefore {
-                        UpdatePrimitive::InsertBefore { target, content }
-                    } else {
-                        UpdatePrimitive::InsertAfter { target, content }
-                    })?;
-                }
-            }
-            UpdateKind::Delete => {
-                for item in targets {
-                    let target = self.node_target(item, "delete")?;
-                    self.require_non_root(target)?;
-                    pul.add(UpdatePrimitive::Delete { target })?;
-                }
-            }
-            UpdateKind::ReplaceNode => {
-                let target = self.single_node(targets, "replace node")?;
-                self.require_non_root(target)?;
-                let content = self.materialize_content(source.as_deref().unwrap_or(&[]));
-                pul.add(UpdatePrimitive::ReplaceNode { target, content })?;
-            }
-            UpdateKind::ReplaceValue => {
-                let target = self.single_node(targets, "replace value of node")?;
-                pul.add(UpdatePrimitive::ReplaceValue {
-                    target,
-                    value: self.source_string(source),
-                })?;
-            }
-            UpdateKind::Rename => {
-                let target = self.single_node(targets, "rename node")?;
-                self.require_kind(
-                    target,
-                    &[NodeKind::Element, NodeKind::ProcessingInstruction],
-                    "rename target",
-                )?;
-                let name = self.source_string(source);
-                if !pul::valid_qname(&name) {
-                    return Err(PulError::InvalidName(name).into());
-                }
-                pul.add(UpdatePrimitive::Rename { target, name })?;
-            }
-        }
-        Ok(())
-    }
-
-    fn node_target(&self, item: &Item, what: &'static str) -> Result<NodeId, Error> {
-        let node = item.as_node().ok_or(PulError::NotANode(what))?;
-        if node.frag == TRANSIENT_FRAG {
-            return Err(PulError::TransientTarget.into());
-        }
-        Ok(node)
-    }
-
-    fn single_node(&self, targets: &[Item], what: &'static str) -> Result<NodeId, Error> {
-        if targets.len() != 1 {
-            return Err(PulError::ExactlyOne {
-                what,
-                got: targets.len(),
-            }
-            .into());
-        }
-        self.node_target(&targets[0], what)
-    }
-
-    fn require_kind(&self, node: NodeId, kinds: &[NodeKind], what: &str) -> Result<(), Error> {
-        let kind = self.store.container(node.frag).kind(node.pre);
-        if kinds.contains(&kind) {
-            Ok(())
-        } else {
-            Err(PulError::WrongTargetKind(format!("{what} has node kind {kind:?}")).into())
-        }
-    }
-
-    /// Structural updates must keep the document rooted: fragment roots
-    /// (document nodes / root elements at level 0) cannot be deleted,
-    /// replaced or given siblings.
-    fn require_non_root(&self, node: NodeId) -> Result<(), Error> {
-        if self.store.container(node.frag).level(node.pre) == 0 {
-            return Err(PulError::TargetIsRoot.into());
-        }
-        Ok(())
-    }
-
-    /// Copy an evaluated content sequence into a private fragment document:
-    /// node items are deep-copied (XQUF inserts copies), adjacent atomics
-    /// merge into space-separated text nodes, and document nodes contribute
-    /// their children.
-    fn materialize_content(&self, items: &[Item]) -> mxq_xmldb::Document {
-        let mut b = DocumentBuilder::new("#update-content");
-        let mut pending_text = String::new();
-        for item in items {
-            match item {
-                Item::Node(n) => {
-                    if !pending_text.is_empty() {
-                        b.text(&pending_text);
-                        pending_text.clear();
-                    }
-                    let src = self.store.container(n.frag);
-                    if src.kind(n.pre) == NodeKind::Document {
-                        for child in src.children(n.pre) {
-                            b.copy_subtree(src, child);
-                        }
-                    } else {
-                        b.copy_subtree(src, n.pre);
-                    }
-                }
-                atomic => {
-                    if !pending_text.is_empty() {
-                        pending_text.push(' ');
-                    }
-                    pending_text.push_str(&atomic.string_value());
-                }
-            }
-        }
-        if !pending_text.is_empty() {
-            b.text(&pending_text);
-        }
-        b.finish()
-    }
-
-    /// The string value of a source sequence (for `replace value of` and
-    /// `rename`): item string values joined by single spaces.
-    fn source_string(&self, source: &Option<Vec<Item>>) -> String {
-        let Some(items) = source else {
-            return String::new();
-        };
-        items
-            .iter()
-            .map(|i| match i {
-                Item::Node(n) => self.store.string_value(*n),
-                atomic => atomic.string_value(),
-            })
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.session.query(query)
     }
 
     /// Execute a query, also returning plan/runtime diagnostics.
@@ -629,21 +265,24 @@ impl XQueryEngine {
         &mut self,
         query: &str,
     ) -> Result<(QueryResult, QueryReport), Error> {
-        self.sync();
-        let parsed = parse_query(query)?;
-        let plan = Compiler::new(self.config).compile_query(&parsed)?;
-        let plan_operators = plan.operator_count();
-        let mut executor = Executor::new(&mut self.store, self.config);
-        let items = executor.eval_result(&plan)?;
-        let stats = executor.stats;
-        let serialized = serialize_items(&self.store, &items);
-        Ok((
-            QueryResult { items, serialized },
-            QueryReport {
-                plan_operators,
-                stats,
-            },
-        ))
+        self.session.query_with_report(query)
+    }
+
+    /// Execute one or more comma-separated XQuery Update Facility statements
+    /// (see [`Session::execute_update`]).
+    pub fn execute_update(&mut self, text: &str) -> Result<UpdateReport, Error> {
+        self.session.execute_update(text)
+    }
+
+    /// Tune the paged update scheme (see [`Database::set_page_policy`]).
+    pub fn set_page_policy(&mut self, page_size: usize, fill_percent: u8) {
+        self.db.set_page_policy(page_size, fill_percent);
+    }
+
+    /// The cached relational export ([`DocumentColumns`]) of a loaded
+    /// document (see [`Database::document_columns`]).
+    pub fn document_columns(&mut self, name: &str) -> Option<Arc<DocumentColumns>> {
+        self.db.document_columns(name)
     }
 }
 
@@ -835,5 +474,28 @@ mod tests {
             e.execute("doc(\"missing.xml\")/a"),
             Err(Error::Exec(_))
         ));
+    }
+
+    #[test]
+    fn errors_expose_a_source_chain() {
+        use std::error::Error as StdError;
+        let mut e = XQueryEngine::new();
+        let err = e.execute("for $x").unwrap_err();
+        let src = err.source().expect("parse errors carry a source");
+        assert!(src.downcast_ref::<ParseError>().is_some());
+        let err = e.execute("$undefined").unwrap_err();
+        assert!(err
+            .source()
+            .unwrap()
+            .downcast_ref::<CompileError>()
+            .is_some());
+        let err = e.execute("doc(\"nope.xml\")/a").unwrap_err();
+        assert!(err.source().unwrap().downcast_ref::<ExecError>().is_some());
+        // the chain works through a boxed dyn Error (anyhow-style `?` usage)
+        fn boxed(e: &mut XQueryEngine) -> Result<(), Box<dyn StdError>> {
+            e.execute("for $x")?;
+            Ok(())
+        }
+        assert!(boxed(&mut e).is_err());
     }
 }

@@ -65,6 +65,70 @@ pub fn parse_update(src: &str) -> PResult<UpdateQuery> {
     Ok(q)
 }
 
+/// Parse a statement, auto-detecting whether the text is a query or an
+/// XQuery Update Facility statement list.
+///
+/// After the shared prolog, a text whose first token is one of the update
+/// keywords (`insert`, `delete`, `replace`, `rename`) followed by a valid
+/// update statement parses as [`Statement::Update`]; everything else parses
+/// as [`Statement::Query`].  A leading update keyword that turns out to be a
+/// path step (e.g. the query `insert` selecting `child::insert` elements)
+/// falls back to the query grammar.
+pub fn parse_statement(src: &str) -> PResult<Statement> {
+    let mut p = Parser::new(src);
+    let (functions, variables) = p.parse_prolog()?;
+    let looks_like_update = ["insert", "delete", "replace", "rename"]
+        .iter()
+        .any(|kw| p.at_name(kw));
+    if looks_like_update {
+        let save = p.save();
+        match p.parse_update_statements().and_then(|stmts| {
+            p.skip_ws();
+            if p.at_end() {
+                Ok(stmts)
+            } else {
+                Err(p.err("unexpected trailing input"))
+            }
+        }) {
+            Ok(statements) => {
+                return Ok(Statement::Update(UpdateQuery {
+                    functions,
+                    variables,
+                    statements,
+                }))
+            }
+            Err(update_err) => {
+                // not a well-formed update — retry as a query; if that fails
+                // too, the update-grammar error is the more helpful one
+                p.restore(save);
+                let body = match p.parse_expr() {
+                    Ok(b) => b,
+                    Err(_) => return Err(update_err),
+                };
+                p.skip_ws();
+                if !p.at_end() {
+                    return Err(update_err);
+                }
+                return Ok(Statement::Query(Query {
+                    functions,
+                    variables,
+                    body,
+                }));
+            }
+        }
+    }
+    let body = p.parse_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(Statement::Query(Query {
+        functions,
+        variables,
+        body,
+    }))
+}
+
 // ---------------------------------------------------------------------------
 // Tokens
 // ---------------------------------------------------------------------------
@@ -188,17 +252,11 @@ impl Parser {
             let mut is_dbl = false;
             while self.pos < self.src.len() {
                 let c = self.src[self.pos];
-                if c.is_ascii_digit() {
-                    s.push(c);
-                    self.pos += 1;
-                } else if c == '.' && self.ch(1).is_ascii_digit() {
-                    is_dbl = true;
-                    s.push(c);
-                    self.pos += 1;
-                } else if (c == 'e' || c == 'E')
-                    && (self.ch(1).is_ascii_digit() || self.ch(1) == '-')
-                {
-                    is_dbl = true;
+                let fraction = c == '.' && self.ch(1).is_ascii_digit();
+                let exponent =
+                    (c == 'e' || c == 'E') && (self.ch(1).is_ascii_digit() || self.ch(1) == '-');
+                if c.is_ascii_digit() || fraction || exponent {
+                    is_dbl |= fraction || exponent;
                     s.push(c);
                     self.pos += 1;
                 } else {
@@ -356,15 +414,31 @@ impl Parser {
 
     fn parse_update_query(&mut self) -> PResult<UpdateQuery> {
         let (functions, variables) = self.parse_prolog()?;
-        let mut statements = vec![self.parse_update_stmt()?];
-        while self.eat_sym(",") {
-            statements.push(self.parse_update_stmt()?);
-        }
+        let statements = self.parse_update_statements()?;
         Ok(UpdateQuery {
             functions,
             variables,
             statements,
         })
+    }
+
+    fn parse_update_statements(&mut self) -> PResult<Vec<UpdateStmt>> {
+        let mut statements = vec![self.parse_update_stmt()?];
+        while self.eat_sym(",") {
+            statements.push(self.parse_update_stmt()?);
+        }
+        Ok(statements)
+    }
+
+    /// Save the lexer position (for backtracking between grammars).
+    fn save(&self) -> (usize, Option<(Tok, usize, usize)>) {
+        (self.pos, self.peeked.clone())
+    }
+
+    /// Restore a previously saved lexer position.
+    fn restore(&mut self, save: (usize, Option<(Tok, usize, usize)>)) {
+        self.pos = save.0;
+        self.peeked = save.1;
     }
 
     fn parse_update_stmt(&mut self) -> PResult<UpdateStmt> {
@@ -435,7 +509,7 @@ impl Parser {
         }
     }
 
-    fn parse_prolog(&mut self) -> PResult<(Vec<FunctionDecl>, Vec<(String, Expr)>)> {
+    fn parse_prolog(&mut self) -> PResult<(Vec<FunctionDecl>, Vec<VarDecl>)> {
         let mut functions = Vec::new();
         let mut variables = Vec::new();
         while self.at_name("declare") {
@@ -486,10 +560,22 @@ impl Parser {
                     }
                 };
                 self.skip_type_annotation();
-                self.expect_sym(":=")?;
-                let value = self.parse_expr_single()?;
+                // `declare variable $x external;` — value supplied at
+                // execution time, with an optional `:= default`
+                let external = self.eat_name("external");
+                let init = if self.eat_sym(":=") {
+                    Some(self.parse_expr_single()?)
+                } else if external {
+                    None
+                } else {
+                    return Err(self.err("expected `:=` or `external` in variable declaration"));
+                };
                 self.expect_sym(";")?;
-                variables.push((var, value));
+                variables.push(VarDecl {
+                    name: var,
+                    init,
+                    external,
+                });
             } else {
                 return Err(self.err("unsupported declaration (only function/variable)"));
             }
@@ -959,8 +1045,6 @@ impl Parser {
                             }
                             other => return Err(self.err(format!("unknown kind test `{other}()`"))),
                         }
-                    } else if axis == Axis::Attribute {
-                        NodeTest::named(strip_prefix(&n))
                     } else {
                         NodeTest::named(strip_prefix(&n))
                     }
@@ -1420,6 +1504,56 @@ mod tests {
         .unwrap();
         assert_eq!(u.variables.len(), 1);
         assert_eq!(u.statements.len(), 2);
+    }
+
+    #[test]
+    fn parses_external_variable_declarations() {
+        let q = parse_query("declare variable $x external; $x + 1").unwrap();
+        assert_eq!(q.variables.len(), 1);
+        let d = &q.variables[0];
+        assert_eq!(d.name, "x");
+        assert!(d.external);
+        assert!(d.init.is_none());
+
+        let q = parse_query("declare variable $x external := 7; $x").unwrap();
+        let d = &q.variables[0];
+        assert!(d.external);
+        assert_eq!(d.init, Some(Expr::integer(7)));
+
+        let q = parse_query("declare variable $x := 1; $x").unwrap();
+        let d = &q.variables[0];
+        assert!(!d.external);
+        assert_eq!(d.init, Some(Expr::integer(1)));
+
+        // a declaration needs either `external` or a value
+        assert!(parse_query("declare variable $x; $x").is_err());
+    }
+
+    #[test]
+    fn statement_auto_detection() {
+        // plain query
+        let s = parse_statement("1 + 1").unwrap();
+        assert!(!s.is_update());
+        // update statement list
+        let s = parse_statement("delete nodes doc(\"a.xml\")//stale").unwrap();
+        assert!(s.is_update());
+        // prolog is shared between the two grammars
+        let s = parse_statement(
+            "declare variable $d := doc(\"a.xml\"); insert nodes <x/> as last into $d/root",
+        )
+        .unwrap();
+        assert!(s.is_update());
+        let s = parse_statement("declare variable $d external; count($d)").unwrap();
+        assert!(!s.is_update());
+        // an update keyword that is actually a path step falls back to query
+        let s = parse_statement("insert").unwrap();
+        match s {
+            Statement::Query(q) => assert!(matches!(q.body, Expr::Path { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+        // garbage that starts with an update keyword reports the update error
+        assert!(parse_statement("insert nodes <x/> sideways $t").is_err());
+        assert!(parse_statement("for $x").is_err());
     }
 
     #[test]

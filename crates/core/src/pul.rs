@@ -306,33 +306,39 @@ impl PendingUpdateList {
             what,
             target: node.to_string(),
         };
-        match &prim {
-            UpdatePrimitive::Rename { target, .. } => {
-                if !self.renames.insert(*target) {
-                    return Err(conflict("rename node", *target));
-                }
-            }
-            UpdatePrimitive::ReplaceNode { target, .. } => {
-                if !self.replaces.insert(*target) {
-                    return Err(conflict("replace node", *target));
-                }
-            }
-            UpdatePrimitive::ReplaceValue { target, .. } => {
-                if !self.values.insert(*target) {
-                    return Err(conflict("replace value of node", *target));
-                }
-            }
-            UpdatePrimitive::SetAttribute { elem, name, .. } => {
-                if !self.attr_values.insert((*elem, name.clone())) {
-                    return Err(conflict("replace value of attribute", *elem));
-                }
-            }
-            UpdatePrimitive::RenameAttribute { elem, name, .. } => {
-                if !self.attr_renames.insert((*elem, name.clone())) {
-                    return Err(conflict("rename attribute", *elem));
-                }
-            }
-            _ => {}
+        // `fresh` is whether the "first primitive of this kind for this
+        // target" registration succeeded; a duplicate is a conflict
+        let fresh = match &prim {
+            UpdatePrimitive::Rename { target, .. } => self
+                .renames
+                .insert(*target)
+                .then_some(())
+                .ok_or(("rename node", *target)),
+            UpdatePrimitive::ReplaceNode { target, .. } => self
+                .replaces
+                .insert(*target)
+                .then_some(())
+                .ok_or(("replace node", *target)),
+            UpdatePrimitive::ReplaceValue { target, .. } => self
+                .values
+                .insert(*target)
+                .then_some(())
+                .ok_or(("replace value of node", *target)),
+            UpdatePrimitive::SetAttribute { elem, name, .. } => self
+                .attr_values
+                .insert((*elem, name.clone()))
+                .then_some(())
+                .ok_or(("replace value of attribute", *elem)),
+            UpdatePrimitive::RenameAttribute { elem, name, .. } => self
+                .attr_renames
+                .insert((*elem, name.clone()))
+                .then_some(())
+                .ok_or(("rename attribute", *elem)),
+            // inserts, deletes and attribute removals never conflict
+            _ => Ok(()),
+        };
+        if let Err((what, node)) = fresh {
+            return Err(conflict(what, node));
         }
         self.prims.push(prim);
         Ok(())

@@ -192,6 +192,42 @@ impl PartialEq for Item {
     }
 }
 
+impl From<i64> for Item {
+    fn from(v: i64) -> Self {
+        Item::Int(v)
+    }
+}
+impl From<i32> for Item {
+    fn from(v: i32) -> Self {
+        Item::Int(v as i64)
+    }
+}
+impl From<f64> for Item {
+    fn from(v: f64) -> Self {
+        Item::Dbl(v)
+    }
+}
+impl From<bool> for Item {
+    fn from(v: bool) -> Self {
+        Item::Bool(v)
+    }
+}
+impl From<&str> for Item {
+    fn from(v: &str) -> Self {
+        Item::str(v)
+    }
+}
+impl From<String> for Item {
+    fn from(v: String) -> Self {
+        Item::str(v)
+    }
+}
+impl From<NodeId> for Item {
+    fn from(v: NodeId) -> Self {
+        Item::Node(v)
+    }
+}
+
 impl fmt::Display for Item {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.string_value())
@@ -330,7 +366,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_across_types() {
-        let mut v = vec![Item::str("a"), Item::Int(1), Item::Bool(true)];
+        let mut v = [Item::str("a"), Item::Int(1), Item::Bool(true)];
         v.sort_by(|a, b| a.total_cmp(b));
         assert!(matches!(v[0], Item::Bool(_)));
         assert!(matches!(v[2], Item::Str(_)));

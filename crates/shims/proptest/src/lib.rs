@@ -523,7 +523,8 @@ mod tests {
                 prop_assert!((1..4).contains(&a));
                 prop_assert!(p < 64);
             }
-            prop_assert!(b || !b);
+            let truthy = if b { b } else { !b };
+            prop_assert!(truthy);
             prop_assert!(pick == "x" || pick == "y");
         }
 

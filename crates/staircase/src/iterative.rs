@@ -1,7 +1,7 @@
 //! The plain (iterative) staircase join: evaluates one XPath location step
 //! for a *single* context node sequence.
 //!
-//! This is the algorithm of [19] with its three techniques — pruning,
+//! This is the algorithm of \[19\] with its three techniques — pruning,
 //! partitioning and skipping (Figures 1–3 of the paper).  Inside an XQuery
 //! for-loop it must be invoked once per iteration, performing one sequential
 //! pass over the document encoding each time; the loop-lifted variant in

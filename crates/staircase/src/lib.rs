@@ -1,6 +1,6 @@
 //! # mxq-staircase — staircase join over the pre|size|level encoding
 //!
-//! The staircase join (Grust et al., [19] in the paper) evaluates an XPath
+//! The staircase join (Grust et al., \[19\] in the paper) evaluates an XPath
 //! location step for a whole sequence of context nodes with a single
 //! sequential scan over the document encoding, exploiting three techniques:
 //! **pruning** of covered context nodes, **partitioning** of overlapping

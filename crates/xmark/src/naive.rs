@@ -20,6 +20,7 @@ use mxq_staircase::{Axis, NodeTest};
 use mxq_xmldb::{DocStore, NodeKind};
 use mxq_xquery::ast::*;
 use mxq_xquery::parser::parse_query;
+use mxq_xquery::Params;
 
 /// Errors raised by the naive interpreter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,8 @@ pub enum NaiveError {
     Parse(String),
     /// A variable that is not in scope.
     UnknownVariable(String),
+    /// An external variable without binding or default.
+    UnboundVariable(String),
     /// An unknown function.
     UnknownFunction(String),
     /// A document that is not loaded.
@@ -41,6 +44,12 @@ impl fmt::Display for NaiveError {
         match self {
             NaiveError::Parse(m) => write!(f, "parse error: {m}"),
             NaiveError::UnknownVariable(v) => write!(f, "unknown variable ${v}"),
+            NaiveError::UnboundVariable(v) => {
+                write!(
+                    f,
+                    "external variable ${v} is not bound (and has no default)"
+                )
+            }
             NaiveError::UnknownFunction(n) => write!(f, "unknown function {n}()"),
             NaiveError::UnknownDocument(d) => write!(f, "document not loaded: {d}"),
             NaiveError::Unsupported(m) => write!(f, "unsupported: {m}"),
@@ -70,14 +79,34 @@ impl<'a> NaiveInterpreter<'a> {
 
     /// Parse and evaluate a query, returning the result item sequence.
     pub fn run(&mut self, query: &str) -> NResult<Vec<Item>> {
+        self.run_with_params(query, &Params::new())
+    }
+
+    /// Parse and evaluate a query with external-variable bindings — the
+    /// naive counterpart of the relational engine's prepared-statement
+    /// parameters, so both evaluators accept the same parameterized texts.
+    pub fn run_with_params(&mut self, query: &str, params: &Params) -> NResult<Vec<Item>> {
         let parsed = parse_query(query).map_err(|e| NaiveError::Parse(e.to_string()))?;
         for f in &parsed.functions {
             self.functions.insert(f.name.clone(), f.clone());
         }
         let mut env = Env::new();
-        for (name, value) in &parsed.variables {
-            let v = self.eval(value, &env)?;
-            env.insert(name.clone(), v);
+        for decl in &parsed.variables {
+            let v = if decl.external {
+                match params.get(&decl.name) {
+                    Some(bound) => bound.to_vec(),
+                    None => match &decl.init {
+                        Some(default) => self.eval(default, &env)?,
+                        None => return Err(NaiveError::UnboundVariable(decl.name.clone())),
+                    },
+                }
+            } else {
+                let init = decl.init.as_ref().ok_or_else(|| {
+                    NaiveError::Unsupported(format!("variable ${} without a value", decl.name))
+                })?;
+                self.eval(init, &env)?
+            };
+            env.insert(decl.name.clone(), v);
         }
         self.eval(&parsed.body, &env)
     }

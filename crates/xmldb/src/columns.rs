@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn shared_dictionary_enables_code_joins() {
         let (doc, cols) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
-        let probe = cols.names_of(&doc, &doc.elements_named("item").to_vec());
+        let probe = cols.names_of(&doc, doc.elements_named("item"));
         let (probe_codes, probe_dict) = probe.dict_parts().unwrap();
         let (_, struct_dict) = cols
             .structural

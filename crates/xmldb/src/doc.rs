@@ -389,10 +389,8 @@ impl Document {
         let n = self.len() as u32;
         for v in 0..n {
             let end = v + self.size(v);
-            if end >= n && self.size(v) != 0 && end != n - 1 {
-                if end > n - 1 {
-                    return Err(format!("node {v} subtree exceeds document ({end} >= {n})"));
-                }
+            if end >= n && self.size(v) != 0 && end > n - 1 {
+                return Err(format!("node {v} subtree exceeds document ({end} >= {n})"));
             }
             for c in self.children(v) {
                 if self.level(c) != self.level(v) + 1 {

@@ -10,7 +10,7 @@
 //! * **property containers** for the different node kinds (element/attribute
 //!   qualified names, text and comment content, processing-instruction
 //!   target/value pairs) referenced from the structural table;
-//! * a **document shredder** ([`shred`]) that parses XML text into the
+//! * a **document shredder** ([`shred()`](shred::shred)) that parses XML text into the
 //!   encoding with sequential writes, and a **serializer** ([`serialize`])
 //!   that reconstructs XML text with sequential reads;
 //! * a **relational export** ([`columns`]) that turns a shredded document
@@ -38,5 +38,5 @@ pub use doc::{Document, DocumentBuilder};
 pub use node::{AttrRow, NodeKind};
 pub use serialize::{serialize_document, serialize_node};
 pub use shred::{shred, ShredError, ShredOptions};
-pub use store::{DocStore, TRANSIENT_FRAG};
+pub use store::{DocStore, StoreSnapshot, TRANSIENT_FRAG};
 pub use update::{NaiveDocument, PagedDocument, StructuralUpdate, UpdateStats};

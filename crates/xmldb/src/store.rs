@@ -5,8 +5,16 @@
 //! constructed during query evaluation (element constructors).  Nodes are
 //! addressed by [`NodeId`] = (fragment id, preorder rank); fragment 0 is
 //! always the transient container, loaded documents get fragments 1, 2, ….
+//!
+//! Containers are held behind [`Arc`] so that a [`StoreSnapshot`] — the
+//! immutable view a query executes against — is a cheap clone of the
+//! container list.  Replacing a document (the update path) swaps the `Arc`
+//! and bumps the store **generation counter**; snapshots taken before the
+//! swap keep the old containers alive, which is what gives concurrent
+//! readers snapshot isolation for free.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mxq_engine::NodeId;
 
@@ -19,8 +27,12 @@ pub const TRANSIENT_FRAG: u32 = 0;
 /// A collection of document containers addressable by fragment id or name.
 #[derive(Debug)]
 pub struct DocStore {
-    containers: Vec<Document>,
+    containers: Vec<Arc<Document>>,
     by_name: HashMap<String, u32>,
+    /// Bumped on every mutation of the loaded-documents table (load, replace).
+    /// Snapshots carry the generation they were taken at, so cached state
+    /// derived from a snapshot can be revalidated with one integer compare.
+    generation: u64,
 }
 
 impl Default for DocStore {
@@ -33,8 +45,9 @@ impl DocStore {
     /// Create a store with an empty transient container.
     pub fn new() -> Self {
         DocStore {
-            containers: vec![Document::new("#transient")],
+            containers: vec![Arc::new(Document::new("#transient"))],
             by_name: HashMap::new(),
+            generation: 0,
         }
     }
 
@@ -43,11 +56,19 @@ impl DocStore {
         self.containers.len()
     }
 
+    /// The current store generation.  Every call that changes which document
+    /// contents a name resolves to (loading, replacing after an update)
+    /// increments it; the transient container does not participate.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Load an already shredded document, returning its fragment id.
     pub fn add_document(&mut self, doc: Document) -> u32 {
         let frag = self.containers.len() as u32;
         self.by_name.insert(doc.name.clone(), frag);
-        self.containers.push(doc);
+        self.containers.push(Arc::new(doc));
+        self.generation += 1;
         frag
     }
 
@@ -71,6 +92,7 @@ impl DocStore {
     /// Replace the container at `frag` in place (the fragment id — and with
     /// it every `NodeId` namespace — stays stable).  Used by the update path
     /// to swap in the re-materialized view of an updated paged document.
+    /// Snapshots taken before the call keep observing the old contents.
     ///
     /// # Panics
     /// Panics if the fragment id is unknown or refers to the transient
@@ -80,7 +102,8 @@ impl DocStore {
             frag != TRANSIENT_FRAG && (frag as usize) < self.containers.len(),
             "replace_document: unknown or transient fragment {frag}"
         );
-        self.containers[frag as usize] = doc;
+        self.containers[frag as usize] = Arc::new(doc);
+        self.generation += 1;
     }
 
     /// Borrow a container by fragment id.
@@ -89,6 +112,24 @@ impl DocStore {
     /// Panics if the fragment id is unknown.
     pub fn container(&self, frag: u32) -> &Document {
         &self.containers[frag as usize]
+    }
+
+    /// Shared handle to a container by fragment id (cheap `Arc` clone).
+    ///
+    /// # Panics
+    /// Panics if the fragment id is unknown.
+    pub fn container_arc(&self, frag: u32) -> Arc<Document> {
+        self.containers[frag as usize].clone()
+    }
+
+    /// An immutable, shareable view of all loaded documents as of now.
+    /// Cloning the snapshot is cheap (it clones `Arc`s, not documents).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            containers: self.containers.clone(),
+            by_name: Arc::new(self.by_name.clone()),
+            generation: self.generation,
+        }
     }
 
     /// Borrow the container holding `node`.
@@ -113,10 +154,10 @@ impl DocStore {
     where
         F: FnOnce(&mut DocumentBuilder) -> u32,
     {
-        let transient = std::mem::take(&mut self.containers[TRANSIENT_FRAG as usize]);
+        let transient = std::mem::take(self.transient_mut());
         let mut builder = DocumentBuilder::append_to(transient, 0);
         let pre = build(&mut builder);
-        self.containers[TRANSIENT_FRAG as usize] = builder.finish();
+        self.containers[TRANSIENT_FRAG as usize] = Arc::new(builder.finish());
         NodeId::new(TRANSIENT_FRAG, pre)
     }
 
@@ -124,14 +165,15 @@ impl DocStore {
     /// container).  Benchmarks call this between runs so repeated element
     /// construction does not accumulate.
     pub fn clear_transient(&mut self) {
-        self.containers[TRANSIENT_FRAG as usize] = Document::new("#transient");
+        self.containers[TRANSIENT_FRAG as usize] = Arc::new(Document::new("#transient"));
     }
 
-    /// Mutable access to the transient container (used by the executor's
-    /// element construction, which needs to copy subtrees from other
-    /// containers while building).
+    /// Mutable access to the transient container (used by the naive
+    /// interpreter's element construction, which needs to copy subtrees from
+    /// other containers while building).  Clones the container first if a
+    /// snapshot still shares it.
     pub fn transient_mut(&mut self) -> &mut Document {
-        &mut self.containers[TRANSIENT_FRAG as usize]
+        Arc::make_mut(&mut self.containers[TRANSIENT_FRAG as usize])
     }
 
     /// String value of a node (see [`Document::string_value`]).
@@ -152,6 +194,80 @@ impl DocStore {
     /// Total number of nodes over all containers (diagnostics).
     pub fn total_nodes(&self) -> usize {
         self.containers.iter().map(|d| d.len()).sum()
+    }
+}
+
+/// An immutable view of a [`DocStore`] at a point in time.
+///
+/// A snapshot is what a query executes against: it pins every loaded
+/// document (via `Arc`), so a concurrent writer replacing a document can
+/// never pull the data out from under a running query or an already
+/// produced result.  The [`StoreSnapshot::generation`] records which store
+/// state the snapshot reflects; comparing it against
+/// [`DocStore::generation`] tells whether the snapshot is still current.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    containers: Vec<Arc<Document>>,
+    by_name: Arc<HashMap<String, u32>>,
+    generation: u64,
+}
+
+impl StoreSnapshot {
+    /// The store generation this snapshot was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of containers (including the transient slot).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Borrow a container by fragment id.
+    ///
+    /// # Panics
+    /// Panics if the fragment id is unknown.
+    pub fn container(&self, frag: u32) -> &Document {
+        &self.containers[frag as usize]
+    }
+
+    /// Shared handle to a container (cheap `Arc` clone).
+    pub fn container_arc(&self, frag: u32) -> Arc<Document> {
+        self.containers[frag as usize].clone()
+    }
+
+    /// Fragment id of the document loaded under `name`.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The root node of the document loaded under `name`.
+    pub fn document_root(&self, name: &str) -> Option<NodeId> {
+        let frag = self.lookup(name)?;
+        let doc = self.container(frag);
+        doc.fragment_roots()
+            .first()
+            .map(|&pre| NodeId::new(frag, pre))
+    }
+
+    /// Borrow the container holding `node`.
+    pub fn doc_of(&self, node: NodeId) -> &Document {
+        self.container(node.frag)
+    }
+
+    /// String value of a node.
+    pub fn string_value(&self, node: NodeId) -> String {
+        self.doc_of(node).string_value(node.pre)
+    }
+
+    /// Element/PI name of a node.
+    pub fn name_of(&self, node: NodeId) -> &str {
+        self.doc_of(node).name_of(node.pre)
+    }
+
+    /// Attribute value on a node.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.doc_of(node).attribute(node.pre, name)
     }
 }
 
@@ -204,5 +320,33 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(store.container_count(), 3);
         assert_eq!(store.total_nodes(), 4);
+    }
+
+    #[test]
+    fn snapshots_pin_replaced_documents() {
+        let mut store = DocStore::new();
+        let frag = store.load_xml("a.xml", "<a><old/></a>").unwrap();
+        let before = store.snapshot();
+        let gen_before = store.generation();
+
+        let opts = ShredOptions {
+            document_node: true,
+            ..ShredOptions::default()
+        };
+        let doc = shred("a.xml", "<a><new/></a>", &opts).unwrap();
+        store.replace_document(frag, doc);
+
+        assert!(store.generation() > gen_before);
+        assert_eq!(before.generation(), gen_before);
+        // the snapshot still sees the pre-replacement tree
+        let root = before.document_root("a.xml").unwrap();
+        let a = before.container(frag).children(root.pre).next().unwrap();
+        let child = before.container(frag).children(a).next().unwrap();
+        assert_eq!(before.name_of(NodeId::new(frag, child)), "old");
+        // the store sees the replacement
+        let root = store.document_root("a.xml").unwrap();
+        let a = store.container(frag).children(root.pre).next().unwrap();
+        let child = store.container(frag).children(a).next().unwrap();
+        assert_eq!(store.name_of(NodeId::new(frag, child)), "new");
     }
 }

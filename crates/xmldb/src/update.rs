@@ -687,14 +687,12 @@ impl PagedDocument {
             let mut pending: Vec<Tuple> = frag_tuples;
             pending.extend(tail);
             self.stats.tuples_written += pending.len() as u64;
-            let mut insert_slot = slot + 1;
-            for chunk in pending.chunks(self.fill) {
+            for (insert_slot, chunk) in (slot + 1..).zip(pending.chunks(self.fill)) {
                 let new_idx = self.pages.len();
                 self.pages.push(Page {
                     tuples: chunk.to_vec(),
                 });
                 self.page_map.insert(insert_slot, new_idx);
-                insert_slot += 1;
                 self.stats.pages_allocated += 1;
                 self.stats.pages_touched += 1;
             }

@@ -11,7 +11,9 @@ use std::time::Instant;
 
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::queries::query_text;
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = GenParams::with_factor(0.005);
@@ -24,9 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xml = generate_xml(&params);
     println!("document size: {:.1} KB", xml.len() as f64 / 1024.0);
 
-    let mut engine = XQueryEngine::new();
+    let db = Arc::new(Database::new());
     let t = Instant::now();
-    engine.load_document("auction.xml", &xml)?;
+    db.load_document("auction.xml", &xml)?;
+    let mut session = db.session();
     println!("shredded in {:?}\n", t.elapsed());
 
     // ad-hoc analytics on top of the XMark schema
@@ -55,9 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (label, query) in analytics {
-        engine.reset_transient();
         let t = Instant::now();
-        let (result, report) = engine.execute_with_report(&query)?;
+        let (result, report) = session.query_with_report(&query)?;
         let preview: String = result.serialize().chars().take(72).collect();
         println!(
             "{label:32} -> {:>6} items, {:>8.2?}  ({} plan ops, {} rows materialised)",

@@ -9,7 +9,9 @@
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq::xmldb::{serialize_document, shred, ShredOptions};
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xml = generate_xml(&GenParams::with_factor(0.002));
@@ -49,16 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  both schemes agree on the resulting document ✓");
 
     // query the updated document
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &serialize_document(&paged_doc))?;
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &serialize_document(&paged_doc))?;
+    let mut session = db.session();
     let bids =
-        engine.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
+        session.query("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
     println!("\nbidders on the updated auction: {}", bids.serialize());
 
     // the same write path, driven from XQuery Update Facility text: the
     // statements are parsed, compiled, collected into a pending update list
     // and applied to the engine's own paged representation
-    let report = engine.execute_update(
+    let report = session.execute_update(
         "insert nodes <bidder><date>2006-06-28</date><increase>20.00</increase></bidder> \
          as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1], \
          replace value of node doc(\"auction.xml\")/site/open_auctions/open_auction[1]/current \
@@ -72,9 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.stats.pages_touched
     );
     let bids =
-        engine.execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
+        session.query("count(doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder)")?;
     let current =
-        engine.execute("doc(\"auction.xml\")/site/open_auctions/open_auction[1]/current/text()")?;
+        session.query("doc(\"auction.xml\")/site/open_auctions/open_auction[1]/current/text()")?;
     println!(
         "after the batch: {} bidders, current price {}",
         bids.serialize(),

@@ -9,12 +9,13 @@ use std::time::Instant;
 
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::queries::{query_text, QUERY_IDS};
-use mxq::xquery::{ExecConfig, XQueryEngine};
+use mxq::xquery::Database;
+use mxq::xquery::{ExecConfig, Session};
+use std::sync::Arc;
 
-fn time_query(engine: &mut XQueryEngine, id: usize) -> f64 {
-    engine.reset_transient();
+fn time_query(session: &mut Session, id: usize) -> f64 {
     let t = Instant::now();
-    engine.execute(query_text(id)).expect("query");
+    session.query(query_text(id)).expect("query");
     t.elapsed().as_secs_f64()
 }
 
@@ -68,14 +69,12 @@ fn main() {
         ),
     ];
 
-    // load one engine per configuration (same document)
-    let mut engines: Vec<(&str, XQueryEngine)> = configs
+    // one shared database; one session per configuration
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).unwrap();
+    let mut engines: Vec<(&str, Session)> = configs
         .iter()
-        .map(|(name, cfg)| {
-            let mut e = XQueryEngine::with_config(*cfg);
-            e.load_document("auction.xml", &xml).unwrap();
-            (*name, e)
-        })
+        .map(|(name, cfg)| (*name, db.session_with_config(*cfg)))
         .collect();
 
     print!("{:>4}", "Q");
@@ -85,8 +84,8 @@ fn main() {
     println!();
     for id in QUERY_IDS {
         let mut times = Vec::new();
-        for (_, engine) in engines.iter_mut() {
-            times.push(time_query(engine, id));
+        for (_, session) in engines.iter_mut() {
+            times.push(time_query(session, id));
         }
         let base = times[0];
         print!("{id:>4}");

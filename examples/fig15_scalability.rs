@@ -14,7 +14,9 @@ use std::time::Instant;
 
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::queries::{query_text, QUERY_IDS};
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::{Database, Session};
 
 fn main() {
     let base: f64 = std::env::args()
@@ -24,13 +26,13 @@ fn main() {
     let factors = [base / 10.0, base, base * 10.0];
     println!("Figure 15 — scalability with document size (factors {factors:?})");
 
-    let mut engines: Vec<XQueryEngine> = factors
+    let mut engines: Vec<Session> = factors
         .iter()
         .map(|&f| {
             let xml = generate_xml(&GenParams::with_factor(f));
-            let mut e = XQueryEngine::new();
-            e.load_document("auction.xml", &xml).unwrap();
-            e
+            let db = Arc::new(Database::new());
+            db.load_document("auction.xml", &xml).unwrap();
+            db.session()
         })
         .collect();
 
@@ -40,10 +42,9 @@ fn main() {
     );
     for id in QUERY_IDS {
         let mut times = Vec::new();
-        for engine in engines.iter_mut() {
-            engine.reset_transient();
+        for session in engines.iter_mut() {
             let t = Instant::now();
-            engine.execute(query_text(id)).expect("query");
+            session.query(query_text(id)).expect("query");
             times.push(t.elapsed().as_secs_f64());
         }
         let mid = times[1].max(1e-9);

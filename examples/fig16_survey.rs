@@ -14,7 +14,9 @@ use std::time::Instant;
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::queries::{query_text, QUERY_IDS};
 use mxq::xmark::survey::{relative_to_mxq, spec_normalize, TABLE1, TABLE1_SYSTEMS, TABLE2};
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::Database;
 
 fn main() {
     println!("Table 2 — systems, CPUs and SPECint-CPU2000 normalisation factors\n");
@@ -55,13 +57,13 @@ fn main() {
 
     // our own measurements, for the same relative reading
     let xml = generate_xml(&GenParams::with_factor(0.001));
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &xml).unwrap();
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).unwrap();
+    let mut session = db.session();
     println!("\nThis reproduction (scale factor 0.001), absolute seconds per query:");
     for id in QUERY_IDS {
-        engine.reset_transient();
         let t = Instant::now();
-        engine.execute(query_text(id)).expect("query");
+        session.query(query_text(id)).expect("query");
         print!("Q{id}:{:.3}s  ", t.elapsed().as_secs_f64());
         if id % 7 == 0 {
             println!();

@@ -1,15 +1,17 @@
-//! Quickstart: load an XML document, run a few XQuery queries, inspect the
-//! compiled relational plan.
+//! Quickstart: share a database, open a session, run queries, prepare a
+//! parameterized statement, stream a result, inspect the compiled plan.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = XQueryEngine::new();
-    engine.load_document(
+    let db = Arc::new(Database::new());
+    db.load_document(
         "library.xml",
         r#"<library>
              <book year="2004"><title>Relational XML</title><price>35</price></book>
@@ -17,31 +19,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              <book year="2006"><title>Staircase Join</title><price>28</price></book>
            </library>"#,
     )?;
+    let mut session = db.session();
 
     // 1. a simple path + predicate query
-    let recent = engine.execute(
+    let recent = session.query(
         "for $b in doc(\"library.xml\")/library/book where $b/@year >= 2005 \
          return $b/title/text()",
     )?;
     println!("Books from 2005 on : {}", recent.serialize());
 
     // 2. aggregation
-    let avg = engine.execute("avg(doc(\"library.xml\")/library/book/price/text())")?;
+    let avg = session.query("avg(doc(\"library.xml\")/library/book/price/text())")?;
     println!("Average price      : {}", avg.serialize());
 
-    // 3. element construction
-    let report = engine.execute(
-        "<report total=\"{count(doc(\"library.xml\")/library/book)}\">{ \
-           for $b in doc(\"library.xml\")/library/book \
-           order by $b/price/text() descending \
-           return <entry price=\"{$b/price/text()}\">{$b/title/text()}</entry> \
-         }</report>",
+    // 3. a prepared statement with an external variable: parsed + compiled
+    //    once, executed with different bindings
+    let stmt = session.prepare(
+        "declare variable $max external; \
+         for $b in doc(\"library.xml\")/library/book \
+         where $b/price/text() <= $max \
+         order by $b/price/text() \
+         return $b/title/text()",
     )?;
-    println!("Constructed report : {}", report.serialize());
+    for max in [30, 40] {
+        let result = stmt.bind("max", max).query()?;
+        println!("Books up to {max:>2}     : {}", result.serialize());
+    }
 
-    // 4. look at the relational plan the compiler produced
-    let plan =
-        engine.compile("for $b in doc(\"library.xml\")/library/book return $b/title/text()")?;
+    // 4. element construction, streamed item by item instead of one string
+    let mut stream = session.execute_streaming(
+        "for $b in doc(\"library.xml\")/library/book \
+         order by $b/price/text() descending \
+         return <entry price=\"{$b/price/text()}\">{$b/title/text()}</entry>",
+    )?;
+    println!("Report entries:");
+    while let Some(item) = stream.next() {
+        println!("  {}", stream.serialize_item(&item));
+    }
+
+    // 5. the plan cache means re-running a query skips parse + compile
+    let _ = session.query("count(doc(\"library.xml\")/library/book)")?;
+    let _ = session.query("count(doc(\"library.xml\")/library/book)")?;
+    let stats = db.stats();
+    println!(
+        "\nDatabase counters: {} compiles, {} plan-cache hits ({} cached plans)",
+        stats.prepares, stats.plan_cache_hits, stats.plan_cache_len
+    );
+
+    // 6. look at the relational plan the compiler produced
+    let parsed = mxq::xquery::parse_query(
+        "for $b in doc(\"library.xml\")/library/book return $b/title/text()",
+    )?;
+    let plan = mxq::xquery::Compiler::new(session.config()).compile_query(&parsed)?;
     println!(
         "\nCompiled plan ({} operators):\n{}",
         plan.operator_count(),

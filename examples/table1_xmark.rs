@@ -13,7 +13,9 @@ use mxq::xmark::naive::NaiveInterpreter;
 use mxq::xmark::queries::{query_text, QUERY_IDS};
 use mxq::xmark::survey::mxq_published;
 use mxq::xmldb::DocStore;
-use mxq::xquery::XQueryEngine;
+use std::sync::Arc;
+
+use mxq::xquery::Database;
 
 fn main() {
     let factor: f64 = std::env::args()
@@ -26,8 +28,9 @@ fn main() {
         xml.len() as f64 / 1024.0
     );
 
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &xml).unwrap();
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).unwrap();
+    let mut session = db.session();
 
     let published = mxq_published("1.1MB");
     println!(
@@ -35,9 +38,8 @@ fn main() {
         "Q", "relational [s]", "naive [s]", "speedup", "paper MXQ@1.1MB"
     );
     for id in QUERY_IDS {
-        engine.reset_transient();
         let t = Instant::now();
-        engine.execute(query_text(id)).expect("relational");
+        session.query(query_text(id)).expect("relational");
         let rel = t.elapsed().as_secs_f64();
 
         let mut store = DocStore::new();

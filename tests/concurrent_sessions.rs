@@ -1,0 +1,159 @@
+//! Multi-threaded smoke test for the shared-database API: 8 reader threads
+//! hammer two shared `Prepared` statements (XMark Q1 with an external
+//! `$site` variable, and XMark Q8) against one `Arc<Database>` while a
+//! writer session concurrently applies XQuery Update Facility inserts.
+//!
+//! The writer's inserts (bidders into open auctions) are disjoint from what
+//! Q1 (people) and Q8 (closed auctions) read, so every one of the 800
+//! concurrent executions must return exactly the serial oracle — any torn
+//! read, dropped snapshot or lock bug shows up as a mismatch.
+
+use std::sync::Arc;
+
+use mxq::xmark::gen::{generate_xml, GenParams};
+use mxq::xmark::queries::query_text;
+use mxq::xquery::Database;
+
+const READER_THREADS: usize = 8;
+const EXECUTIONS_PER_THREAD: usize = 100;
+
+/// XMark Q1 with the person id supplied as an external variable.
+const Q1_EXTERNAL: &str = r#"
+declare variable $site external;
+for $b in doc("auction.xml")/site/people/person[@id = $site]
+return $b/name/text()
+"#;
+
+#[test]
+fn eight_threads_of_shared_prepared_statements_match_the_serial_oracle() {
+    let xml = generate_xml(&GenParams::with_factor(0.0005));
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).unwrap();
+    let mut session = db.session();
+
+    let q1 = Arc::new(session.prepare(Q1_EXTERNAL).unwrap());
+    let q8 = Arc::new(session.prepare(query_text(8)).unwrap());
+    assert_eq!(q1.external_variables(), ["site"]);
+
+    // serial oracle, computed before any concurrent writer runs
+    let q1_oracle = q1
+        .bind("site", "person0")
+        .query()
+        .unwrap()
+        .serialize()
+        .to_string();
+    let q8_oracle = q8
+        .execute()
+        .unwrap()
+        .into_query()
+        .unwrap()
+        .serialize()
+        .to_string();
+    assert!(!q8_oracle.is_empty(), "Q8 must produce per-person items");
+
+    let auctions: usize = db
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
+        .unwrap()
+        .into_query()
+        .unwrap()
+        .serialize()
+        .parse()
+        .unwrap();
+    assert!(auctions > 0);
+
+    let prepares_before = db.stats().prepares;
+    let writes_done = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for t in 0..READER_THREADS {
+            let q1 = q1.clone();
+            let q8 = q8.clone();
+            let q1_oracle = q1_oracle.clone();
+            let q8_oracle = q8_oracle.clone();
+            readers.push(scope.spawn(move || {
+                for i in 0..EXECUTIONS_PER_THREAD {
+                    if (i + t) % 2 == 0 {
+                        let r = q1.bind("site", "person0").query().expect("Q1");
+                        assert_eq!(r.serialize(), q1_oracle, "thread {t} execution {i} (Q1)");
+                    } else {
+                        let r = q8.execute().expect("Q8").into_query().unwrap();
+                        assert_eq!(r.serialize(), q8_oracle, "thread {t} execution {i} (Q8)");
+                    }
+                }
+            }));
+        }
+
+        // the writer thread: XQUF bidder inserts, disjoint from Q1/Q8 reads
+        let writer_db = db.clone();
+        let writer = scope.spawn(move || {
+            let mut writer_session = writer_db.session();
+            let mut writes = 0usize;
+            for op in 0..40 {
+                let target = op % auctions + 1;
+                let stmt = format!(
+                    "insert nodes <bidder><date>2006-07-{:02}</date>\
+                     <increase>{}.00</increase></bidder> as last into \
+                     doc(\"auction.xml\")/site/open_auctions/open_auction[{target}]",
+                    1 + op % 28,
+                    1 + op % 9
+                );
+                let report = writer_session.execute_update(&stmt).expect("XQUF insert");
+                writes += report.primitives;
+            }
+            writes
+        });
+
+        for reader in readers {
+            reader.join().expect("reader thread");
+        }
+        writer.join().expect("writer thread")
+    });
+    let prepares_after_run = db.stats().prepares;
+    assert_eq!(writes_done, 40, "every insert applied one primitive");
+
+    // the writer really mutated the shared store…
+    let bidders_now: usize = db
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)")
+        .unwrap()
+        .into_query()
+        .unwrap()
+        .serialize()
+        .parse()
+        .unwrap();
+    assert!(bidders_now >= 40, "the 40 inserted bidders are visible");
+
+    // …while the 800 reader executions added no compiles: the only new
+    // prepares are the writer's 40 distinct update texts
+    assert!(
+        prepares_after_run - prepares_before <= 40,
+        "readers must not re-parse under load (prepares went {prepares_before} -> {prepares_after_run})"
+    );
+    assert_eq!(
+        q1.executions() + q8.executions(),
+        (READER_THREADS * EXECUTIONS_PER_THREAD) as u64 + 2,
+        "all concurrent executions went through the two shared plans"
+    );
+    // and Q1/Q8 still agree with the oracle after the dust settles
+    assert_eq!(
+        q1.bind("site", "person0").query().unwrap().serialize(),
+        q1_oracle
+    );
+    assert_eq!(
+        q8.execute().unwrap().into_query().unwrap().serialize(),
+        q8_oracle
+    );
+}
+
+#[test]
+fn concurrent_mixed_workload_driver_smoke() {
+    // the bench driver (N reader sessions + 1 writer session) is also part
+    // of the public surface; run it small here so the tier-1 suite covers it
+    let xml = generate_xml(&GenParams::with_factor(0.0005));
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).unwrap();
+    let report = mxq_bench::run_mixed_workload(&db, 4, 75, 40, 7);
+    assert_eq!(report.reads + report.writes, 40);
+    assert_eq!(report.reader_sessions, 4);
+    assert!(report.writes > 0);
+    assert!(report.ops_per_sec > 0.0);
+    assert!(report.per_session_ops_per_sec > 0.0);
+}

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use mxq::engine::NodeId;
-use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument, StructuralUpdate};
+use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq::xmldb::{serialize_document, shred, Document, NodeKind, ShredOptions};
 use mxq::xquery::{PendingUpdateList, UpdatePrimitive, XQueryEngine};
 
@@ -272,9 +272,9 @@ fn xmark_mixed_query_update_round_trip() {
     e.reset_transient();
     assert!(e.execute(mxq::xmark::queries::query_text(1)).is_ok());
     // and the serialized store state reparses cleanly
-    e.sync();
-    let frag = e.store().lookup("auction.xml").unwrap();
-    let doc = e.store().container(frag);
+    let store = e.store();
+    let frag = store.lookup("auction.xml").unwrap();
+    let doc = store.container(frag);
     doc.check_invariants().unwrap();
     let text = serialize_document(doc);
     let reshred = shred("check.xml", &text, &ShredOptions::default()).unwrap();
