@@ -117,6 +117,10 @@ pub struct MixedWorkloadReport {
     pub plan_cache_hits: u64,
     /// Plan-cache misses observed during the run.
     pub plan_cache_misses: u64,
+    /// Mean wall-clock latency of one write operation (statement text →
+    /// published update) in milliseconds; 0 when the run performed no
+    /// writes.
+    pub write_latency_ms: f64,
 }
 
 impl MixedWorkloadReport {
@@ -131,16 +135,147 @@ impl MixedWorkloadReport {
     pub fn summary(&self) -> String {
         format!(
             "{} reader(s)+1 writer: {} reads / {} writes in {:.3}s — {:.0} op/s total, \
-             {:.0} op/s per session, plan-cache hit rate {:.0}%",
+             {:.0} op/s per session, {:.3} ms/write, plan-cache hit rate {:.0}%",
             self.reader_sessions,
             self.reads,
             self.writes,
             self.elapsed_secs,
             self.ops_per_sec,
             self.per_session_ops_per_sec,
+            self.write_latency_ms,
             self.plan_cache_hit_rate().unwrap_or(0.0) * 100.0
         )
     }
+}
+
+/// Outcome of one saturation-mode run ([`run_saturation_workload`]): every
+/// session runs flat-out until a shared deadline instead of splitting a
+/// fixed op budget, so 1→N reader scaling is measurable as total read
+/// throughput.
+#[derive(Debug, Clone, Default)]
+pub struct SaturationReport {
+    /// Reader sessions driven (each on its own thread).
+    pub reader_sessions: usize,
+    /// Total queries completed by all readers before the deadline.
+    pub reads: usize,
+    /// Total updates completed by the writer before the deadline.
+    pub writes: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Reads per second over all readers — the scaling figure.
+    pub reads_per_sec: f64,
+    /// Reads per second per reader session.
+    pub reads_per_sec_per_reader: f64,
+    /// Mean wall-clock latency of one write in milliseconds.
+    pub write_latency_ms: f64,
+}
+
+impl SaturationReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} reader(s)+1 writer, {:.2}s deadline: {} reads ({:.0}/s total, {:.0}/s per \
+             reader), {} writes ({:.3} ms/write)",
+            self.reader_sessions,
+            self.elapsed_secs,
+            self.reads,
+            self.reads_per_sec,
+            self.reads_per_sec_per_reader,
+            self.writes,
+            self.write_latency_ms
+        )
+    }
+}
+
+/// Saturation-mode variant of [`run_mixed_workload`]: `readers` reader
+/// sessions each execute workload queries in a closed loop **until the
+/// deadline** (no shared op budget — adding readers adds offered load), and
+/// one writer session applies XQUF statements back-to-back until the same
+/// deadline, measuring per-write latency.  This is the configuration that
+/// makes 1→N reader scaling and writer-latency regressions measurable.
+pub fn run_saturation_workload(
+    db: &Arc<Database>,
+    readers: usize,
+    deadline: std::time::Duration,
+    seed: u64,
+) -> SaturationReport {
+    assert!(readers >= 1, "the workload needs at least one reader");
+    let auctions: usize = db
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
+        .expect("auction count query")
+        .into_query()
+        .expect("count is a query")
+        .serialize()
+        .parse()
+        .unwrap_or(0);
+    assert!(auctions > 0, "workload needs at least one open auction");
+
+    let started = Instant::now();
+    let stop_at = started + deadline;
+    let mut report = std::thread::scope(|scope| {
+        let queries = Arc::new(workload_queries());
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let mut session = db.session();
+            let queries = queries.clone();
+            let seed = seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut reads = 0usize;
+                while Instant::now() < stop_at {
+                    let q = &queries[rng.gen_range(0..queries.len())];
+                    session
+                        .execute(q)
+                        .expect("workload query")
+                        .into_query()
+                        .expect("read ops are queries");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        // the writer runs until the same deadline from this thread
+        let mut writer = db.session();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut writes = 0usize;
+        let mut write_secs = 0.0f64;
+        let mut op = 0usize;
+        while Instant::now() < stop_at {
+            let auction_idx = rng.gen_range(0..auctions) + 1;
+            let kind = rng.gen_range(0..5u32);
+            let stmt = workload_update(op, auction_idx, kind);
+            let write_started = Instant::now();
+            writer
+                .execute(&stmt)
+                .expect("workload update")
+                .into_update()
+                .expect("write ops are updates");
+            write_secs += write_started.elapsed().as_secs_f64();
+            writes += 1;
+            op += 1;
+        }
+
+        let mut report = SaturationReport {
+            reader_sessions: readers,
+            writes,
+            write_latency_ms: if writes > 0 {
+                write_secs * 1000.0 / writes as f64
+            } else {
+                0.0
+            },
+            ..SaturationReport::default()
+        };
+        for handle in handles {
+            report.reads += handle.join().expect("reader session thread");
+        }
+        report
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    report.elapsed_secs = elapsed;
+    report.reads_per_sec = report.reads as f64 / elapsed;
+    report.reads_per_sec_per_reader = report.reads_per_sec / readers as f64;
+    report
 }
 
 /// The read queries of the mixed workload: XMark Q1 plus bidder/current
@@ -245,18 +380,24 @@ pub fn run_mixed_workload(
             reader_sessions: readers,
             ..MixedWorkloadReport::default()
         };
+        let mut write_secs = 0.0f64;
         for op in 0..total_writes {
             let auction_idx = rng.gen_range(0..auctions) + 1;
             let kind = rng.gen_range(0..5u32);
             let stmt = workload_update(op, auction_idx, kind);
+            let write_started = Instant::now();
             let rep = writer
                 .execute(&stmt)
                 .expect("workload update")
                 .into_update()
                 .expect("write ops are updates");
+            write_secs += write_started.elapsed().as_secs_f64();
             report.writes += 1;
             report.primitives += rep.primitives;
             report.stats.accumulate(&rep.stats);
+        }
+        if report.writes > 0 {
+            report.write_latency_ms = write_secs * 1000.0 / report.writes as f64;
         }
         for handle in handles {
             let (reads, items) = handle.join().expect("reader session thread");
@@ -347,6 +488,19 @@ mod tests {
             assert_eq!(scale_factor(0.002), 0.002);
             assert_eq!(scale_factors(&[0.001, 0.004]), vec![0.001, 0.004]);
         }
+    }
+
+    #[test]
+    fn saturation_workload_runs_until_deadline() {
+        let xml = xmark_xml(0.0005);
+        let db = xmark_db(&xml);
+        let report = run_saturation_workload(&db, 2, std::time::Duration::from_millis(120), 7);
+        assert_eq!(report.reader_sessions, 2);
+        assert!(report.reads > 0, "readers must complete work");
+        assert!(report.writes > 0, "the writer must complete work");
+        assert!(report.elapsed_secs >= 0.1);
+        assert!(report.reads_per_sec > 0.0);
+        assert!(report.write_latency_ms > 0.0);
     }
 
     #[test]

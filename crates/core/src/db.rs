@@ -28,8 +28,8 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 
 use mxq_engine::{Item, NodeId};
 use mxq_xmldb::{
-    DocStore, Document, DocumentBuilder, DocumentColumns, NodeKind, PagedDocument, StoreSnapshot,
-    UpdateStats, TRANSIENT_FRAG,
+    Container, ContainerRef, DocStore, Document, DocumentBuilder, DocumentColumns, NodeKind,
+    NodeRead, PagedDocument, StoreSnapshot, UpdateStats, TRANSIENT_FRAG,
 };
 
 use crate::algebra::PlanRef;
@@ -40,7 +40,7 @@ use crate::exec::{serialize_item_snapshot, serialize_items_snapshot, ExecError, 
 use crate::params::Params;
 use crate::parser::parse_statement;
 use crate::pul::{self, PendingUpdateList, PulError, UpdateKind, UpdatePlan, UpdatePrimitive};
-use crate::{Error, DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE};
+use crate::Error;
 
 // ---------------------------------------------------------------------------
 // results
@@ -341,12 +341,14 @@ impl PlanCache {
 /// Paged (updatable) document state plus the page policy — the
 /// single-writer side of the database, serialized by one mutex.
 struct WriterState {
-    /// Paged representation per updated fragment — the mutation substrate;
-    /// the read-optimized store container is re-materialized from it after
-    /// every update.
+    /// The mutable master per updated fragment.  The master shares its
+    /// pages and column image with the published snapshot via `Arc`
+    /// (copy-on-write per touched page), so keeping it around costs no
+    /// duplicate storage; a fragment not present here is reconstructed
+    /// from the published snapshot on its first update (cheap `Arc`
+    /// clones).  The page policy itself lives in the [`DocStore`] — the
+    /// single source for loads and master reconstruction alike.
     paged: HashMap<u32, PagedDocument>,
-    page_size: usize,
-    fill_percent: u8,
 }
 
 /// Counters over the whole database (all sessions).
@@ -418,8 +420,6 @@ pub struct Database {
     store: RwLock<DocStore>,
     writer: Mutex<WriterState>,
     plan_cache: Mutex<PlanCache>,
-    /// Cached relational exports, invalidated when their document mutates.
-    columns: Mutex<HashMap<u32, Arc<DocumentColumns>>>,
     counters: Counters,
 }
 
@@ -448,11 +448,8 @@ impl Database {
             store: RwLock::new(DocStore::new()),
             writer: Mutex::new(WriterState {
                 paged: HashMap::new(),
-                page_size: DEFAULT_PAGE_SIZE,
-                fill_percent: DEFAULT_FILL_PERCENT,
             }),
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
-            columns: Mutex::new(HashMap::new()),
             counters: Counters::default(),
         }
     }
@@ -514,43 +511,35 @@ impl Database {
     }
 
     /// Tune the paged update scheme (logical page size in tuples, fill
-    /// factor in percent).  Affects documents paged after the call.
+    /// factor in percent).  Affects documents loaded or first paged after
+    /// the call.
     ///
     /// # Panics
     /// Panics unless `page_size` is a power of two ≥ 2 and
     /// `fill_percent ∈ (0, 100]`.
     pub fn set_page_policy(&self, page_size: usize, fill_percent: u8) {
-        assert!(
-            page_size.is_power_of_two() && page_size >= 2,
-            "page_size must be a power of two >= 2"
-        );
-        assert!(
-            (1..=100).contains(&fill_percent),
-            "fill_percent must be in 1..=100"
-        );
-        let mut writer = self.writer.lock().unwrap();
-        writer.page_size = page_size;
-        writer.fill_percent = fill_percent;
+        // hold the writer mutex across the store update so a concurrent
+        // update never reconstructs a master under a half-applied policy
+        let _writer = self.writer.lock().unwrap();
+        self.store
+            .write()
+            .unwrap()
+            .set_page_policy(page_size, fill_percent);
     }
 
-    /// The cached relational export ([`DocumentColumns`]) of a loaded
-    /// document, recomputed — dictionaries included — after every update
-    /// that touches the document.  Returns `None` for unknown names.
-    ///
-    /// A cache miss builds the export while holding the store *read* lock
-    /// (so a writer cannot swap the document mid-build and the insertion is
-    /// ordered before any subsequent invalidation), but never the columns
-    /// mutex — concurrent callers for already cached documents are not
-    /// blocked behind the build.
+    /// The relational export ([`DocumentColumns`]) of a loaded document.
+    /// Since the paged store became the source of truth this is no cache:
+    /// the returned image is the one the store itself maintains
+    /// incrementally — updates delta-patch it, so the handle is always
+    /// current as of the call.  Returns `None` for unknown names.
     pub fn document_columns(&self, name: &str) -> Option<Arc<DocumentColumns>> {
         let store = self.store.read().unwrap();
         let frag = store.lookup(name)?;
-        if let Some(hit) = self.columns.lock().unwrap().get(&frag).cloned() {
-            return Some(hit);
+        match store.container_owned(frag) {
+            Container::Paged(p) => Some(p.columns_arc()),
+            // only the (unnamed) transient container is flat
+            Container::Doc(_) => unreachable!("loaded documents are always paged"),
         }
-        let built = Arc::new(DocumentColumns::new(store.container(frag)));
-        self.columns.lock().unwrap().insert(frag, built.clone());
-        Some(built)
     }
 
     /// Execute a statement with the default configuration and no bindings —
@@ -729,36 +718,46 @@ impl Database {
             )?;
         }
 
-        // phase 3: atomic application to the paged scheme
+        // phase 3: atomic application to the paged scheme — page-local
+        // splices plus lockstep delta-patching of the column image, all
+        // outside any store lock (readers keep running on their snapshots)
         let frags = pul.fragments();
-        let WriterState {
-            paged,
-            page_size,
-            fill_percent,
-        } = &mut *writer;
+        let (page_size, fill_percent) = self.store.read().unwrap().page_policy();
+        let paged = &mut writer.paged;
         let mut applied = 0;
         let mut stats = UpdateStats::default();
         for &frag in &frags {
             let paged_doc = paged.entry(frag).or_insert_with(|| {
-                PagedDocument::from_document(snap.container(frag), *page_size, *fill_percent)
+                match snap.container_owned(frag) {
+                    // reconstructing the master from the published snapshot
+                    // is O(pages) Arc clones — pages copy on first write
+                    Container::Paged(p) => {
+                        PagedDocument::from_snapshot(&p, page_size, fill_percent)
+                    }
+                    Container::Doc(d) => PagedDocument::from_document(&d, page_size, fill_percent),
+                }
             });
             let before = paged_doc.stats;
             applied += pul.apply_to(frag, paged_doc);
             stats.accumulate(&paged_doc.stats.delta_since(&before));
+
+            // differential guard: the incrementally patched column image
+            // must agree exactly with a from-scratch rebuild of the same
+            // page state (debug builds only — this is O(document))
+            #[cfg(debug_assertions)]
+            paged_doc
+                .columns()
+                .same_content(&DocumentColumns::new(&paged_doc.to_document()))
+                .expect("incremental column maintenance diverged from rebuild");
         }
 
-        // phase 4: re-materialize and publish all touched documents in one
-        // write-lock critical section, so readers observe the update as a
-        // whole or not at all
+        // phase 4: publish the patched page sets + column versions — the
+        // writer's whole store critical section is one Arc swap per touched
+        // document, so readers observe the update as a whole or not at all
         if !frags.is_empty() {
             let mut store = self.store.write().unwrap();
             for &frag in &frags {
-                store.replace_document(frag, paged[&frag].to_document());
-            }
-            drop(store);
-            let mut cols = self.columns.lock().unwrap();
-            for &frag in &frags {
-                cols.remove(&frag);
+                store.publish(frag, Arc::new(paged[&frag].snapshot()));
             }
         }
         self.counters.updates.fetch_add(1, Ordering::Relaxed);
@@ -784,9 +783,9 @@ struct PrimitiveCollector<'a> {
 }
 
 impl PrimitiveCollector<'_> {
-    fn container(&self, frag: u32) -> &Document {
+    fn container(&self, frag: u32) -> ContainerRef<'_> {
         if frag == TRANSIENT_FRAG {
-            self.transient
+            ContainerRef::Doc(self.transient)
         } else {
             self.snap.container(frag)
         }
@@ -981,10 +980,10 @@ impl PrimitiveCollector<'_> {
                     let src = self.container(n.frag);
                     if src.kind(n.pre) == NodeKind::Document {
                         for child in src.children(n.pre) {
-                            b.copy_subtree(src, child);
+                            b.copy_subtree(&src, child);
                         }
                     } else {
-                        b.copy_subtree(src, n.pre);
+                        b.copy_subtree(&src, n.pre);
                     }
                 }
                 atomic => {
@@ -1079,6 +1078,14 @@ impl Session {
             self.stats.plan_cache_misses += 1;
         }
         Ok(compiled)
+    }
+
+    /// Parse + compile a query and return its plan for inspection (e.g.
+    /// `plan.explain()` or `plan.operator_count()`) without executing it.
+    pub fn compile(&self, query: &str) -> Result<PlanRef, Error> {
+        let parsed = crate::parser::parse_query(query)?;
+        let plan = Compiler::new(self.config).compile_query(&parsed)?;
+        Ok(plan)
     }
 
     /// Parse + compile a statement once into a [`Prepared`] handle that can

@@ -30,7 +30,9 @@ use mxq_engine::{CmpOp, Column, EngineError, Item, NodeId, Table};
 use mxq_staircase::{
     looplifted_step, looplifted_step_candidates, staircase_step, Axis, NodeTest, ScanStats,
 };
-use mxq_xmldb::{DocStore, Document, DocumentBuilder, StoreSnapshot, TRANSIENT_FRAG};
+use mxq_xmldb::{
+    ContainerRef, DocStore, Document, DocumentBuilder, NodeRead, StoreSnapshot, TRANSIENT_FRAG,
+};
 
 use crate::algebra::{NumFnKind, Op, PlanRef, PosFilterKind, StrFnKind};
 use crate::ast::ArithOp;
@@ -156,10 +158,11 @@ impl<'a> Executor<'a> {
     }
 
     /// Resolve a fragment id: the executor's own transient container for
-    /// fragment 0, the snapshot's document containers otherwise.
-    fn container(&self, frag: u32) -> &Document {
+    /// fragment 0, the snapshot's document containers (page-backed for
+    /// loaded documents) otherwise.
+    fn container(&self, frag: u32) -> ContainerRef<'_> {
         if frag == TRANSIENT_FRAG {
-            &self.transient
+            ContainerRef::Doc(&self.transient)
         } else {
             self.snap.container(frag)
         }
@@ -915,46 +918,16 @@ impl<'a> Executor<'a> {
                 per_frag.entry(n.frag).or_default().push((*it, n.pre));
             }
         }
-        let loop_lifted = match axis {
-            Axis::Child => self.config.loop_lifted_child,
-            Axis::Descendant | Axis::DescendantOrSelf => self.config.loop_lifted_descendant,
-            _ => true,
-        };
         let mut out: Vec<(i64, NodeId)> = Vec::new();
         let mut stats = ScanStats::default();
+        let config = self.config;
         for (frag, mut pairs) in per_frag {
-            let doc = self.container(frag);
             pairs.sort_unstable_by_key(|&(it, p)| (p, it));
-            let use_candidates = self.config.nametest_pushdown
-                && matches!(test, NodeTest::Named(_))
-                && matches!(
-                    axis,
-                    Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
-                );
-            let results: Vec<(i64, u32)> = if use_candidates {
-                let candidates = match test {
-                    NodeTest::Named(name) => doc.elements_named(name).to_vec(),
-                    _ => unreachable!(),
-                };
-                looplifted_step_candidates(doc, &pairs, axis, &candidates, &mut stats)
-            } else if loop_lifted {
-                looplifted_step(doc, &pairs, axis, test, &mut stats)
-            } else {
-                // iterative: one staircase join invocation (and document scan)
-                // per iteration — the baseline of Figure 12
-                let mut by_iter: HashMap<i64, Vec<u32>> = HashMap::new();
-                for (it, p) in &pairs {
-                    by_iter.entry(*it).or_default().push(*p);
-                }
-                let mut res = Vec::new();
-                let mut its: Vec<i64> = by_iter.keys().copied().collect();
-                its.sort_unstable();
-                for it in its {
-                    for p in staircase_step(doc, &by_iter[&it], axis, test, &mut stats) {
-                        res.push((it, p));
-                    }
-                }
-                res
+            // dispatch once per container so the scan loops monomorphize
+            // over the concrete representation (flat vs. page-backed)
+            let results: Vec<(i64, u32)> = match self.container(frag) {
+                ContainerRef::Doc(d) => axis_step_on(d, &pairs, axis, test, &config, &mut stats),
+                ContainerRef::Paged(p) => axis_step_on(p, &pairs, axis, test, &config, &mut stats),
             };
             for (it, pre) in results {
                 out.push((it, NodeId::new(frag, pre)));
@@ -987,9 +960,9 @@ impl<'a> Executor<'a> {
                     }
                 }
                 None => {
-                    for attr in doc.attributes(n.pre) {
+                    for (_, value) in doc.attrs(n.pre) {
                         oi.push(*it);
-                        oit.push(Item::str(attr.value.as_ref()));
+                        oit.push(Item::str(value.as_ref()));
                     }
                 }
             }
@@ -1254,12 +1227,11 @@ impl<'a> Executor<'a> {
                                 builder.text(&pending_text);
                                 pending_text.clear();
                             }
-                            let src = if n.frag == TRANSIENT_FRAG {
-                                &snapshot
+                            if n.frag == TRANSIENT_FRAG {
+                                builder.copy_subtree(&snapshot, n.pre);
                             } else {
-                                self.snap.container(n.frag)
-                            };
-                            builder.copy_subtree(src, n.pre);
+                                builder.copy_subtree(&self.snap.container(n.frag), n.pre);
+                            }
                         }
                         atomic => {
                             if !pending_text.is_empty() {
@@ -1281,6 +1253,58 @@ impl<'a> Executor<'a> {
         self.transient = builder.finish();
         let n = oi.len();
         Ok(seq_table(oi, vec![1; n], oit))
+    }
+}
+
+/// One location step over one container: picks the candidate-pushdown,
+/// loop-lifted or iterative staircase variant according to the config.
+/// Generic so the scan loops specialize per storage representation.
+fn axis_step_on<D: NodeRead>(
+    doc: &D,
+    pairs: &[(i64, u32)],
+    axis: Axis,
+    test: &NodeTest,
+    config: &ExecConfig,
+    stats: &mut ScanStats,
+) -> Vec<(i64, u32)> {
+    let loop_lifted = match axis {
+        Axis::Child => config.loop_lifted_child,
+        Axis::Descendant | Axis::DescendantOrSelf => config.loop_lifted_descendant,
+        _ => true,
+    };
+    let use_candidates = config.nametest_pushdown
+        && matches!(test, NodeTest::Named(_))
+        && matches!(
+            axis,
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+        );
+    if use_candidates {
+        let candidates = match test {
+            NodeTest::Named(name) => doc.named_elements(name),
+            _ => unreachable!(),
+        };
+        if let Some(candidates) = candidates {
+            return looplifted_step_candidates(doc, pairs, axis, &candidates, stats);
+        }
+    }
+    if loop_lifted {
+        looplifted_step(doc, pairs, axis, test, stats)
+    } else {
+        // iterative: one staircase join invocation (and document scan)
+        // per iteration — the baseline of Figure 12
+        let mut by_iter: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (it, p) in pairs {
+            by_iter.entry(*it).or_default().push(*p);
+        }
+        let mut res = Vec::new();
+        let mut its: Vec<i64> = by_iter.keys().copied().collect();
+        its.sort_unstable();
+        for it in its {
+            for p in staircase_step(doc, &by_iter[&it], axis, test, stats) {
+                res.push((it, p));
+            }
+        }
+        res
     }
 }
 
@@ -1307,10 +1331,11 @@ fn is_sorted(v: &[i64]) -> bool {
 /// Format a sequence of result items the way our serializer does for
 /// examples/tests: nodes as XML, atomics as their string value, separated by
 /// single spaces between adjacent atomics.  `container_of` resolves a
-/// fragment id to its document container.
+/// fragment id to its container; node items render straight from the
+/// paged store (pages are read on demand).
 fn serialize_items_by<'d, F>(container_of: F, items: &[Item]) -> String
 where
-    F: Fn(u32) -> &'d Document,
+    F: Fn(u32) -> ContainerRef<'d>,
 {
     let mut out = String::new();
     let mut prev_atomic = false;
@@ -1318,7 +1343,7 @@ where
         match item {
             Item::Node(n) => {
                 let doc = container_of(n.frag);
-                mxq_xmldb::serialize_node(doc, n.pre, &mut out);
+                mxq_xmldb::serialize_node(&doc, n.pre, &mut out);
                 prev_atomic = false;
             }
             Item::Dbl(d) => {
@@ -1356,7 +1381,7 @@ pub fn serialize_items_snapshot(
     serialize_items_by(
         |frag| {
             if frag == TRANSIENT_FRAG {
-                transient
+                ContainerRef::Doc(transient)
             } else {
                 snap.container(frag)
             }

@@ -69,9 +69,8 @@ pub mod parser;
 pub mod pul;
 
 use std::fmt;
-use std::sync::Arc;
 
-use mxq_xmldb::{DocumentColumns, ShredError};
+use mxq_xmldb::ShredError;
 
 pub use algebra::{Plan, PlanRef};
 pub use ast::Statement;
@@ -169,149 +168,39 @@ impl From<PulError> for Error {
     }
 }
 
-/// Default logical page size for the paged update scheme.
-pub const DEFAULT_PAGE_SIZE: usize = 64;
-/// Default page fill factor (percent) for the paged update scheme.
-pub const DEFAULT_FILL_PERCENT: u8 = 75;
-
-/// The legacy single-client facade, kept as a thin shim over
-/// [`Database`] + [`Session`] for one release.
-///
-/// **Deprecated** in favour of the server-style API: create an
-/// `Arc<`[`Database`]`>`, open [`Session`]s per client, and use
-/// [`Session::prepare`] for statements executed more than once.  The shim
-/// keeps the historical method set working unchanged; `reset_transient` and
-/// `sync` are now no-ops (every execution has a private transient container,
-/// and updates publish eagerly).
-pub struct XQueryEngine {
-    db: Arc<Database>,
-    session: Session,
-}
-
-impl Default for XQueryEngine {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl XQueryEngine {
-    /// Engine with the fully optimized default configuration.
-    pub fn new() -> Self {
-        Self::with_config(ExecConfig::default())
-    }
-
-    /// Engine with an explicit configuration (used by the ablation benches).
-    pub fn with_config(config: ExecConfig) -> Self {
-        let db = Arc::new(Database::new());
-        let session = db.session_with_config(config);
-        XQueryEngine { db, session }
-    }
-
-    /// The underlying shared database (migration path: clone the `Arc`,
-    /// open sessions).
-    pub fn database(&self) -> &Arc<Database> {
-        &self.db
-    }
-
-    /// Change the configuration (affects subsequent `execute` calls).
-    pub fn set_config(&mut self, config: ExecConfig) {
-        self.session.set_config(config);
-    }
-
-    /// The current configuration.
-    pub fn config(&self) -> ExecConfig {
-        self.session.config()
-    }
-
-    /// Shred and load an XML document under the given name (the name is what
-    /// `fn:doc("name")` refers to).
-    pub fn load_document(&mut self, name: &str, xml: &str) -> Result<(), Error> {
-        self.db.load_document(name, xml)
-    }
-
-    /// Load an already shredded document.
-    pub fn load_shredded(&mut self, doc: mxq_xmldb::Document) {
-        self.db.load_shredded(doc);
-    }
-
-    /// Read access to the underlying document store.
-    pub fn store(&self) -> StoreReadGuard<'_> {
-        self.db.store()
-    }
-
-    /// Historical no-op: every execution now constructs into its own
-    /// private transient container, so there is nothing to reset.
-    pub fn reset_transient(&mut self) {}
-
-    /// Historical no-op: updates re-materialize and publish the touched
-    /// documents eagerly, so the store is always in sync.
-    pub fn sync(&mut self) {}
-
-    /// Parse + compile a query and return the plan (for inspection, e.g.
-    /// `plan.explain()` or `plan.operator_count()`).
-    pub fn compile(&self, query: &str) -> Result<PlanRef, Error> {
-        let parsed = parse_query(query)?;
-        let plan = Compiler::new(self.session.config()).compile_query(&parsed)?;
-        Ok(plan)
-    }
-
-    /// Execute a query and return its result.
-    pub fn execute(&mut self, query: &str) -> Result<QueryResult, Error> {
-        self.session.query(query)
-    }
-
-    /// Execute a query, also returning plan/runtime diagnostics.
-    pub fn execute_with_report(
-        &mut self,
-        query: &str,
-    ) -> Result<(QueryResult, QueryReport), Error> {
-        self.session.query_with_report(query)
-    }
-
-    /// Execute one or more comma-separated XQuery Update Facility statements
-    /// (see [`Session::execute_update`]).
-    pub fn execute_update(&mut self, text: &str) -> Result<UpdateReport, Error> {
-        self.session.execute_update(text)
-    }
-
-    /// Tune the paged update scheme (see [`Database::set_page_policy`]).
-    pub fn set_page_policy(&mut self, page_size: usize, fill_percent: u8) {
-        self.db.set_page_policy(page_size, fill_percent);
-    }
-
-    /// The cached relational export ([`DocumentColumns`]) of a loaded
-    /// document (see [`Database::document_columns`]).
-    pub fn document_columns(&mut self, name: &str) -> Option<Arc<DocumentColumns>> {
-        self.db.document_columns(name)
-    }
-}
+pub use mxq_xmldb::{DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
-    fn engine_with(xml: &str) -> XQueryEngine {
-        let mut e = XQueryEngine::new();
-        e.load_document("doc.xml", xml).unwrap();
-        e
+    fn engine() -> Session {
+        Arc::new(Database::new()).session()
+    }
+
+    fn engine_with(xml: &str) -> Session {
+        let s = engine();
+        s.database().load_document("doc.xml", xml).unwrap();
+        s
     }
 
     #[test]
     fn constant_and_arithmetic_queries() {
-        let mut e = XQueryEngine::new();
-        assert_eq!(e.execute("1 + 2 * 3").unwrap().serialize(), "7");
-        assert_eq!(e.execute("(1, 2, 3)").unwrap().serialize(), "1 2 3");
-        assert_eq!(e.execute("10 div 4").unwrap().serialize(), "2.5");
-        assert_eq!(e.execute("7 mod 2").unwrap().serialize(), "1");
-        assert_eq!(e.execute("\"a\"").unwrap().serialize(), "a");
+        let mut e = engine();
+        assert_eq!(e.query("1 + 2 * 3").unwrap().serialize(), "7");
+        assert_eq!(e.query("(1, 2, 3)").unwrap().serialize(), "1 2 3");
+        assert_eq!(e.query("10 div 4").unwrap().serialize(), "2.5");
+        assert_eq!(e.query("7 mod 2").unwrap().serialize(), "1");
+        assert_eq!(e.query("\"a\"").unwrap().serialize(), "a");
     }
 
     #[test]
     fn flwor_with_conditional_matches_paper_example() {
         // the running example of Section 2.1
-        let mut e = XQueryEngine::new();
+        let mut e = engine();
         let r = e
-            .execute("for $v in (3, 4, 5, 6) return if ($v mod 2 = 0) then \"even\" else \"odd\"")
+            .query("for $v in (3, 4, 5, 6) return if ($v mod 2 = 0) then \"even\" else \"odd\"")
             .unwrap();
         assert_eq!(r.serialize(), "odd even odd even");
         assert_eq!(r.len(), 4);
@@ -324,19 +213,19 @@ mod tests {
              <person id=\"p1\"><name>Bob</name></person></people></site>",
         );
         let r = e
-            .execute(
+            .query(
                 "for $p in doc(\"doc.xml\")/site/people/person[@id = \"p1\"] return $p/name/text()",
             )
             .unwrap();
         assert_eq!(r.serialize(), "Bob");
-        let r = e.execute("count(doc(\"doc.xml\")//person)").unwrap();
+        let r = e.query("count(doc(\"doc.xml\")//person)").unwrap();
         assert_eq!(r.serialize(), "2");
         let r = e
-            .execute("doc(\"doc.xml\")/site/people/person[2]/name/text()")
+            .query("doc(\"doc.xml\")/site/people/person[2]/name/text()")
             .unwrap();
         assert_eq!(r.serialize(), "Bob");
         let r = e
-            .execute("doc(\"doc.xml\")/site/people/person[last()]/@id")
+            .query("doc(\"doc.xml\")/site/people/person[last()]/@id")
             .unwrap();
         assert_eq!(r.serialize(), "p1");
     }
@@ -345,7 +234,7 @@ mod tests {
     fn element_construction_and_nesting() {
         let mut e = engine_with("<a><b>x</b><b>y</b></a>");
         let r = e
-            .execute(
+            .query(
                 "for $b in doc(\"doc.xml\")/a/b return <item n=\"{$b/text()}\">{$b/text()}</item>",
             )
             .unwrap();
@@ -359,10 +248,10 @@ mod tests {
     fn aggregates_and_let() {
         let mut e = engine_with("<a><v>1</v><v>2</v><v>3</v></a>");
         let r = e
-            .execute("let $vs := doc(\"doc.xml\")/a/v return sum($vs) + count($vs)")
+            .query("let $vs := doc(\"doc.xml\")/a/v return sum($vs) + count($vs)")
             .unwrap();
         assert_eq!(r.serialize(), "9");
-        let r = e.execute("avg(doc(\"doc.xml\")/a/v/text())").unwrap();
+        let r = e.query("avg(doc(\"doc.xml\")/a/v/text())").unwrap();
         assert_eq!(r.serialize(), "2");
     }
 
@@ -373,15 +262,15 @@ mod tests {
         let q = "for $p in doc(\"doc.xml\")/db/people/p \
                  return <r id=\"{$p/@id}\">{count(for $o in doc(\"doc.xml\")/db/orders/o \
                                                   where $o/@buyer = $p/@id return $o)}</r>";
-        let mut with = XQueryEngine::new();
-        with.load_document("doc.xml", xml).unwrap();
-        let mut without = XQueryEngine::with_config(ExecConfig {
+        let mut with = engine();
+        with.database().load_document("doc.xml", xml).unwrap();
+        let mut without = Arc::new(Database::new()).session_with_config(ExecConfig {
             join_recognition: false,
             ..ExecConfig::default()
         });
-        without.load_document("doc.xml", xml).unwrap();
-        let a = with.execute(q).unwrap();
-        let b = without.execute(q).unwrap();
+        without.database().load_document("doc.xml", xml).unwrap();
+        let a = with.query(q).unwrap();
+        let b = without.query(q).unwrap();
         assert_eq!(a.serialize(), b.serialize());
         assert_eq!(
             a.serialize(),
@@ -393,11 +282,11 @@ mod tests {
     fn order_by_sorts_results() {
         let mut e = engine_with("<a><i k=\"3\">c</i><i k=\"1\">a</i><i k=\"2\">b</i></a>");
         let r = e
-            .execute("for $i in doc(\"doc.xml\")/a/i order by $i/@k return $i/text()")
+            .query("for $i in doc(\"doc.xml\")/a/i order by $i/@k return $i/text()")
             .unwrap();
         assert_eq!(r.serialize(), "abc");
         let r = e
-            .execute("for $i in doc(\"doc.xml\")/a/i order by $i/@k descending return $i/text()")
+            .query("for $i in doc(\"doc.xml\")/a/i order by $i/@k descending return $i/text()")
             .unwrap();
         assert_eq!(r.serialize(), "cba");
     }
@@ -406,19 +295,19 @@ mod tests {
     fn quantified_and_logical() {
         let mut e = engine_with("<a><v>1</v><v>5</v></a>");
         assert_eq!(
-            e.execute("some $v in doc(\"doc.xml\")/a/v satisfies $v/text() > 4")
+            e.query("some $v in doc(\"doc.xml\")/a/v satisfies $v/text() > 4")
                 .unwrap()
                 .serialize(),
             "true"
         );
         assert_eq!(
-            e.execute("every $v in doc(\"doc.xml\")/a/v satisfies $v/text() > 4")
+            e.query("every $v in doc(\"doc.xml\")/a/v satisfies $v/text() > 4")
                 .unwrap()
                 .serialize(),
             "false"
         );
         assert_eq!(
-            e.execute("empty(doc(\"doc.xml\")/a/missing) and exists(doc(\"doc.xml\")/a/v)")
+            e.query("empty(doc(\"doc.xml\")/a/missing) and exists(doc(\"doc.xml\")/a/v)")
                 .unwrap()
                 .serialize(),
             "true"
@@ -429,28 +318,23 @@ mod tests {
     fn string_functions() {
         let mut e = engine_with("<a><d>pure gold ring</d></a>");
         assert_eq!(
-            e.execute("contains(string(doc(\"doc.xml\")/a/d), \"gold\")")
+            e.query("contains(string(doc(\"doc.xml\")/a/d), \"gold\")")
                 .unwrap()
                 .serialize(),
             "true"
         );
         assert_eq!(
-            e.execute("concat(\"a\", \"-\", \"b\")")
-                .unwrap()
-                .serialize(),
+            e.query("concat(\"a\", \"-\", \"b\")").unwrap().serialize(),
             "a-b"
         );
-        assert_eq!(
-            e.execute("string-length(\"abcd\")").unwrap().serialize(),
-            "4"
-        );
+        assert_eq!(e.query("string-length(\"abcd\")").unwrap().serialize(), "4");
     }
 
     #[test]
     fn user_defined_functions() {
-        let mut e = XQueryEngine::new();
+        let mut e = engine();
         let r = e
-            .execute("declare function local:twice($x) { 2 * $x }; local:twice(21)")
+            .query("declare function local:twice($x) { 2 * $x }; local:twice(21)")
             .unwrap();
         assert_eq!(r.serialize(), "42");
     }
@@ -459,7 +343,7 @@ mod tests {
     fn report_counts_plan_operators() {
         let mut e = engine_with("<a><b/><b/></a>");
         let (_, report) = e
-            .execute_with_report("for $b in doc(\"doc.xml\")/a/b return <x>{$b}</x>")
+            .query_with_report("for $b in doc(\"doc.xml\")/a/b return <x>{$b}</x>")
             .unwrap();
         assert!(report.plan_operators >= 8);
         assert!(report.stats.ops_evaluated >= 8);
@@ -467,11 +351,11 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let mut e = XQueryEngine::new();
-        assert!(matches!(e.execute("for $x"), Err(Error::Parse(_))));
-        assert!(matches!(e.execute("$undefined"), Err(Error::Compile(_))));
+        let mut e = engine();
+        assert!(matches!(e.query("for $x"), Err(Error::Parse(_))));
+        assert!(matches!(e.query("$undefined"), Err(Error::Compile(_))));
         assert!(matches!(
-            e.execute("doc(\"missing.xml\")/a"),
+            e.query("doc(\"missing.xml\")/a"),
             Err(Error::Exec(_))
         ));
     }
@@ -479,21 +363,21 @@ mod tests {
     #[test]
     fn errors_expose_a_source_chain() {
         use std::error::Error as StdError;
-        let mut e = XQueryEngine::new();
-        let err = e.execute("for $x").unwrap_err();
+        let mut e = engine();
+        let err = e.query("for $x").unwrap_err();
         let src = err.source().expect("parse errors carry a source");
         assert!(src.downcast_ref::<ParseError>().is_some());
-        let err = e.execute("$undefined").unwrap_err();
+        let err = e.query("$undefined").unwrap_err();
         assert!(err
             .source()
             .unwrap()
             .downcast_ref::<CompileError>()
             .is_some());
-        let err = e.execute("doc(\"nope.xml\")/a").unwrap_err();
+        let err = e.query("doc(\"nope.xml\")/a").unwrap_err();
         assert!(err.source().unwrap().downcast_ref::<ExecError>().is_some());
         // the chain works through a boxed dyn Error (anyhow-style `?` usage)
-        fn boxed(e: &mut XQueryEngine) -> Result<(), Box<dyn StdError>> {
-            e.execute("for $x")?;
+        fn boxed(e: &mut Session) -> Result<(), Box<dyn StdError>> {
+            e.query("for $x")?;
             Ok(())
         }
         assert!(boxed(&mut e).is_err());

@@ -3,7 +3,8 @@
 //! compiler + executor implement (sequence order, existential comparisons,
 //! effective boolean values, constructors, axes, functions).
 
-use mxq_xquery::{Error, ExecConfig, XQueryEngine};
+use mxq_xquery::{Database, Error, ExecConfig, Session};
+use std::sync::Arc;
 
 const DOC: &str = r#"<shop>
   <staff><employee id="e1" dept="sales"><name>Ann</name><salary>50000</salary></employee>
@@ -13,14 +14,14 @@ const DOC: &str = r#"<shop>
   <note lang="en">year <b>2006</b> report</note>
 </shop>"#;
 
-fn engine() -> XQueryEngine {
-    let mut e = XQueryEngine::new();
-    e.load_document("shop.xml", DOC).unwrap();
-    e
+fn engine() -> Session {
+    let db = Arc::new(Database::new());
+    db.load_document("shop.xml", DOC).unwrap();
+    db.session()
 }
 
 fn run(q: &str) -> String {
-    engine().execute(q).unwrap().serialize().to_string()
+    engine().query(q).unwrap().serialize().to_string()
 }
 
 #[test]
@@ -274,11 +275,12 @@ fn results_identical_across_all_optimizer_configs() {
             ..ExecConfig::default()
         },
     ] {
-        let mut e = XQueryEngine::with_config(config);
-        e.load_document("shop.xml", DOC).unwrap();
+        let db = Arc::new(Database::new());
+        db.load_document("shop.xml", DOC).unwrap();
+        let mut e = db.session_with_config(config);
         for (q, want) in queries.iter().zip(&reference) {
             assert_eq!(
-                &e.execute(q).unwrap().serialize().to_string(),
+                &e.query(q).unwrap().serialize().to_string(),
                 want,
                 "query {q}"
             );
@@ -289,14 +291,14 @@ fn results_identical_across_all_optimizer_configs() {
 #[test]
 fn error_paths_are_typed() {
     let mut e = engine();
-    assert!(matches!(e.execute("1 +"), Err(Error::Parse(_))));
-    assert!(matches!(e.execute("$nope"), Err(Error::Compile(_))));
+    assert!(matches!(e.query("1 +"), Err(Error::Parse(_))));
+    assert!(matches!(e.query("$nope"), Err(Error::Compile(_))));
     assert!(matches!(
-        e.execute("doc(\"other.xml\")//x"),
+        e.query("doc(\"other.xml\")//x"),
         Err(Error::Exec(_))
     ));
     assert!(matches!(
-        XQueryEngine::new().load_document("bad.xml", "<a><b></a>"),
+        Database::new().load_document("bad.xml", "<a><b></a>"),
         Err(Error::Shred(_))
     ));
 }

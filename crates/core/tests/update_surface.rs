@@ -2,16 +2,17 @@
 //! from text mutate the paged store, and subsequent queries observe the
 //! post-update state.
 
-use mxq_xquery::{Error, ExecConfig, PulError, XQueryEngine};
+use mxq_xquery::{Database, Error, ExecConfig, PulError, Session};
+use std::sync::Arc;
 
-fn engine_with(xml: &str) -> XQueryEngine {
-    let mut e = XQueryEngine::new();
-    e.load_document("doc.xml", xml).unwrap();
-    e
+fn engine_with(xml: &str) -> Session {
+    let db = Arc::new(Database::new());
+    db.load_document("doc.xml", xml).unwrap();
+    db.session()
 }
 
-fn run(e: &mut XQueryEngine, q: &str) -> String {
-    e.execute(q).unwrap().serialize().to_string()
+fn run(e: &mut Session, q: &str) -> String {
+    e.query(q).unwrap().serialize().to_string()
 }
 
 #[test]
@@ -183,7 +184,7 @@ fn tied_insert_positions_keep_their_levels() {
 #[test]
 fn failed_updates_do_not_leak_transient_nodes() {
     let mut e = engine_with("<r><x/></r>");
-    let before = e.store().total_nodes();
+    let before = e.database().store().total_nodes();
     // the source constructor is evaluated, then collection fails (two targets)
     for _ in 0..5 {
         assert!(e
@@ -191,7 +192,7 @@ fn failed_updates_do_not_leak_transient_nodes() {
             .is_err());
     }
     assert_eq!(
-        e.store().total_nodes(),
+        e.database().store().total_nodes(),
         before,
         "failed updates must not accumulate constructed nodes"
     );
@@ -314,26 +315,27 @@ fn atomic_content_becomes_text() {
 #[test]
 fn document_columns_refresh_after_update() {
     let mut e = engine_with("<r><a/></r>");
-    let before = e.document_columns("doc.xml").unwrap();
-    assert!(before.tags.code_of("brandnew").is_none());
+    let before = e.database().document_columns("doc.xml").unwrap();
+    assert!(before.tags().code_of("brandnew").is_none());
     e.execute_update("insert nodes <brandnew/> as last into doc(\"doc.xml\")/r")
         .unwrap();
-    let after = e.document_columns("doc.xml").unwrap();
+    let after = e.database().document_columns("doc.xml").unwrap();
     assert!(
-        after.tags.code_of("brandnew").is_some(),
+        after.tags().code_of("brandnew").is_some(),
         "tag dictionary must be refreshed after the update"
     );
-    assert_eq!(after.structural.nrows(), before.structural.nrows() + 1);
+    assert_eq!(after.structural().nrows(), before.structural().nrows() + 1);
     // the cache returns the same export until the next update
-    let again = e.document_columns("doc.xml").unwrap();
+    let again = e.database().document_columns("doc.xml").unwrap();
     assert!(std::sync::Arc::ptr_eq(&after, &again));
 }
 
 #[test]
 fn updates_visible_under_all_configs() {
     for config in [ExecConfig::default(), ExecConfig::naive()] {
-        let mut e = XQueryEngine::with_config(config);
-        e.load_document("doc.xml", "<r><a>1</a></r>").unwrap();
+        let db = Arc::new(Database::new());
+        db.load_document("doc.xml", "<r><a>1</a></r>").unwrap();
+        let mut e = db.session_with_config(config);
         e.execute_update("insert nodes <a>2</a> as last into doc(\"doc.xml\")/r")
             .unwrap();
         assert_eq!(run(&mut e, "count(doc(\"doc.xml\")/r/a)"), "2");

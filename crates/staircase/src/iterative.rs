@@ -7,7 +7,7 @@
 //! pass over the document encoding each time; the loop-lifted variant in
 //! [`crate::looplifted`] removes exactly this overhead (Figure 12).
 
-use mxq_xmldb::Document;
+use mxq_xmldb::NodeRead;
 
 use crate::axis::Axis;
 use crate::nametest::{CompiledTest, NodeTest};
@@ -17,8 +17,8 @@ use crate::stats::ScanStats;
 ///
 /// The context is a set of preorder ranks (any order, duplicates allowed);
 /// the result is duplicate free and in document order, as required by XPath.
-pub fn staircase_step(
-    doc: &Document,
+pub fn staircase_step<D: NodeRead>(
+    doc: &D,
     ctx: &[u32],
     axis: Axis,
     test: &NodeTest,
@@ -56,7 +56,7 @@ pub fn staircase_step(
 
 /// Prune context nodes covered by (i.e. inside the subtree of) another
 /// context node — Figure 1.  `ctx` must be sorted ascending.
-pub fn prune_covered(doc: &Document, ctx: &[u32]) -> Vec<u32> {
+pub fn prune_covered<D: NodeRead>(doc: &D, ctx: &[u32]) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::with_capacity(ctx.len());
     let mut cover_end: Option<u32> = None;
     for &c in ctx {
@@ -71,7 +71,12 @@ pub fn prune_covered(doc: &Document, ctx: &[u32]) -> Vec<u32> {
     out
 }
 
-fn child(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
+fn child<D: NodeRead>(
+    doc: &D,
+    ctx: &[u32],
+    test: &CompiledTest,
+    stats: &mut ScanStats,
+) -> Vec<u32> {
     let mut out = Vec::new();
     for &c in ctx {
         for v in doc.children(c) {
@@ -84,8 +89,8 @@ fn child(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats
     out
 }
 
-fn descendant(
-    doc: &Document,
+fn descendant<D: NodeRead>(
+    doc: &D,
     ctx: &[u32],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -93,15 +98,26 @@ fn descendant(
 ) -> Vec<u32> {
     // Pruning makes the remaining subtree ranges disjoint; scanning them in
     // order yields document order directly, skipping everything in between.
+    // Within a range, whole storage runs (logical pages) whose summary rules
+    // out the test are skipped without touching a node.
     let pruned = prune_covered(doc, ctx);
     let mut out = Vec::new();
     for &c in &pruned {
-        let start = if or_self { c } else { c + 1 };
+        let mut v = if or_self { c } else { c + 1 };
         let end = c + doc.size(c);
-        for v in start..=end {
-            stats.nodes_scanned += 1;
-            if test.matches(doc, v) {
-                out.push(v);
+        while v <= end {
+            let run_end = doc.run_end(v).min(end);
+            if !test.may_match_run(doc, v) {
+                stats.pages_skipped += 1;
+                v = run_end + 1;
+                continue;
+            }
+            while v <= run_end {
+                stats.nodes_scanned += 1;
+                if test.matches(doc, v) {
+                    out.push(v);
+                }
+                v += 1;
             }
         }
     }
@@ -116,7 +132,12 @@ fn descendant(
     out
 }
 
-fn self_axis(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
+fn self_axis<D: NodeRead>(
+    doc: &D,
+    ctx: &[u32],
+    test: &CompiledTest,
+    stats: &mut ScanStats,
+) -> Vec<u32> {
     stats.nodes_scanned += ctx.len() as u64;
     ctx.iter()
         .copied()
@@ -124,7 +145,12 @@ fn self_axis(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanS
         .collect()
 }
 
-fn parent(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
+fn parent<D: NodeRead>(
+    doc: &D,
+    ctx: &[u32],
+    test: &CompiledTest,
+    stats: &mut ScanStats,
+) -> Vec<u32> {
     let mut out = Vec::new();
     for &c in ctx {
         if let Some(p) = doc.parent(c) {
@@ -137,8 +163,8 @@ fn parent(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStat
     out
 }
 
-fn ancestor(
-    doc: &Document,
+fn ancestor<D: NodeRead>(
+    doc: &D,
     ctx: &[u32],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -161,27 +187,55 @@ fn ancestor(
     out
 }
 
-fn following(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
+fn following<D: NodeRead>(
+    doc: &D,
+    ctx: &[u32],
+    test: &CompiledTest,
+    stats: &mut ScanStats,
+) -> Vec<u32> {
     // Partitioning (Figure 2): the context node with the smallest
     // pre + size boundary covers the whole following region of the set.
     let boundary = ctx.iter().map(|&c| c + doc.size(c)).min().unwrap();
     let mut out = Vec::new();
-    for v in boundary + 1..doc.len() as u32 {
-        stats.nodes_scanned += 1;
-        if test.matches(doc, v) {
-            out.push(v);
+    let end = doc.len() as u32 - 1;
+    let mut v = boundary + 1;
+    while v <= end {
+        let run_end = doc.run_end(v);
+        if !test.may_match_run(doc, v) {
+            stats.pages_skipped += 1;
+            v = run_end + 1;
+            continue;
+        }
+        while v <= run_end {
+            stats.nodes_scanned += 1;
+            if test.matches(doc, v) {
+                out.push(v);
+            }
+            v += 1;
         }
     }
     out
 }
 
-fn preceding(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanStats) -> Vec<u32> {
+fn preceding<D: NodeRead>(
+    doc: &D,
+    ctx: &[u32],
+    test: &CompiledTest,
+    stats: &mut ScanStats,
+) -> Vec<u32> {
     // The context node with the largest pre covers the whole preceding
     // region; ancestors (subtree still open at that pre) are excluded.
     let boundary = *ctx.iter().max().unwrap();
     let mut out = Vec::new();
     let mut v = 0u32;
     while v < boundary {
+        // runs that cannot match contribute nothing (the ancestor check
+        // below only gates emission), so they are skipped wholesale
+        if !test.may_match_run(doc, v) {
+            stats.pages_skipped += 1;
+            v = (doc.run_end(v) + 1).min(boundary);
+            continue;
+        }
         stats.nodes_scanned += 1;
         if v + doc.size(v) < boundary {
             if test.matches(doc, v) {
@@ -197,8 +251,8 @@ fn preceding(doc: &Document, ctx: &[u32], test: &CompiledTest, stats: &mut ScanS
     out
 }
 
-fn siblings(
-    doc: &Document,
+fn siblings<D: NodeRead>(
+    doc: &D,
     ctx: &[u32],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -222,6 +276,7 @@ fn siblings(
 mod tests {
     use super::*;
     use mxq_xmldb::shred::{shred, ShredOptions};
+    use mxq_xmldb::Document;
 
     /// The Figure 4 document: <a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>
     fn fig4() -> Document {

@@ -17,7 +17,7 @@
 
 use std::collections::HashSet;
 
-use mxq_xmldb::Document;
+use mxq_xmldb::NodeRead;
 
 use crate::axis::Axis;
 use crate::nametest::{CompiledTest, NodeTest};
@@ -32,8 +32,8 @@ pub type CtxPair = (i64, u32);
 /// nodes of that iteration; it is returned sorted by `(pre, iter)` (document
 /// order, iterations clustered per node), mirroring the emission order of the
 /// algorithm in Figure 6.
-pub fn looplifted_step(
-    doc: &Document,
+pub fn looplifted_step<D: NodeRead>(
+    doc: &D,
     ctx: &[CtxPair],
     axis: Axis,
     test: &NodeTest,
@@ -78,8 +78,8 @@ pub fn looplifted_step(
 /// document order, typically produced by the element-name index) and emits
 /// only candidates reachable through the axis, skipping whole candidate
 /// ranges with binary search.
-pub fn looplifted_step_candidates(
-    doc: &Document,
+pub fn looplifted_step_candidates<D: NodeRead>(
+    doc: &D,
     ctx: &[CtxPair],
     axis: Axis,
     candidates: &[u32],
@@ -149,7 +149,7 @@ fn group_by_pre(ctx: &[CtxPair]) -> Vec<(u32, Vec<i64>)> {
 
 /// Per-iteration pruning: drop a context pair when an earlier context node of
 /// the *same* iteration already covers it (Section 3, technique (i)).
-pub fn prune_per_iter(doc: &Document, ctx: &[CtxPair]) -> Vec<CtxPair> {
+pub fn prune_per_iter<D: NodeRead>(doc: &D, ctx: &[CtxPair]) -> Vec<CtxPair> {
     let mut sorted: Vec<CtxPair> = ctx.to_vec();
     sorted.sort_unstable_by_key(|&(it, p)| (p, it));
     sorted.dedup();
@@ -180,8 +180,8 @@ fn dedup_per_iter(result: &mut Vec<CtxPair>) {
 }
 
 /// Loop-lifted child step — the algorithm of Figure 6.
-fn ll_child(
-    doc: &Document,
+fn ll_child<D: NodeRead>(
+    doc: &D,
     groups: &[(u32, Vec<i64>)],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -257,8 +257,8 @@ fn ll_child(
 
 /// Loop-lifted descendant / descendant-or-self step: a single forward sweep
 /// with a stack of open context regions annotated with their iterations.
-fn ll_descendant(
-    doc: &Document,
+fn ll_descendant<D: NodeRead>(
+    doc: &D,
     ctx: &[CtxPair],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -289,12 +289,25 @@ fn ll_descendant(
         for (pre, iters) in &groups {
             let end = pre + doc.size(*pre);
             stats.nodes_scanned += 1; // the context node itself
-            for v in pre + 1..=end {
-                stats.nodes_scanned += 1;
-                if test.matches(doc, v) {
-                    for &it in iters {
-                        result.push((it, v));
+                                      // per-page sortedness: whole storage runs whose summary rules
+                                      // out the test are skipped without touching a node (the
+                                      // page-level bookkeeping of Section 5.2)
+            let mut v = pre + 1;
+            while v <= end {
+                let run_end = doc.run_end(v).min(end);
+                if !test.may_match_run(doc, v) {
+                    stats.pages_skipped += 1;
+                    v = run_end + 1;
+                    continue;
+                }
+                while v <= run_end {
+                    stats.nodes_scanned += 1;
+                    if test.matches(doc, v) {
+                        for &it in iters {
+                            result.push((it, v));
+                        }
                     }
+                    v += 1;
                 }
             }
         }
@@ -361,8 +374,8 @@ fn ll_descendant(
     result
 }
 
-fn ll_parent(
-    doc: &Document,
+fn ll_parent<D: NodeRead>(
+    doc: &D,
     groups: &[(u32, Vec<i64>)],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -381,8 +394,8 @@ fn ll_parent(
     out
 }
 
-fn ll_ancestor(
-    doc: &Document,
+fn ll_ancestor<D: NodeRead>(
+    doc: &D,
     groups: &[(u32, Vec<i64>)],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -409,8 +422,8 @@ fn ll_ancestor(
     out
 }
 
-fn ll_following(
-    doc: &Document,
+fn ll_following<D: NodeRead>(
+    doc: &D,
     ctx: &[CtxPair],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -432,23 +445,36 @@ fn ll_following(
     let mut out = Vec::new();
     let mut active: Vec<i64> = Vec::new();
     let mut next = 0usize;
-    for v in min_b + 1..doc.len() as u32 {
-        while next < iters.len() && iters[next].0 < v {
-            active.push(iters[next].1);
-            next += 1;
+    let end = doc.len() as u32 - 1;
+    let mut v = min_b + 1;
+    while v <= end {
+        // skip whole runs that cannot match; activation catches up after
+        // the jump (activations matter only at emission points)
+        let run_end = doc.run_end(v);
+        if !test.may_match_run(doc, v) {
+            stats.pages_skipped += 1;
+            v = run_end + 1;
+            continue;
         }
-        stats.nodes_scanned += 1;
-        if test.matches(doc, v) {
-            for &it in &active {
-                out.push((it, v));
+        while v <= run_end {
+            while next < iters.len() && iters[next].0 < v {
+                active.push(iters[next].1);
+                next += 1;
             }
+            stats.nodes_scanned += 1;
+            if test.matches(doc, v) {
+                for &it in &active {
+                    out.push((it, v));
+                }
+            }
+            v += 1;
         }
     }
     out
 }
 
-fn ll_preceding(
-    doc: &Document,
+fn ll_preceding<D: NodeRead>(
+    doc: &D,
     ctx: &[CtxPair],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -483,8 +509,8 @@ fn ll_preceding(
     out
 }
 
-fn ll_siblings(
-    doc: &Document,
+fn ll_siblings<D: NodeRead>(
+    doc: &D,
     groups: &[(u32, Vec<i64>)],
     test: &CompiledTest,
     stats: &mut ScanStats,
@@ -511,6 +537,7 @@ mod tests {
     use super::*;
     use crate::iterative::staircase_step;
     use mxq_xmldb::shred::{shred, ShredOptions};
+    use mxq_xmldb::Document;
 
     fn fig4() -> Document {
         shred(

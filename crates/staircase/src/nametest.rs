@@ -2,13 +2,17 @@
 //! axis step.
 //!
 //! A [`NodeTest`] is the symbolic form carried around in plans.  Before a
-//! staircase-join scan starts, it is resolved against the target document
+//! staircase-join scan starts, it is resolved against the target container
 //! with [`NodeTest::compile`]: a name test looks up the interned qname id
 //! once and every per-node check then compares two `u32` codes instead of
 //! two strings — the dictionary-encoded variant of Section 3.2's
-//! nametest evaluation.
+//! nametest evaluation.  Compiled tests also answer the *run-level*
+//! question ([`CompiledTest::may_match_run`]): can any node of the storage
+//! run (logical page) containing a position match?  The paged store's
+//! per-page summaries make that a set lookup, letting the sweeps skip
+//! whole pages.
 
-use mxq_xmldb::{Document, NodeKind};
+use mxq_xmldb::{NodeKind, NodeRead};
 use std::sync::Arc;
 
 /// An XPath node test.
@@ -35,7 +39,7 @@ impl NodeTest {
     }
 
     /// Does the node at `pre` in `doc` satisfy the test?
-    pub fn matches(&self, doc: &Document, pre: u32) -> bool {
+    pub fn matches<D: NodeRead>(&self, doc: &D, pre: u32) -> bool {
         match self {
             NodeTest::AnyKind => true,
             NodeTest::AnyElement => doc.kind(pre) == NodeKind::Element,
@@ -55,24 +59,28 @@ impl NodeTest {
     }
 
     /// If the test is a simple name test, return the candidate list from the
-    /// document's element-name index (document order).  This is the candidate
-    /// list consumed by the predicate-pushdown staircase join (Section 3.2).
-    pub fn candidates<'d>(&self, doc: &'d Document) -> Option<&'d [u32]> {
+    /// container's element-name index (document order).  This is the candidate
+    /// list consumed by the predicate-pushdown staircase join (Section 3.2);
+    /// the paged store serves it from its per-page name buckets.
+    pub fn candidates<D: NodeRead>(&self, doc: &D) -> Option<Vec<u32>> {
         match self {
-            NodeTest::Named(name) => Some(doc.elements_named(name)),
+            NodeTest::Named(name) => doc.named_elements(name),
             _ => None,
         }
     }
 
-    /// Resolve the test against one document container.  A name test is
-    /// translated into the container's interned qname id (or `None` when the
-    /// name never occurs — such a test matches nothing), so the per-node
-    /// check of the scan loops is a code comparison, not a string equality.
-    pub fn compile(&self, doc: &Document) -> CompiledTest {
+    /// Resolve the test against one container.  A name test is translated
+    /// into the container's interned qname id (or `None` when the name never
+    /// occurs — such a test matches nothing), so the per-node check of the
+    /// scan loops is a code comparison, not a string equality.
+    pub fn compile<D: NodeRead>(&self, doc: &D) -> CompiledTest {
         match self {
             NodeTest::AnyKind => CompiledTest::AnyKind,
             NodeTest::AnyElement => CompiledTest::AnyElement,
-            NodeTest::Named(name) => CompiledTest::ElementCode(doc.lookup_qname(name)),
+            NodeTest::Named(name) => CompiledTest::Element {
+                code: doc.lookup_qname(name),
+                name: name.clone(),
+            },
             NodeTest::Text => CompiledTest::Text,
             NodeTest::Comment => CompiledTest::Comment,
             NodeTest::ProcessingInstruction(target) => {
@@ -82,16 +90,23 @@ impl NodeTest {
     }
 }
 
-/// A node test resolved against one document (see [`NodeTest::compile`]).
+/// A node test resolved against one container (see [`NodeTest::compile`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledTest {
     /// `node()`.
     AnyKind,
     /// `*`.
     AnyElement,
-    /// A name test resolved to the document's interned qname id; `None`
-    /// means the name does not occur in the container.
-    ElementCode(Option<u32>),
+    /// A name test resolved to the container's interned qname id; a `None`
+    /// code means the name does not occur in the container.  The name is
+    /// kept for the run-level summary checks (summaries are keyed by
+    /// string, which stays stable across dictionary growth).
+    Element {
+        /// The interned qname id, if the name occurs at all.
+        code: Option<u32>,
+        /// The tested element name.
+        name: Arc<str>,
+    },
     /// `text()`.
     Text,
     /// `comment()`.
@@ -105,11 +120,11 @@ impl CompiledTest {
     /// Does the node at `pre` satisfy the test?  For name tests this is a
     /// single integer comparison against the interned qname id.
     #[inline]
-    pub fn matches(&self, doc: &Document, pre: u32) -> bool {
+    pub fn matches<D: NodeRead>(&self, doc: &D, pre: u32) -> bool {
         match self {
             CompiledTest::AnyKind => true,
             CompiledTest::AnyElement => doc.kind(pre) == NodeKind::Element,
-            CompiledTest::ElementCode(code) => match code {
+            CompiledTest::Element { code, .. } => match code {
                 Some(c) => doc.qname_id(pre) == Some(*c),
                 None => false,
             },
@@ -124,12 +139,31 @@ impl CompiledTest {
             }
         }
     }
+
+    /// May *any* node of the storage run (logical page) containing `pre`
+    /// match the test?  `false` is a guarantee — the sweep skips the whole
+    /// run; `true` only means "scan it".  On a flat document this is
+    /// constant `true` (one run, no summaries).
+    #[inline]
+    pub fn may_match_run<D: NodeRead>(&self, doc: &D, pre: u32) -> bool {
+        match self {
+            CompiledTest::AnyKind => true,
+            CompiledTest::AnyElement => doc.run_has_kind(pre, NodeKind::Element),
+            CompiledTest::Element { code, name } => code.is_some() && doc.run_has_name(pre, name),
+            CompiledTest::Text => doc.run_has_kind(pre, NodeKind::Text),
+            CompiledTest::Comment => doc.run_has_kind(pre, NodeKind::Comment),
+            CompiledTest::ProcessingInstruction(_) => {
+                doc.run_has_kind(pre, NodeKind::ProcessingInstruction)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mxq_xmldb::shred::{shred, ShredOptions};
+    use mxq_xmldb::Document;
 
     fn doc() -> Document {
         shred(
@@ -167,24 +201,30 @@ mod tests {
             let c = t.compile(&d);
             for pre in 0..d.len() as u32 {
                 assert_eq!(t.matches(&d, pre), c.matches(&d, pre), "{t:?} at {pre}");
+                // on a flat document a run never rules itself out unless the
+                // name is absent from the container entirely
+                if t.matches(&d, pre) {
+                    assert!(c.may_match_run(&d, pre));
+                }
             }
         }
         // a name test on an absent name resolves to a never-matching code
-        assert_eq!(
+        assert!(matches!(
             NodeTest::named("zzz").compile(&d),
-            CompiledTest::ElementCode(None)
-        );
+            CompiledTest::Element { code: None, .. }
+        ));
+        assert!(!NodeTest::named("zzz").compile(&d).may_match_run(&d, 0));
     }
 
     #[test]
     fn candidate_lists_come_from_name_index() {
         let d = doc();
         let cands = NodeTest::named("b").candidates(&d).unwrap();
-        assert_eq!(cands, &[1, 4]);
+        assert_eq!(cands, vec![1, 4]);
         assert!(NodeTest::AnyElement.candidates(&d).is_none());
         assert_eq!(
             NodeTest::named("zzz").candidates(&d).unwrap(),
-            &[] as &[u32]
+            Vec::<u32>::new()
         );
     }
 }

@@ -17,6 +17,10 @@ pub struct ScanStats {
     /// Number of sequential passes over the document table (1 for the
     /// loop-lifted variant, one per iteration for the iterative variant).
     pub passes: u64,
+    /// Whole storage runs (logical pages) skipped because their summary
+    /// proved no node in them could match the node test (paged store only;
+    /// a flat document is one unskippable run).
+    pub pages_skipped: u64,
 }
 
 impl ScanStats {
@@ -31,6 +35,7 @@ impl ScanStats {
         self.contexts += other.contexts;
         self.results += other.results;
         self.passes += other.passes;
+        self.pages_skipped += other.pages_skipped;
     }
 }
 
@@ -45,6 +50,7 @@ mod tests {
             contexts: 2,
             results: 3,
             passes: 1,
+            pages_skipped: 0,
         };
         let b = a;
         a.merge(&b);

@@ -17,7 +17,7 @@ use std::fmt;
 
 use mxq_engine::{Item, NodeId};
 use mxq_staircase::{Axis, NodeTest};
-use mxq_xmldb::{DocStore, NodeKind};
+use mxq_xmldb::{DocStore, NodeKind, NodeRead};
 use mxq_xquery::ast::*;
 use mxq_xquery::parser::parse_query;
 use mxq_xquery::Params;
@@ -397,7 +397,7 @@ impl<'a> NaiveInterpreter<'a> {
     /// Per-node axis navigation: a plain recursive tree walk, no skipping, no
     /// pruning, no shared scans.
     fn axis_nodes(&self, node: NodeId, axis: Axis, test: &NodeTest) -> Vec<Item> {
-        let doc = self.store.container(node.frag);
+        let doc = &self.store.container(node.frag);
         let pre = node.pre;
         let mk = |p: u32| Item::Node(NodeId::new(node.frag, p));
         match axis {
@@ -410,8 +410,8 @@ impl<'a> NaiveInterpreter<'a> {
                         }
                     }
                     _ => {
-                        for a in doc.attributes(pre) {
-                            out.push(Item::str(a.value.as_ref()));
+                        for (_, value) in doc.attrs(pre) {
+                            out.push(Item::str(value.as_ref()));
                         }
                     }
                 }
@@ -691,7 +691,7 @@ impl<'a> NaiveInterpreter<'a> {
             pieces.push(Piece::Text(pending));
         }
         // snapshot of existing containers for copying
-        let transient_snapshot = self.store.container(mxq_xmldb::TRANSIENT_FRAG).clone();
+        let transient_snapshot = self.store.transient().clone();
         let transient = std::mem::take(self.store.transient_mut());
         let mut builder = mxq_xmldb::DocumentBuilder::append_to(transient, 0);
         let root = builder.start_element(&ctor.name);
@@ -704,12 +704,11 @@ impl<'a> NaiveInterpreter<'a> {
                     builder.text(&t);
                 }
                 Piece::Copy(n) => {
-                    let src = if n.frag == mxq_xmldb::TRANSIENT_FRAG {
-                        &transient_snapshot
+                    if n.frag == mxq_xmldb::TRANSIENT_FRAG {
+                        builder.copy_subtree(&transient_snapshot, n.pre);
                     } else {
-                        self.store.container(n.frag)
-                    };
-                    builder.copy_subtree(src, n.pre);
+                        builder.copy_subtree(&self.store.container(n.frag), n.pre);
+                    }
                 }
             }
         }
@@ -777,7 +776,8 @@ pub fn is_element(kind: NodeKind) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mxq_xquery::XQueryEngine;
+    use mxq_xquery::Database;
+    use std::sync::Arc;
 
     fn store_with(xml: &str) -> DocStore {
         let mut s = DocStore::new();
@@ -804,9 +804,9 @@ mod tests {
             let n_items = naive.run(q).unwrap();
             let n_str = naive.serialize(&n_items);
 
-            let mut engine = XQueryEngine::new();
-            engine.load_document("doc.xml", xml).unwrap();
-            let r = engine.execute(q).unwrap();
+            let db = Arc::new(Database::new());
+            db.load_document("doc.xml", xml).unwrap();
+            let r = db.session().query(q).unwrap();
             assert_eq!(n_str, r.serialize(), "query {q}");
         }
     }

@@ -233,8 +233,8 @@ mod tests {
     #[test]
     fn all_twenty_queries_compile() {
         for id in QUERY_IDS {
-            let engine = mxq_xquery::XQueryEngine::new();
-            engine
+            let session = std::sync::Arc::new(mxq_xquery::Database::new()).session();
+            session
                 .compile(query_text(id))
                 .unwrap_or_else(|e| panic!("Q{id} does not compile: {e}"));
         }

@@ -1,43 +1,37 @@
-//! Relational export of a shredded document with dictionary-encoded name
-//! columns.
+//! Relational export of a document with dictionary-encoded name columns —
+//! maintained **incrementally** by the paged update path.
 //!
 //! The paper's storage layer keeps the structural `pre|size|level` table in
 //! dense columns and the node names in an interned qname container
-//! (Figure 9).  This module exposes that layout to the relational kernel:
-//! [`DocumentColumns::new`] turns a [`Document`] into engine [`Table`]s whose
-//! tag and attribute-name columns are [`Column::Dict`] over **shared sorted
-//! dictionaries** — the representation the radix join's code-to-code fast
-//! path and the code-based sort/rank/agg paths of `mxq-engine` consume.
+//! (Figure 9).  [`DocumentColumns`] is that layout: dense `size`/`level`/
+//! `kind`/name-code vectors (one row per node in document order) plus an
+//! `owner|name|value` attribute image, with the tag and attribute-name
+//! columns encoded against **shared sorted dictionaries**.
 //!
-//! Within one export the structural table and the attribute table share
-//! their dictionary instances (`Arc`), so a tag-to-tag or name-to-name
-//! equi-join between them never touches a string.
+//! Since PR 5 this image is the *canonical structural read path* of the
+//! paged store: [`crate::update::PagedDocument`] patches it in lockstep
+//! with every applied update primitive (row splices, ancestor `size`
+//! deltas, in-place renames and attribute patches), merging new names into
+//! the dictionaries (with a code remap) only when an update introduces a
+//! string the dictionary has never seen.  A write therefore costs
+//! memmove-level splices instead of the former full rebuild
+//! (re-shredding, re-interning and re-sorting every name).  The engine
+//! [`Table`]s exposed to the relational kernel are assembled lazily from
+//! the image and cached until the next patch.
+//!
+//! Within one export the structural and the attribute table share their
+//! dictionary instances (`Arc`), so tag-to-tag and name-to-name equi-joins
+//! between them never touch a string.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use mxq_engine::{Column, Dictionary, Table};
 
 use crate::doc::Document;
 use crate::node::NodeKind;
+use crate::read::{AttrsIter, NodeRead};
 use crate::shred::{shred, ShredError, ShredOptions};
-
-/// The relational image of one document container, with dictionary-encoded
-/// string columns.
-#[derive(Debug, Clone)]
-pub struct DocumentColumns {
-    /// Sorted dictionary over the element names of the document (plus the
-    /// empty string used for non-element rows).
-    pub tags: Arc<Dictionary>,
-    /// Sorted dictionary over the attribute names of the document.
-    pub attr_names: Arc<Dictionary>,
-    /// The structural table: `pre | size | level | kind | name`, one row per
-    /// node in document order; `name` is a [`Column::Dict`] over [`Self::tags`]
-    /// (non-elements carry the empty string).
-    pub structural: Table,
-    /// The attribute table: `owner | name | value`, one row per attribute in
-    /// owner order; `name` is a [`Column::Dict`] over [`Self::attr_names`].
-    pub attributes: Table,
-}
+use crate::update::Tuple;
 
 /// Integer encoding of [`NodeKind`] used in the `kind` column.
 pub fn kind_code(kind: NodeKind) -> i64 {
@@ -50,17 +44,54 @@ pub fn kind_code(kind: NodeKind) -> i64 {
     }
 }
 
+/// Inverse of [`kind_code`].
+pub fn code_kind(code: i64) -> NodeKind {
+    match code {
+        0 => NodeKind::Document,
+        1 => NodeKind::Element,
+        2 => NodeKind::Text,
+        3 => NodeKind::Comment,
+        4 => NodeKind::ProcessingInstruction,
+        _ => panic!("invalid node-kind code {code}"),
+    }
+}
+
+/// The dense relational image of one document container, with
+/// dictionary-encoded string columns (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct DocumentColumns {
+    /// Sorted dictionary over the element names (plus the empty string used
+    /// for non-element rows).  Grows monotonically under incremental
+    /// maintenance: names deleted from the document may linger as unused
+    /// entries — harmless, since code order still equals string order.
+    tags: Arc<Dictionary>,
+    /// Sorted dictionary over the attribute names.
+    attr_names: Arc<Dictionary>,
+    size: Vec<i64>,
+    level: Vec<i64>,
+    kind: Vec<i64>,
+    name_code: Vec<u32>,
+    attr_owner: Vec<i64>,
+    attr_name_code: Vec<u32>,
+    attr_value: Vec<Arc<str>>,
+    /// Lazily assembled engine tables over the image, cached separately so
+    /// a consumer of only one table never pays for assembling the other.
+    structural_table: OnceLock<Table>,
+    attribute_table: OnceLock<Table>,
+}
+
 impl DocumentColumns {
-    /// Export a document into its relational, dictionary-encoded image.
-    pub fn new(doc: &Document) -> DocumentColumns {
+    /// Export a container into its relational, dictionary-encoded image.
+    pub fn new<D: NodeRead>(doc: &D) -> DocumentColumns {
         let n = doc.len() as u32;
-        let mut pre = Vec::with_capacity(doc.len());
         let mut size = Vec::with_capacity(doc.len());
         let mut level = Vec::with_capacity(doc.len());
         let mut kind = Vec::with_capacity(doc.len());
         let mut names: Vec<Arc<str>> = Vec::with_capacity(doc.len());
+        let mut attr_owner = Vec::new();
+        let mut attr_namev: Vec<Arc<str>> = Vec::new();
+        let mut attr_value: Vec<Arc<str>> = Vec::new();
         for v in 0..n {
-            pre.push(v as i64);
             size.push(doc.size(v) as i64);
             level.push(doc.level(v) as i64);
             kind.push(kind_code(doc.kind(v)));
@@ -68,53 +99,170 @@ impl DocumentColumns {
                 NodeKind::Element => Arc::from(doc.name_of(v)),
                 _ => Arc::from(""),
             });
+            for (aname, avalue) in doc.attrs(v) {
+                attr_owner.push(v as i64);
+                attr_namev.push(aname.clone());
+                attr_value.push(avalue.clone());
+            }
         }
-        let (tag_codes, tags) = Dictionary::encode(names);
-
-        let attrs = doc.all_attributes();
-        let owner: Vec<i64> = attrs.iter().map(|a| a.owner as i64).collect();
-        let values: Vec<Arc<str>> = attrs.iter().map(|a| a.value.clone()).collect();
-        let (attr_codes, attr_names) = Dictionary::encode(attrs.iter().map(|a| a.name.clone()));
-
-        let structural = Table::from_columns(vec![
-            ("pre", Column::Int(pre)),
-            ("size", Column::Int(size)),
-            ("level", Column::Int(level)),
-            ("kind", Column::Int(kind)),
-            (
-                "name",
-                Column::Dict {
-                    codes: tag_codes,
-                    dict: tags.clone(),
-                },
-            ),
-        ])
-        .expect("structural columns have equal length");
-        let attributes = Table::from_columns(vec![
-            ("owner", Column::Int(owner)),
-            (
-                "name",
-                Column::Dict {
-                    codes: attr_codes,
-                    dict: attr_names.clone(),
-                },
-            ),
-            ("value", Column::Str(values)),
-        ])
-        .expect("attribute columns have equal length");
-
+        let (name_code, tags) = Dictionary::encode(names);
+        let (attr_name_code, attr_names) = Dictionary::encode(attr_namev);
         DocumentColumns {
             tags,
             attr_names,
-            structural,
-            attributes,
+            size,
+            level,
+            kind,
+            name_code,
+            attr_owner,
+            attr_name_code,
+            attr_value,
+            structural_table: OnceLock::new(),
+            attribute_table: OnceLock::new(),
         }
+    }
+
+    /// Number of node rows in the image.
+    pub fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    /// True if the image holds no node rows.
+    pub fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// Number of attribute rows.
+    pub fn attr_count(&self) -> usize {
+        self.attr_owner.len()
+    }
+
+    /// The element-name dictionary.
+    pub fn tags(&self) -> &Arc<Dictionary> {
+        &self.tags
+    }
+
+    /// The attribute-name dictionary.
+    pub fn attr_names(&self) -> &Arc<Dictionary> {
+        &self.attr_names
+    }
+
+    // -- dense structural read path --------------------------------------
+
+    /// Subtree size at `pre`.
+    #[inline]
+    pub fn node_size(&self, pre: u32) -> u32 {
+        self.size[pre as usize] as u32
+    }
+
+    /// Level (depth) at `pre`.
+    #[inline]
+    pub fn node_level(&self, pre: u32) -> u16 {
+        self.level[pre as usize] as u16
+    }
+
+    /// Node kind at `pre`.
+    #[inline]
+    pub fn node_kind(&self, pre: u32) -> NodeKind {
+        code_kind(self.kind[pre as usize])
+    }
+
+    /// Name code at `pre` (a [`Self::tags`] code; non-elements carry the
+    /// code of the empty string).
+    #[inline]
+    pub fn node_name_code(&self, pre: u32) -> u32 {
+        self.name_code[pre as usize]
+    }
+
+    /// Element name / empty string at `pre`, decoded.
+    #[inline]
+    pub fn node_name(&self, pre: u32) -> &str {
+        self.tags.str_of(self.name_code[pre as usize])
+    }
+
+    /// The dense level column (backward parent scans run directly on it).
+    pub fn level_slice(&self) -> &[i64] {
+        &self.level
+    }
+
+    /// Attribute rows of element `pre` as a cursor over the columns.
+    pub fn attrs_of(&self, pre: u32) -> AttrsIter<'_> {
+        let r = self.attr_range(pre);
+        AttrsIter::Dict {
+            names: &self.attr_names,
+            codes: &self.attr_name_code[r.clone()],
+            values: &self.attr_value[r],
+            idx: 0,
+        }
+    }
+
+    /// Value of attribute `name` on element `pre`.
+    pub fn attr_value_of(&self, pre: u32, name: &str) -> Option<&str> {
+        let code = self.attr_names.code_of(name)?;
+        let r = self.attr_range(pre);
+        for i in r {
+            if self.attr_name_code[i] == code {
+                return Some(&self.attr_value[i]);
+            }
+        }
+        None
+    }
+
+    fn attr_range(&self, pre: u32) -> std::ops::Range<usize> {
+        let start = self.attr_owner.partition_point(|&o| o < pre as i64);
+        let end = self.attr_owner.partition_point(|&o| o <= pre as i64);
+        start..end
+    }
+
+    // -- engine tables (lazy) --------------------------------------------
+
+    /// The structural table `pre | size | level | kind | name`, one row per
+    /// node in document order; `name` is a [`Column::Dict`] over
+    /// [`Self::tags`].  Assembled lazily from the image and cached until
+    /// the next patch.
+    pub fn structural(&self) -> &Table {
+        self.structural_table.get_or_init(|| {
+            let pre: Vec<i64> = (0..self.len() as i64).collect();
+            Table::from_columns(vec![
+                ("pre", Column::Int(pre)),
+                ("size", Column::Int(self.size.clone())),
+                ("level", Column::Int(self.level.clone())),
+                ("kind", Column::Int(self.kind.clone())),
+                (
+                    "name",
+                    Column::Dict {
+                        codes: self.name_code.clone(),
+                        dict: self.tags.clone(),
+                    },
+                ),
+            ])
+            .expect("structural columns have equal length")
+        })
+    }
+
+    /// The attribute table `owner | name | value`, one row per attribute in
+    /// owner order; `name` is a [`Column::Dict`] over [`Self::attr_names`].
+    pub fn attributes(&self) -> &Table {
+        self.attribute_table.get_or_init(|| {
+            Table::from_columns(vec![
+                ("owner", Column::Int(self.attr_owner.clone())),
+                (
+                    "name",
+                    Column::Dict {
+                        codes: self.attr_name_code.clone(),
+                        dict: self.attr_names.clone(),
+                    },
+                ),
+                ("value", Column::Str(self.attr_value.clone())),
+            ])
+            .expect("attribute columns have equal length")
+        })
     }
 
     /// A `Dict` column (over [`Self::tags`]) holding the names of an
     /// arbitrary selection of nodes — shares the export's dictionary, so
     /// joining it against the structural `name` column is code-to-code.
-    pub fn names_of(&self, doc: &Document, pres: &[u32]) -> Column {
+    pub fn names_of<D: NodeRead>(&self, doc: &D, pres: &[u32]) -> Column {
         let codes = pres
             .iter()
             .map(|&p| {
@@ -131,6 +279,279 @@ impl DocumentColumns {
             codes,
             dict: self.tags.clone(),
         }
+    }
+
+    // -- incremental maintenance (the paged update path) ------------------
+
+    fn invalidate_tables(&mut self) {
+        self.structural_table = OnceLock::new();
+        self.attribute_table = OnceLock::new();
+    }
+
+    fn invalidate_structural(&mut self) {
+        self.structural_table = OnceLock::new();
+    }
+
+    fn invalidate_attributes(&mut self) {
+        self.attribute_table = OnceLock::new();
+    }
+
+    /// Grow `self.tags` to cover every name in `names`, remapping the
+    /// existing codes when the sorted dictionary gains entries.  Returns
+    /// true when a merge (and remap) happened — the rare "new name" path.
+    fn ensure_tags<'a>(&mut self, names: impl Iterator<Item = &'a Arc<str>>) -> bool {
+        let missing: Vec<Arc<str>> = names
+            .filter(|n| self.tags.code_of(n).is_none())
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return false;
+        }
+        let fresh = Dictionary::new(missing);
+        let (merged, remap_old, _) = Dictionary::merge(&self.tags, &fresh);
+        for c in &mut self.name_code {
+            *c = remap_old[*c as usize];
+        }
+        self.tags = merged;
+        true
+    }
+
+    fn ensure_attr_names<'a>(&mut self, names: impl Iterator<Item = &'a Arc<str>>) {
+        let missing: Vec<Arc<str>> = names
+            .filter(|n| self.attr_names.code_of(n).is_none())
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let fresh = Dictionary::new(missing);
+        let (merged, remap_old, _) = Dictionary::merge(&self.attr_names, &fresh);
+        for c in &mut self.attr_name_code {
+            *c = remap_old[*c as usize];
+        }
+        self.attr_names = merged;
+    }
+
+    fn tag_of(tuple: &Tuple) -> Arc<str> {
+        match tuple.kind {
+            NodeKind::Element => tuple.name.clone(),
+            _ => Arc::from(""),
+        }
+    }
+
+    /// Splice `rows` into the node image at position `at`, shifting the
+    /// attribute owners behind the splice and inserting the rows' own
+    /// attributes.  O(rows + memmove), plus a dictionary merge when a row
+    /// carries a never-seen name.
+    pub(crate) fn splice_nodes(&mut self, at: usize, rows: &[Tuple]) {
+        if rows.is_empty() {
+            return;
+        }
+        self.invalidate_tables();
+        // non-element rows encode as the empty string
+        let tag_names: Vec<Arc<str>> = rows.iter().map(Self::tag_of).collect();
+        self.ensure_tags(tag_names.iter());
+        let k = rows.len() as i64;
+        let codes: Vec<u32> = tag_names
+            .iter()
+            .map(|n| {
+                self.tags
+                    .code_of(n)
+                    .expect("ensure_tags covered the splice")
+            })
+            .collect();
+        self.size.splice(at..at, rows.iter().map(|t| t.size as i64));
+        self.level
+            .splice(at..at, rows.iter().map(|t| t.level as i64));
+        self.kind
+            .splice(at..at, rows.iter().map(|t| kind_code(t.kind)));
+        self.name_code.splice(at..at, codes);
+
+        // attributes: shift owners at/behind the splice, then insert the
+        // spliced rows' attributes (owners are absolute positions)
+        let attr_at = self.attr_owner.partition_point(|&o| o < at as i64);
+        for o in &mut self.attr_owner[attr_at..] {
+            *o += k;
+        }
+        let mut new_owner = Vec::new();
+        let mut new_name: Vec<Arc<str>> = Vec::new();
+        let mut new_value = Vec::new();
+        for (i, t) in rows.iter().enumerate() {
+            for (n, v) in &t.attrs {
+                new_owner.push((at + i) as i64);
+                new_name.push(n.clone());
+                new_value.push(v.clone());
+            }
+        }
+        if !new_owner.is_empty() {
+            self.ensure_attr_names(new_name.iter());
+            let new_codes: Vec<u32> = new_name
+                .iter()
+                .map(|n| self.attr_names.code_of(n).expect("covered"))
+                .collect();
+            self.attr_owner.splice(attr_at..attr_at, new_owner);
+            self.attr_name_code.splice(attr_at..attr_at, new_codes);
+            self.attr_value.splice(attr_at..attr_at, new_value);
+        }
+    }
+
+    /// Remove `count` node rows starting at `at`, dropping their attribute
+    /// rows and shifting the owners behind the range.
+    pub(crate) fn remove_nodes(&mut self, at: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.invalidate_tables();
+        self.size.drain(at..at + count);
+        self.level.drain(at..at + count);
+        self.kind.drain(at..at + count);
+        self.name_code.drain(at..at + count);
+        let start = self.attr_owner.partition_point(|&o| o < at as i64);
+        let end = self
+            .attr_owner
+            .partition_point(|&o| o < (at + count) as i64);
+        self.attr_owner.drain(start..end);
+        self.attr_name_code.drain(start..end);
+        self.attr_value.drain(start..end);
+        for o in &mut self.attr_owner[start..] {
+            *o -= count as i64;
+        }
+    }
+
+    /// Ancestor `size` maintenance: add `delta` to the size of `pre`.
+    pub(crate) fn add_size(&mut self, pre: u32, delta: i64) {
+        self.invalidate_structural();
+        self.size[pre as usize] += delta;
+    }
+
+    /// In-place rename of the node at `pre` (elements only affect the name
+    /// column; PI targets are not part of the relational image).
+    pub(crate) fn set_name(&mut self, pre: u32, name: &Arc<str>) {
+        if self.node_kind(pre) != NodeKind::Element {
+            return;
+        }
+        self.invalidate_structural();
+        self.ensure_tags(std::iter::once(name));
+        self.name_code[pre as usize] = self.tags.code_of(name).expect("covered");
+    }
+
+    /// Set (or insert, at the end of the owner's run) an attribute.
+    pub(crate) fn set_attribute(&mut self, pre: u32, name: &str, value: &str) {
+        self.invalidate_attributes();
+        let arc_name: Arc<str> = Arc::from(name);
+        self.ensure_attr_names(std::iter::once(&arc_name));
+        let code = self.attr_names.code_of(name).expect("covered");
+        let r = self.attr_range(pre);
+        for i in r.clone() {
+            if self.attr_name_code[i] == code {
+                self.attr_value[i] = Arc::from(value);
+                return;
+            }
+        }
+        self.attr_owner.insert(r.end, pre as i64);
+        self.attr_name_code.insert(r.end, code);
+        self.attr_value.insert(r.end, Arc::from(value));
+    }
+
+    /// Remove an attribute (no-op if absent).
+    pub(crate) fn remove_attribute(&mut self, pre: u32, name: &str) {
+        let Some(code) = self.attr_names.code_of(name) else {
+            return;
+        };
+        self.invalidate_attributes();
+        let r = self.attr_range(pre);
+        for i in r {
+            if self.attr_name_code[i] == code {
+                self.attr_owner.remove(i);
+                self.attr_name_code.remove(i);
+                self.attr_value.remove(i);
+                return;
+            }
+        }
+    }
+
+    /// Rename an attribute in place (no-op if absent).
+    pub(crate) fn rename_attribute(&mut self, pre: u32, name: &str, new_name: &str) {
+        if self.attr_names.code_of(name).is_none() {
+            return;
+        }
+        self.invalidate_attributes();
+        let arc_new: Arc<str> = Arc::from(new_name);
+        self.ensure_attr_names(std::iter::once(&arc_new));
+        // the merge may have remapped `code`
+        let code = self
+            .attr_names
+            .code_of(name)
+            .expect("old name stays in the grown dictionary");
+        let new_code = self.attr_names.code_of(new_name).expect("covered");
+        let r = self.attr_range(pre);
+        for i in r {
+            if self.attr_name_code[i] == code {
+                self.attr_name_code[i] = new_code;
+                return;
+            }
+        }
+    }
+
+    // -- differential verification ---------------------------------------
+
+    /// Compare the *decoded* content of two images: per-row structural
+    /// values and names, and per-row attributes.  Dictionary identity is
+    /// deliberately not compared — the incrementally maintained dictionary
+    /// may keep entries for names no longer present in the document.
+    pub fn same_content(&self, other: &DocumentColumns) -> Result<(), String> {
+        if self.len() != other.len() {
+            return Err(format!("row count {} != {}", self.len(), other.len()));
+        }
+        for i in 0..self.len() {
+            let p = i as u32;
+            if self.size[i] != other.size[i]
+                || self.level[i] != other.level[i]
+                || self.kind[i] != other.kind[i]
+            {
+                return Err(format!(
+                    "structural row {i}: ({}, {}, {}) != ({}, {}, {})",
+                    self.size[i],
+                    self.level[i],
+                    self.kind[i],
+                    other.size[i],
+                    other.level[i],
+                    other.kind[i]
+                ));
+            }
+            if self.node_name(p) != other.node_name(p) {
+                return Err(format!(
+                    "name at {i}: `{}` != `{}`",
+                    self.node_name(p),
+                    other.node_name(p)
+                ));
+            }
+        }
+        if self.attr_count() != other.attr_count() {
+            return Err(format!(
+                "attr count {} != {}",
+                self.attr_count(),
+                other.attr_count()
+            ));
+        }
+        for i in 0..self.attr_count() {
+            let (a, b) = (
+                (
+                    self.attr_owner[i],
+                    self.attr_names.str_of(self.attr_name_code[i]).as_ref(),
+                    self.attr_value[i].as_ref(),
+                ),
+                (
+                    other.attr_owner[i],
+                    other.attr_names.str_of(other.attr_name_code[i]).as_ref(),
+                    other.attr_value[i].as_ref(),
+                ),
+            );
+            if a != b {
+                return Err(format!("attr row {i}: {a:?} != {b:?}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -156,22 +577,22 @@ mod tests {
     #[test]
     fn export_shapes_and_dictionaries() {
         let (doc, cols) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
-        assert_eq!(cols.structural.nrows(), doc.len());
-        assert_eq!(cols.attributes.nrows(), doc.attr_count());
+        assert_eq!(cols.structural().nrows(), doc.len());
+        assert_eq!(cols.attributes().nrows(), doc.attr_count());
         // tag dictionary: "", item, name, site — sorted
-        let tags: Vec<&str> = cols.tags.iter().map(|s| s.as_ref()).collect();
+        let tags: Vec<&str> = cols.tags().iter().map(|s| s.as_ref()).collect();
         assert_eq!(tags, ["", "item", "name", "site"]);
         assert!(matches!(
-            cols.structural.column("name").unwrap(),
+            cols.structural().column("name").unwrap(),
             Column::Dict { .. }
         ));
         assert!(matches!(
-            cols.attributes.column("name").unwrap(),
+            cols.attributes().column("name").unwrap(),
             Column::Dict { .. }
         ));
         // structural row 0 is the root element
         assert_eq!(
-            cols.structural
+            cols.structural()
                 .column("name")
                 .unwrap()
                 .item(0)
@@ -179,9 +600,17 @@ mod tests {
             "site"
         );
         assert_eq!(
-            cols.structural.column("kind").unwrap().as_int().unwrap()[0],
+            cols.structural().column("kind").unwrap().as_int().unwrap()[0],
             1
         );
+        // dense read path agrees with the document
+        for p in 0..doc.len() as u32 {
+            assert_eq!(cols.node_size(p), doc.size(p));
+            assert_eq!(cols.node_level(p), doc.level(p));
+            assert_eq!(cols.node_kind(p), doc.kind(p));
+        }
+        assert_eq!(cols.attr_value_of(1, "id"), Some("1"));
+        assert_eq!(cols.attr_value_of(1, "missing"), None);
     }
 
     #[test]
@@ -190,7 +619,7 @@ mod tests {
         let probe = cols.names_of(&doc, doc.elements_named("item"));
         let (probe_codes, probe_dict) = probe.dict_parts().unwrap();
         let (_, struct_dict) = cols
-            .structural
+            .structural()
             .column("name")
             .unwrap()
             .dict_parts()
@@ -199,14 +628,23 @@ mod tests {
         assert_eq!(probe_codes.len(), 2);
         // joining the probe against the structural name column finds exactly
         // the two <item> rows
-        let (l, r) = radix_hash_join(&probe, cols.structural.column("name").unwrap());
+        let (l, r) = radix_hash_join(&probe, cols.structural().column("name").unwrap());
         assert_eq!(l.len(), 4, "2 probes × 2 matching rows");
         assert!(r.iter().all(|&row| cols
-            .structural
+            .structural()
             .column("name")
             .unwrap()
             .item(row)
             .string_value()
             == "item"));
+    }
+
+    #[test]
+    fn same_content_detects_divergence() {
+        let (_, a) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
+        let (_, mut b) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
+        a.same_content(&b).unwrap();
+        b.add_size(0, 1);
+        assert!(a.same_content(&b).is_err());
     }
 }

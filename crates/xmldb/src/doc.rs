@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::node::{AttrRow, NodeKind};
+use crate::read::{AttrsIter, NodeRead};
 
 /// A document container: structural table + property containers.
 #[derive(Debug, Clone, Default)]
@@ -196,12 +197,14 @@ impl Document {
         }
     }
 
-    /// Append a whole subtree copied from another document (deep copy).  The
-    /// structural rows are copied verbatim with levels re-based; properties
-    /// are re-interned.  Returns the preorder rank of the copied root in
-    /// `self`.  This is the "pasting of encodings" used for element
-    /// construction (Sections 2 and 5.1).
-    pub fn copy_subtree(&mut self, src: &Document, src_pre: u32, level_base: u16) -> u32 {
+    /// Append a whole subtree copied from another container (deep copy).
+    /// The structural rows are copied verbatim with levels re-based;
+    /// properties are re-interned.  Returns the preorder rank of the copied
+    /// root in `self`.  This is the "pasting of encodings" used for element
+    /// construction (Sections 2 and 5.1); generic over [`NodeRead`], so
+    /// content copies from the paged store never materialize a flat
+    /// intermediate.
+    pub fn copy_subtree<D: NodeRead>(&mut self, src: &D, src_pre: u32, level_base: u16) -> u32 {
         let root_new = self.len() as u32;
         let src_level_base = src.level(src_pre);
         let end = src_pre + src.size(src_pre);
@@ -234,11 +237,11 @@ impl Document {
             }
             // shallow-copied attributes keep their values
             let new_pre = self.len() as u32 - 1;
-            for a in src.attributes(v) {
+            for (name, value) in src.attrs(v) {
                 self.attrs.push(AttrRow {
                     owner: new_pre,
-                    name: a.name.clone(),
-                    value: a.value.clone(),
+                    name: name.clone(),
+                    value: value.clone(),
                 });
             }
         }
@@ -409,6 +412,53 @@ impl Document {
     }
 }
 
+/// The canonical read API over a flat document: a single storage run with
+/// always-true page summaries (see [`NodeRead`]'s `run_*` defaults).
+impl NodeRead for Document {
+    fn len(&self) -> usize {
+        Document::len(self)
+    }
+    fn size(&self, pre: u32) -> u32 {
+        Document::size(self, pre)
+    }
+    fn level(&self, pre: u32) -> u16 {
+        Document::level(self, pre)
+    }
+    fn kind(&self, pre: u32) -> NodeKind {
+        Document::kind(self, pre)
+    }
+    fn name_of(&self, pre: u32) -> &str {
+        Document::name_of(self, pre)
+    }
+    fn text_of(&self, pre: u32) -> &str {
+        Document::text_of(self, pre)
+    }
+    fn qname_id(&self, pre: u32) -> Option<u32> {
+        Document::qname_id(self, pre)
+    }
+    fn lookup_qname(&self, name: &str) -> Option<u32> {
+        Document::lookup_qname(self, name)
+    }
+    fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
+        Document::attribute(self, pre, name)
+    }
+    fn attrs(&self, pre: u32) -> AttrsIter<'_> {
+        AttrsIter::Rows(self.attributes(pre).iter())
+    }
+    fn root_pres(&self) -> Vec<u32> {
+        self.frag_roots.clone()
+    }
+    fn named_elements(&self, name: &str) -> Option<Vec<u32>> {
+        Some(self.elements_named(name).to_vec())
+    }
+    fn parent(&self, pre: u32) -> Option<u32> {
+        Document::parent(self, pre)
+    }
+    fn string_value(&self, pre: u32) -> String {
+        Document::string_value(self, pre)
+    }
+}
+
 /// Iterator over the children of a node (size-based skipping).
 pub struct ChildIter<'a> {
     doc: &'a Document,
@@ -536,9 +586,9 @@ impl DocumentBuilder {
         pre
     }
 
-    /// Deep-copy a subtree from another document as a child of the currently
+    /// Deep-copy a subtree from another container as a child of the currently
     /// open element (or as a new fragment if nothing is open).
-    pub fn copy_subtree(&mut self, src: &Document, src_pre: u32) -> u32 {
+    pub fn copy_subtree<D: NodeRead>(&mut self, src: &D, src_pre: u32) -> u32 {
         let pre = self.doc.len() as u32;
         if self.open.is_empty() && self.level == self.base_level {
             self.doc.add_fragment_root(pre);

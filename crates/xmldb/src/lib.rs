@@ -13,14 +13,21 @@
 //! * a **document shredder** ([`shred()`](shred::shred)) that parses XML text into the
 //!   encoding with sequential writes, and a **serializer** ([`serialize`])
 //!   that reconstructs XML text with sequential reads;
-//! * a **relational export** ([`columns`]) that turns a shredded document
-//!   into engine tables whose tag and attribute-name columns are
-//!   dictionary-encoded (`Column::Dict` over shared sorted dictionaries);
+//! * a **relational image** ([`columns`]): dense structural and attribute
+//!   columns with dictionary-encoded names (`Column::Dict` over shared
+//!   sorted dictionaries), **incrementally maintained** by the paged
+//!   update path (delta-patched per primitive, never rebuilt);
 //! * a **document store** ([`store::DocStore`]) holding one container per
 //!   loaded document plus a transient container for nodes constructed during
-//!   query evaluation;
+//!   query evaluation — loaded documents live in the **paged store**
+//!   ([`update::PagedSnapshot`]), the single source of truth shared by the
+//!   query and the update path;
+//! * the **canonical read API** ([`read::NodeRead`]) every representation
+//!   implements: pre/size/level/name-id/text/attribute cursors plus
+//!   storage-run summaries that let scans skip whole pages;
 //! * the **structural update scheme** of Section 5.2 ([`update`]): page-wise
-//!   remappable pre-numbers with unused tuples, compared against a naive
+//!   remappable pre-numbers with unused tuples (pages `Arc`-shared with
+//!   published snapshots, copied on first write), compared against a naive
 //!   renumbering baseline.
 
 #![warn(missing_docs)]
@@ -28,6 +35,7 @@
 pub mod columns;
 pub mod doc;
 pub mod node;
+pub mod read;
 pub mod serialize;
 pub mod shred;
 pub mod store;
@@ -36,7 +44,11 @@ pub mod update;
 pub use columns::{shred_to_columns, DocumentColumns};
 pub use doc::{Document, DocumentBuilder};
 pub use node::{AttrRow, NodeKind};
+pub use read::{AttrsIter, NodeRead};
 pub use serialize::{serialize_document, serialize_node};
 pub use shred::{shred, ShredError, ShredOptions};
-pub use store::{DocStore, StoreSnapshot, TRANSIENT_FRAG};
-pub use update::{NaiveDocument, PagedDocument, StructuralUpdate, UpdateStats};
+pub use store::{
+    Container, ContainerRef, DocStore, StoreSnapshot, DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE,
+    TRANSIENT_FRAG,
+};
+pub use update::{NaiveDocument, PagedDocument, PagedSnapshot, StructuralUpdate, UpdateStats};

@@ -1,0 +1,212 @@
+//! The canonical read API over any container representation.
+//!
+//! Query scans, serialization and the naive comparator all read XML through
+//! [`NodeRead`]: pre/size/level/kind plus name-id, text and attribute
+//! cursors.  Two storage representations implement it —
+//!
+//! * [`Document`](crate::Document), the flat pre|size|level table produced
+//!   by the shredder (and still used for the transient container holding
+//!   constructed nodes and for content fragments), and
+//! * [`PagedSnapshot`](crate::update::PagedSnapshot), the immutable
+//!   published view of the paged store — the representation loaded
+//!   documents live in, end-to-end.
+//!
+//! The `run_*` methods expose *storage runs* (logical pages) to the
+//! staircase-join sweeps: a run is a maximal contiguous stretch of
+//! preorder ranks stored together, and the per-run summaries (node-kind
+//! mask, element-name set, minimum level) let a scan skip a whole page
+//! when no node in it can match the node test — the page-level
+//! bookkeeping of paper Section 5.2.  The flat [`Document`](crate::Document)
+//! is a single run with an always-true summary, so the generic scan code
+//! costs it one predictable branch per run, not per node.
+
+use std::sync::Arc;
+
+use mxq_engine::Dictionary;
+
+use crate::node::{AttrRow, NodeKind};
+
+/// Read access to one container in the pre|size|level encoding.
+pub trait NodeRead {
+    /// Number of nodes in the container (attributes excluded).
+    fn len(&self) -> usize;
+    /// `size(v)`: number of nodes in the subtree below `pre`.
+    fn size(&self, pre: u32) -> u32;
+    /// `level(v)`: distance from the fragment root.
+    fn level(&self, pre: u32) -> u16;
+    /// Node kind of `pre`.
+    fn kind(&self, pre: u32) -> NodeKind;
+    /// Element name / PI target of `pre` (empty for other kinds).
+    fn name_of(&self, pre: u32) -> &str;
+    /// Direct text content of a text/comment/PI node.
+    fn text_of(&self, pre: u32) -> &str;
+    /// Interned name id of an element (representation-specific numbering;
+    /// only comparable against ids from the *same* container).
+    fn qname_id(&self, pre: u32) -> Option<u32>;
+    /// Resolve an element name to this container's interned id, if any
+    /// element with the name exists.
+    fn lookup_qname(&self, name: &str) -> Option<u32>;
+    /// Value of attribute `name` on element `pre`.
+    fn attribute(&self, pre: u32, name: &str) -> Option<&str>;
+    /// All attributes of element `pre` as (name, value) pairs.
+    fn attrs(&self, pre: u32) -> AttrsIter<'_>;
+    /// Preorder ranks of the fragment roots (level-0 nodes).
+    fn root_pres(&self) -> Vec<u32>;
+    /// Preorder ranks (document order) of all elements named `name`, when
+    /// the representation maintains a name index; `None` forces the caller
+    /// onto the scanning path.
+    fn named_elements(&self, name: &str) -> Option<Vec<u32>>;
+
+    // -- storage runs (logical pages) ------------------------------------
+
+    /// Last preorder rank of the storage run (page) containing `pre`.
+    fn run_end(&self, pre: u32) -> u32 {
+        debug_assert!((pre as usize) < self.len());
+        self.len() as u32 - 1
+    }
+    /// May the run containing `pre` hold an element named `name`?
+    /// (A `false` is a guarantee; `true` is only a maybe.)
+    fn run_has_name(&self, _pre: u32, _name: &str) -> bool {
+        true
+    }
+    /// May the run containing `pre` hold a node of `kind`?
+    fn run_has_kind(&self, _pre: u32, _kind: NodeKind) -> bool {
+        true
+    }
+    /// Smallest node level inside the run containing `pre`.
+    fn run_min_level(&self, _pre: u32) -> u16 {
+        0
+    }
+
+    // -- provided navigation ---------------------------------------------
+
+    /// True if the container holds no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Postorder rank, recovered as `pre + size - level`.
+    fn post(&self, pre: u32) -> i64 {
+        pre as i64 + self.size(pre) as i64 - self.level(pre) as i64
+    }
+
+    /// Parent of `pre`: the closest preceding node with a smaller level.
+    fn parent(&self, pre: u32) -> Option<u32> {
+        let lv = self.level(pre);
+        if lv == 0 {
+            return None;
+        }
+        let mut v = pre;
+        while v > 0 {
+            v -= 1;
+            if self.level(v) < lv {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Iterate over the children of `pre` with size-based skipping.
+    fn children(&self, pre: u32) -> Children<'_, Self>
+    where
+        Self: Sized,
+    {
+        Children {
+            doc: self,
+            next: pre + 1,
+            end: pre + self.size(pre),
+        }
+    }
+
+    /// Is `anc` a strict ancestor of `desc`?
+    fn is_ancestor(&self, anc: u32, desc: u32) -> bool {
+        anc < desc && desc <= anc + self.size(anc)
+    }
+
+    /// XQuery string value: concatenated descendant text content.
+    fn string_value(&self, pre: u32) -> String {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                self.text_of(pre).to_string()
+            }
+            _ => {
+                let mut out = String::new();
+                let end = pre + self.size(pre);
+                let mut v = pre + 1;
+                while v <= end {
+                    if self.kind(v) == NodeKind::Text {
+                        out.push_str(self.text_of(v));
+                    }
+                    v += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Iterator over the children of a node for any [`NodeRead`].
+pub struct Children<'a, D> {
+    doc: &'a D,
+    next: u32,
+    end: u32,
+}
+
+impl<D: NodeRead> Iterator for Children<'_, D> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next > self.end || self.next as usize >= self.doc.len() {
+            return None;
+        }
+        let cur = self.next;
+        self.next = cur + self.doc.size(cur) + 1;
+        Some(cur)
+    }
+}
+
+/// Iterator over the attributes of one element, unifying the three
+/// attribute storages: [`AttrRow`] slices (flat documents), inline
+/// name/value pairs (page tuples) and the dictionary-encoded attribute
+/// columns (the paged read view).
+pub enum AttrsIter<'a> {
+    /// Attribute rows of a flat [`Document`](crate::Document).
+    Rows(std::slice::Iter<'a, AttrRow>),
+    /// Inline (name, value) pairs of a page tuple.
+    Pairs(std::slice::Iter<'a, (Arc<str>, Arc<str>)>),
+    /// A slice of the dictionary-encoded attribute columns.
+    Dict {
+        /// Attribute-name dictionary.
+        names: &'a Dictionary,
+        /// Name codes of the owner's attribute rows.
+        codes: &'a [u32],
+        /// Values of the owner's attribute rows.
+        values: &'a [Arc<str>],
+        /// Cursor into `codes`/`values`.
+        idx: usize,
+    },
+}
+
+impl<'a> Iterator for AttrsIter<'a> {
+    type Item = (&'a Arc<str>, &'a Arc<str>);
+
+    fn next(&mut self) -> Option<(&'a Arc<str>, &'a Arc<str>)> {
+        match self {
+            AttrsIter::Rows(it) => it.next().map(|a| (&a.name, &a.value)),
+            AttrsIter::Pairs(it) => it.next().map(|(n, v)| (n, v)),
+            AttrsIter::Dict {
+                names,
+                codes,
+                values,
+                idx,
+            } => {
+                if *idx >= codes.len() {
+                    return None;
+                }
+                let i = *idx;
+                *idx += 1;
+                Some((names.str_of(codes[i]), &values[i]))
+            }
+        }
+    }
+}

@@ -1,8 +1,14 @@
-//! XML serialization: turn (a subtree of) a pre|size|level document back into
-//! XML text with a single sequential scan.
+//! XML serialization: turn (a subtree of) a pre|size|level container back
+//! into XML text with a single sequential scan.
+//!
+//! Generic over [`NodeRead`], so results render directly from the paged
+//! store (pages are read on demand) as well as from flat [`Document`]s —
+//! no materialized read copy is ever built for serialization.
+//!
+//! [`Document`]: crate::doc::Document
 
-use crate::doc::Document;
 use crate::node::NodeKind;
+use crate::read::NodeRead;
 
 /// Escape character data for element content.
 pub fn escape_text(s: &str) -> String {
@@ -33,7 +39,7 @@ pub fn escape_attr(s: &str) -> String {
 }
 
 /// Serialize the subtree rooted at `pre` into `out`.
-pub fn serialize_node(doc: &Document, pre: u32, out: &mut String) {
+pub fn serialize_node<D: NodeRead>(doc: &D, pre: u32, out: &mut String) {
     match doc.kind(pre) {
         NodeKind::Text => out.push_str(&escape_text(doc.text_of(pre))),
         NodeKind::Comment => {
@@ -60,11 +66,11 @@ pub fn serialize_node(doc: &Document, pre: u32, out: &mut String) {
             let name = doc.name_of(pre);
             out.push('<');
             out.push_str(name);
-            for attr in doc.attributes(pre) {
+            for (aname, value) in doc.attrs(pre) {
                 out.push(' ');
-                out.push_str(&attr.name);
+                out.push_str(aname);
                 out.push_str("=\"");
-                out.push_str(&escape_attr(&attr.value));
+                out.push_str(&escape_attr(value));
                 out.push('"');
             }
             if doc.size(pre) == 0 {
@@ -82,10 +88,10 @@ pub fn serialize_node(doc: &Document, pre: u32, out: &mut String) {
     }
 }
 
-/// Serialize a whole document container (all fragments, in order).
-pub fn serialize_document(doc: &Document) -> String {
+/// Serialize a whole container (all fragments, in order).
+pub fn serialize_document<D: NodeRead>(doc: &D) -> String {
     let mut out = String::new();
-    for &root in doc.fragment_roots() {
+    for root in doc.root_pres() {
         serialize_node(doc, root, &mut out);
     }
     out

@@ -1,17 +1,25 @@
 //! The document store: the "loaded documents table" of Figure 9.
 //!
-//! A [`DocStore`] keeps one [`Document`] container per loaded XML document
-//! plus a dedicated *transient* container that receives every node
-//! constructed during query evaluation (element constructors).  Nodes are
-//! addressed by [`NodeId`] = (fragment id, preorder rank); fragment 0 is
-//! always the transient container, loaded documents get fragments 1, 2, ….
+//! A [`DocStore`] keeps one container per loaded XML document plus a
+//! dedicated *transient* container that receives every node constructed
+//! during query evaluation (element constructors).  Nodes are addressed by
+//! [`NodeId`] = (fragment id, preorder rank); fragment 0 is always the
+//! transient container, loaded documents get fragments 1, 2, ….
+//!
+//! **The paged store is the source of truth**: loading a document shreds
+//! it straight into logical pages ([`crate::update::PagedDocument`]) and
+//! the store keeps only the published immutable view — an
+//! [`Arc<PagedSnapshot>`] pinning the page set and the incrementally
+//! maintained column image.  Only the transient container (per-execution
+//! constructed nodes) remains a flat [`Document`].  Readers address both
+//! through [`ContainerRef`], which implements [`NodeRead`].
 //!
 //! Containers are held behind [`Arc`] so that a [`StoreSnapshot`] — the
 //! immutable view a query executes against — is a cheap clone of the
-//! container list.  Replacing a document (the update path) swaps the `Arc`
-//! and bumps the store **generation counter**; snapshots taken before the
-//! swap keep the old containers alive, which is what gives concurrent
-//! readers snapshot isolation for free.
+//! container list.  Publishing an updated page set ([`DocStore::publish`])
+//! swaps one `Arc` and bumps the store **generation counter**; snapshots
+//! taken before the swap keep the old pages alive, which is what gives
+//! concurrent readers snapshot isolation for free.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,20 +27,136 @@ use std::sync::Arc;
 use mxq_engine::NodeId;
 
 use crate::doc::{Document, DocumentBuilder};
+use crate::node::NodeKind;
+use crate::read::{AttrsIter, NodeRead};
 use crate::shred::{shred, ShredError, ShredOptions};
+use crate::update::{PagedDocument, PagedSnapshot};
 
 /// Fragment id of the transient container holding constructed nodes.
 pub const TRANSIENT_FRAG: u32 = 0;
 
+/// Default logical page size (tuples) for the paged store.
+pub const DEFAULT_PAGE_SIZE: usize = 64;
+/// Default page fill factor (percent) for the paged store.
+pub const DEFAULT_FILL_PERCENT: u8 = 75;
+
+/// One container of the store: the transient flat [`Document`], or the
+/// published page-backed view of a loaded document.
+#[derive(Debug, Clone)]
+pub enum Container {
+    /// A flat pre|size|level table (the transient container).
+    Doc(Arc<Document>),
+    /// The published view of a paged document (pages + column image).
+    Paged(Arc<PagedSnapshot>),
+}
+
+impl Container {
+    /// The container name.
+    pub fn name(&self) -> &str {
+        match self {
+            Container::Doc(d) => &d.name,
+            Container::Paged(p) => p.name(),
+        }
+    }
+
+    /// A borrowed read handle.
+    pub fn as_ref(&self) -> ContainerRef<'_> {
+        match self {
+            Container::Doc(d) => ContainerRef::Doc(d),
+            Container::Paged(p) => ContainerRef::Paged(p),
+        }
+    }
+}
+
+/// A borrowed read handle on one container — the type every read path
+/// (executor, serializer, naive comparator) navigates through.  Copy;
+/// dispatches each [`NodeRead`] call with one two-way branch.
+#[derive(Debug, Clone, Copy)]
+pub enum ContainerRef<'a> {
+    /// A flat document container.
+    Doc(&'a Document),
+    /// A paged snapshot container.
+    Paged(&'a PagedSnapshot),
+}
+
+macro_rules! delegate {
+    ($self:ident, $d:ident => $e:expr) => {
+        match $self {
+            ContainerRef::Doc($d) => $e,
+            ContainerRef::Paged($d) => $e,
+        }
+    };
+}
+
+impl NodeRead for ContainerRef<'_> {
+    fn len(&self) -> usize {
+        delegate!(self, d => NodeRead::len(*d))
+    }
+    fn size(&self, pre: u32) -> u32 {
+        delegate!(self, d => NodeRead::size(*d, pre))
+    }
+    fn level(&self, pre: u32) -> u16 {
+        delegate!(self, d => NodeRead::level(*d, pre))
+    }
+    fn kind(&self, pre: u32) -> NodeKind {
+        delegate!(self, d => NodeRead::kind(*d, pre))
+    }
+    fn name_of(&self, pre: u32) -> &str {
+        delegate!(self, d => NodeRead::name_of(*d, pre))
+    }
+    fn text_of(&self, pre: u32) -> &str {
+        delegate!(self, d => NodeRead::text_of(*d, pre))
+    }
+    fn qname_id(&self, pre: u32) -> Option<u32> {
+        delegate!(self, d => NodeRead::qname_id(*d, pre))
+    }
+    fn lookup_qname(&self, name: &str) -> Option<u32> {
+        delegate!(self, d => NodeRead::lookup_qname(*d, name))
+    }
+    fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
+        delegate!(self, d => NodeRead::attribute(*d, pre, name))
+    }
+    fn attrs(&self, pre: u32) -> AttrsIter<'_> {
+        delegate!(self, d => NodeRead::attrs(*d, pre))
+    }
+    fn root_pres(&self) -> Vec<u32> {
+        delegate!(self, d => NodeRead::root_pres(*d))
+    }
+    fn named_elements(&self, name: &str) -> Option<Vec<u32>> {
+        delegate!(self, d => NodeRead::named_elements(*d, name))
+    }
+    fn run_end(&self, pre: u32) -> u32 {
+        delegate!(self, d => NodeRead::run_end(*d, pre))
+    }
+    fn run_has_name(&self, pre: u32, name: &str) -> bool {
+        delegate!(self, d => NodeRead::run_has_name(*d, pre, name))
+    }
+    fn run_has_kind(&self, pre: u32, kind: NodeKind) -> bool {
+        delegate!(self, d => NodeRead::run_has_kind(*d, pre, kind))
+    }
+    fn run_min_level(&self, pre: u32) -> u16 {
+        delegate!(self, d => NodeRead::run_min_level(*d, pre))
+    }
+    fn parent(&self, pre: u32) -> Option<u32> {
+        delegate!(self, d => NodeRead::parent(*d, pre))
+    }
+    fn string_value(&self, pre: u32) -> String {
+        delegate!(self, d => NodeRead::string_value(*d, pre))
+    }
+}
+
 /// A collection of document containers addressable by fragment id or name.
 #[derive(Debug)]
 pub struct DocStore {
-    containers: Vec<Arc<Document>>,
+    containers: Vec<Container>,
     by_name: HashMap<String, u32>,
-    /// Bumped on every mutation of the loaded-documents table (load, replace).
-    /// Snapshots carry the generation they were taken at, so cached state
-    /// derived from a snapshot can be revalidated with one integer compare.
+    /// Bumped on every mutation of the loaded-documents table (load,
+    /// publish).  Snapshots carry the generation they were taken at, so
+    /// cached state derived from a snapshot can be revalidated with one
+    /// integer compare.
     generation: u64,
+    page_size: usize,
+    fill_percent: u8,
 }
 
 impl Default for DocStore {
@@ -45,9 +169,11 @@ impl DocStore {
     /// Create a store with an empty transient container.
     pub fn new() -> Self {
         DocStore {
-            containers: vec![Arc::new(Document::new("#transient"))],
+            containers: vec![Container::Doc(Arc::new(Document::new("#transient")))],
             by_name: HashMap::new(),
             generation: 0,
+            page_size: DEFAULT_PAGE_SIZE,
+            fill_percent: DEFAULT_FILL_PERCENT,
         }
     }
 
@@ -57,17 +183,49 @@ impl DocStore {
     }
 
     /// The current store generation.  Every call that changes which document
-    /// contents a name resolves to (loading, replacing after an update)
+    /// contents a name resolves to (loading, publishing after an update)
     /// increments it; the transient container does not participate.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// Load an already shredded document, returning its fragment id.
+    /// The page policy (logical page size in tuples, fill factor in percent)
+    /// applied to documents loaded after the call.
+    ///
+    /// # Panics
+    /// Panics unless `page_size` is a power of two ≥ 2 and
+    /// `fill_percent ∈ (0, 100]`.
+    pub fn set_page_policy(&mut self, page_size: usize, fill_percent: u8) {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 2,
+            "page_size must be a power of two >= 2"
+        );
+        assert!(
+            (1..=100).contains(&fill_percent),
+            "fill_percent must be in 1..=100"
+        );
+        self.page_size = page_size;
+        self.fill_percent = fill_percent;
+    }
+
+    /// The configured page policy as (page size, fill percent).
+    pub fn page_policy(&self) -> (usize, u8) {
+        (self.page_size, self.fill_percent)
+    }
+
+    /// Load an already shredded document: pages it under the configured
+    /// policy and publishes the paged view.  Returns the fragment id.
     pub fn add_document(&mut self, doc: Document) -> u32 {
+        let paged = PagedDocument::from_document(&doc, self.page_size, self.fill_percent);
+        self.add_paged(&doc.name.clone(), Arc::new(paged.snapshot()))
+    }
+
+    /// Register a published paged view under a name, returning its fragment
+    /// id.
+    pub fn add_paged(&mut self, name: &str, snap: Arc<PagedSnapshot>) -> u32 {
         let frag = self.containers.len() as u32;
-        self.by_name.insert(doc.name.clone(), frag);
-        self.containers.push(Arc::new(doc));
+        self.by_name.insert(name.to_string(), frag);
+        self.containers.push(Container::Paged(snap));
         self.generation += 1;
         frag
     }
@@ -89,36 +247,47 @@ impl DocStore {
         self.by_name.get(name).copied()
     }
 
-    /// Replace the container at `frag` in place (the fragment id — and with
-    /// it every `NodeId` namespace — stays stable).  Used by the update path
-    /// to swap in the re-materialized view of an updated paged document.
-    /// Snapshots taken before the call keep observing the old contents.
+    /// Publish an updated page set for the container at `frag` (the
+    /// fragment id — and with it every `NodeId` namespace — stays stable).
+    /// This is the writer's whole critical section: one `Arc` swap.
+    /// Snapshots taken before the call keep observing the old pages.
+    ///
+    /// # Panics
+    /// Panics if the fragment id is unknown or refers to the transient
+    /// container.
+    pub fn publish(&mut self, frag: u32, snap: Arc<PagedSnapshot>) {
+        assert!(
+            frag != TRANSIENT_FRAG && (frag as usize) < self.containers.len(),
+            "publish: unknown or transient fragment {frag}"
+        );
+        self.containers[frag as usize] = Container::Paged(snap);
+        self.generation += 1;
+    }
+
+    /// Replace the container at `frag` with a freshly paged view of `doc`
+    /// (convenience wrapper over [`DocStore::publish`]).
     ///
     /// # Panics
     /// Panics if the fragment id is unknown or refers to the transient
     /// container.
     pub fn replace_document(&mut self, frag: u32, doc: Document) {
-        assert!(
-            frag != TRANSIENT_FRAG && (frag as usize) < self.containers.len(),
-            "replace_document: unknown or transient fragment {frag}"
-        );
-        self.containers[frag as usize] = Arc::new(doc);
-        self.generation += 1;
+        let paged = PagedDocument::from_document(&doc, self.page_size, self.fill_percent);
+        self.publish(frag, Arc::new(paged.snapshot()));
     }
 
     /// Borrow a container by fragment id.
     ///
     /// # Panics
     /// Panics if the fragment id is unknown.
-    pub fn container(&self, frag: u32) -> &Document {
-        &self.containers[frag as usize]
+    pub fn container(&self, frag: u32) -> ContainerRef<'_> {
+        self.containers[frag as usize].as_ref()
     }
 
     /// Shared handle to a container by fragment id (cheap `Arc` clone).
     ///
     /// # Panics
     /// Panics if the fragment id is unknown.
-    pub fn container_arc(&self, frag: u32) -> Arc<Document> {
+    pub fn container_owned(&self, frag: u32) -> Container {
         self.containers[frag as usize].clone()
     }
 
@@ -133,17 +302,25 @@ impl DocStore {
     }
 
     /// Borrow the container holding `node`.
-    pub fn doc_of(&self, node: NodeId) -> &Document {
+    pub fn doc_of(&self, node: NodeId) -> ContainerRef<'_> {
         self.container(node.frag)
     }
 
     /// The root node of the document loaded under `name`.
     pub fn document_root(&self, name: &str) -> Option<NodeId> {
         let frag = self.lookup(name)?;
-        let doc = self.container(frag);
-        doc.fragment_roots()
+        self.container(frag)
+            .root_pres()
             .first()
             .map(|&pre| NodeId::new(frag, pre))
+    }
+
+    /// Borrow the transient container (always a flat [`Document`]).
+    pub fn transient(&self) -> &Document {
+        match &self.containers[TRANSIENT_FRAG as usize] {
+            Container::Doc(d) => d,
+            Container::Paged(_) => unreachable!("the transient container is never paged"),
+        }
     }
 
     /// Construct new nodes in the transient container: the closure receives a
@@ -157,7 +334,7 @@ impl DocStore {
         let transient = std::mem::take(self.transient_mut());
         let mut builder = DocumentBuilder::append_to(transient, 0);
         let pre = build(&mut builder);
-        self.containers[TRANSIENT_FRAG as usize] = Arc::new(builder.finish());
+        self.containers[TRANSIENT_FRAG as usize] = Container::Doc(Arc::new(builder.finish()));
         NodeId::new(TRANSIENT_FRAG, pre)
     }
 
@@ -165,7 +342,8 @@ impl DocStore {
     /// container).  Benchmarks call this between runs so repeated element
     /// construction does not accumulate.
     pub fn clear_transient(&mut self) {
-        self.containers[TRANSIENT_FRAG as usize] = Arc::new(Document::new("#transient"));
+        self.containers[TRANSIENT_FRAG as usize] =
+            Container::Doc(Arc::new(Document::new("#transient")));
     }
 
     /// Mutable access to the transient container (used by the naive
@@ -173,41 +351,51 @@ impl DocStore {
     /// other containers while building).  Clones the container first if a
     /// snapshot still shares it.
     pub fn transient_mut(&mut self) -> &mut Document {
-        Arc::make_mut(&mut self.containers[TRANSIENT_FRAG as usize])
+        match &mut self.containers[TRANSIENT_FRAG as usize] {
+            Container::Doc(d) => Arc::make_mut(d),
+            Container::Paged(_) => unreachable!("the transient container is never paged"),
+        }
     }
 
-    /// String value of a node (see [`Document::string_value`]).
+    /// String value of a node.
     pub fn string_value(&self, node: NodeId) -> String {
         self.doc_of(node).string_value(node.pre)
     }
 
     /// Element/PI name of a node.
     pub fn name_of(&self, node: NodeId) -> &str {
-        self.doc_of(node).name_of(node.pre)
+        match &self.containers[node.frag as usize] {
+            Container::Doc(d) => d.name_of(node.pre),
+            Container::Paged(p) => NodeRead::name_of(&**p, node.pre),
+        }
     }
 
     /// Attribute value on a node.
     pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
-        self.doc_of(node).attribute(node.pre, name)
+        match &self.containers[node.frag as usize] {
+            Container::Doc(d) => d.attribute(node.pre, name),
+            Container::Paged(p) => NodeRead::attribute(&**p, node.pre, name),
+        }
     }
 
     /// Total number of nodes over all containers (diagnostics).
     pub fn total_nodes(&self) -> usize {
-        self.containers.iter().map(|d| d.len()).sum()
+        self.containers.iter().map(|c| c.as_ref().len()).sum()
     }
 }
 
 /// An immutable view of a [`DocStore`] at a point in time.
 ///
 /// A snapshot is what a query executes against: it pins every loaded
-/// document (via `Arc`), so a concurrent writer replacing a document can
-/// never pull the data out from under a running query or an already
-/// produced result.  The [`StoreSnapshot::generation`] records which store
-/// state the snapshot reflects; comparing it against
-/// [`DocStore::generation`] tells whether the snapshot is still current.
+/// document's page set and column image (via `Arc`), so a concurrent
+/// writer publishing an update can never pull the data out from under a
+/// running query or an already produced result.  The
+/// [`StoreSnapshot::generation`] records which store state the snapshot
+/// reflects; comparing it against [`DocStore::generation`] tells whether
+/// the snapshot is still current.
 #[derive(Debug, Clone)]
 pub struct StoreSnapshot {
-    containers: Vec<Arc<Document>>,
+    containers: Vec<Container>,
     by_name: Arc<HashMap<String, u32>>,
     generation: u64,
 }
@@ -227,12 +415,12 @@ impl StoreSnapshot {
     ///
     /// # Panics
     /// Panics if the fragment id is unknown.
-    pub fn container(&self, frag: u32) -> &Document {
-        &self.containers[frag as usize]
+    pub fn container(&self, frag: u32) -> ContainerRef<'_> {
+        self.containers[frag as usize].as_ref()
     }
 
     /// Shared handle to a container (cheap `Arc` clone).
-    pub fn container_arc(&self, frag: u32) -> Arc<Document> {
+    pub fn container_owned(&self, frag: u32) -> Container {
         self.containers[frag as usize].clone()
     }
 
@@ -244,14 +432,14 @@ impl StoreSnapshot {
     /// The root node of the document loaded under `name`.
     pub fn document_root(&self, name: &str) -> Option<NodeId> {
         let frag = self.lookup(name)?;
-        let doc = self.container(frag);
-        doc.fragment_roots()
+        self.container(frag)
+            .root_pres()
             .first()
             .map(|&pre| NodeId::new(frag, pre))
     }
 
     /// Borrow the container holding `node`.
-    pub fn doc_of(&self, node: NodeId) -> &Document {
+    pub fn doc_of(&self, node: NodeId) -> ContainerRef<'_> {
         self.container(node.frag)
     }
 
@@ -262,12 +450,18 @@ impl StoreSnapshot {
 
     /// Element/PI name of a node.
     pub fn name_of(&self, node: NodeId) -> &str {
-        self.doc_of(node).name_of(node.pre)
+        match &self.containers[node.frag as usize] {
+            Container::Doc(d) => d.name_of(node.pre),
+            Container::Paged(p) => NodeRead::name_of(&**p, node.pre),
+        }
     }
 
     /// Attribute value on a node.
     pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
-        self.doc_of(node).attribute(node.pre, name)
+        match &self.containers[node.frag as usize] {
+            Container::Doc(d) => d.attribute(node.pre, name),
+            Container::Paged(p) => NodeRead::attribute(&**p, node.pre, name),
+        }
     }
 }
 
@@ -288,6 +482,8 @@ mod tests {
         let doc = store.container(root.frag);
         let first_child = doc.children(root.pre).next().unwrap();
         assert_eq!(doc.name_of(first_child), "a");
+        // loaded documents live in the paged store
+        assert!(matches!(store.container(frag), ContainerRef::Paged(_)));
     }
 
     #[test]
@@ -309,7 +505,7 @@ mod tests {
         assert!(n1.pre < n2.pre);
         assert_eq!(store.string_value(n1), "hi");
         assert_eq!(store.name_of(n2), "other");
-        assert_eq!(store.container(TRANSIENT_FRAG).fragment_roots().len(), 2);
+        assert_eq!(store.transient().fragment_roots().len(), 2);
     }
 
     #[test]
@@ -348,5 +544,33 @@ mod tests {
         let a = store.container(frag).children(root.pre).next().unwrap();
         let child = store.container(frag).children(a).next().unwrap();
         assert_eq!(store.name_of(NodeId::new(frag, child)), "new");
+    }
+
+    #[test]
+    fn paged_container_reads_match_flat_shred() {
+        let xml = "<site a=\"1\"><item><name>x</name></item><item/><!--c--></site>";
+        let mut store = DocStore::new();
+        let frag = store.load_xml("d.xml", xml).unwrap();
+        let opts = ShredOptions {
+            document_node: true,
+            ..ShredOptions::default()
+        };
+        let flat = shred("d.xml", xml, &opts).unwrap();
+        let paged = store.container(frag);
+        assert_eq!(paged.len(), flat.len());
+        for p in 0..flat.len() as u32 {
+            assert_eq!(paged.size(p), flat.size(p), "size at {p}");
+            assert_eq!(paged.level(p), flat.level(p), "level at {p}");
+            assert_eq!(paged.kind(p), flat.kind(p), "kind at {p}");
+            assert_eq!(paged.name_of(p), flat.name_of(p), "name at {p}");
+            assert_eq!(paged.text_of(p), flat.text_of(p), "text at {p}");
+            assert_eq!(NodeRead::parent(&paged, p), flat.parent(p), "parent at {p}");
+            assert_eq!(paged.string_value(p), flat.string_value(p));
+        }
+        assert_eq!(paged.attribute(1, "a"), Some("1"));
+        assert_eq!(
+            paged.named_elements("item"),
+            Some(flat.elements_named("item").to_vec())
+        );
     }
 }

@@ -28,10 +28,13 @@
 //! patching.  The naive scheme doubles as the differential-testing reference
 //! for the paged one.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::columns::{kind_code, DocumentColumns};
 use crate::doc::{Document, DocumentBuilder};
 use crate::node::NodeKind;
+use crate::read::{AttrsIter, NodeRead};
 
 /// Cost counters accumulated by the update schemes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,16 +128,16 @@ pub trait StructuralUpdate {
 /// inline (the property containers of a read-only [`Document`] are rebuilt on
 /// materialization).
 #[derive(Debug, Clone)]
-struct Tuple {
-    size: u32,
-    level: u16,
-    kind: NodeKind,
+pub(crate) struct Tuple {
+    pub(crate) size: u32,
+    pub(crate) level: u16,
+    pub(crate) kind: NodeKind,
     /// Element name, PI target, or `#document` for document nodes.
-    name: Arc<str>,
+    pub(crate) name: Arc<str>,
     /// Text content (text/comment/PI nodes).
-    text: Arc<str>,
+    pub(crate) text: Arc<str>,
     /// Attributes of an element node.
-    attrs: Vec<(Arc<str>, Arc<str>)>,
+    pub(crate) attrs: Vec<(Arc<str>, Arc<str>)>,
 }
 
 fn tuples_of(doc: &Document) -> Vec<Tuple> {
@@ -468,19 +471,80 @@ impl NaiveDocument {
 // Page-wise remappable pre-numbers (the paper's scheme)
 // ---------------------------------------------------------------------------
 
+/// Per-page summary used by the page-skipping scans (the page-level
+/// size/level bookkeeping of Section 5.2): which node kinds and element
+/// names occur on the page, and the smallest level.  Rebuilt whenever the
+/// page's tuples change structurally — a page-local cost.
+#[derive(Debug, Clone)]
+struct PageSummary {
+    /// Bitmask over [`kind_code`] values of the kinds present.
+    kind_mask: u8,
+    /// Smallest node level on the page (`u16::MAX` for an empty page).
+    min_level: u16,
+    /// Element name → page-local offsets (ascending) of elements with that
+    /// name.  Doubles as the paged store's element-name index: the global
+    /// candidate list is the concatenation of these buckets in logical
+    /// page order.
+    elem_names: HashMap<Arc<str>, Vec<u32>>,
+}
+
+impl Default for PageSummary {
+    fn default() -> Self {
+        PageSummary {
+            kind_mask: 0,
+            min_level: u16::MAX,
+            elem_names: HashMap::new(),
+        }
+    }
+}
+
 /// A logical page: at most `page_size` used tuples; the remaining slots are
 /// the "unused tuples" of Figure 11.
 #[derive(Debug, Clone, Default)]
-struct Page {
+pub(crate) struct Page {
     tuples: Vec<Tuple>,
+    summary: PageSummary,
+}
+
+impl Page {
+    fn new(tuples: Vec<Tuple>) -> Page {
+        let mut p = Page {
+            tuples,
+            summary: PageSummary::default(),
+        };
+        p.rebuild_summary();
+        p
+    }
+
+    fn rebuild_summary(&mut self) {
+        let mut s = PageSummary::default();
+        for (off, t) in self.tuples.iter().enumerate() {
+            s.kind_mask |= 1u8 << kind_code(t.kind);
+            s.min_level = s.min_level.min(t.level);
+            if t.kind == NodeKind::Element {
+                s.elem_names
+                    .entry(t.name.clone())
+                    .or_default()
+                    .push(off as u32);
+            }
+        }
+        self.summary = s;
+    }
 }
 
 /// Updatable document with page-wise remappable pre-numbers (Section 5.2).
+///
+/// This is the **single source of truth** for a loaded document: pages are
+/// the mutation substrate (held behind [`Arc`], copy-on-write per touched
+/// page), and the dense relational image ([`DocumentColumns`]) is patched
+/// in lockstep with every applied primitive instead of being rebuilt.
+/// [`PagedDocument::snapshot`] publishes an immutable [`PagedSnapshot`]
+/// in O(pages): the read view queries scan.
 #[derive(Debug, Clone)]
 pub struct PagedDocument {
     name: String,
     /// Pages in rid (allocation) order — the table is append-only.
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     /// Pages in logical (`pre` view) order: indices into `pages`.
     page_map: Vec<usize>,
     /// Logical page capacity in tuples (a power of two).
@@ -490,6 +554,9 @@ pub struct PagedDocument {
     fill: usize,
     /// Accumulated costs.
     pub stats: UpdateStats,
+    /// The incrementally maintained relational image (structural columns,
+    /// attribute columns, dictionaries).
+    columns: Arc<DocumentColumns>,
 }
 
 impl PagedDocument {
@@ -512,12 +579,10 @@ impl PagedDocument {
         let tuples = tuples_of(doc);
         let mut pages = Vec::new();
         for chunk in tuples.chunks(fill) {
-            pages.push(Page {
-                tuples: chunk.to_vec(),
-            });
+            pages.push(Arc::new(Page::new(chunk.to_vec())));
         }
         if pages.is_empty() {
-            pages.push(Page::default());
+            pages.push(Arc::new(Page::default()));
         }
         let page_map = (0..pages.len()).collect();
         PagedDocument {
@@ -530,6 +595,84 @@ impl PagedDocument {
                 fill_percent,
                 ..UpdateStats::default()
             },
+            columns: Arc::new(DocumentColumns::new(doc)),
+        }
+    }
+
+    /// Reconstruct the mutable master from a published [`PagedSnapshot`] —
+    /// cheap (`Arc` clones of pages and columns); pages are copied on
+    /// first write only.
+    pub fn from_snapshot(snap: &PagedSnapshot, page_size: usize, fill_percent: u8) -> Self {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 2,
+            "page_size must be a power of two >= 2"
+        );
+        assert!(
+            (1..=100).contains(&fill_percent),
+            "fill_percent must be in 1..=100"
+        );
+        let fill = ((page_size * fill_percent as usize) / 100).max(1);
+        let mut pages = snap.pages.clone();
+        if pages.is_empty() {
+            pages.push(Arc::new(Page::default()));
+        }
+        PagedDocument {
+            name: snap.name.clone(),
+            page_map: (0..pages.len()).collect(),
+            pages,
+            page_size,
+            fill,
+            stats: UpdateStats {
+                fill_percent,
+                ..UpdateStats::default()
+            },
+            columns: snap.columns.clone(),
+        }
+    }
+
+    /// The incrementally maintained relational image of the current state.
+    pub fn columns(&self) -> &DocumentColumns {
+        &self.columns
+    }
+
+    /// Shared handle to the relational image (what a publish pins).
+    pub fn columns_arc(&self) -> Arc<DocumentColumns> {
+        self.columns.clone()
+    }
+
+    /// Publish the current state as an immutable snapshot: the logical page
+    /// sequence (empty pages elided), their prefix-sum offsets, the
+    /// fragment roots and the column image — all `Arc` clones, O(pages).
+    pub fn snapshot(&self) -> PagedSnapshot {
+        let pages: Vec<Arc<Page>> = self
+            .page_map
+            .iter()
+            .map(|&p| self.pages[p].clone())
+            .filter(|p| !p.tuples.is_empty())
+            .collect();
+        let mut starts = Vec::with_capacity(pages.len());
+        let mut acc = 0u32;
+        for p in &pages {
+            starts.push(acc);
+            acc += p.tuples.len() as u32;
+        }
+        let mut frag_roots = Vec::new();
+        for (i, p) in pages.iter().enumerate() {
+            if p.summary.min_level == 0 {
+                for (off, t) in p.tuples.iter().enumerate() {
+                    if t.level == 0 {
+                        frag_roots.push(starts[i] + off as u32);
+                    }
+                }
+            }
+        }
+        PagedSnapshot {
+            name: self.name.clone(),
+            pages,
+            starts,
+            len: acc,
+            frag_roots,
+            columns: self.columns.clone(),
         }
     }
 
@@ -554,10 +697,7 @@ impl PagedDocument {
 
     /// Number of (used) nodes in the logical view.
     pub fn len(&self) -> usize {
-        self.page_map
-            .iter()
-            .map(|&p| self.pages[p].tuples.len())
-            .sum()
+        self.columns.len()
     }
 
     /// True if the logical view holds no nodes.
@@ -593,37 +733,38 @@ impl PagedDocument {
         (last, self.pages[self.page_map[last]].tuples.len())
     }
 
-    fn tuple(&self, pre: usize) -> &Tuple {
-        let (slot, off) = self.locate(pre);
-        &self.pages[self.page_map[slot]].tuples[off]
-    }
-
+    /// Mutable access to a tuple: copy-on-write on its page.  Callers that
+    /// change names or kinds must rebuild the page summary afterwards.
     fn tuple_mut(&mut self, pre: usize) -> &mut Tuple {
         let (slot, off) = self.locate(pre);
         let p = self.page_map[slot];
-        &mut self.pages[p].tuples[off]
+        &mut Arc::make_mut(&mut self.pages[p]).tuples[off]
     }
 
-    /// `size` of the node at logical position `pre`.
+    /// Mutable access to the relational image (copy-on-write: the first
+    /// patch after a publish clones the shared image once).
+    fn columns_mut(&mut self) -> &mut DocumentColumns {
+        Arc::make_mut(&mut self.columns)
+    }
+
+    /// `size` of the node at logical position `pre` (O(1), from the image).
     pub fn size(&self, pre: u32) -> u32 {
-        self.tuple(pre as usize).size
+        self.columns.node_size(pre)
     }
 
     /// Node kind at logical position `pre`.
     pub fn kind(&self, pre: u32) -> NodeKind {
-        self.tuple(pre as usize).kind
+        self.columns.node_kind(pre)
     }
 
     /// `level` of the node at logical position `pre`.
     pub fn level(&self, pre: u32) -> u16 {
-        self.tuple(pre as usize).level
+        self.columns.node_level(pre)
     }
 
-    /// Parent recovery by a backwards level scan.  Walks the pages directly
-    /// (one [`Self::locate`] total) instead of calling `level()` — and thus
-    /// re-locating — once per visited node.
+    /// Parent recovery by a backwards scan over the dense level column.
     fn parent(&self, pre: u32) -> Option<u32> {
-        self.anchor_before(pre, self.tuple(pre as usize).level)
+        self.anchor_before(pre, self.level(pre))
     }
 
     /// Closest node before position `pos` whose level is smaller than
@@ -632,23 +773,8 @@ impl PagedDocument {
         if level == 0 || pos == 0 {
             return None;
         }
-        let (mut slot, mut off) = self.locate(pos as usize);
-        let mut idx = pos;
-        loop {
-            let page = &self.pages[self.page_map[slot]];
-            while off > 0 {
-                off -= 1;
-                idx -= 1;
-                if page.tuples[off].level < level {
-                    return Some(idx);
-                }
-            }
-            if slot == 0 {
-                return None;
-            }
-            slot -= 1;
-            off = self.pages[self.page_map[slot]].tuples.len();
-        }
+        let levels = self.columns.level_slice();
+        (0..pos).rev().find(|&v| levels[v as usize] < level as i64)
     }
 
     fn assert_container(&self, pre: u32, what: &str) {
@@ -669,29 +795,35 @@ impl PagedDocument {
         if added == 0 {
             return;
         }
+        // delta-patch the relational image in lockstep with the pages
+        self.columns_mut().splice_nodes(insert_pos, &frag_tuples);
         let (slot, off) = self.locate(insert_pos);
         let page_idx = self.page_map[slot];
         let free = self.page_size - self.pages[page_idx].tuples.len().min(self.page_size);
 
         if frag_tuples.len() <= free {
-            // fits: shift within this single logical page
-            let page = &mut self.pages[page_idx];
+            // fits: shift within this single logical page (copy-on-write)
+            let page = Arc::make_mut(&mut self.pages[page_idx]);
             page.tuples.splice(off..off, frag_tuples);
+            page.rebuild_summary();
             self.stats.pages_touched += 1;
             self.stats.tuples_written += added;
         } else {
             // does not fit: move the tail of the target page plus the new
             // tuples into freshly appended pages inserted after `slot`
-            let tail: Vec<Tuple> = self.pages[page_idx].tuples.split_off(off);
+            let tail: Vec<Tuple> = {
+                let page = Arc::make_mut(&mut self.pages[page_idx]);
+                let tail = page.tuples.split_off(off);
+                page.rebuild_summary();
+                tail
+            };
             self.stats.pages_touched += 1;
             let mut pending: Vec<Tuple> = frag_tuples;
             pending.extend(tail);
             self.stats.tuples_written += pending.len() as u64;
             for (insert_slot, chunk) in (slot + 1..).zip(pending.chunks(self.fill)) {
                 let new_idx = self.pages.len();
-                self.pages.push(Page {
-                    tuples: chunk.to_vec(),
-                });
+                self.pages.push(Arc::new(Page::new(chunk.to_vec())));
                 self.page_map.insert(insert_slot, new_idx);
                 self.stats.pages_allocated += 1;
                 self.stats.pages_touched += 1;
@@ -705,16 +837,21 @@ impl PagedDocument {
         if count == 0 {
             return;
         }
+        self.columns_mut().remove_nodes(start, count);
         let mut remaining = count;
         let (mut slot, mut off) = self.locate(start);
         let mut touched = 0u64;
         while remaining > 0 {
             let page_idx = self.page_map[slot];
-            let avail = self.pages[page_idx].tuples.len() - off;
-            let take = avail.min(remaining);
-            self.pages[page_idx].tuples.drain(off..off + take);
+            {
+                let page = Arc::make_mut(&mut self.pages[page_idx]);
+                let avail = page.tuples.len() - off;
+                let take = avail.min(remaining);
+                page.tuples.drain(off..off + take);
+                page.rebuild_summary();
+                remaining -= take;
+            }
             touched += 1;
-            remaining -= take;
             if self.pages[page_idx].tuples.is_empty() && self.page_map.len() > 1 {
                 // fully emptied page: drop it from the logical view
                 self.page_map.remove(slot);
@@ -727,7 +864,8 @@ impl PagedDocument {
         self.stats.tuples_written += count as u64;
     }
 
-    /// Ancestor size maintenance via deltas (does not move tuples).
+    /// Ancestor size maintenance via deltas (does not move tuples; does not
+    /// change page summaries — `size` is not summarized).
     fn bump_ancestors(&mut self, anchor: Option<u32>, delta: i64) {
         if delta == 0 {
             return;
@@ -737,6 +875,7 @@ impl PagedDocument {
             let next = self.parent(a);
             let t = self.tuple_mut(a as usize);
             t.size = (t.size as i64 + delta) as u32;
+            self.columns_mut().add_size(a, delta);
             self.stats.tuples_written += 1;
             anc = next;
         }
@@ -812,6 +951,7 @@ impl PagedDocument {
     pub fn replace_value(&mut self, pre: u32, text: &str) {
         match self.kind(pre) {
             NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                // text content is not part of the relational image
                 self.tuple_mut(pre as usize).text = Arc::from(text);
                 self.stats.tuples_written += 1;
                 self.stats.pages_touched += 1;
@@ -821,6 +961,7 @@ impl PagedDocument {
                 let level = self.level(pre);
                 self.remove_range(pre as usize + 1, removed as usize);
                 self.tuple_mut(pre as usize).size = 0;
+                self.columns_mut().add_size(pre, -(removed as i64));
                 let parent = self.parent(pre);
                 self.bump_ancestors(parent, -(removed as i64));
                 if !text.is_empty() {
@@ -845,7 +986,13 @@ impl PagedDocument {
             self.kind(pre),
             NodeKind::Element | NodeKind::ProcessingInstruction
         ) {
-            self.tuple_mut(pre as usize).name = Arc::from(name);
+            let arc: Arc<str> = Arc::from(name);
+            let (slot, off) = self.locate(pre as usize);
+            let p = self.page_map[slot];
+            let page = Arc::make_mut(&mut self.pages[p]);
+            page.tuples[off].name = arc.clone();
+            page.rebuild_summary();
+            self.columns_mut().set_name(pre, &arc);
             self.stats.tuples_written += 1;
             self.stats.pages_touched += 1;
         }
@@ -859,6 +1006,7 @@ impl PagedDocument {
             Some((_, v)) => *v = Arc::from(value),
             None => attrs.push((Arc::from(name), Arc::from(value))),
         }
+        self.columns_mut().set_attribute(pre, name, value);
         self.stats.tuples_written += 1;
         self.stats.pages_touched += 1;
     }
@@ -868,6 +1016,7 @@ impl PagedDocument {
         self.tuple_mut(pre as usize)
             .attrs
             .retain(|(n, _)| n.as_ref() != name);
+        self.columns_mut().remove_attribute(pre, name);
         self.stats.tuples_written += 1;
         self.stats.pages_touched += 1;
     }
@@ -882,12 +1031,15 @@ impl PagedDocument {
         {
             *n = Arc::from(new_name);
         }
+        self.columns_mut().rename_attribute(pre, name, new_name);
         self.stats.tuples_written += 1;
         self.stats.pages_touched += 1;
     }
 
     /// Materialize the logical view as a read-only [`Document`] (the
     /// "pre|size|level table view with pages in logical order" of Fig. 11).
+    /// Used by the differential tests and the naive comparator — the query
+    /// path reads pages and columns directly via [`PagedSnapshot`].
     pub fn to_document(&self) -> Document {
         let iter = self
             .page_map
@@ -895,6 +1047,162 @@ impl PagedDocument {
             .flat_map(|&p| self.pages[p].tuples.iter().cloned())
             .collect::<Vec<_>>();
         materialize(&self.name, iter.into_iter())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the published, immutable read view
+// ---------------------------------------------------------------------------
+
+/// An immutable snapshot of a [`PagedDocument`]: the logical page sequence
+/// (shared `Arc`s), prefix-sum offsets for O(log pages) position lookup,
+/// and the pinned column image.  This is what the store publishes and what
+/// queries scan — structural reads (`size`/`level`/`kind`/name id) come
+/// from the dense columns in O(1); texts, attribute cursors and
+/// serialization read the pages on demand.
+#[derive(Debug, Clone)]
+pub struct PagedSnapshot {
+    name: String,
+    /// Pages in logical order (empty pages elided).
+    pages: Vec<Arc<Page>>,
+    /// `starts[i]` = preorder rank of the first tuple of `pages[i]`.
+    starts: Vec<u32>,
+    len: u32,
+    frag_roots: Vec<u32>,
+    columns: Arc<DocumentColumns>,
+}
+
+impl PagedSnapshot {
+    /// The document (container) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pinned relational image.
+    pub fn columns(&self) -> &DocumentColumns {
+        &self.columns
+    }
+
+    /// Shared handle to the relational image.
+    pub fn columns_arc(&self) -> Arc<DocumentColumns> {
+        self.columns.clone()
+    }
+
+    /// Number of logical pages in the view.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// (page index, offset in page) of a logical position.
+    fn locate(&self, pre: u32) -> (usize, usize) {
+        debug_assert!(pre < self.len);
+        let i = self.starts.partition_point(|&s| s <= pre) - 1;
+        (i, (pre - self.starts[i]) as usize)
+    }
+}
+
+impl NodeRead for PagedSnapshot {
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn size(&self, pre: u32) -> u32 {
+        self.columns.node_size(pre)
+    }
+
+    #[inline]
+    fn level(&self, pre: u32) -> u16 {
+        self.columns.node_level(pre)
+    }
+
+    #[inline]
+    fn kind(&self, pre: u32) -> NodeKind {
+        self.columns.node_kind(pre)
+    }
+
+    fn name_of(&self, pre: u32) -> &str {
+        match self.kind(pre) {
+            NodeKind::Element => self.columns.node_name(pre),
+            NodeKind::ProcessingInstruction => {
+                let (i, off) = self.locate(pre);
+                &self.pages[i].tuples[off].name
+            }
+            _ => "",
+        }
+    }
+
+    fn text_of(&self, pre: u32) -> &str {
+        match self.kind(pre) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction => {
+                let (i, off) = self.locate(pre);
+                &self.pages[i].tuples[off].text
+            }
+            _ => "",
+        }
+    }
+
+    fn qname_id(&self, pre: u32) -> Option<u32> {
+        match self.kind(pre) {
+            NodeKind::Element => Some(self.columns.node_name_code(pre)),
+            _ => None,
+        }
+    }
+
+    fn lookup_qname(&self, name: &str) -> Option<u32> {
+        self.columns.tags().code_of(name)
+    }
+
+    fn attribute(&self, pre: u32, name: &str) -> Option<&str> {
+        self.columns.attr_value_of(pre, name)
+    }
+
+    fn attrs(&self, pre: u32) -> AttrsIter<'_> {
+        self.columns.attrs_of(pre)
+    }
+
+    fn root_pres(&self) -> Vec<u32> {
+        self.frag_roots.clone()
+    }
+
+    fn named_elements(&self, name: &str) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        for (i, p) in self.pages.iter().enumerate() {
+            if let Some(offs) = p.summary.elem_names.get(name) {
+                let base = self.starts[i];
+                out.extend(offs.iter().map(|&o| base + o));
+            }
+        }
+        Some(out)
+    }
+
+    fn run_end(&self, pre: u32) -> u32 {
+        let (i, _) = self.locate(pre);
+        self.starts[i] + self.pages[i].tuples.len() as u32 - 1
+    }
+
+    fn run_has_name(&self, pre: u32, name: &str) -> bool {
+        let (i, _) = self.locate(pre);
+        self.pages[i].summary.elem_names.contains_key(name)
+    }
+
+    fn run_has_kind(&self, pre: u32, kind: NodeKind) -> bool {
+        let (i, _) = self.locate(pre);
+        self.pages[i].summary.kind_mask & (1u8 << kind_code(kind)) != 0
+    }
+
+    fn run_min_level(&self, pre: u32) -> u16 {
+        let (i, _) = self.locate(pre);
+        self.pages[i].summary.min_level
+    }
+
+    fn parent(&self, pre: u32) -> Option<u32> {
+        let lv = self.level(pre);
+        if lv == 0 || pre == 0 {
+            return None;
+        }
+        let levels = self.columns.level_slice();
+        (0..pre).rev().find(|&v| levels[v as usize] < lv as i64)
     }
 }
 

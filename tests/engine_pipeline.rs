@@ -5,7 +5,16 @@ use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::queries::query_text;
 use mxq::xmldb::update::{fragment_from_xml, PagedDocument};
 use mxq::xmldb::{serialize_document, shred, ShredOptions};
-use mxq::xquery::{ExecConfig, XQueryEngine};
+use mxq::xquery::{Database, ExecConfig, Session};
+use std::sync::Arc;
+
+fn session() -> Session {
+    Arc::new(Database::new()).session()
+}
+
+fn session_with_config(config: ExecConfig) -> Session {
+    Arc::new(Database::new()).session_with_config(config)
+}
 
 #[test]
 fn query_after_structural_update() {
@@ -23,35 +32,40 @@ fn query_after_structural_update() {
     }
     let updated = serialize_document(&paged.to_document());
 
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &updated).unwrap();
+    let mut engine = session();
+    engine
+        .database()
+        .load_document("auction.xml", &updated)
+        .unwrap();
     let count = engine
-        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)")
+        .query("count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)")
         .unwrap();
     assert_eq!(count.serialize(), "6");
     let max = engine
-        .execute("max(doc(\"auction.xml\")//increase/text())")
+        .query("max(doc(\"auction.xml\")//increase/text())")
         .unwrap();
     assert_eq!(max.serialize(), "14");
 }
 
 #[test]
 fn queries_across_multiple_documents() {
-    let mut engine = XQueryEngine::new();
+    let mut engine = session();
     engine
+        .database()
         .load_document(
             "people.xml",
             "<people><p id=\"1\">Ann</p><p id=\"2\">Bob</p></people>",
         )
         .unwrap();
     engine
+        .database()
         .load_document(
             "orders.xml",
             "<orders><o p=\"1\"/><o p=\"1\"/><o p=\"2\"/></orders>",
         )
         .unwrap();
     let r = engine
-        .execute(
+        .query(
             "for $p in doc(\"people.xml\")/people/p \
              return <r n=\"{$p/text()}\">{count(for $o in doc(\"orders.xml\")/orders/o \
                                                where $o/@p = $p/@id return $o)}</r>",
@@ -63,16 +77,22 @@ fn queries_across_multiple_documents() {
 #[test]
 fn order_awareness_reports_avoided_sorts() {
     let xml = generate_xml(&GenParams::with_factor(0.0005));
-    let mut optimized = XQueryEngine::new();
-    optimized.load_document("auction.xml", &xml).unwrap();
-    let (_, with) = optimized.execute_with_report(query_text(8)).unwrap();
+    let mut optimized = session();
+    optimized
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let (_, with) = optimized.query_with_report(query_text(8)).unwrap();
 
-    let mut unoptimized = XQueryEngine::with_config(ExecConfig {
+    let mut unoptimized = session_with_config(ExecConfig {
         order_aware: false,
         ..ExecConfig::default()
     });
-    unoptimized.load_document("auction.xml", &xml).unwrap();
-    let (_, without) = unoptimized.execute_with_report(query_text(8)).unwrap();
+    unoptimized
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let (_, without) = unoptimized.query_with_report(query_text(8)).unwrap();
 
     assert!(
         with.stats.sorts_avoided > 0,
@@ -89,18 +109,21 @@ fn order_awareness_reports_avoided_sorts() {
 #[test]
 fn loop_lifting_reduces_document_passes() {
     let xml = generate_xml(&GenParams::with_factor(0.0005));
-    let mut ll = XQueryEngine::new();
-    ll.load_document("auction.xml", &xml).unwrap();
-    let (_, with) = ll.execute_with_report(query_text(2)).unwrap();
+    let mut ll = session();
+    ll.database().load_document("auction.xml", &xml).unwrap();
+    let (_, with) = ll.query_with_report(query_text(2)).unwrap();
 
-    let mut iterative = XQueryEngine::with_config(ExecConfig {
+    let mut iterative = session_with_config(ExecConfig {
         loop_lifted_child: false,
         loop_lifted_descendant: false,
         nametest_pushdown: false,
         ..ExecConfig::default()
     });
-    iterative.load_document("auction.xml", &xml).unwrap();
-    let (_, without) = iterative.execute_with_report(query_text(2)).unwrap();
+    iterative
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let (_, without) = iterative.query_with_report(query_text(2)).unwrap();
 
     assert!(
         without.stats.staircase.passes > with.stats.staircase.passes,
@@ -113,16 +136,22 @@ fn loop_lifting_reduces_document_passes() {
 #[test]
 fn join_recognition_reduces_materialised_rows() {
     let xml = generate_xml(&GenParams::with_factor(0.001));
-    let mut with_join = XQueryEngine::new();
-    with_join.load_document("auction.xml", &xml).unwrap();
-    let (r1, rep1) = with_join.execute_with_report(query_text(8)).unwrap();
+    let mut with_join = session();
+    with_join
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let (r1, rep1) = with_join.query_with_report(query_text(8)).unwrap();
 
-    let mut without_join = XQueryEngine::with_config(ExecConfig {
+    let mut without_join = session_with_config(ExecConfig {
         join_recognition: false,
         ..ExecConfig::default()
     });
-    without_join.load_document("auction.xml", &xml).unwrap();
-    let (r2, rep2) = without_join.execute_with_report(query_text(8)).unwrap();
+    without_join
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let (r2, rep2) = without_join.query_with_report(query_text(8)).unwrap();
 
     assert_eq!(r1.serialize(), r2.serialize());
     assert!(
@@ -136,7 +165,7 @@ fn join_recognition_reduces_materialised_rows() {
 #[test]
 fn plan_sizes_are_in_the_papers_ballpark() {
     // the paper reports an average of 86 operators per XMark plan
-    let engine = XQueryEngine::new();
+    let engine = session();
     let mut total = 0usize;
     for id in [2usize, 3, 8, 9, 10, 11, 12, 19, 20] {
         total += engine.compile(query_text(id)).unwrap().operator_count();
@@ -151,11 +180,14 @@ fn plan_sizes_are_in_the_papers_ballpark() {
 #[test]
 fn constructed_results_serialize_as_xml() {
     let xml = generate_xml(&GenParams::with_factor(0.0005));
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &xml).unwrap();
-    let q2 = engine.execute(query_text(2)).unwrap();
+    let mut engine = session();
+    engine
+        .database()
+        .load_document("auction.xml", &xml)
+        .unwrap();
+    let q2 = engine.query(query_text(2)).unwrap();
     assert!(q2.serialize().starts_with("<increase"));
-    let q20 = engine.execute(query_text(20)).unwrap();
+    let q20 = engine.query(query_text(20)).unwrap();
     assert!(q20.serialize().starts_with("<result>"));
     assert!(q20.serialize().contains("<preferred>"));
 }

@@ -21,7 +21,7 @@ use mxq::staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats}
 use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq::xmldb::NodeKind;
 use mxq::xmldb::{serialize_document, shred, Document, ShredOptions};
-use mxq::xquery::XQueryEngine;
+use mxq::xquery::Database;
 
 // ---------------------------------------------------------------------------
 // random tree generation
@@ -231,9 +231,9 @@ proptest! {
     #[test]
     fn engine_agrees_with_naive_on_generated_counts(xml in arb_xml_tree(), name in prop::sample::select(vec!["a", "b", "item", "person", "leaf", "x"])) {
         let query = format!("count(doc(\"t.xml\")//{name})");
-        let mut engine = XQueryEngine::new();
-        engine.load_document("t.xml", &xml).unwrap();
-        let relational = engine.execute(&query).unwrap().serialize().to_string();
+        let db = std::sync::Arc::new(Database::new());
+        db.load_document("t.xml", &xml).unwrap();
+        let relational = db.session().query(&query).unwrap().serialize().to_string();
 
         let mut store = mxq::xmldb::DocStore::new();
         store.load_xml("t.xml", &xml).unwrap();

@@ -6,7 +6,8 @@
 use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::NaiveInterpreter;
 use mxq::xmldb::DocStore;
-use mxq::xquery::XQueryEngine;
+use mxq::xquery::Database;
+use std::sync::Arc;
 
 /// An XMark-flavoured FLWOR query: path steps, a predicate on an attribute,
 /// ordering and element construction.
@@ -29,9 +30,9 @@ fn naive_result(xml: &str, query: &str) -> String {
 fn umbrella_engine_matches_naive_on_flwor_query() {
     let xml = generate_xml(&GenParams::with_factor(0.0005));
 
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", &xml).expect("load");
-    let result = engine.execute(FLWOR).expect("relational evaluation");
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", &xml).expect("load");
+    let result = db.session().query(FLWOR).expect("relational evaluation");
     assert!(!result.is_empty(), "profile-carrying people must exist");
 
     let reference = naive_result(&xml, FLWOR);
@@ -60,12 +61,12 @@ fn umbrella_reexports_cover_all_subsystems() {
     );
     assert_eq!(kids.len(), 1, "<a> has exactly one child element");
 
-    // xquery + xmark: counting query through the facade
-    let mut engine = XQueryEngine::new();
-    engine.load_document("t.xml", "<a><b/><b/></a>").unwrap();
+    // xquery + xmark: counting query through the server-style facade
+    let db = Arc::new(Database::new());
+    db.load_document("t.xml", "<a><b/><b/></a>").unwrap();
     assert_eq!(
-        engine
-            .execute("count(doc(\"t.xml\")//b)")
+        db.session()
+            .query("count(doc(\"t.xml\")//b)")
             .unwrap()
             .serialize(),
         "2"

@@ -7,12 +7,25 @@ use mxq::xmark::gen::{generate_xml, GenParams};
 use mxq::xmark::naive::NaiveInterpreter;
 use mxq::xmark::queries::{query_text, QUERY_IDS};
 use mxq::xmldb::DocStore;
-use mxq::xquery::{ExecConfig, XQueryEngine};
+use mxq::xquery::{Database, ExecConfig};
+use std::sync::Arc;
+
+/// Scale factor: `MXQ_SCALE` when set (the CI page-scan smoke job runs at
+/// 0.01), else the quick default.
+fn factor() -> f64 {
+    match std::env::var("MXQ_SCALE") {
+        Ok(raw) if !raw.trim().is_empty() => raw
+            .trim()
+            .parse()
+            .expect("MXQ_SCALE must be a positive number"),
+        _ => 0.001,
+    }
+}
 
 fn auction_xml() -> &'static str {
     use std::sync::OnceLock;
     static XML: OnceLock<String> = OnceLock::new();
-    XML.get_or_init(|| generate_xml(&GenParams::with_factor(0.001)))
+    XML.get_or_init(|| generate_xml(&GenParams::with_factor(factor())))
 }
 
 fn naive_result(query: &str) -> String {
@@ -24,10 +37,10 @@ fn naive_result(query: &str) -> String {
 }
 
 fn engine_result(query: &str, config: ExecConfig) -> String {
-    let mut engine = XQueryEngine::with_config(config);
-    engine.load_document("auction.xml", auction_xml()).unwrap();
-    engine
-        .execute(query)
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", auction_xml()).unwrap();
+    db.session_with_config(config)
+        .query(query)
         .expect("relational evaluation")
         .serialize()
         .to_string()
@@ -35,11 +48,12 @@ fn engine_result(query: &str, config: ExecConfig) -> String {
 
 #[test]
 fn all_xmark_queries_run_and_produce_nontrivial_results() {
-    let mut engine = XQueryEngine::new();
-    engine.load_document("auction.xml", auction_xml()).unwrap();
+    let db = Arc::new(Database::new());
+    db.load_document("auction.xml", auction_xml()).unwrap();
+    let mut session = db.session();
     for id in QUERY_IDS {
-        let r = engine
-            .execute(query_text(id))
+        let r = session
+            .query(query_text(id))
             .unwrap_or_else(|e| panic!("Q{id} failed: {e}"));
         // every query has a well-defined (possibly empty) result; most are non-empty
         if ![1, 3, 4].contains(&id) {
