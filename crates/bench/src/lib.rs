@@ -11,6 +11,8 @@
 //! (speedups, crossovers, scaling exponents), which are visible at these
 //! sizes.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -1,0 +1,1698 @@
+//! Static plan analysis: property inference, plan verification and
+//! property-driven simplification (Section 4.1 taken to its conclusion).
+//!
+//! The loop-lifting compiler annotates every node with the four order
+//! properties of [`Props`] as it builds the plan.  This module re-derives a
+//! *richer* property set bottom-up over the finished DAG — per-iteration
+//! duplicate-freeness, document order, at-most-one-item cardinality, dense
+//! positions, constant columns, the source document of a node column and the
+//! dictionary a string column's codes come from — and puts it to work three
+//! ways:
+//!
+//! * [`verify`] checks the structural preconditions of every operator (loop
+//!   relations where loops are expected, nest maps where nest maps are
+//!   expected, node sequences under the document-order δ) and that plan ids
+//!   are unique, so a broken rewrite or compiler bug surfaces at `prepare()`
+//!   time as [`crate::Error::PlanInvariant`] instead of as a silently wrong
+//!   answer;
+//! * [`simplify`] removes operators the properties prove redundant (a
+//!   `docorder-δ` whose input is already in document order and duplicate
+//!   free, a `distinct` over at-most-one-item iterations), statically commits
+//!   a recognised join to the code-to-code fast path when both operands
+//!   provably share one dictionary, and upgrades the compiler's conservative
+//!   order annotations (the staircase join *does* emit `[iter, pos]` order
+//!   after its renumbering) so the executor skips further sorts;
+//! * [`validate_table`] asserts the inferred properties against actually
+//!   executed tables when `MXQ_VALIDATE_PLANS=1` (or
+//!   [`crate::ExecConfig::validate_plans`]) — the analysis is itself tested
+//!   differentially, on every table of every query of the test suite.
+//!
+//! [`explain_annotated`] renders a plan with its inferred properties, which
+//! [`crate::Session::explain`] exposes together with the list of applied
+//! rewrites.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mxq_engine::{Item, Table};
+
+use crate::algebra::{Op, Plan, PlanRef, Props};
+
+// ---------------------------------------------------------------------------
+// the inferred property set
+// ---------------------------------------------------------------------------
+
+/// Table shape of an operator's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Unary `iter` loop relation.
+    Loop,
+    /// `outer|inner|pos|item` nest map.
+    Nest,
+    /// `iter|pos|item` sequence table.
+    Seq,
+}
+
+/// What the `item` column of a sequence can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// Provably only node references.
+    Nodes,
+    /// Provably only atomic values (never nodes).
+    Atomic,
+    /// Statically unknown.
+    Mixed,
+}
+
+impl ItemKind {
+    fn join(self, other: ItemKind) -> ItemKind {
+        if self == other {
+            self
+        } else {
+            ItemKind::Mixed
+        }
+    }
+}
+
+/// Provenance of a dictionary-encoded string column: which shared dictionary
+/// its codes resolve against.  Two columns with the same origin are backed by
+/// the same [`mxq_engine::Dictionary`] instance at runtime, so an equi-join
+/// between them runs code-to-code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictOrigin {
+    /// The attribute-value dictionary of the named loaded document.
+    AttrValues(String),
+}
+
+impl fmt::Display for DictOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictOrigin::AttrValues(doc) => write!(f, "attr-values({doc})"),
+        }
+    }
+}
+
+/// The properties inferred for one plan node.  Every `true` is a guarantee
+/// (checked at runtime under `MXQ_VALIDATE_PLANS=1`); `false` means
+/// "not proven", never "proven false".
+#[derive(Debug, Clone)]
+pub struct NodeProps {
+    /// Output table shape.
+    pub shape: Shape,
+    /// Rows are sorted on `[iter, pos]` (loop relations: on `iter`).
+    pub sorted_iter_pos: bool,
+    /// Within each iteration the `pos` values are exactly `1..=k`.
+    pub dense_pos: bool,
+    /// Every iteration holds at most one row.
+    pub max_one_per_iter: bool,
+    /// No iteration holds the same node twice (trivially true for
+    /// sequences proven to hold no nodes).
+    pub dup_free_iter: bool,
+    /// Node items appear in document order within each iteration
+    /// (vacuously true for sequences proven to hold no nodes).
+    pub item_doc_order: bool,
+    /// What the `item` column can hold.
+    pub item_kind: ItemKind,
+    /// The literal items every iteration repeats (constant columns).
+    pub const_items: Option<Vec<Item>>,
+    /// Every node item provably belongs to this loaded document.
+    pub source_doc: Option<String>,
+    /// The dictionary the item column's codes provably come from.
+    pub dict: Option<DictOrigin>,
+}
+
+impl NodeProps {
+    /// Properties of a loop relation (`iter` only; item facts are vacuous).
+    fn loop_shape() -> NodeProps {
+        NodeProps {
+            shape: Shape::Loop,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: true,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Mixed,
+            const_items: None,
+            source_doc: None,
+            dict: None,
+        }
+    }
+
+    /// Properties of a per-iteration single atomic value (comparisons,
+    /// aggregates, boolean connectives, …).
+    fn scalar() -> NodeProps {
+        NodeProps {
+            shape: Shape::Seq,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: true,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Atomic,
+            const_items: None,
+            source_doc: None,
+            dict: None,
+        }
+    }
+
+    fn conservative(shape: Shape) -> NodeProps {
+        NodeProps {
+            shape,
+            sorted_iter_pos: false,
+            dense_pos: false,
+            max_one_per_iter: false,
+            dup_free_iter: false,
+            item_doc_order: false,
+            item_kind: ItemKind::Mixed,
+            const_items: None,
+            source_doc: None,
+            dict: None,
+        }
+    }
+
+    /// Greatest lower bound of two property sets (used when an operator can
+    /// produce either of two tables, e.g. an external variable falling back
+    /// to its declared default).
+    fn meet(&self, other: &NodeProps) -> NodeProps {
+        NodeProps {
+            shape: self.shape,
+            sorted_iter_pos: self.sorted_iter_pos && other.sorted_iter_pos,
+            dense_pos: self.dense_pos && other.dense_pos,
+            max_one_per_iter: self.max_one_per_iter && other.max_one_per_iter,
+            dup_free_iter: self.dup_free_iter && other.dup_free_iter,
+            item_doc_order: self.item_doc_order && other.item_doc_order,
+            item_kind: self.item_kind.join(other.item_kind),
+            const_items: None,
+            source_doc: match (&self.source_doc, &other.source_doc) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            },
+            dict: match (&self.dict, &other.dict) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Compact annotation used by [`explain_annotated`].
+    pub fn annotation(&self) -> String {
+        let mut tags: Vec<String> = Vec::new();
+        match self.shape {
+            Shape::Loop => tags.push("loop".into()),
+            Shape::Nest => tags.push("nest".into()),
+            Shape::Seq => {
+                if self.sorted_iter_pos {
+                    tags.push("ord".into());
+                }
+                if self.dense_pos {
+                    tags.push("pos1..k".into());
+                }
+                if self.max_one_per_iter {
+                    tags.push("max1".into());
+                }
+                match self.item_kind {
+                    ItemKind::Nodes => {
+                        tags.push("nodes".into());
+                        if self.dup_free_iter {
+                            tags.push("dup-free".into());
+                        }
+                        if self.item_doc_order {
+                            tags.push("doc-order".into());
+                        }
+                    }
+                    ItemKind::Atomic => tags.push("atomic".into()),
+                    ItemKind::Mixed => {}
+                }
+                if self.const_items.is_some() {
+                    tags.push("const".into());
+                }
+                if let Some(doc) = &self.source_doc {
+                    tags.push(format!("doc={doc}"));
+                }
+                if let Some(d) = &self.dict {
+                    tags.push(format!("dict={d}"));
+                }
+            }
+        }
+        format!("{{{}}}", tags.join(" "))
+    }
+}
+
+/// Structural equality of literal items (bitwise on doubles, so `NaN`
+/// constants compare equal to themselves).
+fn items_equal(a: &Item, b: &Item) -> bool {
+    match (a, b) {
+        (Item::Int(x), Item::Int(y)) => x == y,
+        (Item::Dbl(x), Item::Dbl(y)) => x.to_bits() == y.to_bits(),
+        (Item::Str(x), Item::Str(y)) => x == y,
+        (Item::Bool(x), Item::Bool(y)) => x == y,
+        (Item::Node(x), Item::Node(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn kind_of_items(items: &[Item]) -> ItemKind {
+    let nodes = items.iter().filter(|i| i.is_node()).count();
+    if nodes == 0 {
+        ItemKind::Atomic
+    } else if nodes == items.len() {
+        ItemKind::Nodes
+    } else {
+        ItemKind::Mixed
+    }
+}
+
+fn pairwise_distinct(items: &[Item]) -> bool {
+    // literal sequences are tiny; quadratic is fine (and capped for safety)
+    items.len() <= 64
+        && items
+            .iter()
+            .enumerate()
+            .all(|(i, a)| items[i + 1..].iter().all(|b| !items_equal(a, b)))
+}
+
+// ---------------------------------------------------------------------------
+// bottom-up inference
+// ---------------------------------------------------------------------------
+
+/// The result of analysing one plan DAG: inferred properties per plan id.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    props: HashMap<usize, NodeProps>,
+}
+
+impl Analysis {
+    /// The inferred properties of a plan node, by id.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to the analysed DAG.
+    pub fn props(&self, id: usize) -> &NodeProps {
+        &self.props[&id]
+    }
+
+    /// The inferred properties of a plan node, by id, if analysed.
+    pub fn get(&self, id: usize) -> Option<&NodeProps> {
+        self.props.get(&id)
+    }
+
+    /// Number of analysed nodes.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// True when no nodes were analysed.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Analyse another root into this map (used when one execution evaluates
+    /// several plans sharing an id space, e.g. update statements).
+    pub fn extend_with(&mut self, root: &PlanRef) {
+        analyze_into(root, &mut self.props);
+    }
+}
+
+/// Infer properties for every node of the DAG, bottom-up.
+pub fn analyze(root: &PlanRef) -> Analysis {
+    let mut a = Analysis::default();
+    a.extend_with(root);
+    a
+}
+
+fn analyze_into(root: &PlanRef, out: &mut HashMap<usize, NodeProps>) {
+    if out.contains_key(&root.id) {
+        return;
+    }
+    for c in root.children() {
+        analyze_into(&c, out);
+    }
+    let props = infer_node(&root.op, out);
+    out.insert(root.id, props);
+}
+
+/// Per-operator inference.  `env` holds the already-inferred children.
+fn infer_node(op: &Op, env: &HashMap<usize, NodeProps>) -> NodeProps {
+    let p = |r: &PlanRef| &env[&r.id];
+    match op {
+        Op::LoopOne | Op::NestLoop { .. } | Op::SelectIters { .. } => NodeProps::loop_shape(),
+
+        Op::ConstSeq { items, .. } => {
+            let kind = kind_of_items(items);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: items.len() <= 1,
+                dup_free_iter: pairwise_distinct(items),
+                item_doc_order: items.len() <= 1 || kind == ItemKind::Atomic,
+                item_kind: kind,
+                const_items: Some(items.clone()),
+                source_doc: None,
+                dict: None,
+            }
+        }
+
+        Op::DocRoot { name, .. } => NodeProps {
+            shape: Shape::Seq,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: true,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Nodes,
+            const_items: None,
+            source_doc: Some(name.clone()),
+            dict: None,
+        },
+
+        Op::ExternalVar { default, .. } => {
+            // bound: the same opaque items replicated per iteration, emitted
+            // in loop order
+            let bound = NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                ..NodeProps::conservative(Shape::Seq)
+            };
+            match default {
+                // unbound executions return the default's table verbatim
+                Some(d) => bound.meet(p(d)),
+                None => bound,
+            }
+        }
+
+        Op::NestFromSeq { seq } => {
+            let s = p(seq);
+            NodeProps {
+                shape: Shape::Nest,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                // at most one *inner iteration per outer iteration* — the
+                // cardinality BackMap needs to inherit its body's order
+                max_one_per_iter: s.max_one_per_iter,
+                dup_free_iter: false,
+                item_doc_order: false,
+                item_kind: s.item_kind,
+                const_items: None,
+                source_doc: s.source_doc.clone(),
+                dict: None,
+            }
+        }
+
+        Op::NestFromJoin { source, .. } => {
+            let s = p(source);
+            NodeProps {
+                shape: Shape::Nest,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: false,
+                dup_free_iter: false,
+                item_doc_order: false,
+                item_kind: s.item_kind,
+                const_items: None,
+                source_doc: s.source_doc.clone(),
+                dict: None,
+            }
+        }
+
+        Op::NestVar { nest } => {
+            let n = p(nest);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: true,
+                dup_free_iter: true,
+                item_doc_order: true,
+                item_kind: n.item_kind,
+                const_items: None,
+                source_doc: n.source_doc.clone(),
+                dict: None,
+            }
+        }
+
+        Op::NestVarPos { .. } => NodeProps::scalar(),
+
+        Op::LiftThrough { seq, .. } => {
+            // each inner iteration receives a verbatim copy of its outer
+            // iteration's rows, emitted in (inner, pos) order
+            let s = p(seq);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dict: None, // the copy re-materialises the item column
+                ..s.clone()
+            }
+        }
+
+        Op::BackMap {
+            body,
+            nest,
+            order_keys,
+        } => {
+            let b = p(body);
+            // when each outer iteration owns at most one inner iteration,
+            // back-mapping concatenates at most one group: the body's
+            // per-iteration order and duplicate facts survive.  With several
+            // groups (or explicit order keys) they do not.
+            let single_group = order_keys.is_empty() && p(nest).max_one_per_iter;
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: single_group && b.max_one_per_iter,
+                dup_free_iter: single_group && b.dup_free_iter,
+                item_doc_order: single_group && b.item_doc_order,
+                item_kind: b.item_kind,
+                const_items: None,
+                source_doc: b.source_doc.clone(),
+                dict: None,
+            }
+        }
+
+        Op::RestrictToIters { seq, .. } => {
+            // whole iterations are dropped; surviving ones are untouched (the
+            // row filter preserves order and the column encoding)
+            NodeProps {
+                shape: Shape::Seq,
+                ..p(seq).clone()
+            }
+        }
+
+        Op::Union { parts } => {
+            if let [part] = parts.as_slice() {
+                let q = p(part);
+                return NodeProps {
+                    shape: Shape::Seq,
+                    sorted_iter_pos: true,
+                    dense_pos: true,
+                    dict: None,
+                    ..q.clone()
+                };
+            }
+            let kinds = parts
+                .iter()
+                .map(|q| p(q).item_kind)
+                .reduce(ItemKind::join)
+                .unwrap_or(ItemKind::Mixed);
+            let source = parts
+                .iter()
+                .map(|q| p(q).source_doc.clone())
+                .reduce(|a, b| if a == b { a } else { None })
+                .flatten();
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: false,
+                dup_free_iter: kinds == ItemKind::Atomic,
+                item_doc_order: kinds == ItemKind::Atomic,
+                item_kind: kinds,
+                const_items: None,
+                source_doc: if kinds == ItemKind::Nodes {
+                    source
+                } else {
+                    None
+                },
+                dict: None,
+            }
+        }
+
+        Op::AxisStep { ctx, .. } => NodeProps {
+            // the staircase join result is deduplicated per iteration and the
+            // executor re-sorts it by (iter, node): document order, duplicate
+            // free AND [iter, pos]-sorted — stronger than the compiler's
+            // conservative annotation
+            shape: Shape::Seq,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: false,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Nodes,
+            const_items: None,
+            source_doc: p(ctx).source_doc.clone(),
+            dict: None,
+        },
+
+        Op::AttrStep { ctx, name } => {
+            let c = p(ctx);
+            // one named attribute per element: a single-node context yields
+            // at most one row per iteration
+            let single = c.max_one_per_iter && name.is_some();
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: single,
+                dup_free_iter: true, // holds no nodes
+                item_doc_order: true,
+                item_kind: ItemKind::Atomic,
+                const_items: None,
+                source_doc: None,
+                // context nodes of one loaded document read their attribute
+                // values as codes into that document's value dictionary
+                dict: c
+                    .source_doc
+                    .clone()
+                    .filter(|_| c.item_kind == ItemKind::Nodes)
+                    .map(DictOrigin::AttrValues),
+            }
+        }
+
+        Op::Arith { .. }
+        | Op::ValueCmp { .. }
+        | Op::GeneralCmp { .. }
+        | Op::BoolAndOr { .. }
+        | Op::BoolNot { .. }
+        | Op::Ebv { .. }
+        | Op::Empty { .. }
+        | Op::Aggregate { .. }
+        | Op::StringValue { .. }
+        | Op::StringFn { .. } => NodeProps::scalar(),
+
+        Op::Neg { e } => {
+            let s = p(e);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: s.sorted_iter_pos,
+                dense_pos: s.dense_pos,
+                max_one_per_iter: s.max_one_per_iter,
+                dup_free_iter: true,
+                item_doc_order: true,
+                item_kind: ItemKind::Atomic,
+                const_items: None,
+                source_doc: None,
+                dict: None,
+            }
+        }
+
+        Op::Atomize { seq } => {
+            let s = p(seq);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: s.sorted_iter_pos,
+                dense_pos: s.dense_pos,
+                max_one_per_iter: s.max_one_per_iter,
+                // distinct nodes may atomise to equal strings
+                dup_free_iter: s.max_one_per_iter,
+                item_doc_order: true,
+                item_kind: ItemKind::Atomic,
+                const_items: if s.item_kind == ItemKind::Atomic {
+                    s.const_items.clone()
+                } else {
+                    None
+                },
+                source_doc: None,
+                // a dictionary-encoded column is already atomic and passes
+                // through unchanged, codes and all
+                dict: s.dict.clone(),
+            }
+        }
+
+        Op::CastNumber { seq } | Op::NumFn { arg: seq, .. } => {
+            let s = p(seq);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: s.sorted_iter_pos,
+                dense_pos: s.dense_pos,
+                max_one_per_iter: s.max_one_per_iter,
+                dup_free_iter: true,
+                item_doc_order: true,
+                item_kind: ItemKind::Atomic,
+                const_items: None,
+                source_doc: None,
+                dict: None,
+            }
+        }
+
+        Op::DistinctValues { seq } => NodeProps {
+            shape: Shape::Seq,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: p(seq).max_one_per_iter,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Atomic,
+            const_items: None,
+            source_doc: None,
+            dict: None,
+        },
+
+        Op::DocOrderDistinct { seq } => {
+            let s = p(seq);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: true,
+                dense_pos: true,
+                max_one_per_iter: s.max_one_per_iter,
+                dup_free_iter: true,
+                item_doc_order: true,
+                item_kind: s.item_kind,
+                const_items: None,
+                source_doc: s.source_doc.clone(),
+                dict: None,
+            }
+        }
+
+        Op::PosFilter { seq, .. } => {
+            let s = p(seq);
+            // positions are unique per iteration when they are dense, so a
+            // positional pick keeps at most one row
+            let max_one = s.dense_pos || s.max_one_per_iter;
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: s.sorted_iter_pos,
+                dense_pos: true,
+                max_one_per_iter: max_one,
+                dup_free_iter: s.dup_free_iter || max_one,
+                item_doc_order: s.item_doc_order,
+                item_kind: s.item_kind,
+                const_items: None,
+                source_doc: s.source_doc.clone(),
+                dict: s.dict.clone(),
+            }
+        }
+
+        Op::Subsequence { seq, len, .. } => {
+            let s = p(seq);
+            let max_one = s.max_one_per_iter || (matches!(len, Some(l) if *l <= 1) && s.dense_pos);
+            NodeProps {
+                shape: Shape::Seq,
+                sorted_iter_pos: s.sorted_iter_pos,
+                dense_pos: true,
+                max_one_per_iter: max_one,
+                dup_free_iter: s.dup_free_iter || max_one,
+                item_doc_order: s.item_doc_order,
+                item_kind: s.item_kind,
+                const_items: None,
+                source_doc: s.source_doc.clone(),
+                dict: s.dict.clone(),
+            }
+        }
+
+        Op::ElemCtor { .. } => NodeProps {
+            shape: Shape::Seq,
+            sorted_iter_pos: true,
+            dense_pos: true,
+            max_one_per_iter: true,
+            dup_free_iter: true,
+            item_doc_order: true,
+            item_kind: ItemKind::Nodes,
+            const_items: None,
+            // constructed nodes live in the transient container, not in a
+            // loaded document
+            source_doc: None,
+            dict: None,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// plan verification
+// ---------------------------------------------------------------------------
+
+/// A structural invariant violated by a plan — a compiler or rewrite bug
+/// caught before execution.
+#[derive(Debug, Clone)]
+pub struct PlanViolation {
+    /// Id of the offending plan node.
+    pub plan_id: usize,
+    /// Operator name of the offending node.
+    pub op: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.plan_id, self.op, self.message)
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
+/// Verify the structural preconditions of every operator in the DAG.
+///
+/// Checked invariants: every `loop_` input is a loop relation, every `nest`
+/// input is a nest map, every sequence input is a sequence; the
+/// document-order δ and the axis steps consume sequences that can actually
+/// hold nodes; literal sequences hold no node references; plan ids are
+/// unique across the DAG (distinct nodes sharing an id would corrupt the
+/// executor's memo table).
+pub fn verify(root: &PlanRef, analysis: &Analysis) -> Result<(), PlanViolation> {
+    let mut ids: HashMap<usize, *const Plan> = HashMap::new();
+    verify_node(root, analysis, &mut ids)
+}
+
+fn verify_node(
+    p: &PlanRef,
+    analysis: &Analysis,
+    ids: &mut HashMap<usize, *const Plan>,
+) -> Result<(), PlanViolation> {
+    let ptr = Arc::as_ptr(p);
+    match ids.get(&p.id) {
+        Some(&seen) if std::ptr::eq(seen, ptr) => return Ok(()),
+        Some(_) => {
+            return Err(PlanViolation {
+                plan_id: p.id,
+                op: p.op_name(),
+                message: "two distinct plan nodes share one id (memo corruption)".into(),
+            })
+        }
+        None => {
+            ids.insert(p.id, ptr);
+        }
+    }
+    for c in p.children() {
+        verify_node(&c, analysis, ids)?;
+    }
+
+    let violation = |message: String| PlanViolation {
+        plan_id: p.id,
+        op: p.op_name(),
+        message,
+    };
+    let shape_of = |r: &PlanRef| analysis.props(r.id).shape;
+    let expect = |r: &PlanRef, want: Shape, slot: &str| -> Result<(), PlanViolation> {
+        let got = shape_of(r);
+        if got == want {
+            Ok(())
+        } else {
+            Err(violation(format!(
+                "{slot} input [{}] has shape {got:?}, expected {want:?}",
+                r.id
+            )))
+        }
+    };
+
+    use Shape::{Loop, Nest, Seq};
+    match &p.op {
+        Op::LoopOne => {}
+        Op::ConstSeq { loop_, items } => {
+            expect(loop_, Loop, "loop")?;
+            if items.iter().any(Item::is_node) {
+                return Err(violation("literal sequence holds a node reference".into()));
+            }
+        }
+        Op::DocRoot { loop_, .. } => expect(loop_, Loop, "loop")?,
+        Op::ExternalVar { loop_, default, .. } => {
+            expect(loop_, Loop, "loop")?;
+            if let Some(d) = default {
+                expect(d, Seq, "default")?;
+            }
+        }
+        Op::NestFromSeq { seq } => expect(seq, Seq, "seq")?,
+        Op::NestFromJoin {
+            source,
+            outer_loop,
+            left,
+            right,
+            ..
+        } => {
+            expect(source, Seq, "source")?;
+            expect(outer_loop, Loop, "outer loop")?;
+            expect(left, Seq, "left operand")?;
+            expect(right, Seq, "right operand")?;
+        }
+        Op::NestLoop { nest } | Op::NestVar { nest } | Op::NestVarPos { nest } => {
+            expect(nest, Nest, "nest")?
+        }
+        Op::LiftThrough { seq, nest } => {
+            expect(seq, Seq, "seq")?;
+            expect(nest, Nest, "nest")?;
+        }
+        Op::BackMap {
+            body,
+            nest,
+            order_keys,
+        } => {
+            expect(body, Seq, "body")?;
+            expect(nest, Nest, "nest")?;
+            for (k, _) in order_keys {
+                expect(k, Seq, "order key")?;
+            }
+        }
+        Op::SelectIters { cond, loop_, .. } => {
+            expect(cond, Seq, "condition")?;
+            expect(loop_, Loop, "loop")?;
+        }
+        Op::RestrictToIters { seq, iters } => {
+            expect(seq, Seq, "seq")?;
+            expect(iters, Loop, "iters")?;
+        }
+        Op::Union { parts } => {
+            for part in parts {
+                expect(part, Seq, "part")?;
+            }
+        }
+        Op::AxisStep { ctx, .. } | Op::AttrStep { ctx, .. } => {
+            expect(ctx, Seq, "context")?;
+            if analysis.props(ctx.id).item_kind == ItemKind::Atomic {
+                return Err(violation(
+                    "path step over a provably node-free sequence (XPTY0019)".into(),
+                ));
+            }
+        }
+        Op::Arith { l, r, .. } | Op::ValueCmp { l, r, .. } => {
+            expect(l, Seq, "left")?;
+            expect(r, Seq, "right")?;
+        }
+        Op::Neg { e } => expect(e, Seq, "operand")?,
+        Op::GeneralCmp { l, r, loop_, .. } | Op::BoolAndOr { l, r, loop_, .. } => {
+            expect(l, Seq, "left")?;
+            expect(r, Seq, "right")?;
+            expect(loop_, Loop, "loop")?;
+        }
+        Op::BoolNot { e, loop_ } => {
+            expect(e, Seq, "operand")?;
+            expect(loop_, Loop, "loop")?;
+        }
+        Op::Ebv { seq, loop_ }
+        | Op::Empty { seq, loop_ }
+        | Op::Aggregate { seq, loop_, .. }
+        | Op::StringValue { seq, loop_ } => {
+            expect(seq, Seq, "seq")?;
+            expect(loop_, Loop, "loop")?;
+        }
+        Op::Atomize { seq }
+        | Op::CastNumber { seq }
+        | Op::DistinctValues { seq }
+        | Op::PosFilter { seq, .. }
+        | Op::Subsequence { seq, .. } => expect(seq, Seq, "seq")?,
+        Op::DocOrderDistinct { seq } => {
+            expect(seq, Seq, "seq")?;
+            if analysis.props(seq.id).item_kind == ItemKind::Atomic {
+                return Err(violation(
+                    "document-order δ over a provably node-free sequence".into(),
+                ));
+            }
+        }
+        Op::StringFn { args, loop_, .. } => {
+            for a in args {
+                expect(a, Seq, "argument")?;
+            }
+            expect(loop_, Loop, "loop")?;
+        }
+        Op::NumFn { arg, .. } => expect(arg, Seq, "argument")?,
+        Op::ElemCtor {
+            loop_,
+            attrs,
+            content,
+            ..
+        } => {
+            expect(loop_, Loop, "loop")?;
+            for (_, a) in attrs {
+                expect(a, Seq, "attribute value")?;
+            }
+            for c in content {
+                expect(c, Seq, "content")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// property-driven simplification
+// ---------------------------------------------------------------------------
+
+/// One applied rewrite, for `EXPLAIN`-style reporting.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Id of the node the rewrite applied to (in the pre-rewrite plan).
+    pub plan_id: usize,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl fmt::Display for Rewrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.plan_id, self.description)
+    }
+}
+
+/// The outcome of [`simplify`].
+#[derive(Debug)]
+pub struct Simplified {
+    /// The rewritten plan (shares untouched sub-DAGs with the input).
+    pub plan: PlanRef,
+    /// Operator eliminations and join commitments, in application order.
+    pub rewrites: Vec<Rewrite>,
+    /// Number of nodes whose order annotations were strengthened.
+    pub props_upgraded: usize,
+}
+
+struct Simplifier<'a> {
+    analysis: &'a Analysis,
+    memo: HashMap<usize, PlanRef>,
+    next_id: usize,
+    rewrites: Vec<Rewrite>,
+    props_upgraded: usize,
+}
+
+/// Rewrite a plan using the inferred properties:
+///
+/// * drop a [`Op::DocOrderDistinct`] whose input is provably in document
+///   order, duplicate free and densely numbered — the δ would be an
+///   expensive no-op;
+/// * replace a [`Op::DistinctValues`] over at-most-one-item iterations with
+///   plain atomisation;
+/// * set the `dict_join` flag on a [`Op::NestFromJoin`] whose operands
+///   provably share one dictionary, committing the executor to the
+///   code-to-code join without a runtime check;
+/// * strengthen [`Props`] where the analysis proves more order than the
+///   compiler annotated (notably: axis-step output *is* `[iter, pos]`
+///   sorted), letting the order-aware executor skip downstream sorts.
+///
+/// Node ids are preserved for rewritten nodes (replacement nodes get fresh
+/// ids), so the executor's memoisation keeps working across shared sub-DAGs.
+pub fn simplify(root: &PlanRef, analysis: &Analysis) -> Simplified {
+    let mut max_id = 0;
+    fn walk_max(p: &PlanRef, seen: &mut HashMap<usize, ()>, max_id: &mut usize) {
+        if seen.insert(p.id, ()).is_some() {
+            return;
+        }
+        *max_id = (*max_id).max(p.id);
+        for c in p.children() {
+            walk_max(&c, seen, max_id);
+        }
+    }
+    walk_max(root, &mut HashMap::new(), &mut max_id);
+
+    let mut s = Simplifier {
+        analysis,
+        memo: HashMap::new(),
+        next_id: max_id + 1,
+        rewrites: Vec::new(),
+        props_upgraded: 0,
+    };
+    let plan = s.rewrite(root);
+    Simplified {
+        plan,
+        rewrites: s.rewrites,
+        props_upgraded: s.props_upgraded,
+    }
+}
+
+impl Simplifier<'_> {
+    fn rewrite(&mut self, p: &PlanRef) -> PlanRef {
+        if let Some(done) = self.memo.get(&p.id) {
+            return done.clone();
+        }
+        let result = self.rewrite_uncached(p);
+        self.memo.insert(p.id, result.clone());
+        result
+    }
+
+    fn rewrite_uncached(&mut self, p: &PlanRef) -> PlanRef {
+        // -- elimination: redundant document-order δ ------------------------
+        if let Op::DocOrderDistinct { seq } = &p.op {
+            let a = self.analysis.props(seq.id);
+            if a.item_kind == ItemKind::Nodes && a.item_doc_order && a.dup_free_iter && a.dense_pos
+            {
+                self.rewrites.push(Rewrite {
+                    plan_id: p.id,
+                    description: format!(
+                        "removed docorder-δ: input [{}] is already in document order, \
+                         duplicate-free and densely numbered",
+                        seq.id
+                    ),
+                });
+                return self.rewrite(seq);
+            }
+        }
+
+        // -- elimination: distinct-values over singleton iterations ---------
+        if let Op::DistinctValues { seq } = &p.op {
+            let a = self.analysis.props(seq.id);
+            if a.max_one_per_iter && a.dense_pos {
+                self.rewrites.push(Rewrite {
+                    plan_id: p.id,
+                    description: format!(
+                        "replaced distinct with data: input [{}] holds at most one \
+                         item per iteration",
+                        seq.id
+                    ),
+                });
+                let child = self.rewrite(seq);
+                let op = Op::Atomize { seq: child };
+                let props = strengthen(crate::compile::infer_props(&op), self.analysis.get(p.id));
+                let id = self.next_id;
+                self.next_id += 1;
+                return Arc::new(Plan { id, op, props });
+            }
+        }
+
+        // -- generic rebuild with rewritten children ------------------------
+        let new_op = self.rebuild_op(p);
+        let props = strengthen(p.props, self.analysis.get(p.id));
+        let children_changed = new_op.is_some();
+        if !children_changed && props == p.props {
+            return p.clone();
+        }
+        if props != p.props {
+            self.props_upgraded += 1;
+        }
+        Arc::new(Plan {
+            id: p.id,
+            op: new_op.unwrap_or_else(|| self.rebuild_op_forced(p)),
+            props,
+        })
+    }
+
+    /// Rebuild the operator with rewritten children; `None` when every child
+    /// rewrote to itself (pointer-identical) and no flag changed.
+    fn rebuild_op(&mut self, p: &PlanRef) -> Option<Op> {
+        let before: Vec<PlanRef> = p.children();
+        let after: Vec<PlanRef> = before.iter().map(|c| self.rewrite(c)).collect();
+        let unchanged = before.iter().zip(&after).all(|(a, b)| Arc::ptr_eq(a, b));
+        let dict_commit = self.dict_join_commit(p);
+        if unchanged && !dict_commit {
+            return None;
+        }
+        Some(self.rebuild_with(p, dict_commit))
+    }
+
+    fn rebuild_op_forced(&mut self, p: &PlanRef) -> Op {
+        let dict_commit = self.dict_join_commit(p);
+        self.rebuild_with(p, dict_commit)
+    }
+
+    /// Does this node qualify for the static code-to-code join commitment?
+    fn dict_join_commit(&mut self, p: &PlanRef) -> bool {
+        let Op::NestFromJoin {
+            left,
+            right,
+            op,
+            dict_join,
+            ..
+        } = &p.op
+        else {
+            return false;
+        };
+        if *dict_join || !op.is_equality() {
+            return false;
+        }
+        let (Some(ld), Some(rd)) = (
+            &self.analysis.props(left.id).dict,
+            &self.analysis.props(right.id).dict,
+        ) else {
+            return false;
+        };
+        if ld != rd {
+            return false;
+        }
+        self.rewrites.push(Rewrite {
+            plan_id: p.id,
+            description: format!(
+                "committed nest(⋈) to the code-to-code join: both operands are \
+                 encoded against {ld}"
+            ),
+        });
+        true
+    }
+
+    fn rebuild_with(&mut self, p: &PlanRef, dict_commit: bool) -> Op {
+        let rw = |s: &mut Self, r: &PlanRef| s.rewrite(r);
+        match &p.op {
+            Op::LoopOne => Op::LoopOne,
+            Op::ConstSeq { loop_, items } => Op::ConstSeq {
+                loop_: rw(self, loop_),
+                items: items.clone(),
+            },
+            Op::DocRoot { loop_, name } => Op::DocRoot {
+                loop_: rw(self, loop_),
+                name: name.clone(),
+            },
+            Op::ExternalVar {
+                loop_,
+                name,
+                default,
+            } => Op::ExternalVar {
+                loop_: rw(self, loop_),
+                name: name.clone(),
+                default: default.as_ref().map(|d| rw(self, d)),
+            },
+            Op::NestFromSeq { seq } => Op::NestFromSeq { seq: rw(self, seq) },
+            Op::NestFromJoin {
+                source,
+                outer_loop,
+                left,
+                right,
+                op,
+                dict_join,
+            } => Op::NestFromJoin {
+                source: rw(self, source),
+                outer_loop: rw(self, outer_loop),
+                left: rw(self, left),
+                right: rw(self, right),
+                op: *op,
+                dict_join: *dict_join || dict_commit,
+            },
+            Op::NestLoop { nest } => Op::NestLoop {
+                nest: rw(self, nest),
+            },
+            Op::NestVar { nest } => Op::NestVar {
+                nest: rw(self, nest),
+            },
+            Op::NestVarPos { nest } => Op::NestVarPos {
+                nest: rw(self, nest),
+            },
+            Op::LiftThrough { seq, nest } => Op::LiftThrough {
+                seq: rw(self, seq),
+                nest: rw(self, nest),
+            },
+            Op::BackMap {
+                body,
+                nest,
+                order_keys,
+            } => Op::BackMap {
+                body: rw(self, body),
+                nest: rw(self, nest),
+                order_keys: order_keys.iter().map(|(k, d)| (rw(self, k), *d)).collect(),
+            },
+            Op::SelectIters {
+                cond,
+                loop_,
+                negate,
+            } => Op::SelectIters {
+                cond: rw(self, cond),
+                loop_: rw(self, loop_),
+                negate: *negate,
+            },
+            Op::RestrictToIters { seq, iters } => Op::RestrictToIters {
+                seq: rw(self, seq),
+                iters: rw(self, iters),
+            },
+            Op::Union { parts } => Op::Union {
+                parts: parts.iter().map(|q| rw(self, q)).collect(),
+            },
+            Op::AxisStep { ctx, axis, test } => Op::AxisStep {
+                ctx: rw(self, ctx),
+                axis: *axis,
+                test: test.clone(),
+            },
+            Op::AttrStep { ctx, name } => Op::AttrStep {
+                ctx: rw(self, ctx),
+                name: name.clone(),
+            },
+            Op::Arith { op, l, r } => Op::Arith {
+                op: *op,
+                l: rw(self, l),
+                r: rw(self, r),
+            },
+            Op::Neg { e } => Op::Neg { e: rw(self, e) },
+            Op::ValueCmp { op, l, r } => Op::ValueCmp {
+                op: *op,
+                l: rw(self, l),
+                r: rw(self, r),
+            },
+            Op::GeneralCmp { op, l, r, loop_ } => Op::GeneralCmp {
+                op: *op,
+                l: rw(self, l),
+                r: rw(self, r),
+                loop_: rw(self, loop_),
+            },
+            Op::BoolAndOr {
+                is_and,
+                l,
+                r,
+                loop_,
+            } => Op::BoolAndOr {
+                is_and: *is_and,
+                l: rw(self, l),
+                r: rw(self, r),
+                loop_: rw(self, loop_),
+            },
+            Op::BoolNot { e, loop_ } => Op::BoolNot {
+                e: rw(self, e),
+                loop_: rw(self, loop_),
+            },
+            Op::Ebv { seq, loop_ } => Op::Ebv {
+                seq: rw(self, seq),
+                loop_: rw(self, loop_),
+            },
+            Op::Empty { seq, loop_ } => Op::Empty {
+                seq: rw(self, seq),
+                loop_: rw(self, loop_),
+            },
+            Op::Aggregate { func, seq, loop_ } => Op::Aggregate {
+                func: *func,
+                seq: rw(self, seq),
+                loop_: rw(self, loop_),
+            },
+            Op::Atomize { seq } => Op::Atomize { seq: rw(self, seq) },
+            Op::StringValue { seq, loop_ } => Op::StringValue {
+                seq: rw(self, seq),
+                loop_: rw(self, loop_),
+            },
+            Op::CastNumber { seq } => Op::CastNumber { seq: rw(self, seq) },
+            Op::StringFn { kind, args, loop_ } => Op::StringFn {
+                kind: *kind,
+                args: args.iter().map(|a| rw(self, a)).collect(),
+                loop_: rw(self, loop_),
+            },
+            Op::NumFn { kind, arg } => Op::NumFn {
+                kind: *kind,
+                arg: rw(self, arg),
+            },
+            Op::DistinctValues { seq } => Op::DistinctValues { seq: rw(self, seq) },
+            Op::DocOrderDistinct { seq } => Op::DocOrderDistinct { seq: rw(self, seq) },
+            Op::PosFilter { seq, kind } => Op::PosFilter {
+                seq: rw(self, seq),
+                kind: *kind,
+            },
+            Op::Subsequence { seq, start, len } => Op::Subsequence {
+                seq: rw(self, seq),
+                start: *start,
+                len: *len,
+            },
+            Op::ElemCtor {
+                loop_,
+                name,
+                attrs,
+                content,
+            } => Op::ElemCtor {
+                loop_: rw(self, loop_),
+                name: name.clone(),
+                attrs: attrs
+                    .iter()
+                    .map(|(n, a)| (n.clone(), rw(self, a)))
+                    .collect(),
+                content: content.iter().map(|c| rw(self, c)).collect(),
+            },
+        }
+    }
+}
+
+/// Merge the analysis' order facts into the compiler's [`Props`] annotation.
+/// `[iter, pos]`-sortedness implies group order.
+fn strengthen(mut props: Props, inferred: Option<&NodeProps>) -> Props {
+    if let Some(a) = inferred {
+        if a.sorted_iter_pos {
+            props.ord_iter_pos = true;
+            props.grpord_pos = true;
+        }
+        if a.item_doc_order && a.item_kind == ItemKind::Nodes {
+            props.item_doc_order = true;
+        }
+    }
+    props
+}
+
+// ---------------------------------------------------------------------------
+// runtime validation (MXQ_VALIDATE_PLANS=1)
+// ---------------------------------------------------------------------------
+
+/// Assert the inferred properties of one plan node against its executed
+/// table.  Returns a description of the first violated property, if any.
+///
+/// Loop relations check iteration order and uniqueness; nest maps are
+/// skipped (their invariants are structural); sequence tables check order,
+/// position density, cardinality, item kind, per-iteration duplicate
+/// freedom, document order, constant columns and dictionary encoding.
+pub fn validate_table(props: &NodeProps, t: &Table) -> Result<(), String> {
+    match props.shape {
+        Shape::Nest => return Ok(()),
+        Shape::Loop => {
+            let Ok(col) = t.column("iter") else {
+                return Ok(());
+            };
+            let Ok(iters) = col.as_int() else {
+                return Ok(());
+            };
+            if props.sorted_iter_pos && iters.windows(2).any(|w| w[0] > w[1]) {
+                return Err("loop iterations are not sorted".into());
+            }
+            if props.max_one_per_iter {
+                let mut seen = std::collections::HashSet::new();
+                if iters.iter().any(|i| !seen.insert(*i)) {
+                    return Err("loop relation repeats an iteration".into());
+                }
+            }
+            return Ok(());
+        }
+        Shape::Seq => {}
+    }
+    let (Ok(iter), Ok(pos), Ok(item)) = (t.column("iter"), t.column("pos"), t.column("item"))
+    else {
+        return Ok(());
+    };
+    let (Ok(iters), Ok(poss)) = (iter.as_int(), pos.as_int()) else {
+        return Ok(());
+    };
+    let items = item.to_items();
+
+    if props.sorted_iter_pos {
+        for w in 0..iters.len().saturating_sub(1) {
+            if (iters[w], poss[w]) > (iters[w + 1], poss[w + 1]) {
+                return Err(format!(
+                    "claimed [iter, pos] order is violated at row {}",
+                    w + 1
+                ));
+            }
+        }
+    }
+
+    let mut groups: HashMap<i64, Vec<(i64, &Item)>> = HashMap::new();
+    for i in 0..iters.len() {
+        groups
+            .entry(iters[i])
+            .or_default()
+            .push((poss[i], &items[i]));
+    }
+    for rows in groups.values_mut() {
+        rows.sort_by_key(|(p, _)| *p);
+    }
+
+    if props.max_one_per_iter {
+        if let Some((it, _)) = groups.iter().find(|(_, rows)| rows.len() > 1) {
+            return Err(format!("iteration {it} holds more than one item"));
+        }
+    }
+    if props.dense_pos {
+        for (it, rows) in &groups {
+            if rows
+                .iter()
+                .enumerate()
+                .any(|(k, (p, _))| *p != k as i64 + 1)
+            {
+                return Err(format!("iteration {it} positions are not 1..=k"));
+            }
+        }
+    }
+    match props.item_kind {
+        ItemKind::Nodes => {
+            if items.iter().any(|i| !i.is_node()) {
+                return Err("claimed node column holds a non-node item".into());
+            }
+        }
+        ItemKind::Atomic => {
+            if items.iter().any(Item::is_node) {
+                return Err("claimed atomic column holds a node".into());
+            }
+        }
+        ItemKind::Mixed => {}
+    }
+    if props.item_kind == ItemKind::Nodes {
+        for (it, rows) in &groups {
+            let nodes: Vec<_> = rows
+                .iter()
+                .filter_map(|(_, i)| match i {
+                    Item::Node(n) => Some(*n),
+                    _ => None,
+                })
+                .collect();
+            if props.item_doc_order && nodes.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("iteration {it} nodes are not in document order"));
+            }
+            if props.dup_free_iter {
+                let mut seen = std::collections::HashSet::new();
+                if nodes.iter().any(|n| !seen.insert(*n)) {
+                    return Err(format!("iteration {it} holds a duplicate node"));
+                }
+            }
+        }
+    }
+    if let Some(want) = &props.const_items {
+        for (it, rows) in &groups {
+            if rows.len() != want.len()
+                || rows
+                    .iter()
+                    .zip(want)
+                    .any(|((_, got), w)| !items_equal(got, w))
+            {
+                return Err(format!(
+                    "iteration {it} does not repeat the claimed constant sequence"
+                ));
+            }
+        }
+    }
+    if props.dict.is_some() && t.nrows() > 0 && item.dict_parts().is_none() {
+        return Err("claimed dictionary-encoded column is not dictionary-encoded".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// annotated explain
+// ---------------------------------------------------------------------------
+
+/// Render the DAG like [`Plan::explain`], annotating every node with its
+/// inferred properties (and the code-to-code commitment of a recognised
+/// join).  Shared nodes are expanded once.
+pub fn explain_annotated(root: &PlanRef, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let mut seen = std::collections::HashSet::new();
+    fn walk(
+        p: &PlanRef,
+        depth: usize,
+        analysis: &Analysis,
+        seen: &mut std::collections::HashSet<usize>,
+        out: &mut String,
+    ) {
+        out.push_str(&"  ".repeat(depth));
+        if !seen.insert(p.id) {
+            out.push_str(&format!("[{}] {} (shared)\n", p.id, p.op_name()));
+            return;
+        }
+        let commit = match &p.op {
+            Op::NestFromJoin {
+                dict_join: true, ..
+            } => " code=code",
+            _ => "",
+        };
+        let ann = analysis
+            .get(p.id)
+            .map(|np| np.annotation())
+            .unwrap_or_default();
+        out.push_str(&format!("[{}] {}{} {}\n", p.id, p.op_name(), commit, ann));
+        for c in p.children() {
+            walk(&c, depth + 1, analysis, seen, out);
+        }
+    }
+    walk(root, 0, analysis, &mut seen, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiler;
+    use crate::config::ExecConfig;
+    use crate::parser::parse_query;
+
+    fn plan_of(q: &str) -> PlanRef {
+        let parsed = parse_query(q).expect("parse");
+        Compiler::new(ExecConfig::default())
+            .compile_query(&parsed)
+            .expect("compile")
+    }
+
+    #[test]
+    fn literal_sequences_are_constant_and_atomic() {
+        let plan = plan_of("3");
+        let a = analyze(&plan);
+        let p = a.props(plan.id);
+        assert_eq!(p.item_kind, ItemKind::Atomic);
+        assert!(p.sorted_iter_pos && p.dense_pos && p.max_one_per_iter);
+        assert!(matches!(p.const_items.as_deref(), Some([Item::Int(3)])));
+
+        // sequence construction unions singleton constants: still ordered
+        // and atomic, but no longer a single constant column
+        let plan = plan_of("(1, 2, 3)");
+        let a = analyze(&plan);
+        let p = a.props(plan.id);
+        assert_eq!(p.item_kind, ItemKind::Atomic);
+        assert!(p.sorted_iter_pos && p.dense_pos);
+        assert!(!p.max_one_per_iter);
+    }
+
+    #[test]
+    fn axis_steps_prove_document_order_and_source() {
+        let plan = plan_of("doc(\"d.xml\")/a/b");
+        let a = analyze(&plan);
+        let p = a.props(plan.id);
+        assert_eq!(p.item_kind, ItemKind::Nodes);
+        assert!(p.sorted_iter_pos && p.dup_free_iter && p.item_doc_order);
+        assert_eq!(p.source_doc.as_deref(), Some("d.xml"));
+    }
+
+    #[test]
+    fn attribute_steps_inherit_the_value_dictionary() {
+        let plan = plan_of("doc(\"d.xml\")/a/@id");
+        let a = analyze(&plan);
+        let p = a.props(plan.id);
+        assert_eq!(p.item_kind, ItemKind::Atomic);
+        assert_eq!(p.dict, Some(DictOrigin::AttrValues("d.xml".to_string())));
+    }
+
+    #[test]
+    fn every_compiled_plan_verifies() {
+        for q in [
+            "1 + 2",
+            "(1, 2)[2]",
+            "doc(\"d.xml\")//a[@id = \"x\"]/b[1]",
+            "for $x in doc(\"d.xml\")/a/b order by $x/@k return <r>{$x}</r>",
+            "for $x in doc(\"d.xml\")/a/b for $y in doc(\"d.xml\")/c \
+             where $y/@ref = $x/@id return $y",
+            "declare variable $v external := 3; $v * 2",
+        ] {
+            let plan = plan_of(q);
+            let a = analyze(&plan);
+            verify(&plan, &a).unwrap_or_else(|v| panic!("{q} violates: {v}"));
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_steps_over_atomics() {
+        let plan = plan_of("(1, 2)/self::a");
+        let a = analyze(&plan);
+        let err = verify(&plan, &a).expect_err("atomic context must be rejected");
+        assert!(err.message.contains("node-free"));
+    }
+
+    #[test]
+    fn verifier_rejects_duplicate_ids() {
+        let l1 = Arc::new(Plan {
+            id: 0,
+            op: Op::LoopOne,
+            props: Props::default(),
+        });
+        let l2 = Arc::new(Plan {
+            id: 0,
+            op: Op::LoopOne,
+            props: Props::default(),
+        });
+        let bad = Arc::new(Plan {
+            id: 1,
+            op: Op::Union {
+                parts: vec![
+                    Arc::new(Plan {
+                        id: 2,
+                        op: Op::ConstSeq {
+                            loop_: l1,
+                            items: vec![Item::Int(1)],
+                        },
+                        props: Props::default(),
+                    }),
+                    Arc::new(Plan {
+                        id: 3,
+                        op: Op::ConstSeq {
+                            loop_: l2,
+                            items: vec![Item::Int(2)],
+                        },
+                        props: Props::default(),
+                    }),
+                ],
+            },
+            props: Props::default(),
+        });
+        let a = analyze(&bad);
+        let err = verify(&bad, &a).expect_err("duplicate ids must be rejected");
+        assert!(err.message.contains("share one id"));
+    }
+
+    #[test]
+    fn simplifier_drops_redundant_docorder_delta() {
+        // `$b` binds one node per iteration, so the predicated step's
+        // back-mapping concatenates a single staircase-join group: already
+        // document-ordered and duplicate-free
+        let plan = plan_of("for $b in doc(\"d.xml\")/site/a return $b/bidder[1]");
+        assert!(plan.explain().contains("docorder-δ"));
+        let a = analyze(&plan);
+        let simplified = simplify(&plan, &a);
+        assert!(
+            !simplified.plan.explain().contains("docorder-δ"),
+            "redundant δ must be removed:\n{}",
+            simplified.plan.explain()
+        );
+        assert!(simplified
+            .rewrites
+            .iter()
+            .any(|r| r.description.contains("docorder-δ")));
+    }
+
+    #[test]
+    fn simplifier_keeps_required_docorder_delta() {
+        // the context of the predicated step is a full node sequence — the
+        // back-mapped groups may interleave, the δ must stay
+        let plan = plan_of("doc(\"d.xml\")//a[@id = \"x\"]");
+        let a = analyze(&plan);
+        let simplified = simplify(&plan, &a);
+        assert!(simplified.plan.explain().contains("docorder-δ"));
+    }
+
+    #[test]
+    fn simplifier_rewrites_distinct_over_singletons() {
+        let plan = plan_of("for $x in doc(\"d.xml\")/a return distinct-values($x/@id)");
+        let a = analyze(&plan);
+        let simplified = simplify(&plan, &a);
+        assert!(!simplified.plan.explain().contains("distinct"));
+        assert!(simplified
+            .rewrites
+            .iter()
+            .any(|r| r.description.contains("distinct")));
+    }
+
+    #[test]
+    fn simplifier_commits_shared_dictionary_joins() {
+        let plan = plan_of(
+            "for $p in doc(\"d.xml\")/site/people/person \
+             for $o in doc(\"d.xml\")/site/orders/order \
+             where $o/@buyer = $p/@id return $p",
+        );
+        assert!(
+            plan.explain().contains("nest(⋈)"),
+            "join must be recognised"
+        );
+        let a = analyze(&plan);
+        let simplified = simplify(&plan, &a);
+        assert!(simplified
+            .rewrites
+            .iter()
+            .any(|r| r.description.contains("code-to-code")));
+        let re = analyze(&simplified.plan);
+        assert!(explain_annotated(&simplified.plan, &re).contains("code=code"));
+    }
+
+    #[test]
+    fn simplifier_upgrades_axis_step_order() {
+        let plan = plan_of("doc(\"d.xml\")/a/b/c");
+        let a = analyze(&plan);
+        let simplified = simplify(&plan, &a);
+        assert!(simplified.props_upgraded > 0);
+        fn all_steps_ordered(p: &PlanRef) -> bool {
+            let here = !matches!(p.op, Op::AxisStep { .. }) || p.props.ord_iter_pos;
+            here && p.children().iter().all(all_steps_ordered)
+        }
+        assert!(all_steps_ordered(&simplified.plan));
+    }
+
+    #[test]
+    fn simplified_plans_keep_unique_ids_and_verify() {
+        for q in [
+            "for $b in doc(\"d.xml\")/a return $b/c[1]/text()",
+            "for $x in doc(\"d.xml\")/a return distinct-values($x/@id)",
+            "doc(\"d.xml\")//a[@id = \"x\"]/b",
+        ] {
+            let plan = plan_of(q);
+            let a = analyze(&plan);
+            let simplified = simplify(&plan, &a);
+            let re = analyze(&simplified.plan);
+            verify(&simplified.plan, &re)
+                .unwrap_or_else(|v| panic!("{q} violates after simplify: {v}"));
+        }
+    }
+
+    #[test]
+    fn annotations_render_inferred_properties() {
+        let plan = plan_of("doc(\"d.xml\")/a/@id");
+        let a = analyze(&plan);
+        let s = explain_annotated(&plan, &a);
+        assert!(s.contains("dict=attr-values(d.xml)"), "{s}");
+        assert!(s.contains("{ord"), "{s}");
+    }
+}

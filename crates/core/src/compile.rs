@@ -606,6 +606,7 @@ impl Compiler {
             left,
             right,
             op,
+            dict_join: false,
         });
 
         // inner scope from the join-built nest, same as the standard case
@@ -747,6 +748,23 @@ impl Compiler {
     // ---------------------------------------------------------------------
 
     fn compile_step(&mut self, ctx: PlanRef, step: &Step, env: &Env) -> CResult<PlanRef> {
+        // Filter expressions (`expr[pred]`) reach us as a synthetic
+        // `self::node()` step.  Their predicates filter the *sequence
+        // itself*: positions are relative to the whole sequence per
+        // iteration, not to a per-context-node group, and the result keeps
+        // the sequence order (no document re-ordering, no duplicate
+        // elimination — the input may not even hold nodes).
+        if step.axis == Axis::SelfAxis
+            && step.test == NodeTest::AnyKind
+            && !step.predicates.is_empty()
+        {
+            let mut result = ctx;
+            for pred in &step.predicates {
+                result = self.compile_predicate(result, pred, env)?;
+            }
+            return Ok(result);
+        }
+
         // the raw step (axis + node test)
         let apply_axis = |c: &mut Self, ctx: PlanRef| -> PlanRef {
             if step.axis == Axis::Attribute {
@@ -1168,7 +1186,7 @@ fn const_int(e: Option<&Expr>) -> Option<i64> {
 
 /// Infer the column properties of an operator (Section 4.1).  The executor
 /// consults these only when the order-aware mode is enabled.
-fn infer_props(op: &Op) -> Props {
+pub(crate) fn infer_props(op: &Op) -> Props {
     match op {
         Op::LoopOne => Props {
             ord_iter_pos: true,

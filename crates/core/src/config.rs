@@ -31,6 +31,11 @@ pub struct ExecConfig {
     /// below the theta-join (Figure 8(b)); when false the join produces
     /// duplicate iteration pairs removed by a δ afterwards (Figure 8(a)).
     pub existential_minmax: bool,
+    /// Assert the statically inferred plan properties against every executed
+    /// intermediate table (debugging aid; also enabled by the
+    /// `MXQ_VALIDATE_PLANS=1` environment variable).  Not part of the
+    /// plan-cache fingerprint: it changes no plans, only adds checks.
+    pub validate_plans: bool,
 }
 
 impl Default for ExecConfig {
@@ -42,6 +47,7 @@ impl Default for ExecConfig {
             join_recognition: true,
             order_aware: true,
             existential_minmax: true,
+            validate_plans: false,
         }
     }
 }
@@ -79,6 +85,7 @@ impl ExecConfig {
             join_recognition: false,
             order_aware: false,
             existential_minmax: false,
+            validate_plans: false,
         }
     }
 }
@@ -102,6 +109,9 @@ pub struct ExecStats {
     pub join_pairs: u64,
     /// Elements constructed in the transient container.
     pub constructed_nodes: u64,
+    /// Equi-joins executed on the code-to-code fast path because the plan
+    /// analyser statically proved both operands share one dictionary.
+    pub proven_dict_joins: u64,
 }
 
 impl ExecStats {

@@ -248,6 +248,8 @@ pub(crate) enum CompiledStatement {
         plan: PlanRef,
         operators: usize,
         externals: Vec<String>,
+        /// Property-driven rewrites the simplifier applied at compile time.
+        rewrites: Vec<crate::analysis::Rewrite>,
     },
     /// A compiled update plan.
     Update {
@@ -590,15 +592,33 @@ impl Database {
         match parse_statement(text)? {
             Statement::Query(q) => {
                 let plan = compiler.compile_query(&q)?;
+                // static analysis: verify the compiled plan's structural
+                // invariants, then let the inferred properties remove
+                // provably redundant operators and strengthen order
+                // annotations; the rewritten plan is verified again
+                let analysis = crate::analysis::analyze(&plan);
+                crate::analysis::verify(&plan, &analysis)?;
+                let simplified = crate::analysis::simplify(&plan, &analysis);
+                let plan = simplified.plan;
+                let analysis = crate::analysis::analyze(&plan);
+                crate::analysis::verify(&plan, &analysis)?;
                 let operators = plan.operator_count();
                 Ok(CompiledStatement::Query {
                     plan,
                     operators,
                     externals: compiler.external_variables().to_vec(),
+                    rewrites: simplified.rewrites,
                 })
             }
             Statement::Update(u) => {
                 let plan = compiler.compile_update(&u)?;
+                let mut analysis = crate::analysis::Analysis::default();
+                for root in plan.roots() {
+                    analysis.extend_with(root);
+                }
+                for root in plan.roots() {
+                    crate::analysis::verify(root, &analysis)?;
+                }
                 Ok(CompiledStatement::Update {
                     plan,
                     externals: compiler.external_variables().to_vec(),
@@ -1082,10 +1102,38 @@ impl Session {
 
     /// Parse + compile a query and return its plan for inspection (e.g.
     /// `plan.explain()` or `plan.operator_count()`) without executing it.
+    /// The plan is verified and simplified exactly like an executed one.
     pub fn compile(&self, query: &str) -> Result<PlanRef, Error> {
-        let parsed = crate::parser::parse_query(query)?;
-        let plan = Compiler::new(self.config).compile_query(&parsed)?;
-        Ok(plan)
+        match self.db.compile_statement(query, self.config)? {
+            CompiledStatement::Query { plan, .. } => Ok(plan),
+            CompiledStatement::Update { .. } => {
+                Err(Error::WrongStatementKind { expected: "query" })
+            }
+        }
+    }
+
+    /// Compile a query and render its plan annotated with the statically
+    /// inferred properties of every operator, followed by the
+    /// property-driven rewrites the simplifier applied.
+    pub fn explain(&self, query: &str) -> Result<String, Error> {
+        match self.db.compile_statement(query, self.config)? {
+            CompiledStatement::Query { plan, rewrites, .. } => {
+                let analysis = crate::analysis::analyze(&plan);
+                let mut out = crate::analysis::explain_annotated(&plan, &analysis);
+                if rewrites.is_empty() {
+                    out.push_str("-- no rewrites applied\n");
+                } else {
+                    out.push_str("-- rewrites:\n");
+                    for r in &rewrites {
+                        out.push_str(&format!("--   {r}\n"));
+                    }
+                }
+                Ok(out)
+            }
+            CompiledStatement::Update { .. } => {
+                Err(Error::WrongStatementKind { expected: "query" })
+            }
+        }
     }
 
     /// Parse + compile a statement once into a [`Prepared`] handle that can

@@ -101,6 +101,9 @@ pub struct Executor<'a> {
     /// Statistics accumulated over all [`Executor::eval`] calls.
     pub stats: ExecStats,
     memo: HashMap<usize, Rc<Table>>,
+    /// Lazily grown property map for runtime validation; `Some` when
+    /// [`ExecConfig::validate_plans`] or `MXQ_VALIDATE_PLANS=1` is set.
+    validation: Option<crate::analysis::Analysis>,
 }
 
 // -- small helpers over sequence tables --------------------------------------
@@ -135,6 +138,8 @@ impl<'a> Executor<'a> {
     /// Create an executor over a store snapshot with external-variable
     /// bindings.
     pub fn with_params(snap: &'a StoreSnapshot, config: ExecConfig, params: Params) -> Self {
+        let validate =
+            config.validate_plans || std::env::var("MXQ_VALIDATE_PLANS").is_ok_and(|v| v == "1");
         Executor {
             snap,
             transient: Document::new("#transient"),
@@ -142,6 +147,7 @@ impl<'a> Executor<'a> {
             params,
             stats: ExecStats::default(),
             memo: HashMap::new(),
+            validation: validate.then(crate::analysis::Analysis::default),
         }
     }
 
@@ -182,6 +188,20 @@ impl<'a> Executor<'a> {
         let t = Rc::new(self.eval_op(plan)?);
         self.stats.ops_evaluated += 1;
         self.stats.record_table(t.nrows());
+        if let Some(analysis) = self.validation.as_mut() {
+            if analysis.get(plan.id).is_none() {
+                analysis.extend_with(plan);
+            }
+            if let Some(props) = analysis.get(plan.id) {
+                if let Err(msg) = crate::analysis::validate_table(props, &t) {
+                    return Err(ExecError::Internal(format!(
+                        "inferred plan property violated at [{}] {}: {msg}",
+                        plan.id,
+                        plan.op_name()
+                    )));
+                }
+            }
+        }
         self.memo.insert(plan.id, t.clone());
         Ok(t)
     }
@@ -358,7 +378,8 @@ impl<'a> Executor<'a> {
                 left,
                 right,
                 op,
-            } => self.eval_nest_from_join(source, outer_loop, left, right, *op),
+                dict_join,
+            } => self.eval_nest_from_join(source, outer_loop, left, right, *op, *dict_join),
             Op::NestLoop { nest } => {
                 let t = self.eval(nest)?;
                 Table::from_columns(vec![("iter", t.column("inner")?.clone())]).map_err(Into::into)
@@ -531,6 +552,12 @@ impl<'a> Executor<'a> {
             Op::Aggregate { func, seq, loop_ } => self.eval_aggregate(*func, seq, loop_),
             Op::Atomize { seq } => {
                 let t = self.eval(seq)?;
+                // a dictionary-encoded item column holds only strings, which
+                // are already atomic: pass it through unchanged so the codes
+                // (and the shared dictionary) survive to a downstream join
+                if t.column("item")?.dict_parts().is_some() {
+                    return Ok((*t).clone());
+                }
                 let items: Vec<Item> = items_col(&t)?
                     .iter()
                     .map(|i| self.atomize_item(i))
@@ -788,6 +815,7 @@ impl<'a> Executor<'a> {
         left: &PlanRef,
         right: &PlanRef,
         op: CmpOp,
+        dict_join: bool,
     ) -> EResult<Table> {
         let src = self.eval(source)?;
         let src = self.sorted_seq(&src, source)?;
@@ -808,6 +836,11 @@ impl<'a> Executor<'a> {
             // columns sharing a dictionary code-to-code.  The δ afterwards
             // works on the [iter1, iter2]-ordered output (Section 4.2,
             // Figure 8(a)).
+            if dict_join {
+                // the analyser proved both operands share one dictionary, so
+                // this join runs code-to-code by construction
+                self.stats.proven_dict_joins += 1;
+            }
             let (li, ri) = radix_hash_join(lt.column("item")?, rt.column("item")?);
             self.stats.join_pairs += li.len() as u64;
             for (a, b) in li.into_iter().zip(ri) {
@@ -948,6 +981,54 @@ impl<'a> Executor<'a> {
         let sorted = self.sorted_seq(&t, ctx)?;
         let iters = iter_col(&sorted)?;
         let items = items_col(&sorted)?;
+
+        // Dictionary fast path: when every context node lives in one paged
+        // container, the attribute values are already codes into the
+        // container's shared value dictionary — emit a `Column::Dict` item
+        // column so an equi-join against another attribute column of the
+        // same document runs code-to-code.
+        let mut frags = items.iter().filter_map(|i| match i {
+            Item::Node(n) => Some(n.frag),
+            _ => None,
+        });
+        let single_frag = frags.next().filter(|&f| frags.all(|g| g == f));
+        if let Some(frag) = single_frag {
+            if frag != TRANSIENT_FRAG {
+                if let ContainerRef::Paged(p) = self.container(frag) {
+                    let cols = p.columns_arc();
+                    let (mut oi, mut codes) = (Vec::new(), Vec::new());
+                    for (it, item) in iters.iter().zip(&items) {
+                        let Item::Node(n) = item else { continue };
+                        match name {
+                            Some(a) => {
+                                if let Some(c) = cols.attr_value_code_of(n.pre, a) {
+                                    oi.push(*it);
+                                    codes.push(c);
+                                }
+                            }
+                            None => {
+                                for &c in cols.attr_value_codes_of(n.pre) {
+                                    oi.push(*it);
+                                    codes.push(c);
+                                }
+                            }
+                        }
+                    }
+                    let pos = row_number_streaming(&oi);
+                    let item = Column::Dict {
+                        codes,
+                        dict: cols.attr_values().clone(),
+                    };
+                    return Ok(Table::from_columns(vec![
+                        ("iter", Column::Int(oi)),
+                        ("pos", Column::Int(pos)),
+                        ("item", item),
+                    ])
+                    .expect("sequence table construction"));
+                }
+            }
+        }
+
         let (mut oi, mut oit) = (Vec::new(), Vec::new());
         for (it, item) in iters.iter().zip(&items) {
             let Item::Node(n) = item else { continue };

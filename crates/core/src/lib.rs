@@ -56,9 +56,11 @@
 //! assert_eq!(stmt.bind("year", 2005).query().unwrap().serialize(), "1");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod analysis;
 pub mod ast;
 pub mod compile;
 pub mod config;
@@ -73,6 +75,9 @@ use std::fmt;
 use mxq_xmldb::ShredError;
 
 pub use algebra::{Plan, PlanRef};
+pub use analysis::{
+    analyze, explain_annotated, simplify, Analysis, NodeProps, PlanViolation, Rewrite,
+};
 pub use ast::Statement;
 pub use compile::{CompileError, Compiler};
 pub use config::{ExecConfig, ExecStats};
@@ -103,6 +108,9 @@ pub enum Error {
     Exec(ExecError),
     /// Collecting or checking a pending update list failed.
     Update(PulError),
+    /// The plan verifier found a structural invariant violation in a
+    /// compiled plan — a compiler or rewrite bug, caught at prepare time.
+    PlanInvariant(PlanViolation),
     /// A statement of the wrong kind was passed to a kind-specific entry
     /// point (e.g. an updating statement to [`Session::query`]).
     WrongStatementKind {
@@ -119,6 +127,7 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compilation failed: {e}"),
             Error::Exec(e) => write!(f, "execution failed: {e}"),
             Error::Update(e) => write!(f, "update failed: {e}"),
+            Error::PlanInvariant(v) => write!(f, "plan invariant violated: {v}"),
             Error::WrongStatementKind { expected } => {
                 write!(
                     f,
@@ -137,6 +146,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::Update(e) => Some(e),
+            Error::PlanInvariant(v) => Some(v),
             Error::WrongStatementKind { .. } => None,
         }
     }
@@ -165,6 +175,11 @@ impl From<ExecError> for Error {
 impl From<PulError> for Error {
     fn from(e: PulError) -> Self {
         Error::Update(e)
+    }
+}
+impl From<PlanViolation> for Error {
+    fn from(v: PlanViolation) -> Self {
+        Error::PlanInvariant(v)
     }
 }
 

@@ -95,6 +95,24 @@ pub struct UpdatePlan {
     pub statements: Vec<UpdateStatementPlan>,
 }
 
+impl UpdatePlan {
+    /// The plan roots of all statements (targets and sources) — every
+    /// sub-plan the executor will evaluate, for static analysis.
+    pub fn roots(&self) -> Vec<&PlanRef> {
+        let mut v = Vec::new();
+        for s in &self.statements {
+            match &s.target {
+                UpdateTarget::Nodes(p) => v.push(p),
+                UpdateTarget::Attribute { elem, .. } => v.push(elem),
+            }
+            if let Some(src) = &s.source {
+                v.push(src);
+            }
+        }
+        v
+    }
+}
+
 // ---------------------------------------------------------------------------
 // primitives
 // ---------------------------------------------------------------------------

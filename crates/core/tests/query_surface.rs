@@ -69,6 +69,49 @@ fn path_navigation_and_axes() {
 }
 
 #[test]
+fn filter_expression_positional_predicates() {
+    // positions in a filter expression are relative to the whole sequence,
+    // not to a per-context-node group (the path-step normalisation)
+    assert_eq!(run("(3, 1, 2)[2]"), "1");
+    assert_eq!(run("(3, 1, 2)[last()]"), "2");
+    assert_eq!(run("(3, 1, 2)[position() = 1]"), "3");
+    assert_eq!(run("(doc(\"shop.xml\")//employee/@id)[2]"), "e2");
+    assert_eq!(
+        run("let $s := doc(\"shop.xml\")//employee/@id return $s[2]"),
+        "e2"
+    );
+    // filter then continue the path
+    assert_eq!(run("(doc(\"shop.xml\")//employee)[2]/name/text()"), "Bob");
+    // stacked predicates: general filter first, then positional
+    assert_eq!(
+        run("(doc(\"shop.xml\")//employee)[@dept = \"sales\"][2]/@id"),
+        "e3"
+    );
+    // non-positional filters keep sequence order and duplicates
+    assert_eq!(
+        run("(doc(\"shop.xml\")//employee)[@dept = \"sales\"]/@id"),
+        "e1 e3"
+    );
+    // per-iteration positions: a for-bound singleton is its own sequence
+    assert_eq!(
+        run("for $e in doc(\"shop.xml\")//employee return $e[1]/@id"),
+        "e1 e2 e3"
+    );
+    assert_eq!(
+        run("for $e in doc(\"shop.xml\")//employee return $e[2]/@id"),
+        ""
+    );
+    // a let-bound sequence filtered inside each iteration of an outer loop
+    assert_eq!(
+        run("for $st in doc(\"shop.xml\")//staff \
+             let $e := $st/employee return $e[2]/@id"),
+        "e2"
+    );
+    // filters on atomics must not re-sort: the sequence order survives
+    assert_eq!(run("(9, 4, 7)[. > 3]"), "9 4 7");
+}
+
+#[test]
 fn general_comparisons_are_existential() {
     // any sale amount over 150?
     assert_eq!(run("doc(\"shop.xml\")//sale/@amount > 150"), "true");

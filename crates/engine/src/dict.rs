@@ -26,6 +26,11 @@ pub struct Dictionary {
     /// skip the numeric-string normalisation of the XQuery general
     /// comparison during joins.
     any_numeric: bool,
+    /// Per-code numeric join key: the `f64` bit pattern of entries that
+    /// parse as a number, `None` for everything else.  Lets a join over a
+    /// *mixed* dictionary (attribute values: ids and prices side by side)
+    /// still run per code instead of per row.
+    numeric_keys: Vec<Option<u64>>,
 }
 
 impl Dictionary {
@@ -42,10 +47,15 @@ impl Dictionary {
     }
 
     fn from_sorted(strings: Vec<Arc<str>>) -> Dictionary {
-        let any_numeric = strings.iter().any(|s| s.trim().parse::<f64>().is_ok());
+        let numeric_keys: Vec<Option<u64>> = strings
+            .iter()
+            .map(|s| s.trim().parse::<f64>().ok().map(f64::to_bits))
+            .collect();
+        let any_numeric = numeric_keys.iter().any(Option::is_some);
         Dictionary {
             strings,
             any_numeric,
+            numeric_keys,
         }
     }
 
@@ -85,6 +95,16 @@ impl Dictionary {
     /// joins may compare codes directly.
     pub fn any_numeric(&self) -> bool {
         self.any_numeric
+    }
+
+    /// Numeric join key of a code: the `f64` bit pattern when the entry
+    /// parses as a number (the XQuery general-comparison normalisation of
+    /// untyped data), `None` for non-numeric strings.
+    ///
+    /// # Panics
+    /// Panics when `code` is outside `0..len` (codes are dense).
+    pub fn numeric_key_of(&self, code: u32) -> Option<u64> {
+        self.numeric_keys[code as usize]
     }
 
     /// Encode a batch of strings, building the dictionary and the per-row
@@ -192,5 +212,16 @@ mod tests {
         assert!(!Dictionary::new(["tag", "name"]).any_numeric());
         assert!(Dictionary::new(["tag", "10"]).any_numeric());
         assert!(Dictionary::new([" 3.5 "]).any_numeric());
+    }
+
+    #[test]
+    fn numeric_keys_per_code() {
+        let d = Dictionary::new(["person0", "10", "10.0", "3.5"]);
+        let key = |s: &str| d.numeric_key_of(d.code_of(s).unwrap());
+        assert_eq!(key("person0"), None);
+        assert_eq!(key("10"), Some(10f64.to_bits()));
+        // distinct strings, equal numeric value: the keys collapse
+        assert_eq!(key("10"), key("10.0"));
+        assert_eq!(key("3.5"), Some(3.5f64.to_bits()));
     }
 }

@@ -168,8 +168,12 @@ fn hash_key(k: &JoinKey) -> u64 {
 pub fn radix_hash_join(left: &Column, right: &Column) -> JoinPairs {
     if let (Some((lcodes, ldict)), Some((rcodes, rdict))) = (left.dict_parts(), right.dict_parts())
     {
-        if Arc::ptr_eq(ldict, rdict) && !ldict.any_numeric() {
-            return code_join(lcodes, rcodes, ldict.len());
+        if Arc::ptr_eq(ldict, rdict) {
+            return if ldict.any_numeric() {
+                code_join_numeric(lcodes, rcodes, ldict)
+            } else {
+                code_join(lcodes, rcodes, ldict.len())
+            };
         }
     }
 
@@ -251,6 +255,36 @@ fn code_join(left: &[u32], right: &[u32], ncodes: usize) -> JoinPairs {
     let mut rout = Vec::new();
     for (l, &c) in left.iter().enumerate() {
         for &r in &by_code[c as usize] {
+            lout.push(l);
+            rout.push(r);
+        }
+    }
+    (lout, rout)
+}
+
+/// Code-to-code join over a shared dictionary that *does* contain numeric
+/// strings.  Non-numeric entries still join through the dense code table
+/// (two distinct non-numeric codes never compare equal, and a non-numeric
+/// string never equals a number); numeric entries join through a small map
+/// keyed by their normalised `f64` bits, so `"10"` meets `"10.0"` exactly as
+/// the generic per-row normalisation would have it.
+fn code_join_numeric(left: &[u32], right: &[u32], dict: &crate::dict::Dictionary) -> JoinPairs {
+    let mut by_code: Vec<Vec<usize>> = vec![Vec::new(); dict.len()];
+    let mut by_num: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (r, &c) in right.iter().enumerate() {
+        match dict.numeric_key_of(c) {
+            Some(bits) => by_num.entry(bits).or_default().push(r),
+            None => by_code[c as usize].push(r),
+        }
+    }
+    let mut lout = Vec::new();
+    let mut rout = Vec::new();
+    for (l, &c) in left.iter().enumerate() {
+        let rows = match dict.numeric_key_of(c) {
+            Some(bits) => by_num.get(&bits).map(Vec::as_slice).unwrap_or(&[]),
+            None => &by_code[c as usize],
+        };
+        for &r in rows {
             lout.push(l);
             rout.push(r);
         }
@@ -484,6 +518,27 @@ mod tests {
         let (l, r) = radix_hash_join(&left, &right);
         assert_eq!(l, vec![0, 1]);
         assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn radix_join_shared_numeric_dictionary_matches_reference() {
+        use crate::dict::Dictionary;
+        // a mixed dictionary: ids and numeric strings side by side, with two
+        // distinct entries ("10" / "10.0") that normalise to the same number
+        let dict = Dictionary::new(["person0", "10", "10.0", "3.5", "abc"]);
+        let enc =
+            |rows: &[&str]| -> Vec<u32> { rows.iter().map(|s| dict.code_of(s).unwrap()).collect() };
+        let left = Column::Dict {
+            codes: enc(&["person0", "10", "3.5", "abc"]),
+            dict: dict.clone(),
+        };
+        let right = Column::Dict {
+            codes: enc(&["10.0", "person0", "person0", "3.5", "10"]),
+            dict: dict.clone(),
+        };
+        let (rl, rr) = radix_hash_join(&left, &right);
+        let (hl, hr) = hash_join_items(&left, &right);
+        assert_eq!((rl, rr), (hl, hr), "identical pairs in identical order");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! MonetDB/XQuery executed a single query plan; scalability experiments in
 //! the paper vary the *data* size, not the number of worker threads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agg;

@@ -25,6 +25,7 @@
 //! Every function records [`ScanStats`] so tests can assert the
 //! `|result| + |context|` bound and benchmarks can report nodes touched.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod axis;

@@ -67,13 +67,17 @@ pub struct DocumentColumns {
     tags: Arc<Dictionary>,
     /// Sorted dictionary over the attribute names.
     attr_names: Arc<Dictionary>,
+    /// Sorted dictionary over the attribute *values* — mixed content (ids,
+    /// keywords, numeric strings side by side), so joins over it go through
+    /// the per-code numeric keys of [`Dictionary::numeric_key_of`].
+    attr_values: Arc<Dictionary>,
     size: Vec<i64>,
     level: Vec<i64>,
     kind: Vec<i64>,
     name_code: Vec<u32>,
     attr_owner: Vec<i64>,
     attr_name_code: Vec<u32>,
-    attr_value: Vec<Arc<str>>,
+    attr_value_code: Vec<u32>,
     /// Lazily assembled engine tables over the image, cached separately so
     /// a consumer of only one table never pays for assembling the other.
     structural_table: OnceLock<Table>,
@@ -107,16 +111,18 @@ impl DocumentColumns {
         }
         let (name_code, tags) = Dictionary::encode(names);
         let (attr_name_code, attr_names) = Dictionary::encode(attr_namev);
+        let (attr_value_code, attr_values) = Dictionary::encode(attr_value);
         DocumentColumns {
             tags,
             attr_names,
+            attr_values,
             size,
             level,
             kind,
             name_code,
             attr_owner,
             attr_name_code,
-            attr_value,
+            attr_value_code,
             structural_table: OnceLock::new(),
             attribute_table: OnceLock::new(),
         }
@@ -145,6 +151,11 @@ impl DocumentColumns {
     /// The attribute-name dictionary.
     pub fn attr_names(&self) -> &Arc<Dictionary> {
         &self.attr_names
+    }
+
+    /// The attribute-value dictionary.
+    pub fn attr_values(&self) -> &Arc<Dictionary> {
+        &self.attr_values
     }
 
     // -- dense structural read path --------------------------------------
@@ -191,18 +202,31 @@ impl DocumentColumns {
         AttrsIter::Dict {
             names: &self.attr_names,
             codes: &self.attr_name_code[r.clone()],
-            values: &self.attr_value[r],
+            values: &self.attr_values,
+            value_codes: &self.attr_value_code[r],
             idx: 0,
         }
     }
 
     /// Value of attribute `name` on element `pre`.
     pub fn attr_value_of(&self, pre: u32, name: &str) -> Option<&str> {
+        Some(self.attr_values.str_of(self.attr_value_code_of(pre, name)?))
+    }
+
+    /// Value codes (into [`Self::attr_values`]) of all attribute rows of
+    /// element `pre`, in attribute order.
+    pub fn attr_value_codes_of(&self, pre: u32) -> &[u32] {
+        &self.attr_value_code[self.attr_range(pre)]
+    }
+
+    /// Value *code* (into [`Self::attr_values`]) of attribute `name` on
+    /// element `pre` — the dictionary-encoded form of [`Self::attr_value_of`].
+    pub fn attr_value_code_of(&self, pre: u32, name: &str) -> Option<u32> {
         let code = self.attr_names.code_of(name)?;
         let r = self.attr_range(pre);
         for i in r {
             if self.attr_name_code[i] == code {
-                return Some(&self.attr_value[i]);
+                return Some(self.attr_value_code[i]);
             }
         }
         None
@@ -241,7 +265,10 @@ impl DocumentColumns {
     }
 
     /// The attribute table `owner | name | value`, one row per attribute in
-    /// owner order; `name` is a [`Column::Dict`] over [`Self::attr_names`].
+    /// owner order; `name` is a [`Column::Dict`] over [`Self::attr_names`],
+    /// `value` a [`Column::Dict`] over [`Self::attr_values`] — so value
+    /// equi-joins between attribute columns of the same document (XMark
+    /// `@id = @person` and friends) run code-to-code.
     pub fn attributes(&self) -> &Table {
         self.attribute_table.get_or_init(|| {
             Table::from_columns(vec![
@@ -253,7 +280,13 @@ impl DocumentColumns {
                         dict: self.attr_names.clone(),
                     },
                 ),
-                ("value", Column::Str(self.attr_value.clone())),
+                (
+                    "value",
+                    Column::Dict {
+                        codes: self.attr_value_code.clone(),
+                        dict: self.attr_values.clone(),
+                    },
+                ),
             ])
             .expect("attribute columns have equal length")
         })
@@ -332,6 +365,22 @@ impl DocumentColumns {
         self.attr_names = merged;
     }
 
+    fn ensure_attr_values<'a>(&mut self, values: impl Iterator<Item = &'a Arc<str>>) {
+        let missing: Vec<Arc<str>> = values
+            .filter(|v| self.attr_values.code_of(v).is_none())
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let fresh = Dictionary::new(missing);
+        let (merged, remap_old, _) = Dictionary::merge(&self.attr_values, &fresh);
+        for c in &mut self.attr_value_code {
+            *c = remap_old[*c as usize];
+        }
+        self.attr_values = merged;
+    }
+
     fn tag_of(tuple: &Tuple) -> Arc<str> {
         match tuple.kind {
             NodeKind::Element => tuple.name.clone(),
@@ -389,9 +438,15 @@ impl DocumentColumns {
                 .iter()
                 .map(|n| self.attr_names.code_of(n).expect("covered"))
                 .collect();
+            self.ensure_attr_values(new_value.iter());
+            let new_value_codes: Vec<u32> = new_value
+                .iter()
+                .map(|v| self.attr_values.code_of(v).expect("covered"))
+                .collect();
             self.attr_owner.splice(attr_at..attr_at, new_owner);
             self.attr_name_code.splice(attr_at..attr_at, new_codes);
-            self.attr_value.splice(attr_at..attr_at, new_value);
+            self.attr_value_code
+                .splice(attr_at..attr_at, new_value_codes);
         }
     }
 
@@ -412,7 +467,7 @@ impl DocumentColumns {
             .partition_point(|&o| o < (at + count) as i64);
         self.attr_owner.drain(start..end);
         self.attr_name_code.drain(start..end);
-        self.attr_value.drain(start..end);
+        self.attr_value_code.drain(start..end);
         for o in &mut self.attr_owner[start..] {
             *o -= count as i64;
         }
@@ -441,16 +496,19 @@ impl DocumentColumns {
         let arc_name: Arc<str> = Arc::from(name);
         self.ensure_attr_names(std::iter::once(&arc_name));
         let code = self.attr_names.code_of(name).expect("covered");
+        let arc_value: Arc<str> = Arc::from(value);
+        self.ensure_attr_values(std::iter::once(&arc_value));
+        let value_code = self.attr_values.code_of(value).expect("covered");
         let r = self.attr_range(pre);
         for i in r.clone() {
             if self.attr_name_code[i] == code {
-                self.attr_value[i] = Arc::from(value);
+                self.attr_value_code[i] = value_code;
                 return;
             }
         }
         self.attr_owner.insert(r.end, pre as i64);
         self.attr_name_code.insert(r.end, code);
-        self.attr_value.insert(r.end, Arc::from(value));
+        self.attr_value_code.insert(r.end, value_code);
     }
 
     /// Remove an attribute (no-op if absent).
@@ -464,7 +522,7 @@ impl DocumentColumns {
             if self.attr_name_code[i] == code {
                 self.attr_owner.remove(i);
                 self.attr_name_code.remove(i);
-                self.attr_value.remove(i);
+                self.attr_value_code.remove(i);
                 return;
             }
         }
@@ -539,12 +597,12 @@ impl DocumentColumns {
                 (
                     self.attr_owner[i],
                     self.attr_names.str_of(self.attr_name_code[i]).as_ref(),
-                    self.attr_value[i].as_ref(),
+                    self.attr_values.str_of(self.attr_value_code[i]).as_ref(),
                 ),
                 (
                     other.attr_owner[i],
                     other.attr_names.str_of(other.attr_name_code[i]).as_ref(),
-                    other.attr_value[i].as_ref(),
+                    other.attr_values.str_of(other.attr_value_code[i]).as_ref(),
                 ),
             );
             if a != b {
@@ -637,6 +695,31 @@ mod tests {
             .item(row)
             .string_value()
             == "item"));
+    }
+
+    #[test]
+    fn attribute_values_are_dictionary_encoded() {
+        let (_, cols) = shred_to_columns("t", XML, &ShredOptions::default()).unwrap();
+        let value = cols.attributes().column("value").unwrap();
+        let (codes, dict) = value.dict_parts().unwrap();
+        assert!(
+            Arc::ptr_eq(dict, cols.attr_values()),
+            "dictionary is shared"
+        );
+        assert_eq!(codes.len(), 2);
+        assert_eq!(value.item(0).string_value(), "1");
+        assert_eq!(value.item(1).string_value(), "2");
+        // the id values are numeric strings, so the mixed code join runs:
+        // self-join matches each value exactly once
+        let (l, r) = radix_hash_join(value, value);
+        assert_eq!(l, vec![0, 1]);
+        assert_eq!(r, vec![0, 1]);
+        // per-code lookup agrees with the decoded value
+        assert_eq!(
+            cols.attr_value_code_of(1, "id")
+                .map(|c| dict.str_of(c).as_ref().to_string()),
+            Some("1".into())
+        );
     }
 
     #[test]

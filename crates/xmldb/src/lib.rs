@@ -30,6 +30,7 @@
 //!   published snapshots, copied on first write), compared against a naive
 //!   renumbering baseline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod columns;

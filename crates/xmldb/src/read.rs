@@ -174,15 +174,18 @@ pub enum AttrsIter<'a> {
     Rows(std::slice::Iter<'a, AttrRow>),
     /// Inline (name, value) pairs of a page tuple.
     Pairs(std::slice::Iter<'a, (Arc<str>, Arc<str>)>),
-    /// A slice of the dictionary-encoded attribute columns.
+    /// A slice of the dictionary-encoded attribute columns — both the names
+    /// and the values resolve through shared sorted dictionaries.
     Dict {
         /// Attribute-name dictionary.
         names: &'a Dictionary,
         /// Name codes of the owner's attribute rows.
         codes: &'a [u32],
-        /// Values of the owner's attribute rows.
-        values: &'a [Arc<str>],
-        /// Cursor into `codes`/`values`.
+        /// Attribute-value dictionary.
+        values: &'a Dictionary,
+        /// Value codes of the owner's attribute rows.
+        value_codes: &'a [u32],
+        /// Cursor into `codes`/`value_codes`.
         idx: usize,
     },
 }
@@ -198,6 +201,7 @@ impl<'a> Iterator for AttrsIter<'a> {
                 names,
                 codes,
                 values,
+                value_codes,
                 idx,
             } => {
                 if *idx >= codes.len() {
@@ -205,7 +209,7 @@ impl<'a> Iterator for AttrsIter<'a> {
                 }
                 let i = *idx;
                 *idx += 1;
-                Some((names.str_of(codes[i]), &values[i]))
+                Some((names.str_of(codes[i]), values.str_of(value_codes[i])))
             }
         }
     }

@@ -12,6 +12,8 @@
 //!
 //! See the README for a quickstart and DESIGN.md for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use mxq_engine as engine;
 pub use mxq_staircase as staircase;
 pub use mxq_xmark as xmark;

@@ -21,7 +21,7 @@ use mxq::staircase::{looplifted_step, staircase_step, Axis, NodeTest, ScanStats}
 use mxq::xmldb::update::{fragment_from_xml, NaiveDocument, PagedDocument};
 use mxq::xmldb::NodeKind;
 use mxq::xmldb::{serialize_document, shred, Document, ShredOptions};
-use mxq::xquery::Database;
+use mxq::xquery::{Database, ExecConfig};
 
 // ---------------------------------------------------------------------------
 // random tree generation
@@ -226,6 +226,78 @@ proptest! {
         for (old, s) in b.iter().enumerate() {
             prop_assert_eq!(merged.str_of(rb[old]), s);
         }
+    }
+
+    #[test]
+    fn inferred_plan_properties_hold_at_runtime(
+        xml in arb_xml_tree(),
+        name in prop::sample::select(vec!["a", "b", "item", "person", "leaf", "x"]),
+        k in 1i64..4,
+    ) {
+        // a query mix exercising the analyser's main claims: document order
+        // and duplicate-freeness of steps, attribute dictionaries, positional
+        // cardinality, distinct elimination and join recognition
+        let queries = [
+            format!("count(doc(\"t.xml\")//{name})"),
+            format!("doc(\"t.xml\")//{name}[@attr = \"a\"]"),
+            format!("for $v in doc(\"t.xml\")//{name} return $v/@attr"),
+            "distinct-values(doc(\"t.xml\")//node/@attr)".to_string(),
+            format!("doc(\"t.xml\")//{name}[{k}]"),
+            format!(
+                "for $v in doc(\"t.xml\")//{name} order by $v/@attr \
+                 return <r>{{$v/text()}}</r>"
+            ),
+            "for $l in doc(\"t.xml\")//leaf for $n in doc(\"t.xml\")//node \
+             where $n/@attr = $l/text() return $n"
+                .to_string(),
+        ];
+        let db = std::sync::Arc::new(Database::new());
+        db.load_document("t.xml", &xml).unwrap();
+        let mut plain = db.session();
+        let mut checked = db.session_with_config(ExecConfig {
+            validate_plans: true,
+            ..ExecConfig::default()
+        });
+        for q in &queries {
+            let a = plain.query(q).unwrap().serialize().to_string();
+            // the checked session asserts every inferred property against
+            // every intermediate table; a violation fails the query
+            let b = checked.query(q).unwrap().serialize().to_string();
+            prop_assert_eq!(a, b, "validated result diverges for {}", q);
+        }
+    }
+
+    #[test]
+    fn inferred_properties_hold_for_update_scripts(
+        xml in arb_xml_tree(),
+        v in "[a-e]{1,4}",
+        second in any::<bool>(),
+    ) {
+        let script = if second {
+            format!(
+                "insert nodes <n attr=\"{v}\"/> as last into doc(\"t.xml\")/*[1], \
+                 delete nodes doc(\"t.xml\")//empty"
+            )
+        } else {
+            format!("insert nodes <leaf>{v}</leaf> as first into doc(\"t.xml\")/*[1]")
+        };
+        let plain_db = std::sync::Arc::new(Database::new());
+        plain_db.load_document("t.xml", &xml).unwrap();
+        let checked_db = std::sync::Arc::new(Database::new());
+        checked_db.load_document("t.xml", &xml).unwrap();
+        plain_db.session().execute_update(&script).unwrap();
+        checked_db
+            .session_with_config(ExecConfig {
+                validate_plans: true,
+                ..ExecConfig::default()
+            })
+            .execute_update(&script)
+            .unwrap();
+        let q = "count(doc(\"t.xml\")//*)";
+        prop_assert_eq!(
+            plain_db.session().query(q).unwrap().serialize().to_string(),
+            checked_db.session().query(q).unwrap().serialize().to_string()
+        );
     }
 
     #[test]
