@@ -41,19 +41,39 @@ fn env_scale() -> Option<f64> {
     }
 }
 
+/// The worker-thread count the engine kernels will actually run with: the
+/// `MXQ_THREADS` environment variable resolved exactly as the executor
+/// resolves it (invalid values panic loudly, unset means single-threaded).
+pub fn active_threads() -> usize {
+    mxq_engine::par::resolve_threads(0)
+}
+
+/// Print the effective bench environment (scale factor and thread count) so
+/// every recorded baseline row is self-describing.
+fn report_env(factors: &[f64]) {
+    eprintln!(
+        "[mxq-bench] scale factor(s) {factors:?}, threads {}",
+        active_threads()
+    );
+}
+
 /// The XMark scale factor to run a bench at: the `MXQ_SCALE` environment
 /// variable when set (e.g. `MXQ_SCALE=0.01 cargo bench`), else `default`.
 pub fn scale_factor(default: f64) -> f64 {
-    env_scale().unwrap_or(default)
+    let f = env_scale().unwrap_or(default);
+    report_env(&[f]);
+    f
 }
 
 /// The scale factors a multi-factor bench iterates over: `[MXQ_SCALE]` when
 /// the environment variable is set, else the bench's `defaults`.
 pub fn scale_factors(defaults: &[f64]) -> Vec<f64> {
-    match env_scale() {
+    let factors = match env_scale() {
         Some(f) => vec![f],
         None => defaults.to_vec(),
-    }
+    };
+    report_env(&factors);
+    factors
 }
 
 /// Generate the XMark XML text at a scale factor (deterministic).

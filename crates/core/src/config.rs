@@ -33,9 +33,13 @@ pub struct ExecConfig {
     pub existential_minmax: bool,
     /// Assert the statically inferred plan properties against every executed
     /// intermediate table (debugging aid; also enabled by the
-    /// `MXQ_VALIDATE_PLANS=1` environment variable).  Not part of the
-    /// plan-cache fingerprint: it changes no plans, only adds checks.
+    /// `MXQ_VALIDATE_PLANS=1` environment variable).
     pub validate_plans: bool,
+    /// Worker threads for the parallel kernels (scan, sort, aggregation,
+    /// radix join).  `0` means "auto": honour the `MXQ_THREADS` environment
+    /// variable, falling back to single-threaded execution.  Thread count is
+    /// a pure performance knob — results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -48,6 +52,7 @@ impl Default for ExecConfig {
             order_aware: true,
             existential_minmax: true,
             validate_plans: false,
+            threads: 0,
         }
     }
 }
@@ -59,8 +64,10 @@ impl ExecConfig {
     }
 
     /// A stable fingerprint of the configuration, used as part of plan-cache
-    /// keys: two configurations with the same fingerprint compile any query
-    /// to the same plan.
+    /// keys.  Every execution-affecting field feeds the key — two configs
+    /// that differ in any of them must never share a cached statement, even
+    /// when the difference (like `validate_plans` or `threads`) changes only
+    /// how a plan runs rather than its shape.
     pub fn fingerprint(&self) -> u64 {
         let bits = [
             self.loop_lifted_child,
@@ -69,10 +76,12 @@ impl ExecConfig {
             self.join_recognition,
             self.order_aware,
             self.existential_minmax,
+            self.validate_plans,
         ];
         bits.iter()
             .enumerate()
             .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+            | ((self.threads as u64) << 8)
     }
 
     /// The fully naive configuration (all switches off): iterative staircase
@@ -86,6 +95,7 @@ impl ExecConfig {
             order_aware: false,
             existential_minmax: false,
             validate_plans: false,
+            threads: 0,
         }
     }
 }
@@ -132,6 +142,54 @@ mod tests {
         assert!(c.loop_lifted_child && c.join_recognition && c.order_aware);
         let n = ExecConfig::naive();
         assert!(!n.loop_lifted_child && !n.join_recognition && !n.order_aware);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_execution_affecting_field() {
+        let base = ExecConfig::default();
+        let variants = [
+            ExecConfig {
+                loop_lifted_child: !base.loop_lifted_child,
+                ..base
+            },
+            ExecConfig {
+                loop_lifted_descendant: !base.loop_lifted_descendant,
+                ..base
+            },
+            ExecConfig {
+                nametest_pushdown: !base.nametest_pushdown,
+                ..base
+            },
+            ExecConfig {
+                join_recognition: !base.join_recognition,
+                ..base
+            },
+            ExecConfig {
+                order_aware: !base.order_aware,
+                ..base
+            },
+            ExecConfig {
+                existential_minmax: !base.existential_minmax,
+                ..base
+            },
+            ExecConfig {
+                validate_plans: !base.validate_plans,
+                ..base
+            },
+            ExecConfig { threads: 4, ..base },
+        ];
+        for v in variants {
+            assert_ne!(
+                v.fingerprint(),
+                base.fingerprint(),
+                "flipping a field must change the fingerprint: {v:?}"
+            );
+        }
+        // thread counts are distinguished from each other, not just from auto
+        assert_ne!(
+            ExecConfig { threads: 2, ..base }.fingerprint(),
+            ExecConfig { threads: 4, ..base }.fingerprint()
+        );
     }
 
     #[test]

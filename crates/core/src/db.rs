@@ -777,7 +777,7 @@ impl Database {
         if !frags.is_empty() {
             let mut store = self.store.write().unwrap();
             for &frag in &frags {
-                store.publish(frag, Arc::new(paged[&frag].snapshot()));
+                store.publish(frag, Arc::new(paged[&frag].snapshot()))?;
             }
         }
         self.counters.updates.fetch_add(1, Ordering::Relaxed);
@@ -1462,6 +1462,40 @@ mod tests {
         let mut naive = db.session_with_config(ExecConfig::naive());
         assert_eq!(naive.query(q).unwrap().serialize(), "2");
         assert_eq!(db.stats().prepares, 2);
+    }
+
+    #[test]
+    fn plan_cache_never_shared_across_execution_affecting_config() {
+        // Configs differing ONLY in validate_plans or threads must not share
+        // a cached plan: both change how a statement executes.
+        let db = db_with("<a><b/><b/></a>");
+        let q = "count(doc(\"doc.xml\")/a/b)";
+        let mut base = db.session();
+        assert_eq!(base.query(q).unwrap().serialize(), "2");
+        let prepares_before = db.stats().prepares;
+        let mut validating = db.session_with_config(ExecConfig {
+            validate_plans: true,
+            ..ExecConfig::default()
+        });
+        assert_eq!(validating.query(q).unwrap().serialize(), "2");
+        assert_eq!(
+            db.stats().prepares,
+            prepares_before + 1,
+            "validate_plans-only difference must miss the plan cache"
+        );
+        let mut threaded = db.session_with_config(ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        });
+        assert_eq!(threaded.query(q).unwrap().serialize(), "2");
+        assert_eq!(
+            db.stats().prepares,
+            prepares_before + 2,
+            "threads-only difference must miss the plan cache"
+        );
+        // and re-running each config hits its own cached plan
+        assert_eq!(threaded.query(q).unwrap().serialize(), "2");
+        assert_eq!(db.stats().prepares, prepares_before + 2);
     }
 
     #[test]

@@ -21,10 +21,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use mxq_engine::agg::{aggregate_grouped, aggregate_hash, AggFunc};
-use mxq_engine::join::{radix_hash_join, theta_join_nested};
-use mxq_engine::rank::row_number_streaming;
-use mxq_engine::sort::{sort_permutation, SortOrder};
+use mxq_engine::agg::{aggregate_grouped_with, aggregate_hash, AggFunc};
+use mxq_engine::join::{radix_hash_join_with, theta_join_nested};
+use mxq_engine::rank::row_number_streaming_with;
+use mxq_engine::sort::{sort_permutation_with, SortOrder};
 use mxq_engine::value::format_double;
 use mxq_engine::{CmpOp, Column, EngineError, Item, NodeId, Table};
 use mxq_staircase::{
@@ -98,6 +98,10 @@ pub struct Executor<'a> {
     transient: Document,
     config: ExecConfig,
     params: Params,
+    /// Resolved worker-thread count for the parallel kernels: the
+    /// [`ExecConfig::threads`] request with `0` ("auto") resolved against
+    /// `MXQ_THREADS` once at construction.
+    threads: usize,
     /// Statistics accumulated over all [`Executor::eval`] calls.
     pub stats: ExecStats,
     memo: HashMap<usize, Rc<Table>>,
@@ -140,11 +144,13 @@ impl<'a> Executor<'a> {
     pub fn with_params(snap: &'a StoreSnapshot, config: ExecConfig, params: Params) -> Self {
         let validate =
             config.validate_plans || std::env::var("MXQ_VALIDATE_PLANS").is_ok_and(|v| v == "1");
+        let threads = mxq_engine::par::resolve_threads(config.threads);
         Executor {
             snap,
             transient: Document::new("#transient"),
             config,
             params,
+            threads,
             stats: ExecStats::default(),
             memo: HashMap::new(),
             validation: validate.then(crate::analysis::Analysis::default),
@@ -231,8 +237,11 @@ impl<'a> Executor<'a> {
             (t.column("iter")?, SortOrder::Asc),
             (t.column("pos")?, SortOrder::Asc),
         ];
-        let perm = sort_permutation(&[(keys[0].0, keys[0].1), (keys[1].0, keys[1].1)]);
-        Ok(Rc::new(t.gather(&perm)))
+        let perm = sort_permutation_with(
+            &[(keys[0].0, keys[0].1), (keys[1].0, keys[1].1)],
+            self.threads,
+        );
+        Ok(Rc::new(t.gather_with(&perm, self.threads)))
     }
 
     /// First (lowest-pos) item of every iteration, as (iter → item).
@@ -692,17 +701,20 @@ impl<'a> Executor<'a> {
         let iters = iter_col(t)?;
         let new_pos = if self.config.order_aware {
             // grpord: the rows of each iteration are already in pos order
-            row_number_streaming(&iters)
+            row_number_streaming_with(&iters, self.threads)
         } else {
             self.stats.sorts += 1;
             let keys = [
                 (t.column("iter")?, SortOrder::Asc),
                 (t.column("pos")?, SortOrder::Asc),
             ];
-            let perm = sort_permutation(&keys.iter().map(|(c, o)| (*c, *o)).collect::<Vec<_>>());
-            let sorted = t.gather(&perm);
+            let perm = sort_permutation_with(
+                &keys.iter().map(|(c, o)| (*c, *o)).collect::<Vec<_>>(),
+                self.threads,
+            );
+            let sorted = t.gather_with(&perm, self.threads);
             let iters_sorted = iter_col(&sorted)?;
-            let pos = row_number_streaming(&iters_sorted);
+            let pos = row_number_streaming_with(&iters_sorted, self.threads);
             let mut out = sorted;
             out.add_column("pos", Column::Int(pos))?;
             return Ok(out);
@@ -803,7 +815,7 @@ impl<'a> Executor<'a> {
             });
         }
         let iters: Vec<i64> = rows.iter().map(|r| r.0).collect();
-        let pos = row_number_streaming(&iters);
+        let pos = row_number_streaming_with(&iters, self.threads);
         let items: Vec<Item> = rows.into_iter().map(|r| r.4).collect();
         Ok(seq_table(iters, pos, items))
     }
@@ -841,7 +853,8 @@ impl<'a> Executor<'a> {
                 // this join runs code-to-code by construction
                 self.stats.proven_dict_joins += 1;
             }
-            let (li, ri) = radix_hash_join(lt.column("item")?, rt.column("item")?);
+            let (li, ri) =
+                radix_hash_join_with(lt.column("item")?, rt.column("item")?, self.threads);
             self.stats.join_pairs += li.len() as u64;
             for (a, b) in li.into_iter().zip(ri) {
                 pairs.push((l_iter[a], r_iter[b]));
@@ -931,7 +944,7 @@ impl<'a> Executor<'a> {
         self.stats.sorts += 1;
         rows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         let iters: Vec<i64> = rows.iter().map(|r| r.0).collect();
-        let pos = row_number_streaming(&iters);
+        let pos = row_number_streaming_with(&iters, self.threads);
         let items: Vec<Item> = rows.into_iter().map(|r| r.3).collect();
         Ok(seq_table(iters, pos, items))
     }
@@ -971,7 +984,7 @@ impl<'a> Executor<'a> {
         self.stats.sorts += 1;
         out.sort_unstable_by_key(|&(it, n)| (it, n));
         let iters: Vec<i64> = out.iter().map(|r| r.0).collect();
-        let pos = row_number_streaming(&iters);
+        let pos = row_number_streaming_with(&iters, self.threads);
         let items: Vec<Item> = out.into_iter().map(|r| Item::Node(r.1)).collect();
         Ok(seq_table(iters, pos, items))
     }
@@ -1014,7 +1027,7 @@ impl<'a> Executor<'a> {
                             }
                         }
                     }
-                    let pos = row_number_streaming(&oi);
+                    let pos = row_number_streaming_with(&oi, self.threads);
                     let item = Column::Dict {
                         codes,
                         dict: cols.attr_values().clone(),
@@ -1048,7 +1061,7 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        let pos = row_number_streaming(&oi);
+        let pos = row_number_streaming_with(&oi, self.threads);
         Ok(seq_table(oi, pos, oit))
     }
 
@@ -1103,7 +1116,7 @@ impl<'a> Executor<'a> {
         );
         let agg = if self.config.order_aware && seq.props.grpord_pos && is_sorted(&iters) {
             self.stats.sorts_avoided += 1;
-            aggregate_grouped(&iters, &items_column, func)
+            aggregate_grouped_with(&iters, &items_column, func, self.threads)
         } else {
             aggregate_hash(&iters, &items_column, func)
         }

@@ -72,7 +72,7 @@ pub mod pul;
 
 use std::fmt;
 
-use mxq_xmldb::ShredError;
+use mxq_xmldb::{ShredError, StoreError};
 
 pub use algebra::{Plan, PlanRef};
 pub use analysis::{
@@ -108,6 +108,9 @@ pub enum Error {
     Exec(ExecError),
     /// Collecting or checking a pending update list failed.
     Update(PulError),
+    /// Publishing updated document pages to the store failed (e.g. the
+    /// target fragment id is unknown or transient).
+    Store(StoreError),
     /// The plan verifier found a structural invariant violation in a
     /// compiled plan — a compiler or rewrite bug, caught at prepare time.
     PlanInvariant(PlanViolation),
@@ -127,6 +130,7 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compilation failed: {e}"),
             Error::Exec(e) => write!(f, "execution failed: {e}"),
             Error::Update(e) => write!(f, "update failed: {e}"),
+            Error::Store(e) => write!(f, "store publish failed: {e}"),
             Error::PlanInvariant(v) => write!(f, "plan invariant violated: {v}"),
             Error::WrongStatementKind { expected } => {
                 write!(
@@ -146,6 +150,7 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::Update(e) => Some(e),
+            Error::Store(e) => Some(e),
             Error::PlanInvariant(v) => Some(v),
             Error::WrongStatementKind { .. } => None,
         }
@@ -155,6 +160,11 @@ impl std::error::Error for Error {
 impl From<ShredError> for Error {
     fn from(e: ShredError) -> Self {
         Error::Shred(e)
+    }
+}
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 impl From<ParseError> for Error {

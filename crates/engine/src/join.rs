@@ -66,7 +66,8 @@ fn join_key(item: &Item) -> JoinKey {
 
 /// Normalised join keys for a whole column.  `Dict` columns pay the
 /// normalisation once per dictionary code, every other column once per row.
-fn join_keys(col: &Column) -> Vec<JoinKey> {
+/// The per-row path fans out over chunk-aligned spans when `threads > 1`.
+fn join_keys(col: &Column, threads: usize) -> Vec<JoinKey> {
     match col.dict_parts() {
         Some((codes, dict)) => {
             let per_code: Vec<JoinKey> = (0..dict.len() as u32)
@@ -77,7 +78,12 @@ fn join_keys(col: &Column) -> Vec<JoinKey> {
                 .map(|&c| per_code[c as usize].clone())
                 .collect()
         }
-        None => (0..col.len()).map(|i| join_key(&col.item(i))).collect(),
+        None => crate::par::map_spans(col.len(), threads, |r| {
+            r.map(|i| join_key(&col.item(i))).collect::<Vec<JoinKey>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
     }
 }
 
@@ -166,6 +172,16 @@ fn hash_key(k: &JoinKey) -> u64 {
 /// hashed once (per code for `Dict` inputs), split into `2^RADIX_BITS`
 /// partitions by the low hash bits, and joined partition by partition.
 pub fn radix_hash_join(left: &Column, right: &Column) -> JoinPairs {
+    radix_hash_join_with(left, right, 1)
+}
+
+/// Partition-parallel [`radix_hash_join`]: key normalisation and hashing
+/// fan out over chunk-aligned row spans, and the per-partition build+probe
+/// loop fans out over partition ranges (each partition is an independent
+/// join — the radix layout's natural parallel work unit).  The final
+/// `(left, right)` sort restores one canonical order, so the pair list is
+/// identical for any thread count.
+pub fn radix_hash_join_with(left: &Column, right: &Column, threads: usize) -> JoinPairs {
     if let (Some((lcodes, ldict)), Some((rcodes, rdict))) = (left.dict_parts(), right.dict_parts())
     {
         if Arc::ptr_eq(ldict, rdict) {
@@ -177,8 +193,8 @@ pub fn radix_hash_join(left: &Column, right: &Column) -> JoinPairs {
         }
     }
 
-    let lkeys = join_keys(left);
-    let rkeys = join_keys(right);
+    let lkeys = join_keys(left, threads);
+    let rkeys = join_keys(right, threads);
     // partition only as much as the build side warrants: with fewer than
     // ROWS_PER_PARTITION build rows a single hash table is already cache
     // resident and partitioning would be pure overhead
@@ -209,33 +225,54 @@ pub fn radix_hash_join(left: &Column, right: &Column) -> JoinPairs {
         return (lout, rout);
     }
 
+    // hash in parallel, then scatter the rows into partitions sequentially
     let partition = |keys: &[JoinKey]| -> Vec<Vec<usize>> {
+        let part_of: Vec<u16> = crate::par::map_spans(keys.len(), threads, |r| {
+            keys[r]
+                .iter()
+                .map(|k| (hash_key(k) & mask) as u16)
+                .collect::<Vec<u16>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let mut parts: Vec<Vec<usize>> = vec![Vec::new(); nparts];
-        for (row, k) in keys.iter().enumerate() {
-            parts[(hash_key(k) & mask) as usize].push(row);
+        for (row, &p) in part_of.iter().enumerate() {
+            parts[p as usize].push(row);
         }
         parts
     };
     let lparts = partition(&lkeys);
     let rparts = partition(&rkeys);
 
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    for p in 0..nparts {
-        if lparts[p].is_empty() || rparts[p].is_empty() {
-            continue;
-        }
-        let mut build: HashMap<&JoinKey, Vec<usize>> = HashMap::with_capacity(rparts[p].len());
-        for &r in &rparts[p] {
-            build.entry(&rkeys[r]).or_default().push(r);
-        }
-        for &l in &lparts[p] {
-            if let Some(rs) = build.get(&lkeys[l]) {
-                for &r in rs {
-                    pairs.push((l, r));
+    // each partition joins independently; workers take partition ranges and
+    // emit their own pair lists, concatenated in partition order
+    let per = nparts.div_ceil(threads.max(1)).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..nparts)
+        .step_by(per)
+        .map(|p| p..(p + per).min(nparts))
+        .collect();
+    let chunks: Vec<Vec<(usize, usize)>> = crate::par::map_ranges(ranges, threads, |pr| {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for p in pr {
+            if lparts[p].is_empty() || rparts[p].is_empty() {
+                continue;
+            }
+            let mut build: HashMap<&JoinKey, Vec<usize>> = HashMap::with_capacity(rparts[p].len());
+            for &r in &rparts[p] {
+                build.entry(&rkeys[r]).or_default().push(r);
+            }
+            for &l in &lparts[p] {
+                if let Some(rs) = build.get(&lkeys[l]) {
+                    for &r in rs {
+                        pairs.push((l, r));
+                    }
                 }
             }
         }
-    }
+        pairs
+    });
+    let mut pairs: Vec<(usize, usize)> = chunks.concat();
     // restore the (left, right) index order hash_join_items produces
     pairs.sort_unstable();
     (

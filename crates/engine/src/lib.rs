@@ -19,9 +19,12 @@
 //!   with both the sort-based and the streaming hash-based algorithm
 //!   ([`rank`], Section 4.1 of the paper), and grouped aggregation ([`agg`]).
 //!
-//! The kernel is purely in-memory and single-threaded, which matches the way
-//! MonetDB/XQuery executed a single query plan; scalability experiments in
-//! the paper vary the *data* size, not the number of worker threads.
+//! The kernel is purely in-memory and works chunk-at-a-time: the hot
+//! operators also come in `_with(threads)` variants that split their input
+//! into fixed-size chunks ([`par`]) and fan the chunks out over scoped
+//! `std::thread` workers — no external thread-pool crate.  Every parallel
+//! variant produces **bit-identical output** to its sequential counterpart,
+//! so the thread count is a pure performance knob.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod column;
 pub mod dict;
 pub mod error;
 pub mod join;
+pub mod par;
 pub mod rank;
 pub mod sort;
 pub mod table;

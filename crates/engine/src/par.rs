@@ -1,0 +1,153 @@
+//! Dependency-free data parallelism over fixed-size row chunks.
+//!
+//! MonetDB/X100-style kernels work chunk-at-a-time; this module turns the
+//! same chunks into parallel work units using only `std::thread::scope` —
+//! no thread-pool crate, no work stealing.  Every parallel kernel in this
+//! crate follows one contract: **the output is bit-identical to the
+//! sequential output for any thread count**, so thread count is a pure
+//! performance knob (the CI determinism leg checks exactly this).
+//!
+//! The thread count flows in from the caller (`ExecConfig::threads`,
+//! resolved against the `MXQ_THREADS` environment variable by
+//! [`resolve_threads`]); kernels stay sequential below
+//! [`PAR_MIN_ROWS`] rows, where spawn overhead would dominate.
+
+use std::ops::Range;
+
+/// Row target of one parallel work chunk.  Spans handed to worker threads
+/// are aligned to multiples of this so a worker always processes whole
+/// chunks (matching the chunked column image of the storage layer).
+pub const CHUNK_ROWS: usize = 1024;
+
+/// Inputs smaller than this stay sequential regardless of the requested
+/// thread count — spawn + join overhead would outweigh the work.
+pub const PAR_MIN_ROWS: usize = 4 * CHUNK_ROWS;
+
+/// Resolve a requested thread count: a positive value wins as-is, `0`
+/// means "auto" — the `MXQ_THREADS` environment variable if set, else 1.
+///
+/// # Panics
+/// Panics loudly when `MXQ_THREADS` is set to anything but a positive
+/// integer (matching the `MXQ_SCALE` convention of the bench suite).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    match std::env::var("MXQ_THREADS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| panic!("MXQ_THREADS must be a positive integer, got `{raw}`")),
+        Err(_) => 1,
+    }
+}
+
+/// Split `0..n` into at most `threads` contiguous spans, each a multiple
+/// of [`CHUNK_ROWS`] (except the last).  Returns a single span when the
+/// input is too small to parallelise.
+pub fn spans(n: usize, threads: usize) -> Vec<Range<usize>> {
+    if threads <= 1 || n < PAR_MIN_ROWS {
+        // a deliberate one-span list (the whole input), not `(0..n).collect()`
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..n];
+    }
+    // chunk-align the per-thread quota so workers own whole chunks
+    let per = n.div_ceil(threads).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
+    let mut out = Vec::with_capacity(threads);
+    let mut at = 0usize;
+    while at < n {
+        let end = (at + per).min(n);
+        out.push(at..end);
+        at = end;
+    }
+    out
+}
+
+/// Apply `f` to every span of `0..n` (at most `threads` of them, chunk
+/// aligned) on scoped worker threads, returning the results in span order.
+/// Falls back to a plain sequential call for a single span.
+pub fn map_spans<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let spans = spans(n, threads);
+    if spans.len() <= 1 {
+        return spans.into_iter().map(f).collect();
+    }
+    let fref = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|s| scope.spawn(move || fref(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel kernel worker panicked"))
+            .collect()
+    })
+}
+
+/// Like [`map_spans`] but over an explicit list of precomputed spans
+/// (e.g. group-aligned ranges) — the span list itself is not re-split.
+pub fn map_ranges<T, F>(ranges: Vec<Range<usize>>, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let fref = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|s| scope.spawn(move || fref(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel kernel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_and_align() {
+        let s = spans(10 * CHUNK_ROWS + 7, 4);
+        assert!(s.len() > 1);
+        let mut at = 0;
+        for r in &s {
+            assert_eq!(r.start, at);
+            if r.end != 10 * CHUNK_ROWS + 7 {
+                assert_eq!(r.end % CHUNK_ROWS, 0, "span ends chunk aligned");
+            }
+            at = r.end;
+        }
+        assert_eq!(at, 10 * CHUNK_ROWS + 7);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        assert_eq!(spans(100, 8), vec![0..100]);
+        assert_eq!(spans(0, 8), vec![0..0]);
+    }
+
+    #[test]
+    fn map_spans_preserves_order() {
+        let n = PAR_MIN_ROWS + 123;
+        let parts = map_spans(n, 4, |r| r.clone());
+        let seq: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(seq, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_explicit_threads() {
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Parallel kernels must produce bit-identical output to their sequential
+//! counterparts for any thread count — thread count is a pure performance
+//! knob (the same contract the CI determinism leg checks end to end).
+
+use mxq_engine::agg::{aggregate_grouped, aggregate_grouped_with, AggFunc};
+use mxq_engine::join::{radix_hash_join, radix_hash_join_with};
+use mxq_engine::rank::{row_number_streaming, row_number_streaming_with};
+use mxq_engine::sort::{
+    refine_sort_permutation, refine_sort_permutation_with, sort_permutation, sort_permutation_with,
+    SortOrder,
+};
+use mxq_engine::{Column, Item};
+
+/// Deterministic xorshift so the inputs are sizeable but reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const N: usize = 20_000; // comfortably above the sequential-fallback floor
+const THREADS: &[usize] = &[2, 3, 4, 8];
+
+#[test]
+fn parallel_sort_permutation_is_identical() {
+    let mut rng = Rng(7);
+    let a = Column::Int((0..N).map(|_| rng.below(50) as i64).collect());
+    let b = Column::Int((0..N).map(|_| rng.below(1000) as i64).collect());
+    let keys = [(&a, SortOrder::Asc), (&b, SortOrder::Desc)];
+    let seq = sort_permutation(&keys);
+    for &t in THREADS {
+        assert_eq!(sort_permutation_with(&keys, t), seq, "threads {t}");
+    }
+}
+
+#[test]
+fn parallel_refine_sort_is_identical() {
+    let mut rng = Rng(11);
+    // major pre-sorted with long runs, minor random
+    let major = Column::Int((0..N).map(|i| (i / 97) as i64).collect());
+    let minor = Column::Int((0..N).map(|_| rng.below(500) as i64).collect());
+    let seq = refine_sort_permutation(&major, &[(&minor, SortOrder::Asc)]);
+    for &t in THREADS {
+        assert_eq!(
+            refine_sort_permutation_with(&major, &[(&minor, SortOrder::Asc)], t),
+            seq,
+            "threads {t}"
+        );
+    }
+}
+
+#[test]
+fn parallel_grouped_aggregation_is_identical() {
+    let mut rng = Rng(13);
+    let iter: Vec<i64> = (0..N).map(|i| (i / 13) as i64).collect();
+    let items = Column::Int((0..N).map(|_| rng.below(10_000) as i64).collect());
+    for func in [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ] {
+        let seq = aggregate_grouped(&iter, &items, func).unwrap();
+        for &t in THREADS {
+            let par = aggregate_grouped_with(&iter, &items, func, t).unwrap();
+            assert_eq!(par.groups, seq.groups, "{func:?} threads {t}");
+            let fmt = |v: &[Item]| v.iter().map(|i| i.string_value()).collect::<Vec<_>>();
+            assert_eq!(fmt(&par.values), fmt(&seq.values), "{func:?} threads {t}");
+        }
+    }
+}
+
+#[test]
+fn parallel_dict_aggregation_is_identical() {
+    let mut rng = Rng(17);
+    let iter: Vec<i64> = (0..N).map(|i| (i / 29) as i64).collect();
+    let words = ["apple", "pear", "plum", "fig", "date", "quince"];
+    let items = Column::dict_from_strings(
+        (0..N)
+            .map(|_| words[rng.below(6) as usize])
+            .collect::<Vec<_>>(),
+    );
+    for func in [AggFunc::Min, AggFunc::Max] {
+        let seq = aggregate_grouped(&iter, &items, func).unwrap();
+        for &t in THREADS {
+            let par = aggregate_grouped_with(&iter, &items, func, t).unwrap();
+            let fmt = |v: &[Item]| v.iter().map(|i| i.string_value()).collect::<Vec<_>>();
+            assert_eq!(fmt(&par.values), fmt(&seq.values), "{func:?} threads {t}");
+        }
+    }
+}
+
+#[test]
+fn parallel_row_numbering_is_identical() {
+    let mut rng = Rng(19);
+    let group: Vec<i64> = (0..N).map(|_| rng.below(200) as i64).collect();
+    let seq = row_number_streaming(&group);
+    for &t in THREADS {
+        assert_eq!(row_number_streaming_with(&group, t), seq, "threads {t}");
+    }
+}
+
+#[test]
+fn parallel_radix_join_is_identical() {
+    let mut rng = Rng(23);
+    // mixed keys: ints, numeric strings and plain strings, with collisions
+    let mk = |rng: &mut Rng, n: usize| -> Column {
+        Column::from_items(
+            (0..n)
+                .map(|_| match rng.below(3) {
+                    0 => Item::Int(rng.below(300) as i64),
+                    1 => Item::str(format!("{}", rng.below(300)).as_str()),
+                    _ => Item::str(format!("k{}", rng.below(300)).as_str()),
+                })
+                .collect(),
+        )
+    };
+    let left = mk(&mut rng, N / 2);
+    let right = mk(&mut rng, N);
+    let seq = radix_hash_join(&left, &right);
+    for &t in THREADS {
+        assert_eq!(radix_hash_join_with(&left, &right, t), seq, "threads {t}");
+    }
+}
+
+#[test]
+fn parallel_gather_and_filter_are_identical() {
+    let mut rng = Rng(29);
+    let col = Column::Int((0..N as i64).collect());
+    let idx: Vec<usize> = (0..N).map(|_| rng.below(N as u64) as usize).collect();
+    let mask: Vec<bool> = (0..N).map(|_| rng.below(2) == 0).collect();
+    let g_seq = col.gather(&idx);
+    let f_seq = col.filter(&mask).unwrap();
+    for &t in THREADS {
+        assert_eq!(
+            col.gather_with(&idx, t).as_int().unwrap(),
+            g_seq.as_int().unwrap(),
+            "gather threads {t}"
+        );
+        assert_eq!(
+            col.filter_with(&mask, t).unwrap().as_int().unwrap(),
+            f_seq.as_int().unwrap(),
+            "filter threads {t}"
+        );
+    }
+}

@@ -1,27 +1,38 @@
 //! Relational export of a document with dictionary-encoded name columns —
-//! maintained **incrementally** by the paged update path.
+//! maintained **incrementally** by the paged update path, stored in
+//! **fixed-size chunks** so maintenance never memmoves the whole image.
 //!
 //! The paper's storage layer keeps the structural `pre|size|level` table in
 //! dense columns and the node names in an interned qname container
-//! (Figure 9).  [`DocumentColumns`] is that layout: dense `size`/`level`/
-//! `kind`/name-code vectors (one row per node in document order) plus an
-//! `owner|name|value` attribute image, with the tag and attribute-name
-//! columns encoded against **shared sorted dictionaries**.
+//! (Figure 9).  [`DocumentColumns`] is that layout, cut into chunks of a
+//! power-of-two row target (MonetDB/X100-style): each chunk holds its
+//! own `size`/`level`/`kind`/name-code vectors plus the `owner|name|value`
+//! attribute rows of *its* nodes (owners stored chunk-locally), with the
+//! tag and attribute-name columns encoded against **shared sorted
+//! dictionaries**.
 //!
 //! Since PR 5 this image is the *canonical structural read path* of the
 //! paged store: [`crate::update::PagedDocument`] patches it in lockstep
 //! with every applied update primitive (row splices, ancestor `size`
 //! deltas, in-place renames and attribute patches), merging new names into
 //! the dictionaries (with a code remap) only when an update introduces a
-//! string the dictionary has never seen.  A write therefore costs
-//! memmove-level splices instead of the former full rebuild
-//! (re-shredding, re-interning and re-sorting every name).  The engine
-//! [`Table`]s exposed to the relational kernel are assembled lazily from
-//! the image and cached until the next patch.
+//! string the dictionary has never seen.  Chunking is what makes the patch
+//! cheap: a row splice lands in exactly one chunk, shifts only that
+//! chunk's rows and chunk-local attribute owners, and then fixes up the
+//! O(#chunks) start index — O(chunk), not O(document).  An oversized
+//! chunk splits back into row-target pieces, so chunks stay bounded and
+//! double as the work unit for batch-at-a-time and parallel kernels.
 //!
-//! Within one export the structural and the attribute table share their
-//! dictionary instances (`Arc`), so tag-to-tag and name-to-name equi-joins
-//! between them never touch a string.
+//! Every chunk also carries summaries — min/max level, a node-kind mask
+//! and a name-code bucket bitmask — maintained on each patch, so backward
+//! parent scans ([`DocumentColumns::anchor_before`]) and kind/name probes
+//! skip whole chunks that cannot contain a match.
+//!
+//! The engine [`Table`]s exposed to the relational kernel are assembled
+//! lazily from the chunks and cached until the next patch.  Within one
+//! export the structural and the attribute table share their dictionary
+//! instances (`Arc`), so tag-to-tag and name-to-name equi-joins between
+//! them never touch a string.
 
 use std::sync::{Arc, OnceLock};
 
@@ -32,6 +43,10 @@ use crate::node::NodeKind;
 use crate::read::{AttrsIter, NodeRead};
 use crate::shred::{shred, ShredError, ShredOptions};
 use crate::update::Tuple;
+
+/// Default chunk row target: power-of-two, sized so a chunk's columns fit
+/// comfortably in L1/L2 while keeping the start index tiny.
+pub const DEFAULT_CHUNK_ROWS: usize = 1024;
 
 /// Integer encoding of [`NodeKind`] used in the `kind` column.
 pub fn kind_code(kind: NodeKind) -> i64 {
@@ -56,9 +71,55 @@ pub fn code_kind(code: i64) -> NodeKind {
     }
 }
 
-/// The dense relational image of one document container, with
-/// dictionary-encoded string columns (see the module docs).
+/// One fixed-size piece of the column image: a run of consecutive node
+/// rows plus the attribute rows they own (owners are chunk-local offsets,
+/// so a splice renumbers inside the chunk only).
 #[derive(Debug, Clone, Default)]
+struct Chunk {
+    size: Vec<i64>,
+    level: Vec<i64>,
+    kind: Vec<i64>,
+    name_code: Vec<u32>,
+    /// Attribute rows of this chunk's nodes, owner-ordered; the owner is
+    /// the node's offset *within this chunk*.
+    attr_owner: Vec<u32>,
+    attr_name_code: Vec<u32>,
+    attr_value_code: Vec<u32>,
+    /// Summaries, rebuilt on every structural patch of the chunk.
+    min_level: i64,
+    max_level: i64,
+    kind_mask: u8,
+    /// Bit `code % 64` set for every name code in the chunk (conservative
+    /// — a set bit means "may contain").
+    name_buckets: u64,
+}
+
+impl Chunk {
+    fn len(&self) -> usize {
+        self.size.len()
+    }
+
+    fn rebuild_summary(&mut self) {
+        self.min_level = self.level.iter().copied().min().unwrap_or(i64::MAX);
+        self.max_level = self.level.iter().copied().max().unwrap_or(i64::MIN);
+        self.kind_mask = self.kind.iter().fold(0u8, |m, &k| m | (1u8 << k));
+        self.name_buckets = self
+            .name_code
+            .iter()
+            .fold(0u64, |m, &c| m | (1u64 << (c % 64)));
+    }
+
+    /// Chunk-local attribute row range of the node at local offset `l`.
+    fn attr_range(&self, l: usize) -> std::ops::Range<usize> {
+        let start = self.attr_owner.partition_point(|&o| (o as usize) < l);
+        let end = self.attr_owner.partition_point(|&o| (o as usize) <= l);
+        start..end
+    }
+}
+
+/// The chunked relational image of one document container, with
+/// dictionary-encoded string columns (see the module docs).
+#[derive(Debug, Clone)]
 pub struct DocumentColumns {
     /// Sorted dictionary over the element names (plus the empty string used
     /// for non-element rows).  Grows monotonically under incremental
@@ -71,76 +132,167 @@ pub struct DocumentColumns {
     /// keywords, numeric strings side by side), so joins over it go through
     /// the per-code numeric keys of [`Dictionary::numeric_key_of`].
     attr_values: Arc<Dictionary>,
-    size: Vec<i64>,
-    level: Vec<i64>,
-    kind: Vec<i64>,
-    name_code: Vec<u32>,
-    attr_owner: Vec<i64>,
-    attr_name_code: Vec<u32>,
-    attr_value_code: Vec<u32>,
+    chunks: Vec<Chunk>,
+    /// `starts[i]` = pre of the first row of chunk `i` (prefix sums; the
+    /// per-chunk min/max pre follow as `starts[i]..starts[i]+len`).
+    starts: Vec<usize>,
+    /// Power-of-two row target per chunk; a chunk splits once it exceeds
+    /// twice this.
+    chunk_rows: usize,
+    /// True while every chunk except the last holds exactly `chunk_rows`
+    /// rows (any freshly built image); lets [`DocumentColumns::locate`]
+    /// compute the chunk index with a shift instead of a binary search.
+    uniform: bool,
+    len: usize,
+    attr_count: usize,
     /// Lazily assembled engine tables over the image, cached separately so
     /// a consumer of only one table never pays for assembling the other.
     structural_table: OnceLock<Table>,
     attribute_table: OnceLock<Table>,
 }
 
-impl DocumentColumns {
-    /// Export a container into its relational, dictionary-encoded image.
-    pub fn new<D: NodeRead>(doc: &D) -> DocumentColumns {
-        let n = doc.len() as u32;
-        let mut size = Vec::with_capacity(doc.len());
-        let mut level = Vec::with_capacity(doc.len());
-        let mut kind = Vec::with_capacity(doc.len());
-        let mut names: Vec<Arc<str>> = Vec::with_capacity(doc.len());
-        let mut attr_owner = Vec::new();
-        let mut attr_namev: Vec<Arc<str>> = Vec::new();
-        let mut attr_value: Vec<Arc<str>> = Vec::new();
-        for v in 0..n {
-            size.push(doc.size(v) as i64);
-            level.push(doc.level(v) as i64);
-            kind.push(kind_code(doc.kind(v)));
-            names.push(match doc.kind(v) {
-                NodeKind::Element => Arc::from(doc.name_of(v)),
-                _ => Arc::from(""),
-            });
-            for (aname, avalue) in doc.attrs(v) {
-                attr_owner.push(v as i64);
-                attr_namev.push(aname.clone());
-                attr_value.push(avalue.clone());
-            }
-        }
-        let (name_code, tags) = Dictionary::encode(names);
-        let (attr_name_code, attr_names) = Dictionary::encode(attr_namev);
-        let (attr_value_code, attr_values) = Dictionary::encode(attr_value);
+impl Default for DocumentColumns {
+    fn default() -> DocumentColumns {
         DocumentColumns {
-            tags,
-            attr_names,
-            attr_values,
-            size,
-            level,
-            kind,
-            name_code,
-            attr_owner,
-            attr_name_code,
-            attr_value_code,
+            tags: Dictionary::new(Vec::<Arc<str>>::new()),
+            attr_names: Dictionary::new(Vec::<Arc<str>>::new()),
+            attr_values: Dictionary::new(Vec::<Arc<str>>::new()),
+            chunks: Vec::new(),
+            starts: Vec::new(),
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            uniform: true,
+            len: 0,
+            attr_count: 0,
             structural_table: OnceLock::new(),
             attribute_table: OnceLock::new(),
         }
     }
+}
+
+impl DocumentColumns {
+    /// Export a container into its relational, dictionary-encoded chunked
+    /// image at the default chunk size.
+    pub fn new<D: NodeRead>(doc: &D) -> DocumentColumns {
+        Self::with_chunk_rows(doc, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Export with an explicit chunk row target (must be a power of two).
+    pub fn with_chunk_rows<D: NodeRead>(doc: &D, chunk_rows: usize) -> DocumentColumns {
+        assert!(
+            chunk_rows.is_power_of_two(),
+            "chunk_rows must be a power of two, got {chunk_rows}"
+        );
+        let n = doc.len() as u32;
+        let mut names: Vec<Arc<str>> = Vec::with_capacity(doc.len());
+        let mut attr_namev: Vec<Arc<str>> = Vec::new();
+        let mut attr_value: Vec<Arc<str>> = Vec::new();
+        let mut attr_per_node: Vec<u32> = Vec::with_capacity(doc.len());
+        for v in 0..n {
+            names.push(match doc.kind(v) {
+                NodeKind::Element => Arc::from(doc.name_of(v)),
+                _ => Arc::from(""),
+            });
+            let mut count = 0u32;
+            for (aname, avalue) in doc.attrs(v) {
+                attr_namev.push(aname.clone());
+                attr_value.push(avalue.clone());
+                count += 1;
+            }
+            attr_per_node.push(count);
+        }
+        let (name_code, tags) = Dictionary::encode(names);
+        let (attr_name_code, attr_names) = Dictionary::encode(attr_namev);
+        let (attr_value_code, attr_values) = Dictionary::encode(attr_value);
+
+        let mut cols = DocumentColumns {
+            tags,
+            attr_names,
+            attr_values,
+            chunk_rows,
+            ..DocumentColumns::default()
+        };
+        let mut attr_at = 0usize;
+        let mut start = 0usize;
+        while start < doc.len() {
+            let end = (start + chunk_rows).min(doc.len());
+            let mut chunk = Chunk {
+                size: (start..end).map(|v| doc.size(v as u32) as i64).collect(),
+                level: (start..end).map(|v| doc.level(v as u32) as i64).collect(),
+                kind: (start..end)
+                    .map(|v| kind_code(doc.kind(v as u32)))
+                    .collect(),
+                name_code: name_code[start..end].to_vec(),
+                ..Chunk::default()
+            };
+            for (local, v) in (start..end).enumerate() {
+                for _ in 0..attr_per_node[v] {
+                    chunk.attr_owner.push(local as u32);
+                    chunk.attr_name_code.push(attr_name_code[attr_at]);
+                    chunk.attr_value_code.push(attr_value_code[attr_at]);
+                    attr_at += 1;
+                }
+            }
+            chunk.rebuild_summary();
+            cols.chunks.push(chunk);
+            start = end;
+        }
+        cols.rebuild_starts();
+        cols
+    }
+
+    /// Rebuild the same content at a different chunk row target (must be a
+    /// power of two) — dictionaries and codes are reused as-is.
+    pub fn rechunked(&self, chunk_rows: usize) -> DocumentColumns {
+        assert!(
+            chunk_rows.is_power_of_two(),
+            "chunk_rows must be a power of two, got {chunk_rows}"
+        );
+        let mut merged = Chunk::default();
+        for (ci, c) in self.chunks.iter().enumerate() {
+            let base = self.starts[ci] as u32;
+            merged.size.extend_from_slice(&c.size);
+            merged.level.extend_from_slice(&c.level);
+            merged.kind.extend_from_slice(&c.kind);
+            merged.name_code.extend_from_slice(&c.name_code);
+            merged.attr_owner.extend(c.attr_owner.iter().map(|&o| {
+                // re-anchor chunk-local owners to the merged chunk
+                base + o
+            }));
+            merged.attr_name_code.extend_from_slice(&c.attr_name_code);
+            merged.attr_value_code.extend_from_slice(&c.attr_value_code);
+        }
+        let mut out = DocumentColumns {
+            tags: self.tags.clone(),
+            attr_names: self.attr_names.clone(),
+            attr_values: self.attr_values.clone(),
+            chunk_rows,
+            ..DocumentColumns::default()
+        };
+        if merged.len() > 0 {
+            merged.rebuild_summary();
+            out.chunks.push(merged);
+            out.rebuild_starts();
+            if out.chunks[0].len() > chunk_rows {
+                out.split_chunk(0);
+                out.rebuild_starts();
+            }
+        }
+        out
+    }
 
     /// Number of node rows in the image.
     pub fn len(&self) -> usize {
-        self.size.len()
+        self.len
     }
 
     /// True if the image holds no node rows.
     pub fn is_empty(&self) -> bool {
-        self.size.is_empty()
+        self.len == 0
     }
 
     /// Number of attribute rows.
     pub fn attr_count(&self) -> usize {
-        self.attr_owner.len()
+        self.attr_count
     }
 
     /// The element-name dictionary.
@@ -158,52 +310,180 @@ impl DocumentColumns {
         &self.attr_values
     }
 
-    // -- dense structural read path --------------------------------------
+    // -- chunk geometry and summaries -------------------------------------
+
+    /// The configured power-of-two chunk row target.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks in the image.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// `(first pre, row count)` of chunk `i`.
+    pub fn chunk_span(&self, i: usize) -> (u32, usize) {
+        (self.starts[i] as u32, self.chunks[i].len())
+    }
+
+    /// `(min, max)` level over the rows of chunk `i`.
+    pub fn chunk_levels(&self, i: usize) -> (u16, u16) {
+        (
+            self.chunks[i].min_level as u16,
+            self.chunks[i].max_level as u16,
+        )
+    }
+
+    /// True when chunk `i` may contain a node of `kind` (exact).
+    pub fn chunk_has_kind(&self, i: usize, kind: NodeKind) -> bool {
+        self.chunks[i].kind_mask & (1u8 << kind_code(kind)) != 0
+    }
+
+    /// True when chunk `i` may contain name code `code` (conservative:
+    /// a 64-bucket bitmask over `code % 64`).
+    pub fn chunk_may_contain_name_code(&self, i: usize, code: u32) -> bool {
+        self.chunks[i].name_buckets & (1u64 << (code % 64)) != 0
+    }
+
+    /// Chunk index and chunk-local offset of row `pre`.
+    #[inline]
+    fn locate(&self, pre: u32) -> (usize, usize) {
+        let pre = pre as usize;
+        debug_assert!(pre < self.len, "pre {pre} out of bounds {}", self.len);
+        // uniform geometry (every chunk but the last holds exactly
+        // `chunk_rows` rows — true for any freshly built image): the chunk
+        // index is a shift, no binary search on the hot structural path
+        let ci = if self.uniform {
+            (pre >> self.chunk_rows.trailing_zeros()).min(self.chunks.len() - 1)
+        } else {
+            self.starts.partition_point(|&s| s <= pre) - 1
+        };
+        (ci, pre - self.starts[ci])
+    }
+
+    fn rebuild_starts(&mut self) {
+        self.starts.clear();
+        let mut rows = 0usize;
+        let mut attrs = 0usize;
+        for c in &self.chunks {
+            self.starts.push(rows);
+            rows += c.len();
+            attrs += c.attr_owner.len();
+        }
+        self.len = rows;
+        self.attr_count = attrs;
+        self.uniform = self
+            .chunks
+            .split_last()
+            .is_none_or(|(_, init)| init.iter().all(|c| c.len() == self.chunk_rows));
+    }
+
+    /// Split chunk `ci` back into row-target pieces (callers rebuild the
+    /// start index afterwards).
+    fn split_chunk(&mut self, ci: usize) {
+        let chunk = self.chunks.remove(ci);
+        let n = chunk.len();
+        let mut pieces = Vec::with_capacity(n.div_ceil(self.chunk_rows));
+        let mut a = 0usize;
+        while a < n {
+            let b = (a + self.chunk_rows).min(n);
+            let aa = chunk.attr_owner.partition_point(|&o| (o as usize) < a);
+            let ab = chunk.attr_owner.partition_point(|&o| (o as usize) < b);
+            let mut piece = Chunk {
+                size: chunk.size[a..b].to_vec(),
+                level: chunk.level[a..b].to_vec(),
+                kind: chunk.kind[a..b].to_vec(),
+                name_code: chunk.name_code[a..b].to_vec(),
+                attr_owner: chunk.attr_owner[aa..ab]
+                    .iter()
+                    .map(|&o| o - a as u32)
+                    .collect(),
+                attr_name_code: chunk.attr_name_code[aa..ab].to_vec(),
+                attr_value_code: chunk.attr_value_code[aa..ab].to_vec(),
+                ..Chunk::default()
+            };
+            piece.rebuild_summary();
+            pieces.push(piece);
+            a = b;
+        }
+        self.chunks.splice(ci..ci, pieces);
+    }
+
+    // -- dense structural read path ---------------------------------------
 
     /// Subtree size at `pre`.
     #[inline]
     pub fn node_size(&self, pre: u32) -> u32 {
-        self.size[pre as usize] as u32
+        let (ci, l) = self.locate(pre);
+        self.chunks[ci].size[l] as u32
     }
 
     /// Level (depth) at `pre`.
     #[inline]
     pub fn node_level(&self, pre: u32) -> u16 {
-        self.level[pre as usize] as u16
+        let (ci, l) = self.locate(pre);
+        self.chunks[ci].level[l] as u16
     }
 
     /// Node kind at `pre`.
     #[inline]
     pub fn node_kind(&self, pre: u32) -> NodeKind {
-        code_kind(self.kind[pre as usize])
+        let (ci, l) = self.locate(pre);
+        code_kind(self.chunks[ci].kind[l])
     }
 
     /// Name code at `pre` (a [`Self::tags`] code; non-elements carry the
     /// code of the empty string).
     #[inline]
     pub fn node_name_code(&self, pre: u32) -> u32 {
-        self.name_code[pre as usize]
+        let (ci, l) = self.locate(pre);
+        self.chunks[ci].name_code[l]
     }
 
     /// Element name / empty string at `pre`, decoded.
     #[inline]
     pub fn node_name(&self, pre: u32) -> &str {
-        self.tags.str_of(self.name_code[pre as usize])
+        self.tags.str_of(self.node_name_code(pre))
     }
 
-    /// The dense level column (backward parent scans run directly on it).
-    pub fn level_slice(&self) -> &[i64] {
-        &self.level
+    /// Closest node before position `pos` whose level is strictly below
+    /// `level` — the backward parent/anchor scan.  Whole chunks whose
+    /// minimum level is not below `level` are skipped via the summaries.
+    pub fn anchor_before(&self, pos: u32, level: u16) -> Option<u32> {
+        if level == 0 || pos == 0 || self.len == 0 {
+            return None;
+        }
+        let lvl = level as i64;
+        let (mut ci, l) = self.locate(pos.min(self.len as u32) - 1);
+        let mut hi = l + 1; // exclusive local upper bound
+        loop {
+            let chunk = &self.chunks[ci];
+            if chunk.min_level < lvl {
+                for v in (0..hi).rev() {
+                    if chunk.level[v] < lvl {
+                        return Some((self.starts[ci] + v) as u32);
+                    }
+                }
+            }
+            if ci == 0 {
+                return None;
+            }
+            ci -= 1;
+            hi = self.chunks[ci].len();
+        }
     }
 
     /// Attribute rows of element `pre` as a cursor over the columns.
     pub fn attrs_of(&self, pre: u32) -> AttrsIter<'_> {
-        let r = self.attr_range(pre);
+        let (ci, l) = self.locate(pre);
+        let chunk = &self.chunks[ci];
+        let r = chunk.attr_range(l);
         AttrsIter::Dict {
             names: &self.attr_names,
-            codes: &self.attr_name_code[r.clone()],
+            codes: &chunk.attr_name_code[r.clone()],
             values: &self.attr_values,
-            value_codes: &self.attr_value_code[r],
+            value_codes: &chunk.attr_value_code[r],
             idx: 0,
         }
     }
@@ -216,46 +496,66 @@ impl DocumentColumns {
     /// Value codes (into [`Self::attr_values`]) of all attribute rows of
     /// element `pre`, in attribute order.
     pub fn attr_value_codes_of(&self, pre: u32) -> &[u32] {
-        &self.attr_value_code[self.attr_range(pre)]
+        let (ci, l) = self.locate(pre);
+        let chunk = &self.chunks[ci];
+        &chunk.attr_value_code[chunk.attr_range(l)]
     }
 
     /// Value *code* (into [`Self::attr_values`]) of attribute `name` on
     /// element `pre` — the dictionary-encoded form of [`Self::attr_value_of`].
     pub fn attr_value_code_of(&self, pre: u32, name: &str) -> Option<u32> {
         let code = self.attr_names.code_of(name)?;
-        let r = self.attr_range(pre);
-        for i in r {
-            if self.attr_name_code[i] == code {
-                return Some(self.attr_value_code[i]);
+        let (ci, l) = self.locate(pre);
+        let chunk = &self.chunks[ci];
+        for i in chunk.attr_range(l) {
+            if chunk.attr_name_code[i] == code {
+                return Some(chunk.attr_value_code[i]);
             }
         }
         None
     }
 
-    fn attr_range(&self, pre: u32) -> std::ops::Range<usize> {
-        let start = self.attr_owner.partition_point(|&o| o < pre as i64);
-        let end = self.attr_owner.partition_point(|&o| o <= pre as i64);
-        start..end
+    /// All attribute rows as `(global owner, name code, value code)` in
+    /// owner order.
+    fn attr_rows(&self) -> impl Iterator<Item = (i64, u32, u32)> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(ci, c)| {
+            let base = self.starts[ci] as i64;
+            c.attr_owner
+                .iter()
+                .zip(&c.attr_name_code)
+                .zip(&c.attr_value_code)
+                .map(move |((&o, &n), &v)| (base + o as i64, n, v))
+        })
     }
 
-    // -- engine tables (lazy) --------------------------------------------
+    // -- engine tables (lazy) ---------------------------------------------
 
     /// The structural table `pre | size | level | kind | name`, one row per
     /// node in document order; `name` is a [`Column::Dict`] over
-    /// [`Self::tags`].  Assembled lazily from the image and cached until
+    /// [`Self::tags`].  Assembled lazily from the chunks and cached until
     /// the next patch.
     pub fn structural(&self) -> &Table {
         self.structural_table.get_or_init(|| {
-            let pre: Vec<i64> = (0..self.len() as i64).collect();
+            let pre: Vec<i64> = (0..self.len as i64).collect();
+            let mut size = Vec::with_capacity(self.len);
+            let mut level = Vec::with_capacity(self.len);
+            let mut kind = Vec::with_capacity(self.len);
+            let mut name_code = Vec::with_capacity(self.len);
+            for c in &self.chunks {
+                size.extend_from_slice(&c.size);
+                level.extend_from_slice(&c.level);
+                kind.extend_from_slice(&c.kind);
+                name_code.extend_from_slice(&c.name_code);
+            }
             Table::from_columns(vec![
                 ("pre", Column::Int(pre)),
-                ("size", Column::Int(self.size.clone())),
-                ("level", Column::Int(self.level.clone())),
-                ("kind", Column::Int(self.kind.clone())),
+                ("size", Column::Int(size)),
+                ("level", Column::Int(level)),
+                ("kind", Column::Int(kind)),
                 (
                     "name",
                     Column::Dict {
-                        codes: self.name_code.clone(),
+                        codes: name_code,
                         dict: self.tags.clone(),
                     },
                 ),
@@ -271,19 +571,27 @@ impl DocumentColumns {
     /// `@id = @person` and friends) run code-to-code.
     pub fn attributes(&self) -> &Table {
         self.attribute_table.get_or_init(|| {
+            let mut owner = Vec::with_capacity(self.attr_count);
+            let mut name_code = Vec::with_capacity(self.attr_count);
+            let mut value_code = Vec::with_capacity(self.attr_count);
+            for (o, n, v) in self.attr_rows() {
+                owner.push(o);
+                name_code.push(n);
+                value_code.push(v);
+            }
             Table::from_columns(vec![
-                ("owner", Column::Int(self.attr_owner.clone())),
+                ("owner", Column::Int(owner)),
                 (
                     "name",
                     Column::Dict {
-                        codes: self.attr_name_code.clone(),
+                        codes: name_code,
                         dict: self.attr_names.clone(),
                     },
                 ),
                 (
                     "value",
                     Column::Dict {
-                        codes: self.attr_value_code.clone(),
+                        codes: value_code,
                         dict: self.attr_values.clone(),
                     },
                 ),
@@ -331,7 +639,8 @@ impl DocumentColumns {
 
     /// Grow `self.tags` to cover every name in `names`, remapping the
     /// existing codes when the sorted dictionary gains entries.  Returns
-    /// true when a merge (and remap) happened — the rare "new name" path.
+    /// true when a merge (and remap) happened — the rare "new name" path,
+    /// the only remaining O(document) write cost.
     fn ensure_tags<'a>(&mut self, names: impl Iterator<Item = &'a Arc<str>>) -> bool {
         let missing: Vec<Arc<str>> = names
             .filter(|n| self.tags.code_of(n).is_none())
@@ -342,8 +651,15 @@ impl DocumentColumns {
         }
         let fresh = Dictionary::new(missing);
         let (merged, remap_old, _) = Dictionary::merge(&self.tags, &fresh);
-        for c in &mut self.name_code {
-            *c = remap_old[*c as usize];
+        for chunk in &mut self.chunks {
+            for c in &mut chunk.name_code {
+                *c = remap_old[*c as usize];
+            }
+            // codes moved, so the bucket bitmask must follow
+            chunk.name_buckets = chunk
+                .name_code
+                .iter()
+                .fold(0u64, |m, &c| m | (1u64 << (c % 64)));
         }
         self.tags = merged;
         true
@@ -359,8 +675,10 @@ impl DocumentColumns {
         }
         let fresh = Dictionary::new(missing);
         let (merged, remap_old, _) = Dictionary::merge(&self.attr_names, &fresh);
-        for c in &mut self.attr_name_code {
-            *c = remap_old[*c as usize];
+        for chunk in &mut self.chunks {
+            for c in &mut chunk.attr_name_code {
+                *c = remap_old[*c as usize];
+            }
         }
         self.attr_names = merged;
     }
@@ -375,8 +693,10 @@ impl DocumentColumns {
         }
         let fresh = Dictionary::new(missing);
         let (merged, remap_old, _) = Dictionary::merge(&self.attr_values, &fresh);
-        for c in &mut self.attr_value_code {
-            *c = remap_old[*c as usize];
+        for chunk in &mut self.chunks {
+            for c in &mut chunk.attr_value_code {
+                *c = remap_old[*c as usize];
+            }
         }
         self.attr_values = merged;
     }
@@ -388,10 +708,12 @@ impl DocumentColumns {
         }
     }
 
-    /// Splice `rows` into the node image at position `at`, shifting the
-    /// attribute owners behind the splice and inserting the rows' own
-    /// attributes.  O(rows + memmove), plus a dictionary merge when a row
-    /// carries a never-seen name.
+    /// Splice `rows` into the node image at position `at`.  The splice
+    /// lands in exactly one chunk: that chunk's rows shift, its chunk-local
+    /// attribute owners renumber, and the start index is patched —
+    /// O(chunk size plus rows inserted plus #chunks), never a whole-image
+    /// memmove.  Plus a dictionary merge when a row carries a never-seen
+    /// name.
     pub(crate) fn splice_nodes(&mut self, at: usize, rows: &[Tuple]) {
         if rows.is_empty() {
             return;
@@ -400,7 +722,6 @@ impl DocumentColumns {
         // non-element rows encode as the empty string
         let tag_names: Vec<Arc<str>> = rows.iter().map(Self::tag_of).collect();
         self.ensure_tags(tag_names.iter());
-        let k = rows.len() as i64;
         let codes: Vec<u32> = tag_names
             .iter()
             .map(|n| {
@@ -409,74 +730,115 @@ impl DocumentColumns {
                     .expect("ensure_tags covered the splice")
             })
             .collect();
-        self.size.splice(at..at, rows.iter().map(|t| t.size as i64));
-        self.level
-            .splice(at..at, rows.iter().map(|t| t.level as i64));
-        self.kind
-            .splice(at..at, rows.iter().map(|t| kind_code(t.kind)));
-        self.name_code.splice(at..at, codes);
-
-        // attributes: shift owners at/behind the splice, then insert the
-        // spliced rows' attributes (owners are absolute positions)
-        let attr_at = self.attr_owner.partition_point(|&o| o < at as i64);
-        for o in &mut self.attr_owner[attr_at..] {
-            *o += k;
-        }
-        let mut new_owner = Vec::new();
+        // encode the spliced rows' attributes (row offset, name, value)
         let mut new_name: Vec<Arc<str>> = Vec::new();
-        let mut new_value = Vec::new();
+        let mut new_value: Vec<Arc<str>> = Vec::new();
+        let mut attr_of_row: Vec<usize> = Vec::new();
         for (i, t) in rows.iter().enumerate() {
             for (n, v) in &t.attrs {
-                new_owner.push((at + i) as i64);
+                attr_of_row.push(i);
                 new_name.push(n.clone());
                 new_value.push(v.clone());
             }
         }
-        if !new_owner.is_empty() {
+        let (new_codes, new_value_codes) = if attr_of_row.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
             self.ensure_attr_names(new_name.iter());
-            let new_codes: Vec<u32> = new_name
-                .iter()
-                .map(|n| self.attr_names.code_of(n).expect("covered"))
-                .collect();
             self.ensure_attr_values(new_value.iter());
-            let new_value_codes: Vec<u32> = new_value
-                .iter()
-                .map(|v| self.attr_values.code_of(v).expect("covered"))
-                .collect();
-            self.attr_owner.splice(attr_at..attr_at, new_owner);
-            self.attr_name_code.splice(attr_at..attr_at, new_codes);
-            self.attr_value_code
-                .splice(attr_at..attr_at, new_value_codes);
+            (
+                new_name
+                    .iter()
+                    .map(|n| self.attr_names.code_of(n).expect("covered"))
+                    .collect::<Vec<u32>>(),
+                new_value
+                    .iter()
+                    .map(|v| self.attr_values.code_of(v).expect("covered"))
+                    .collect::<Vec<u32>>(),
+            )
+        };
+
+        if self.chunks.is_empty() {
+            self.chunks.push(Chunk::default());
+            self.starts.push(0);
         }
+        let ci = if at == self.len {
+            self.chunks.len() - 1
+        } else {
+            self.locate(at as u32).0
+        };
+        let l = at - self.starts[ci];
+        let k = rows.len();
+        let chunk = &mut self.chunks[ci];
+        chunk.size.splice(l..l, rows.iter().map(|t| t.size as i64));
+        chunk
+            .level
+            .splice(l..l, rows.iter().map(|t| t.level as i64));
+        chunk
+            .kind
+            .splice(l..l, rows.iter().map(|t| kind_code(t.kind)));
+        chunk.name_code.splice(l..l, codes);
+        // chunk-local owner shift: only this chunk's attribute rows move
+        let a = chunk.attr_owner.partition_point(|&o| (o as usize) < l);
+        for o in &mut chunk.attr_owner[a..] {
+            *o += k as u32;
+        }
+        if !attr_of_row.is_empty() {
+            chunk
+                .attr_owner
+                .splice(a..a, attr_of_row.iter().map(|&i| (l + i) as u32));
+            chunk.attr_name_code.splice(a..a, new_codes);
+            chunk.attr_value_code.splice(a..a, new_value_codes);
+        }
+        chunk.rebuild_summary();
+        if chunk.len() > 2 * self.chunk_rows {
+            self.split_chunk(ci);
+        }
+        self.rebuild_starts();
     }
 
     /// Remove `count` node rows starting at `at`, dropping their attribute
-    /// rows and shifting the owners behind the range.
+    /// rows and renumbering the chunk-local owners of the touched chunks
+    /// only.  Chunks emptied by the removal are dropped.
     pub(crate) fn remove_nodes(&mut self, at: usize, count: usize) {
         if count == 0 {
             return;
         }
         self.invalidate_tables();
-        self.size.drain(at..at + count);
-        self.level.drain(at..at + count);
-        self.kind.drain(at..at + count);
-        self.name_code.drain(at..at + count);
-        let start = self.attr_owner.partition_point(|&o| o < at as i64);
-        let end = self
-            .attr_owner
-            .partition_point(|&o| o < (at + count) as i64);
-        self.attr_owner.drain(start..end);
-        self.attr_name_code.drain(start..end);
-        self.attr_value_code.drain(start..end);
-        for o in &mut self.attr_owner[start..] {
-            *o -= count as i64;
+        let (mut ci, mut l) = self.locate(at as u32);
+        let mut remaining = count;
+        while remaining > 0 {
+            let chunk = &mut self.chunks[ci];
+            let c = remaining.min(chunk.len() - l);
+            chunk.size.drain(l..l + c);
+            chunk.level.drain(l..l + c);
+            chunk.kind.drain(l..l + c);
+            chunk.name_code.drain(l..l + c);
+            let a = chunk.attr_owner.partition_point(|&o| (o as usize) < l);
+            let b = chunk.attr_owner.partition_point(|&o| (o as usize) < l + c);
+            chunk.attr_owner.drain(a..b);
+            chunk.attr_name_code.drain(a..b);
+            chunk.attr_value_code.drain(a..b);
+            for o in &mut chunk.attr_owner[a..] {
+                *o -= c as u32;
+            }
+            remaining -= c;
+            if chunk.len() == 0 {
+                self.chunks.remove(ci);
+            } else {
+                chunk.rebuild_summary();
+                ci += 1;
+            }
+            l = 0;
         }
+        self.rebuild_starts();
     }
 
     /// Ancestor `size` maintenance: add `delta` to the size of `pre`.
     pub(crate) fn add_size(&mut self, pre: u32, delta: i64) {
         self.invalidate_structural();
-        self.size[pre as usize] += delta;
+        let (ci, l) = self.locate(pre);
+        self.chunks[ci].size[l] += delta;
     }
 
     /// In-place rename of the node at `pre` (elements only affect the name
@@ -487,7 +849,11 @@ impl DocumentColumns {
         }
         self.invalidate_structural();
         self.ensure_tags(std::iter::once(name));
-        self.name_code[pre as usize] = self.tags.code_of(name).expect("covered");
+        let code = self.tags.code_of(name).expect("covered");
+        let (ci, l) = self.locate(pre);
+        self.chunks[ci].name_code[l] = code;
+        // conservative: only widen the bucket mask
+        self.chunks[ci].name_buckets |= 1u64 << (code % 64);
     }
 
     /// Set (or insert, at the end of the owner's run) an attribute.
@@ -499,16 +865,19 @@ impl DocumentColumns {
         let arc_value: Arc<str> = Arc::from(value);
         self.ensure_attr_values(std::iter::once(&arc_value));
         let value_code = self.attr_values.code_of(value).expect("covered");
-        let r = self.attr_range(pre);
+        let (ci, l) = self.locate(pre);
+        let chunk = &mut self.chunks[ci];
+        let r = chunk.attr_range(l);
         for i in r.clone() {
-            if self.attr_name_code[i] == code {
-                self.attr_value_code[i] = value_code;
+            if chunk.attr_name_code[i] == code {
+                chunk.attr_value_code[i] = value_code;
                 return;
             }
         }
-        self.attr_owner.insert(r.end, pre as i64);
-        self.attr_name_code.insert(r.end, code);
-        self.attr_value_code.insert(r.end, value_code);
+        chunk.attr_owner.insert(r.end, l as u32);
+        chunk.attr_name_code.insert(r.end, code);
+        chunk.attr_value_code.insert(r.end, value_code);
+        self.attr_count += 1;
     }
 
     /// Remove an attribute (no-op if absent).
@@ -517,12 +886,14 @@ impl DocumentColumns {
             return;
         };
         self.invalidate_attributes();
-        let r = self.attr_range(pre);
-        for i in r {
-            if self.attr_name_code[i] == code {
-                self.attr_owner.remove(i);
-                self.attr_name_code.remove(i);
-                self.attr_value_code.remove(i);
+        let (ci, l) = self.locate(pre);
+        let chunk = &mut self.chunks[ci];
+        for i in chunk.attr_range(l) {
+            if chunk.attr_name_code[i] == code {
+                chunk.attr_owner.remove(i);
+                chunk.attr_name_code.remove(i);
+                chunk.attr_value_code.remove(i);
+                self.attr_count -= 1;
                 return;
             }
         }
@@ -542,39 +913,42 @@ impl DocumentColumns {
             .code_of(name)
             .expect("old name stays in the grown dictionary");
         let new_code = self.attr_names.code_of(new_name).expect("covered");
-        let r = self.attr_range(pre);
-        for i in r {
-            if self.attr_name_code[i] == code {
-                self.attr_name_code[i] = new_code;
+        let (ci, l) = self.locate(pre);
+        let chunk = &mut self.chunks[ci];
+        for i in chunk.attr_range(l) {
+            if chunk.attr_name_code[i] == code {
+                chunk.attr_name_code[i] = new_code;
                 return;
             }
         }
     }
 
-    // -- differential verification ---------------------------------------
+    // -- differential verification ----------------------------------------
 
     /// Compare the *decoded* content of two images: per-row structural
-    /// values and names, and per-row attributes.  Dictionary identity is
-    /// deliberately not compared — the incrementally maintained dictionary
-    /// may keep entries for names no longer present in the document.
+    /// values and names, and per-row attributes.  Dictionary identity and
+    /// chunk geometry are deliberately not compared — the incrementally
+    /// maintained image may keep dictionary entries for names no longer
+    /// present and may have ragged chunks, and the two sides may even use
+    /// different chunk row targets.
     pub fn same_content(&self, other: &DocumentColumns) -> Result<(), String> {
         if self.len() != other.len() {
             return Err(format!("row count {} != {}", self.len(), other.len()));
         }
         for i in 0..self.len() {
             let p = i as u32;
-            if self.size[i] != other.size[i]
-                || self.level[i] != other.level[i]
-                || self.kind[i] != other.kind[i]
+            if self.node_size(p) != other.node_size(p)
+                || self.node_level(p) != other.node_level(p)
+                || self.node_kind(p) != other.node_kind(p)
             {
                 return Err(format!(
-                    "structural row {i}: ({}, {}, {}) != ({}, {}, {})",
-                    self.size[i],
-                    self.level[i],
-                    self.kind[i],
-                    other.size[i],
-                    other.level[i],
-                    other.kind[i]
+                    "structural row {i}: ({}, {}, {:?}) != ({}, {}, {:?})",
+                    self.node_size(p),
+                    self.node_level(p),
+                    self.node_kind(p),
+                    other.node_size(p),
+                    other.node_level(p),
+                    other.node_kind(p)
                 ));
             }
             if self.node_name(p) != other.node_name(p) {
@@ -592,18 +966,17 @@ impl DocumentColumns {
                 other.attr_count()
             ));
         }
-        for i in 0..self.attr_count() {
-            let (a, b) = (
-                (
-                    self.attr_owner[i],
-                    self.attr_names.str_of(self.attr_name_code[i]).as_ref(),
-                    self.attr_values.str_of(self.attr_value_code[i]).as_ref(),
-                ),
-                (
-                    other.attr_owner[i],
-                    other.attr_names.str_of(other.attr_name_code[i]).as_ref(),
-                    other.attr_values.str_of(other.attr_value_code[i]).as_ref(),
-                ),
+        for (i, ((ao, an, av), (bo, bn, bv))) in self.attr_rows().zip(other.attr_rows()).enumerate()
+        {
+            let a = (
+                ao,
+                self.attr_names.str_of(an).as_ref(),
+                self.attr_values.str_of(av).as_ref(),
+            );
+            let b = (
+                bo,
+                other.attr_names.str_of(bn).as_ref(),
+                other.attr_values.str_of(bv).as_ref(),
             );
             if a != b {
                 return Err(format!("attr row {i}: {a:?} != {b:?}"));
@@ -729,5 +1102,123 @@ mod tests {
         a.same_content(&b).unwrap();
         b.add_size(0, 1);
         assert!(a.same_content(&b).is_err());
+    }
+
+    /// A wide flat document: root + n <r i="i"><t>text</t></r> children.
+    fn wide_doc(n: usize) -> Document {
+        let mut xml = String::from("<root>");
+        for i in 0..n {
+            xml.push_str(&format!("<r i=\"{i}\"><t>x{i}</t></r>"));
+        }
+        xml.push_str("</root>");
+        shred("w", &xml, &ShredOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn chunk_geometry_and_rechunking() {
+        let doc = wide_doc(100); // 301 nodes
+        for rows in [16usize, 64, 256] {
+            let cols = DocumentColumns::with_chunk_rows(&doc, rows);
+            assert_eq!(cols.chunk_rows(), rows);
+            assert_eq!(cols.chunk_count(), doc.len().div_ceil(rows));
+            // spans tile the pre range exactly
+            let mut at = 0u32;
+            for i in 0..cols.chunk_count() {
+                let (start, len) = cols.chunk_span(i);
+                assert_eq!(start, at);
+                at += len as u32;
+            }
+            assert_eq!(at as usize, doc.len());
+            // content is chunking-invariant
+            cols.same_content(&DocumentColumns::new(&doc)).unwrap();
+            // rechunking round-trips
+            cols.rechunked(32).same_content(&cols).unwrap();
+        }
+    }
+
+    #[test]
+    fn chunk_summaries_cover_their_rows() {
+        let doc = wide_doc(100);
+        let cols = DocumentColumns::with_chunk_rows(&doc, 64);
+        for i in 0..cols.chunk_count() {
+            let (start, len) = cols.chunk_span(i);
+            let (min_l, max_l) = cols.chunk_levels(i);
+            for p in start..start + len as u32 {
+                let lv = cols.node_level(p);
+                assert!(lv >= min_l && lv <= max_l);
+                assert!(cols.chunk_has_kind(i, cols.node_kind(p)));
+                assert!(cols.chunk_may_contain_name_code(i, cols.node_name_code(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_before_matches_linear_scan() {
+        let doc = wide_doc(50);
+        let cols = DocumentColumns::with_chunk_rows(&doc, 16);
+        for pos in 0..doc.len() as u32 {
+            for level in 0..4u16 {
+                let expect = (0..pos).rev().find(|&v| cols.node_level(v) < level);
+                assert_eq!(
+                    cols.anchor_before(pos, level),
+                    expect,
+                    "pos {pos} lv {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splice_stays_within_one_chunk() {
+        let doc = wide_doc(100);
+        let mut cols = DocumentColumns::with_chunk_rows(&doc, 64);
+        let before: Vec<(u32, usize)> = (0..cols.chunk_count())
+            .map(|i| cols.chunk_span(i))
+            .collect();
+        // splice a childless element row into the middle of chunk 2
+        let at = (before[2].0 as usize) + 10;
+        let row = Tuple {
+            size: 0,
+            level: 1,
+            kind: NodeKind::Element,
+            name: Arc::from("zzz"),
+            text: Arc::from(""),
+            attrs: vec![(Arc::from("k"), Arc::from("v"))],
+        };
+        cols.splice_nodes(at, std::slice::from_ref(&row));
+        // chunks before the splice point kept their row counts; only the
+        // spliced chunk grew
+        assert_eq!(cols.chunk_span(2).1, before[2].1 + 1);
+        for (i, b) in before.iter().enumerate().take(2) {
+            assert_eq!(cols.chunk_span(i).1, b.1);
+        }
+        assert_eq!(cols.node_name(at as u32), "zzz");
+        assert_eq!(cols.attr_value_of(at as u32, "k"), Some("v"));
+        // and removal restores the original content
+        cols.remove_nodes(at, 1);
+        cols.same_content(&DocumentColumns::new(&doc)).unwrap();
+    }
+
+    #[test]
+    fn oversized_chunks_split() {
+        let doc = wide_doc(4); // 13 nodes
+        let mut cols = DocumentColumns::with_chunk_rows(&doc, 16);
+        assert_eq!(cols.chunk_count(), 1);
+        let rows: Vec<Tuple> = (0..40)
+            .map(|i| Tuple {
+                size: 0,
+                level: 1,
+                kind: NodeKind::Text,
+                name: Arc::from(""),
+                text: Arc::from(format!("t{i}")),
+                attrs: Vec::new(),
+            })
+            .collect();
+        cols.splice_nodes(13, &rows);
+        assert!(cols.chunk_count() > 1, "oversized chunk must split");
+        for i in 0..cols.chunk_count() {
+            assert!(cols.chunk_span(i).1 <= 2 * cols.chunk_rows());
+        }
+        assert_eq!(cols.len(), 53);
     }
 }

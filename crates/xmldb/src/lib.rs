@@ -49,7 +49,7 @@ pub use read::{AttrsIter, NodeRead};
 pub use serialize::{serialize_document, serialize_node};
 pub use shred::{shred, ShredError, ShredOptions};
 pub use store::{
-    Container, ContainerRef, DocStore, StoreSnapshot, DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE,
-    TRANSIENT_FRAG,
+    Container, ContainerRef, DocStore, StoreError, StoreSnapshot, DEFAULT_FILL_PERCENT,
+    DEFAULT_PAGE_SIZE, TRANSIENT_FRAG,
 };
 pub use update::{NaiveDocument, PagedDocument, PagedSnapshot, StructuralUpdate, UpdateStats};

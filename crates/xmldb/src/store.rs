@@ -35,6 +35,29 @@ use crate::update::{PagedDocument, PagedSnapshot};
 /// Fragment id of the transient container holding constructed nodes.
 pub const TRANSIENT_FRAG: u32 = 0;
 
+/// Errors from store mutations addressed by fragment id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The fragment id does not name a loaded container.
+    UnknownFragment(u32),
+    /// The fragment id names the transient container, which holds
+    /// per-execution constructed nodes and cannot be republished.
+    TransientFragment,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownFragment(frag) => write!(f, "unknown fragment id {frag}"),
+            StoreError::TransientFragment => {
+                write!(f, "fragment {TRANSIENT_FRAG} is the transient container")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Default logical page size (tuples) for the paged store.
 pub const DEFAULT_PAGE_SIZE: usize = 64;
 /// Default page fill factor (percent) for the paged store.
@@ -252,27 +275,28 @@ impl DocStore {
     /// This is the writer's whole critical section: one `Arc` swap.
     /// Snapshots taken before the call keep observing the old pages.
     ///
-    /// # Panics
-    /// Panics if the fragment id is unknown or refers to the transient
-    /// container.
-    pub fn publish(&mut self, frag: u32, snap: Arc<PagedSnapshot>) {
-        assert!(
-            frag != TRANSIENT_FRAG && (frag as usize) < self.containers.len(),
-            "publish: unknown or transient fragment {frag}"
-        );
+    /// Fails with [`StoreError`] if the fragment id is unknown or refers to
+    /// the transient container; the store is left untouched.
+    pub fn publish(&mut self, frag: u32, snap: Arc<PagedSnapshot>) -> Result<(), StoreError> {
+        if frag == TRANSIENT_FRAG {
+            return Err(StoreError::TransientFragment);
+        }
+        if (frag as usize) >= self.containers.len() {
+            return Err(StoreError::UnknownFragment(frag));
+        }
         self.containers[frag as usize] = Container::Paged(snap);
         self.generation += 1;
+        Ok(())
     }
 
     /// Replace the container at `frag` with a freshly paged view of `doc`
     /// (convenience wrapper over [`DocStore::publish`]).
     ///
-    /// # Panics
-    /// Panics if the fragment id is unknown or refers to the transient
-    /// container.
-    pub fn replace_document(&mut self, frag: u32, doc: Document) {
+    /// Fails with [`StoreError`] if the fragment id is unknown or refers to
+    /// the transient container; the store is left untouched.
+    pub fn replace_document(&mut self, frag: u32, doc: Document) -> Result<(), StoreError> {
         let paged = PagedDocument::from_document(&doc, self.page_size, self.fill_percent);
-        self.publish(frag, Arc::new(paged.snapshot()));
+        self.publish(frag, Arc::new(paged.snapshot()))
     }
 
     /// Borrow a container by fragment id.
@@ -519,6 +543,35 @@ mod tests {
     }
 
     #[test]
+    fn publish_to_bad_fragment_is_an_error_not_an_abort() {
+        let mut store = DocStore::new();
+        let frag = store.load_xml("a.xml", "<a/>").unwrap();
+        let snap = match store.container_owned(frag) {
+            Container::Paged(p) => p,
+            Container::Doc(_) => panic!("loaded documents are paged"),
+        };
+        let gen_before = store.generation();
+        assert_eq!(
+            store.publish(TRANSIENT_FRAG, snap.clone()),
+            Err(StoreError::TransientFragment)
+        );
+        assert_eq!(
+            store.publish(999, snap.clone()),
+            Err(StoreError::UnknownFragment(999))
+        );
+        let opts = ShredOptions::default();
+        let doc = shred("b.xml", "<b/>", &opts).unwrap();
+        assert_eq!(
+            store.replace_document(42, doc),
+            Err(StoreError::UnknownFragment(42))
+        );
+        // failed publishes leave the store untouched
+        assert_eq!(store.generation(), gen_before);
+        assert!(store.publish(frag, snap).is_ok());
+        assert_eq!(store.generation(), gen_before + 1);
+    }
+
+    #[test]
     fn snapshots_pin_replaced_documents() {
         let mut store = DocStore::new();
         let frag = store.load_xml("a.xml", "<a><old/></a>").unwrap();
@@ -530,7 +583,7 @@ mod tests {
             ..ShredOptions::default()
         };
         let doc = shred("a.xml", "<a><new/></a>", &opts).unwrap();
-        store.replace_document(frag, doc);
+        store.replace_document(frag, doc).unwrap();
 
         assert!(store.generation() > gen_before);
         assert_eq!(before.generation(), gen_before);

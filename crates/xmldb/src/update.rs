@@ -640,6 +640,13 @@ impl PagedDocument {
         self.columns.clone()
     }
 
+    /// Rebuild the column image at a different chunk row target (must be a
+    /// power of two); subsequent incremental maintenance keeps it.  Used by
+    /// the differential tests to exercise chunk-size invariance.
+    pub fn rechunk_columns(&mut self, chunk_rows: usize) {
+        self.columns = Arc::new(self.columns.rechunked(chunk_rows));
+    }
+
     /// Publish the current state as an immutable snapshot: the logical page
     /// sequence (empty pages elided), their prefix-sum offsets, the
     /// fragment roots and the column image — all `Arc` clones, O(pages).
@@ -762,7 +769,8 @@ impl PagedDocument {
         self.columns.node_level(pre)
     }
 
-    /// Parent recovery by a backwards scan over the dense level column.
+    /// Parent recovery by a backwards scan over the chunked level column
+    /// (chunks whose min level is not below the target are skipped).
     fn parent(&self, pre: u32) -> Option<u32> {
         self.anchor_before(pre, self.level(pre))
     }
@@ -770,11 +778,7 @@ impl PagedDocument {
     /// Closest node before position `pos` whose level is smaller than
     /// `level` — the parent a node inserted at `(pos, level)` would get.
     fn anchor_before(&self, pos: u32, level: u16) -> Option<u32> {
-        if level == 0 || pos == 0 {
-            return None;
-        }
-        let levels = self.columns.level_slice();
-        (0..pos).rev().find(|&v| levels[v as usize] < level as i64)
+        self.columns.anchor_before(pos, level)
     }
 
     fn assert_container(&self, pre: u32, what: &str) {
@@ -1197,12 +1201,7 @@ impl NodeRead for PagedSnapshot {
     }
 
     fn parent(&self, pre: u32) -> Option<u32> {
-        let lv = self.level(pre);
-        if lv == 0 || pre == 0 {
-            return None;
-        }
-        let levels = self.columns.level_slice();
-        (0..pre).rev().find(|&v| levels[v as usize] < lv as i64)
+        self.columns.anchor_before(pre, self.level(pre))
     }
 }
 

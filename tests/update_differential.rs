@@ -205,6 +205,29 @@ fn check_script(xml: &str, script: &[ScriptOp], page_size: usize, fill: u8) {
         .same_content(&DocumentColumns::new(&paged_doc))
         .expect("incremental vs rebuilt columns diverged");
 
+    // the same must hold at every chunk geometry: rechunk the image to a
+    // small chunk size *before* applying, so the in-chunk splice/renumber
+    // path is exercised across many chunk boundaries, then diff against a
+    // from-scratch rebuild (same_content is chunk-size agnostic)
+    for chunk_rows in [16, 64, 256] {
+        let mut chunked = PagedDocument::from_document(&doc, page_size, fill);
+        chunked.rechunk_columns(chunk_rows);
+        let applied = pul.apply_to(1, &mut chunked);
+        assert_eq!(applied, b, "chunk size {chunk_rows}: primitive count");
+        let chunked_doc = chunked.to_document();
+        assert_eq!(
+            serialize_document(&chunked_doc),
+            paged_xml,
+            "chunk size {chunk_rows}: serialized disagreement"
+        );
+        chunked
+            .columns()
+            .same_content(&DocumentColumns::new(&chunked_doc))
+            .unwrap_or_else(|e| {
+                panic!("chunk size {chunk_rows}: incremental vs rebuilt columns diverged: {e}")
+            });
+    }
+
     // the published snapshot serves the same logical view as the pages
     let snap = paged.snapshot();
     assert_eq!(serialize_document(&snap), paged_xml);
@@ -320,4 +343,43 @@ fn xmark_mixed_query_update_round_trip() {
         .unwrap()
         .same_content(&DocumentColumns::new(&reshred))
         .expect("published columns diverged from a reshred of the store");
+}
+
+/// Thread count is a pure performance knob: the same mixed query/update
+/// workload driven single-threaded and with four worker threads must leave
+/// bit-identical column images and serialize identically.  (CI additionally
+/// runs the whole suite under `MXQ_THREADS=4`, covering the env-var path.)
+#[test]
+fn chunked_image_agrees_across_thread_counts() {
+    use mxq::xquery::ExecConfig;
+    let xml = mxq::xmark::gen::generate_xml(&mxq::xmark::gen::GenParams::with_factor(0.0005));
+    let run = |threads: usize| -> (String, DocumentColumns) {
+        let db = Arc::new(Database::new());
+        db.load_document("auction.xml", &xml).unwrap();
+        let mut s = db.session_with_config(ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        });
+        s.execute_update(
+            "insert nodes <bidder><date>2006-07-30</date><increase>2.25</increase></bidder> \
+             as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1]",
+        )
+        .unwrap();
+        s.execute_update(
+            "delete nodes doc(\"auction.xml\")/site/open_auctions/open_auction[2]/bidder[1]",
+        )
+        .unwrap();
+        let result = s
+            .query("count(doc(\"auction.xml\")/site/open_auctions/open_auction/bidder)")
+            .unwrap()
+            .serialize()
+            .to_string();
+        let cols = db.document_columns("auction.xml").unwrap();
+        (result, (*cols).clone())
+    };
+    let (r1, c1) = run(1);
+    let (r4, c4) = run(4);
+    assert_eq!(r1, r4, "query results differ across thread counts");
+    c1.same_content(&c4)
+        .expect("column images diverged across thread counts");
 }
