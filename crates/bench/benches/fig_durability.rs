@@ -1,0 +1,162 @@
+//! Durability cost and recovery speed (no counterpart figure in the paper —
+//! the paper's MonetDB/XQuery prototype defers to MonetDB's own logger):
+//!
+//! * **sync-policy cost**: a fixed burst of XQUF inserts against an
+//!   in-memory store vs. a durable store under `SyncPolicy::Always`,
+//!   `EveryN(8)` and `Never` — the price of the WAL append alone vs. the
+//!   fsyncs.
+//! * **recovery time vs. log length**: `Database::open` replaying a WAL of
+//!   K = 16 / 64 / 256 update records.
+//! * **cold vs. warm start**: opening from checkpoint page images vs.
+//!   shredding the XML text from scratch.
+//!
+//! Each part prints the WAL/checkpoint counters (`DatabaseStats`) so the
+//! recorded baselines are self-describing.  `MXQ_SCALE` overrides the
+//! document scale factor.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxq_bench::{bench_dir, scale_factor, xmark_db, xmark_durable_db, xmark_xml};
+use mxq_xquery::{Database, DurabilityOptions, SyncPolicy};
+
+const WRITES: usize = 24;
+
+fn insert_stmt(i: usize) -> String {
+    format!(
+        "insert nodes <bidder><date>2006-08-{:02}</date><increase>{}.25</increase></bidder> \
+         as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1]",
+        (i % 28) + 1,
+        i % 9
+    )
+}
+
+fn run_writes(db: &std::sync::Arc<Database>, n: usize) {
+    let mut s = db.session();
+    for i in 0..n {
+        s.execute_update(&insert_stmt(i)).expect("bench insert");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let factor = scale_factor(0.001);
+    let xml = xmark_xml(factor);
+    let mut group = c.benchmark_group("fig_durability");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(WRITES as u64));
+
+    // -- part A: write burst under each sync policy ------------------------
+    let policies: [(&str, Option<SyncPolicy>); 4] = [
+        ("memory", None),
+        ("wal_always", Some(SyncPolicy::Always)),
+        ("wal_every8", Some(SyncPolicy::EveryN(8))),
+        ("wal_never", Some(SyncPolicy::Never)),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(
+            BenchmarkId::new(format!("writes_{name}"), format!("sf{factor}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || match policy {
+                        None => xmark_db(&xml),
+                        Some(sync) => xmark_durable_db(
+                            &xml,
+                            &bench_dir(&format!("figdur-{name}")),
+                            DurabilityOptions {
+                                sync,
+                                ..DurabilityOptions::default()
+                            },
+                        ),
+                    },
+                    |db| run_writes(&db, WRITES),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        // one representative run for the textual counters
+        let db = match policy {
+            None => xmark_db(&xml),
+            Some(sync) => xmark_durable_db(
+                &xml,
+                &bench_dir(&format!("figdur-{name}")),
+                DurabilityOptions {
+                    sync,
+                    ..DurabilityOptions::default()
+                },
+            ),
+        };
+        let started = Instant::now();
+        run_writes(&db, WRITES);
+        let secs = started.elapsed().as_secs_f64();
+        let stats = db.stats();
+        println!(
+            "fig_durability/writes_{name}: {WRITES} writes in {:.3}s ({:.0} wr/s), \
+             wal {} B, {} fsyncs",
+            secs,
+            WRITES as f64 / secs,
+            stats.wal_bytes_written,
+            stats.wal_fsyncs
+        );
+    }
+
+    // -- part B: recovery time vs. log length ------------------------------
+    for k in [16usize, 64, 256] {
+        let dir = bench_dir(&format!("figdur-recover-{k}"));
+        {
+            let db = xmark_durable_db(&xml, &dir, DurabilityOptions::default());
+            run_writes(&db, k);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("recover", format!("k{k}")),
+            &dir,
+            |b, dir| b.iter(|| Database::open(dir).expect("recovery open")),
+        );
+        let started = Instant::now();
+        let db = Database::open(&dir).expect("recovery open");
+        let secs = started.elapsed().as_secs_f64();
+        println!(
+            "fig_durability/recover_k{k}: {} records replayed in {:.3}s",
+            db.stats().recovery_replays,
+            secs
+        );
+    }
+
+    // -- part C: cold start from checkpoint images vs. shredding XML ------
+    let dir = bench_dir("figdur-cold");
+    {
+        let db = xmark_durable_db(&xml, &dir, DurabilityOptions::default());
+        run_writes(&db, WRITES);
+        db.checkpoint().expect("checkpoint");
+    }
+    group.bench_function(
+        BenchmarkId::new("open_checkpoint", format!("sf{factor}")),
+        |b| b.iter(|| Database::open(&dir).expect("checkpoint open")),
+    );
+    group.bench_function(
+        BenchmarkId::new("load_from_xml", format!("sf{factor}")),
+        |b| b.iter(|| xmark_db(&xml)),
+    );
+    let cold = {
+        let started = Instant::now();
+        let db = Database::open(&dir).expect("checkpoint open");
+        assert_eq!(db.stats().recovery_replays, 0);
+        started.elapsed().as_secs_f64()
+    };
+    let warm = {
+        let started = Instant::now();
+        let _ = xmark_db(&xml);
+        started.elapsed().as_secs_f64()
+    };
+    println!(
+        "fig_durability/cold_vs_warm: checkpoint open {:.3}s vs xml shred {:.3}s",
+        cold, warm
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mxq_bench::{run_mixed_workload, scale_factor, xmark_db, xmark_xml};
+use mxq_bench::{
+    bench_dir, run_mixed_workload, scale_factor, xmark_db, xmark_durable_db, xmark_xml,
+};
+use mxq_xquery::DurabilityOptions;
 
 const OPS: usize = 60;
 
@@ -49,6 +52,32 @@ fn bench(c: &mut Criterion) {
             report.summary()
         );
     }
+
+    // durable round: the same 50/50 mix against a WAL-logged store, so the
+    // baselines record the durability overhead and WAL volume next to the
+    // in-memory figures
+    group.bench_with_input(
+        BenchmarkId::new("mix_50_50_durable", format!("sf{factor}")),
+        &(),
+        |b, ()| {
+            b.iter_batched(
+                || xmark_durable_db(&xml, &bench_dir("figupd"), DurabilityOptions::default()),
+                |db| run_mixed_workload(&db, 1, 50, OPS, 0xbeef),
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+    let db = xmark_durable_db(&xml, &bench_dir("figupd"), DurabilityOptions::default());
+    let report = run_mixed_workload(&db, 1, 50, OPS, 0xbeef);
+    let stats = db.stats();
+    println!(
+        "fig_updates_throughput/mix_50_50_durable: {} — wal {} B, {} fsyncs, \
+         {} checkpoints",
+        report.summary(),
+        stats.wal_bytes_written,
+        stats.wal_fsyncs,
+        stats.checkpoints
+    );
     group.finish();
 }
 

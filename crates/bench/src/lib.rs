@@ -20,7 +20,7 @@ use mxq_xmark::gen::{generate_xml, GenParams};
 use mxq_xmark::naive::NaiveInterpreter;
 use mxq_xmark::queries::query_text;
 use mxq_xmldb::{DocStore, UpdateStats};
-use mxq_xquery::{Database, ExecConfig, Session};
+use mxq_xquery::{Database, DurabilityOptions, ExecConfig, Session};
 use rand::{Rng, SeedableRng, StdRng};
 
 /// Default scale factor for single-document benches (≈0.1 MB of XML).
@@ -84,6 +84,28 @@ pub fn xmark_xml(factor: f64) -> String {
 /// Build a shared database with a loaded XMark document (`auction.xml`).
 pub fn xmark_db(xml: &str) -> Arc<Database> {
     let db = Arc::new(Database::new());
+    db.load_document("auction.xml", xml)
+        .expect("generated XMark document must load");
+    db
+}
+
+/// A scratch directory for a durable-database bench fixture: recreated
+/// empty under the system temp dir, namespaced by pid and tag.
+pub fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mxq-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+/// Build a durable database in `dir` with a loaded XMark document
+/// (`auction.xml`) — the WAL-logged counterpart of [`xmark_db`].
+pub fn xmark_durable_db(
+    xml: &str,
+    dir: &std::path::Path,
+    options: DurabilityOptions,
+) -> Arc<Database> {
+    let db = Arc::new(Database::open_with(dir, options).expect("durable open"));
     db.load_document("auction.xml", xml)
         .expect("generated XMark document must load");
     db

@@ -22,20 +22,28 @@
 //! never block each other and a writer can never pull document data out
 //! from under a running query or an already produced [`QueryResult`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 
 use mxq_engine::{Item, NodeId};
+use mxq_wal::WalWriter;
+use mxq_xmldb::disk::encode_snapshot;
 use mxq_xmldb::{
-    Container, ContainerRef, DocStore, Document, DocumentBuilder, DocumentColumns, NodeKind,
-    NodeRead, PagedDocument, StoreSnapshot, UpdateStats, TRANSIENT_FRAG,
+    decode_snapshot, shred, Container, ContainerRef, DocStore, Document, DocumentBuilder,
+    DocumentColumns, NodeKind, NodeRead, PagedDocument, ShredOptions, StoreSnapshot, UpdateStats,
+    TRANSIENT_FRAG,
 };
 
 use crate::algebra::PlanRef;
 use crate::ast::Statement;
 use crate::compile::Compiler;
 use crate::config::{ExecConfig, ExecStats};
+use crate::durability::{
+    self, decode_op, doc_file_name, Catalog, CatalogDoc, DurabilityError, DurabilityOptions,
+    Durable, DurableState, WalOp, CATALOG_FILE, WAL_FILE,
+};
 use crate::exec::{serialize_item_snapshot, serialize_items_snapshot, ExecError, Executor};
 use crate::params::Params;
 use crate::parser::parse_statement;
@@ -363,6 +371,10 @@ struct Counters {
     plan_cache_misses: AtomicU64,
     queries: AtomicU64,
     updates: AtomicU64,
+    wal_bytes_written: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery_replays: AtomicU64,
 }
 
 /// A point-in-time copy of the database counters.
@@ -380,6 +392,18 @@ pub struct DatabaseStats {
     pub queries: u64,
     /// Updates executed.
     pub updates: u64,
+    /// Bytes appended to the write-ahead log (record headers included).
+    /// Stays 0 for an in-memory database.
+    pub wal_bytes_written: u64,
+    /// `fsync` calls issued by the write-ahead log (appends under the
+    /// configured [`SyncPolicy`](crate::SyncPolicy) plus checkpoint
+    /// truncations).
+    pub wal_fsyncs: u64,
+    /// Checkpoints taken ([`Database::checkpoint`]).
+    pub checkpoints: u64,
+    /// WAL records replayed by crash recovery when this database was
+    /// opened ([`Database::open`]); 0 after a clean shutdown.
+    pub recovery_replays: u64,
     /// Compiled statements currently cached.
     pub plan_cache_len: usize,
 }
@@ -423,6 +447,9 @@ pub struct Database {
     writer: Mutex<WriterState>,
     plan_cache: Mutex<PlanCache>,
     counters: Counters,
+    /// Durability attachment: present when the database was opened on a
+    /// directory ([`Database::open`]); `None` for an in-memory database.
+    durable: Option<Durable>,
 }
 
 impl std::fmt::Debug for Database {
@@ -444,7 +471,8 @@ impl Default for Database {
 const PLAN_CACHE_CAPACITY: usize = 256;
 
 impl Database {
-    /// An empty database.
+    /// An empty in-memory database (no durability: nothing is written to
+    /// disk, and dropping the database loses all documents).
     pub fn new() -> Self {
         Database {
             store: RwLock::new(DocStore::new()),
@@ -453,7 +481,255 @@ impl Database {
             }),
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
             counters: Counters::default(),
+            durable: None,
         }
+    }
+
+    /// Open (or create) a durable database rooted at `dir` with default
+    /// [`DurabilityOptions`] (fsync on every WAL append, no eviction).
+    ///
+    /// If the directory holds an earlier database, its state is recovered:
+    /// the last checkpoint's page images are loaded and the write-ahead
+    /// log's complete records are replayed, which lands the store exactly on
+    /// the last published generation.  A torn or corrupt log tail (a crash
+    /// mid-append) is detected by checksum, discarded and truncated — the
+    /// update it belonged to was never acknowledged, because
+    /// update application syncs the log *before* it publishes.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, Error> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit durability options.
+    pub fn open_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Self, Error> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| Error::Durability(e.into()))?;
+
+        let db = Database::new();
+        let mut replays: u64 = 0;
+
+        // 1. last checkpoint: page images + the generation they capture
+        let catalog = durability::read_catalog(&dir).map_err(Error::Durability)?;
+        let checkpoint_generation = catalog.as_ref().map_or(0, |c| c.generation);
+        if let Some(cat) = &catalog {
+            let mut store = db.store.write().unwrap();
+            store.set_page_policy(cat.page_size, cat.fill_percent);
+            for doc in &cat.docs {
+                let bytes = std::fs::read(dir.join(&doc.file)).map_err(|e| {
+                    Error::Durability(DurabilityError::Corrupt(format!(
+                        "checkpoint image `{}` for document `{}` unreadable: {e}",
+                        doc.file, doc.name
+                    )))
+                })?;
+                let snap = decode_snapshot(&bytes).map_err(|e| Error::Durability(e.into()))?;
+                let frag = store.add_paged(&doc.name, Arc::new(snap));
+                if frag != doc.frag {
+                    return Err(Error::Durability(DurabilityError::Corrupt(format!(
+                        "catalog names fragment {} for `{}` but the store assigned {frag}",
+                        doc.frag, doc.name
+                    ))));
+                }
+            }
+            store.set_generation(cat.generation);
+        }
+
+        // 2. replay the WAL's complete records past the checkpoint;
+        //    WalWriter::open truncates any torn/corrupt tail
+        let (wal, scan) = WalWriter::open(&dir.join(WAL_FILE), options.sync)
+            .map_err(|e| Error::Durability(e.into()))?;
+        for record in &scan.records {
+            if record.generation <= checkpoint_generation {
+                // logged before the checkpoint that survived it — a crash
+                // between catalog commit and log truncation leaves these
+                continue;
+            }
+            let op = decode_op(&record.payload).map_err(Error::Durability)?;
+            db.replay(op, record.generation)?;
+            replays += 1;
+        }
+
+        db.counters
+            .recovery_replays
+            .store(replays, Ordering::Relaxed);
+        Ok(Database {
+            durable: Some(Durable {
+                dir,
+                options,
+                state: Mutex::new(DurableState {
+                    wal,
+                    checkpoint_generation,
+                    dirty: HashSet::new(),
+                }),
+            }),
+            ..db
+        })
+    }
+
+    /// Apply one recovered WAL operation and land the store on the
+    /// generation its record was stamped with.
+    fn replay(&self, op: WalOp, generation: u64) -> Result<(), Error> {
+        match op {
+            WalOp::LoadXml { name, xml } => {
+                let mut store = self.store.write().unwrap();
+                store.load_xml(&name, &xml)?;
+                store.set_generation(generation);
+            }
+            WalOp::LoadDoc { doc } => {
+                let mut store = self.store.write().unwrap();
+                store.add_document(*doc);
+                store.set_generation(generation);
+            }
+            WalOp::Update { primitives } => {
+                let mut pul = PendingUpdateList::new();
+                for prim in primitives {
+                    pul.add(prim).map_err(|e| {
+                        Error::Durability(DurabilityError::Corrupt(format!(
+                            "recovered update no longer applies: {e}"
+                        )))
+                    })?;
+                }
+                let snap = self.snapshot();
+                let (page_size, fill_percent) = self.store.read().unwrap().page_policy();
+                let mut writer = self.writer.lock().unwrap();
+                let frags = pul.fragments();
+                for &frag in &frags {
+                    let paged_doc = writer.paged.entry(frag).or_insert_with(|| {
+                        match snap.container_owned(frag) {
+                            Container::Doc(d) => {
+                                PagedDocument::from_document(&d, page_size, fill_percent)
+                            }
+                            other => {
+                                let p = other
+                                    .paged_snapshot()
+                                    .expect("loaded documents are always paged");
+                                PagedDocument::from_snapshot(&p, page_size, fill_percent)
+                            }
+                        }
+                    });
+                    pul.apply_to(frag, paged_doc);
+                }
+                let mut store = self.store.write().unwrap();
+                for &frag in &frags {
+                    store.publish(frag, Arc::new(writer.paged[&frag].snapshot()))?;
+                }
+                store.set_generation(generation);
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint: every loaded document's page image, then the
+    /// catalog (the atomic commit point), then truncate the write-ahead
+    /// log.  After a checkpoint, recovery starts from the images instead of
+    /// replaying the whole log.  No-op (returning `Ok`) on an in-memory
+    /// database.
+    ///
+    /// If a memory budget is configured, clean documents are evicted after
+    /// the checkpoint until the resident page bytes fit the budget.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let mut writer = self.writer.lock().unwrap();
+        let (snap, page_size, fill_percent) = {
+            let store = self.store.read().unwrap();
+            let (ps, fp) = store.page_policy();
+            (store.snapshot(), ps, fp)
+        };
+        let mut state = durable.state.lock().unwrap();
+
+        // 1. page images for every named document (fragment 0 is the
+        //    transient container).  An evicted document's disk file *is*
+        //    its current image — eviction only ever follows a checkpoint —
+        //    so it is not rewritten (and not faulted back in).
+        let mut docs = Vec::new();
+        for frag in 1..snap.container_count() as u32 {
+            let file = doc_file_name(frag);
+            let container = snap.container_owned(frag);
+            docs.push(CatalogDoc {
+                frag,
+                name: container.name().to_string(),
+                file: file.clone(),
+            });
+            if let Container::Evicted(_) = &container {
+                if !state.dirty.contains(&frag) {
+                    continue;
+                }
+            }
+            let image = container
+                .paged_snapshot()
+                .expect("loaded documents are always paged");
+            mxq_wal::write_atomic(&durable.file(&file), &encode_snapshot(&image))
+                .map_err(|e| Error::Durability(e.into()))?;
+        }
+
+        // 2. the catalog — written atomically, this is the commit point
+        let catalog = Catalog {
+            generation: snap.generation(),
+            page_size,
+            fill_percent,
+            docs,
+        };
+        mxq_wal::write_atomic(
+            &durable.file(CATALOG_FILE),
+            &durability::encode_catalog(&catalog),
+        )
+        .map_err(|e| Error::Durability(e.into()))?;
+
+        // 3. drop the log: everything it held is captured by the images.
+        //    A crash before this point is safe — the surviving records
+        //    carry generations ≤ the catalog's and are skipped on replay.
+        state
+            .wal
+            .truncate()
+            .map_err(|e| Error::Durability(e.into()))?;
+        state.checkpoint_generation = snap.generation();
+        state.dirty.clear();
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.note_wal(&state);
+
+        // 4. eviction: now every document has a current on-disk image, so
+        //    clean ones can be dropped down to the memory budget
+        if let Some(budget) = durable.options.memory_budget {
+            let mut store = self.store.write().unwrap();
+            for frag in 1..store.container_count() as u32 {
+                if store.resident_page_bytes() <= budget {
+                    break;
+                }
+                if !store.is_resident(frag) {
+                    continue;
+                }
+                if store
+                    .evict_paged(frag, durable.file(&doc_file_name(frag)))
+                    .is_ok()
+                {
+                    // the master copy pins the pages; recovery of the
+                    // master from the disk image happens on next update
+                    writer.paged.remove(&frag);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The durability directory, or `None` for an in-memory database.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// The durability options in effect, or `None` for an in-memory
+    /// database.
+    pub fn durability_options(&self) -> Option<DurabilityOptions> {
+        self.durable.as_ref().map(|d| d.options)
+    }
+
+    /// Mirror the WAL writer's cumulative counters into the database stats.
+    fn note_wal(&self, state: &DurableState) {
+        self.counters
+            .wal_bytes_written
+            .store(state.wal.bytes_appended(), Ordering::Relaxed);
+        self.counters
+            .wal_fsyncs
+            .store(state.wal.syncs(), Ordering::Relaxed);
     }
 
     /// Open a session: a cheap per-client handle with its own configuration
@@ -472,15 +748,51 @@ impl Database {
     }
 
     /// Shred and load an XML document under the given name (the name is what
-    /// `fn:doc("name")` refers to).  Takes the store write lock briefly.
+    /// `fn:doc("name")` refers to).  On a durable database the load is
+    /// WAL-logged (and synced per the policy) before it is published, like
+    /// any update.
     pub fn load_document(&self, name: &str, xml: &str) -> Result<(), Error> {
+        let _writer = self.writer.lock().unwrap();
+        if self.durable.is_some() {
+            // shred first: an invalid document must be rejected before it
+            // is logged, or recovery would trip over the failed operation
+            let opts = ShredOptions {
+                document_node: true,
+                ..ShredOptions::default()
+            };
+            shred(name, xml, &opts)?;
+            self.log_durable(|gen| (gen + 1, durability::encode_load_xml(name, xml)))?;
+        }
         self.store.write().unwrap().load_xml(name, xml)?;
         Ok(())
     }
 
-    /// Load an already shredded document.
-    pub fn load_shredded(&self, doc: Document) {
+    /// Load an already shredded document.  WAL-logged on a durable database
+    /// (the document travels as an encoded image).
+    pub fn load_shredded(&self, doc: Document) -> Result<(), Error> {
+        let _writer = self.writer.lock().unwrap();
+        self.log_durable(|gen| (gen + 1, durability::encode_load_doc(&doc)))?;
         self.store.write().unwrap().add_document(doc);
+        Ok(())
+    }
+
+    /// Append one operation to the WAL (no-op on an in-memory database).
+    /// The closure receives the current published generation and returns
+    /// the stamp the operation's publish will land on plus the payload.
+    /// Callers hold the writer mutex, so the generation cannot move between
+    /// the stamp computation and the publish.
+    fn log_durable(&self, op: impl FnOnce(u64) -> (u64, Vec<u8>)) -> Result<(), Error> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let (stamp, payload) = op(self.store.read().unwrap().generation());
+        let mut state = durable.state.lock().unwrap();
+        state
+            .wal
+            .append(stamp, &payload)
+            .map_err(|e| Error::Durability(e.into()))?;
+        self.note_wal(&state);
+        Ok(())
     }
 
     /// Read access to the shared document store.  The guard blocks writers
@@ -508,6 +820,10 @@ impl Database {
             plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
             queries: self.counters.queries.load(Ordering::Relaxed),
             updates: self.counters.updates.load(Ordering::Relaxed),
+            wal_bytes_written: self.counters.wal_bytes_written.load(Ordering::Relaxed),
+            wal_fsyncs: self.counters.wal_fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            recovery_replays: self.counters.recovery_replays.load(Ordering::Relaxed),
             plan_cache_len: self.plan_cache.lock().unwrap().len(),
         }
     }
@@ -537,11 +853,11 @@ impl Database {
     pub fn document_columns(&self, name: &str) -> Option<Arc<DocumentColumns>> {
         let store = self.store.read().unwrap();
         let frag = store.lookup(name)?;
-        match store.container_owned(frag) {
-            Container::Paged(p) => Some(p.columns_arc()),
-            // only the (unnamed) transient container is flat
-            Container::Doc(_) => unreachable!("loaded documents are always paged"),
-        }
+        let snap = store
+            .container_owned(frag)
+            .paged_snapshot()
+            .expect("loaded documents are always paged");
+        Some(snap.columns_arc())
     }
 
     /// Execute a statement with the default configuration and no bindings —
@@ -738,10 +1054,32 @@ impl Database {
             )?;
         }
 
+        // phase 2½: durability — the WAL record must be on disk (per the
+        // sync policy) *before* any in-memory mutation.  If the append
+        // fails, the error surfaces here and the store is untouched: the
+        // statement failed cleanly instead of half-applying.
+        let frags = pul.fragments();
+        if let Some(durable) = &self.durable {
+            if !frags.is_empty() {
+                // each publish below bumps the generation by one, so the
+                // operation as a whole lands on snap.generation() + |frags|
+                let stamp = snap.generation() + frags.len() as u64;
+                let payload = durability::encode_update(pul.primitives());
+                let mut state = durable.state.lock().unwrap();
+                state
+                    .wal
+                    .append(stamp, &payload)
+                    .map_err(|e| Error::Durability(e.into()))?;
+                for &frag in &frags {
+                    state.dirty.insert(frag);
+                }
+                self.note_wal(&state);
+            }
+        }
+
         // phase 3: atomic application to the paged scheme — page-local
         // splices plus lockstep delta-patching of the column image, all
         // outside any store lock (readers keep running on their snapshots)
-        let frags = pul.fragments();
         let (page_size, fill_percent) = self.store.read().unwrap().page_policy();
         let paged = &mut writer.paged;
         let mut applied = 0;
@@ -749,12 +1087,17 @@ impl Database {
         for &frag in &frags {
             let paged_doc = paged.entry(frag).or_insert_with(|| {
                 match snap.container_owned(frag) {
+                    // an evicted document faults its pages back in from the
+                    // checkpoint image before the master is reconstructed
+                    Container::Doc(d) => PagedDocument::from_document(&d, page_size, fill_percent),
                     // reconstructing the master from the published snapshot
                     // is O(pages) Arc clones — pages copy on first write
-                    Container::Paged(p) => {
+                    other => {
+                        let p = other
+                            .paged_snapshot()
+                            .expect("loaded documents are always paged");
                         PagedDocument::from_snapshot(&p, page_size, fill_percent)
                     }
-                    Container::Doc(d) => PagedDocument::from_document(&d, page_size, fill_percent),
                 }
             });
             let before = paged_doc.stats;

@@ -1,0 +1,679 @@
+//! The durability layer: write-ahead logging of logical operations, the
+//! checkpoint catalog, and crash recovery.
+//!
+//! A durable [`Database`](crate::Database) keeps a directory with
+//!
+//! * `wal.log` — the write-ahead log (`mxq-wal` record framing).  Every
+//!   logical operation that changes the published store — a document load
+//!   or an update's pending-update list — is encoded, appended and (per
+//!   the [`SyncPolicy`]) fsynced **before** the in-memory store mutates.
+//!   Each record is stamped with the store generation the operation
+//!   produces, so recovery can replay exactly up to the last published
+//!   generation and stamps stay comparable across restarts.
+//! * `doc-<frag>.mxq` — one checksummed page image per loaded document
+//!   (`mxq_xmldb::disk` snapshot format), written by a checkpoint.
+//! * `catalog.mxq` — the checkpoint catalog: format version, the
+//!   checkpointed generation, the page policy and the fragment → (name,
+//!   file) table.  Written atomically (temp + fsync + rename) **after**
+//!   all page images, so the catalog only ever names complete files; the
+//!   WAL is truncated after the catalog commit.  A crash between those
+//!   two steps is harmless: the surviving WAL records carry generations
+//!   ≤ the checkpoint generation and are skipped on replay.
+//!
+//! Recovery (`Database::open`) loads the catalog (if any), replays the
+//! WAL's complete records with stamps beyond the checkpoint generation,
+//! and truncates any torn or corrupt tail the CRC scan rejected.  An
+//! update whose WAL record did not make it to disk completely was never
+//! acknowledged — `Database::apply_update` appends before it
+//! publishes — so discarding the tail is exactly "recover to the last
+//! published generation".
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use mxq_engine::NodeId;
+use mxq_wal::{SyncPolicy, WalError, WalWriter};
+use mxq_xmldb::disk::{decode_document, encode_document, DiskError};
+use mxq_xmldb::Document;
+
+use crate::pul::UpdatePrimitive;
+
+/// Name of the write-ahead log file inside a durable database directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Name of the checkpoint catalog file.
+pub const CATALOG_FILE: &str = "catalog.mxq";
+/// Magic bytes of the checkpoint catalog.
+pub const CATALOG_MAGIC: &[u8; 4] = b"MXQC";
+/// Catalog format version.
+pub const CATALOG_VERSION: u16 = 1;
+
+/// The page-image file name for a fragment id.
+pub fn doc_file_name(frag: u32) -> String {
+    format!("doc-{frag}.mxq")
+}
+
+// ---------------------------------------------------------------------------
+// options
+// ---------------------------------------------------------------------------
+
+/// Configuration of a durable database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When WAL appends are forced to disk (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Optional resident-memory budget in bytes: after a checkpoint, clean
+    /// documents are evicted (pages dropped, faulted back from their disk
+    /// images on next access) until the store's estimated resident page
+    /// bytes fit the budget.  `None` disables eviction.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            sync: SyncPolicy::Always,
+            memory_budget: None,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// Read the options from the environment: `MXQ_SYNC` (see
+    /// [`SyncPolicy::from_env`]) and `MXQ_MEMORY_BUDGET` (bytes; unset or
+    /// `0` disables eviction).
+    ///
+    /// # Panics
+    /// Panics on a set-but-unparsable value, so a typo cannot silently
+    /// weaken durability or disable eviction.
+    pub fn from_env() -> DurabilityOptions {
+        let memory_budget = match std::env::var("MXQ_MEMORY_BUDGET") {
+            Ok(raw) if !raw.trim().is_empty() => {
+                let n: usize = raw
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid MXQ_MEMORY_BUDGET `{raw}`"));
+                (n > 0).then_some(n)
+            }
+            _ => None,
+        };
+        DurabilityOptions {
+            sync: SyncPolicy::from_env(),
+            memory_budget,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// errors
+// ---------------------------------------------------------------------------
+
+/// Errors from the durability layer: WAL writes, checkpoint/catalog I/O,
+/// image decoding, and recovery replay.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Appending to or truncating the write-ahead log failed.  The update
+    /// that triggered the append was **not** applied: the in-memory store
+    /// is untouched and the statement must be treated as failed.
+    Wal(WalError),
+    /// Reading or writing a checkpoint file failed.
+    Io(std::io::Error),
+    /// An on-disk image (page file or WAL payload) failed to decode.
+    Disk(DiskError),
+    /// The catalog or a WAL payload is structurally invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Wal(e) => write!(f, "{e}"),
+            DurabilityError::Io(e) => write!(f, "durable store I/O failed: {e}"),
+            DurabilityError::Disk(e) => write!(f, "on-disk image invalid: {e}"),
+            DurabilityError::Corrupt(what) => write!(f, "durable store corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Wal(e) => Some(e),
+            DurabilityError::Io(e) => Some(e),
+            DurabilityError::Disk(e) => Some(e),
+            DurabilityError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<WalError> for DurabilityError {
+    fn from(e: WalError) -> Self {
+        DurabilityError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<DiskError> for DurabilityError {
+    fn from(e: DiskError) -> Self {
+        DurabilityError::Disk(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// durable state attached to a Database
+// ---------------------------------------------------------------------------
+
+/// The mutable durable state, guarded by one mutex.  Writers already hold
+/// the database writer mutex when they touch this, so the inner lock is
+/// uncontended; it exists so read-only paths (stats) can peek safely.
+pub(crate) struct DurableState {
+    pub(crate) wal: WalWriter,
+    /// Generation recorded by the last checkpoint (0 before the first).
+    pub(crate) checkpoint_generation: u64,
+    /// Fragments whose published state moved past the last checkpoint.
+    /// Only fragments *not* in this set may be evicted.
+    pub(crate) dirty: HashSet<u32>,
+}
+
+/// The durability attachment of a [`crate::Database`]: directory, WAL
+/// writer, checkpoint bookkeeping and options.
+pub(crate) struct Durable {
+    pub(crate) dir: PathBuf,
+    pub(crate) options: DurabilityOptions,
+    pub(crate) state: Mutex<DurableState>,
+}
+
+impl Durable {
+    /// Absolute path of a file inside the database directory.
+    pub(crate) fn file(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL payload codec
+// ---------------------------------------------------------------------------
+
+/// A decoded WAL operation — the logical unit recovery replays.
+#[derive(Debug)]
+pub(crate) enum WalOp {
+    /// `load_document(name, xml)`: re-shred on replay.
+    LoadXml { name: String, xml: String },
+    /// `load_shredded(doc)`: the document travels as a page-less image.
+    LoadDoc { doc: Box<Document> },
+    /// One update's pending-update list, in collection order.
+    Update { primitives: Vec<UpdatePrimitive> },
+}
+
+const OP_LOAD_XML: u8 = 1;
+const OP_LOAD_DOC: u8 = 2;
+const OP_UPDATE: u8 = 3;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_node(out: &mut Vec<u8>, node: NodeId) {
+    out.extend_from_slice(&node.frag.to_le_bytes());
+    out.extend_from_slice(&node.pre.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurabilityError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| DurabilityError::Corrupt("truncated WAL payload".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DurabilityError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DurabilityError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, DurabilityError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| DurabilityError::Corrupt("non-UTF-8 string in WAL payload".into()))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DurabilityError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn node(&mut self) -> Result<NodeId, DurabilityError> {
+        let frag = self.u32()?;
+        let pre = self.u32()?;
+        Ok(NodeId::new(frag, pre))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+const PRIM_INSERT_INTO: u8 = 1;
+const PRIM_INSERT_BEFORE: u8 = 2;
+const PRIM_INSERT_AFTER: u8 = 3;
+const PRIM_DELETE: u8 = 4;
+const PRIM_REPLACE_NODE: u8 = 5;
+const PRIM_REPLACE_VALUE: u8 = 6;
+const PRIM_RENAME: u8 = 7;
+const PRIM_SET_ATTRIBUTE: u8 = 8;
+const PRIM_REMOVE_ATTRIBUTE: u8 = 9;
+const PRIM_RENAME_ATTRIBUTE: u8 = 10;
+
+fn put_primitive(out: &mut Vec<u8>, prim: &UpdatePrimitive) {
+    match prim {
+        UpdatePrimitive::InsertInto {
+            parent,
+            first,
+            content,
+        } => {
+            out.push(PRIM_INSERT_INTO);
+            put_node(out, *parent);
+            out.push(*first as u8);
+            put_bytes(out, &encode_document(content));
+        }
+        UpdatePrimitive::InsertBefore { target, content } => {
+            out.push(PRIM_INSERT_BEFORE);
+            put_node(out, *target);
+            put_bytes(out, &encode_document(content));
+        }
+        UpdatePrimitive::InsertAfter { target, content } => {
+            out.push(PRIM_INSERT_AFTER);
+            put_node(out, *target);
+            put_bytes(out, &encode_document(content));
+        }
+        UpdatePrimitive::Delete { target } => {
+            out.push(PRIM_DELETE);
+            put_node(out, *target);
+        }
+        UpdatePrimitive::ReplaceNode { target, content } => {
+            out.push(PRIM_REPLACE_NODE);
+            put_node(out, *target);
+            put_bytes(out, &encode_document(content));
+        }
+        UpdatePrimitive::ReplaceValue { target, value } => {
+            out.push(PRIM_REPLACE_VALUE);
+            put_node(out, *target);
+            put_str(out, value);
+        }
+        UpdatePrimitive::Rename { target, name } => {
+            out.push(PRIM_RENAME);
+            put_node(out, *target);
+            put_str(out, name);
+        }
+        UpdatePrimitive::SetAttribute { elem, name, value } => {
+            out.push(PRIM_SET_ATTRIBUTE);
+            put_node(out, *elem);
+            put_str(out, name);
+            put_str(out, value);
+        }
+        UpdatePrimitive::RemoveAttribute { elem, name } => {
+            out.push(PRIM_REMOVE_ATTRIBUTE);
+            put_node(out, *elem);
+            put_str(out, name);
+        }
+        UpdatePrimitive::RenameAttribute {
+            elem,
+            name,
+            new_name,
+        } => {
+            out.push(PRIM_RENAME_ATTRIBUTE);
+            put_node(out, *elem);
+            put_str(out, name);
+            put_str(out, new_name);
+        }
+    }
+}
+
+fn read_primitive(r: &mut Reader<'_>) -> Result<UpdatePrimitive, DurabilityError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        PRIM_INSERT_INTO => {
+            let parent = r.node()?;
+            let first = r.u8()? != 0;
+            let content = decode_document(r.bytes()?)?;
+            UpdatePrimitive::InsertInto {
+                parent,
+                first,
+                content,
+            }
+        }
+        PRIM_INSERT_BEFORE => UpdatePrimitive::InsertBefore {
+            target: r.node()?,
+            content: decode_document(r.bytes()?)?,
+        },
+        PRIM_INSERT_AFTER => UpdatePrimitive::InsertAfter {
+            target: r.node()?,
+            content: decode_document(r.bytes()?)?,
+        },
+        PRIM_DELETE => UpdatePrimitive::Delete { target: r.node()? },
+        PRIM_REPLACE_NODE => UpdatePrimitive::ReplaceNode {
+            target: r.node()?,
+            content: decode_document(r.bytes()?)?,
+        },
+        PRIM_REPLACE_VALUE => UpdatePrimitive::ReplaceValue {
+            target: r.node()?,
+            value: r.str()?,
+        },
+        PRIM_RENAME => UpdatePrimitive::Rename {
+            target: r.node()?,
+            name: r.str()?,
+        },
+        PRIM_SET_ATTRIBUTE => UpdatePrimitive::SetAttribute {
+            elem: r.node()?,
+            name: r.str()?,
+            value: r.str()?,
+        },
+        PRIM_REMOVE_ATTRIBUTE => UpdatePrimitive::RemoveAttribute {
+            elem: r.node()?,
+            name: r.str()?,
+        },
+        PRIM_RENAME_ATTRIBUTE => UpdatePrimitive::RenameAttribute {
+            elem: r.node()?,
+            name: r.str()?,
+            new_name: r.str()?,
+        },
+        other => {
+            return Err(DurabilityError::Corrupt(format!(
+                "unknown update primitive tag {other}"
+            )))
+        }
+    })
+}
+
+/// Encode a `load_document` operation.
+pub(crate) fn encode_load_xml(name: &str, xml: &str) -> Vec<u8> {
+    let mut out = vec![OP_LOAD_XML];
+    put_str(&mut out, name);
+    put_str(&mut out, xml);
+    out
+}
+
+/// Encode a `load_shredded` operation.
+pub(crate) fn encode_load_doc(doc: &Document) -> Vec<u8> {
+    let mut out = vec![OP_LOAD_DOC];
+    put_bytes(&mut out, &encode_document(doc));
+    out
+}
+
+/// Encode one update's pending-update list.
+pub(crate) fn encode_update(primitives: &[UpdatePrimitive]) -> Vec<u8> {
+    let mut out = vec![OP_UPDATE];
+    out.extend_from_slice(&(primitives.len() as u32).to_le_bytes());
+    for prim in primitives {
+        put_primitive(&mut out, prim);
+    }
+    out
+}
+
+/// Decode a WAL payload back into the operation it logged.
+pub(crate) fn decode_op(payload: &[u8]) -> Result<WalOp, DurabilityError> {
+    let mut r = Reader::new(payload);
+    let op = match r.u8()? {
+        OP_LOAD_XML => WalOp::LoadXml {
+            name: r.str()?,
+            xml: r.str()?,
+        },
+        OP_LOAD_DOC => WalOp::LoadDoc {
+            doc: Box::new(decode_document(r.bytes()?)?),
+        },
+        OP_UPDATE => {
+            let count = r.u32()? as usize;
+            let mut primitives = Vec::with_capacity(count);
+            for _ in 0..count {
+                primitives.push(read_primitive(&mut r)?);
+            }
+            WalOp::Update { primitives }
+        }
+        other => {
+            return Err(DurabilityError::Corrupt(format!(
+                "unknown WAL operation tag {other}"
+            )))
+        }
+    };
+    if !r.done() {
+        return Err(DurabilityError::Corrupt(
+            "trailing bytes in WAL payload".into(),
+        ));
+    }
+    Ok(op)
+}
+
+// ---------------------------------------------------------------------------
+// catalog codec
+// ---------------------------------------------------------------------------
+
+/// One checkpointed document in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CatalogDoc {
+    pub(crate) frag: u32,
+    pub(crate) name: String,
+    pub(crate) file: String,
+}
+
+/// The decoded checkpoint catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Catalog {
+    pub(crate) generation: u64,
+    pub(crate) page_size: usize,
+    pub(crate) fill_percent: u8,
+    pub(crate) docs: Vec<CatalogDoc>,
+}
+
+pub(crate) fn encode_catalog(cat: &Catalog) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CATALOG_MAGIC);
+    out.extend_from_slice(&CATALOG_VERSION.to_le_bytes());
+    out.extend_from_slice(&cat.generation.to_le_bytes());
+    out.extend_from_slice(&(cat.page_size as u64).to_le_bytes());
+    out.push(cat.fill_percent);
+    out.extend_from_slice(&(cat.docs.len() as u32).to_le_bytes());
+    for d in &cat.docs {
+        out.extend_from_slice(&d.frag.to_le_bytes());
+        put_str(&mut out, &d.name);
+        put_str(&mut out, &d.file);
+    }
+    // whole-file checksum so a damaged catalog is a structured error
+    let crc = mxq_wal::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+pub(crate) fn decode_catalog(bytes: &[u8]) -> Result<Catalog, DurabilityError> {
+    if bytes.len() < 4 {
+        return Err(DurabilityError::Corrupt("catalog too short".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if mxq_wal::crc32(body) != crc {
+        return Err(DurabilityError::Corrupt(
+            "catalog failed its checksum".into(),
+        ));
+    }
+    let mut r = Reader::new(body);
+    if r.take(4)? != CATALOG_MAGIC {
+        return Err(DurabilityError::Corrupt("catalog has bad magic".into()));
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().unwrap());
+    if version != CATALOG_VERSION {
+        return Err(DurabilityError::Corrupt(format!(
+            "unsupported catalog version {version}"
+        )));
+    }
+    let generation = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+    let page_size = u64::from_le_bytes(r.take(8)?.try_into().unwrap()) as usize;
+    let fill_percent = r.u8()?;
+    let count = r.u32()? as usize;
+    let mut docs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let frag = r.u32()?;
+        let name = r.str()?;
+        let file = r.str()?;
+        docs.push(CatalogDoc { frag, name, file });
+    }
+    if !r.done() {
+        return Err(DurabilityError::Corrupt("trailing bytes in catalog".into()));
+    }
+    Ok(Catalog {
+        generation,
+        page_size,
+        fill_percent,
+        docs,
+    })
+}
+
+/// Read and decode the catalog if one exists.
+pub(crate) fn read_catalog(dir: &Path) -> Result<Option<Catalog>, DurabilityError> {
+    match mxq_wal::read_optional(&dir.join(CATALOG_FILE))? {
+        Some(bytes) => Ok(Some(decode_catalog(&bytes)?)),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxq_xmldb::{shred, ShredOptions};
+
+    #[test]
+    fn catalog_round_trip_and_corruption() {
+        let cat = Catalog {
+            generation: 42,
+            page_size: 64,
+            fill_percent: 75,
+            docs: vec![
+                CatalogDoc {
+                    frag: 1,
+                    name: "a.xml".into(),
+                    file: "doc-1.mxq".into(),
+                },
+                CatalogDoc {
+                    frag: 2,
+                    name: "b.xml".into(),
+                    file: "doc-2.mxq".into(),
+                },
+            ],
+        };
+        let bytes = encode_catalog(&cat);
+        assert_eq!(decode_catalog(&bytes).unwrap(), cat);
+        let mut bad = bytes.clone();
+        bad[10] ^= 1;
+        assert!(matches!(
+            decode_catalog(&bad),
+            Err(DurabilityError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wal_ops_round_trip() {
+        let frag_doc = shred(
+            "#update-content",
+            "<bidder n=\"1\"><date>x</date></bidder>",
+            &ShredOptions::default(),
+        )
+        .unwrap();
+        let prims = vec![
+            UpdatePrimitive::InsertInto {
+                parent: NodeId::new(3, 17),
+                first: true,
+                content: frag_doc.clone(),
+            },
+            UpdatePrimitive::Delete {
+                target: NodeId::new(3, 4),
+            },
+            UpdatePrimitive::Rename {
+                target: NodeId::new(1, 2),
+                name: "renamed".into(),
+            },
+            UpdatePrimitive::SetAttribute {
+                elem: NodeId::new(1, 9),
+                name: "k".into(),
+                value: "v".into(),
+            },
+            UpdatePrimitive::RenameAttribute {
+                elem: NodeId::new(1, 9),
+                name: "old".into(),
+                new_name: "new".into(),
+            },
+        ];
+        let payload = encode_update(&prims);
+        match decode_op(&payload).unwrap() {
+            WalOp::Update { primitives } => {
+                assert_eq!(primitives.len(), prims.len());
+                match (&primitives[0], &prims[0]) {
+                    (
+                        UpdatePrimitive::InsertInto {
+                            parent: a,
+                            first: fa,
+                            content: ca,
+                        },
+                        UpdatePrimitive::InsertInto {
+                            parent: b,
+                            first: fb,
+                            content: cb,
+                        },
+                    ) => {
+                        assert_eq!(a, b);
+                        assert_eq!(fa, fb);
+                        assert_eq!(
+                            mxq_xmldb::serialize_document(ca),
+                            mxq_xmldb::serialize_document(cb)
+                        );
+                    }
+                    _ => panic!("primitive kind changed in round trip"),
+                }
+            }
+            other => panic!("expected update op, got {other:?}"),
+        }
+
+        let payload = encode_load_xml("doc.xml", "<a><b/></a>");
+        match decode_op(&payload).unwrap() {
+            WalOp::LoadXml { name, xml } => {
+                assert_eq!(name, "doc.xml");
+                assert_eq!(xml, "<a><b/></a>");
+            }
+            other => panic!("expected load op, got {other:?}"),
+        }
+
+        assert!(decode_op(&[99]).is_err());
+        assert!(decode_op(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn options_default_to_always_sync() {
+        let opts = DurabilityOptions::default();
+        assert_eq!(opts.sync, SyncPolicy::Always);
+        assert!(opts.memory_budget.is_none());
+    }
+}

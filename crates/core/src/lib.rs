@@ -65,6 +65,7 @@ pub mod ast;
 pub mod compile;
 pub mod config;
 pub mod db;
+pub mod durability;
 pub mod exec;
 pub mod params;
 pub mod parser;
@@ -85,6 +86,7 @@ pub use db::{
     Binder, Database, DatabaseStats, Prepared, QueryReport, QueryResult, ResultStream, Session,
     SessionStats, StatementResult, StoreReadGuard, UpdateReport,
 };
+pub use durability::{DurabilityError, DurabilityOptions};
 pub use exec::{serialize_items, serialize_items_snapshot, ExecError, Executor};
 pub use params::Params;
 pub use parser::{parse_expr, parse_query, parse_statement, parse_update, ParseError};
@@ -120,6 +122,11 @@ pub enum Error {
         /// The statement kind the entry point expected.
         expected: &'static str,
     },
+    /// The durability layer failed: a WAL append/fsync, a checkpoint
+    /// write, or recovery of an on-disk state.  For WAL failures during an
+    /// update the in-memory store is untouched — the statement failed as a
+    /// whole.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for Error {
@@ -138,6 +145,7 @@ impl fmt::Display for Error {
                     "statement is not a {expected} (use `execute` for mixed text)"
                 )
             }
+            Error::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -153,6 +161,7 @@ impl std::error::Error for Error {
             Error::Store(e) => Some(e),
             Error::PlanInvariant(v) => Some(v),
             Error::WrongStatementKind { .. } => None,
+            Error::Durability(e) => Some(e),
         }
     }
 }
@@ -192,7 +201,13 @@ impl From<PlanViolation> for Error {
         Error::PlanInvariant(v)
     }
 }
+impl From<DurabilityError> for Error {
+    fn from(e: DurabilityError) -> Self {
+        Error::Durability(e)
+    }
+}
 
+pub use mxq_wal::SyncPolicy;
 pub use mxq_xmldb::{DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE};
 
 #[cfg(test)]

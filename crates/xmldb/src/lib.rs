@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod columns;
+pub mod disk;
 pub mod doc;
 pub mod node;
 pub mod read;
@@ -43,13 +44,14 @@ pub mod store;
 pub mod update;
 
 pub use columns::{shred_to_columns, DocumentColumns};
+pub use disk::{decode_document, decode_snapshot, encode_document, encode_snapshot, DiskError};
 pub use doc::{Document, DocumentBuilder};
 pub use node::{AttrRow, NodeKind};
 pub use read::{AttrsIter, NodeRead};
 pub use serialize::{serialize_document, serialize_node};
 pub use shred::{shred, ShredError, ShredOptions};
 pub use store::{
-    Container, ContainerRef, DocStore, StoreError, StoreSnapshot, DEFAULT_FILL_PERCENT,
-    DEFAULT_PAGE_SIZE, TRANSIENT_FRAG,
+    Container, ContainerRef, DocStore, EvictedPaged, StoreError, StoreSnapshot,
+    DEFAULT_FILL_PERCENT, DEFAULT_PAGE_SIZE, TRANSIENT_FRAG,
 };
 pub use update::{NaiveDocument, PagedDocument, PagedSnapshot, StructuralUpdate, UpdateStats};

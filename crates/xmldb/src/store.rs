@@ -22,10 +22,12 @@
 //! concurrent readers snapshot isolation for free.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
 
 use mxq_engine::NodeId;
 
+use crate::disk::decode_snapshot;
 use crate::doc::{Document, DocumentBuilder};
 use crate::node::NodeKind;
 use crate::read::{AttrsIter, NodeRead};
@@ -63,14 +65,70 @@ pub const DEFAULT_PAGE_SIZE: usize = 64;
 /// Default page fill factor (percent) for the paged store.
 pub const DEFAULT_FILL_PERCENT: u8 = 75;
 
-/// One container of the store: the transient flat [`Document`], or the
-/// published page-backed view of a loaded document.
+/// A clean paged document whose pages were dropped from memory under an
+/// eviction budget.  The on-disk image (written by a checkpoint) is the
+/// backing copy; the first read after eviction faults the snapshot back in
+/// and caches it for the lifetime of this container value.
+///
+/// Snapshots taken *before* the eviction still pin the old pages — eviction
+/// frees memory only once those snapshots are dropped, which is the same
+/// grace rule `publish` follows.
+#[derive(Debug)]
+pub struct EvictedPaged {
+    name: String,
+    path: PathBuf,
+    cell: OnceLock<Arc<PagedSnapshot>>,
+}
+
+impl EvictedPaged {
+    /// The backing image path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// True if the snapshot has been faulted back in since eviction.
+    pub fn is_loaded(&self) -> bool {
+        self.cell.get().is_some()
+    }
+
+    /// The snapshot, reading the on-disk image on first access.
+    ///
+    /// # Panics
+    /// Panics if the backing file is unreadable or corrupt.  Only clean,
+    /// checkpointed documents are ever evicted, so a failure here means the
+    /// durable copy itself was damaged after the fact — there is no
+    /// in-memory fallback, and a read path cannot return an error.
+    pub fn fault_in(&self) -> &Arc<PagedSnapshot> {
+        self.cell.get_or_init(|| {
+            let bytes = std::fs::read(&self.path).unwrap_or_else(|e| {
+                panic!(
+                    "evicted document {:?}: backing image {:?} unreadable: {e}",
+                    self.name, self.path
+                )
+            });
+            let snap = decode_snapshot(&bytes).unwrap_or_else(|e| {
+                panic!(
+                    "evicted document {:?}: backing image {:?} corrupt: {e}",
+                    self.name, self.path
+                )
+            });
+            Arc::new(snap)
+        })
+    }
+}
+
+/// One container of the store: the transient flat [`Document`], the
+/// published page-backed view of a loaded document, or an evicted document
+/// backed by its on-disk image.
 #[derive(Debug, Clone)]
 pub enum Container {
     /// A flat pre|size|level table (the transient container).
     Doc(Arc<Document>),
     /// The published view of a paged document (pages + column image).
     Paged(Arc<PagedSnapshot>),
+    /// A clean paged document dropped under a memory budget; reads fault
+    /// it back in from the checkpoint image.
+    Evicted(Arc<EvictedPaged>),
 }
 
 impl Container {
@@ -79,14 +137,27 @@ impl Container {
         match self {
             Container::Doc(d) => &d.name,
             Container::Paged(p) => p.name(),
+            Container::Evicted(e) => &e.name,
         }
     }
 
-    /// A borrowed read handle.
+    /// A borrowed read handle.  An evicted container faults its snapshot
+    /// back in on the first call.
     pub fn as_ref(&self) -> ContainerRef<'_> {
         match self {
             Container::Doc(d) => ContainerRef::Doc(d),
             Container::Paged(p) => ContainerRef::Paged(p),
+            Container::Evicted(e) => ContainerRef::Paged(e.fault_in()),
+        }
+    }
+
+    /// The paged snapshot behind this container, faulting an evicted one
+    /// back in; `None` for the flat transient container.
+    pub fn paged_snapshot(&self) -> Option<Arc<PagedSnapshot>> {
+        match self {
+            Container::Doc(_) => None,
+            Container::Paged(p) => Some(p.clone()),
+            Container::Evicted(e) => Some(e.fault_in().clone()),
         }
     }
 }
@@ -343,7 +414,7 @@ impl DocStore {
     pub fn transient(&self) -> &Document {
         match &self.containers[TRANSIENT_FRAG as usize] {
             Container::Doc(d) => d,
-            Container::Paged(_) => unreachable!("the transient container is never paged"),
+            _ => unreachable!("the transient container is never paged or evicted"),
         }
     }
 
@@ -377,7 +448,7 @@ impl DocStore {
     pub fn transient_mut(&mut self) -> &mut Document {
         match &mut self.containers[TRANSIENT_FRAG as usize] {
             Container::Doc(d) => Arc::make_mut(d),
-            Container::Paged(_) => unreachable!("the transient container is never paged"),
+            _ => unreachable!("the transient container is never paged or evicted"),
         }
     }
 
@@ -391,6 +462,7 @@ impl DocStore {
         match &self.containers[node.frag as usize] {
             Container::Doc(d) => d.name_of(node.pre),
             Container::Paged(p) => NodeRead::name_of(&**p, node.pre),
+            Container::Evicted(e) => NodeRead::name_of(&**e.fault_in(), node.pre),
         }
     }
 
@@ -399,12 +471,70 @@ impl DocStore {
         match &self.containers[node.frag as usize] {
             Container::Doc(d) => d.attribute(node.pre, name),
             Container::Paged(p) => NodeRead::attribute(&**p, node.pre, name),
+            Container::Evicted(e) => NodeRead::attribute(&**e.fault_in(), node.pre, name),
         }
     }
 
     /// Total number of nodes over all containers (diagnostics).
     pub fn total_nodes(&self) -> usize {
         self.containers.iter().map(|c| c.as_ref().len()).sum()
+    }
+
+    /// Force the generation counter (crash recovery replays a WAL whose
+    /// records are stamped with the generations the original publishes
+    /// produced; after replay the store must report the same generation the
+    /// pre-crash store did, so stamps stay comparable across restarts).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Drop a clean paged document's pages from memory, leaving a fault-in
+    /// stub backed by the on-disk image at `path` (which the caller — the
+    /// checkpoint logic — has already written).  Reads fault the snapshot
+    /// back in transparently; the generation does not change, because the
+    /// logical content does not.
+    ///
+    /// Fails if the fragment is unknown, transient, or already evicted.
+    pub fn evict_paged(&mut self, frag: u32, path: PathBuf) -> Result<(), StoreError> {
+        if frag == TRANSIENT_FRAG {
+            return Err(StoreError::TransientFragment);
+        }
+        match self.containers.get(frag as usize) {
+            Some(Container::Paged(p)) => {
+                let stub = EvictedPaged {
+                    name: p.name().to_string(),
+                    path,
+                    cell: OnceLock::new(),
+                };
+                self.containers[frag as usize] = Container::Evicted(Arc::new(stub));
+                Ok(())
+            }
+            Some(_) | None => Err(StoreError::UnknownFragment(frag)),
+        }
+    }
+
+    /// True if the fragment's pages are resident in memory (loaded, or
+    /// evicted and faulted back in).
+    pub fn is_resident(&self, frag: u32) -> bool {
+        match self.containers.get(frag as usize) {
+            Some(Container::Evicted(e)) => e.is_loaded(),
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Approximate bytes of resident page/column data over all loaded
+    /// documents (the quantity an eviction budget is compared against).
+    /// Evicted-but-not-faulted documents contribute nothing.
+    pub fn resident_page_bytes(&self) -> usize {
+        self.containers
+            .iter()
+            .map(|c| match c {
+                Container::Doc(_) => 0,
+                Container::Paged(p) => p.approx_bytes(),
+                Container::Evicted(e) => e.cell.get().map_or(0, |p| p.approx_bytes()),
+            })
+            .sum()
     }
 }
 
@@ -477,6 +607,7 @@ impl StoreSnapshot {
         match &self.containers[node.frag as usize] {
             Container::Doc(d) => d.name_of(node.pre),
             Container::Paged(p) => NodeRead::name_of(&**p, node.pre),
+            Container::Evicted(e) => NodeRead::name_of(&**e.fault_in(), node.pre),
         }
     }
 
@@ -485,6 +616,7 @@ impl StoreSnapshot {
         match &self.containers[node.frag as usize] {
             Container::Doc(d) => d.attribute(node.pre, name),
             Container::Paged(p) => NodeRead::attribute(&**p, node.pre, name),
+            Container::Evicted(e) => NodeRead::attribute(&**e.fault_in(), node.pre, name),
         }
     }
 }
@@ -546,10 +678,10 @@ mod tests {
     fn publish_to_bad_fragment_is_an_error_not_an_abort() {
         let mut store = DocStore::new();
         let frag = store.load_xml("a.xml", "<a/>").unwrap();
-        let snap = match store.container_owned(frag) {
-            Container::Paged(p) => p,
-            Container::Doc(_) => panic!("loaded documents are paged"),
-        };
+        let snap = store
+            .container_owned(frag)
+            .paged_snapshot()
+            .expect("loaded documents are paged");
         let gen_before = store.generation();
         assert_eq!(
             store.publish(TRANSIENT_FRAG, snap.clone()),

@@ -140,7 +140,7 @@ pub(crate) struct Tuple {
     pub(crate) attrs: Vec<(Arc<str>, Arc<str>)>,
 }
 
-fn tuples_of(doc: &Document) -> Vec<Tuple> {
+pub(crate) fn tuples_of(doc: &Document) -> Vec<Tuple> {
     (0..doc.len() as u32)
         .map(|pre| Tuple {
             size: doc.size(pre),
@@ -175,7 +175,7 @@ fn rebased_tuples(fragment: &Document, level_base: u16) -> Vec<Tuple> {
 /// through [`DocumentBuilder`] so all property containers (qname index,
 /// PI targets, attribute rows) are re-established and subtree sizes are
 /// recomputed from the level structure.
-fn materialize(name: &str, tuples: impl Iterator<Item = Tuple>) -> Document {
+pub(crate) fn materialize(name: &str, tuples: impl Iterator<Item = Tuple>) -> Document {
     let mut b = DocumentBuilder::new(name);
     // stack of open element levels
     let mut open: Vec<u16> = Vec::new();
@@ -507,6 +507,17 @@ pub(crate) struct Page {
 }
 
 impl Page {
+    /// The page's used tuples in logical order (the disk codec walks them).
+    pub(crate) fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Rebuild a page from decoded tuples; the summary is recomputed, so the
+    /// on-disk format never has to store (or trust) it.
+    pub(crate) fn from_tuples(tuples: Vec<Tuple>) -> Page {
+        Page::new(tuples)
+    }
+
     fn new(tuples: Vec<Tuple>) -> Page {
         let mut p = Page {
             tuples,
@@ -1080,6 +1091,65 @@ impl PagedSnapshot {
     /// The document (container) name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The logical page sequence (the disk codec serializes it page by
+    /// page, preserving the split geometry across a save/load cycle).
+    pub(crate) fn pages(&self) -> &[Arc<Page>] {
+        &self.pages
+    }
+
+    /// Reassemble a snapshot from decoded pages: offsets and fragment
+    /// roots are recomputed from the tuples, and the relational column
+    /// image is rebuilt from a materialized document — O(document) work
+    /// that happens once per load, after which incremental maintenance
+    /// takes over again.
+    pub(crate) fn from_pages(name: String, pages: Vec<Arc<Page>>) -> PagedSnapshot {
+        let pages: Vec<Arc<Page>> = pages.into_iter().filter(|p| !p.tuples.is_empty()).collect();
+        let mut starts = Vec::with_capacity(pages.len());
+        let mut acc = 0u32;
+        for p in &pages {
+            starts.push(acc);
+            acc += p.tuples.len() as u32;
+        }
+        let mut frag_roots = Vec::new();
+        for (i, p) in pages.iter().enumerate() {
+            if p.summary.min_level == 0 {
+                for (off, t) in p.tuples.iter().enumerate() {
+                    if t.level == 0 {
+                        frag_roots.push(starts[i] + off as u32);
+                    }
+                }
+            }
+        }
+        let doc = materialize(&name, pages.iter().flat_map(|p| p.tuples.iter().cloned()));
+        let columns = Arc::new(DocumentColumns::new(&doc));
+        PagedSnapshot {
+            name,
+            pages,
+            starts,
+            len: acc,
+            frag_roots,
+            columns,
+        }
+    }
+
+    /// Rough resident-memory footprint in bytes: tuple payloads (names,
+    /// texts, attributes) plus a fixed per-node estimate for the column
+    /// image.  Used by the eviction policy's memory budget — a heuristic,
+    /// not an allocator report.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for p in &self.pages {
+            for t in &p.tuples {
+                bytes += 32 + t.name.len() + t.text.len();
+                for (n, v) in &t.attrs {
+                    bytes += 16 + n.len() + v.len();
+                }
+            }
+        }
+        // structural columns: size/level/kind/name-code + chunk summaries
+        bytes + self.len as usize * 16
     }
 
     /// The pinned relational image.

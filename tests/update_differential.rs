@@ -345,6 +345,79 @@ fn xmark_mixed_query_update_round_trip() {
         .expect("published columns diverged from a reshred of the store");
 }
 
+/// Durability is a pure persistence knob: the same mixed workload driven
+/// through a durable database, crash-recovered from its write-ahead log,
+/// must agree byte-for-byte with the in-memory run — which this suite
+/// already holds to the paged-vs-naive differential oracle.  The recovered
+/// image gets the same reshred-fixpoint and column checks.
+#[test]
+fn recovered_store_agrees_with_in_memory_oracle() {
+    let dir = std::env::temp_dir().join(format!("mxq-dur-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let xml = mxq::xmark::gen::generate_xml(&mxq::xmark::gen::GenParams::with_factor(0.0005));
+    let statements = [
+        "insert nodes <bidder><date>2006-07-28</date><increase>6.00</increase></bidder> \
+         as last into doc(\"auction.xml\")/site/open_auctions/open_auction[1]",
+        "insert nodes <bidder><date>2006-07-29</date><increase>1.50</increase></bidder> \
+         as first into doc(\"auction.xml\")/site/open_auctions/open_auction[2]",
+        "delete nodes doc(\"auction.xml\")/site/open_auctions/open_auction[1]/bidder[1]",
+        "replace value of node doc(\"auction.xml\")/site/open_auctions/open_auction[3]/current \
+         with \"99.99\"",
+        "rename node doc(\"auction.xml\")/site/open_auctions/open_auction[4]/type as \"kind\"",
+    ];
+
+    // in-memory oracle
+    let mem = Arc::new(Database::new());
+    mem.load_document("auction.xml", &xml).unwrap();
+    let mut s = mem.session();
+    for stmt in &statements {
+        s.execute_update(stmt).unwrap();
+    }
+
+    // durable run: same statements, half followed by a checkpoint, then a
+    // simulated crash (drop without checkpoint) and recovery
+    {
+        let db = Arc::new(mxq::xquery::Database::open(&dir).unwrap());
+        db.load_document("auction.xml", &xml).unwrap();
+        let mut s = db.session();
+        for (i, stmt) in statements.iter().enumerate() {
+            s.execute_update(stmt).unwrap();
+            if i == statements.len() / 2 {
+                db.checkpoint().unwrap();
+            }
+        }
+    }
+    let recovered = mxq::xquery::Database::open(&dir).unwrap();
+
+    let text_of = |db: &Database| {
+        let store = db.store();
+        let frag = store.lookup("auction.xml").unwrap();
+        serialize_document(&store.container(frag))
+    };
+    let text = text_of(&recovered);
+    assert_eq!(text, text_of(&mem), "recovered vs in-memory serialization");
+    assert_eq!(recovered.generation(), mem.generation());
+
+    let opts = ShredOptions {
+        document_node: true,
+        ..ShredOptions::default()
+    };
+    let reshred = shred("check.xml", &text, &opts).unwrap();
+    reshred.check_invariants().unwrap();
+    assert_eq!(serialize_document(&reshred), text);
+    recovered
+        .document_columns("auction.xml")
+        .unwrap()
+        .same_content(&DocumentColumns::new(&reshred))
+        .expect("recovered columns diverged from a reshred of the store");
+    recovered
+        .document_columns("auction.xml")
+        .unwrap()
+        .same_content(&mem.document_columns("auction.xml").unwrap())
+        .expect("recovered columns diverged from the in-memory oracle's");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Thread count is a pure performance knob: the same mixed query/update
 /// workload driven single-threaded and with four worker threads must leave
 /// bit-identical column images and serialize identically.  (CI additionally

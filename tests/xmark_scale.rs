@@ -150,3 +150,69 @@ fn xmark_scale_01_queries_and_updates_match_full_reshred() {
         .unwrap();
     assert_eq!(bidders, oracle_bidders);
 }
+
+/// The same scale run against the **on-disk store**: load + update a
+/// durable database, checkpoint it, crash-recover (drop without another
+/// checkpoint, so the WAL tail replays), and compare every query result
+/// with the in-memory run.  Prints the cold (checkpoint-image decode) vs.
+/// warm (XML shred) open times recorded in BASELINES.md.
+#[test]
+#[ignore = "scale >= 0.1 run; enable with -- --ignored (MXQ_SCALE overrides the factor)"]
+fn xmark_scale_01_on_disk_store_cold_vs_warm() {
+    use std::time::Instant;
+
+    let factor = scale();
+    let xml = generate_xml(&GenParams::with_factor(factor));
+    let dir = std::env::temp_dir().join(format!("mxq-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let queries = [query_text(1), query_text(8), query_text(15)];
+
+    // in-memory oracle: load, update, query
+    let mem = Arc::new(Database::new());
+    let warm_load = {
+        let started = Instant::now();
+        mem.load_document("auction.xml", &xml).unwrap();
+        started.elapsed().as_secs_f64()
+    };
+    let mut ms = mem.session();
+    for stmt in update_script() {
+        ms.execute_update(&stmt).unwrap();
+    }
+    let want: Vec<String> = queries
+        .iter()
+        .map(|q| ms.query(q).unwrap().serialize().to_string())
+        .collect();
+
+    // durable run: checkpoint after the load, updates stay in the WAL
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        db.load_document("auction.xml", &xml).unwrap();
+        db.checkpoint().unwrap();
+        let mut s = db.session();
+        for stmt in update_script() {
+            s.execute_update(&stmt).unwrap();
+        }
+    }
+
+    // cold start: decode the page images + replay the update tail
+    let started = Instant::now();
+    let db = Database::open(&dir).unwrap();
+    let cold_open = started.elapsed().as_secs_f64();
+    let replays = db.stats().recovery_replays;
+    assert_eq!(replays, update_script().len() as u64);
+
+    let db = Arc::new(db);
+    let mut s = db.session();
+    for (q, want) in queries.iter().zip(&want) {
+        assert_eq!(
+            &s.query(q).unwrap().serialize().to_string(),
+            want,
+            "on-disk store diverges from the in-memory run for {q}"
+        );
+    }
+    println!(
+        "xmark_scale sf {factor}: cold open (images + {replays} replays) {cold_open:.3}s \
+         vs warm xml shred {warm_load:.3}s"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
