@@ -503,13 +503,18 @@ impl Database {
     pub fn open_with(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Self, Error> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| Error::Durability(e.into()))?;
+        // debris from a crashed write_atomic: a temp file is meaningless
+        // outside the write that created it
+        durability::remove_stale_tmp_files(&dir);
 
         let db = Database::new();
         let mut replays: u64 = 0;
+        let mut dirty = HashSet::new();
 
         // 1. last checkpoint: page images + the generation they capture
         let catalog = durability::read_catalog(&dir).map_err(Error::Durability)?;
         let checkpoint_generation = catalog.as_ref().map_or(0, |c| c.generation);
+        let mut images: HashMap<u32, String> = HashMap::new();
         if let Some(cat) = &catalog {
             let mut store = db.store.write().unwrap();
             store.set_page_policy(cat.page_size, cat.fill_percent);
@@ -528,9 +533,14 @@ impl Database {
                         doc.frag, doc.name
                     ))));
                 }
+                images.insert(doc.frag, doc.file.clone());
             }
             store.set_generation(cat.generation);
         }
+        // image files the committed catalog does not reference were written
+        // by a checkpoint that crashed before its commit point; the WAL
+        // replay below re-derives whatever state they captured
+        durability::remove_unreferenced_images(&dir, &images);
 
         // 2. replay the WAL's complete records past the checkpoint;
         //    WalWriter::open truncates any torn/corrupt tail
@@ -543,7 +553,7 @@ impl Database {
                 continue;
             }
             let op = decode_op(&record.payload).map_err(Error::Durability)?;
-            db.replay(op, record.generation)?;
+            db.replay(op, record.generation, &mut dirty)?;
             replays += 1;
         }
 
@@ -557,7 +567,8 @@ impl Database {
                 state: Mutex::new(DurableState {
                     wal,
                     checkpoint_generation,
-                    dirty: HashSet::new(),
+                    dirty,
+                    images,
                 }),
             }),
             ..db
@@ -565,17 +576,19 @@ impl Database {
     }
 
     /// Apply one recovered WAL operation and land the store on the
-    /// generation its record was stamped with.
-    fn replay(&self, op: WalOp, generation: u64) -> Result<(), Error> {
+    /// generation its record was stamped with.  Fragments the operation
+    /// created or mutated are added to `touched`: their on-disk images (if
+    /// any) predate the operation, so the next checkpoint must rewrite them.
+    fn replay(&self, op: WalOp, generation: u64, touched: &mut HashSet<u32>) -> Result<(), Error> {
         match op {
             WalOp::LoadXml { name, xml } => {
                 let mut store = self.store.write().unwrap();
-                store.load_xml(&name, &xml)?;
+                touched.insert(store.load_xml(&name, &xml)?);
                 store.set_generation(generation);
             }
             WalOp::LoadDoc { doc } => {
                 let mut store = self.store.write().unwrap();
-                store.add_document(*doc);
+                touched.insert(store.add_document(*doc));
                 store.set_generation(generation);
             }
             WalOp::Update { primitives } => {
@@ -612,16 +625,20 @@ impl Database {
                     store.publish(frag, Arc::new(writer.paged[&frag].snapshot()))?;
                 }
                 store.set_generation(generation);
+                touched.extend(frags);
             }
         }
         Ok(())
     }
 
-    /// Write a checkpoint: every loaded document's page image, then the
-    /// catalog (the atomic commit point), then truncate the write-ahead
-    /// log.  After a checkpoint, recovery starts from the images instead of
-    /// replaying the whole log.  No-op (returning `Ok`) on an in-memory
-    /// database.
+    /// Write a checkpoint: a fresh generation-stamped page image for every
+    /// document changed since the last checkpoint (unchanged documents keep
+    /// their existing image files — checkpoint I/O is proportional to what
+    /// changed, not to the database size), then the catalog (the atomic
+    /// commit point, naming the exact image files), then truncate the
+    /// write-ahead log and delete superseded images.  After a checkpoint,
+    /// recovery starts from the images instead of replaying the whole log.
+    /// No-op (returning `Ok`) on an in-memory database.
     ///
     /// If a memory budget is configured, clean documents are evicted after
     /// the checkpoint until the resident page bytes fit the budget.
@@ -636,35 +653,48 @@ impl Database {
             (store.snapshot(), ps, fp)
         };
         let mut state = durable.state.lock().unwrap();
+        let generation = snap.generation();
 
         // 1. page images for every named document (fragment 0 is the
-        //    transient container).  An evicted document's disk file *is*
-        //    its current image — eviction only ever follows a checkpoint —
-        //    so it is not rewritten (and not faulted back in).
+        //    transient container).  Image files are immutable: a dirty or
+        //    never-imaged fragment gets a fresh generation-stamped file,
+        //    while a clean fragment's existing image already is exactly its
+        //    current state and is referenced as-is (no write, and for an
+        //    evicted document no fault-in either).  Nothing the previous
+        //    catalog references is touched, so a crash anywhere in this
+        //    checkpoint leaves that checkpoint fully intact and consistent
+        //    with the surviving WAL.
         let mut docs = Vec::new();
         for frag in 1..snap.container_count() as u32 {
-            let file = doc_file_name(frag);
             let container = snap.container_owned(frag);
+            let reuse = if state.dirty.contains(&frag) {
+                None
+            } else {
+                state.images.get(&frag).cloned()
+            };
+            let file = match reuse {
+                Some(file) => file,
+                None => {
+                    let file = doc_file_name(frag, generation);
+                    let image = container
+                        .paged_snapshot()
+                        .expect("loaded documents are always paged");
+                    mxq_wal::write_atomic(&durable.file(&file), &encode_snapshot(&image))
+                        .map_err(|e| Error::Durability(e.into()))?;
+                    file
+                }
+            };
             docs.push(CatalogDoc {
                 frag,
                 name: container.name().to_string(),
-                file: file.clone(),
+                file,
             });
-            if let Container::Evicted(_) = &container {
-                if !state.dirty.contains(&frag) {
-                    continue;
-                }
-            }
-            let image = container
-                .paged_snapshot()
-                .expect("loaded documents are always paged");
-            mxq_wal::write_atomic(&durable.file(&file), &encode_snapshot(&image))
-                .map_err(|e| Error::Durability(e.into()))?;
         }
 
-        // 2. the catalog — written atomically, this is the commit point
+        // 2. the catalog — written atomically, this is the commit point;
+        //    it names the exact image files (reused and new) just captured
         let catalog = Catalog {
-            generation: snap.generation(),
+            generation,
             page_size,
             fill_percent,
             docs,
@@ -682,10 +712,20 @@ impl Database {
             .wal
             .truncate()
             .map_err(|e| Error::Durability(e.into()))?;
-        state.checkpoint_generation = snap.generation();
+        state.checkpoint_generation = generation;
         state.dirty.clear();
+        state.images = catalog
+            .docs
+            .iter()
+            .map(|d| (d.frag, d.file.clone()))
+            .collect();
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.note_wal(&state);
+
+        // now that the catalog committed, images it no longer references
+        // (superseded by this checkpoint, or debris of an earlier crashed
+        // one) are dead: no recovery path can need them
+        durability::remove_unreferenced_images(&durable.dir, &state.images);
 
         // 4. eviction: now every document has a current on-disk image, so
         //    clean ones can be dropped down to the memory budget
@@ -698,10 +738,10 @@ impl Database {
                 if !store.is_resident(frag) {
                     continue;
                 }
-                if store
-                    .evict_paged(frag, durable.file(&doc_file_name(frag)))
-                    .is_ok()
-                {
+                let Some(file) = state.images.get(&frag) else {
+                    continue;
+                };
+                if store.evict_paged(frag, durable.file(file)).is_ok() {
                     // the master copy pins the pages; recovery of the
                     // master from the disk image happens on next update
                     writer.paged.remove(&frag);
@@ -753,17 +793,18 @@ impl Database {
     /// any update.
     pub fn load_document(&self, name: &str, xml: &str) -> Result<(), Error> {
         let _writer = self.writer.lock().unwrap();
-        if self.durable.is_some() {
-            // shred first: an invalid document must be rejected before it
-            // is logged, or recovery would trip over the failed operation
-            let opts = ShredOptions {
-                document_node: true,
-                ..ShredOptions::default()
-            };
-            shred(name, xml, &opts)?;
-            self.log_durable(|gen| (gen + 1, durability::encode_load_xml(name, xml)))?;
-        }
-        self.store.write().unwrap().load_xml(name, xml)?;
+        // shred exactly once: an invalid document is rejected before it is
+        // logged (recovery must never trip over a failed operation), and
+        // the shredded result is what the store pages — the text is not
+        // parsed a second time
+        let opts = ShredOptions {
+            document_node: true,
+            ..ShredOptions::default()
+        };
+        let doc = shred(name, xml, &opts)?;
+        self.log_durable(|gen| (gen + 1, durability::encode_load_xml(name, xml)))?;
+        let frag = self.store.write().unwrap().add_document(doc);
+        self.mark_dirty(frag);
         Ok(())
     }
 
@@ -772,8 +813,18 @@ impl Database {
     pub fn load_shredded(&self, doc: Document) -> Result<(), Error> {
         let _writer = self.writer.lock().unwrap();
         self.log_durable(|gen| (gen + 1, durability::encode_load_doc(&doc)))?;
-        self.store.write().unwrap().add_document(doc);
+        let frag = self.store.write().unwrap().add_document(doc);
+        self.mark_dirty(frag);
         Ok(())
+    }
+
+    /// Record that a fragment's published state moved past the last
+    /// checkpoint, so the next checkpoint must write it a fresh image (and
+    /// must not evict it before then).  No-op on an in-memory database.
+    fn mark_dirty(&self, frag: u32) {
+        if let Some(durable) = &self.durable {
+            durable.state.lock().unwrap().dirty.insert(frag);
+        }
     }
 
     /// Append one operation to the WAL (no-op on an in-memory database).

@@ -10,15 +10,23 @@
 //!   Each record is stamped with the store generation the operation
 //!   produces, so recovery can replay exactly up to the last published
 //!   generation and stamps stay comparable across restarts.
-//! * `doc-<frag>.mxq` — one checksummed page image per loaded document
-//!   (`mxq_xmldb::disk` snapshot format), written by a checkpoint.
+//! * `doc-<frag>-<generation>.mxq` — one checksummed page image per
+//!   loaded document (`mxq_xmldb::disk` snapshot format), written by a
+//!   checkpoint.  Image files are **immutable**: a checkpoint never
+//!   rewrites a file an earlier catalog references — a changed document
+//!   gets a fresh generation-stamped file, an unchanged document's
+//!   existing file is referenced as-is (no rewrite).
 //! * `catalog.mxq` — the checkpoint catalog: format version, the
 //!   checkpointed generation, the page policy and the fragment → (name,
 //!   file) table.  Written atomically (temp + fsync + rename) **after**
 //!   all page images, so the catalog only ever names complete files; the
-//!   WAL is truncated after the catalog commit.  A crash between those
-//!   two steps is harmless: the surviving WAL records carry generations
-//!   ≤ the checkpoint generation and are skipped on replay.
+//!   WAL is truncated, and image files the new catalog no longer
+//!   references are deleted, only after the catalog commit.  A crash
+//!   anywhere before that commit is harmless: the previous catalog and
+//!   every file it names are untouched, the surviving WAL records carry
+//!   generations ≤ that catalog's checkpoint generation or are replayed
+//!   on top of exactly the state they were logged against, and the
+//!   next open sweeps up the unreferenced new images.
 //!
 //! Recovery (`Database::open`) loads the catalog (if any), replays the
 //! WAL's complete records with stamps beyond the checkpoint generation,
@@ -28,7 +36,7 @@
 //! publishes — so discarding the tail is exactly "recover to the last
 //! published generation".
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -48,9 +56,51 @@ pub const CATALOG_MAGIC: &[u8; 4] = b"MXQC";
 /// Catalog format version.
 pub const CATALOG_VERSION: u16 = 1;
 
-/// The page-image file name for a fragment id.
-pub fn doc_file_name(frag: u32) -> String {
-    format!("doc-{frag}.mxq")
+/// The page-image file name for a fragment checkpointed at a generation.
+/// The generation stamp makes image files immutable: a later checkpoint
+/// of a changed document writes a *new* file instead of overwriting one
+/// the committed catalog still references.
+pub fn doc_file_name(frag: u32, generation: u64) -> String {
+    format!("doc-{frag}-{generation}.mxq")
+}
+
+/// True if a directory entry name looks like a page-image file.
+fn is_image_file(name: &str) -> bool {
+    name.starts_with("doc-") && name.ends_with(".mxq")
+}
+
+/// Delete page-image files in `dir` that `images` (the committed catalog's
+/// fragment → file table) does not reference: leftovers of a checkpoint
+/// that crashed between writing images and committing its catalog, or
+/// files superseded by a catalog that just committed.  Best-effort — a
+/// file that cannot be removed is simply left behind for the next sweep.
+pub(crate) fn remove_unreferenced_images(dir: &Path, images: &HashMap<u32, String>) {
+    let referenced: HashSet<&str> = images.values().map(String::as_str).collect();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_image_file(name) && !referenced.contains(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Delete stray `*.tmp` files in `dir`: debris of a [`mxq_wal::write_atomic`]
+/// that crashed between creating its temp file and the rename.
+pub(crate) fn remove_stale_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -175,9 +225,15 @@ pub(crate) struct DurableState {
     pub(crate) wal: WalWriter,
     /// Generation recorded by the last checkpoint (0 before the first).
     pub(crate) checkpoint_generation: u64,
-    /// Fragments whose published state moved past the last checkpoint.
-    /// Only fragments *not* in this set may be evicted.
+    /// Fragments whose published state moved past the last checkpoint:
+    /// updated, freshly loaded, or reconstructed by WAL replay.  Only
+    /// fragments *not* in this set may be evicted, and only their images
+    /// may be reused (skipped) by the next checkpoint.
     pub(crate) dirty: HashSet<u32>,
+    /// Fragment → image file referenced by the last committed catalog.
+    /// A checkpoint reuses these entries for clean fragments instead of
+    /// rewriting their images.
+    pub(crate) images: HashMap<u32, String>,
 }
 
 /// The durability attachment of a [`crate::Database`]: directory, WAL

@@ -492,25 +492,28 @@ impl DocStore {
     /// stub backed by the on-disk image at `path` (which the caller — the
     /// checkpoint logic — has already written).  Reads fault the snapshot
     /// back in transparently; the generation does not change, because the
-    /// logical content does not.
+    /// logical content does not.  A document that was evicted earlier and
+    /// faulted back in by a read is evicted again the same way: the loaded
+    /// stub is replaced by a fresh unloaded one, so a memory budget stays
+    /// enforceable across fault-ins.
     ///
-    /// Fails if the fragment is unknown, transient, or already evicted.
+    /// Fails if the fragment is unknown or transient.
     pub fn evict_paged(&mut self, frag: u32, path: PathBuf) -> Result<(), StoreError> {
         if frag == TRANSIENT_FRAG {
             return Err(StoreError::TransientFragment);
         }
-        match self.containers.get(frag as usize) {
-            Some(Container::Paged(p)) => {
-                let stub = EvictedPaged {
-                    name: p.name().to_string(),
-                    path,
-                    cell: OnceLock::new(),
-                };
-                self.containers[frag as usize] = Container::Evicted(Arc::new(stub));
-                Ok(())
-            }
-            Some(_) | None => Err(StoreError::UnknownFragment(frag)),
-        }
+        let name = match self.containers.get(frag as usize) {
+            Some(Container::Paged(p)) => p.name().to_string(),
+            Some(Container::Evicted(e)) => e.name.clone(),
+            Some(Container::Doc(_)) | None => return Err(StoreError::UnknownFragment(frag)),
+        };
+        let stub = EvictedPaged {
+            name,
+            path,
+            cell: OnceLock::new(),
+        };
+        self.containers[frag as usize] = Container::Evicted(Arc::new(stub));
+        Ok(())
     }
 
     /// True if the fragment's pages are resident in memory (loaded, or

@@ -67,6 +67,17 @@ fn script() -> Vec<String> {
     ]
 }
 
+/// Page-image files (`doc-*.mxq`) currently in the directory, sorted.
+fn image_files(dir: &Path) -> Vec<String> {
+    let mut v: Vec<String> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("doc-") && n.ends_with(".mxq"))
+        .collect();
+    v.sort();
+    v
+}
+
 /// Serialize the named document straight from the store.
 fn doc_text(db: &Database, name: &str) -> String {
     let store = db.store();
@@ -344,7 +355,13 @@ fn corrupt_checkpoint_artifacts_fail_open_cleanly() {
     }
 
     // corrupt the page image → structured durability error, no panic
-    let image = dir.path().join("doc-1.mxq");
+    let images = image_files(dir.path());
+    let image = dir.path().join(
+        images
+            .iter()
+            .find(|n| n.starts_with("doc-1-"))
+            .expect("the checkpoint imaged fragment 1"),
+    );
     let good = fs::read(&image).unwrap();
     let mut bad = good.clone();
     let mid = bad.len() / 2;
@@ -378,6 +395,148 @@ fn corrupt_checkpoint_artifacts_fail_open_cleanly() {
     fs::write(&catalog, &cat).unwrap();
     let db = Database::open(dir.path()).unwrap();
     assert_matches_oracle(&db, &oracle(3));
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint atomicity: immutable images, incremental I/O, debris sweeping
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crashed_checkpoint_cannot_corrupt_the_previous_one() {
+    // The double-apply scenario: a checkpoint commits at generation G, more
+    // updates are logged in (G, G'], then a second checkpoint crashes after
+    // writing its page images but before committing its catalog.  The
+    // surviving catalog must still point at the untouched gen-G images, so
+    // replaying the WAL tail lands exactly on the oracle — the newer images
+    // are orphans and must be ignored (and swept) by recovery.
+    let dir = TempDir::new("crashed-ckpt");
+    let n = script().len();
+    let mid = 3;
+    {
+        let db = Arc::new(Database::open(dir.path()).unwrap());
+        db.load_document("d.xml", DOC).unwrap();
+        let mut s = db.session();
+        for stmt in script().iter().take(mid) {
+            s.execute_update(stmt).unwrap();
+        }
+        db.checkpoint().unwrap();
+        for stmt in script().iter().skip(mid) {
+            s.execute_update(stmt).unwrap();
+        }
+    }
+    let committed = image_files(dir.path());
+
+    // simulate the crashed second checkpoint: run it to completion in a
+    // copy of the directory, then graft only its image files — not its
+    // catalog, not its truncated WAL — back into the original
+    let copy = TempDir::new("crashed-ckpt-copy");
+    for f in fs::read_dir(dir.path()).unwrap() {
+        let f = f.unwrap();
+        fs::copy(f.path(), copy.path().join(f.file_name())).unwrap();
+    }
+    {
+        let db = Database::open(copy.path()).unwrap();
+        db.checkpoint().unwrap();
+    }
+    let mut grafted = 0;
+    for name in image_files(copy.path()) {
+        if !committed.contains(&name) {
+            fs::copy(copy.path().join(&name), dir.path().join(&name)).unwrap();
+            grafted += 1;
+        }
+    }
+    assert!(grafted > 0, "the second checkpoint wrote fresh image files");
+
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(
+        db.stats().recovery_replays,
+        (n - mid) as u64,
+        "the WAL tail replays once, against the gen-G images"
+    );
+    assert_matches_oracle(&db, &oracle(n));
+    assert_eq!(
+        image_files(dir.path()),
+        committed,
+        "orphan images from the crashed checkpoint are swept on open"
+    );
+}
+
+#[test]
+fn checkpoint_rewrites_only_changed_documents() {
+    const LOG: &str = "<log><entry n=\"1\"/></log>";
+    let dir = TempDir::new("incremental-ckpt");
+    let db = Arc::new(Database::open(dir.path()).unwrap());
+    db.load_document("d.xml", DOC).unwrap();
+    db.load_document("e.xml", LOG).unwrap();
+    db.checkpoint().unwrap();
+    let first = image_files(dir.path());
+    assert_eq!(first.len(), 2);
+
+    // update only d.xml: the next checkpoint must image it afresh while
+    // referencing e.xml's existing file unchanged
+    db.session().execute_update(&script()[0]).unwrap();
+    db.checkpoint().unwrap();
+    let second = image_files(dir.path());
+    assert_eq!(second.len(), 2);
+    let e_image = first.iter().find(|n| n.starts_with("doc-2-")).unwrap();
+    assert!(second.contains(e_image), "clean e.xml keeps its image file");
+    let d_first = first.iter().find(|n| n.starts_with("doc-1-")).unwrap();
+    let d_second = second.iter().find(|n| n.starts_with("doc-1-")).unwrap();
+    assert_ne!(d_first, d_second, "dirty d.xml gets a fresh image file");
+    assert!(
+        !dir.path().join(d_first).exists(),
+        "the superseded image is deleted after the catalog commit"
+    );
+
+    // a checkpoint with nothing dirty rewrites no image at all (same
+    // files, same inodes — write_atomic would have produced fresh inodes)
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        let inos = |names: &[String]| -> Vec<u64> {
+            names
+                .iter()
+                .map(|n| fs::metadata(dir.path().join(n)).unwrap().ino())
+                .collect()
+        };
+        let before = inos(&second);
+        db.checkpoint().unwrap();
+        assert_eq!(image_files(dir.path()), second);
+        assert_eq!(before, inos(&second), "clean images are not rewritten");
+    }
+
+    // recovery from the mixed-generation image set agrees with the oracle
+    drop(db);
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(db.stats().recovery_replays, 0);
+    let twin = Arc::new(Database::new());
+    twin.load_document("d.xml", DOC).unwrap();
+    twin.load_document("e.xml", LOG).unwrap();
+    twin.session().execute_update(&script()[0]).unwrap();
+    assert_matches_oracle(&db, &twin);
+}
+
+#[test]
+fn stale_tmp_files_are_removed_on_open() {
+    let dir = TempDir::new("stale-tmp");
+    {
+        let db = build_durable(dir.path(), DurabilityOptions::default(), 2);
+        db.checkpoint().unwrap();
+    }
+    // a crash inside write_atomic leaves its temp file behind
+    fs::write(dir.path().join("catalog.mxq.tmp"), b"half-written").unwrap();
+    fs::write(dir.path().join("doc-1-99.mxq.tmp"), b"half-written").unwrap();
+    let db = Database::open(dir.path()).unwrap();
+    assert_matches_oracle(&db, &oracle(2));
+    let leftovers: Vec<String> = fs::read_dir(dir.path())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stale temp files swept on open: {leftovers:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -480,6 +639,37 @@ fn eviction_faults_documents_back_from_disk() {
         .unwrap();
     twin.session().execute_update(&script()[0]).unwrap();
     assert_matches_oracle(&db, &twin);
+}
+
+#[test]
+fn faulted_in_documents_can_be_evicted_again() {
+    let dir = TempDir::new("re-evict");
+    let options = DurabilityOptions {
+        memory_budget: Some(1),
+        ..DurabilityOptions::default()
+    };
+    let db = Arc::new(Database::open_with(dir.path(), options).unwrap());
+    db.load_document("d.xml", DOC).unwrap();
+    db.checkpoint().unwrap();
+    assert!(!db.store().is_resident(1));
+    // a read faults the pages back in without dirtying the document…
+    let mut s = db.session();
+    assert_eq!(
+        s.query("count(doc(\"d.xml\")/site/people/person)")
+            .unwrap()
+            .serialize(),
+        "2"
+    );
+    assert!(db.store().is_resident(1));
+    // …so the next checkpoint must be able to drop it again, or the memory
+    // budget would stay unenforced forever after one read
+    db.checkpoint().unwrap();
+    assert!(
+        !db.store().is_resident(1),
+        "a faulted-in clean document is evicted again"
+    );
+    // and it still reads correctly after the re-eviction
+    assert_eq!(doc_text(&db, "d.xml"), doc_text(&oracle(0), "d.xml"));
 }
 
 #[test]
