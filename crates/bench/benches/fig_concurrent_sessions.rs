@@ -12,13 +12,22 @@
 //!   so total reads/sec measures true parallel read throughput and the
 //!   per-write latency exposes the cost of the writer's critical section
 //!   (page publish, not re-materialization).
+//! * **multi-writer saturation** — 1/2/4 writer sessions on pairwise
+//!   disjoint documents plus 4 readers, all deadline-driven.  With
+//!   per-fragment latches the writers never contend (the printed latch-wait
+//!   counter must stay 0); aggregate writes/sec is the multi-writer scaling
+//!   figure (on a multi-core host — a single core serializes the CPU work
+//!   even though the latching admits parallelism).
 //!
 //! `MXQ_SCALE` overrides the document scale factor.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mxq_bench::{run_mixed_workload, run_saturation_workload, scale_factor, xmark_db, xmark_xml};
+use mxq_bench::{
+    contention_summary, run_mixed_workload, run_multi_writer_saturation, run_saturation_workload,
+    scale_factor, xmark_db, xmark_multi_writer_db, xmark_xml,
+};
 
 const OPS: usize = 80;
 const READ_PCT: u8 = 90;
@@ -63,10 +72,34 @@ fn bench(c: &mut Criterion) {
         let db = xmark_db(&xml);
         // warm the plan cache so the measured window is steady-state
         let _ = run_saturation_workload(&db, sessions, Duration::from_millis(100), 0xcafe);
+        let before = db.stats();
         let report = run_saturation_workload(&db, sessions, SATURATION_DEADLINE, 0xcafe);
         println!(
             "fig_concurrent_sessions/saturation_readers_{sessions}: {}",
             report.summary()
+        );
+        println!(
+            "fig_concurrent_sessions/saturation_readers_{sessions}: contention: {}",
+            contention_summary(&before, &db.stats())
+        );
+    }
+
+    // multi-writer saturation: 1/2/4 writers on disjoint documents plus 4
+    // readers, deadline-driven.  Printed, not criterion-timed; the claim
+    // under test is "zero cross-document latch waits" plus aggregate
+    // writes/sec.
+    for writers in [1usize, 2, 4] {
+        let db = xmark_multi_writer_db(&xml, writers);
+        let _ = run_multi_writer_saturation(&db, writers, 4, Duration::from_millis(100), 0xbeef);
+        let before = db.stats();
+        let report = run_multi_writer_saturation(&db, writers, 4, SATURATION_DEADLINE, 0xbeef);
+        println!(
+            "fig_concurrent_sessions/multi_writer_{writers}: {}",
+            report.summary()
+        );
+        println!(
+            "fig_concurrent_sessions/multi_writer_{writers}: contention: {}",
+            contention_summary(&before, &db.stats())
         );
     }
 }

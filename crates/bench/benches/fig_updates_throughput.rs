@@ -14,7 +14,8 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mxq_bench::{
-    bench_dir, run_mixed_workload, scale_factor, xmark_db, xmark_durable_db, xmark_xml,
+    bench_dir, contention_summary, run_mixed_workload, scale_factor, xmark_db, xmark_durable_db,
+    xmark_xml,
 };
 use mxq_xquery::DurabilityOptions;
 
@@ -68,6 +69,7 @@ fn bench(c: &mut Criterion) {
         },
     );
     let db = xmark_durable_db(&xml, &bench_dir("figupd"), DurabilityOptions::default());
+    let before = db.stats();
     let report = run_mixed_workload(&db, 1, 50, OPS, 0xbeef);
     let stats = db.stats();
     println!(
@@ -77,6 +79,10 @@ fn bench(c: &mut Criterion) {
         stats.wal_bytes_written,
         stats.wal_fsyncs,
         stats.checkpoints
+    );
+    println!(
+        "fig_updates_throughput/mix_50_50_durable: contention: {}",
+        contention_summary(&before, &stats)
     );
     group.finish();
 }

@@ -20,7 +20,7 @@ use mxq_xmark::gen::{generate_xml, GenParams};
 use mxq_xmark::naive::NaiveInterpreter;
 use mxq_xmark::queries::query_text;
 use mxq_xmldb::{DocStore, UpdateStats};
-use mxq_xquery::{Database, DurabilityOptions, ExecConfig, Session};
+use mxq_xquery::{Database, DatabaseStats, DurabilityOptions, ExecConfig, Session};
 use rand::{Rng, SeedableRng, StdRng};
 
 /// Default scale factor for single-document benches (≈0.1 MB of XML).
@@ -87,6 +87,48 @@ pub fn xmark_db(xml: &str) -> Arc<Database> {
     db.load_document("auction.xml", xml)
         .expect("generated XMark document must load");
     db
+}
+
+/// The document name writer `w` owns in a multi-writer fixture.
+pub fn writer_doc(w: usize) -> String {
+    format!("auction-w{w}.xml")
+}
+
+/// Build a shared database for the multi-writer rounds: `auction.xml` for
+/// the readers plus one private copy per writer ([`writer_doc`]), so the
+/// writers' update targets are pairwise disjoint documents.
+pub fn xmark_multi_writer_db(xml: &str, writers: usize) -> Arc<Database> {
+    let db = xmark_db(xml);
+    for w in 0..writers {
+        db.load_document(&writer_doc(w), xml)
+            .expect("writer copy must load");
+    }
+    db
+}
+
+/// One line of writer-contention counters (latch waits/conflicts, the
+/// group-commit batch histogram and the background-checkpoint count) for
+/// the bench printouts, computed as the delta between two stats snapshots.
+pub fn contention_summary(before: &DatabaseStats, after: &DatabaseStats) -> String {
+    let batches = after.group_commit_batches - before.group_commit_batches;
+    let records = after.group_commit_records - before.group_commit_records;
+    let mean = if batches > 0 {
+        records as f64 / batches as f64
+    } else {
+        0.0
+    };
+    format!(
+        "latch waits {}, latch conflicts {}, group-commit batches {} \
+         (min/mean/max {}/{:.1}/{}), background checkpoints {}",
+        after.latch_waits - before.latch_waits,
+        after.latch_conflicts - before.latch_conflicts,
+        batches,
+        // min/max are lifetime extrema, not windowed — report them raw
+        after.group_commit_batch_min,
+        mean,
+        after.group_commit_batch_max,
+        after.background_checkpoints - before.background_checkpoints,
+    )
 }
 
 /// A scratch directory for a durable-database bench fixture: recreated
@@ -336,7 +378,14 @@ fn workload_queries() -> Vec<String> {
 
 /// The update statement for write op number `op` against a random auction.
 fn workload_update(op: usize, auction_idx: usize, kind: u32) -> String {
-    let auction = format!("doc(\"auction.xml\")/site/open_auctions/open_auction[{auction_idx}]");
+    workload_update_on("auction.xml", op, auction_idx, kind)
+}
+
+/// [`workload_update`] against an arbitrary document — the multi-writer
+/// rounds point each writer at its own copy ([`writer_doc`]) so the update
+/// targets are disjoint.
+fn workload_update_on(doc: &str, op: usize, auction_idx: usize, kind: u32) -> String {
+    let auction = format!("doc(\"{doc}\")/site/open_auctions/open_auction[{auction_idx}]");
     match kind {
         0 => format!(
             "insert nodes <bidder><date>2006-07-{:02}</date>\
@@ -356,6 +405,160 @@ fn workload_update(op: usize, auction_idx: usize, kind: u32) -> String {
         ),
         _ => format!("rename node {auction}/type as \"type\""),
     }
+}
+
+/// Outcome of one multi-writer saturation run
+/// ([`run_multi_writer_saturation`]): `writers` writer sessions each
+/// updating their own document ([`writer_doc`]) plus `readers` reader
+/// sessions, all flat-out until a shared deadline.
+#[derive(Debug, Clone, Default)]
+pub struct MultiWriterReport {
+    /// Writer sessions driven (each on its own thread, own document).
+    pub writer_sessions: usize,
+    /// Reader sessions driven (each on its own thread).
+    pub reader_sessions: usize,
+    /// Total updates completed by all writers before the deadline.
+    pub writes: usize,
+    /// Total queries completed by all readers before the deadline.
+    pub reads: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Writes per second over all writers — the multi-writer scaling figure.
+    pub writes_per_sec: f64,
+    /// Mean wall-clock latency of one write in milliseconds.
+    pub write_latency_ms: f64,
+    /// Latch waits incurred during the run (should be 0: the writers touch
+    /// disjoint documents).
+    pub latch_waits: u64,
+    /// Latch conflicts (stale-snapshot re-evaluations) during the run.
+    pub latch_conflicts: u64,
+}
+
+impl MultiWriterReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} writer(s)+{} reader(s), {:.2}s deadline: {} writes ({:.0}/s, {:.3} ms/write), \
+             {} reads, {} latch waits, {} latch conflicts",
+            self.writer_sessions,
+            self.reader_sessions,
+            self.elapsed_secs,
+            self.writes,
+            self.writes_per_sec,
+            self.write_latency_ms,
+            self.reads,
+            self.latch_waits,
+            self.latch_conflicts
+        )
+    }
+}
+
+/// Multi-writer variant of [`run_saturation_workload`]: `writers` writer
+/// sessions each apply XQUF statements back-to-back **to their own
+/// document** ([`writer_doc`], loaded by [`xmark_multi_writer_db`]) until
+/// the deadline, while `readers` reader sessions loop the workload queries
+/// against `auction.xml`.  Because the writers' documents are pairwise
+/// disjoint, their commits should proceed without a single fragment-latch
+/// wait — the report carries the latch counters so the bench can assert
+/// that claim in print.
+pub fn run_multi_writer_saturation(
+    db: &Arc<Database>,
+    writers: usize,
+    readers: usize,
+    deadline: std::time::Duration,
+    seed: u64,
+) -> MultiWriterReport {
+    assert!(writers >= 1, "the workload needs at least one writer");
+    let auctions: usize = db
+        .execute("count(doc(\"auction.xml\")/site/open_auctions/open_auction)")
+        .expect("auction count query")
+        .into_query()
+        .expect("count is a query")
+        .serialize()
+        .parse()
+        .unwrap_or(0);
+    assert!(auctions > 0, "workload needs at least one open auction");
+
+    let stats_before = db.stats();
+    let started = Instant::now();
+    let stop_at = started + deadline;
+    let mut report = std::thread::scope(|scope| {
+        let queries = Arc::new(workload_queries());
+        let mut reader_handles = Vec::new();
+        for r in 0..readers {
+            let mut session = db.session();
+            let queries = queries.clone();
+            let seed = seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            reader_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut reads = 0usize;
+                while Instant::now() < stop_at {
+                    let q = &queries[rng.gen_range(0..queries.len())];
+                    session
+                        .execute(q)
+                        .expect("workload query")
+                        .into_query()
+                        .expect("read ops are queries");
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        let mut writer_handles = Vec::new();
+        for w in 0..writers {
+            let mut session = db.session();
+            let doc = writer_doc(w);
+            let seed = seed ^ (w as u64 + 101).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            writer_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut writes = 0usize;
+                let mut write_secs = 0.0f64;
+                let mut op = 0usize;
+                while Instant::now() < stop_at {
+                    let auction_idx = rng.gen_range(0..auctions) + 1;
+                    let kind = rng.gen_range(0..5u32);
+                    let stmt = workload_update_on(&doc, op, auction_idx, kind);
+                    let write_started = Instant::now();
+                    session
+                        .execute(&stmt)
+                        .expect("workload update")
+                        .into_update()
+                        .expect("write ops are updates");
+                    write_secs += write_started.elapsed().as_secs_f64();
+                    writes += 1;
+                    op += 1;
+                }
+                (writes, write_secs)
+            }));
+        }
+
+        let mut report = MultiWriterReport {
+            writer_sessions: writers,
+            reader_sessions: readers,
+            ..MultiWriterReport::default()
+        };
+        let mut write_secs = 0.0f64;
+        for handle in writer_handles {
+            let (writes, secs) = handle.join().expect("writer session thread");
+            report.writes += writes;
+            write_secs += secs;
+        }
+        if report.writes > 0 {
+            report.write_latency_ms = write_secs * 1000.0 / report.writes as f64;
+        }
+        for handle in reader_handles {
+            report.reads += handle.join().expect("reader session thread");
+        }
+        report
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    report.elapsed_secs = elapsed;
+    report.writes_per_sec = report.writes as f64 / elapsed;
+    let stats_after = db.stats();
+    report.latch_waits = stats_after.latch_waits - stats_before.latch_waits;
+    report.latch_conflicts = stats_after.latch_conflicts - stats_before.latch_conflicts;
+    report
 }
 
 /// Run a mixed query/update workload against a shared database holding an
@@ -545,6 +748,22 @@ mod tests {
         assert!(report.elapsed_secs >= 0.1);
         assert!(report.reads_per_sec > 0.0);
         assert!(report.write_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn multi_writer_saturation_runs_without_latch_waits() {
+        let xml = xmark_xml(0.0005);
+        let db = xmark_multi_writer_db(&xml, 2);
+        let before = db.stats();
+        let report =
+            run_multi_writer_saturation(&db, 2, 1, std::time::Duration::from_millis(120), 9);
+        assert_eq!(report.writer_sessions, 2);
+        assert!(report.writes > 0, "writers must complete work");
+        assert!(report.reads > 0, "the reader must complete work");
+        assert_eq!(report.latch_waits, 0, "disjoint docs must not contend");
+        assert_eq!(report.latch_conflicts, 0);
+        let line = contention_summary(&before, &db.stats());
+        assert!(line.contains("latch waits 0"), "{line}");
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! clients, and loop-lifted plans are compiled once and reused (paper
 //! Sections 2 and 6).  This module reproduces that shape:
 //!
-//! * [`Database`] owns the documents behind a `RwLock` (single-writer,
-//!   many-reader), an LRU **plan cache** keyed by (statement text,
-//!   configuration fingerprint), and the paged update state.  It is
-//!   `Send + Sync` and meant to be shared via `Arc`.
+//! * [`Database`] owns the documents behind a `RwLock` (atomic publishes,
+//!   many concurrent readers), a hash-sharded LRU **plan cache** keyed by
+//!   (statement text, configuration fingerprint), and the paged update
+//!   state behind **per-document write latches**: sessions updating
+//!   disjoint documents commit fully in parallel, conflicting sessions
+//!   queue on the fragment latch, and a commit-ordering ticket assigns
+//!   generations so publishes stay atomic `Arc` swaps in generation
+//!   order.  It is `Send + Sync` and meant to be shared via `Arc`.
 //! * [`Session`] is a cheap handle created by [`Database::session`]: it
 //!   carries the per-client [`ExecConfig`] and statistics.  Statements go
 //!   through [`Session::execute`], which auto-detects query vs. update text.
@@ -25,7 +29,7 @@
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard};
 
 use mxq_engine::{Item, NodeId};
 use mxq_wal::WalWriter;
@@ -42,7 +46,7 @@ use crate::compile::Compiler;
 use crate::config::{ExecConfig, ExecStats};
 use crate::durability::{
     self, decode_op, doc_file_name, Catalog, CatalogDoc, DurabilityError, DurabilityOptions,
-    Durable, DurableState, WalOp, CATALOG_FILE, WAL_FILE,
+    Durable, WalOp, CATALOG_FILE, WAL_FILE,
 };
 use crate::exec::{serialize_item_snapshot, serialize_items_snapshot, ExecError, Executor};
 use crate::params::Params;
@@ -344,21 +348,196 @@ impl PlanCache {
     }
 }
 
+/// Number of plan-cache shards.  Concurrent sessions hash their statement
+/// onto a shard, so N preparing sessions serialize only when they collide
+/// on one of the 8 shard mutexes instead of always on a single lock.
+const PLAN_CACHE_SHARDS: usize = 8;
+
+/// The plan cache split into [`PLAN_CACHE_SHARDS`] independently locked
+/// LRUs.  Each shard gets an equal slice of the capacity; eviction is
+/// per-shard (a shard's LRU entry goes when that shard fills), which
+/// approximates global LRU well enough for a cache of compiled plans.
+struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+}
+
+impl ShardedPlanCache {
+    fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(PLAN_CACHE_SHARDS);
+        ShardedPlanCache {
+            shards: (0..PLAN_CACHE_SHARDS)
+                .map(|_| Mutex::new(PlanCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fp: u64, text: &str) -> &Mutex<PlanCache> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        fp.hash(&mut h);
+        text.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    fn get(&self, fp: u64, text: &str) -> Option<Arc<CompiledStatement>> {
+        self.shard(fp, text).lock().unwrap().get(fp, text)
+    }
+
+    fn insert(&self, fp: u64, text: String, stmt: Arc<CompiledStatement>) {
+        self.shard(fp, &text).lock().unwrap().insert(fp, text, stmt);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // the database
 // ---------------------------------------------------------------------------
 
-/// Paged (updatable) document state plus the page policy — the
-/// single-writer side of the database, serialized by one mutex.
-struct WriterState {
-    /// The mutable master per updated fragment.  The master shares its
-    /// pages and column image with the published snapshot via `Arc`
-    /// (copy-on-write per touched page), so keeping it around costs no
-    /// duplicate storage; a fragment not present here is reconstructed
-    /// from the published snapshot on its first update (cheap `Arc`
-    /// clones).  The page policy itself lives in the [`DocStore`] — the
-    /// single source for loads and master reconstruction alike.
-    paged: HashMap<u32, PagedDocument>,
+/// One fragment's write latch: a mutex whose critical section is the whole
+/// commit pipeline for that fragment (PUL application onto the master,
+/// durability wait, publish).  The guarded slot holds the fragment's
+/// mutable master, when one exists.
+///
+/// The master shares its pages and column image with the published
+/// snapshot via `Arc` (copy-on-write per touched page), so keeping it
+/// around costs no duplicate storage; an empty slot is reconstructed from
+/// the published snapshot on the fragment's next update (cheap `Arc`
+/// clones).  Invariant: between commits, a non-empty slot's content equals
+/// the fragment's published state — a writer that mutated the master but
+/// failed to publish (WAL append or group fsync error) clears the slot.
+struct FragLatch {
+    slot: Mutex<Option<PagedDocument>>,
+}
+
+/// The per-document latch table.  Writers latch the fragments their
+/// pending-update list touches in ascending fragment order (so two writers
+/// overlapping on several documents can never deadlock); disjoint-document
+/// writers take disjoint latches and run fully in parallel.
+#[derive(Default)]
+struct LatchTable {
+    map: Mutex<HashMap<u32, Arc<FragLatch>>>,
+}
+
+impl LatchTable {
+    /// The latch for a fragment, created on first use.
+    fn latch(&self, frag: u32) -> Arc<FragLatch> {
+        self.map
+            .lock()
+            .unwrap()
+            .entry(frag)
+            .or_insert_with(|| {
+                Arc::new(FragLatch {
+                    slot: Mutex::new(None),
+                })
+            })
+            .clone()
+    }
+
+    /// Drop a fragment's master if no writer currently holds its latch
+    /// (used by checkpoint eviction).  Returns false when the latch is
+    /// held — the fragment is mid-commit and must not be evicted.
+    fn try_clear(&self, frag: u32) -> bool {
+        let latch = {
+            let map = self.map.lock().unwrap();
+            match map.get(&frag) {
+                Some(l) => l.clone(),
+                None => return true,
+            }
+        };
+        let cleared = match latch.slot.try_lock() {
+            Ok(mut slot) => {
+                *slot = None;
+                true
+            }
+            Err(_) => false,
+        };
+        cleared
+    }
+}
+
+/// The commit-ordering ticket.  `begin` hands out the generation a commit
+/// will land on; `publish` is a turnstile that runs the publish closures
+/// in strict ticket order, so the store generation stays the count of
+/// committed tickets and readers observe commits in the order they were
+/// stamped into the WAL.  A commit that fails after taking a ticket calls
+/// `abort`, which lets the turnstile move past the hole (the skipped
+/// generation is never published — recovery tolerates gaps because replay
+/// orders by stamp, not by density).
+struct CommitOrder {
+    state: Mutex<CommitClock>,
+}
+
+struct CommitClock {
+    /// The next generation to hand out.
+    next_ticket: u64,
+    /// The lowest ticket that has not yet published.
+    next_publish: u64,
+    /// Commits parked waiting for their turn, keyed by ticket.  Each
+    /// publish unparks exactly its successor — a shared condvar broadcast
+    /// would wake every waiter per advance (a thundering herd on the
+    /// commit hot path when a group-commit batch drains).
+    waiters: HashMap<u64, std::thread::Thread>,
+}
+
+impl CommitOrder {
+    fn new(generation: u64) -> CommitOrder {
+        CommitOrder {
+            state: Mutex::new(CommitClock {
+                next_ticket: generation + 1,
+                next_publish: generation + 1,
+                waiters: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Take the next commit ticket.  Call only with every needed fragment
+    /// latch already held — a ticket holder blocking on a latch held by a
+    /// *later* ticket would deadlock the turnstile.
+    fn begin(&self) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        let t = s.next_ticket;
+        s.next_ticket += 1;
+        t
+    }
+
+    /// Reset both counters after recovery landed the store on `generation`.
+    fn reset(&self, generation: u64) {
+        let mut s = self.state.lock().unwrap();
+        s.next_ticket = generation + 1;
+        s.next_publish = generation + 1;
+    }
+
+    /// Wait for `ticket`'s turn, run the publish closure, advance the
+    /// turnstile.
+    fn publish<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
+        let mut s = self.state.lock().unwrap();
+        while s.next_publish != ticket {
+            s.waiters.insert(ticket, std::thread::current());
+            drop(s);
+            // park() may return spuriously or from a stale unpark token;
+            // the loop re-checks the turn either way
+            std::thread::park();
+            s = self.state.lock().unwrap();
+        }
+        s.waiters.remove(&ticket);
+        let r = f();
+        s.next_publish = ticket + 1;
+        let successor = s.waiters.get(&s.next_publish).cloned();
+        drop(s);
+        if let Some(t) = successor {
+            t.unpark();
+        }
+        r
+    }
+
+    /// Give up a ticket after a failed commit: take the turn and publish
+    /// nothing, so later tickets are not stalled forever.
+    fn abort(&self, ticket: u64) {
+        self.publish(ticket, || ());
+    }
 }
 
 /// Counters over the whole database (all sessions).
@@ -371,10 +550,15 @@ struct Counters {
     plan_cache_misses: AtomicU64,
     queries: AtomicU64,
     updates: AtomicU64,
-    wal_bytes_written: AtomicU64,
-    wal_fsyncs: AtomicU64,
     checkpoints: AtomicU64,
+    background_checkpoints: AtomicU64,
     recovery_replays: AtomicU64,
+    /// Writer blocked acquiring a fragment latch another writer held.
+    latch_waits: AtomicU64,
+    /// Writer found its snapshot stale after latching (another commit to
+    /// the same fragment published in between) and re-evaluated under the
+    /// latch.
+    latch_conflicts: AtomicU64,
 }
 
 /// A point-in-time copy of the database counters.
@@ -396,14 +580,33 @@ pub struct DatabaseStats {
     /// Stays 0 for an in-memory database.
     pub wal_bytes_written: u64,
     /// `fsync` calls issued by the write-ahead log (appends under the
-    /// configured [`SyncPolicy`](crate::SyncPolicy) plus checkpoint
-    /// truncations).
+    /// configured [`SyncPolicy`](crate::SyncPolicy), group-commit batch
+    /// fsyncs, plus checkpoint rotations).
     pub wal_fsyncs: u64,
-    /// Checkpoints taken ([`Database::checkpoint`]).
+    /// Checkpoints taken ([`Database::checkpoint`] plus background).
     pub checkpoints: u64,
+    /// Checkpoints initiated by the background checkpoint thread
+    /// (a subset of `checkpoints`).
+    pub background_checkpoints: u64,
     /// WAL records replayed by crash recovery when this database was
     /// opened ([`Database::open`]); 0 after a clean shutdown.
     pub recovery_replays: u64,
+    /// Times a writer blocked acquiring a fragment latch held by another
+    /// writer.  Stays 0 while writers touch disjoint documents.
+    pub latch_waits: u64,
+    /// Times a writer found its evaluation snapshot stale after latching
+    /// (a conflicting commit published the fragment first) and
+    /// re-evaluated under the latch.
+    pub latch_conflicts: u64,
+    /// Group-commit fsync batches completed (0 unless the sync policy is
+    /// [`SyncPolicy::GroupCommit`](crate::SyncPolicy)).
+    pub group_commit_batches: u64,
+    /// WAL records covered by those batches.
+    pub group_commit_records: u64,
+    /// Smallest batch (records per fsync); 0 before the first batch.
+    pub group_commit_batch_min: u64,
+    /// Largest batch (records per fsync).
+    pub group_commit_batch_max: u64,
     /// Compiled statements currently cached.
     pub plan_cache_len: usize,
 }
@@ -413,6 +616,13 @@ impl DatabaseStats {
     pub fn plan_cache_hit_rate(&self) -> Option<f64> {
         let total = self.plan_cache_hits + self.plan_cache_misses;
         (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
+    }
+
+    /// Mean group-commit batch size (records per fsync); `None` before
+    /// the first batch.
+    pub fn group_commit_batch_mean(&self) -> Option<f64> {
+        (self.group_commit_batches > 0)
+            .then(|| self.group_commit_records as f64 / self.group_commit_batches as f64)
     }
 }
 
@@ -443,13 +653,37 @@ impl std::ops::Deref for StoreReadGuard<'_> {
 /// assert_eq!(result.serialize(), "DB");
 /// ```
 pub struct Database {
-    store: RwLock<DocStore>,
-    writer: Mutex<WriterState>,
-    plan_cache: Mutex<PlanCache>,
-    counters: Counters,
+    store: Arc<RwLock<DocStore>>,
+    /// Per-document write latches + master slots (see [`LatchTable`]).
+    latches: Arc<LatchTable>,
+    /// Commit-ordering tickets: generation assignment + publish turnstile.
+    commit: CommitOrder,
+    plan_cache: ShardedPlanCache,
+    counters: Arc<Counters>,
     /// Durability attachment: present when the database was opened on a
     /// directory ([`Database::open`]); `None` for an in-memory database.
-    durable: Option<Durable>,
+    durable: Option<Arc<Durable>>,
+    /// The background checkpoint thread, when
+    /// [`DurabilityOptions::checkpoint_interval`] is set.  Signalled to
+    /// stop and joined when the database is dropped.
+    background: Option<CheckpointThread>,
+}
+
+/// Handle on the background checkpoint thread: dropping it (with the
+/// database) signals the thread to stop and joins it.
+struct CheckpointThread {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for CheckpointThread {
+    fn drop(&mut self) {
+        *self.stop.0.lock().unwrap() = true;
+        self.stop.1.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl std::fmt::Debug for Database {
@@ -475,13 +709,13 @@ impl Database {
     /// disk, and dropping the database loses all documents).
     pub fn new() -> Self {
         Database {
-            store: RwLock::new(DocStore::new()),
-            writer: Mutex::new(WriterState {
-                paged: HashMap::new(),
-            }),
-            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
-            counters: Counters::default(),
+            store: Arc::new(RwLock::new(DocStore::new())),
+            latches: Arc::new(LatchTable::default()),
+            commit: CommitOrder::new(0),
+            plan_cache: ShardedPlanCache::new(PLAN_CACHE_CAPACITY),
+            counters: Arc::new(Counters::default()),
             durable: None,
+            background: None,
         }
     }
 
@@ -507,7 +741,7 @@ impl Database {
         // outside the write that created it
         durability::remove_stale_tmp_files(&dir);
 
-        let db = Database::new();
+        let mut db = Database::new();
         let mut replays: u64 = 0;
         let mut dirty = HashSet::new();
 
@@ -542,14 +776,20 @@ impl Database {
         // replay below re-derives whatever state they captured
         durability::remove_unreferenced_images(&dir, &images);
 
-        // 2. replay the WAL's complete records past the checkpoint;
-        //    WalWriter::open truncates any torn/corrupt tail
-        let (wal, scan) = WalWriter::open(&dir.join(WAL_FILE), options.sync)
+        // 2. replay the WAL's complete records past the checkpoint in
+        //    generation order — concurrent commits interleave records in
+        //    file order, but each record's stamp is its commit ticket, and
+        //    per fragment the stamps are monotone (a later commit on the
+        //    same document appended under the latch the earlier one had
+        //    released), so stamp order is a valid replay order.
+        //    WalWriter::open truncates any torn/corrupt tail.
+        let (wal, mut scan) = WalWriter::open(&dir.join(WAL_FILE), options.sync)
             .map_err(|e| Error::Durability(e.into()))?;
+        scan.records.sort_by_key(|r| r.generation);
         for record in &scan.records {
             if record.generation <= checkpoint_generation {
                 // logged before the checkpoint that survived it — a crash
-                // between catalog commit and log truncation leaves these
+                // between catalog commit and log rotation leaves these
                 continue;
             }
             let op = decode_op(&record.payload).map_err(Error::Durability)?;
@@ -560,19 +800,59 @@ impl Database {
         db.counters
             .recovery_replays
             .store(replays, Ordering::Relaxed);
-        Ok(Database {
-            durable: Some(Durable {
-                dir,
-                options,
-                state: Mutex::new(DurableState {
-                    wal,
-                    checkpoint_generation,
-                    dirty,
-                    images,
-                }),
-            }),
-            ..db
-        })
+        let durable = Arc::new(Durable::new(
+            dir,
+            options,
+            wal,
+            checkpoint_generation,
+            images,
+        ));
+        durable.mark_dirty(&dirty.iter().copied().collect::<Vec<_>>());
+        db.durable = Some(durable.clone());
+        // commits resume ticketing from the recovered generation
+        db.commit.reset(db.generation());
+
+        // 3. the background checkpoint thread, if configured: wakes every
+        //    interval, snapshots the dirty set and writes the checkpoint
+        //    without holding any fragment latch
+        if let Some(interval) = options.checkpoint_interval {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let thread_stop = stop.clone();
+            let store = db.store.clone();
+            let latches = db.latches.clone();
+            let counters = db.counters.clone();
+            let handle = std::thread::Builder::new()
+                .name("mxq-checkpoint".into())
+                .spawn(move || {
+                    let (lock, cv) = &*thread_stop;
+                    let mut stopped = lock.lock().unwrap();
+                    while !*stopped {
+                        let (guard, _) = cv.wait_timeout(stopped, interval).unwrap();
+                        stopped = guard;
+                        if *stopped {
+                            break;
+                        }
+                        drop(stopped);
+                        // a failed or skipped tick is retried next interval;
+                        // the WAL still holds everything, durability is not
+                        // weakened by a checkpoint that did not happen
+                        if let Ok(true) =
+                            run_checkpoint(&store, &latches, &durable, &counters, true)
+                        {
+                            counters
+                                .background_checkpoints
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        stopped = lock.lock().unwrap();
+                    }
+                })
+                .expect("failed to spawn the background checkpoint thread");
+            db.background = Some(CheckpointThread {
+                stop,
+                handle: Some(handle),
+            });
+        }
+        Ok(db)
     }
 
     /// Apply one recovered WAL operation and land the store on the
@@ -602,27 +882,23 @@ impl Database {
                 }
                 let snap = self.snapshot();
                 let (page_size, fill_percent) = self.store.read().unwrap().page_policy();
-                let mut writer = self.writer.lock().unwrap();
                 let frags = pul.fragments();
+                let mut publishes = Vec::with_capacity(frags.len());
                 for &frag in &frags {
-                    let paged_doc = writer.paged.entry(frag).or_insert_with(|| {
-                        match snap.container_owned(frag) {
-                            Container::Doc(d) => {
-                                PagedDocument::from_document(&d, page_size, fill_percent)
-                            }
-                            other => {
-                                let p = other
-                                    .paged_snapshot()
-                                    .expect("loaded documents are always paged");
-                                PagedDocument::from_snapshot(&p, page_size, fill_percent)
-                            }
+                    let latch = self.latches.latch(frag);
+                    let mut slot = latch.slot.lock().unwrap();
+                    let paged_doc = match slot.as_mut() {
+                        Some(doc) => doc,
+                        None => {
+                            slot.insert(reconstruct_master(&snap, frag, page_size, fill_percent))
                         }
-                    });
+                    };
                     pul.apply_to(frag, paged_doc);
+                    publishes.push(Arc::new(paged_doc.snapshot()));
                 }
                 let mut store = self.store.write().unwrap();
-                for &frag in &frags {
-                    store.publish(frag, Arc::new(writer.paged[&frag].snapshot()))?;
+                for (publish, &frag) in publishes.into_iter().zip(&frags) {
+                    store.publish(frag, publish)?;
                 }
                 store.set_generation(generation);
                 touched.extend(frags);
@@ -635,10 +911,15 @@ impl Database {
     /// document changed since the last checkpoint (unchanged documents keep
     /// their existing image files — checkpoint I/O is proportional to what
     /// changed, not to the database size), then the catalog (the atomic
-    /// commit point, naming the exact image files), then truncate the
+    /// commit point, naming the exact image files), then rotate the
     /// write-ahead log and delete superseded images.  After a checkpoint,
     /// recovery starts from the images instead of replaying the whole log.
     /// No-op (returning `Ok`) on an in-memory database.
+    ///
+    /// Checkpoints never hold a fragment latch: writers keep committing
+    /// while the images are written, and records stamped after the snapshot
+    /// survive the log rotation.  Concurrent `checkpoint()` calls (including
+    /// the background thread's) serialize on an internal lock.
     ///
     /// If a memory budget is configured, clean documents are evicted after
     /// the checkpoint until the resident page bytes fit the budget.
@@ -646,109 +927,7 @@ impl Database {
         let Some(durable) = &self.durable else {
             return Ok(());
         };
-        let mut writer = self.writer.lock().unwrap();
-        let (snap, page_size, fill_percent) = {
-            let store = self.store.read().unwrap();
-            let (ps, fp) = store.page_policy();
-            (store.snapshot(), ps, fp)
-        };
-        let mut state = durable.state.lock().unwrap();
-        let generation = snap.generation();
-
-        // 1. page images for every named document (fragment 0 is the
-        //    transient container).  Image files are immutable: a dirty or
-        //    never-imaged fragment gets a fresh generation-stamped file,
-        //    while a clean fragment's existing image already is exactly its
-        //    current state and is referenced as-is (no write, and for an
-        //    evicted document no fault-in either).  Nothing the previous
-        //    catalog references is touched, so a crash anywhere in this
-        //    checkpoint leaves that checkpoint fully intact and consistent
-        //    with the surviving WAL.
-        let mut docs = Vec::new();
-        for frag in 1..snap.container_count() as u32 {
-            let container = snap.container_owned(frag);
-            let reuse = if state.dirty.contains(&frag) {
-                None
-            } else {
-                state.images.get(&frag).cloned()
-            };
-            let file = match reuse {
-                Some(file) => file,
-                None => {
-                    let file = doc_file_name(frag, generation);
-                    let image = container
-                        .paged_snapshot()
-                        .expect("loaded documents are always paged");
-                    mxq_wal::write_atomic(&durable.file(&file), &encode_snapshot(&image))
-                        .map_err(|e| Error::Durability(e.into()))?;
-                    file
-                }
-            };
-            docs.push(CatalogDoc {
-                frag,
-                name: container.name().to_string(),
-                file,
-            });
-        }
-
-        // 2. the catalog — written atomically, this is the commit point;
-        //    it names the exact image files (reused and new) just captured
-        let catalog = Catalog {
-            generation,
-            page_size,
-            fill_percent,
-            docs,
-        };
-        mxq_wal::write_atomic(
-            &durable.file(CATALOG_FILE),
-            &durability::encode_catalog(&catalog),
-        )
-        .map_err(|e| Error::Durability(e.into()))?;
-
-        // 3. drop the log: everything it held is captured by the images.
-        //    A crash before this point is safe — the surviving records
-        //    carry generations ≤ the catalog's and are skipped on replay.
-        state
-            .wal
-            .truncate()
-            .map_err(|e| Error::Durability(e.into()))?;
-        state.checkpoint_generation = generation;
-        state.dirty.clear();
-        state.images = catalog
-            .docs
-            .iter()
-            .map(|d| (d.frag, d.file.clone()))
-            .collect();
-        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.note_wal(&state);
-
-        // now that the catalog committed, images it no longer references
-        // (superseded by this checkpoint, or debris of an earlier crashed
-        // one) are dead: no recovery path can need them
-        durability::remove_unreferenced_images(&durable.dir, &state.images);
-
-        // 4. eviction: now every document has a current on-disk image, so
-        //    clean ones can be dropped down to the memory budget
-        if let Some(budget) = durable.options.memory_budget {
-            let mut store = self.store.write().unwrap();
-            for frag in 1..store.container_count() as u32 {
-                if store.resident_page_bytes() <= budget {
-                    break;
-                }
-                if !store.is_resident(frag) {
-                    continue;
-                }
-                let Some(file) = state.images.get(&frag) else {
-                    continue;
-                };
-                if store.evict_paged(frag, durable.file(file)).is_ok() {
-                    // the master copy pins the pages; recovery of the
-                    // master from the disk image happens on next update
-                    writer.paged.remove(&frag);
-                }
-            }
-        }
-        Ok(())
+        run_checkpoint(&self.store, &self.latches, durable, &self.counters, false).map(|_| ())
     }
 
     /// The durability directory, or `None` for an in-memory database.
@@ -760,16 +939,6 @@ impl Database {
     /// database.
     pub fn durability_options(&self) -> Option<DurabilityOptions> {
         self.durable.as_ref().map(|d| d.options)
-    }
-
-    /// Mirror the WAL writer's cumulative counters into the database stats.
-    fn note_wal(&self, state: &DurableState) {
-        self.counters
-            .wal_bytes_written
-            .store(state.wal.bytes_appended(), Ordering::Relaxed);
-        self.counters
-            .wal_fsyncs
-            .store(state.wal.syncs(), Ordering::Relaxed);
     }
 
     /// Open a session: a cheap per-client handle with its own configuration
@@ -792,7 +961,6 @@ impl Database {
     /// WAL-logged (and synced per the policy) before it is published, like
     /// any update.
     pub fn load_document(&self, name: &str, xml: &str) -> Result<(), Error> {
-        let _writer = self.writer.lock().unwrap();
         // shred exactly once: an invalid document is rejected before it is
         // logged (recovery must never trip over a failed operation), and
         // the shredded result is what the store pages — the text is not
@@ -802,47 +970,55 @@ impl Database {
             ..ShredOptions::default()
         };
         let doc = shred(name, xml, &opts)?;
-        self.log_durable(|gen| (gen + 1, durability::encode_load_xml(name, xml)))?;
-        let frag = self.store.write().unwrap().add_document(doc);
-        self.mark_dirty(frag);
-        Ok(())
+        self.commit_load(doc, |_| durability::encode_load_xml(name, xml))
     }
 
     /// Load an already shredded document.  WAL-logged on a durable database
     /// (the document travels as an encoded image).
     pub fn load_shredded(&self, doc: Document) -> Result<(), Error> {
-        let _writer = self.writer.lock().unwrap();
-        self.log_durable(|gen| (gen + 1, durability::encode_load_doc(&doc)))?;
-        let frag = self.store.write().unwrap().add_document(doc);
-        self.mark_dirty(frag);
-        Ok(())
+        self.commit_load(doc, durability::encode_load_doc)
     }
 
-    /// Record that a fragment's published state moved past the last
-    /// checkpoint, so the next checkpoint must write it a fresh image (and
-    /// must not evict it before then).  No-op on an in-memory database.
-    fn mark_dirty(&self, frag: u32) {
+    /// Commit a document load.  Loads take no fragment latch — the fragment
+    /// does not exist yet, so no other writer can touch it; the commit
+    /// ticket alone orders the load against every concurrent commit.  The
+    /// fragment id is assigned inside the publish turnstile, so ids are
+    /// dense in ticket order and recovery (which replays records in stamp
+    /// order) reassigns the exact same ids.
+    fn commit_load(
+        &self,
+        doc: Document,
+        payload: impl FnOnce(&Document) -> Vec<u8>,
+    ) -> Result<(), Error> {
+        let ticket = self.commit.begin();
+        let mut durable_seq = None;
         if let Some(durable) = &self.durable {
-            durable.state.lock().unwrap().dirty.insert(frag);
+            let bytes = payload(&doc);
+            match durable.append(ticket, &bytes) {
+                Ok(seq) => durable_seq = Some(seq),
+                Err(e) => {
+                    self.commit.abort(ticket);
+                    return Err(Error::Durability(e));
+                }
+            }
         }
-    }
-
-    /// Append one operation to the WAL (no-op on an in-memory database).
-    /// The closure receives the current published generation and returns
-    /// the stamp the operation's publish will land on plus the payload.
-    /// Callers hold the writer mutex, so the generation cannot move between
-    /// the stamp computation and the publish.
-    fn log_durable(&self, op: impl FnOnce(u64) -> (u64, Vec<u8>)) -> Result<(), Error> {
-        let Some(durable) = &self.durable else {
-            return Ok(());
-        };
-        let (stamp, payload) = op(self.store.read().unwrap().generation());
-        let mut state = durable.state.lock().unwrap();
-        state
-            .wal
-            .append(stamp, &payload)
-            .map_err(|e| Error::Durability(e.into()))?;
-        self.note_wal(&state);
+        if let (Some(durable), Some(seq)) = (&self.durable, durable_seq) {
+            if let Err(e) = durable.wait_durable(seq) {
+                self.commit.abort(ticket);
+                return Err(Error::Durability(e));
+            }
+        }
+        self.commit.publish(ticket, || {
+            let frag = {
+                let mut store = self.store.write().unwrap();
+                let frag = store.add_document(doc);
+                store.set_generation(ticket);
+                frag
+            };
+            if let Some(durable) = &self.durable {
+                durable.mark_dirty(&[frag]);
+            }
+        });
         Ok(())
     }
 
@@ -865,17 +1041,30 @@ impl Database {
 
     /// Point-in-time copy of the database counters.
     pub fn stats(&self) -> DatabaseStats {
+        let (wal_bytes_written, wal_fsyncs) =
+            self.durable.as_ref().map_or((0, 0), |d| d.wal_counters());
+        let (gc_batches, gc_records, gc_min, gc_max) = self
+            .durable
+            .as_ref()
+            .map_or((0, 0, 0, 0), |d| d.group_commit_stats());
         DatabaseStats {
             prepares: self.counters.prepares.load(Ordering::Relaxed),
             plan_cache_hits: self.counters.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.counters.plan_cache_misses.load(Ordering::Relaxed),
             queries: self.counters.queries.load(Ordering::Relaxed),
             updates: self.counters.updates.load(Ordering::Relaxed),
-            wal_bytes_written: self.counters.wal_bytes_written.load(Ordering::Relaxed),
-            wal_fsyncs: self.counters.wal_fsyncs.load(Ordering::Relaxed),
+            wal_bytes_written,
+            wal_fsyncs,
             checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            background_checkpoints: self.counters.background_checkpoints.load(Ordering::Relaxed),
             recovery_replays: self.counters.recovery_replays.load(Ordering::Relaxed),
-            plan_cache_len: self.plan_cache.lock().unwrap().len(),
+            latch_waits: self.counters.latch_waits.load(Ordering::Relaxed),
+            latch_conflicts: self.counters.latch_conflicts.load(Ordering::Relaxed),
+            group_commit_batches: gc_batches,
+            group_commit_records: gc_records,
+            group_commit_batch_min: gc_min,
+            group_commit_batch_max: gc_max,
+            plan_cache_len: self.plan_cache.len(),
         }
     }
 
@@ -887,9 +1076,9 @@ impl Database {
     /// Panics unless `page_size` is a power of two ≥ 2 and
     /// `fill_percent ∈ (0, 100]`.
     pub fn set_page_policy(&self, page_size: usize, fill_percent: u8) {
-        // hold the writer mutex across the store update so a concurrent
-        // update never reconstructs a master under a half-applied policy
-        let _writer = self.writer.lock().unwrap();
+        // the store write lock orders this against publishes; a master
+        // reconstructed concurrently keeps the previous policy until its
+        // fragment is next rebuilt, which only affects layout, not content
         self.store
             .write()
             .unwrap()
@@ -931,7 +1120,7 @@ impl Database {
         config: ExecConfig,
     ) -> Result<(Arc<CompiledStatement>, bool), Error> {
         let fp = config.fingerprint();
-        if let Some(hit) = self.plan_cache.lock().unwrap().get(fp, text) {
+        if let Some(hit) = self.plan_cache.get(fp, text) {
             self.counters
                 .plan_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
@@ -942,8 +1131,6 @@ impl Database {
             .fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(self.compile_statement(text, config)?);
         self.plan_cache
-            .lock()
-            .unwrap()
             .insert(fp, text.to_string(), compiled.clone());
         Ok((compiled, false))
     }
@@ -1038,21 +1225,17 @@ impl Database {
         ))
     }
 
-    /// Execute a compiled update plan: snapshot evaluation, pending-update
-    /// list collection, atomic application to the paged store, eager
-    /// re-materialization and publication of the touched documents.
-    ///
-    /// Updates are single-writer (serialized by the writer mutex) but never
-    /// block readers for longer than the final document swap.
-    pub(crate) fn apply_update(
+    /// Evaluate a compiled update plan against `snap` and collect the
+    /// validated pending-update list (phases 1 and 2 of a commit: snapshot
+    /// evaluation of every statement's plans, then primitive collection).
+    /// Pure with respect to the store — nothing is mutated.
+    fn evaluate_update_pul(
         &self,
         uplan: &UpdatePlan,
         config: ExecConfig,
         params: &Params,
-    ) -> Result<UpdateReport, Error> {
-        let mut writer = self.writer.lock().unwrap();
-        let snap = self.snapshot();
-
+        snap: &StoreSnapshot,
+    ) -> Result<PendingUpdateList, Error> {
         // phase 1: snapshot evaluation of every statement's plans
         struct Evaled {
             kind: UpdateKind,
@@ -1063,7 +1246,7 @@ impl Database {
         let mut evaled = Vec::with_capacity(uplan.statements.len());
         let transient;
         {
-            let mut exec = Executor::with_params(&snap, config, params.clone());
+            let mut exec = Executor::with_params(snap, config, params.clone());
             for stmt in &uplan.statements {
                 let (targets, attr) = match &stmt.target {
                     pul::UpdateTarget::Nodes(p) => (exec.eval_result(p)?, None),
@@ -1091,7 +1274,7 @@ impl Database {
 
         // phase 2: build the pending update list (validation + conflicts)
         let collector = PrimitiveCollector {
-            snap: &snap,
+            snap,
             transient: &transient,
         };
         let mut pul = PendingUpdateList::new();
@@ -1104,53 +1287,142 @@ impl Database {
                 &mut pul,
             )?;
         }
+        Ok(pul)
+    }
 
-        // phase 2½: durability — the WAL record must be on disk (per the
-        // sync policy) *before* any in-memory mutation.  If the append
-        // fails, the error surfaces here and the store is untouched: the
-        // statement failed cleanly instead of half-applying.
+    /// Execute a compiled update plan: snapshot evaluation, pending-update
+    /// list collection, atomic application to the paged store, eager
+    /// re-materialization and publication of the touched documents.
+    ///
+    /// Writers touching disjoint documents run fully in parallel; writers
+    /// that share a document queue on its fragment latch.  Publishes happen
+    /// in commit-ticket order, so readers observe a linear history of
+    /// atomic `Arc` swaps regardless of how the writers interleaved.
+    pub(crate) fn apply_update(
+        &self,
+        uplan: &UpdatePlan,
+        config: ExecConfig,
+        params: &Params,
+    ) -> Result<UpdateReport, Error> {
+        loop {
+            if let Some(report) = self.try_apply_update(uplan, config, params)? {
+                return Ok(report);
+            }
+            // the fragment set changed between evaluation and latching
+            // (another writer's commit moved a target into or out of a
+            // document we had not latched) — rare; rerun the whole
+            // pipeline on a fresh snapshot
+        }
+    }
+
+    /// One attempt at committing an update plan.  Returns `Ok(None)` when
+    /// the attempt must be restarted because re-evaluation under the
+    /// latches produced a different fragment set.
+    fn try_apply_update(
+        &self,
+        uplan: &UpdatePlan,
+        config: ExecConfig,
+        params: &Params,
+    ) -> Result<Option<UpdateReport>, Error> {
+        let snap = self.snapshot();
+        let mut pul = self.evaluate_update_pul(uplan, config, params, &snap)?;
         let frags = pul.fragments();
-        if let Some(durable) = &self.durable {
-            if !frags.is_empty() {
-                // each publish below bumps the generation by one, so the
-                // operation as a whole lands on snap.generation() + |frags|
-                let stamp = snap.generation() + frags.len() as u64;
-                let payload = durability::encode_update(pul.primitives());
-                let mut state = durable.state.lock().unwrap();
-                state
-                    .wal
-                    .append(stamp, &payload)
-                    .map_err(|e| Error::Durability(e.into()))?;
-                for &frag in &frags {
-                    state.dirty.insert(frag);
-                }
-                self.note_wal(&state);
+        if frags.is_empty() {
+            // nothing to do: no latch, no ticket, no WAL record
+            self.counters.updates.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(UpdateReport {
+                statements: uplan.statements.len(),
+                primitives: 0,
+                documents_touched: 0,
+                stats: UpdateStats::default(),
+            }));
+        }
+
+        // latch every touched fragment in ascending order
+        // (`pul.fragments()` is sorted), so two writers latching
+        // overlapping sets cannot deadlock
+        let latches: Vec<Arc<FragLatch>> = frags.iter().map(|&f| self.latches.latch(f)).collect();
+        let mut guards: Vec<MutexGuard<'_, Option<PagedDocument>>> =
+            Vec::with_capacity(latches.len());
+        for latch in &latches {
+            let guard = if let Ok(guard) = latch.slot.try_lock() {
+                guard
+            } else {
+                self.counters.latch_waits.fetch_add(1, Ordering::Relaxed);
+                latch.slot.lock().unwrap()
+            };
+            guards.push(guard);
+        }
+
+        // validation: if any latched fragment was republished since `snap`,
+        // the PUL's targets may be stale (pre ranks shifted) — re-evaluate
+        // against the current snapshot, now that the latches freeze these
+        // fragments.  Containers compare by pointer identity: a publish
+        // always installs a fresh Arc.  One store read serves the
+        // generation probe, the page policy, and (only when the generation
+        // moved) the fresh snapshot — this runs once per commit, so it
+        // must not clone store state in the common unconflicted case.
+        let (latest, page_size, fill_percent) = {
+            let store = self.store.read().unwrap();
+            let (page_size, fill_percent) = store.page_policy();
+            let latest = if store.generation() == snap.generation() {
+                snap.clone()
+            } else {
+                store.snapshot()
+            };
+            (latest, page_size, fill_percent)
+        };
+        let stale = snap.generation() != latest.generation()
+            && frags.iter().any(|&f| !same_container(&snap, &latest, f));
+        if stale {
+            self.counters
+                .latch_conflicts
+                .fetch_add(1, Ordering::Relaxed);
+            pul = self.evaluate_update_pul(uplan, config, params, &latest)?;
+            if pul.fragments() != frags {
+                // the rewritten plan touches different documents than we
+                // latched — drop the guards and restart from scratch
+                return Ok(None);
             }
         }
 
-        // phase 3: atomic application to the paged scheme — page-local
+        // the commit ticket is the generation this commit lands on.  Taken
+        // only now, with every latch held: a writer inside the publish
+        // turnstile can then never wait on a latch (it owns all it needs),
+        // so the turnstile cannot deadlock against the latch queues.
+        let ticket = self.commit.begin();
+
+        // durability, part 1: the WAL record must be appended *before* any
+        // master mutates.  On failure the masters are untouched and the
+        // ticket is abandoned (the turnstile skips it).
+        let mut durable_seq = None;
+        if let Some(durable) = &self.durable {
+            let payload = durability::encode_update(pul.primitives());
+            match durable.append(ticket, &payload) {
+                Ok(seq) => durable_seq = Some(seq),
+                Err(e) => {
+                    self.commit.abort(ticket);
+                    return Err(Error::Durability(e));
+                }
+            }
+        }
+
+        // phase 3: apply the PUL to each latched master — page-local
         // splices plus lockstep delta-patching of the column image, all
-        // outside any store lock (readers keep running on their snapshots)
-        let (page_size, fill_percent) = self.store.read().unwrap().page_policy();
-        let paged = &mut writer.paged;
+        // outside any store lock (readers keep running on their snapshots,
+        // and writers on other documents keep committing)
         let mut applied = 0;
         let mut stats = UpdateStats::default();
-        for &frag in &frags {
-            let paged_doc = paged.entry(frag).or_insert_with(|| {
-                match snap.container_owned(frag) {
-                    // an evicted document faults its pages back in from the
-                    // checkpoint image before the master is reconstructed
-                    Container::Doc(d) => PagedDocument::from_document(&d, page_size, fill_percent),
-                    // reconstructing the master from the published snapshot
-                    // is O(pages) Arc clones — pages copy on first write
-                    other => {
-                        let p = other
-                            .paged_snapshot()
-                            .expect("loaded documents are always paged");
-                        PagedDocument::from_snapshot(&p, page_size, fill_percent)
-                    }
-                }
-            });
+        let mut publishes = Vec::with_capacity(frags.len());
+        for (guard, &frag) in guards.iter_mut().zip(&frags) {
+            let paged_doc = match guard.as_mut() {
+                Some(doc) => doc,
+                // reconstructing the master from the published snapshot is
+                // O(pages) Arc clones — pages copy on first write; `latest`
+                // matches the published state for every latched fragment
+                // (validated above or re-evaluated)
+                None => guard.insert(reconstruct_master(&latest, frag, page_size, fill_percent)),
+            };
             let before = paged_doc.stats;
             applied += pul.apply_to(frag, paged_doc);
             stats.accumulate(&paged_doc.stats.delta_since(&before));
@@ -1163,25 +1435,246 @@ impl Database {
                 .columns()
                 .same_content(&DocumentColumns::new(&paged_doc.to_document()))
                 .expect("incremental column maintenance diverged from rebuild");
+
+            publishes.push(Arc::new(paged_doc.snapshot()));
         }
 
-        // phase 4: publish the patched page sets + column versions — the
-        // writer's whole store critical section is one Arc swap per touched
-        // document, so readers observe the update as a whole or not at all
-        if !frags.is_empty() {
-            let mut store = self.store.write().unwrap();
-            for &frag in &frags {
-                store.publish(frag, Arc::new(paged[&frag].snapshot()))?;
+        // durability, part 2: under group commit the record must be covered
+        // by an fsync before the commit becomes visible.  On failure the
+        // mutated masters diverge from the published state — clear the
+        // slots so the next writer on these documents reconstructs from the
+        // (unchanged) published snapshots.
+        if let (Some(durable), Some(seq)) = (&self.durable, durable_seq) {
+            if let Err(e) = durable.wait_durable(seq) {
+                for guard in guards.iter_mut() {
+                    **guard = None;
+                }
+                self.commit.abort(ticket);
+                return Err(Error::Durability(e));
             }
         }
+
+        // phase 4: publish in ticket order — the store critical section is
+        // one Arc swap per touched document plus the generation store, so
+        // readers observe the update as a whole or not at all
+        let published = self.commit.publish(ticket, || {
+            if let Some(durable) = &self.durable {
+                durable.mark_dirty(&frags);
+            }
+            let mut store = self.store.write().unwrap();
+            for (publish, &frag) in publishes.iter().zip(&frags) {
+                store.publish(frag, publish.clone())?;
+            }
+            store.set_generation(ticket);
+            Ok::<(), Error>(())
+        });
+        if let Err(e) = published {
+            // unreachable in practice (latched fragments exist and are not
+            // transient); restore the slot invariant all the same
+            for guard in guards.iter_mut() {
+                **guard = None;
+            }
+            return Err(e);
+        }
         self.counters.updates.fetch_add(1, Ordering::Relaxed);
-        Ok(UpdateReport {
+        Ok(Some(UpdateReport {
             statements: uplan.statements.len(),
             primitives: applied,
             documents_touched: frags.len(),
             stats,
-        })
+        }))
     }
+}
+
+// ---------------------------------------------------------------------------
+// commit helpers (latch-side, no `Database` borrow)
+// ---------------------------------------------------------------------------
+
+/// Reconstruct a fragment's write master from its published container
+/// (cheap: `O(pages)` Arc clones — pages copy on first write; an evicted
+/// document faults its pages back in from the checkpoint image first).
+fn reconstruct_master(
+    snap: &StoreSnapshot,
+    frag: u32,
+    page_size: usize,
+    fill_percent: u8,
+) -> PagedDocument {
+    match snap.container_owned(frag) {
+        Container::Doc(d) => PagedDocument::from_document(&d, page_size, fill_percent),
+        other => {
+            let p = other
+                .paged_snapshot()
+                .expect("loaded documents are always paged");
+            PagedDocument::from_snapshot(&p, page_size, fill_percent)
+        }
+    }
+}
+
+/// True when `frag` resolves to the same published container in both
+/// snapshots.  Pointer identity suffices: every publish installs a fresh
+/// `Arc`, so an equal pointer means no commit republished the fragment
+/// between the two snapshots.
+fn same_container(a: &StoreSnapshot, b: &StoreSnapshot, frag: u32) -> bool {
+    match (a.container_owned(frag), b.container_owned(frag)) {
+        (Container::Doc(x), Container::Doc(y)) => Arc::ptr_eq(&x, &y),
+        (Container::Paged(x), Container::Paged(y)) => Arc::ptr_eq(&x, &y),
+        (Container::Evicted(x), Container::Evicted(y)) => Arc::ptr_eq(&x, &y),
+        _ => false,
+    }
+}
+
+/// The checkpoint pipeline shared by [`Database::checkpoint`] and the
+/// background thread.  Returns `Ok(true)` when a checkpoint was written,
+/// `Ok(false)` when `skip_if_clean` found nothing to do.
+///
+/// Lock discipline: never holds a fragment latch, and never holds the
+/// checkpoint-state mutex while acquiring the store lock — writers
+/// (`mark_dirty` inside the publish turnstile) take them in the same
+/// order, so checkpointing can neither stall commits nor deadlock them.
+fn run_checkpoint(
+    store: &RwLock<DocStore>,
+    latches: &LatchTable,
+    durable: &Durable,
+    counters: &Counters,
+    skip_if_clean: bool,
+) -> Result<bool, Error> {
+    // one checkpoint at a time; writers are NOT excluded
+    let _serial = durable.checkpoint_serial.lock().unwrap();
+
+    // take the dirty set FIRST, then the snapshot: a commit that publishes
+    // between the two either re-marks its fragments dirty (extra image next
+    // checkpoint — harmless) or its record is stamped after the snapshot
+    // generation and survives the log rotation below.  The reverse order
+    // could drop a record whose effect the images never captured.
+    let (dirty_before, images_before) = {
+        let mut ckpt = durable.ckpt.lock().unwrap();
+        if skip_if_clean && ckpt.dirty.is_empty() {
+            let wal_len = durable.wal.lock().unwrap().bytes_appended();
+            if wal_len == ckpt.wal_bytes_at_checkpoint {
+                return Ok(false);
+            }
+        }
+        (std::mem::take(&mut ckpt.dirty), ckpt.images.clone())
+    };
+
+    let (snap, page_size, fill_percent) = {
+        let store = store.read().unwrap();
+        let (ps, fp) = store.page_policy();
+        (store.snapshot(), ps, fp)
+    };
+    let generation = snap.generation();
+
+    // 1. page images for every named document (fragment 0 is the
+    //    transient container).  Image files are immutable: a dirty or
+    //    never-imaged fragment gets a fresh generation-stamped file,
+    //    while a clean fragment's existing image already is exactly its
+    //    current state and is referenced as-is (no write, and for an
+    //    evicted document no fault-in either).  Nothing the previous
+    //    catalog references is touched, so a crash anywhere in this
+    //    checkpoint leaves that checkpoint fully intact and consistent
+    //    with the surviving WAL.
+    let mut docs = Vec::new();
+    for frag in 1..snap.container_count() as u32 {
+        let container = snap.container_owned(frag);
+        let reuse = if dirty_before.contains(&frag) {
+            None
+        } else {
+            images_before.get(&frag).cloned()
+        };
+        let file = match reuse {
+            Some(file) => file,
+            None => {
+                let file = doc_file_name(frag, generation);
+                let image = container
+                    .paged_snapshot()
+                    .expect("loaded documents are always paged");
+                mxq_wal::write_atomic(&durable.file(&file), &encode_snapshot(&image))
+                    .map_err(|e| Error::Durability(e.into()))?;
+                file
+            }
+        };
+        docs.push(CatalogDoc {
+            frag,
+            name: container.name().to_string(),
+            file,
+        });
+    }
+
+    // 2. the catalog — written atomically, this is the commit point;
+    //    it names the exact image files (reused and new) just captured
+    let catalog = Catalog {
+        generation,
+        page_size,
+        fill_percent,
+        docs,
+    };
+    mxq_wal::write_atomic(
+        &durable.file(CATALOG_FILE),
+        &durability::encode_catalog(&catalog),
+    )
+    .map_err(|e| Error::Durability(e.into()))?;
+
+    // 3. rotate the log: records stamped at or before the snapshot
+    //    generation are captured by the images (they were published — and
+    //    under group commit a record is only appended durable-then-
+    //    published, so nothing the images missed is dropped); records
+    //    stamped later belong to commits that raced this checkpoint and
+    //    are kept for the next one
+    let wal_bytes = {
+        let mut wal = durable.wal.lock().unwrap();
+        wal.retain_after(generation)
+            .map_err(|e| Error::Durability(e.into()))?;
+        wal.bytes_appended()
+    };
+
+    // 4. bookkeeping: fragments dirtied since the take above were
+    //    re-inserted by their commits and stay dirty for the next round
+    let images: HashMap<u32, String> = catalog
+        .docs
+        .iter()
+        .map(|d| (d.frag, d.file.clone()))
+        .collect();
+    {
+        let mut ckpt = durable.ckpt.lock().unwrap();
+        ckpt.checkpoint_generation = generation;
+        ckpt.images = images.clone();
+        ckpt.wal_bytes_at_checkpoint = wal_bytes;
+    }
+    counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+
+    // now that the catalog committed, images it no longer references
+    // (superseded by this checkpoint, or debris of an earlier crashed
+    // one) are dead: no recovery path can need them
+    durability::remove_unreferenced_images(&durable.dir, &images);
+
+    // 5. eviction: now every clean document has a current on-disk image,
+    //    so clean ones can be dropped down to the memory budget.  A held
+    //    fragment latch means a writer is committing — skip, never wait.
+    if let Some(budget) = durable.options.memory_budget {
+        let dirty_now = durable.ckpt.lock().unwrap().dirty.clone();
+        let mut store = store.write().unwrap();
+        for frag in 1..store.container_count() as u32 {
+            if store.resident_page_bytes() <= budget {
+                break;
+            }
+            if !store.is_resident(frag) {
+                continue;
+            }
+            if dirty_now.contains(&frag) {
+                continue;
+            }
+            let Some(file) = images.get(&frag) else {
+                continue;
+            };
+            // the master copy pins the pages: only evict if the latch is
+            // free and its slot can be cleared right now
+            if !latches.try_clear(frag) {
+                continue;
+            }
+            let _ = store.evict_paged(frag, durable.file(file));
+        }
+    }
+    Ok(true)
 }
 
 // ---------------------------------------------------------------------------
@@ -1991,6 +2484,52 @@ mod tests {
             s.execute_update("1 + 1"),
             Err(Error::WrongStatementKind { expected: "update" })
         ));
+    }
+
+    #[test]
+    fn sharded_plan_cache_counters_add_up_under_concurrent_prepares() {
+        // N sessions hammer the cache with overlapping statement texts; the
+        // shards must never lose a lookup: every compile_cached call is
+        // exactly one hit or one miss, whatever the interleaving.
+        let db = db_with("<a><b/></a>");
+        let queries: Vec<String> = (1..=6)
+            .map(|i| format!("count(doc(\"doc.xml\")/a/b) + {i}"))
+            .collect();
+        let mut lookups = 0u64;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let db = &db;
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    for round in 0..5 {
+                        let q = &queries[(t + round) % queries.len()];
+                        s.query(q).unwrap();
+                    }
+                });
+            }
+        });
+        lookups += 4 * 5;
+        let stats = db.stats();
+        assert_eq!(
+            stats.plan_cache_hits + stats.plan_cache_misses,
+            lookups,
+            "every lookup is exactly one hit or one miss"
+        );
+        assert_eq!(
+            stats.plan_cache_misses, stats.prepares,
+            "every miss compiled exactly once"
+        );
+        // all six texts fit the cache, so they are all resident (across
+        // whatever shards they hashed to) and a re-run is all hits
+        assert_eq!(db.plan_cache.len(), queries.len());
+        let mut s = db.session();
+        for q in &queries {
+            s.query(q).unwrap();
+        }
+        let after = db.stats();
+        assert_eq!(after.plan_cache_hits, stats.plan_cache_hits + 6);
+        assert_eq!(after.plan_cache_misses, stats.plan_cache_misses);
     }
 
     #[test]

@@ -20,25 +20,41 @@
 //!   checkpointed generation, the page policy and the fragment → (name,
 //!   file) table.  Written atomically (temp + fsync + rename) **after**
 //!   all page images, so the catalog only ever names complete files; the
-//!   WAL is truncated, and image files the new catalog no longer
-//!   references are deleted, only after the catalog commit.  A crash
-//!   anywhere before that commit is harmless: the previous catalog and
-//!   every file it names are untouched, the surviving WAL records carry
-//!   generations ≤ that catalog's checkpoint generation or are replayed
-//!   on top of exactly the state they were logged against, and the
-//!   next open sweeps up the unreferenced new images.
+//!   WAL is rotated (records stamped at or below the checkpointed
+//!   generation dropped, later commits' records kept), and image files
+//!   the new catalog no longer references are deleted, only after the
+//!   catalog commit.  A crash anywhere before that commit is harmless:
+//!   the previous catalog and every file it names are untouched, the
+//!   surviving WAL records carry generations ≤ that catalog's checkpoint
+//!   generation or are replayed on top of exactly the state they were
+//!   logged against, and the next open sweeps up the unreferenced new
+//!   images.
+//!
+//! With per-document write latches the WAL is multi-writer: records from
+//! concurrent commits interleave in file order, but each carries its
+//! commit-ticket generation, and for any single document the records
+//! appear in ticket order (a later commit on the same document appends
+//! only after the earlier one released the latch).  Under
+//! [`SyncPolicy::GroupCommit`] appends do not fsync individually —
+//! writers wait on the group-commit coordinator, which amortizes one
+//! fsync over every record that arrived in the gather window, and a
+//! commit publishes only after its record is covered by a completed
+//! fsync.
 //!
 //! Recovery (`Database::open`) loads the catalog (if any), replays the
-//! WAL's complete records with stamps beyond the checkpoint generation,
-//! and truncates any torn or corrupt tail the CRC scan rejected.  An
-//! update whose WAL record did not make it to disk completely was never
-//! acknowledged — `Database::apply_update` appends before it
+//! WAL's complete records with stamps beyond the checkpoint generation
+//! in generation order, and truncates any torn or corrupt tail the CRC
+//! scan rejected.  An update whose WAL record did not make it to disk
+//! completely was never acknowledged — `Database::apply_update` appends
+//! (and, under group commit, waits for the covering fsync) before it
 //! publishes — so discarding the tail is exactly "recover to the last
 //! published generation".
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use mxq_engine::NodeId;
 use mxq_wal::{SyncPolicy, WalError, WalWriter};
@@ -117,6 +133,10 @@ pub struct DurabilityOptions {
     /// images on next access) until the store's estimated resident page
     /// bytes fit the budget.  `None` disables eviction.
     pub memory_budget: Option<usize>,
+    /// If set, a background thread checkpoints the database at this
+    /// interval, so checkpoint I/O runs off the writer path.  `None`
+    /// leaves checkpoints entirely to explicit `checkpoint()` calls.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for DurabilityOptions {
@@ -124,14 +144,17 @@ impl Default for DurabilityOptions {
         DurabilityOptions {
             sync: SyncPolicy::Always,
             memory_budget: None,
+            checkpoint_interval: None,
         }
     }
 }
 
 impl DurabilityOptions {
     /// Read the options from the environment: `MXQ_SYNC` (see
-    /// [`SyncPolicy::from_env`]) and `MXQ_MEMORY_BUDGET` (bytes; unset or
-    /// `0` disables eviction).
+    /// [`SyncPolicy::from_env`]), `MXQ_MEMORY_BUDGET` (bytes; unset or
+    /// `0` disables eviction) and `MXQ_CHECKPOINT_MS` (milliseconds
+    /// between background checkpoints; unset or `0` disables the
+    /// background thread).
     ///
     /// # Panics
     /// Panics on a set-but-unparsable value, so a typo cannot silently
@@ -147,9 +170,20 @@ impl DurabilityOptions {
             }
             _ => None,
         };
+        let checkpoint_interval = match std::env::var("MXQ_CHECKPOINT_MS") {
+            Ok(raw) if !raw.trim().is_empty() => {
+                let n: u64 = raw
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid MXQ_CHECKPOINT_MS `{raw}`"));
+                (n > 0).then_some(Duration::from_millis(n))
+            }
+            _ => None,
+        };
         DurabilityOptions {
             sync: SyncPolicy::from_env(),
             memory_budget,
+            checkpoint_interval,
         }
     }
 }
@@ -218,11 +252,9 @@ impl From<DiskError> for DurabilityError {
 // durable state attached to a Database
 // ---------------------------------------------------------------------------
 
-/// The mutable durable state, guarded by one mutex.  Writers already hold
-/// the database writer mutex when they touch this, so the inner lock is
-/// uncontended; it exists so read-only paths (stats) can peek safely.
-pub(crate) struct DurableState {
-    pub(crate) wal: WalWriter,
+/// Checkpoint bookkeeping, guarded by its own mutex so writers marking
+/// fragments dirty never contend with WAL appends or group-commit fsyncs.
+pub(crate) struct CheckpointState {
     /// Generation recorded by the last checkpoint (0 before the first).
     pub(crate) checkpoint_generation: u64,
     /// Fragments whose published state moved past the last checkpoint:
@@ -234,20 +266,206 @@ pub(crate) struct DurableState {
     /// A checkpoint reuses these entries for clean fragments instead of
     /// rewriting their images.
     pub(crate) images: HashMap<u32, String>,
+    /// The WAL writer's cumulative `bytes_appended` observed by the last
+    /// checkpoint.  The background thread skips a tick when the dirty set
+    /// is empty *and* this still matches — i.e. nothing was appended (not
+    /// even a not-yet-published commit's record) since the last round.
+    pub(crate) wal_bytes_at_checkpoint: u64,
+}
+
+/// Group-commit coordination: concurrent writers append records, then wait
+/// here until one of them (the batch leader) fsyncs the log for everyone
+/// who arrived in the gather window.
+struct GroupCommit {
+    progress: Mutex<GroupProgress>,
+    cv: Condvar,
+    batches: AtomicU64,
+    records: AtomicU64,
+    /// Smallest batch so far (`u64::MAX` until the first batch lands).
+    batch_min: AtomicU64,
+    batch_max: AtomicU64,
+}
+
+#[derive(Default)]
+struct GroupProgress {
+    /// Append sequence numbers handed out (1-based).
+    appended: u64,
+    /// Highest sequence covered by a completed fsync.
+    synced: u64,
+    /// A leader is currently gathering or fsyncing a batch.
+    leader: bool,
+    /// A group fsync failed; every later commit fails rather than claim a
+    /// durability the log cannot provide.
+    poisoned: bool,
 }
 
 /// The durability attachment of a [`crate::Database`]: directory, WAL
-/// writer, checkpoint bookkeeping and options.
+/// writer, checkpoint bookkeeping and options.  Unlike the pre-latch
+/// design there is no single big lock: appends take `wal`, dirty marking
+/// takes `ckpt`, and a checkpoint never holds either while it copies
+/// pages.
 pub(crate) struct Durable {
     pub(crate) dir: PathBuf,
     pub(crate) options: DurabilityOptions,
-    pub(crate) state: Mutex<DurableState>,
+    /// The WAL writer: appends, group-commit fsyncs and checkpoint
+    /// rotation serialize here and nowhere else.
+    pub(crate) wal: Mutex<WalWriter>,
+    /// Checkpoint bookkeeping (dirty set, image table, checkpointed
+    /// generation).
+    pub(crate) ckpt: Mutex<CheckpointState>,
+    /// Held for the duration of a checkpoint so a manual `checkpoint()`
+    /// and the background thread never interleave.
+    pub(crate) checkpoint_serial: Mutex<()>,
+    group: GroupCommit,
 }
 
 impl Durable {
+    pub(crate) fn new(
+        dir: PathBuf,
+        options: DurabilityOptions,
+        wal: WalWriter,
+        checkpoint_generation: u64,
+        images: HashMap<u32, String>,
+    ) -> Durable {
+        Durable {
+            dir,
+            options,
+            wal: Mutex::new(wal),
+            ckpt: Mutex::new(CheckpointState {
+                checkpoint_generation,
+                dirty: HashSet::new(),
+                images,
+                wal_bytes_at_checkpoint: 0,
+            }),
+            checkpoint_serial: Mutex::new(()),
+            group: GroupCommit {
+                progress: Mutex::new(GroupProgress::default()),
+                cv: Condvar::new(),
+                batches: AtomicU64::new(0),
+                records: AtomicU64::new(0),
+                batch_min: AtomicU64::new(u64::MAX),
+                batch_max: AtomicU64::new(0),
+            },
+        }
+    }
+
     /// Absolute path of a file inside the database directory.
     pub(crate) fn file(&self, name: &str) -> PathBuf {
         self.dir.join(name)
+    }
+
+    /// Append one generation-stamped record.  Under
+    /// [`SyncPolicy::GroupCommit`] no fsync happens here; the returned
+    /// sequence number is what [`Durable::wait_durable`] blocks on.  For
+    /// every other policy the append applies the policy inline (exactly
+    /// the pre-group-commit behaviour) and the sequence is `0`.
+    pub(crate) fn append(&self, generation: u64, payload: &[u8]) -> Result<u64, DurabilityError> {
+        self.wal.lock().unwrap().append(generation, payload)?;
+        if matches!(self.options.sync, SyncPolicy::GroupCommit(_)) {
+            let mut p = self.group.progress.lock().unwrap();
+            p.appended += 1;
+            Ok(p.appended)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Block until the record with append sequence `seq` is durable.  A
+    /// no-op except under [`SyncPolicy::GroupCommit`], where the first
+    /// waiter becomes the batch leader: it gathers the batch (sleeping in
+    /// short slices, stopping as soon as appends stop arriving or the
+    /// window is spent), issues one fsync covering every record appended by
+    /// then, and wakes the batch.  A commit may only publish after this
+    /// returns `Ok`.
+    pub(crate) fn wait_durable(&self, seq: u64) -> Result<(), DurabilityError> {
+        let SyncPolicy::GroupCommit(window) = self.options.sync else {
+            return Ok(());
+        };
+        let mut p = self.group.progress.lock().unwrap();
+        loop {
+            if p.synced >= seq {
+                return Ok(());
+            }
+            if p.poisoned {
+                return Err(DurabilityError::Corrupt(
+                    "a group-commit fsync failed; the log no longer guarantees durability".into(),
+                ));
+            }
+            if p.leader {
+                p = self.group.cv.wait(p).unwrap();
+                continue;
+            }
+            p.leader = true;
+            let mut gathered = p.appended;
+            drop(p);
+            // adaptive gather: the window is a worst-case bound on added
+            // latency, not a mandatory delay.  Yield the CPU so concurrent
+            // writers can finish their appends; once appends stop arriving
+            // the burst has drained and waiting longer only adds latency
+            // (with cheap fsyncs a fixed timer sleep would dominate).
+            if !window.is_zero() {
+                let gather_deadline = std::time::Instant::now() + window;
+                let mut idle = 0u32;
+                while idle < 2 && std::time::Instant::now() < gather_deadline {
+                    std::thread::yield_now();
+                    let appended = self.group.progress.lock().unwrap().appended;
+                    if appended == gathered {
+                        idle += 1;
+                    } else {
+                        idle = 0;
+                        gathered = appended;
+                    }
+                }
+            }
+            // read the batch target *before* the fsync: every sequence
+            // number ≤ target was assigned after its record was fully in
+            // the file, so the fsync below covers all of them
+            let target = self.group.progress.lock().unwrap().appended;
+            let res = self.wal.lock().unwrap().sync();
+            p = self.group.progress.lock().unwrap();
+            p.leader = false;
+            match res {
+                Ok(()) => {
+                    let batch = target - p.synced;
+                    self.group.batches.fetch_add(1, Ordering::Relaxed);
+                    self.group.records.fetch_add(batch, Ordering::Relaxed);
+                    self.group.batch_min.fetch_min(batch, Ordering::Relaxed);
+                    self.group.batch_max.fetch_max(batch, Ordering::Relaxed);
+                    p.synced = target;
+                    self.group.cv.notify_all();
+                }
+                Err(e) => {
+                    p.poisoned = true;
+                    self.group.cv.notify_all();
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Mark fragments dirty for the next checkpoint.
+    pub(crate) fn mark_dirty(&self, frags: &[u32]) {
+        let mut ckpt = self.ckpt.lock().unwrap();
+        ckpt.dirty.extend(frags.iter().copied());
+    }
+
+    /// WAL traffic counters: (bytes appended, fsyncs issued).
+    pub(crate) fn wal_counters(&self) -> (u64, u64) {
+        let wal = self.wal.lock().unwrap();
+        (wal.bytes_appended(), wal.syncs())
+    }
+
+    /// Group-commit batch histogram: (batches, records, min, max), with
+    /// min reported as 0 while no batch has completed.
+    pub(crate) fn group_commit_stats(&self) -> (u64, u64, u64, u64) {
+        let batches = self.group.batches.load(Ordering::Relaxed);
+        let min = self.group.batch_min.load(Ordering::Relaxed);
+        (
+            batches,
+            self.group.records.load(Ordering::Relaxed),
+            if batches == 0 { 0 } else { min },
+            self.group.batch_max.load(Ordering::Relaxed),
+        )
     }
 }
 

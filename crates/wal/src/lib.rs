@@ -10,7 +10,8 @@
 //!   tail detection on read: a record is either completely on disk and
 //!   checksum-clean, or it (and everything after it) is discarded;
 //! * [`SyncPolicy`] — when the log fsyncs: on every append, every N
-//!   appends, or never (the OS flushes whenever it likes);
+//!   appends, never (the OS flushes whenever it likes), or group commit
+//!   (the caller batches concurrent appenders behind one fsync);
 //! * [`write_atomic`] — write-to-temp + fsync + rename, so a checkpoint
 //!   file is either the old version or the complete new one.
 //!
@@ -91,11 +92,20 @@ pub enum SyncPolicy {
     /// Process crashes lose nothing (the kernel has the writes); power
     /// loss can lose the unflushed suffix.
     Never,
+    /// Group commit for concurrent appenders: `append` itself never
+    /// fsyncs — a coordinator above this crate gathers the records that
+    /// arrive within the window, issues one [`WalWriter::sync`] for the
+    /// whole batch, and only then acknowledges them.  Same durability as
+    /// [`SyncPolicy::Always`] (an acknowledged record survives an OS
+    /// crash) at a fraction of the fsync count under concurrency.
+    GroupCommit(std::time::Duration),
 }
 
 impl SyncPolicy {
     /// Parse the `MXQ_SYNC` environment variable: `always` (default when
-    /// unset or empty), `never`, or `every=N` / `every:N` for group commit.
+    /// unset or empty), `never`, `every=N` / `every:N` for periodic
+    /// fsyncs, or `group=W` / `group:W` for group commit with gather
+    /// window `W` (`5ms`, `500us`, or a bare number meaning milliseconds).
     ///
     /// # Panics
     /// Panics on a set-but-invalid value, so a typo can never silently
@@ -119,10 +129,30 @@ impl std::str::FromStr for SyncPolicy {
             "always" => Ok(SyncPolicy::Always),
             "never" => Ok(SyncPolicy::Never),
             other => {
+                if let Some(w) = other
+                    .strip_prefix("group=")
+                    .or_else(|| other.strip_prefix("group:"))
+                {
+                    let (digits, unit) = if let Some(d) = w.strip_suffix("us") {
+                        (d, 1u64)
+                    } else if let Some(d) = w.strip_suffix("ms") {
+                        (d, 1000u64)
+                    } else {
+                        (w, 1000u64)
+                    };
+                    let n: u64 = digits
+                        .parse()
+                        .map_err(|_| format!("`{w}` is not a group-commit window"))?;
+                    return Ok(SyncPolicy::GroupCommit(std::time::Duration::from_micros(
+                        n * unit,
+                    )));
+                }
                 let n = other
                     .strip_prefix("every=")
                     .or_else(|| other.strip_prefix("every:"))
-                    .ok_or_else(|| "expected `always`, `never` or `every=N`".to_string())?;
+                    .ok_or_else(|| {
+                        "expected `always`, `never`, `every=N` or `group=W`".to_string()
+                    })?;
                 let n: u32 = n
                     .parse()
                     .map_err(|_| format!("`{n}` is not a record count"))?;
@@ -333,16 +363,24 @@ impl WalWriter {
     }
 
     /// Append one record and apply the sync policy.  Returns the bytes
-    /// written (header + payload).  On any error the in-memory length is
-    /// left at the last known-good value; the caller must treat the logged
-    /// operation as NOT durable (and must not publish it).
+    /// written (header + payload).  On any error the file is restored to
+    /// the last known-good length (best effort), so a partially written
+    /// frame can never sit in front of later records; the caller must
+    /// treat the logged operation as NOT durable (and must not publish
+    /// it).  Under [`SyncPolicy::GroupCommit`] no fsync happens here —
+    /// the group-commit coordinator calls [`WalWriter::sync`] once per
+    /// batch.
     pub fn append(&mut self, generation: u64, payload: &[u8]) -> Result<u64, WalError> {
         let mut frame = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&generation.to_le_bytes());
         frame.extend_from_slice(&record_crc(generation, payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.write_all(&frame) {
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.seek(SeekFrom::Start(self.len));
+            return Err(e.into());
+        }
         self.len += frame.len() as u64;
         self.bytes_appended += frame.len() as u64;
         let must_sync = match self.policy {
@@ -351,7 +389,7 @@ impl WalWriter {
                 self.appends_since_sync += 1;
                 self.appends_since_sync >= n
             }
-            SyncPolicy::Never => false,
+            SyncPolicy::Never | SyncPolicy::GroupCommit(_) => false,
         };
         if must_sync {
             self.sync()?;
@@ -376,6 +414,43 @@ impl WalWriter {
         self.len = 0;
         self.appends_since_sync = 0;
         self.syncs += 1;
+        Ok(())
+    }
+
+    /// Rotate the log, keeping only records stamped strictly after
+    /// `generation` — the concurrent-safe replacement for [`WalWriter::truncate`]
+    /// when a checkpoint covers generations up to `generation` but later
+    /// commits may already have appended records behind it.  The retained
+    /// records are rewritten atomically ([`write_atomic`], so a crash
+    /// mid-rotation leaves either the old or the new log) and the writer
+    /// reopens its handle at the new file.  If nothing survives the filter
+    /// this degenerates to [`WalWriter::truncate`].
+    pub fn retain_after(&mut self, generation: u64) -> Result<(), WalError> {
+        // the caller serializes rotation against appends, so every record
+        // (synced or not) is visible to this read
+        let scan = read_records(&self.path)?;
+        let retained: Vec<&WalRecord> = scan
+            .records
+            .iter()
+            .filter(|r| r.generation > generation)
+            .collect();
+        if retained.is_empty() {
+            return self.truncate();
+        }
+        let mut bytes = Vec::new();
+        for r in &retained {
+            bytes.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&r.generation.to_le_bytes());
+            bytes.extend_from_slice(&record_crc(r.generation, &r.payload).to_le_bytes());
+            bytes.extend_from_slice(&r.payload);
+        }
+        write_atomic(&self.path, &bytes)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::Start(bytes.len() as u64))?;
+        self.file = file;
+        self.len = bytes.len() as u64;
+        self.appends_since_sync = 0;
+        self.syncs += 1; // write_atomic fsynced the rotated file
         Ok(())
     }
 }
@@ -553,6 +628,16 @@ mod tests {
             w.append(g, b"z").unwrap();
         }
         assert_eq!(w.syncs(), 0);
+        // group commit never fsyncs inline: the coordinator owns the sync
+        let path = tmp("syncs-groupcommit");
+        let (mut w, _) =
+            WalWriter::open(&path, SyncPolicy::GroupCommit(std::time::Duration::ZERO)).unwrap();
+        for g in 0..5 {
+            w.append(g, b"z").unwrap();
+        }
+        assert_eq!(w.syncs(), 0);
+        w.sync().unwrap();
+        assert_eq!(w.syncs(), 1);
     }
 
     #[test]
@@ -567,8 +652,51 @@ mod tests {
             "every:2".parse::<SyncPolicy>().unwrap(),
             SyncPolicy::EveryN(2)
         );
+        assert_eq!(
+            "group=2ms".parse::<SyncPolicy>().unwrap(),
+            SyncPolicy::GroupCommit(std::time::Duration::from_millis(2))
+        );
+        assert_eq!(
+            "group:500us".parse::<SyncPolicy>().unwrap(),
+            SyncPolicy::GroupCommit(std::time::Duration::from_micros(500))
+        );
+        assert_eq!(
+            "group=3".parse::<SyncPolicy>().unwrap(),
+            SyncPolicy::GroupCommit(std::time::Duration::from_millis(3))
+        );
         assert!("every=0".parse::<SyncPolicy>().is_err());
+        assert!("group=fast".parse::<SyncPolicy>().is_err());
         assert!("sometimes".parse::<SyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn retain_after_keeps_only_newer_records() {
+        let path = tmp("retain");
+        let (mut w, _) = WalWriter::open(&path, SyncPolicy::Never).unwrap();
+        for g in 1..=6 {
+            w.append(g, format!("record-{g}").as_bytes()).unwrap();
+        }
+        w.retain_after(4).unwrap();
+        assert_eq!(w.syncs(), 1);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.generation)
+                .collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(scan.records[1].payload, b"record-6");
+        assert_eq!(w.len(), scan.valid_len);
+        // appends continue cleanly on the rotated file
+        w.append(7, b"post-rotate").unwrap();
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(!scan.tail_discarded);
+        // retaining past the newest record empties the log
+        w.retain_after(100).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(read_records(&path).unwrap().records.len(), 0);
     }
 
     #[test]

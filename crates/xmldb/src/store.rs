@@ -243,7 +243,10 @@ impl NodeRead for ContainerRef<'_> {
 #[derive(Debug)]
 pub struct DocStore {
     containers: Vec<Container>,
-    by_name: HashMap<String, u32>,
+    /// Shared with snapshots: `snapshot()` is on the commit hot path, so
+    /// the name table is copy-on-write (`Arc::make_mut` on load) rather
+    /// than cloned per snapshot.
+    by_name: Arc<HashMap<String, u32>>,
     /// Bumped on every mutation of the loaded-documents table (load,
     /// publish).  Snapshots carry the generation they were taken at, so
     /// cached state derived from a snapshot can be revalidated with one
@@ -264,7 +267,7 @@ impl DocStore {
     pub fn new() -> Self {
         DocStore {
             containers: vec![Container::Doc(Arc::new(Document::new("#transient")))],
-            by_name: HashMap::new(),
+            by_name: Arc::new(HashMap::new()),
             generation: 0,
             page_size: DEFAULT_PAGE_SIZE,
             fill_percent: DEFAULT_FILL_PERCENT,
@@ -318,7 +321,7 @@ impl DocStore {
     /// id.
     pub fn add_paged(&mut self, name: &str, snap: Arc<PagedSnapshot>) -> u32 {
         let frag = self.containers.len() as u32;
-        self.by_name.insert(name.to_string(), frag);
+        Arc::make_mut(&mut self.by_name).insert(name.to_string(), frag);
         self.containers.push(Container::Paged(snap));
         self.generation += 1;
         frag
@@ -391,7 +394,7 @@ impl DocStore {
     pub fn snapshot(&self) -> StoreSnapshot {
         StoreSnapshot {
             containers: self.containers.clone(),
-            by_name: Arc::new(self.by_name.clone()),
+            by_name: self.by_name.clone(),
             generation: self.generation,
         }
     }
