@@ -413,9 +413,12 @@ struct FragLatch {
 }
 
 /// The per-document latch table.  Writers latch the fragments their
-/// pending-update list touches in ascending fragment order (so two writers
-/// overlapping on several documents can never deadlock); disjoint-document
-/// writers take disjoint latches and run fully in parallel.
+/// pending-update list touches — written or read — in ascending fragment
+/// order (so two writers overlapping on several documents can never
+/// deadlock); disjoint-document writers take disjoint latches and run
+/// fully in parallel.  A latch taken for a read-only fragment leaves the
+/// master slot untouched; it is held purely so the fragment cannot be
+/// republished while a commit that read from it is in flight.
 #[derive(Default)]
 struct LatchTable {
     map: Mutex<HashMap<u32, Arc<FragLatch>>>,
@@ -607,6 +610,12 @@ pub struct DatabaseStats {
     pub group_commit_batch_min: u64,
     /// Largest batch (records per fsync).
     pub group_commit_batch_max: u64,
+    /// True once a group-commit fsync has failed: the write-ahead log is
+    /// poisoned, every subsequent durable commit or load fails with
+    /// [`DurabilityError::Poisoned`](crate::durability::DurabilityError),
+    /// and the database must be reopened to recover (reads keep working).
+    /// Always false for an in-memory database.
+    pub wal_poisoned: bool,
     /// Compiled statements currently cached.
     pub plan_cache_len: usize,
 }
@@ -1009,12 +1018,12 @@ impl Database {
             }
         }
         self.commit.publish(ticket, || {
-            let frag = {
-                let mut store = self.store.write().unwrap();
-                let frag = store.add_document(doc);
-                store.set_generation(ticket);
-                frag
-            };
+            let mut store = self.store.write().unwrap();
+            let frag = store.add_document(doc);
+            store.set_generation(ticket);
+            // inside the store write critical section, like apply_update's
+            // marks: a checkpoint capturing dirty set + snapshot under the
+            // store read lock sees the load and its mark together
             if let Some(durable) = &self.durable {
                 durable.mark_dirty(&[frag]);
             }
@@ -1064,6 +1073,7 @@ impl Database {
             group_commit_records: gc_records,
             group_commit_batch_min: gc_min,
             group_commit_batch_max: gc_max,
+            wal_poisoned: self.durable.as_ref().is_some_and(|d| d.poisoned()),
             plan_cache_len: self.plan_cache.len(),
         }
     }
@@ -1229,13 +1239,20 @@ impl Database {
     /// validated pending-update list (phases 1 and 2 of a commit: snapshot
     /// evaluation of every statement's plans, then primitive collection).
     /// Pure with respect to the store — nothing is mutated.
+    ///
+    /// Also returns the **read set**: every store fragment the evaluation
+    /// read (documents resolved by `fn:doc`, node items bound through
+    /// external variables, container accesses, and the fragments of the
+    /// evaluated target/source items the collector copies from).  The
+    /// commit pipeline latches these along with the write set so the
+    /// values this PUL was computed from stay frozen until it publishes.
     fn evaluate_update_pul(
         &self,
         uplan: &UpdatePlan,
         config: ExecConfig,
         params: &Params,
         snap: &StoreSnapshot,
-    ) -> Result<PendingUpdateList, Error> {
+    ) -> Result<(PendingUpdateList, Vec<u32>), Error> {
         // phase 1: snapshot evaluation of every statement's plans
         struct Evaled {
             kind: UpdateKind,
@@ -1245,6 +1262,7 @@ impl Database {
         }
         let mut evaled = Vec::with_capacity(uplan.statements.len());
         let transient;
+        let reads;
         {
             let mut exec = Executor::with_params(snap, config, params.clone());
             for stmt in &uplan.statements {
@@ -1265,11 +1283,27 @@ impl Database {
                     source,
                 });
             }
+            reads = exec.read_fragments();
             // nodes constructed while evaluating sources live in the
             // executor's private transient container; the collector copies
             // their content into the primitives' own fragments, after which
             // the container is dropped with this function frame
             transient = exec.finish().0;
+        }
+
+        // the collector below reads target context and copies source
+        // subtrees straight from the snapshot — fold those fragments into
+        // the read set too (targets usually are the write set, but a
+        // source node living in another document is a cross-document read)
+        let mut reads: HashSet<u32> = reads.into_iter().collect();
+        for ev in &evaled {
+            for item in ev.targets.iter().chain(ev.source.iter().flatten()) {
+                if let Item::Node(n) = item {
+                    if n.frag != TRANSIENT_FRAG {
+                        reads.insert(n.frag);
+                    }
+                }
+            }
         }
 
         // phase 2: build the pending update list (validation + conflicts)
@@ -1287,7 +1321,9 @@ impl Database {
                 &mut pul,
             )?;
         }
-        Ok(pul)
+        let mut reads: Vec<u32> = reads.into_iter().collect();
+        reads.sort_unstable();
+        Ok((pul, reads))
     }
 
     /// Execute a compiled update plan: snapshot evaluation, pending-update
@@ -1295,9 +1331,21 @@ impl Database {
     /// re-materialization and publication of the touched documents.
     ///
     /// Writers touching disjoint documents run fully in parallel; writers
-    /// that share a document queue on its fragment latch.  Publishes happen
-    /// in commit-ticket order, so readers observe a linear history of
-    /// atomic `Arc` swaps regardless of how the writers interleaved.
+    /// that share a document — written *or read* by the update — queue on
+    /// its fragment latch.  Latching the read set along with the write set
+    /// keeps multi-writer execution serializable: an update that computes
+    /// its new values from another document holds that document frozen
+    /// from validation to publish, so no write-skew anomaly can commit.
+    /// Publishes happen in commit-ticket order, so readers observe a
+    /// linear history of atomic `Arc` swaps regardless of how the writers
+    /// interleaved.
+    ///
+    /// One caveat short of full serializability: a `fn:doc` call that finds
+    /// *no* document ("unknown document" error, or an update statement
+    /// evaluating to the empty sequence because of it) has no fragment to
+    /// latch, so a concurrent `load_document` is not serialized against it
+    /// (a phantom).  Loads only ever add documents; they never change one
+    /// an update could have read.
     pub(crate) fn apply_update(
         &self,
         uplan: &UpdatePlan,
@@ -1325,7 +1373,7 @@ impl Database {
         params: &Params,
     ) -> Result<Option<UpdateReport>, Error> {
         let snap = self.snapshot();
-        let mut pul = self.evaluate_update_pul(uplan, config, params, &snap)?;
+        let (mut pul, reads) = self.evaluate_update_pul(uplan, config, params, &snap)?;
         let frags = pul.fragments();
         if frags.is_empty() {
             // nothing to do: no latch, no ticket, no WAL record
@@ -1338,10 +1386,18 @@ impl Database {
             }));
         }
 
-        // latch every touched fragment in ascending order
-        // (`pul.fragments()` is sorted), so two writers latching
-        // overlapping sets cannot deadlock
-        let latches: Vec<Arc<FragLatch>> = frags.iter().map(|&f| self.latches.latch(f)).collect();
+        // the latch scope is the union of the write set and the read set,
+        // in ascending fragment order (two writers latching overlapping
+        // sets cannot deadlock).  Latching the reads too is what makes
+        // multi-writer commits serializable: an update that reads document
+        // B while writing document A holds B's latch from validation to
+        // publish, so no concurrent commit can republish B under the
+        // values this PUL was computed from (write skew).  Reads are
+        // usually a subset of the writes, in which case this degenerates
+        // to the plain write-set latching and disjoint-document writers
+        // still share nothing.
+        let scope = latch_scope(&frags, &reads);
+        let latches: Vec<Arc<FragLatch>> = scope.iter().map(|&f| self.latches.latch(f)).collect();
         let mut guards: Vec<MutexGuard<'_, Option<PagedDocument>>> =
             Vec::with_capacity(latches.len());
         for latch in &latches {
@@ -1354,14 +1410,15 @@ impl Database {
             guards.push(guard);
         }
 
-        // validation: if any latched fragment was republished since `snap`,
-        // the PUL's targets may be stale (pre ranks shifted) — re-evaluate
-        // against the current snapshot, now that the latches freeze these
-        // fragments.  Containers compare by pointer identity: a publish
-        // always installs a fresh Arc.  One store read serves the
-        // generation probe, the page policy, and (only when the generation
-        // moved) the fresh snapshot — this runs once per commit, so it
-        // must not clone store state in the common unconflicted case.
+        // validation: if any latched fragment (read or written) was
+        // republished since `snap`, the PUL may be stale (targets' pre
+        // ranks shifted, or read values changed) — re-evaluate against the
+        // current snapshot, now that the latches freeze these fragments.
+        // Containers compare by pointer identity: a publish always
+        // installs a fresh Arc.  One store read serves the generation
+        // probe, the page policy, and (only when the generation moved) the
+        // fresh snapshot — this runs once per commit, so it must not clone
+        // store state in the common unconflicted case.
         let (latest, page_size, fill_percent) = {
             let store = self.store.read().unwrap();
             let (page_size, fill_percent) = store.page_policy();
@@ -1373,17 +1430,18 @@ impl Database {
             (latest, page_size, fill_percent)
         };
         let stale = snap.generation() != latest.generation()
-            && frags.iter().any(|&f| !same_container(&snap, &latest, f));
+            && scope.iter().any(|&f| !same_container(&snap, &latest, f));
         if stale {
             self.counters
                 .latch_conflicts
                 .fetch_add(1, Ordering::Relaxed);
-            pul = self.evaluate_update_pul(uplan, config, params, &latest)?;
-            if pul.fragments() != frags {
-                // the rewritten plan touches different documents than we
-                // latched — drop the guards and restart from scratch
+            let (repul, rereads) = self.evaluate_update_pul(uplan, config, params, &latest)?;
+            if repul.fragments() != frags || latch_scope(&repul.fragments(), &rereads) != scope {
+                // the rewritten plan touches (or reads) different documents
+                // than we latched — drop the guards and restart from scratch
                 return Ok(None);
             }
+            pul = repul;
         }
 
         // the commit ticket is the generation this commit lands on.  Taken
@@ -1414,7 +1472,11 @@ impl Database {
         let mut applied = 0;
         let mut stats = UpdateStats::default();
         let mut publishes = Vec::with_capacity(frags.len());
-        for (guard, &frag) in guards.iter_mut().zip(&frags) {
+        for (guard, &frag) in guards.iter_mut().zip(&scope) {
+            if frags.binary_search(&frag).is_err() {
+                // read-only latch: held for stability, nothing to apply
+                continue;
+            }
             let paged_doc = match guard.as_mut() {
                 Some(doc) => doc,
                 // reconstructing the master from the published snapshot is
@@ -1446,8 +1508,10 @@ impl Database {
         // (unchanged) published snapshots.
         if let (Some(durable), Some(seq)) = (&self.durable, durable_seq) {
             if let Err(e) = durable.wait_durable(seq) {
-                for guard in guards.iter_mut() {
-                    **guard = None;
+                for (guard, &frag) in guards.iter_mut().zip(&scope) {
+                    if frags.binary_search(&frag).is_ok() {
+                        **guard = None;
+                    }
                 }
                 self.commit.abort(ticket);
                 return Err(Error::Durability(e));
@@ -1458,21 +1522,31 @@ impl Database {
         // one Arc swap per touched document plus the generation store, so
         // readers observe the update as a whole or not at all
         let published = self.commit.publish(ticket, || {
-            if let Some(durable) = &self.durable {
-                durable.mark_dirty(&frags);
-            }
             let mut store = self.store.write().unwrap();
             for (publish, &frag) in publishes.iter().zip(&frags) {
                 store.publish(frag, publish.clone())?;
             }
             store.set_generation(ticket);
+            // dirty marks happen INSIDE the store write critical section
+            // (lock order: store → ckpt), so a checkpoint capturing the
+            // dirty set under the store read lock sees this commit's marks
+            // and its published containers together or not at all
+            if let Some(durable) = &self.durable {
+                durable.mark_dirty(&frags);
+            }
             Ok::<(), Error>(())
         });
         if let Err(e) = published {
             // unreachable in practice (latched fragments exist and are not
-            // transient); restore the slot invariant all the same
-            for guard in guards.iter_mut() {
-                **guard = None;
+            // transient); restore the slot invariant all the same.  Note
+            // the commit's WAL record is already durable at this point and
+            // cannot be unwound (later writers' records may sit behind it)
+            // — were this path ever reached, the statement's outcome would
+            // be indeterminate across a crash.
+            for (guard, &frag) in guards.iter_mut().zip(&scope) {
+                if frags.binary_search(&frag).is_ok() {
+                    **guard = None;
+                }
             }
             return Err(e);
         }
@@ -1510,6 +1584,15 @@ fn reconstruct_master(
     }
 }
 
+/// The latch scope of a commit: the union of its write set and read set,
+/// ascending and deduplicated (both inputs are sorted fragment lists).
+fn latch_scope(writes: &[u32], reads: &[u32]) -> Vec<u32> {
+    let mut scope: Vec<u32> = writes.iter().chain(reads).copied().collect();
+    scope.sort_unstable();
+    scope.dedup();
+    scope
+}
+
 /// True when `frag` resolves to the same published container in both
 /// snapshots.  Pointer identity suffices: every publish installs a fresh
 /// `Arc`, so an equal pointer means no commit republished the fragment
@@ -1527,10 +1610,12 @@ fn same_container(a: &StoreSnapshot, b: &StoreSnapshot, frag: u32) -> bool {
 /// background thread.  Returns `Ok(true)` when a checkpoint was written,
 /// `Ok(false)` when `skip_if_clean` found nothing to do.
 ///
-/// Lock discipline: never holds a fragment latch, and never holds the
-/// checkpoint-state mutex while acquiring the store lock — writers
-/// (`mark_dirty` inside the publish turnstile) take them in the same
-/// order, so checkpointing can neither stall commits nor deadlock them.
+/// Lock discipline: never holds a fragment latch, and takes the
+/// checkpoint-state mutex only while already holding the store lock
+/// (store → ckpt) — the same order writers use (`mark_dirty` inside the
+/// store write critical section of the publish turnstile), so
+/// checkpointing can neither stall commits for long nor deadlock them,
+/// and the dirty set always moves atomically with the store generation.
 fn run_checkpoint(
     store: &RwLock<DocStore>,
     latches: &LatchTable,
@@ -1541,12 +1626,18 @@ fn run_checkpoint(
     // one checkpoint at a time; writers are NOT excluded
     let _serial = durable.checkpoint_serial.lock().unwrap();
 
-    // take the dirty set FIRST, then the snapshot: a commit that publishes
-    // between the two either re-marks its fragments dirty (extra image next
-    // checkpoint — harmless) or its record is stamped after the snapshot
-    // generation and survives the log rotation below.  The reverse order
-    // could drop a record whose effect the images never captured.
-    let (dirty_before, images_before) = {
+    // capture the dirty set and the snapshot ATOMICALLY with respect to
+    // publishes: commits mark their fragments dirty inside the store
+    // write-lock critical section, and this capture holds the store read
+    // lock across both reads, so every commit is either entirely before it
+    // (dirty mark and published container both visible — the images below
+    // capture its effect) or entirely after it (its record is stamped past
+    // the snapshot generation and survives the log rotation).  Capturing
+    // the two under different locks would let a commit fall between them:
+    // stale image reused AND record rotated away — an acknowledged, fsynced
+    // commit silently lost on the next crash.
+    let (dirty_before, images_before, snap, page_size, fill_percent) = {
+        let store = store.read().unwrap();
         let mut ckpt = durable.ckpt.lock().unwrap();
         if skip_if_clean && ckpt.dirty.is_empty() {
             let wal_len = durable.wal.lock().unwrap().bytes_appended();
@@ -1554,13 +1645,14 @@ fn run_checkpoint(
                 return Ok(false);
             }
         }
-        (std::mem::take(&mut ckpt.dirty), ckpt.images.clone())
-    };
-
-    let (snap, page_size, fill_percent) = {
-        let store = store.read().unwrap();
         let (ps, fp) = store.page_policy();
-        (store.snapshot(), ps, fp)
+        (
+            std::mem::take(&mut ckpt.dirty),
+            ckpt.images.clone(),
+            store.snapshot(),
+            ps,
+            fp,
+        )
     };
     let generation = snap.generation();
 
@@ -1620,12 +1712,7 @@ fn run_checkpoint(
     //    published, so nothing the images missed is dropped); records
     //    stamped later belong to commits that raced this checkpoint and
     //    are kept for the next one
-    let wal_bytes = {
-        let mut wal = durable.wal.lock().unwrap();
-        wal.retain_after(generation)
-            .map_err(|e| Error::Durability(e.into()))?;
-        wal.bytes_appended()
-    };
+    let wal_bytes = durable.rotate_wal(generation).map_err(Error::Durability)?;
 
     // 4. bookkeeping: fragments dirtied since the take above were
     //    re-inserted by their commits and stay dirty for the next round
@@ -1651,8 +1738,12 @@ fn run_checkpoint(
     //    so clean ones can be dropped down to the memory budget.  A held
     //    fragment latch means a writer is committing — skip, never wait.
     if let Some(budget) = durable.options.memory_budget {
-        let dirty_now = durable.ckpt.lock().unwrap().dirty.clone();
+        // read the dirty set while holding the store write lock (same
+        // order as commits): a commit publishing between a free-standing
+        // dirty read and the lock acquisition could otherwise be evicted
+        // as "clean" onto its stale pre-commit image
         let mut store = store.write().unwrap();
+        let dirty_now = durable.ckpt.lock().unwrap().dirty.clone();
         for frag in 1..store.container_count() as u32 {
             if store.resident_page_bytes() <= budget {
                 break;
@@ -2551,5 +2642,103 @@ mod tests {
         assert!(cache.get(0, "b").is_none(), "b was evicted");
         assert!(cache.get(0, "a").is_some());
         assert!(cache.get(0, "c").is_some());
+    }
+
+    #[test]
+    fn update_read_set_includes_documents_it_only_reads() {
+        let db = db_with("<a><v>1</v></a>"); // loads doc.xml
+        db.load_document("other.xml", "<b><w>2</w></b>").unwrap();
+        let mut s = db.session();
+        let prepared = s
+            .prepare(
+                "replace value of node doc(\"doc.xml\")/a/v \
+                 with string(doc(\"other.xml\")/b/w)",
+            )
+            .unwrap();
+        let CompiledStatement::Update { plan, .. } = &*prepared.compiled else {
+            panic!("expected an update statement");
+        };
+        let snap = db.snapshot();
+        let (pul, reads) = db
+            .evaluate_update_pul(plan, ExecConfig::default(), &Params::new(), &snap)
+            .unwrap();
+        let a = db.store().lookup("doc.xml").unwrap();
+        let b = db.store().lookup("other.xml").unwrap();
+        assert_eq!(pul.fragments(), vec![a], "only doc.xml is written");
+        assert!(
+            reads.contains(&b),
+            "read-only document missing from the read set: {reads:?}"
+        );
+        // the latch scope commits take is the sorted union of both sets
+        let scope = latch_scope(&pul.fragments(), &reads);
+        assert!(scope.contains(&a) && scope.contains(&b));
+        assert!(scope.windows(2).all(|w| w[0] < w[1]), "scope is ascending");
+    }
+
+    #[test]
+    fn failed_group_fsync_poisons_the_log_and_rolls_back_the_record() {
+        let dir = std::env::temp_dir().join(format!("mxq-db-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = DurabilityOptions {
+            sync: mxq_wal::SyncPolicy::GroupCommit(std::time::Duration::from_micros(100)),
+            memory_budget: None,
+            checkpoint_interval: None,
+        };
+        let db = Arc::new(Database::open_with(&dir, opts).unwrap());
+        db.load_document("doc.xml", "<a><v>0</v></a>").unwrap();
+        let mut s = db.session();
+        s.execute("replace value of node doc(\"doc.xml\")/a/v with \"1\"")
+            .unwrap();
+        assert!(!db.stats().wal_poisoned);
+        let durable = db.durable.clone().unwrap();
+        let watermark = durable.wal.lock().unwrap().len();
+        durable.wal.lock().unwrap().inject_sync_failures(1);
+
+        // the leader of the failing batch gets the underlying I/O error...
+        let err = s
+            .execute("replace value of node doc(\"doc.xml\")/a/v with \"2\"")
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Durability(DurabilityError::Wal(_))),
+            "leader error: {err:?}"
+        );
+        // ...the failed record is truncated back out to the durable
+        // watermark, and the log is poisoned
+        assert_eq!(durable.wal.lock().unwrap().len(), watermark);
+        assert!(db.stats().wal_poisoned);
+
+        // every later durable commit fails closed with Poisoned
+        let err = s
+            .execute("replace value of node doc(\"doc.xml\")/a/v with \"3\"")
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Durability(DurabilityError::Poisoned)),
+            "post-poison error: {err:?}"
+        );
+        assert_eq!(durable.wal.lock().unwrap().len(), watermark);
+
+        // failed updates were never published: reads still see "1"
+        let r = s.execute("string(doc(\"doc.xml\")/a/v)").unwrap();
+        assert_eq!(r.as_query().unwrap().serialize(), "1");
+
+        drop(s);
+        drop(durable);
+        drop(db);
+
+        // reopen: only the acknowledged commit replays, the log is clean
+        // again, and commits work
+        let db = Arc::new(Database::open_with(&dir, opts).unwrap());
+        assert!(!db.stats().wal_poisoned);
+        let mut s = db.session();
+        let r = s.execute("string(doc(\"doc.xml\")/a/v)").unwrap();
+        assert_eq!(r.as_query().unwrap().serialize(), "1");
+        s.execute("replace value of node doc(\"doc.xml\")/a/v with \"4\"")
+            .unwrap();
+        let r = s.execute("string(doc(\"doc.xml\")/a/v)").unwrap();
+        assert_eq!(r.as_query().unwrap().serialize(), "4");
+        drop(s);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

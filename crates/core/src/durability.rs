@@ -52,7 +52,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -206,6 +206,14 @@ pub enum DurabilityError {
     Disk(DiskError),
     /// The catalog or a WAL payload is structurally invalid.
     Corrupt(String),
+    /// A group-commit fsync failed earlier, so the log can no longer
+    /// guarantee durability; every subsequent durable commit and load
+    /// fails with this error until the database is reopened (which
+    /// recovers from the surviving, known-durable log prefix).  Exposed as
+    /// [`DatabaseStats::wal_poisoned`](crate::DatabaseStats) so callers
+    /// can distinguish "log poisoned, reopen required" from an ordinary
+    /// I/O error.
+    Poisoned,
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -215,6 +223,11 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::Io(e) => write!(f, "durable store I/O failed: {e}"),
             DurabilityError::Disk(e) => write!(f, "on-disk image invalid: {e}"),
             DurabilityError::Corrupt(what) => write!(f, "durable store corrupt: {what}"),
+            DurabilityError::Poisoned => write!(
+                f,
+                "write-ahead log poisoned: a group-commit fsync failed; \
+                 reopen the database to recover"
+            ),
         }
     }
 }
@@ -225,7 +238,7 @@ impl std::error::Error for DurabilityError {
             DurabilityError::Wal(e) => Some(e),
             DurabilityError::Io(e) => Some(e),
             DurabilityError::Disk(e) => Some(e),
-            DurabilityError::Corrupt(_) => None,
+            DurabilityError::Corrupt(_) | DurabilityError::Poisoned => None,
         }
     }
 }
@@ -284,6 +297,19 @@ struct GroupCommit {
     /// Smallest batch so far (`u64::MAX` until the first batch lands).
     batch_min: AtomicU64,
     batch_max: AtomicU64,
+    /// Mirrors [`GroupProgress::poisoned`] for readers that must not (or
+    /// cannot) take the progress mutex: `Durable::append` checks it while
+    /// holding the WAL mutex, so no record can be appended after the
+    /// failure path truncated the log (the flag is set before the
+    /// truncation, under that same WAL mutex).
+    poisoned: AtomicBool,
+    /// The log length known to be durable: the file length captured under
+    /// the WAL mutex immediately before the last *successful* group fsync
+    /// (initially the recovered length at open).  On a failed fsync the
+    /// leader truncates the log back to this watermark, taking every
+    /// unacknowledged record out of the file so recovery cannot replay an
+    /// update whose commit was reported failed.
+    synced_len: AtomicU64,
 }
 
 #[derive(Default)]
@@ -294,8 +320,11 @@ struct GroupProgress {
     synced: u64,
     /// A leader is currently gathering or fsyncing a batch.
     leader: bool,
-    /// A group fsync failed; every later commit fails rather than claim a
-    /// durability the log cannot provide.
+    /// A group fsync failed; every later commit fails with
+    /// [`DurabilityError::Poisoned`] rather than claim a durability the
+    /// log cannot provide.  The failing leader truncated the
+    /// unacknowledged suffix out of the log (best effort), so recovery
+    /// replays only acknowledged commits.
     poisoned: bool,
 }
 
@@ -327,6 +356,7 @@ impl Durable {
         checkpoint_generation: u64,
         images: HashMap<u32, String>,
     ) -> Durable {
+        let wal_len = wal.len();
         Durable {
             dir,
             options,
@@ -345,6 +375,9 @@ impl Durable {
                 records: AtomicU64::new(0),
                 batch_min: AtomicU64::new(u64::MAX),
                 batch_max: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
+                // everything recovered from disk at open is durable
+                synced_len: AtomicU64::new(wal_len),
             },
         }
     }
@@ -360,8 +393,20 @@ impl Durable {
     /// every other policy the append applies the policy inline (exactly
     /// the pre-group-commit behaviour) and the sequence is `0`.
     pub(crate) fn append(&self, generation: u64, payload: &[u8]) -> Result<u64, DurabilityError> {
-        self.wal.lock().unwrap().append(generation, payload)?;
-        if matches!(self.options.sync, SyncPolicy::GroupCommit(_)) {
+        let group = matches!(self.options.sync, SyncPolicy::GroupCommit(_));
+        {
+            let mut wal = self.wal.lock().unwrap();
+            // the poison gate shares the WAL mutex with the failure path's
+            // truncation: every record is either appended before a failing
+            // leader truncates (and is taken back out of the file) or
+            // rejected here — none can land durable-looking but
+            // unacknowledged after a poisoning
+            if group && self.group.poisoned.load(Ordering::Acquire) {
+                return Err(DurabilityError::Poisoned);
+            }
+            wal.append(generation, payload)?;
+        }
+        if group {
             let mut p = self.group.progress.lock().unwrap();
             p.appended += 1;
             Ok(p.appended)
@@ -387,9 +432,7 @@ impl Durable {
                 return Ok(());
             }
             if p.poisoned {
-                return Err(DurabilityError::Corrupt(
-                    "a group-commit fsync failed; the log no longer guarantees durability".into(),
-                ));
+                return Err(DurabilityError::Poisoned);
             }
             if p.leader {
                 p = self.group.cv.wait(p).unwrap();
@@ -421,7 +464,31 @@ impl Durable {
             // number ≤ target was assigned after its record was fully in
             // the file, so the fsync below covers all of them
             let target = self.group.progress.lock().unwrap().appended;
-            let res = self.wal.lock().unwrap().sync();
+            let res = {
+                let mut wal = self.wal.lock().unwrap();
+                // captured under the same WAL mutex hold as the fsync, so
+                // it is exactly the bytes the fsync covers on success
+                let len = wal.len();
+                match wal.sync() {
+                    Ok(()) => {
+                        self.group.synced_len.store(len, Ordering::Release);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // poison first, then truncate the unacknowledged
+                        // suffix, all while still holding the WAL mutex:
+                        // concurrent appends gate on the flag under this
+                        // mutex, so nothing can slip in behind the
+                        // truncation.  Every record removed belongs to a
+                        // commit that has not published (publish waits for
+                        // this fsync) and will be reported failed.
+                        self.group.poisoned.store(true, Ordering::Release);
+                        let watermark = self.group.synced_len.load(Ordering::Acquire);
+                        let rolled_back = wal.truncate_to(watermark).is_ok();
+                        Err((e, rolled_back))
+                    }
+                }
+            };
             p = self.group.progress.lock().unwrap();
             p.leader = false;
             match res {
@@ -434,7 +501,10 @@ impl Durable {
                     p.synced = target;
                     self.group.cv.notify_all();
                 }
-                Err(e) => {
+                Err((e, _rolled_back)) => {
+                    // if the rollback also failed, the unacknowledged
+                    // records may survive in the file; their outcome across
+                    // a crash is indeterminate (documented on SyncPolicy)
                     p.poisoned = true;
                     self.group.cv.notify_all();
                     return Err(e.into());
@@ -443,10 +513,34 @@ impl Durable {
         }
     }
 
-    /// Mark fragments dirty for the next checkpoint.
+    /// Mark fragments dirty for the next checkpoint.  Call only while
+    /// holding the store write lock (lock order: store → ckpt): the
+    /// checkpoint captures the dirty set together with its store snapshot
+    /// under the store read lock, and that capture is only atomic with
+    /// respect to publishes because the marks happen inside the publish
+    /// critical section.
     pub(crate) fn mark_dirty(&self, frags: &[u32]) {
         let mut ckpt = self.ckpt.lock().unwrap();
         ckpt.dirty.extend(frags.iter().copied());
+    }
+
+    /// True once a group-commit fsync has failed: the log no longer
+    /// guarantees durability and every subsequent durable commit fails
+    /// with [`DurabilityError::Poisoned`] until the database is reopened.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.group.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Rotate the WAL after a checkpoint: drop records stamped at or
+    /// before `generation`, keep later ones, and reset the group-commit
+    /// durable watermark to the rotated file's length (the rotation is
+    /// written atomically and fsynced, so the whole new file is durable).
+    /// Returns the writer's cumulative `bytes_appended`.
+    pub(crate) fn rotate_wal(&self, generation: u64) -> Result<u64, DurabilityError> {
+        let mut wal = self.wal.lock().unwrap();
+        wal.retain_after(generation)?;
+        self.group.synced_len.store(wal.len(), Ordering::Release);
+        Ok(wal.bytes_appended())
     }
 
     /// WAL traffic counters: (bytes appended, fsyncs issued).

@@ -108,6 +108,15 @@ pub struct Executor<'a> {
     /// Lazily grown property map for runtime validation; `Some` when
     /// [`ExecConfig::validate_plans`] or `MXQ_VALIDATE_PLANS=1` is set.
     validation: Option<crate::analysis::Analysis>,
+    /// Store fragments this execution has read (documents resolved by
+    /// `fn:doc`, node items entering through external variables, and every
+    /// container access).  The update pipeline latches this read set along
+    /// with the write set, so a concurrent commit cannot invalidate what a
+    /// committing update computed from — see `Database::apply_update`.
+    reads: std::cell::RefCell<std::collections::HashSet<u32>>,
+    /// Last fragment recorded into `reads` — container access is per-node
+    /// in a few hot paths, and runs of accesses hit the same fragment.
+    last_read: std::cell::Cell<u32>,
 }
 
 // -- small helpers over sequence tables --------------------------------------
@@ -154,6 +163,8 @@ impl<'a> Executor<'a> {
             stats: ExecStats::default(),
             memo: HashMap::new(),
             validation: validate.then(crate::analysis::Analysis::default),
+            reads: std::cell::RefCell::new(std::collections::HashSet::new()),
+            last_read: std::cell::Cell::new(TRANSIENT_FRAG),
         }
     }
 
@@ -169,6 +180,26 @@ impl<'a> Executor<'a> {
         &self.transient
     }
 
+    /// Record a store fragment into the read set (the private transient
+    /// container is not shared state and is never recorded).
+    fn record_read(&self, frag: u32) {
+        if frag != TRANSIENT_FRAG && self.last_read.get() != frag {
+            self.last_read.set(frag);
+            self.reads.borrow_mut().insert(frag);
+        }
+    }
+
+    /// The store fragments this execution has read so far, in ascending
+    /// order.  Every fragment whose content can have influenced a result —
+    /// documents resolved via `fn:doc`, node bindings from external
+    /// variables, and any container access — is included; axis steps never
+    /// leave a fragment, so recording the entry points is exhaustive.
+    pub fn read_fragments(&self) -> Vec<u32> {
+        let mut frags: Vec<u32> = self.reads.borrow().iter().copied().collect();
+        frags.sort_unstable();
+        frags
+    }
+
     /// Resolve a fragment id: the executor's own transient container for
     /// fragment 0, the snapshot's document containers (page-backed for
     /// loaded documents) otherwise.
@@ -176,6 +207,7 @@ impl<'a> Executor<'a> {
         if frag == TRANSIENT_FRAG {
             ContainerRef::Doc(&self.transient)
         } else {
+            self.record_read(frag);
             self.snap.container(frag)
         }
     }
@@ -336,6 +368,7 @@ impl<'a> Executor<'a> {
                     .snap
                     .document_root(name)
                     .ok_or_else(|| ExecError::UnknownDocument(name.clone()))?;
+                self.record_read(root.frag);
                 let iters = self.loop_iters(loop_)?;
                 let n = iters.len();
                 Ok(seq_table(iters, vec![1; n], vec![Item::Node(root); n]))
@@ -352,6 +385,11 @@ impl<'a> Executor<'a> {
                         None => return Err(ExecError::UnboundVariable(name.clone())),
                     },
                 };
+                for item in &items {
+                    if let Item::Node(n) = item {
+                        self.record_read(n.frag);
+                    }
+                }
                 let iters = self.loop_iters(loop_)?;
                 let mut oi = Vec::new();
                 let mut op = Vec::new();
@@ -1324,6 +1362,7 @@ impl<'a> Executor<'a> {
                             if n.frag == TRANSIENT_FRAG {
                                 builder.copy_subtree(&snapshot, n.pre);
                             } else {
+                                self.record_read(n.frag);
                                 builder.copy_subtree(&self.snap.container(n.frag), n.pre);
                             }
                         }

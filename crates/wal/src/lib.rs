@@ -298,6 +298,10 @@ pub struct WalWriter {
     bytes_appended: u64,
     /// Number of `fsync` calls issued by this writer.
     syncs: u64,
+    /// Remaining [`WalWriter::sync`] calls that fail with an injected
+    /// error (test-only failure injection, see
+    /// [`WalWriter::inject_sync_failures`]).
+    fail_syncs: u32,
 }
 
 impl WalWriter {
@@ -327,6 +331,7 @@ impl WalWriter {
                 appends_since_sync: 0,
                 bytes_appended: 0,
                 syncs: 0,
+                fail_syncs: 0,
             },
             scan,
         ))
@@ -381,6 +386,7 @@ impl WalWriter {
             let _ = self.file.seek(SeekFrom::Start(self.len));
             return Err(e.into());
         }
+        let before = self.len;
         self.len += frame.len() as u64;
         self.bytes_appended += frame.len() as u64;
         let must_sync = match self.policy {
@@ -392,14 +398,64 @@ impl WalWriter {
             SyncPolicy::Never | SyncPolicy::GroupCommit(_) => false,
         };
         if must_sync {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                // the record is in the file but its durability is unknown —
+                // the caller will fail the operation, so take the record
+                // back out (best effort) lest recovery replay an update the
+                // client was told failed.  If the rollback itself fails the
+                // record may survive; the operation's outcome across a
+                // crash is then indeterminate.
+                let _ = self.file.set_len(before);
+                let _ = self.file.seek(SeekFrom::Start(before));
+                self.len = before;
+                self.bytes_appended -= frame.len() as u64;
+                if let SyncPolicy::EveryN(_) = self.policy {
+                    self.appends_since_sync -= 1;
+                }
+                return Err(e);
+            }
         }
         Ok(frame.len() as u64)
     }
 
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.fail_syncs > 0 {
+            self.fail_syncs -= 1;
+            return Err(WalError::Io(std::io::Error::other(
+                "injected fsync failure",
+            )));
+        }
         self.file.sync_all()?;
+        self.appends_since_sync = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Make the next `n` [`WalWriter::sync`] calls fail with an injected
+    /// I/O error, for testing the failure paths above this crate (group
+    /// commit poisoning, failed-record rollback).  Hidden from docs; never
+    /// used outside tests.
+    #[doc(hidden)]
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.fail_syncs = n;
+    }
+
+    /// Truncate the log back to `len` bytes and persist the truncation:
+    /// the group-commit coordinator's failure path, taking unacknowledged
+    /// records back out of the file so recovery cannot replay an operation
+    /// whose commit was reported failed.  `len` must be a record boundary
+    /// the caller knows to be durable (everything at or below it survived
+    /// a completed fsync).  No-op when the file is already at `len`.
+    pub fn truncate_to(&mut self, len: u64) -> Result<(), WalError> {
+        if self.len == len {
+            return Ok(());
+        }
+        debug_assert!(len < self.len, "truncate_to must not extend the log");
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.file.sync_all()?;
+        self.len = len;
         self.appends_since_sync = 0;
         self.syncs += 1;
         Ok(())
@@ -716,5 +772,66 @@ mod tests {
         assert!(read_optional(&path.with_extension("missing"))
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_unsynced_tail_records() {
+        let path = tmp("truncate-to");
+        let (mut w, _) = WalWriter::open(&path, SyncPolicy::Never).unwrap();
+        w.append(1, b"durable one").unwrap();
+        w.append(2, b"durable two").unwrap();
+        w.sync().unwrap();
+        let watermark = w.len();
+        w.append(3, b"doomed").unwrap();
+        w.append(4, b"also doomed").unwrap();
+        w.truncate_to(watermark).unwrap();
+        assert_eq!(w.len(), watermark);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.generation)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(!scan.tail_discarded);
+        // the writer keeps appending cleanly after the rollback, and
+        // truncating to the current length is a no-op
+        w.append(5, b"post-rollback").unwrap();
+        w.truncate_to(w.len()).unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[2].generation, 5);
+    }
+
+    #[test]
+    fn inline_sync_failure_takes_the_record_back_out() {
+        let path = tmp("inline-fail");
+        let (mut w, _) = WalWriter::open(&path, SyncPolicy::Always).unwrap();
+        w.append(1, b"acknowledged").unwrap();
+        let keep = w.len();
+        let appended = w.bytes_appended();
+        w.inject_sync_failures(1);
+        let err = w.append(2, b"failed commit").unwrap_err();
+        assert!(matches!(err, WalError::Io(_)));
+        // the failed record was rolled back: file and counters unchanged,
+        // so recovery can never replay an operation reported as failed
+        assert_eq!(w.len(), keep);
+        assert_eq!(w.bytes_appended(), appended);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].generation, 1);
+        // the writer is usable again once syncs succeed
+        w.append(3, b"next").unwrap();
+        drop(w);
+        let scan = read_records(&path).unwrap();
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.generation)
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
     }
 }
